@@ -1,0 +1,39 @@
+// Regenerates paper Fig. 8: runtime breakdown of the DSPlacer flow on
+// iSmartDNN and SkyNet. The paper reports prototype placement + other
+// component placement dominating (90.61% / 88.31%) with extraction and
+// datapath-driven DSP placement around 2%.
+#include <cstdio>
+
+#include "core/dsplacer.hpp"
+#include "designs/benchmarks.hpp"
+#include "util/table.hpp"
+
+using namespace dsp;
+
+int main() {
+  const double scale = bench_scale_from_env(0.25);
+  const Device dev = make_zcu104(scale);
+  std::printf("FIG. 8 benchmark scale: %.2f\n\n", scale);
+
+  for (const char* name : {"iSmartDNN", "SkyNet"}) {
+    const auto& spec = benchmark_by_name(name);
+    const Netlist nl = make_benchmark(spec, dev, scale);
+    DsplacerOptions opts;
+    opts.use_ground_truth_roles = true;  // extraction cost measured anyway
+    const DsplacerResult res = run_dsplacer(nl, dev, {}, opts);
+
+    const double total = res.profile.total();
+    Table table({"Phase", "Seconds", "Share"});
+    for (const auto& [phase_name, seconds] : res.profile.entries())
+      table.add_row({phase_name, Table::fmt(seconds, 2),
+                     Table::fmt(100.0 * seconds / total, 1) + "%"});
+    table.add_row({"TOTAL", Table::fmt(total, 2), "100%"});
+    std::printf("FIG. 8 runtime profile: %s\n%s", name, table.to_string().c_str());
+    const double dominant = res.profile.seconds(phase::kPrototype) +
+                            res.profile.seconds(phase::kOtherPlacement);
+    std::printf("prototype+other share: %.1f%%  (paper: %.1f%%)\n\n",
+                100.0 * dominant / total,
+                std::string(name) == "iSmartDNN" ? 90.61 : 88.31);
+  }
+  return 0;
+}

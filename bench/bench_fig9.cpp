@@ -1,0 +1,80 @@
+// Regenerates paper Fig. 9: post-placement datapath visualizations of
+// SkrSkr-1 under the three tools, written as SVG files next to the binary.
+// Blue circles = datapath DSPs (chain edges drawn), red = control DSPs.
+// The figure's story: (a) Vivado scatters the datapath, (b) AMF is compact
+// but disordered, (c) DSPlacer is compact AND ordered from the PS corner.
+#include <cstdio>
+
+#include "core/flow_report.hpp"
+#include "core/mcf_assign.hpp"
+#include "extract/dsp_graph.hpp"
+#include "timing/wirelength.hpp"
+#include "util/table.hpp"
+
+using namespace dsp;
+
+namespace {
+
+// The figure's visual story, quantified: total placed length of the
+// datapath DSP-graph edges (inter-PE dataflow; cascade hops excluded since
+// all tools keep those legal), and how many dataflow edges violate the
+// PS->PL angle ordering of constraint (6).
+struct DatapathTidiness {
+  double dsp_graph_wirelength = 0.0;
+  int angle_violations = 0;
+  int edges = 0;
+};
+
+DatapathTidiness measure(const Netlist& nl, const Device& dev, const DspGraph& graph,
+                         const Placement& pl) {
+  DatapathTidiness t;
+  for (const auto& e : graph.edges) {
+    const CellId a = graph.dsps[static_cast<size_t>(e.from)];
+    const CellId b = graph.dsps[static_cast<size_t>(e.to)];
+    if (nl.cell(a).cascade_chain >= 0 && nl.cell(a).cascade_chain == nl.cell(b).cascade_chain)
+      continue;  // intra-chain hops are legal everywhere
+    ++t.edges;
+    t.dsp_graph_wirelength += pl.distance(a, b);
+    const int sa = pl.dsp_site(a);
+    const int sb = pl.dsp_site(b);
+    if (sa >= 0 && sb >= 0 &&
+        site_cos_angle(dev, sa) > site_cos_angle(dev, sb) + 1e-9)
+      ++t.angle_violations;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale_from_env(0.25);
+  const Device dev = make_zcu104(scale);
+  const auto& spec = benchmark_by_name("SkrSkr-1");
+  const Netlist nl = make_benchmark(spec, dev, scale);
+  std::printf("FIG. 9 benchmark scale: %.2f (design %s)\n\n", scale, spec.name.c_str());
+
+  ComparisonOptions copts;
+  copts.dsplacer.use_ground_truth_roles = true;
+  const ComparisonRow row = run_comparison(spec, dev, nl, {}, copts);
+
+  const DspGraph graph = build_dsp_graph(nl, nl.to_digraph());
+  Table table({"Tool", "SVG", "dataflow wirelen", "angle violations", "HPWL"});
+  for (const auto& run : row.runs) {
+    const std::string path = "fig9_" + run.tool + "_skrskr1.svg";
+    if (!render_layout_svg(nl, dev, run.placement, path))
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    const DatapathTidiness t = measure(nl, dev, graph, run.placement);
+    table.add_row({run.tool, path, Table::fmt(t.dsp_graph_wirelength, 0),
+                   Table::fmt_int(t.angle_violations) + "/" + Table::fmt_int(t.edges),
+                   Table::fmt(run.hpwl, 0)});
+  }
+  std::printf("FIG. 9: layout visualizations written\n%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected: DSPlacer's overall layout (HPWL) is by far the most compact\n"
+      "with every cascade realized; AMF packs DSP columns but scrambles the\n"
+      "PS->PL dataflow (largest HPWL: its logic ends up far from its DSPs).\n"
+      "Note (reproduction finding): the angle penalty (6) telescopes over\n"
+      "path-shaped DSP graphs, so interior dataflow order comes from the\n"
+      "quadratic term, not lambda — see EXPERIMENTS.md.\n");
+  return 0;
+}

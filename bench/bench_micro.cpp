@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: min-cost-flow
+// assignment, Brandes betweenness, IDDFS DSP-graph construction, the
+// intra-column DP, the simplex, STA, and the global router.
+#include <benchmark/benchmark.h>
+
+#include "core/legalize_intracol.hpp"
+#include "designs/benchmarks.hpp"
+#include "extract/dsp_graph.hpp"
+#include "graph/centrality.hpp"
+#include "placer/host_placer.hpp"
+#include "route/grid_router.hpp"
+#include "solver/mcf.hpp"
+#include "solver/simplex.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dsp;
+
+void BM_McfAssignment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    MinCostFlow f(2 + 2 * n);
+    for (int i = 0; i < n; ++i) f.add_edge(0, 2 + i, 1, 0);
+    for (int j = 0; j < n; ++j) f.add_edge(2 + n + j, 1, 1, 0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) f.add_edge(2 + i, 2 + n + j, 1, rng.uniform_i64(0, 100));
+    const auto r = f.solve(0, 1, n);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_McfAssignment)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_BetweennessExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Digraph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(rng.uniform_int(0, i - 1), i);
+  for (int e = 0; e < n; ++e)
+    g.add_edge_unique(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+  for (auto _ : state) {
+    const auto c = betweenness_exact(g);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_BetweennessExact)->Arg(100)->Arg(300);
+
+void BM_BetweennessSampled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Digraph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(rng.uniform_int(0, i - 1), i);
+  for (int e = 0; e < 2 * n; ++e)
+    g.add_edge_unique(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+  for (auto _ : state) {
+    Rng sample_rng(4);
+    const auto c = betweenness_sampled(g, 64, sample_rng);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_BetweennessSampled)->Arg(2000)->Arg(8000);
+
+void BM_DspGraphConstruction(benchmark::State& state) {
+  const Device dev = make_zcu104(0.1);
+  const Netlist nl = make_benchmark(benchmark_suite()[0], dev, 0.1);
+  const Digraph g = nl.to_digraph();
+  for (auto _ : state) {
+    const DspGraph dg = build_dsp_graph(nl, g);
+    benchmark::DoNotOptimize(dg.num_edges());
+  }
+}
+BENCHMARK(BM_DspGraphConstruction);
+
+void BM_IntraColumnDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<ColumnItem> items;
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    ColumnItem it;
+    it.length = 1 + rng.uniform_int(0, 8);
+    total += it.length;
+    it.desired = rng.uniform(0, 144);
+    items.push_back(it);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const ColumnItem& a, const ColumnItem& b) { return a.desired < b.desired; });
+  const int rows = std::max(total + 8, 144);
+  for (auto _ : state) {
+    const auto r = legalize_intra_column(items, rows);
+    benchmark::DoNotOptimize(r.total_displacement);
+  }
+}
+BENCHMARK(BM_IntraColumnDp)->Arg(8)->Arg(24)->Arg(48);
+
+void BM_SimplexAssignmentLp(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  const int cols = 12;
+  Rng rng(6);
+  for (auto _ : state) {
+    LinearProgram lp;
+    std::vector<std::vector<int>> var(static_cast<size_t>(groups),
+                                      std::vector<int>(static_cast<size_t>(cols)));
+    for (int g = 0; g < groups; ++g)
+      for (int c = 0; c < cols; ++c)
+        var[static_cast<size_t>(g)][static_cast<size_t>(c)] = lp.add_var(rng.uniform(0, 50));
+    for (int g = 0; g < groups; ++g) {
+      std::vector<std::pair<int, double>> row;
+      for (int c = 0; c < cols; ++c) row.push_back({var[static_cast<size_t>(g)][static_cast<size_t>(c)], 1.0});
+      lp.add_constraint(row, Relation::kEq, 1.0);
+    }
+    for (int c = 0; c < cols; ++c) {
+      std::vector<std::pair<int, double>> row;
+      for (int g = 0; g < groups; ++g) row.push_back({var[static_cast<size_t>(g)][static_cast<size_t>(c)], 3.0});
+      lp.add_constraint(row, Relation::kLe, groups);
+    }
+    const auto r = lp.solve();
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_SimplexAssignmentLp)->Arg(16)->Arg(48);
+
+void BM_StaFullDesign(benchmark::State& state) {
+  const Device dev = make_zcu104(0.1);
+  const Netlist nl = make_benchmark(benchmark_suite()[1], dev, 0.1);
+  HostPlacer host(nl, dev, HostPlacerOptions::vivado_like());
+  const Placement pl = host.place_full();
+  for (auto _ : state) {
+    const TimingReport rep = run_sta_mhz(nl, pl, dev, 150.0);
+    benchmark::DoNotOptimize(rep.wns_ns);
+  }
+}
+BENCHMARK(BM_StaFullDesign);
+
+void BM_GlobalRouter(benchmark::State& state) {
+  const Device dev = make_zcu104(0.1);
+  const Netlist nl = make_benchmark(benchmark_suite()[1], dev, 0.1);
+  HostPlacer host(nl, dev, HostPlacerOptions::vivado_like());
+  const Placement pl = host.place_full();
+  for (auto _ : state) {
+    const RouteResult r = route_global(nl, pl, dev);
+    benchmark::DoNotOptimize(r.total_overflow);
+  }
+}
+BENCHMARK(BM_GlobalRouter);
+
+}  // namespace

@@ -1,0 +1,196 @@
+#include "core/cli.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/constraints.hpp"
+#include "core/dsplacer.hpp"
+#include "core/flow_report.hpp"
+#include "designs/benchmarks.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stats.hpp"
+#include "placer/placement_io.hpp"
+#include "timing/sta.hpp"
+#include "timing/wirelength.hpp"
+
+namespace dsp {
+namespace {
+
+// --flag value pairs after the subcommand.
+std::map<std::string, std::string> parse_flags(const std::vector<std::string>& args,
+                                               size_t first, std::string* error) {
+  std::map<std::string, std::string> flags;
+  for (size_t i = first; i < args.size(); i += 2) {
+    if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
+      *error = "malformed flag: " + args[i];
+      return flags;
+    }
+    flags[args[i].substr(2)] = args[i + 1];
+  }
+  return flags;
+}
+
+double flag_double(const std::map<std::string, std::string>& flags, const std::string& key,
+                   double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string flag_str(const std::map<std::string, std::string>& flags, const std::string& key,
+                     const std::string& fallback = "") {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_list(std::ostream& out) {
+  out << "available benchmarks (paper Table I):\n";
+  for (const auto& spec : benchmark_suite())
+    out << "  " << spec.name << "  (" << spec.config.total_dsps << " DSPs @ "
+        << spec.target_freq_mhz << " MHz)\n";
+  return 0;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags, std::ostream& out,
+            std::ostream& err) {
+  const std::string name = flag_str(flags, "benchmark", "SkyNet");
+  const double scale = flag_double(flags, "scale", 0.25);
+  const std::string path = flag_str(flags, "out");
+  if (path.empty()) {
+    err << "gen: --out <file> is required\n";
+    return 2;
+  }
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = make_benchmark(benchmark_by_name(name), dev, scale);
+  if (!save_netlist(nl, path)) {
+    err << "gen: cannot write " << path << '\n';
+    return 1;
+  }
+  const DesignStats s = compute_stats(nl);
+  out << "wrote " << path << ": " << nl.num_cells() << " cells, " << s.num_dsp
+      << " DSPs, " << nl.num_chains() << " chains (scale " << scale << ")\n";
+  return 0;
+}
+
+int cmd_place(const std::map<std::string, std::string>& flags, std::ostream& out,
+              std::ostream& err) {
+  const std::string nl_path = flag_str(flags, "netlist");
+  if (nl_path.empty()) {
+    err << "place: --netlist <file> is required\n";
+    return 2;
+  }
+  const double scale = flag_double(flags, "scale", 0.25);
+  const std::string tool = flag_str(flags, "tool", "dsplacer");
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = load_netlist(nl_path);
+
+  Placement pl;
+  if (tool == "dsplacer") {
+    DsplacerOptions opts;
+    opts.use_ground_truth_roles = true;  // CLI flows have labeled netlists
+    const DsplacerResult res = run_dsplacer(nl, dev, {}, opts);
+    if (!res.legality_error.empty()) {
+      err << "place: illegal result: " << res.legality_error;
+      return 1;
+    }
+    pl = res.placement;
+  } else if (tool == "vivado" || tool == "amf") {
+    HostPlacer host(nl, dev,
+                    tool == "vivado" ? HostPlacerOptions::vivado_like()
+                                     : HostPlacerOptions::amf_like());
+    pl = host.place_full();
+  } else {
+    err << "place: unknown --tool '" << tool << "' (dsplacer|vivado|amf)\n";
+    return 2;
+  }
+
+  out << "placed " << nl.name() << " with " << tool << ": HPWL "
+      << total_hpwl(nl, pl) << ", fmax " << max_frequency_mhz(nl, pl, dev) << " MHz\n";
+  const std::string pl_path = flag_str(flags, "out");
+  if (!pl_path.empty()) {
+    if (!save_placement(nl, pl, pl_path)) {
+      err << "place: cannot write " << pl_path << '\n';
+      return 1;
+    }
+    out << "wrote placement " << pl_path << '\n';
+  }
+  const std::string xdc_path = flag_str(flags, "constraints");
+  if (!xdc_path.empty()) {
+    if (!save_dsp_constraints(nl, dev, pl, xdc_path)) {
+      err << "place: cannot write " << xdc_path << '\n';
+      return 1;
+    }
+    out << "wrote constraints " << xdc_path << '\n';
+  }
+  const std::string svg_path = flag_str(flags, "svg");
+  if (!svg_path.empty()) {
+    if (!render_layout_svg(nl, dev, pl, svg_path)) {
+      err << "place: cannot write " << svg_path << '\n';
+      return 1;
+    }
+    out << "wrote layout " << svg_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_report(const std::map<std::string, std::string>& flags, std::ostream& out,
+               std::ostream& err) {
+  const std::string nl_path = flag_str(flags, "netlist");
+  const std::string pl_path = flag_str(flags, "placement");
+  if (nl_path.empty() || pl_path.empty()) {
+    err << "report: --netlist and --placement are required\n";
+    return 2;
+  }
+  const double scale = flag_double(flags, "scale", 0.25);
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = load_netlist(nl_path);
+  const Placement pl = load_placement(nl, dev, pl_path);
+  const std::string legality = pl.validate_dsp(nl, dev);
+  const double freq = flag_double(flags, "freq", 0.0);
+  const double eval_freq = freq > 0 ? freq : max_frequency_mhz(nl, pl, dev);
+  const TimingReport rep = run_sta_mhz(nl, pl, dev, eval_freq, {});
+  out << "design " << nl.name() << " @ " << eval_freq << " MHz\n"
+      << "  " << summarize(rep) << '\n'
+      << "  HPWL " << total_hpwl(nl, pl) << ", routed-WL estimate "
+      << routed_wirelength_estimate(nl, pl) << '\n'
+      << "  DSP legality: " << (legality.empty() ? "OK" : legality) << '\n';
+  return legality.empty() && rep.met() ? 0 : 1;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "dsplacer_cli <command> [flags]\n"
+      "  list\n"
+      "  gen    --benchmark <name> --scale <s> --out <netlist>\n"
+      "  place  --netlist <file> --scale <s> --tool dsplacer|vivado|amf\n"
+      "         [--out <placement>] [--constraints <xdc>] [--svg <file>]\n"
+      "  report --netlist <file> --placement <file> --scale <s> [--freq <MHz>]\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << cli_usage();
+    return 2;
+  }
+  std::string flag_error;
+  const auto flags = parse_flags(args, 1, &flag_error);
+  if (!flag_error.empty()) {
+    err << flag_error << '\n' << cli_usage();
+    return 2;
+  }
+  try {
+    if (args[0] == "list") return cmd_list(out);
+    if (args[0] == "gen") return cmd_gen(flags, out, err);
+    if (args[0] == "place") return cmd_place(flags, out, err);
+    if (args[0] == "report") return cmd_report(flags, out, err);
+  } catch (const std::exception& e) {
+    err << args[0] << ": " << e.what() << '\n';
+    return 1;
+  }
+  err << "unknown command '" << args[0] << "'\n" << cli_usage();
+  return 2;
+}
+
+}  // namespace dsp

@@ -1,0 +1,25 @@
+// Command-line driver (library form so tests can call it directly).
+//
+// Subcommands:
+//   gen     --benchmark <name> --scale <s> --out <netlist>
+//   place   --netlist <file> --scale <s> --tool dsplacer|vivado|amf
+//           [--out <placement>] [--constraints <xdc>] [--svg <file>]
+//   report  --netlist <file> --placement <file> --scale <s> [--freq <MHz>]
+//   list    (prints the benchmark suite)
+// The `dsplacer_cli` binary in tools/ forwards argv here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+/// Runs one CLI invocation. `args` excludes the program name. Output goes
+/// to `out`, diagnostics to `err`. Returns a process exit code.
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// Usage text.
+std::string cli_usage();
+
+}  // namespace dsp

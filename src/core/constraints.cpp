@@ -1,0 +1,85 @@
+#include "core/constraints.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dsp {
+
+std::string dsp_site_name(const Device& dev, int site) {
+  const DspSite& s = dev.dsp_site(site);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "DSP48E2_X%dY%d", s.column, s.row);
+  return buf;
+}
+
+int parse_dsp_site_name(const Device& dev, const std::string& name) {
+  int col = -1, row = -1;
+  if (std::sscanf(name.c_str(), "DSP48E2_X%dY%d", &col, &row) != 2) return -1;
+  if (col < 0 || col >= static_cast<int>(dev.dsp_columns().size())) return -1;
+  if (row < 0 || row >= dev.dsp_columns()[static_cast<size_t>(col)].num_sites) return -1;
+  return dev.dsp_site_index(col, row);
+}
+
+std::string write_dsp_constraints(const Netlist& nl, const Device& dev,
+                                  const Placement& pl) {
+  std::ostringstream os;
+  os << "# DSPlacer datapath DSP placement constraints for " << nl.name() << '\n';
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).type != CellType::kDsp) continue;
+    const int site = pl.dsp_site(c);
+    if (site < 0) continue;
+    os << "set_property LOC " << dsp_site_name(dev, site) << " [get_cells "
+       << nl.cell(c).name << "]\n";
+  }
+  return os.str();
+}
+
+std::string apply_dsp_constraints(const Netlist& nl, const Device& dev,
+                                  const std::string& xdc, Placement& pl) {
+  std::ostringstream err;
+  std::istringstream is(xdc);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::string kw, prop, site_name, get_cells, cell_name;
+    std::istringstream ls(line);
+    if (!(ls >> kw >> prop >> site_name >> get_cells >> cell_name) ||
+        kw != "set_property" || prop != "LOC" || get_cells != "[get_cells") {
+      err << "line " << line_no << ": unrecognized constraint\n";
+      continue;
+    }
+    if (!cell_name.empty() && cell_name.back() == ']') cell_name.pop_back();
+    const auto cell = nl.find_cell(cell_name);
+    if (!cell) {
+      err << "line " << line_no << ": unknown cell '" << cell_name << "'\n";
+      continue;
+    }
+    if (nl.cell(*cell).type != CellType::kDsp) {
+      err << "line " << line_no << ": cell '" << cell_name << "' is not a DSP\n";
+      continue;
+    }
+    const int site = parse_dsp_site_name(dev, site_name);
+    if (site < 0) {
+      err << "line " << line_no << ": bad site '" << site_name << "'\n";
+      continue;
+    }
+    pl.assign_dsp_site(dev, *cell, site);
+  }
+  return err.str();
+}
+
+bool save_dsp_constraints(const Netlist& nl, const Device& dev, const Placement& pl,
+                          const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << write_dsp_constraints(nl, dev, pl);
+  return static_cast<bool>(f);
+}
+
+}  // namespace dsp

@@ -1,0 +1,43 @@
+// DSP placement constraint export/import.
+//
+// The paper's flow hands its DSP placement to the commercial P&R tool "as
+// constraints" (Section II-B). This module produces that artifact: a
+// Vivado-XDC-style file of LOC properties, one per DSP cell,
+//
+//     set_property LOC DSP48E2_X3Y17 [get_cells mac0_4]
+//
+// where X is the DSP column index and Y the row within the column, plus a
+// parser so a placement can be reloaded/applied (round-trip tested).
+#pragma once
+
+#include <string>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+/// XDC site name for a device DSP site, e.g. "DSP48E2_X3Y17".
+std::string dsp_site_name(const Device& dev, int site);
+
+/// Parses "DSP48E2_X<col>Y<row>" back to a site index; -1 if malformed or
+/// out of range for `dev`.
+int parse_dsp_site_name(const Device& dev, const std::string& name);
+
+/// Emits one LOC line per site-assigned DSP cell (deterministic cell-id
+/// order). Cells without a site are skipped.
+std::string write_dsp_constraints(const Netlist& nl, const Device& dev,
+                                  const Placement& pl);
+
+/// Applies LOC constraints to `pl`. Unknown cells or malformed lines are
+/// reported in the returned error string (empty on full success); valid
+/// lines are applied regardless.
+std::string apply_dsp_constraints(const Netlist& nl, const Device& dev,
+                                  const std::string& xdc, Placement& pl);
+
+/// File helpers.
+bool save_dsp_constraints(const Netlist& nl, const Device& dev, const Placement& pl,
+                          const std::string& path);
+
+}  // namespace dsp

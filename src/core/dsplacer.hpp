@@ -1,0 +1,71 @@
+// DSPlacer: the paper's full framework (Fig. 2).
+//
+//   inputs:  pre-implementation netlist + DSP specifications (the device)
+//   stage 1: prototype placement by the host analytical placer
+//   stage 2: datapath DSP extraction — GCN classification over global
+//            graph features, IDDFS DSP-graph construction, control pruning
+//   stage 3: datapath-driven DSP placement — iterative linearized-MCF
+//            assignment (eq. 7-9), ILP inter-column cascade legalization
+//            (eq. 10), exact intra-column legalization (eq. 11), then
+//            incremental alternation with the host placer (Fig. 6)
+//   output:  a fully legal placement whose DSP sites act as the constraint
+//            file handed to the host P&R flow.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/legalize_intercol.hpp"
+#include "core/mcf_assign.hpp"
+#include "extract/classifier.hpp"
+#include "extract/dsp_graph.hpp"
+#include "placer/host_placer.hpp"
+#include "util/timer.hpp"
+
+namespace dsp {
+
+struct DsplacerOptions {
+  AssignOptions assign;
+  InterColumnOptions inter_column;
+  int outer_iterations = 2;  // alternation rounds between DSPs and the rest
+  FeatureOptions features;
+  DspGraphOptions dsp_graph;
+  GcnConfig gcn;
+  /// Ablations: skip the GCN and use generator ground truth; keep control
+  /// DSPs in the datapath graph.
+  bool use_ground_truth_roles = false;
+  bool prune_control = true;
+  HostPlacerOptions host = HostPlacerOptions::vivado_like();
+};
+
+struct DsplacerResult {
+  Placement placement;
+  PhaseProfile profile;  // Fig. 8 phase breakdown
+  int num_datapath_dsps = 0;
+  int num_control_dsps = 0;
+  int dsp_graph_edges = 0;
+  int mcf_iterations = 0;
+  bool mcf_converged = false;
+  bool intercol_used_ilp = false;
+  std::string legality_error;  // empty on success
+};
+
+/// Phase names used in DsplacerResult::profile (Fig. 8 categories).
+namespace phase {
+inline constexpr const char* kPrototype = "prototype placement";
+inline constexpr const char* kExtraction = "datapath DSP extraction";
+inline constexpr const char* kDspPlacement = "datapath-driven DSP placement";
+inline constexpr const char* kOtherPlacement = "other component placement";
+inline constexpr const char* kRouting = "routing";
+}  // namespace phase
+
+/// Runs the full DSPlacer flow. `training` supplies labeled designs for the
+/// GCN (the paper's leave-one-out protocol: the other four benchmarks);
+/// pass an empty vector together with use_ground_truth_roles=true to bypass
+/// learning (ablation).
+DsplacerResult run_dsplacer(const Netlist& nl, const Device& dev,
+                            const std::vector<DesignGraphData>& training,
+                            const DsplacerOptions& opts = {});
+
+}  // namespace dsp

@@ -1,0 +1,156 @@
+#include "core/flow_report.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "timing/wirelength.hpp"
+#include "util/log.hpp"
+#include "util/svg.hpp"
+#include "util/timer.hpp"
+
+namespace dsp {
+
+const ToolRun& ComparisonRow::by_tool(const std::string& tool) const {
+  for (const auto& r : runs)
+    if (r.tool == tool) return r;
+  throw std::out_of_range("no run for tool " + tool);
+}
+
+namespace {
+
+ToolRun evaluate(std::string tool, const Netlist& nl, const Device& dev,
+                 Placement placement, double freq_mhz, double runtime_s,
+                 const StaOptions& sta) {
+  ToolRun run;
+  run.tool = std::move(tool);
+  run.runtime_s = runtime_s;
+  run.hpwl = total_hpwl(nl, placement);
+  run.routed_wl = routed_wirelength_estimate(nl, placement);
+  run.timing = run_sta_mhz(nl, placement, dev, freq_mhz, sta);
+  run.placement = std::move(placement);
+  LOG_INFO("compare", "%s %s: WNS %.3f TNS %.1f HPWL %.0f (%.1fs)", nl.name().c_str(),
+           run.tool.c_str(), run.timing.wns_ns, run.timing.tns_ns, run.hpwl, runtime_s);
+  return run;
+}
+
+}  // namespace
+
+ComparisonRow run_comparison(const BenchmarkSpec& spec, const Device& dev,
+                             const Netlist& nl,
+                             const std::vector<DesignGraphData>& training,
+                             const ComparisonOptions& opts) {
+  ComparisonRow row;
+  row.benchmark = spec.name;
+  row.freq_mhz = spec.target_freq_mhz;
+
+  Placement vivado_pl;
+  double vivado_runtime = 0.0;
+  if (opts.run_vivado || opts.protocol_frequency) {
+    Timer t;
+    HostPlacer vivado(nl, dev, HostPlacerOptions::vivado_like());
+    vivado_pl = vivado.place_full();
+    vivado_runtime = t.seconds();
+  }
+  if (opts.protocol_frequency) {
+    // Paper protocol: raise the clock until the Vivado placement fails.
+    const double fmax = max_frequency_mhz(nl, vivado_pl, dev, opts.sta);
+    row.freq_mhz = fmax * opts.protocol_margin;
+    LOG_INFO("compare", "%s: protocol frequency %.1f MHz (Vivado fmax %.1f)",
+             spec.name.c_str(), row.freq_mhz, fmax);
+  }
+
+  if (opts.run_vivado)
+    row.runs.push_back(evaluate("Vivado", nl, dev, std::move(vivado_pl), row.freq_mhz,
+                                vivado_runtime, opts.sta));
+  if (opts.run_amf) {
+    Timer t;
+    HostPlacer amf(nl, dev, HostPlacerOptions::amf_like());
+    Placement pl = amf.place_full();
+    row.runs.push_back(
+        evaluate("AMF", nl, dev, std::move(pl), row.freq_mhz, t.seconds(), opts.sta));
+  }
+  if (opts.run_dsplacer) {
+    Timer t;
+    DsplacerResult res = run_dsplacer(nl, dev, training, opts.dsplacer);
+    row.runs.push_back(evaluate("DSPlacer", nl, dev, std::move(res.placement),
+                                row.freq_mhz, t.seconds(), opts.sta));
+  }
+  return row;
+}
+
+NormalizedMetrics normalize_against_dsplacer(const std::vector<ComparisonRow>& rows,
+                                             const std::string& tool) {
+  NormalizedMetrics m;
+  if (rows.empty()) return m;
+  double lw = 0, lt = 0, lh = 0, lr = 0;
+  for (const auto& row : rows) {
+    const ToolRun& a = row.by_tool(tool);
+    const ToolRun& b = row.by_tool("DSPlacer");
+    // Timing shortfall = required - achievable headroom; using
+    // (period - WNS) compares "how much clock the design needs" and stays
+    // positive for both met and violated designs.
+    const double wa = a.timing.clock_period_ns - a.timing.wns_ns;
+    const double wb = b.timing.clock_period_ns - b.timing.wns_ns;
+    lw += std::log(std::max(wa, 1e-3) / std::max(wb, 1e-3));
+    lt += std::log((1.0 - a.timing.tns_ns) / (1.0 - b.timing.tns_ns));
+    lh += std::log(std::max(a.hpwl, 1.0) / std::max(b.hpwl, 1.0));
+    lr += std::log(std::max(a.runtime_s, 1e-3) / std::max(b.runtime_s, 1e-3));
+  }
+  const double n = static_cast<double>(rows.size());
+  m.wns = std::exp(lw / n);
+  m.tns = std::exp(lt / n);
+  m.hpwl = std::exp(lh / n);
+  m.runtime = std::exp(lr / n);
+  return m;
+}
+
+bool render_layout_svg(const Netlist& nl, const Device& dev, const Placement& pl,
+                       const std::string& path) {
+  const double cell_px = 8.0;
+  const double w = dev.width() * cell_px;
+  const double h = dev.height() * cell_px;
+  SvgWriter svg(w + 20, h + 20);
+  // y axis flips: fabric row 0 is at the bottom.
+  auto X = [&](double x) { return 10 + x * cell_px; };
+  auto Y = [&](double y) { return 10 + (dev.height() - 1 - y) * cell_px; };
+
+  // Column stripes.
+  for (int x = 0; x < dev.width(); ++x) {
+    const char* fill = "#f2f2f2";
+    switch (dev.column_type(x)) {
+      case ColumnType::kDsp: fill = "#dce8ff"; break;
+      case ColumnType::kBram: fill = "#e2f4e2"; break;
+      case ColumnType::kPs: fill = "#f6e0c8"; break;
+      case ColumnType::kIo: fill = "#eeeeee"; break;
+      default: break;
+    }
+    svg.rect(X(x), 10, cell_px, h, fill);
+  }
+  // PS block outline.
+  svg.rect(X(0), Y(dev.ps().height - 1), dev.ps().width * cell_px,
+           dev.ps().height * cell_px, "#f0b060", 0.6, "#a06010");
+  svg.text(X(1), Y(1), "PS", 14);
+
+  // Datapath edges: consecutive chain members.
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    for (size_t k = 0; k + 1 < chain.size(); ++k)
+      svg.line(X(pl.x(chain[k])) + cell_px / 2, Y(pl.y(chain[k])) + cell_px / 2,
+               X(pl.x(chain[k + 1])) + cell_px / 2, Y(pl.y(chain[k + 1])) + cell_px / 2,
+               "#3060c0", 1.2, 0.7);
+  }
+
+  // DSP markers: datapath blue (shaded by chain id), control red.
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    if (cell.type != CellType::kDsp) continue;
+    const bool dp = cell.role == DspRole::kDatapath;
+    const std::string color = dp ? "#2a52be" : "#c03030";
+    svg.circle(X(pl.x(c)) + cell_px / 2, Y(pl.y(c)) + cell_px / 2, cell_px * 0.35, color,
+               dp ? 0.85 : 0.9);
+  }
+  svg.text(X(1), 18, nl.name(), 13);
+  return svg.save(path);
+}
+
+}  // namespace dsp

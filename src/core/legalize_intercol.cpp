@@ -1,0 +1,158 @@
+#include "core/legalize_intercol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/log.hpp"
+
+namespace dsp {
+
+std::vector<DspGroup> build_dsp_groups(const Netlist& nl, const Device& dev,
+                                       const std::vector<CellId>& targets,
+                                       const std::vector<int>& site_of) {
+  std::vector<int> site_by_cell(static_cast<size_t>(nl.num_cells()), -1);
+  std::vector<char> is_target(static_cast<size_t>(nl.num_cells()), 0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    site_by_cell[static_cast<size_t>(targets[i])] = site_of[i];
+    is_target[static_cast<size_t>(targets[i])] = 1;
+  }
+
+  std::vector<DspGroup> groups;
+  std::vector<char> grouped(static_cast<size_t>(nl.num_cells()), 0);
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    DspGroup g;
+    for (CellId c : chain) {
+      if (!is_target[static_cast<size_t>(c)]) continue;
+      g.cells.push_back(c);
+      grouped[static_cast<size_t>(c)] = 1;
+    }
+    if (!g.cells.empty()) groups.push_back(std::move(g));
+  }
+  for (CellId c : targets) {
+    if (grouped[static_cast<size_t>(c)]) continue;
+    DspGroup g;
+    g.cells.push_back(c);
+    groups.push_back(std::move(g));
+  }
+  for (DspGroup& g : groups) {
+    for (CellId c : g.cells) {
+      const int site = site_by_cell[static_cast<size_t>(c)];
+      const DspSite& s = dev.dsp_site(site);
+      g.cx += s.x;
+      g.cy += s.y;
+    }
+    g.cx /= g.size();
+    g.cy /= g.size();
+  }
+  return groups;
+}
+
+namespace {
+
+InterColumnResult greedy_columns(const Device& dev, const std::vector<DspGroup>& groups,
+                                 std::vector<int> remaining) {
+  InterColumnResult res;
+  res.used_ilp = false;
+  res.column.assign(groups.size(), -1);
+  // Longest groups first; each takes the nearest column with room.
+  std::vector<size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return groups[a].size() > groups[b].size();
+  });
+  for (size_t gi : order) {
+    double best = 1e18;
+    int best_col = -1;
+    for (size_t ci = 0; ci < dev.dsp_columns().size(); ++ci) {
+      if (remaining[ci] < groups[gi].size()) continue;
+      const double d = std::fabs(dev.dsp_columns()[ci].x - groups[gi].cx);
+      if (d < best) {
+        best = d;
+        best_col = static_cast<int>(ci);
+      }
+    }
+    if (best_col < 0) return res;  // feasible=false
+    res.column[gi] = best_col;
+    remaining[static_cast<size_t>(best_col)] -= groups[gi].size();
+    res.total_displacement += best * groups[gi].size();
+  }
+  res.feasible = true;
+  return res;
+}
+
+}  // namespace
+
+InterColumnResult legalize_inter_column(const Device& dev,
+                                        const std::vector<DspGroup>& groups,
+                                        const std::vector<int>& capacity,
+                                        const InterColumnOptions& opts) {
+  const int num_cols = static_cast<int>(dev.dsp_columns().size());
+  const int num_groups = static_cast<int>(groups.size());
+  InterColumnResult res;
+  res.column.assign(static_cast<size_t>(num_groups), -1);
+  if (num_groups == 0) {
+    res.feasible = true;
+    return res;
+  }
+
+  // Grouped formulation of (10): binary t_{g,j}, one column per group,
+  // sum of member counts per column bounded by capacity.
+  IntegerProgram ip;
+  std::vector<std::vector<int>> var(static_cast<size_t>(num_groups),
+                                    std::vector<int>(static_cast<size_t>(num_cols)));
+  for (int g = 0; g < num_groups; ++g) {
+    for (int j = 0; j < num_cols; ++j) {
+      const auto& col = dev.dsp_columns()[static_cast<size_t>(j)];
+      // D_col(i,j): horizontal displacement, weighted by group size (each
+      // member moves). The small angle term keeps the datapath orientation
+      // as the tie-break the paper's penalty (6) asks legalization to
+      // preserve.
+      const double disp = std::fabs(col.x - groups[static_cast<size_t>(g)].cx) *
+                          groups[static_cast<size_t>(g)].size();
+      const double r = std::hypot(col.x, groups[static_cast<size_t>(g)].cy);
+      const double cos_col = r > 1e-9 ? col.x / r : 0.0;
+      // Implied-bound binaries: the sum-to-one row below caps them at 1.
+      var[static_cast<size_t>(g)][static_cast<size_t>(j)] =
+          ip.add_binary_implied_bound(disp + opts.angle_weight * cos_col);
+    }
+  }
+  for (int g = 0; g < num_groups; ++g) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < num_cols; ++j)
+      row.push_back({var[static_cast<size_t>(g)][static_cast<size_t>(j)], 1.0});
+    ip.add_constraint(row, Relation::kEq, 1.0);  // (10a) left: one column
+  }
+  for (int j = 0; j < num_cols; ++j) {
+    std::vector<std::pair<int, double>> row;
+    for (int g = 0; g < num_groups; ++g)
+      row.push_back({var[static_cast<size_t>(g)][static_cast<size_t>(j)],
+                     static_cast<double>(groups[static_cast<size_t>(g)].size())});
+    ip.add_constraint(row, Relation::kLe, static_cast<double>(capacity[static_cast<size_t>(j)]));
+  }
+
+  const IlpResult sol = ip.solve(opts.ilp);
+  if (!sol.feasible) {
+    LOG_WARN("intercol", "ILP found no incumbent (%ld nodes); greedy fallback",
+             sol.nodes_explored);
+    return greedy_columns(dev, groups, capacity);
+  }
+  res.used_ilp = true;
+  res.feasible = true;
+  for (int g = 0; g < num_groups; ++g) {
+    for (int j = 0; j < num_cols; ++j) {
+      if (sol.x[static_cast<size_t>(var[static_cast<size_t>(g)][static_cast<size_t>(j)])] > 0.5) {
+        res.column[static_cast<size_t>(g)] = j;
+        res.total_displacement +=
+            std::fabs(dev.dsp_columns()[static_cast<size_t>(j)].x -
+                      groups[static_cast<size_t>(g)].cx) *
+            groups[static_cast<size_t>(g)].size();
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dsp

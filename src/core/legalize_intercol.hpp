@@ -1,0 +1,59 @@
+// Inter-column cascade legalization (paper eq. (10)).
+//
+// After the MCF assignment, cascade chains may straddle columns (the
+// adjacency constraint (5) was only a penalty). This step decides one
+// column per movable group — a cascade chain or a singleton DSP —
+// minimizing total horizontal displacement subject to column capacities,
+// exactly formulation (10) with the per-DSP variables aggregated per chain
+// (constraint (10b) makes all members of a chain share a column, so the
+// grouped 0-1 program is equivalent and much smaller). Solved with the
+// branch-and-bound ILP over the dense-simplex relaxation (the repo's
+// Gurobi stand-in), with a displacement-greedy fallback if the node budget
+// is ever hit.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "solver/bnb_ilp.hpp"
+
+namespace dsp {
+
+/// One movable unit: a cascade chain (cells in order) or a singleton DSP.
+struct DspGroup {
+  std::vector<CellId> cells;
+  double cx = 0.0;  // current centroid (from the MCF assignment)
+  double cy = 0.0;
+
+  int size() const { return static_cast<int>(cells.size()); }
+};
+
+struct InterColumnResult {
+  std::vector<int> column;  // per group: chosen device DSP column
+  bool used_ilp = true;     // false if the greedy fallback decided
+  double total_displacement = 0.0;
+  bool feasible = false;
+};
+
+struct InterColumnOptions {
+  IlpOptions ilp;
+  /// Angle tie-break weight: among near-equal displacement columns prefer
+  /// the one matching the PS->PL datapath direction (penalty term (6)).
+  double angle_weight = 0.05;
+};
+
+/// Chooses one column per group. `capacity[j]` is the number of rows of
+/// column j available to these groups.
+InterColumnResult legalize_inter_column(const Device& dev,
+                                        const std::vector<DspGroup>& groups,
+                                        const std::vector<int>& capacity,
+                                        const InterColumnOptions& opts = {});
+
+/// Builds groups (chains + singletons) for `targets` from their assigned
+/// sites in `site_of` (parallel to targets).
+std::vector<DspGroup> build_dsp_groups(const Netlist& nl, const Device& dev,
+                                       const std::vector<CellId>& targets,
+                                       const std::vector<int>& site_of);
+
+}  // namespace dsp

@@ -1,0 +1,121 @@
+#include "core/legalize_intracol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dsp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// |start - desired| * length: every member of the group moves by the same
+// vertical offset, so the group's L1 cost scales with its size.
+double item_cost(const ColumnItem& it, int start) {
+  return std::fabs(static_cast<double>(start) - it.desired) * it.length;
+}
+
+}  // namespace
+
+IntraColumnResult legalize_intra_column(const std::vector<ColumnItem>& items,
+                                        int num_rows) {
+  IntraColumnResult res;
+  const int n = static_cast<int>(items.size());
+  res.start_row.assign(static_cast<size_t>(n), -1);
+  if (n == 0) {
+    res.feasible = true;
+    return res;
+  }
+  int total_len = 0;
+  for (const auto& it : items) total_len += it.length;
+  if (total_len > num_rows) return res;  // cannot fit
+
+  // dp[k][s]: min cost to place items 0..k with item k starting at row
+  // <= s and all placements feasible; realized as cost f(k,s) at exactly s
+  // plus a prefix-min sweep. parent pointers recover the argmin.
+  std::vector<std::vector<double>> best(static_cast<size_t>(n),
+                                        std::vector<double>(static_cast<size_t>(num_rows), kInf));
+  std::vector<std::vector<int>> from(static_cast<size_t>(n),
+                                     std::vector<int>(static_cast<size_t>(num_rows), -1));
+
+  // Suffix lengths bound how late an item may start.
+  std::vector<int> suffix(static_cast<size_t>(n) + 1, 0);
+  for (int k = n - 1; k >= 0; --k)
+    suffix[static_cast<size_t>(k)] = suffix[static_cast<size_t>(k) + 1] + items[static_cast<size_t>(k)].length;
+
+  for (int s = 0; s + suffix[0] <= num_rows; ++s)
+    best[0][static_cast<size_t>(s)] = item_cost(items[0], s);
+
+  for (int k = 1; k < n; ++k) {
+    const int prev_len = items[static_cast<size_t>(k - 1)].length;
+    // prefix_min[s] = min over s' <= s of best[k-1][s'], with argmin.
+    double run_min = kInf;
+    int run_arg = -1;
+    for (int s = 0; s + suffix[static_cast<size_t>(k)] <= num_rows; ++s) {
+      const int upper = s - prev_len;  // latest allowed start of item k-1
+      if (upper >= 0 && best[static_cast<size_t>(k - 1)][static_cast<size_t>(upper)] < run_min) {
+        run_min = best[static_cast<size_t>(k - 1)][static_cast<size_t>(upper)];
+        run_arg = upper;
+      }
+      if (run_min < kInf) {
+        best[static_cast<size_t>(k)][static_cast<size_t>(s)] =
+            run_min + item_cost(items[static_cast<size_t>(k)], s);
+        from[static_cast<size_t>(k)][static_cast<size_t>(s)] = run_arg;
+      }
+    }
+  }
+
+  // Best final position.
+  double best_cost = kInf;
+  int best_s = -1;
+  for (int s = 0; s < num_rows; ++s) {
+    if (best[static_cast<size_t>(n - 1)][static_cast<size_t>(s)] < best_cost) {
+      best_cost = best[static_cast<size_t>(n - 1)][static_cast<size_t>(s)];
+      best_s = s;
+    }
+  }
+  if (best_s < 0) return res;
+
+  res.feasible = true;
+  res.total_displacement = best_cost;
+  int s = best_s;
+  for (int k = n - 1; k >= 0; --k) {
+    res.start_row[static_cast<size_t>(k)] = s;
+    s = from[static_cast<size_t>(k)][static_cast<size_t>(s)];
+  }
+  return res;
+}
+
+IntraColumnResult legalize_intra_column_brute(const std::vector<ColumnItem>& items,
+                                              int num_rows) {
+  IntraColumnResult res;
+  const int n = static_cast<int>(items.size());
+  res.start_row.assign(static_cast<size_t>(n), -1);
+  std::vector<int> cur(static_cast<size_t>(n), 0);
+  std::vector<int> best_rows;
+  double best_cost = kInf;
+
+  // Enumerate all nondecreasing feasible stackings recursively.
+  std::vector<int> stack_rows(static_cast<size_t>(n));
+  auto rec = [&](auto&& self, int k, int min_start, double cost) -> void {
+    if (cost >= best_cost) return;
+    if (k == n) {
+      best_cost = cost;
+      best_rows = stack_rows;
+      return;
+    }
+    for (int s = min_start; s + items[static_cast<size_t>(k)].length <= num_rows; ++s) {
+      stack_rows[static_cast<size_t>(k)] = s;
+      self(self, k + 1, s + items[static_cast<size_t>(k)].length,
+           cost + item_cost(items[static_cast<size_t>(k)], s));
+    }
+  };
+  rec(rec, 0, 0, 0.0);
+  if (best_rows.empty() && n > 0) return res;
+  res.feasible = true;
+  res.total_displacement = best_cost;
+  for (int k = 0; k < n; ++k) res.start_row[static_cast<size_t>(k)] = best_rows[static_cast<size_t>(k)];
+  return res;
+}
+
+}  // namespace dsp

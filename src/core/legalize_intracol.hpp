@@ -1,0 +1,40 @@
+// Intra-column cascade legalization (paper eq. (11)).
+//
+// Given the groups assigned to one DSP column, choose a start row per group
+// such that (a) cascade members occupy consecutive rows in order —
+// constraint (11a) — and (b) groups do not overlap — constraint (11b) —
+// while minimizing total vertical displacement sum |r_i - R_col(i)|.
+//
+// Groups are processed in the paper's order (sorted by average desired
+// row); with that order fixed, the problem is solved EXACTLY by dynamic
+// programming over (group, start row) with a prefix-min, an equivalent but
+// direct alternative to the paper's per-column ILP. An L1-isotonic
+// reduction is available as a cross-check backend (see tests).
+#pragma once
+
+#include <vector>
+
+namespace dsp {
+
+/// One group to stack in a column.
+struct ColumnItem {
+  int length = 1;        // rows the group occupies (cascade chain length)
+  double desired = 0.0;  // preferred start row (average of member targets)
+};
+
+struct IntraColumnResult {
+  std::vector<int> start_row;  // per item, -1 if infeasible
+  double total_displacement = 0.0;
+  bool feasible = false;
+};
+
+/// Items must already be sorted by `desired` (the paper sorts by average
+/// vertical location); rows available are [0, num_rows).
+IntraColumnResult legalize_intra_column(const std::vector<ColumnItem>& items,
+                                        int num_rows);
+
+/// Brute-force oracle for tests (exponential; tiny instances only).
+IntraColumnResult legalize_intra_column_brute(const std::vector<ColumnItem>& items,
+                                              int num_rows);
+
+}  // namespace dsp

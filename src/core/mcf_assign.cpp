@@ -1,0 +1,275 @@
+#include "core/mcf_assign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "solver/mcf.hpp"
+#include "util/log.hpp"
+
+namespace dsp {
+namespace {
+
+struct Neighbor {
+  CellId cell;
+  double weight;
+};
+
+// Clique-model netlist neighbors of each target with accumulated weights.
+std::vector<std::vector<Neighbor>> collect_neighbors(const Netlist& nl,
+                                                     const std::vector<CellId>& targets) {
+  std::vector<int> target_idx(static_cast<size_t>(nl.num_cells()), -1);
+  for (size_t i = 0; i < targets.size(); ++i)
+    target_idx[static_cast<size_t>(targets[i])] = static_cast<int>(i);
+
+  std::vector<std::unordered_map<CellId, double>> acc(targets.size());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    const int deg = net.degree();
+    if (deg < 2 || deg > 64) continue;  // huge nets carry no locality signal
+    const double w = net.weight / (deg - 1);
+    std::vector<CellId> pins = {net.driver};
+    pins.insert(pins.end(), net.sinks.begin(), net.sinks.end());
+    for (CellId a : pins) {
+      const int ti = target_idx[static_cast<size_t>(a)];
+      if (ti < 0) continue;
+      for (CellId b : pins)
+        if (b != a) acc[static_cast<size_t>(ti)][b] += w;
+    }
+  }
+
+  std::vector<std::vector<Neighbor>> out(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    out[i].reserve(acc[i].size());
+    for (const auto& [cell, w] : acc[i]) out[i].push_back({cell, w});
+  }
+  return out;
+}
+
+}  // namespace
+
+double site_cos_angle(const Device& dev, int site) {
+  const DspSite& s = dev.dsp_site(site);
+  const double r = std::sqrt(s.x * s.x + s.y * s.y);
+  return r > 1e-9 ? s.x / r : 0.0;
+}
+
+AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placement& pl,
+                             const DspGraph& graph, const std::vector<CellId>& targets,
+                             const AssignOptions& opts) {
+  AssignResult result;
+  const int n = static_cast<int>(targets.size());
+  result.site.assign(static_cast<size_t>(n), -1);
+  if (n == 0 || n > dev.dsp_capacity()) return result;
+
+  std::vector<int> target_idx(static_cast<size_t>(nl.num_cells()), -1);
+  for (int i = 0; i < n; ++i) target_idx[static_cast<size_t>(targets[i])] = i;
+
+  const auto neighbors = collect_neighbors(nl, targets);
+
+  // lambda * (out_degree - in_degree) over the datapath DSP graph: the
+  // per-node linear form of the angle penalty (6), cos(theta_pred) <=
+  // cos(theta_succ). Predecessors (positive coefficient, cost grows with
+  // cos) take LARGE angles near the PS top edge where PS->PL data enters;
+  // successors drift toward small angles at the PS right edge where PL->PS
+  // data exits — the top->right dataflow of paper Fig. 5(a).
+  std::vector<double> angle_coeff(static_cast<size_t>(n), 0.0);
+  for (const auto& e : graph.edges) {
+    const int tf = target_idx[static_cast<size_t>(graph.dsps[static_cast<size_t>(e.from)])];
+    const int tt = target_idx[static_cast<size_t>(graph.dsps[static_cast<size_t>(e.to)])];
+    if (tf >= 0) angle_coeff[static_cast<size_t>(tf)] += opts.lambda;
+    if (tt >= 0) angle_coeff[static_cast<size_t>(tt)] -= opts.lambda;
+  }
+
+  // Cascade partners among the targets (pred, succ of each chain pair).
+  struct CascadePair {
+    int pred, succ;
+  };
+  std::vector<CascadePair> pairs;
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      const int a = target_idx[static_cast<size_t>(chain[k])];
+      const int b = target_idx[static_cast<size_t>(chain[k + 1])];
+      if (a >= 0 && b >= 0) pairs.push_back({a, b});
+    }
+  }
+
+  // Current iterate positions (start from the prototype placement).
+  std::vector<double> tx(static_cast<size_t>(n)), ty(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tx[static_cast<size_t>(i)] = pl.x(targets[static_cast<size_t>(i)]);
+    ty[static_cast<size_t>(i)] = pl.y(targets[static_cast<size_t>(i)]);
+  }
+  std::vector<int> prev_site(static_cast<size_t>(n), -1);
+
+  const auto& columns = dev.dsp_columns();
+  auto candidate_sites_near = [&](double x, double y, int k) {
+    // Spread candidates across every column, rows centred on y.
+    std::vector<int> cands;
+    const int per_col = std::max(2, k / std::max<int>(1, static_cast<int>(columns.size())));
+    for (size_t ci = 0; ci < columns.size(); ++ci) {
+      const auto& col = columns[ci];
+      const int mid = std::clamp(static_cast<int>(std::lround(y - col.y0)), 0, col.num_sites - 1);
+      const int lo = std::max(0, mid - per_col / 2);
+      const int hi = std::min(col.num_sites - 1, lo + per_col - 1);
+      for (int r = lo; r <= hi; ++r) cands.push_back(col.first_site + r);
+    }
+    // Prefer columns near x by trimming distant columns when k is small.
+    std::sort(cands.begin(), cands.end(), [&](int a, int b) {
+      const DspSite& sa = dev.dsp_site(a);
+      const DspSite& sb = dev.dsp_site(b);
+      const double da = std::fabs(sa.x - x) * 1.2 + std::fabs(sa.y - y);
+      const double db = std::fabs(sb.x - x) * 1.2 + std::fabs(sb.y - y);
+      return da < db;
+    });
+    if (static_cast<int>(cands.size()) > k) cands.resize(static_cast<size_t>(k));
+    return cands;
+  };
+
+  int k = opts.candidate_sites;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  int stall = 0;
+  // Linearized fixed-point iterations can enter short cycles between
+  // equal-cost assignments; revisiting any previous assignment proves the
+  // iteration will loop forever, so we stop (converged to a cycle).
+  std::unordered_set<uint64_t> seen_assignments;
+  auto assignment_hash = [&]() {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (int s : prev_site) {
+      h ^= static_cast<uint64_t>(s) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    // --- assemble per-target candidates and costs ---------------------------
+    std::vector<std::vector<std::pair<int, int64_t>>> edges(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Ideal point: weighted centroid of the neighbours' current positions.
+      double cx = tx[static_cast<size_t>(i)], cy = ty[static_cast<size_t>(i)], wsum = 0;
+      double sx = 0, sy = 0;
+      for (const Neighbor& nb : neighbors[static_cast<size_t>(i)]) {
+        const int tj = target_idx[static_cast<size_t>(nb.cell)];
+        const double px = tj >= 0 ? tx[static_cast<size_t>(tj)] : pl.x(nb.cell);
+        const double py = tj >= 0 ? ty[static_cast<size_t>(tj)] : pl.y(nb.cell);
+        sx += nb.weight * px;
+        sy += nb.weight * py;
+        wsum += nb.weight;
+      }
+      if (wsum > 1e-12) {
+        cx = sx / wsum;
+        cy = sy / wsum;
+      }
+
+      std::vector<int> cands = candidate_sites_near(cx, cy, k);
+      if (prev_site[static_cast<size_t>(i)] >= 0) cands.push_back(prev_site[static_cast<size_t>(i)]);
+      std::sort(cands.begin(), cands.end());
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+      edges[static_cast<size_t>(i)].reserve(cands.size());
+      for (int site : cands) {
+        const DspSite& s = dev.dsp_site(site);
+        double cost = 0.0;
+        for (const Neighbor& nb : neighbors[static_cast<size_t>(i)]) {
+          const int tj = target_idx[static_cast<size_t>(nb.cell)];
+          const double px = tj >= 0 ? tx[static_cast<size_t>(tj)] : pl.x(nb.cell);
+          const double py = tj >= 0 ? ty[static_cast<size_t>(tj)] : pl.y(nb.cell);
+          cost += nb.weight * ((s.x - px) * (s.x - px) + (s.y - py) * (s.y - py));
+        }
+        cost += angle_coeff[static_cast<size_t>(i)] * site_cos_angle(dev, site);
+        edges[static_cast<size_t>(i)].push_back(
+            {site, static_cast<int64_t>(std::llround(cost * opts.cost_scale))});
+      }
+    }
+    // Cascade penalty eta * (x_cp,j - x_cs,j+1)^2 linearized around the
+    // previous iterate: reward the site that continues the partner's run.
+    if (iter > 0) {
+      const int64_t bonus = static_cast<int64_t>(std::llround(opts.eta * opts.cost_scale));
+      for (const CascadePair& p : pairs) {
+        const int sp = prev_site[static_cast<size_t>(p.pred)];
+        const int ss = prev_site[static_cast<size_t>(p.succ)];
+        if (ss >= 0) {
+          for (auto& [site, cost] : edges[static_cast<size_t>(p.pred)])
+            cost += (site + 1 == ss) ? -bonus : bonus;
+        }
+        if (sp >= 0) {
+          for (auto& [site, cost] : edges[static_cast<size_t>(p.succ)])
+            cost += (site == sp + 1) ? -bonus : bonus;
+        }
+      }
+    }
+
+    // --- min-cost-flow transportation solve ---------------------------------
+    std::unordered_map<int, int> site_node;
+    MinCostFlow flow(2 + n);
+    const int src = 0;
+    const int snk = 1;
+    std::vector<std::vector<std::pair<int, int>>> arc_of(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) flow.add_edge(src, 2 + i, 1, 0);
+    for (int i = 0; i < n; ++i) {
+      for (const auto& [site, cost] : edges[static_cast<size_t>(i)]) {
+        auto [it, inserted] = site_node.emplace(site, 0);
+        if (inserted) {
+          it->second = flow.add_node();
+          flow.add_edge(it->second, snk, 1, 0);
+        }
+        const int arc = flow.add_edge(2 + i, it->second, 1, cost);
+        arc_of[static_cast<size_t>(i)].push_back({arc, site});
+      }
+    }
+    const MinCostFlow::Result mcf = flow.solve(src, snk, n);
+    if (!mcf.reached_desired) {
+      // Candidate sets too tight (Hall violation): widen and redo this
+      // iteration.
+      k = std::min(k * 2, dev.dsp_capacity());
+      LOG_DEBUG("assign", "iter %d infeasible with k; widening to %d", iter, k);
+      --iter;
+      continue;
+    }
+
+    // --- read out the assignment --------------------------------------------
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int chosen = -1;
+      for (const auto& [arc, site] : arc_of[static_cast<size_t>(i)]) {
+        if (flow.flow_on(arc) > 0) {
+          chosen = site;
+          break;
+        }
+      }
+      if (chosen != prev_site[static_cast<size_t>(i)]) changed = true;
+      prev_site[static_cast<size_t>(i)] = chosen;
+      const DspSite& s = dev.dsp_site(chosen);
+      tx[static_cast<size_t>(i)] = s.x;
+      ty[static_cast<size_t>(i)] = s.y;
+    }
+    result.iterations_run = iter + 1;
+    result.final_objective = static_cast<double>(mcf.cost) / opts.cost_scale;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    if (!seen_assignments.insert(assignment_hash()).second) {
+      result.converged = true;  // revisited state: the iteration is cycling
+      break;
+    }
+    // Early stop when the linearized objective plateaus (the assignment may
+    // keep swapping symmetric sites forever without improving).
+    const double rel_gain = (prev_objective - result.final_objective) /
+                            std::max(1.0, std::fabs(prev_objective));
+    stall = rel_gain < 1e-4 ? stall + 1 : 0;
+    prev_objective = result.final_objective;
+    if (stall >= 3) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.site = prev_site;
+  return result;
+}
+
+}  // namespace dsp

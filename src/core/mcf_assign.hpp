@@ -1,0 +1,48 @@
+// Datapath DSP assignment (paper Section IV-A).
+//
+// The 0-1 quadratic program (7) — quadratic wirelength between connected
+// components, the PS->PL datapath angle penalty (6) weighted by lambda, and
+// the relaxed cascade-adjacency penalty weighted by eta — is linearized
+// around the previous iterate (eq. (9), the TILA trick) and each iterate is
+// solved exactly as a min-cost flow whose total unimodularity guarantees an
+// integral assignment. The paper runs 50 iterations; we also early-stop
+// when the assignment reaches a fixed point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/dsp_graph.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+struct AssignOptions {
+  int iterations = 50;       // MCF linearization iterations (paper: 50)
+  double lambda = 100.0;     // datapath-angle penalty weight (paper: 100)
+  double eta = 8.0;          // cascade-adjacency penalty weight
+  int candidate_sites = 48;  // nearest candidate sites per DSP per iteration
+  double cost_scale = 64.0;  // double->int64 fixed-point scale
+};
+
+struct AssignResult {
+  std::vector<int> site;  // per target index; -1 only on infeasible devices
+  int iterations_run = 0;
+  bool converged = false;       // assignment reached a fixed point early
+  double final_objective = 0.0; // linearized objective of the last iterate
+};
+
+/// Assigns a site to every cell of `targets` (the datapath DSPs). Other
+/// cells' positions in `pl` act as fixed attractors; `graph` supplies the
+/// datapath edges for the angle penalty. `pl` is not modified.
+AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placement& pl,
+                             const DspGraph& graph, const std::vector<CellId>& targets,
+                             const AssignOptions& opts = {});
+
+/// The angle term of constraint (6): cos of the site's bearing measured at
+/// the PS corner (origin). Exposed for tests and the legalizer tie-breaks.
+double site_cos_angle(const Device& dev, int site);
+
+}  // namespace dsp

@@ -1,0 +1,65 @@
+#include "designs/benchmarks.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dsp {
+namespace {
+
+CnnGenConfig spec(const char* name, int dsps, int ctrl, int chain_len, int bram,
+                  int lutram, int lut, int ff, double freq, uint64_t seed) {
+  CnnGenConfig c;
+  c.name = name;
+  c.total_dsps = dsps;
+  c.control_dsps = ctrl;
+  c.chain_len = chain_len;
+  c.num_bram = bram;
+  c.num_lutram = lutram;
+  c.num_lut = lut;
+  c.num_ff = ff;
+  c.target_freq_mhz = freq;
+  c.seed = seed;
+  return c;
+}
+
+std::vector<BenchmarkSpec> build_suite() {
+  // Columns follow Table I: #LUT, #LUTRAM, #FF, #BRAM, #DSP, freq(MHz).
+  std::vector<BenchmarkSpec> v;
+  v.push_back({"iSmartDNN", spec("iSmartDNN", 197, 15, 9, 122, 2919, 53503, 55767, 130.0, 11), 130.0});
+  v.push_back({"SkyNet", spec("SkyNet", 346, 16, 8, 192, 2748, 43146, 51410, 150.0, 12), 150.0});
+  v.push_back({"SkrSkr-1", spec("SkrSkr-1", 642, 20, 7, 196, 3611, 35743, 53887, 195.0, 13), 195.0});
+  v.push_back({"SkrSkr-2", spec("SkrSkr-2", 1180, 24, 9, 196, 3815, 70558, 64007, 175.0, 14), 175.0});
+  v.push_back({"SkrSkr-3", spec("SkrSkr-3", 1431, 27, 9, 196, 3791, 70382, 67257, 175.0, 15), 175.0});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& benchmark_suite() {
+  static const std::vector<BenchmarkSpec> suite = build_suite();
+  return suite;
+}
+
+const BenchmarkSpec& benchmark_by_name(const std::string& name) {
+  for (const auto& b : benchmark_suite())
+    if (b.name == name) return b;
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+Netlist make_benchmark(const BenchmarkSpec& spec_in, const Device& dev, double scale) {
+  CnnGenConfig cfg = spec_in.config;
+  cfg.scale = scale;
+  cfg.ps_top_ports = dev.ps().top_ports;
+  cfg.ps_right_ports = dev.ps().right_ports;
+  return generate_cnn_accelerator(cfg);
+}
+
+double bench_scale_from_env(double fallback) {
+  if (const char* env = std::getenv("DSPLACER_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace dsp

@@ -1,0 +1,36 @@
+// The five evaluation benchmarks of the paper (Table I), regenerated as
+// synthetic CNN accelerators with matching resource budgets and target
+// frequencies. `scale` shrinks design and device proportionally so the
+// whole Table II pipeline runs in minutes on a laptop (DSPLACER_SCALE=1
+// reproduces paper-size instances).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "designs/cnn_gen.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+struct BenchmarkSpec {
+  std::string name;
+  CnnGenConfig config;     // unscaled targets (Table I row)
+  double target_freq_mhz;  // the frequency the paper pushed each design to
+};
+
+/// All five Table I benchmarks: iSmartDNN, SkyNet, SkrSkr-1/2/3.
+const std::vector<BenchmarkSpec>& benchmark_suite();
+
+/// Spec by name; throws std::out_of_range for unknown names.
+const BenchmarkSpec& benchmark_by_name(const std::string& name);
+
+/// Generates the netlist for `spec` at `scale`, pinning PS ports to the
+/// geometry of `dev`.
+Netlist make_benchmark(const BenchmarkSpec& spec, const Device& dev, double scale = 1.0);
+
+/// Reads DSPLACER_SCALE from the environment (default `fallback`).
+double bench_scale_from_env(double fallback = 0.25);
+
+}  // namespace dsp

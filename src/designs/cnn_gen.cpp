@@ -1,0 +1,410 @@
+#include "designs/cnn_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+// Tracks remaining resource budgets; creation helpers decrement them but
+// never refuse structural cells (targets are met by sizing the filler).
+struct Budget {
+  int lut = 0;
+  int ff = 0;
+  int lutram = 0;
+
+  int take_lut() { return --lut; }
+  int take_ff() { return --ff; }
+  int take_lutram() { return --lutram; }
+};
+
+struct Gen {
+  const CnnGenConfig& cfg;
+  Netlist nl;
+  Rng rng;
+  Budget budget;
+  int name_counter = 0;
+
+  explicit Gen(const CnnGenConfig& c) : cfg(c), nl(c.name), rng(c.seed) {}
+
+  std::string fresh(const char* prefix) {
+    return std::string(prefix) + "_" + std::to_string(name_counter++);
+  }
+
+  CellId lut() {
+    budget.take_lut();
+    return nl.add_cell(fresh("lut"), CellType::kLut);
+  }
+  CellId ff() {
+    budget.take_ff();
+    return nl.add_cell(fresh("ff"), CellType::kFlipFlop);
+  }
+  CellId lutram() {
+    budget.take_lutram();
+    return nl.add_cell(fresh("lram"), CellType::kLutRam);
+  }
+  CellId carry() { return nl.add_cell(fresh("carry"), CellType::kCarry); }
+  CellId bram() { return nl.add_cell(fresh("bram"), CellType::kBram); }
+  CellId dsp_cell(DspRole role) {
+    const CellId c = nl.add_cell(fresh("dsp"), CellType::kDsp);
+    nl.set_dsp_role(c, role);
+    return c;
+  }
+
+  NetId wire(CellId driver, std::vector<CellId> sinks) {
+    return nl.add_net(fresh("n"), driver, std::move(sinks));
+  }
+};
+
+// Builds a fanout tree of LUT+pipeline-FF stages from `roots` down to at
+// least `num_leaves` leaf drivers; returns exactly num_leaves of them
+// (surplus leaves stay as unloaded pipeline registers, which real conv
+// engines also have).
+std::vector<CellId> build_distribution_tree(Gen& g, const std::vector<CellId>& roots,
+                                            int num_leaves, int fanout) {
+  std::vector<CellId> level = roots;
+  while (static_cast<int>(level.size()) < num_leaves) {
+    std::vector<CellId> next;
+    next.reserve(level.size() * static_cast<size_t>(fanout));
+    for (CellId src : level) {
+      std::vector<CellId> sinks;
+      for (int k = 0; k < fanout && static_cast<int>(next.size()) <
+                                        num_leaves + fanout;
+           ++k) {
+        const CellId l = g.lut();
+        const CellId f = g.ff();
+        g.wire(l, {f});
+        sinks.push_back(l);
+        next.push_back(f);
+      }
+      if (sinks.empty()) {  // enough leaves already: keep src loaded anyway
+        const CellId l = g.lut();
+        sinks.push_back(l);
+        next.push_back(l);
+      }
+      g.wire(src, std::move(sinks));
+    }
+    level = std::move(next);
+  }
+  level.resize(static_cast<size_t>(num_leaves));
+  return level;
+}
+
+// Reduction tree from `leaves` up to a single driver.
+CellId build_collection_tree(Gen& g, std::vector<CellId> leaves, int fanout) {
+  while (leaves.size() > 1) {
+    std::vector<CellId> next;
+    for (size_t i = 0; i < leaves.size(); i += static_cast<size_t>(fanout)) {
+      const CellId sum = g.lut();
+      const CellId pipe = g.ff();
+      for (size_t k = i; k < std::min(leaves.size(), i + static_cast<size_t>(fanout)); ++k)
+        g.wire(leaves[k], {sum});
+      g.wire(sum, {pipe});
+      next.push_back(pipe);
+    }
+    leaves = std::move(next);
+  }
+  return leaves.front();
+}
+
+}  // namespace
+
+Netlist generate_cnn_accelerator(const CnnGenConfig& cfg) {
+  Gen g(cfg);
+  const double s = std::clamp(cfg.scale, 0.02, 1.0);
+  auto scaled = [&](int v) { return std::max(1, static_cast<int>(std::lround(v * s))); };
+
+  const int total_dsps = scaled(cfg.total_dsps);
+  const int control_dsps = std::max(2, static_cast<int>(std::lround(cfg.control_dsps * s)));
+  const int datapath_dsps = std::max(cfg.chain_len, total_dsps - control_dsps);
+  const int num_bram = std::max(4, scaled(cfg.num_bram));
+  g.budget.lut = scaled(cfg.num_lut);
+  g.budget.ff = scaled(cfg.num_ff);
+  g.budget.lutram = scaled(cfg.num_lutram);
+
+  // ---- PS ports (fixed cells at the paper's Fig. 5(a) geometry) ----------
+  std::vector<CellId> ps_in, ps_out;
+  for (size_t i = 0; i < cfg.ps_top_ports.size(); ++i) {
+    const CellId c = g.nl.add_cell("ps_in_" + std::to_string(i), CellType::kPsPort);
+    g.nl.set_fixed(c, cfg.ps_top_ports[i].first, cfg.ps_top_ports[i].second);
+    ps_in.push_back(c);
+  }
+  for (size_t i = 0; i < cfg.ps_right_ports.size(); ++i) {
+    const CellId c = g.nl.add_cell("ps_out_" + std::to_string(i), CellType::kPsPort);
+    g.nl.set_fixed(c, cfg.ps_right_ports[i].first, cfg.ps_right_ports[i].second);
+    ps_out.push_back(c);
+  }
+  if (ps_in.empty()) {  // device-less configs still need dataflow anchors
+    ps_in.push_back(g.nl.add_cell("ps_in_0", CellType::kPsPort));
+    ps_out.push_back(g.nl.add_cell("ps_out_0", CellType::kPsPort));
+  }
+
+  // ---- memory partition ----------------------------------------------------
+  const int input_brams = std::max(1, num_bram / 4);
+  const int output_brams = std::max(1, num_bram / 10);
+  const int weight_brams = std::max(1, num_bram - input_brams - output_brams);
+  std::vector<CellId> in_bufs, w_bufs, out_bufs;
+  for (int i = 0; i < input_brams; ++i) in_bufs.push_back(g.bram());
+  for (int i = 0; i < weight_brams; ++i) w_bufs.push_back(g.bram());
+  for (int i = 0; i < output_brams; ++i) out_bufs.push_back(g.bram());
+
+  // ---- PS -> input buffers --------------------------------------------------
+  // Each PS input port drives a register+LUT front end that fans out to a
+  // slice of the input buffers.
+  for (size_t p = 0; p < ps_in.size(); ++p) {
+    const CellId f = g.ff();
+    const CellId l = g.lut();
+    g.wire(ps_in[p], {f});
+    g.wire(f, {l});
+    std::vector<CellId> slice;
+    for (size_t b = p; b < in_bufs.size(); b += ps_in.size()) slice.push_back(in_bufs[b]);
+    if (slice.empty()) slice.push_back(in_bufs[p % in_bufs.size()]);
+    g.wire(l, std::move(slice));
+  }
+
+  // ---- control FSM counters (generated early: PEs take enables from them) ----
+  std::vector<CellId> counter_bits_forward;
+  {
+    const int counters = 3;
+    for (int k = 0; k < counters; ++k) {
+      std::vector<CellId> bits;
+      for (int b = 0; b < 8; ++b) {
+        const CellId f = g.ff();
+        const CellId l = g.lut();
+        g.wire(f, {l});
+        if (!bits.empty()) g.wire(bits.back(), {l});  // ripple
+        bits.push_back(f);
+        counter_bits_forward.push_back(f);
+        g.wire(l, {f});  // feedback: LUT recomputes the bit
+      }
+    }
+  }
+
+  // ---- PE chains -------------------------------------------------------------
+  const int num_chains = (datapath_dsps + cfg.chain_len - 1) / cfg.chain_len;
+  std::vector<std::vector<CellId>> chains;
+  int remaining = datapath_dsps;
+  for (int c = 0; c < num_chains; ++c) {
+    const int len = std::min(cfg.chain_len, remaining);
+    remaining -= len;
+    std::vector<CellId> chain;
+    for (int k = 0; k < len; ++k) chain.push_back(g.dsp_cell(DspRole::kDatapath));
+    if (chain.size() > 1) g.nl.add_cascade_chain(chain);
+    // Cascade nets pred -> succ (the PCOUT->PCIN connection). Most taps are
+    // also registered 1-4 times for fanout (P-port pipeline registers), so
+    // datapath DSPs drive FF fans just like address generators do — local
+    // neighborhoods alone cannot tell the classes apart.
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      std::vector<CellId> sinks = {chain[k + 1]};
+      const int taps = static_cast<int>(g.rng.index(4));
+      for (int t = 0; t < taps; ++t) sinks.push_back(g.ff());
+      g.wire(chain[k], std::move(sinks));
+    }
+    // Clock-enable / clear lines from the FSM into the PE: datapath DSPs
+    // also see control-fabric inputs, like any real conv engine.
+    for (CellId d : chain)
+      if (g.rng.uniform() < 0.30 && !counter_bits_forward.empty())
+        g.wire(counter_bits_forward[g.rng.index(counter_bits_forward.size())], {d});
+    // A slice of the PEs accumulate partial sums in place (stride > 1
+    // convolutions): the tail DSP gets an FF feedback loop, so "has a
+    // feedback loop" does NOT trivially separate datapath from control.
+    if (g.rng.uniform() < 0.18) {
+      const CellId acc_ff = g.ff();
+      g.wire(chain.back(), {acc_ff});
+      g.wire(acc_ff, {chain.back()});
+    }
+    chains.push_back(std::move(chain));
+  }
+
+  // ---- distribution: input buffers -> chain heads ----------------------------
+  std::vector<CellId> dist_leaves =
+      build_distribution_tree(g, in_bufs, num_chains, cfg.tree_fanout);
+  for (int c = 0; c < num_chains; ++c) {
+    const CellId stage = g.ff();
+    g.wire(dist_leaves[static_cast<size_t>(c)], {stage});
+    g.wire(stage, {chains[static_cast<size_t>(c)].front()});
+    // Some PEs tap a line buffer directly (stride-1 window reuse), giving
+    // datapath heads the BRAM affinity control DSPs also show.
+    if (g.rng.uniform() < 0.22)
+      g.wire(in_bufs[static_cast<size_t>(c) % in_bufs.size()],
+             {chains[static_cast<size_t>(c)].front()});
+  }
+
+  // ---- weights: weight BRAM -> LUTRAM FIFO -> per-DSP weight registers -------
+  // A slice of the LUTRAM budget forms the FIFOs; the rest is consumed by the
+  // filler below.
+  int fifo_lutram = std::max(num_chains, g.budget.lutram / 2);
+  size_t wb = 0;
+  for (int c = 0; c < num_chains; ++c) {
+    const CellId fifo = g.lutram();
+    --fifo_lutram;
+    g.wire(w_bufs[wb % w_bufs.size()], {fifo});
+    ++wb;
+    std::vector<CellId> weight_regs;
+    for (CellId d : chains[static_cast<size_t>(c)]) {
+      const CellId wr = g.ff();
+      weight_regs.push_back(wr);
+      g.wire(wr, {d});
+    }
+    g.wire(fifo, std::move(weight_regs));
+  }
+
+  // ---- PU-internal dataflow (paper Fig. 1(b)): PEs of one processing unit
+  // pass partial sums tail -> next chain head through a fabric adder, and
+  // forward activations head -> next head through a pipeline register. This
+  // gives the datapath DSP graph its ladder topology — the structure the
+  // PS->PL angle constraint (6) orders during placement.
+  for (int c = 0; c + 1 < num_chains; ++c) {
+    if ((c + 1) % cfg.pes_per_pu == 0) continue;  // PU boundary
+    const CellId psum = g.carry();
+    g.wire(chains[static_cast<size_t>(c)].back(), {psum});
+    g.wire(psum, {chains[static_cast<size_t>(c + 1)].front()});
+    const CellId act = g.ff();
+    g.wire(chains[static_cast<size_t>(c)].front(), {act});
+    g.wire(act, {chains[static_cast<size_t>(c + 1)].front()});
+  }
+
+  // ---- accumulation: PU-final chain tail -> carry adder -> PU output reg -----
+  std::vector<CellId> pe_outputs;
+  for (int c = 0; c < num_chains; ++c) {
+    const bool pu_final = ((c + 1) % cfg.pes_per_pu == 0) || c + 1 == num_chains;
+    if (!pu_final) continue;
+    auto& chain = chains[static_cast<size_t>(c)];
+    const CellId c1 = g.carry();
+    const CellId c2 = g.carry();
+    const CellId sum = g.lut();
+    const CellId out = g.ff();
+    g.wire(chain.back(), {c1});
+    g.wire(c1, {c2});
+    g.wire(c2, {sum});
+    g.wire(sum, {out});
+    pe_outputs.push_back(out);
+  }
+
+  // ---- collection tree -> output buffers -> PS -------------------------------
+  const CellId collected = build_collection_tree(g, pe_outputs, cfg.tree_fanout);
+  g.wire(collected, {out_bufs});
+  for (size_t b = 0; b < out_bufs.size(); ++b) {
+    const CellId l = g.lut();
+    const CellId f = g.ff();
+    g.wire(out_bufs[b], {l});
+    g.wire(l, {f});
+    g.wire(f, {ps_out[b % ps_out.size()]});
+  }
+
+  // ---- control DSP address generators -----------------------------------------
+  const std::vector<CellId>& counter_bits = counter_bits_forward;
+  // Control DSPs (address generators). Roughly a third arrive as cascaded
+  // PAIRS (two-stage address arithmetic macros), so "has a DSP neighbour /
+  // sits in a cascade macro" does not separate the classes locally either —
+  // the classifier has to use the global connectivity signal, exactly the
+  // regime the paper's Fig. 7(a) compares PADE's local features against.
+  std::vector<CellId> control_list;
+  while (static_cast<int>(control_list.size()) < control_dsps) {
+    const bool make_pair =
+        g.rng.uniform() < 0.35 &&
+        static_cast<int>(control_list.size()) + 2 <= control_dsps;
+    std::vector<CellId> unit;
+    unit.push_back(g.dsp_cell(DspRole::kControl));
+    if (make_pair) {
+      unit.push_back(g.dsp_cell(DspRole::kControl));
+      g.nl.add_cascade_chain(unit);
+      g.wire(unit[0], {unit[1]});
+    }
+    for (CellId d : unit) control_list.push_back(d);
+    const CellId d = unit.front();
+    const CellId tail = unit.back();
+    // Inputs from the FSM, and often an offset from the header-parsing LUT
+    // tree (mirrors the datapath heads' distribution-tree inputs).
+    g.wire(counter_bits[g.rng.index(counter_bits.size())], {d});
+    g.wire(counter_bits[g.rng.index(counter_bits.size())], {d});
+    if (g.rng.uniform() < 0.5 && !dist_leaves.empty())
+      g.wire(dist_leaves[g.rng.index(dist_leaves.size())], {d});
+    // Address post-adder (CARRY + LUT), mirroring the PE accumulators.
+    if (g.rng.uniform() < 0.5) {
+      const CellId ca = g.carry();
+      const CellId cl = g.lut();
+      g.wire(tail, {ca});
+      g.wire(ca, {cl});
+    }
+    // Address fanout: registers feeding BRAM address ports (the
+    // storage-heavy signature of control DSPs). Counts vary so degree alone
+    // is not a giveaway.
+    std::vector<CellId> addr_regs;
+    const int num_addr = 1 + static_cast<int>(g.rng.index(3));
+    for (int a = 0; a < num_addr; ++a) addr_regs.push_back(g.ff());
+    g.wire(tail, addr_regs);
+    for (CellId ar : addr_regs) {
+      std::vector<CellId> mem_sinks;
+      const int fan = 1 + static_cast<int>(g.rng.index(4));
+      for (int m = 0; m < fan; ++m) {
+        const size_t pick = g.rng.index(in_bufs.size() + w_bufs.size());
+        mem_sinks.push_back(pick < in_bufs.size() ? in_bufs[pick]
+                                                  : w_bufs[pick - in_bufs.size()]);
+      }
+      // Mode/select lines into the PEs: control DSPs also have DSPs in
+      // their 2-hop neighbourhood, like datapath DSPs do.
+      if (g.rng.uniform() < 0.4 && !chains.empty())
+        mem_sinks.push_back(chains[g.rng.index(chains.size())].front());
+      g.wire(ar, std::move(mem_sinks));
+    }
+    // Feedback: DSP -> FF -> LUT -> DSP (control loop). A fraction of
+    // control DSPs skip the loop (feed-forward address sweeps).
+    if (!(g.rng.uniform() < 0.25)) {
+      const CellId fb_ff = g.ff();
+      const CellId fb_lut = g.lut();
+      g.wire(tail, {fb_ff});
+      g.wire(fb_ff, {fb_lut});
+      g.wire(fb_lut, {d});
+    }
+  }
+
+  // ---- LUTRAM filler FIFOs ----------------------------------------------------
+  // Remaining LUTRAM becomes deeper weight FIFOs chained off the existing
+  // memory path (keeps the graph connected and storage near weights).
+  size_t chain_idx = 0;
+  while (g.budget.lutram > 0) {
+    const CellId fifo = g.lutram();
+    const CellId drain = g.ff();
+    g.wire(w_bufs[chain_idx % w_bufs.size()], {fifo});
+    g.wire(fifo, {drain});
+    g.wire(drain, {chains[chain_idx % chains.size()].front()});
+    ++chain_idx;
+  }
+
+  // ---- LUT/FF filler: pipelined windowing logic per PE -------------------------
+  // Long serpentine LUT->FF pipelines rooted at the distribution leaves;
+  // this is where the bulk of a real conv kernel's windowing/shift logic
+  // lives. Serpentines are chains of 2-pin nets, so they are local by
+  // construction (like real shift registers) and register every other
+  // stage, keeping combinational paths to one LUT per wire hop.
+  size_t attach = 0;
+  constexpr int kSerpentineStages = 48;
+  while (g.budget.lut > 0 || g.budget.ff > 0) {
+    CellId prev = dist_leaves[attach % dist_leaves.size()];
+    for (int st = 0; st < kSerpentineStages && (g.budget.lut > 0 || g.budget.ff > 0);
+         ++st) {
+      if (g.budget.lut > 0) {
+        const CellId l = g.lut();
+        g.wire(prev, {l});
+        prev = l;
+      }
+      if (g.budget.ff > 0) {
+        const CellId f = g.ff();
+        g.wire(prev, {f});
+        prev = f;
+      }
+    }
+    ++attach;  // tail FF stays unloaded: a pipeline endpoint
+  }
+
+  LOG_DEBUG("cnn_gen", "%s: %d cells %d nets %d chains", cfg.name.c_str(),
+            g.nl.num_cells(), g.nl.num_nets(), g.nl.num_chains());
+  return std::move(g.nl);
+}
+
+}  // namespace dsp

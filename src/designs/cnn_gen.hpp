@@ -1,0 +1,55 @@
+// Synthetic CNN-accelerator netlist generator.
+//
+// Stands in for the post-synthesis DAC-SDC benchmarks (iSmartDNN, SkyNet,
+// SkrSkr) the paper evaluates on. The generator reproduces the structural
+// properties DSPlacer exploits (paper Fig. 1(b)):
+//   * processing units built from PE arrays, each PE a cascade chain of
+//     datapath DSPs (DSP48 MACs chained PCOUT->PCIN);
+//   * an input dataflow PS -> input BRAM buffers -> distribution LUT trees
+//     -> PE chains -> accumulation trees -> output buffer -> PS;
+//   * control logic: FSM counters with feedback loops and *control DSPs*
+//     (address generators) hub-connected to many FFs and BRAMs — giving
+//     them the high betweenness/closeness and storage affinity the paper's
+//     classifier keys on;
+//   * LUTRAM FIFOs and pipeline-register filler calibrated so total
+//     resource counts match the paper's Table I.
+// Ground-truth datapath/control roles fall out of construction, playing
+// the role of the paper's labeled training data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+struct CnnGenConfig {
+  std::string name = "cnn";
+  // Resource targets (post-synthesis counts, Table I).
+  int total_dsps = 197;
+  int control_dsps = 15;
+  int chain_len = 9;       // DSPs per PE cascade chain
+  int num_bram = 122;
+  int num_lutram = 2919;
+  int num_lut = 53503;
+  int num_ff = 55767;
+  double target_freq_mhz = 130.0;
+  // Structure knobs.
+  int pes_per_pu = 4;      // chains grouped per processing unit
+  int tree_fanout = 6;     // distribution / collection tree arity
+  uint64_t seed = 2024;
+  // Proportional shrink (resource targets scaled by this factor).
+  double scale = 1.0;
+  // PS port geometry, copied from the target device (fixed cells).
+  std::vector<std::pair<double, double>> ps_top_ports;
+  std::vector<std::pair<double, double>> ps_right_ports;
+};
+
+/// Generates the netlist. Counts match the config targets within the
+/// granularity of the structural blocks (a few cells).
+Netlist generate_cnn_accelerator(const CnnGenConfig& cfg);
+
+}  // namespace dsp

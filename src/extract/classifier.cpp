@@ -1,0 +1,198 @@
+#include "extract/classifier.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace dsp {
+
+DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts) {
+  DesignGraphData d;
+  d.name = nl.name();
+  d.graph = nl.to_digraph();
+  d.gcn_features = extract_node_features(nl, d.graph, opts);
+  d.local_features = extract_local_features(nl, d.graph);
+  d.labels.assign(static_cast<size_t>(nl.num_cells()), 0);
+  d.dsp_mask.assign(static_cast<size_t>(nl.num_cells()), 0);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    if (cell.type == CellType::kDsp) {
+      d.dsp_mask[static_cast<size_t>(c)] = 1;
+      d.labels[static_cast<size_t>(c)] = cell.role == DspRole::kDatapath ? 1 : 0;
+    }
+  }
+  return d;
+}
+
+DesignGraphData merge_designs(const std::vector<const DesignGraphData*>& designs) {
+  DesignGraphData out;
+  out.name = "merged";
+  int total_nodes = 0;
+  for (const auto* d : designs) total_nodes += d->graph.num_nodes();
+  out.graph = Digraph(total_nodes);
+  out.gcn_features = Matrix(total_nodes, kNumNodeFeatures);
+  out.local_features = Matrix(total_nodes, num_local_features());
+  out.labels.assign(static_cast<size_t>(total_nodes), 0);
+  out.dsp_mask.assign(static_cast<size_t>(total_nodes), 0);
+
+  int offset = 0;
+  for (const auto* d : designs) {
+    const int n = d->graph.num_nodes();
+    for (int u = 0; u < n; ++u)
+      for (int v : d->graph.out(u)) out.graph.add_edge(offset + u, offset + v);
+    for (int u = 0; u < n; ++u) {
+      for (int j = 0; j < d->gcn_features.cols(); ++j)
+        out.gcn_features.at(offset + u, j) = d->gcn_features.at(u, j);
+      for (int j = 0; j < d->local_features.cols(); ++j)
+        out.local_features.at(offset + u, j) = d->local_features.at(u, j);
+      out.labels[static_cast<size_t>(offset + u)] = d->labels[static_cast<size_t>(u)];
+      out.dsp_mask[static_cast<size_t>(offset + u)] = d->dsp_mask[static_cast<size_t>(u)];
+    }
+    offset += n;
+  }
+  return out;
+}
+
+DesignGraphData restrict_to_dsp_neighborhood(const DesignGraphData& d, int hops,
+                                             std::vector<int>* orig_index) {
+  const int n = d.graph.num_nodes();
+  // Multi-source BFS from every DSP node, undirected, depth-limited.
+  std::vector<int> depth(static_cast<size_t>(n), -1);
+  std::vector<int> frontier;
+  for (int v = 0; v < n; ++v) {
+    if (d.dsp_mask[static_cast<size_t>(v)]) {
+      depth[static_cast<size_t>(v)] = 0;
+      frontier.push_back(v);
+    }
+  }
+  for (int h = 0; h < hops; ++h) {
+    std::vector<int> next;
+    for (int u : frontier) {
+      for (int v : d.graph.undirected_neighbors(u)) {
+        if (depth[static_cast<size_t>(v)] < 0) {
+          depth[static_cast<size_t>(v)] = h + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::vector<int> keep;
+  std::vector<int> remap(static_cast<size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    if (depth[static_cast<size_t>(v)] >= 0) {
+      remap[static_cast<size_t>(v)] = static_cast<int>(keep.size());
+      keep.push_back(v);
+    }
+  }
+
+  DesignGraphData out;
+  out.name = d.name + "#dsp-hood";
+  const int m = static_cast<int>(keep.size());
+  out.graph = Digraph(m);
+  for (int i = 0; i < m; ++i)
+    for (int v : d.graph.out(keep[static_cast<size_t>(i)]))
+      if (remap[static_cast<size_t>(v)] >= 0) out.graph.add_edge(i, remap[static_cast<size_t>(v)]);
+  out.gcn_features = Matrix(m, d.gcn_features.cols());
+  out.local_features = Matrix(m, d.local_features.cols());
+  out.labels.assign(static_cast<size_t>(m), 0);
+  out.dsp_mask.assign(static_cast<size_t>(m), 0);
+  for (int i = 0; i < m; ++i) {
+    const int v = keep[static_cast<size_t>(i)];
+    for (int j = 0; j < d.gcn_features.cols(); ++j)
+      out.gcn_features.at(i, j) = d.gcn_features.at(v, j);
+    for (int j = 0; j < d.local_features.cols(); ++j)
+      out.local_features.at(i, j) = d.local_features.at(v, j);
+    out.labels[static_cast<size_t>(i)] = d.labels[static_cast<size_t>(v)];
+    out.dsp_mask[static_cast<size_t>(i)] = d.dsp_mask[static_cast<size_t>(v)];
+  }
+  if (orig_index != nullptr) *orig_index = std::move(keep);
+  return out;
+}
+
+std::vector<LeaveOneOutResult> leave_one_out(const std::vector<DesignGraphData>& designs,
+                                             const GcnConfig& gcn_cfg,
+                                             const SvmConfig& svm_cfg) {
+  std::vector<LeaveOneOutResult> results;
+  for (size_t test_idx = 0; test_idx < designs.size(); ++test_idx) {
+    std::vector<const DesignGraphData*> all;
+    for (size_t i = 0; i < designs.size(); ++i)
+      if (i != test_idx) all.push_back(&designs[i]);
+    all.push_back(&designs[test_idx]);  // test design appended LAST
+    const DesignGraphData merged = merge_designs(all);
+
+    // Masks: train rows = DSPs of the first |designs|-1 blocks; test rows =
+    // DSPs of the final block. The GCN sees all edges (transductive, as in
+    // the paper) but never trains on test labels.
+    const int test_nodes = designs[test_idx].graph.num_nodes();
+    const int total = merged.graph.num_nodes();
+    const int test_begin = total - test_nodes;
+    std::vector<char> train_mask(static_cast<size_t>(total), 0);
+    std::vector<char> test_mask(static_cast<size_t>(total), 0);
+    for (int v = 0; v < total; ++v) {
+      if (!merged.dsp_mask[static_cast<size_t>(v)]) continue;
+      (v < test_begin ? train_mask : test_mask)[static_cast<size_t>(v)] = 1;
+    }
+
+    LeaveOneOutResult r;
+    r.test_design = designs[test_idx].name;
+
+    // GCN on the exact 2-hop receptive field of the labeled (DSP) nodes.
+    std::vector<int> orig;
+    const DesignGraphData sub = restrict_to_dsp_neighborhood(merged, 2, &orig);
+    std::vector<char> sub_train(orig.size(), 0), sub_test(orig.size(), 0);
+    for (size_t i = 0; i < orig.size(); ++i) {
+      sub_train[i] = train_mask[static_cast<size_t>(orig[i])];
+      sub_test[i] = test_mask[static_cast<size_t>(orig[i])];
+    }
+    const CsrMatrix adj = CsrMatrix::normalized_adjacency(sub.graph);
+    GcnClassifier gcn(kNumNodeFeatures, gcn_cfg);
+    r.curve = gcn.fit(adj, sub.gcn_features, sub.labels, sub_train, sub_test);
+    const Matrix logits = gcn.forward(adj, sub.gcn_features, /*training=*/false);
+    r.gcn_accuracy = GcnClassifier::accuracy(logits, sub.labels, sub_test);
+
+    LinearSvm svm(svm_cfg);
+    svm.fit(merged.local_features, merged.labels, train_mask);
+    r.svm_accuracy = svm.accuracy(merged.local_features, merged.labels, test_mask);
+
+    LOG_INFO("classifier", "LOO %s: GCN %.3f SVM %.3f", r.test_design.c_str(),
+             r.gcn_accuracy, r.svm_accuracy);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<char> predict_datapath_dsps(const std::vector<DesignGraphData>& train,
+                                        const DesignGraphData& target,
+                                        const GcnConfig& gcn_cfg) {
+  std::vector<const DesignGraphData*> all;
+  for (const auto& d : train) all.push_back(&d);
+  all.push_back(&target);
+  const DesignGraphData merged = merge_designs(all);
+
+  const int total = merged.graph.num_nodes();
+  const int target_begin = total - target.graph.num_nodes();
+
+  std::vector<int> orig;
+  const DesignGraphData sub = restrict_to_dsp_neighborhood(merged, 2, &orig);
+  std::vector<char> sub_train(orig.size(), 0);
+  for (size_t i = 0; i < orig.size(); ++i)
+    sub_train[i] = orig[i] < target_begin && merged.dsp_mask[static_cast<size_t>(orig[i])];
+  const std::vector<char> no_test(orig.size(), 0);
+
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(sub.graph);
+  GcnClassifier gcn(kNumNodeFeatures, gcn_cfg);
+  gcn.fit(adj, sub.gcn_features, sub.labels, sub_train, no_test);
+  const std::vector<int> pred = gcn.predict(adj, sub.gcn_features);
+
+  std::vector<char> is_datapath(static_cast<size_t>(target.graph.num_nodes()), 0);
+  for (size_t i = 0; i < orig.size(); ++i) {
+    const int v = orig[i];
+    if (v >= target_begin && merged.dsp_mask[static_cast<size_t>(v)])
+      is_datapath[static_cast<size_t>(v - target_begin)] = pred[i] == 1;
+  }
+  return is_datapath;
+}
+
+}  // namespace dsp

@@ -1,0 +1,62 @@
+// Datapath-DSP classification pipeline: glues feature extraction, the GCN,
+// and the PADE-SVM baseline together, including the paper's leave-one-out
+// evaluation protocol (train on four benchmarks, test on the fifth) behind
+// Fig. 7(a)/(b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "extract/features.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/gcn.hpp"
+#include "nn/svm.hpp"
+
+namespace dsp {
+
+/// Everything the classifiers need about one design.
+struct DesignGraphData {
+  std::string name;
+  Digraph graph;
+  Matrix gcn_features;     // global centrality features (kNumNodeFeatures)
+  Matrix local_features;   // PADE-style local features
+  std::vector<int> labels; // 1 = datapath, 0 = control (valid at DSP rows)
+  std::vector<char> dsp_mask;  // true at DSP cells
+};
+
+DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts = {});
+
+/// Induced subgraph on all nodes within `hops` (undirected) of a DSP node,
+/// with features/labels/masks selected accordingly. With a 2-layer GCN the
+/// receptive field of a DSP logit is its 2-hop neighborhood, so training on
+/// this subgraph is equivalent up to boundary-degree normalization while
+/// being several times smaller. `orig_index[i]` maps reduced row i back to
+/// the input's row.
+DesignGraphData restrict_to_dsp_neighborhood(const DesignGraphData& d, int hops,
+                                             std::vector<int>* orig_index);
+
+/// Block-diagonal union of several designs (graphs disjoint, features and
+/// masks concatenated) so one GCN trains jointly on multiple netlists.
+DesignGraphData merge_designs(const std::vector<const DesignGraphData*>& designs);
+
+struct LeaveOneOutResult {
+  std::string test_design;
+  double gcn_accuracy = 0.0;
+  double svm_accuracy = 0.0;
+  std::vector<EpochMetrics> curve;  // GCN train/test accuracy per epoch
+};
+
+/// Paper protocol: for each design, train GCN + SVM on the other four and
+/// test on it. `gcn_cfg.epochs` controls curve length.
+std::vector<LeaveOneOutResult> leave_one_out(const std::vector<DesignGraphData>& designs,
+                                             const GcnConfig& gcn_cfg = {},
+                                             const SvmConfig& svm_cfg = {});
+
+/// Trains a GCN on `train` designs and predicts datapath (true) / control
+/// (false) per DSP cell of `target`. The production entry point used by the
+/// DSPlacer flow when ground truth is withheld.
+std::vector<char> predict_datapath_dsps(const std::vector<DesignGraphData>& train,
+                                        const DesignGraphData& target,
+                                        const GcnConfig& gcn_cfg = {});
+
+}  // namespace dsp

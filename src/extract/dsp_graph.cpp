@@ -1,0 +1,106 @@
+#include "extract/dsp_graph.hpp"
+
+#include <algorithm>
+
+#include "graph/traversal.hpp"
+
+namespace dsp {
+
+int DspGraph::local_index(CellId c) const {
+  const auto it = std::find(dsps.begin(), dsps.end(), c);
+  return it == dsps.end() ? -1 : static_cast<int>(it - dsps.begin());
+}
+
+std::vector<double> DspGraph::mean_dsp_distance() const {
+  std::vector<double> sum(static_cast<size_t>(num_nodes()), 0.0);
+  std::vector<int> cnt(static_cast<size_t>(num_nodes()), 0);
+  for (const auto& e : edges) {
+    sum[static_cast<size_t>(e.from)] += e.distance;
+    ++cnt[static_cast<size_t>(e.from)];
+    sum[static_cast<size_t>(e.to)] += e.distance;
+    ++cnt[static_cast<size_t>(e.to)];
+  }
+  std::vector<double> mean(static_cast<size_t>(num_nodes()), 0.0);
+  for (int i = 0; i < num_nodes(); ++i)
+    if (cnt[static_cast<size_t>(i)] > 0)
+      mean[static_cast<size_t>(i)] = sum[static_cast<size_t>(i)] / cnt[static_cast<size_t>(i)];
+  return mean;
+}
+
+DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOptions& opts) {
+  DspGraph out;
+  out.dsps = nl.cells_of_type(CellType::kDsp);
+  std::vector<int> local(static_cast<size_t>(nl.num_cells()), -1);
+  for (size_t i = 0; i < out.dsps.size(); ++i)
+    local[static_cast<size_t>(out.dsps[i])] = static_cast<int>(i);
+
+  auto is_dsp = [&](int v) { return local[static_cast<size_t>(v)] >= 0; };
+
+  for (size_t i = 0; i < out.dsps.size(); ++i) {
+    const CellId src = out.dsps[i];
+    // IDDFS with DSPs opaque: a path may END at a DSP but not pass through
+    // one, so edges connect directly dataflow-adjacent DSPs.
+    const IddfsResult r =
+        iddfs_shortest_paths(g, src, opts.max_depth, is_dsp, is_dsp);
+    for (size_t j = 0; j < out.dsps.size(); ++j) {
+      const CellId dst = out.dsps[j];
+      if (dst == src || r.distance[static_cast<size_t>(dst)] == kUnreached) continue;
+      DspGraphEdge e;
+      e.from = static_cast<int>(i);
+      e.to = static_cast<int>(j);
+      e.distance = r.distance[static_cast<size_t>(dst)];
+      for (int v : r.path[static_cast<size_t>(dst)]) {
+        if (v == src || v == dst) continue;
+        switch (nl.cell(v).type) {
+          case CellType::kLut:
+          case CellType::kCarry:
+            ++e.luts_on_path;
+            break;
+          case CellType::kFlipFlop:
+            ++e.ffs_on_path;
+            break;
+          case CellType::kBram:
+          case CellType::kLutRam:
+            ++e.rams_on_path;
+            break;
+          default:
+            break;
+        }
+      }
+      out.edges.push_back(e);
+    }
+  }
+
+  out.adj.assign(out.dsps.size(), {});
+  for (size_t k = 0; k < out.edges.size(); ++k)
+    out.adj[static_cast<size_t>(out.edges[k].from)].push_back(static_cast<int>(k));
+  return out;
+}
+
+DspGraph prune_dsp_graph(const DspGraph& graph, const std::vector<char>& keep) {
+  DspGraph out;
+  std::vector<int> remap(static_cast<size_t>(graph.num_nodes()), -1);
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const CellId c = graph.dsps[static_cast<size_t>(i)];
+    if (keep[static_cast<size_t>(c)]) {
+      remap[static_cast<size_t>(i)] = static_cast<int>(out.dsps.size());
+      out.dsps.push_back(c);
+    }
+  }
+  for (const auto& e : graph.edges) {
+    const int nf = remap[static_cast<size_t>(e.from)];
+    const int nt = remap[static_cast<size_t>(e.to)];
+    if (nf >= 0 && nt >= 0) {
+      DspGraphEdge ne = e;
+      ne.from = nf;
+      ne.to = nt;
+      out.edges.push_back(ne);
+    }
+  }
+  out.adj.assign(out.dsps.size(), {});
+  for (size_t k = 0; k < out.edges.size(); ++k)
+    out.adj[static_cast<size_t>(out.edges[k].from)].push_back(static_cast<int>(k));
+  return out;
+}
+
+}  // namespace dsp

@@ -1,0 +1,55 @@
+// Datapath DSP graph construction (paper Section III-B).
+//
+// IDDFS runs from every DSP cell over the netlist graph and records, for
+// each other DSP reachable without tunneling through a third DSP, the
+// shortest path, its length, and the cell types along it. The resulting
+// DSP graph carries the dataflow topology that drives the assignment
+// objective; a pruning step then drops control-path DSPs (as identified by
+// the GCN) so the placement stays compact.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+struct DspGraphEdge {
+  int from = 0;  // index into DspGraph::dsps
+  int to = 0;
+  int distance = 0;       // netlist-graph hops
+  int luts_on_path = 0;   // combinational cells along the shortest path
+  int ffs_on_path = 0;    // storage cells along the shortest path
+  int rams_on_path = 0;   // BRAM/LUTRAM along the shortest path
+};
+
+struct DspGraph {
+  std::vector<CellId> dsps;       // DSP cells, graph-local index order
+  std::vector<DspGraphEdge> edges;
+  std::vector<std::vector<int>> adj;  // out-edge indices per local node
+
+  int num_nodes() const { return static_cast<int>(dsps.size()); }
+  int num_edges() const { return static_cast<int>(edges.size()); }
+
+  /// Local index of a DSP cell, or -1.
+  int local_index(CellId c) const;
+
+  /// Mean shortest-path distance from each DSP to the others it connects
+  /// to (feature (g) as defined over the DSP graph).
+  std::vector<double> mean_dsp_distance() const;
+};
+
+struct DspGraphOptions {
+  int max_depth = 12;  // IDDFS depth bound for DSP-to-DSP paths
+};
+
+/// Builds the full DSP graph (all DSPs, datapath and control).
+DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g,
+                         const DspGraphOptions& opts = {});
+
+/// Returns a copy containing only the DSPs where keep[cell] is true
+/// (edges between surviving nodes are kept, indices remapped).
+DspGraph prune_dsp_graph(const DspGraph& graph, const std::vector<char>& keep);
+
+}  // namespace dsp

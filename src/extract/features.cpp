@@ -1,0 +1,111 @@
+#include "extract/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/centrality.hpp"
+#include "graph/cycles.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+
+Matrix extract_node_features(const Netlist& nl, const Digraph& g,
+                             const FeatureOptions& opts) {
+  const int n = g.num_nodes();
+  Matrix f(n, kNumNodeFeatures);
+  Rng rng(opts.seed);
+  const bool exact = n <= opts.exact_threshold;
+
+  const std::vector<double> closeness =
+      exact ? closeness_exact(g) : closeness_sampled(g, opts.centrality_pivots, rng);
+  const std::vector<int> feedback = feedback_scores(g);
+  const std::vector<int> ecc =
+      exact ? eccentricity_exact(g) : eccentricity_sampled(g, opts.centrality_pivots, rng);
+  const std::vector<double> betweenness =
+      exact ? betweenness_exact(g) : betweenness_sampled(g, opts.centrality_pivots, rng);
+
+  // Feature (g): mean shortest distance to other DSPs, DSP nodes only.
+  std::vector<CellId> dsps = nl.cells_of_type(CellType::kDsp);
+  std::vector<double> dsp_dist_sum(static_cast<size_t>(n), 0.0);
+  std::vector<int> dsp_dist_cnt(static_cast<size_t>(n), 0);
+  std::vector<CellId> sources = dsps;
+  if (static_cast<int>(sources.size()) > opts.dsp_distance_sources) {
+    rng.shuffle(sources);
+    sources.resize(static_cast<size_t>(opts.dsp_distance_sources));
+  }
+  for (CellId s : sources) {
+    const auto dist = bfs_distances_undirected(g, s);
+    for (CellId d : dsps) {
+      if (d == s || dist[static_cast<size_t>(d)] == kUnreached) continue;
+      dsp_dist_sum[static_cast<size_t>(d)] += dist[static_cast<size_t>(d)];
+      ++dsp_dist_cnt[static_cast<size_t>(d)];
+    }
+  }
+
+  for (int v = 0; v < n; ++v) {
+    f.at(v, 0) = closeness[static_cast<size_t>(v)];
+    f.at(v, 1) = static_cast<double>(feedback[static_cast<size_t>(v)]);
+    f.at(v, 2) = static_cast<double>(ecc[static_cast<size_t>(v)]);
+    f.at(v, 3) = static_cast<double>(g.in_degree(v));
+    f.at(v, 4) = static_cast<double>(g.out_degree(v));
+    f.at(v, 5) = betweenness[static_cast<size_t>(v)];
+    f.at(v, 6) = dsp_dist_cnt[static_cast<size_t>(v)] > 0
+                     ? dsp_dist_sum[static_cast<size_t>(v)] / dsp_dist_cnt[static_cast<size_t>(v)]
+                     : 0.0;
+  }
+
+  // Per-design z-score normalization keeps scales comparable across the
+  // leave-one-out designs (different sizes => wildly different raw ranges).
+  for (int j = 0; j < kNumNodeFeatures; ++j) {
+    double mean = 0.0;
+    for (int v = 0; v < n; ++v) mean += f.at(v, j);
+    mean /= std::max(1, n);
+    double var = 0.0;
+    for (int v = 0; v < n; ++v) {
+      const double d = f.at(v, j) - mean;
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / std::max(1, n)) + 1e-9;
+    for (int v = 0; v < n; ++v) f.at(v, j) = (f.at(v, j) - mean) / stddev;
+  }
+  return f;
+}
+
+int num_local_features() { return 6; }
+
+Matrix extract_local_features(const Netlist& nl, const Digraph& g) {
+  (void)nl;
+  const int n = g.num_nodes();
+  Matrix f(n, num_local_features());
+  // PADE's classifier consumes automorphism/regularity signatures of the
+  // local structure — NOT cell types or global connectivity. We model that
+  // with purely structural local statistics: degrees, the multiplicity of
+  // the node's (in,out)-degree pair across the design (nodes that repeat a
+  // structural pattern — PE array images — share the pair), and one- and
+  // two-hop neighborhood sizes.
+  std::vector<std::pair<int, int>> deg(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) deg[static_cast<size_t>(v)] = {g.in_degree(v), g.out_degree(v)};
+  auto sorted = deg;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (int v = 0; v < n; ++v) {
+    const auto range = std::equal_range(sorted.begin(), sorted.end(), deg[static_cast<size_t>(v)]);
+    const double multiplicity = static_cast<double>(range.second - range.first);
+    f.at(v, 0) = static_cast<double>(g.in_degree(v));
+    f.at(v, 1) = static_cast<double>(g.out_degree(v));
+    f.at(v, 2) = multiplicity;
+    // Two-hop fanout size (local only).
+    double two_hop = 0.0;
+    for (int u : g.out(v)) two_hop += static_cast<double>(g.out_degree(u));
+    f.at(v, 3) = two_hop;
+    const auto nbrs = g.undirected_neighbors(v);
+    f.at(v, 4) = static_cast<double>(nbrs.size());
+    double nbr_deg = 0.0;
+    for (int u : nbrs) nbr_deg += static_cast<double>(g.in_degree(u) + g.out_degree(u));
+    f.at(v, 5) = nbrs.empty() ? 0.0 : nbr_deg / static_cast<double>(nbrs.size());
+  }
+  return f;
+}
+
+}  // namespace dsp

@@ -1,0 +1,39 @@
+// Node feature extraction for datapath-DSP identification (paper Section
+// III-A). Each netlist-graph node gets a 7-dimensional feature vector:
+//   (a) closeness centrality        (b) feedback-loop score
+//   (c) eccentricity                (d) indegree
+//   (e) outdegree                   (f) betweenness centrality
+//   (g) average shortest-path distance to other DSP nodes (DSP nodes only;
+//       0 elsewhere)
+// Exact algorithms run on small graphs; pivot-sampled estimators keep
+// netlist-scale extraction tractable (the classifier consumes rankings,
+// which sampling preserves).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/matrix.hpp"
+
+namespace dsp {
+
+inline constexpr int kNumNodeFeatures = 7;
+
+struct FeatureOptions {
+  int exact_threshold = 1500;  // graphs up to this many nodes use exact algos
+  int centrality_pivots = 128;
+  int dsp_distance_sources = 256;  // BFS sources for feature (g)
+  uint64_t seed = 99;
+};
+
+/// Computes the feature matrix (num_cells x kNumNodeFeatures) for `nl`
+/// using its lowered graph `g` (pass nl.to_digraph()).
+Matrix extract_node_features(const Netlist& nl, const Digraph& g,
+                             const FeatureOptions& opts = {});
+
+/// PADE-style *local* features for the SVM baseline: degree, neighbor
+/// cell-type histogram, and a local-regularity (automorphism proxy) score.
+Matrix extract_local_features(const Netlist& nl, const Digraph& g);
+
+int num_local_features();
+
+}  // namespace dsp

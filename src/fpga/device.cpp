@@ -1,0 +1,129 @@
+#include "fpga/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dsp {
+
+const char* column_type_name(ColumnType t) {
+  switch (t) {
+    case ColumnType::kClb: return "CLB";
+    case ColumnType::kClbM: return "CLBM";
+    case ColumnType::kDsp: return "DSP";
+    case ColumnType::kBram: return "BRAM";
+    case ColumnType::kIo: return "IO";
+    case ColumnType::kPs: return "PS";
+  }
+  return "?";
+}
+
+Device::Device(std::string name, int width, int height)
+    : name_(std::move(name)), width_(width), height_(height) {
+  columns_.assign(static_cast<size_t>(width), ColumnType::kClb);
+}
+
+void Device::set_column_type(int x, ColumnType t) {
+  assert(x >= 0 && x < width_);
+  columns_[static_cast<size_t>(x)] = t;
+}
+
+void Device::add_dsp_column(double x, double y0, int count) {
+  assert(dsp_columns_.empty() || dsp_columns_.back().x < x);
+  DspColumn col;
+  col.x = x;
+  col.y0 = y0;
+  col.num_sites = count;
+  col.first_site = static_cast<int>(dsp_sites_.size());
+  const int col_index = static_cast<int>(dsp_columns_.size());
+  for (int r = 0; r < count; ++r) {
+    DspSite s;
+    s.x = x;
+    s.y = y0 + r;
+    s.column = col_index;
+    s.row = r;
+    dsp_sites_.push_back(s);
+  }
+  dsp_columns_.push_back(col);
+  const int xi = static_cast<int>(x);
+  if (xi >= 0 && xi < width_) columns_[static_cast<size_t>(xi)] = ColumnType::kDsp;
+}
+
+void Device::add_bram_column(double x, double y0, int count) {
+  DspColumn col;
+  col.x = x;
+  col.y0 = y0;
+  col.num_sites = count;
+  col.first_site = bram_capacity();
+  bram_columns_.push_back(col);
+  const int xi = static_cast<int>(x);
+  if (xi >= 0 && xi < width_) columns_[static_cast<size_t>(xi)] = ColumnType::kBram;
+}
+
+void Device::set_ps_region(PsRegion ps) {
+  ps_ = std::move(ps);
+  for (int x = 0; x < static_cast<int>(ps_.width) && x < width_; ++x)
+    columns_[static_cast<size_t>(x)] = ColumnType::kPs;
+}
+
+int Device::dsp_site_index(int column, int row) const {
+  assert(column >= 0 && column < static_cast<int>(dsp_columns_.size()));
+  const DspColumn& c = dsp_columns_[static_cast<size_t>(column)];
+  assert(row >= 0 && row < c.num_sites);
+  return c.first_site + row;
+}
+
+int Device::nearest_dsp_site(double x, double y) const {
+  assert(!dsp_sites_.empty());
+  // Columns are few; scan them, clamp the row within each.
+  int best = 0;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (size_t ci = 0; ci < dsp_columns_.size(); ++ci) {
+    const DspColumn& c = dsp_columns_[ci];
+    const double row_f = std::clamp(y - c.y0, 0.0, static_cast<double>(c.num_sites - 1));
+    const int row = static_cast<int>(std::lround(row_f));
+    const double sy = c.y0 + row;
+    const double d2 = (c.x - x) * (c.x - x) + (sy - y) * (sy - y);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c.first_site + row;
+    }
+  }
+  return best;
+}
+
+int Device::bram_capacity() const {
+  int n = 0;
+  for (const auto& c : bram_columns_) n += c.num_sites;
+  return n;
+}
+
+std::pair<double, double> Device::bram_site_xy(int column, int row) const {
+  const DspColumn& c = bram_columns_[static_cast<size_t>(column)];
+  return {c.x, c.y0 + row};
+}
+
+long long Device::lut_capacity() const {
+  long long tiles = 0;
+  for (int x = 0; x < width_; ++x)
+    if (is_logic_column(x)) tiles += height_;
+  return tiles * clb_capacity_.luts_per_tile;
+}
+
+long long Device::ff_capacity() const {
+  long long tiles = 0;
+  for (int x = 0; x < width_; ++x)
+    if (is_logic_column(x)) tiles += height_;
+  return tiles * clb_capacity_.ffs_per_tile;
+}
+
+double Device::clamp_x(double x) const {
+  return std::clamp(x, 0.0, static_cast<double>(width_ - 1));
+}
+
+double Device::clamp_y(double y) const {
+  return std::clamp(y, 0.0, static_cast<double>(height_ - 1));
+}
+
+}  // namespace dsp

@@ -1,0 +1,132 @@
+// Column-organized UltraScale+-style FPGA device model (paper Fig. 1(a)).
+//
+// The fabric is a W x H grid of tiles. Each x-column holds one resource
+// kind (CLB, CLB-M with LUTRAM, DSP, BRAM, IO), reproducing the column-wise
+// heterogeneous distribution DSPlacer must respect. DSP sites within a
+// column are vertically stacked; site j and j+1 of the same column are
+// cascade-adjacent (DSP48 PCOUT->PCIN). The processing system (PS) is a
+// fixed block at the bottom-left corner with PS->PL ports on its top edge
+// and PL->PS ports on its right edge — the geometry behind the paper's
+// datapath soft constraint (6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+enum class ColumnType : unsigned char {
+  kClb,    // SLICEL: LUT/FF/CARRY
+  kClbM,   // SLICEM: additionally LUTRAM-capable
+  kDsp,
+  kBram,
+  kIo,
+  kPs,     // covered by the PS block (no PL sites)
+};
+
+const char* column_type_name(ColumnType t);
+
+/// One vertical run of DSP sites.
+struct DspColumn {
+  double x = 0;        // fabric x coordinate of the column
+  double y0 = 0;       // y of the lowest site
+  int num_sites = 0;   // sites stacked at y0, y0+1, ...
+  int first_site = 0;  // index of the lowest site in the device-wide list
+};
+
+/// One DSP site (a legal location for one DSP cell).
+struct DspSite {
+  double x = 0;
+  double y = 0;
+  int column = 0;  // index into dsp_columns()
+  int row = 0;     // row within the column (0 = bottom)
+};
+
+struct PsRegion {
+  double width = 0;   // block occupies [0,width) x [0,height)
+  double height = 0;
+  /// Port coordinates. Top ports carry PS->PL traffic, right ports PL->PS.
+  std::vector<std::pair<double, double>> top_ports;
+  std::vector<std::pair<double, double>> right_ports;
+};
+
+struct ClbCapacity {
+  int luts_per_tile = 8;
+  int ffs_per_tile = 16;
+  int carries_per_tile = 1;
+};
+
+class Device {
+ public:
+  Device(std::string name, int width, int height);
+
+  const std::string& name() const { return name_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  // ---- construction (used by device factories) ----------------------------
+  void set_column_type(int x, ColumnType t);
+  /// Adds a DSP column at fabric x, sites at y0..y0+count-1. Columns must be
+  /// added left-to-right so the global site list stays coordinate-sorted.
+  void add_dsp_column(double x, double y0, int count);
+  void add_bram_column(double x, double y0, int count);
+  void set_ps_region(PsRegion ps);
+  void set_clb_capacity(ClbCapacity c) { clb_capacity_ = c; }
+
+  // ---- queries -------------------------------------------------------------
+  ColumnType column_type(int x) const { return columns_[static_cast<size_t>(x)]; }
+
+  const std::vector<DspColumn>& dsp_columns() const { return dsp_columns_; }
+  const std::vector<DspSite>& dsp_sites() const { return dsp_sites_; }
+  int dsp_capacity() const { return static_cast<int>(dsp_sites_.size()); }
+
+  /// Device-wide site index for (column, row); asserts bounds.
+  int dsp_site_index(int column, int row) const;
+  const DspSite& dsp_site(int index) const { return dsp_sites_[static_cast<size_t>(index)]; }
+
+  /// Nearest DSP site to continuous coordinates (Euclidean).
+  int nearest_dsp_site(double x, double y) const;
+
+  const std::vector<DspColumn>& bram_columns() const { return bram_columns_; }
+  int bram_capacity() const;
+  /// Coordinates of the r-th BRAM site in column c.
+  std::pair<double, double> bram_site_xy(int column, int row) const;
+
+  const PsRegion& ps() const { return ps_; }
+  const ClbCapacity& clb_capacity() const { return clb_capacity_; }
+
+  /// Total LUT/FF capacity over all CLB tile positions.
+  long long lut_capacity() const;
+  long long ff_capacity() const;
+
+  /// True if tile column x can host general logic (CLB or CLB-M).
+  bool is_logic_column(int x) const {
+    const ColumnType t = column_type(x);
+    return t == ColumnType::kClb || t == ColumnType::kClbM;
+  }
+
+  /// Clamp continuous coordinates into the fabric.
+  double clamp_x(double x) const;
+  double clamp_y(double y) const;
+
+ private:
+  std::string name_;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<ColumnType> columns_;
+  std::vector<DspColumn> dsp_columns_;
+  std::vector<DspSite> dsp_sites_;
+  std::vector<DspColumn> bram_columns_;  // reuse struct: x / y0 / count
+  PsRegion ps_;
+  ClbCapacity clb_capacity_;
+};
+
+/// ZCU104-like (XCZU7EV) device. `scale` in (0,1] shrinks the fabric for
+/// fast tests/benches while preserving the column structure; scale=1 gives
+/// 1728 DSP sites in vertical cascade columns, matching the real part.
+Device make_zcu104(double scale = 1.0);
+
+/// Tiny 12x16 device with 2 DSP columns for unit tests.
+Device make_test_device();
+
+}  // namespace dsp

@@ -1,0 +1,168 @@
+#include "graph/centrality.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/traversal.hpp"
+
+namespace dsp {
+namespace {
+
+// One Brandes source iteration: BFS shortest-path DAG + backward dependency
+// accumulation. Adds this source's contribution into `centrality`.
+void brandes_accumulate(const Digraph& g, int s, std::vector<double>& centrality,
+                        std::vector<int>& dist, std::vector<double>& sigma,
+                        std::vector<double>& delta,
+                        std::vector<std::vector<int>>& preds) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::fill(dist.begin(), dist.end(), kUnreached);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+  for (auto& p : preds) p.clear();
+
+  std::vector<int> order;  // nodes in nondecreasing BFS distance
+  order.reserve(n);
+  std::queue<int> q;
+  dist[static_cast<size_t>(s)] = 0;
+  sigma[static_cast<size_t>(s)] = 1.0;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    auto visit = [&](int v) {
+      if (dist[static_cast<size_t>(v)] == kUnreached) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        q.push(v);
+      }
+      if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] + 1) {
+        sigma[static_cast<size_t>(v)] += sigma[static_cast<size_t>(u)];
+        preds[static_cast<size_t>(v)].push_back(u);
+      }
+    };
+    // Undirected view; undirected_neighbors dedups parallel edges so sigma
+    // counts each shortest path once.
+    for (int v : g.undirected_neighbors(u)) visit(v);
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int w = *it;
+    for (int v : preds[static_cast<size_t>(w)]) {
+      delta[static_cast<size_t>(v)] += sigma[static_cast<size_t>(v)] /
+                                       sigma[static_cast<size_t>(w)] *
+                                       (1.0 + delta[static_cast<size_t>(w)]);
+    }
+    if (w != s) centrality[static_cast<size_t>(w)] += delta[static_cast<size_t>(w)];
+  }
+}
+
+std::vector<int> pick_pivots(int n, int num_pivots, Rng& rng) {
+  std::vector<int> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.shuffle(ids);
+  if (num_pivots < n) ids.resize(static_cast<size_t>(num_pivots));
+  return ids;
+}
+
+}  // namespace
+
+std::vector<double> betweenness_exact(const Digraph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> centrality(n, 0.0);
+  std::vector<int> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::vector<int>> preds(n);
+  for (int s = 0; s < g.num_nodes(); ++s)
+    brandes_accumulate(g, s, centrality, dist, sigma, delta, preds);
+  // Each unordered pair {u,w} was counted from both endpoints.
+  for (auto& c : centrality) c *= 0.5;
+  return centrality;
+}
+
+std::vector<double> betweenness_sampled(const Digraph& g, int num_pivots, Rng& rng) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+  std::vector<int> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::vector<int>> preds(n);
+  const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
+  for (int s : pivots) brandes_accumulate(g, s, centrality, dist, sigma, delta, preds);
+  const double scale =
+      0.5 * static_cast<double>(g.num_nodes()) / static_cast<double>(pivots.size());
+  for (auto& c : centrality) c *= scale;
+  return centrality;
+}
+
+std::vector<double> closeness_exact(const Digraph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> closeness(n, 0.0);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances_undirected(g, v);
+    long long sum = 0;
+    for (int u = 0; u < g.num_nodes(); ++u)
+      if (u != v && dist[static_cast<size_t>(u)] != kUnreached)
+        sum += dist[static_cast<size_t>(u)];
+    if (sum > 0) closeness[static_cast<size_t>(v)] = 1.0 / static_cast<double>(sum);
+  }
+  return closeness;
+}
+
+std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> closeness(n, 0.0);
+  if (n == 0) return closeness;
+  const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
+  // Accumulate distance sums to the pivots, then extrapolate to all nodes.
+  std::vector<double> sum(n, 0.0);
+  std::vector<int> reached(n, 0);
+  for (int s : pivots) {
+    const auto dist = bfs_distances_undirected(g, s);
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      if (v == s || dist[static_cast<size_t>(v)] == kUnreached) continue;
+      sum[static_cast<size_t>(v)] += dist[static_cast<size_t>(v)];
+      ++reached[static_cast<size_t>(v)];
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (reached[v] == 0 || sum[v] <= 0) continue;
+    // Estimated total distance = sampled mean distance * (n-1).
+    const double est =
+        sum[v] / reached[v] * static_cast<double>(g.num_nodes() - 1);
+    closeness[v] = est > 0 ? 1.0 / est : 0.0;
+  }
+  return closeness;
+}
+
+std::vector<int> eccentricity_exact(const Digraph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<int> ecc(n, 0);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances_undirected(g, v);
+    int mx = 0;
+    for (int u = 0; u < g.num_nodes(); ++u)
+      if (dist[static_cast<size_t>(u)] != kUnreached)
+        mx = std::max(mx, dist[static_cast<size_t>(u)]);
+    ecc[static_cast<size_t>(v)] = mx;
+  }
+  return ecc;
+}
+
+std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<int> ecc(n, 0);
+  if (n == 0) return ecc;
+  const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
+  for (int s : pivots) {
+    const auto dist = bfs_distances_undirected(g, s);
+    // d(v,s) lower-bounds ecc(v); max over pivots is the standard estimator.
+    for (int v = 0; v < g.num_nodes(); ++v)
+      if (dist[static_cast<size_t>(v)] != kUnreached)
+        ecc[static_cast<size_t>(v)] =
+            std::max(ecc[static_cast<size_t>(v)], dist[static_cast<size_t>(v)]);
+  }
+  return ecc;
+}
+
+}  // namespace dsp

@@ -1,0 +1,43 @@
+// Centrality metrics used as GCN node features (paper Section III-A,
+// Definitions 1-3): betweenness centrality (Brandes), closeness centrality,
+// and eccentricity. Each has an exact form and a pivot-sampled estimator for
+// netlist-scale graphs (the paper's NetworkX pipeline computes the same
+// quantities; sampling preserves the ranking signal the classifier needs).
+//
+// All metrics treat the graph as UNDIRECTED and UNWEIGHTED, matching the
+// paper's netlist graph representation.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+
+/// Exact betweenness centrality via Brandes' algorithm, O(V*E).
+/// Endpoint pairs are unordered; values match Definition 1 up to the
+/// standard factor 1/2 applied to undirected graphs.
+std::vector<double> betweenness_exact(const Digraph& g);
+
+/// Pivot-sampled betweenness: runs Brandes' dependency accumulation from
+/// `num_pivots` random sources and scales by n/num_pivots. Unbiased
+/// estimator of betweenness_exact.
+std::vector<double> betweenness_sampled(const Digraph& g, int num_pivots, Rng& rng);
+
+/// Exact closeness centrality per Definition 2. For nodes that cannot reach
+/// the whole graph the sum runs over reachable nodes only (and isolated
+/// nodes get 0), mirroring NetworkX's per-component convention.
+std::vector<double> closeness_exact(const Digraph& g);
+
+/// Sampled closeness from `num_pivots` BFS sources.
+std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng);
+
+/// Exact eccentricity per Definition 3 (max shortest-path distance to any
+/// reachable node; 0 for isolated nodes).
+std::vector<int> eccentricity_exact(const Digraph& g);
+
+/// Sampled lower-bound eccentricity: max distance to the sampled pivots.
+std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng);
+
+}  // namespace dsp

@@ -1,0 +1,100 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+
+namespace dsp {
+
+std::vector<int> strongly_connected_components(const Digraph& g, int* num_components) {
+  // Iterative Tarjan (explicit stack) so deep netlist chains cannot overflow
+  // the call stack.
+  const int n = g.num_nodes();
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<size_t>(n), 0);
+  std::vector<int> scc_stack;
+  int next_index = 0;
+  int next_comp = 0;
+
+  struct Frame {
+    int node;
+    size_t child;
+  };
+  std::vector<Frame> call;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    call.push_back({root, 0});
+    index[static_cast<size_t>(root)] = lowlink[static_cast<size_t>(root)] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = 1;
+
+    while (!call.empty()) {
+      Frame& frame = call.back();
+      const int u = frame.node;
+      const auto nbrs = g.out(u);
+      if (frame.child < nbrs.size()) {
+        const int v = nbrs[frame.child++];
+        if (index[static_cast<size_t>(v)] == -1) {
+          index[static_cast<size_t>(v)] = lowlink[static_cast<size_t>(v)] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[static_cast<size_t>(v)] = 1;
+          call.push_back({v, 0});
+        } else if (on_stack[static_cast<size_t>(v)]) {
+          lowlink[static_cast<size_t>(u)] =
+              std::min(lowlink[static_cast<size_t>(u)], index[static_cast<size_t>(v)]);
+        }
+      } else {
+        if (lowlink[static_cast<size_t>(u)] == index[static_cast<size_t>(u)]) {
+          int w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = 0;
+            comp[static_cast<size_t>(w)] = next_comp;
+          } while (w != u);
+          ++next_comp;
+        }
+        call.pop_back();
+        if (!call.empty()) {
+          const int parent = call.back().node;
+          lowlink[static_cast<size_t>(parent)] =
+              std::min(lowlink[static_cast<size_t>(parent)], lowlink[static_cast<size_t>(u)]);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_comp;
+  return comp;
+}
+
+std::vector<int> feedback_scores(const Digraph& g) {
+  const int n = g.num_nodes();
+  const auto comp = strongly_connected_components(g);
+
+  // Size of each SCC to distinguish trivial (acyclic) components.
+  std::vector<int> comp_size;
+  for (int v = 0; v < n; ++v) {
+    const int c = comp[static_cast<size_t>(v)];
+    if (c >= static_cast<int>(comp_size.size())) comp_size.resize(static_cast<size_t>(c) + 1, 0);
+    ++comp_size[static_cast<size_t>(c)];
+  }
+
+  std::vector<int> score(static_cast<size_t>(n), 0);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.out(u)) {
+      if (u == v) {
+        score[static_cast<size_t>(u)] += 2;  // self-loop counts on both ends
+        continue;
+      }
+      if (comp[static_cast<size_t>(u)] == comp[static_cast<size_t>(v)] &&
+          comp_size[static_cast<size_t>(comp[static_cast<size_t>(u)])] > 1) {
+        ++score[static_cast<size_t>(u)];
+        ++score[static_cast<size_t>(v)];
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace dsp

@@ -1,0 +1,26 @@
+// Feedback-loop features (paper Section III-A, feature (b)).
+//
+// Counting all cycles through a node is #P-hard, so we use the standard
+// structural proxy: Tarjan strongly-connected components. A node
+// participates in feedback iff it lies in a non-trivial SCC (or has a
+// self-loop); its feedback score counts in-SCC adjacencies, which grows with
+// how densely the node is wrapped in control feedback - exactly the signal
+// the paper attributes to control-path DSPs.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dsp {
+
+/// SCC id per node (ids are dense, reverse-topological order as produced by
+/// Tarjan's algorithm).
+std::vector<int> strongly_connected_components(const Digraph& g, int* num_components = nullptr);
+
+/// feedback_score[v] = number of directed in-SCC edges incident to v
+/// (counting both directions) + 2 * (number of self-loops at v).
+/// Zero for nodes outside any cycle.
+std::vector<int> feedback_scores(const Digraph& g);
+
+}  // namespace dsp

@@ -1,0 +1,50 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsp {
+
+void Digraph::add_edge(int u, int v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  out_[static_cast<size_t>(u)].push_back(v);
+  in_[static_cast<size_t>(v)].push_back(u);
+  ++num_edges_;
+}
+
+bool Digraph::add_edge_unique(int u, int v) {
+  if (has_edge(u, v)) return false;
+  add_edge(u, v);
+  return true;
+}
+
+bool Digraph::has_edge(int u, int v) const {
+  const auto& adj = out_[static_cast<size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<int> Digraph::undirected_neighbors(int u) const {
+  std::vector<int> nbrs;
+  nbrs.reserve(out_[static_cast<size_t>(u)].size() + in_[static_cast<size_t>(u)].size());
+  nbrs.insert(nbrs.end(), out_[static_cast<size_t>(u)].begin(), out_[static_cast<size_t>(u)].end());
+  nbrs.insert(nbrs.end(), in_[static_cast<size_t>(u)].begin(), in_[static_cast<size_t>(u)].end());
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  return nbrs;
+}
+
+Digraph Digraph::symmetrized() const {
+  Digraph g(num_nodes());
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (int v : undirected_neighbors(u)) {
+      // Insert each unordered pair once from its smaller endpoint.
+      if (u <= v) {
+        g.add_edge(u, v);
+        if (u != v) g.add_edge(v, u);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace dsp

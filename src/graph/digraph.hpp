@@ -1,0 +1,63 @@
+// Directed graph with O(1) amortized edge insertion and cached adjacency.
+//
+// This is the shared graph substrate for DSPlacer: netlists are lowered to a
+// Digraph for feature extraction (Section III-A of the paper), DSP-graph
+// construction runs IDDFS over it (Section III-B), and the GCN consumes its
+// (symmetrized) adjacency. Nodes are dense integer ids [0, num_nodes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsp {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_nodes) { resize(num_nodes); }
+
+  void resize(int num_nodes) {
+    out_.resize(static_cast<size_t>(num_nodes));
+    in_.resize(static_cast<size_t>(num_nodes));
+  }
+
+  int add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return num_nodes() - 1;
+  }
+
+  /// Adds a directed edge u->v. Parallel edges are allowed unless the caller
+  /// deduplicates; self-loops are allowed.
+  void add_edge(int u, int v);
+
+  /// Adds u->v only if not already present (linear scan of u's out list —
+  /// fine for the bounded-degree graphs produced by netlist expansion).
+  bool add_edge_unique(int u, int v);
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  std::span<const int> out(int u) const { return out_[static_cast<size_t>(u)]; }
+  std::span<const int> in(int u) const { return in_[static_cast<size_t>(u)]; }
+
+  int out_degree(int u) const { return static_cast<int>(out_[static_cast<size_t>(u)].size()); }
+  int in_degree(int u) const { return static_cast<int>(in_[static_cast<size_t>(u)].size()); }
+
+  bool has_edge(int u, int v) const;
+
+  /// Undirected view: union of in/out neighborhoods with duplicates removed.
+  std::vector<int> undirected_neighbors(int u) const;
+
+  /// A copy of this graph with every edge mirrored (u->v and v->u),
+  /// deduplicated. Centrality features treat the netlist as undirected.
+  Digraph symmetrized() const;
+
+ private:
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  int num_edges_ = 0;
+};
+
+}  // namespace dsp

@@ -1,0 +1,110 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dsp {
+
+std::vector<int> bfs_distances(const Digraph& g, int source) {
+  std::vector<int> dist(static_cast<size_t>(g.num_nodes()), kUnreached);
+  std::queue<int> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : g.out(u)) {
+      if (dist[static_cast<size_t>(v)] == kUnreached) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> bfs_distances_undirected(const Digraph& g, int source) {
+  std::vector<int> dist(static_cast<size_t>(g.num_nodes()), kUnreached);
+  std::queue<int> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  auto relax = [&](int u, int v) {
+    if (dist[static_cast<size_t>(v)] == kUnreached) {
+      dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+      q.push(v);
+    }
+  };
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : g.out(u)) relax(u, v);
+    for (int v : g.in(u)) relax(u, v);
+  }
+  return dist;
+}
+
+std::vector<int> dfs_preorder(const Digraph& g, int source) {
+  std::vector<int> order;
+  std::vector<char> visited(static_cast<size_t>(g.num_nodes()), 0);
+  // Explicit stack; push children in reverse so adjacency order is preserved.
+  std::vector<int> stack = {source};
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(u)]) continue;
+    visited[static_cast<size_t>(u)] = 1;
+    order.push_back(u);
+    const auto nbrs = g.out(u);
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it)
+      if (!visited[static_cast<size_t>(*it)]) stack.push_back(*it);
+  }
+  return order;
+}
+
+IddfsResult iddfs_shortest_paths(const Digraph& g, int source, int max_depth,
+                                 const std::function<bool(int)>& is_target,
+                                 const std::function<bool(int)>& stop_through) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  IddfsResult result;
+  result.distance.assign(n, kUnreached);
+  result.path.assign(n, {});
+
+  // best_depth[v]: smallest depth at which v was entered during the current
+  // depth-limited pass. Re-expanding only when we arrive shallower keeps each
+  // pass at O(V+E) instead of exponential, without losing completeness.
+  std::vector<int> best_depth(n);
+  std::vector<int> stack;  // current DFS path, source..current
+
+  for (int limit = 0; limit <= max_depth; ++limit) {
+    std::fill(best_depth.begin(), best_depth.end(), kUnreached);
+    bool hit_frontier = false;  // some node had unexplored depth budget left
+
+    // Recursive DLS via explicit lambda recursion.
+    std::function<void(int, int)> dls = [&](int u, int depth) {
+      if (depth >= best_depth[static_cast<size_t>(u)]) return;
+      best_depth[static_cast<size_t>(u)] = depth;
+      stack.push_back(u);
+      if (u != source && is_target(u) &&
+          result.distance[static_cast<size_t>(u)] == kUnreached && depth == limit) {
+        // First time this target is reachable => `limit` is its shortest
+        // distance (earlier limits did not reach it).
+        result.distance[static_cast<size_t>(u)] = depth;
+        result.path[static_cast<size_t>(u)] = stack;
+      }
+      const bool expandable =
+          depth < limit && (u == source || !stop_through || !stop_through(u));
+      if (expandable) {
+        for (int v : g.out(u)) dls(v, depth + 1);
+      } else if (depth >= limit) {
+        hit_frontier = true;
+      }
+      stack.pop_back();
+    };
+
+    dls(source, 0);
+    if (!hit_frontier) break;  // graph exhausted before reaching max_depth
+  }
+  return result;
+}
+
+}  // namespace dsp

@@ -1,0 +1,52 @@
+// Graph traversals: BFS distance maps, DFS orders, and the Iterative
+// Deepening DFS (IDDFS) the paper uses to build the DSP graph (Section
+// III-B). IDDFS combines DFS's O(depth) space with BFS's shortest-path
+// guarantee, which is what makes DSP-graph construction tractable on large
+// netlists.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dsp {
+
+inline constexpr int kUnreached = std::numeric_limits<int>::max();
+
+/// BFS distances from `source` following directed edges.
+/// Unreachable nodes get kUnreached.
+std::vector<int> bfs_distances(const Digraph& g, int source);
+
+/// BFS distances treating edges as undirected.
+std::vector<int> bfs_distances_undirected(const Digraph& g, int source);
+
+/// DFS preorder from `source` (directed). Deterministic: neighbors are
+/// visited in adjacency order.
+std::vector<int> dfs_preorder(const Digraph& g, int source);
+
+/// Result of an IDDFS shortest-path search from one source to a set of
+/// targets: for each reached target, its shortest distance and one shortest
+/// path (inclusive of both endpoints).
+struct IddfsResult {
+  std::vector<int> distance;                // indexed by node id; kUnreached if not found
+  std::vector<std::vector<int>> path;       // indexed by node id; empty if not found
+};
+
+/// Iterative-deepening DFS from `source`, directed edges, exploring depths
+/// 0..max_depth. `is_target(v)` marks nodes whose shortest path we record;
+/// the search keeps deepening until all targets reachable within max_depth
+/// are found (or max_depth is exhausted).
+///
+/// `stop_through` (optional) — when it returns true for an intermediate node
+/// the search does not expand through that node (the node may still be a
+/// target endpoint). The DSP-graph builder uses this to forbid paths that
+/// tunnel through other DSPs, so DSP-graph edges connect *directly*
+/// dataflow-adjacent DSPs.
+IddfsResult iddfs_shortest_paths(
+    const Digraph& g, int source, int max_depth,
+    const std::function<bool(int)>& is_target,
+    const std::function<bool(int)>& stop_through = nullptr);
+
+}  // namespace dsp

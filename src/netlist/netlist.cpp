@@ -1,0 +1,139 @@
+#include "netlist/netlist.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace dsp {
+
+const char* cell_type_name(CellType t) {
+  switch (t) {
+    case CellType::kLut: return "LUT";
+    case CellType::kLutRam: return "LUTRAM";
+    case CellType::kFlipFlop: return "FF";
+    case CellType::kCarry: return "CARRY";
+    case CellType::kDsp: return "DSP";
+    case CellType::kBram: return "BRAM";
+    case CellType::kIo: return "IO";
+    case CellType::kPsPort: return "PSPORT";
+  }
+  return "?";
+}
+
+CellId Netlist::add_cell(const std::string& name, CellType type) {
+  const CellId id = static_cast<CellId>(cells_.size());
+  Cell c;
+  c.name = name;
+  c.type = type;
+  if (type == CellType::kDsp) c.role = DspRole::kDatapath;  // default; callers refine
+  cells_.push_back(std::move(c));
+  driven_.emplace_back();
+  sunk_.emplace_back();
+  name_to_cell_.emplace(name, id);
+  return id;
+}
+
+NetId Netlist::add_net(const std::string& name, CellId driver, std::vector<CellId> sinks) {
+  assert(driver >= 0 && driver < num_cells());
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = name;
+  n.driver = driver;
+  n.sinks = std::move(sinks);
+  driven_[static_cast<size_t>(driver)].push_back(id);
+  for (CellId s : n.sinks) {
+    assert(s >= 0 && s < num_cells());
+    sunk_[static_cast<size_t>(s)].push_back(id);
+  }
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+void Netlist::add_sink(NetId net, CellId sink) {
+  assert(net >= 0 && net < num_nets() && sink >= 0 && sink < num_cells());
+  nets_[static_cast<size_t>(net)].sinks.push_back(sink);
+  sunk_[static_cast<size_t>(sink)].push_back(net);
+}
+
+int Netlist::add_cascade_chain(const std::vector<CellId>& cells) {
+  const int chain_id = static_cast<int>(chains_.size());
+  CascadeChain chain;
+  chain.cells = cells;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    Cell& c = cells_[static_cast<size_t>(cells[i])];
+    assert(c.type == CellType::kDsp && "cascade chains contain only DSPs");
+    c.cascade_chain = chain_id;
+    c.cascade_pos = static_cast<int>(i);
+  }
+  chains_.push_back(std::move(chain));
+  return chain_id;
+}
+
+void Netlist::set_dsp_role(CellId cell, DspRole role) {
+  cells_[static_cast<size_t>(cell)].role = role;
+}
+
+void Netlist::set_fixed(CellId cell, double x, double y) {
+  Cell& c = cells_[static_cast<size_t>(cell)];
+  c.fixed = true;
+  c.fixed_x = x;
+  c.fixed_y = y;
+}
+
+std::optional<CellId> Netlist::find_cell(const std::string& name) const {
+  auto it = name_to_cell_.find(name);
+  if (it == name_to_cell_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CellId> Netlist::cells_of_type(CellType t) const {
+  std::vector<CellId> out;
+  for (CellId i = 0; i < num_cells(); ++i)
+    if (cells_[static_cast<size_t>(i)].type == t) out.push_back(i);
+  return out;
+}
+
+int Netlist::count_type(CellType t) const {
+  int n = 0;
+  for (const auto& c : cells_)
+    if (c.type == t) ++n;
+  return n;
+}
+
+Digraph Netlist::to_digraph() const {
+  Digraph g(num_cells());
+  for (const auto& n : nets_)
+    for (CellId s : n.sinks)
+      if (s != n.driver) g.add_edge_unique(n.driver, s);
+  return g;
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  for (NetId i = 0; i < num_nets(); ++i) {
+    const Net& n = nets_[static_cast<size_t>(i)];
+    if (n.driver < 0 || n.driver >= num_cells()) {
+      err << "net " << n.name << ": invalid driver\n";
+      continue;
+    }
+    for (CellId s : n.sinks)
+      if (s < 0 || s >= num_cells()) err << "net " << n.name << ": invalid sink\n";
+  }
+  for (int ci = 0; ci < num_chains(); ++ci) {
+    const auto& chain = chains_[static_cast<size_t>(ci)];
+    if (chain.cells.empty()) err << "chain " << ci << ": empty\n";
+    for (size_t k = 0; k < chain.cells.size(); ++k) {
+      const CellId id = chain.cells[k];
+      if (id < 0 || id >= num_cells()) {
+        err << "chain " << ci << ": invalid cell id\n";
+        continue;
+      }
+      const Cell& c = cells_[static_cast<size_t>(id)];
+      if (c.type != CellType::kDsp) err << "chain " << ci << ": non-DSP member " << c.name << '\n';
+      if (c.cascade_chain != ci || c.cascade_pos != static_cast<int>(k))
+        err << "chain " << ci << ": inconsistent stamp on " << c.name << '\n';
+    }
+  }
+  return err.str();
+}
+
+}  // namespace dsp

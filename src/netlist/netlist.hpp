@@ -1,0 +1,141 @@
+// Pre-implementation netlist model (paper Section II-B input).
+//
+// A netlist is a set of typed cells connected by driver->sinks nets
+// (directed hyperedges), plus DSP-specific structure: cascade chains (DSP
+// macros whose members must occupy vertically adjacent sites of one DSP
+// column, paper constraint (5)) and ground-truth datapath/control roles
+// (available for generated designs; used to train/evaluate the GCN
+// classifier exactly as the paper's labeled benchmarks are).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dsp {
+
+enum class CellType : uint8_t {
+  kLut,
+  kLutRam,
+  kFlipFlop,
+  kCarry,
+  kDsp,
+  kBram,
+  kIo,      // programmable-logic I/O pad
+  kPsPort,  // fixed processing-system interface port (bottom-left corner)
+};
+
+const char* cell_type_name(CellType t);
+
+/// Role of a DSP cell in the design. Generated benchmarks know the truth;
+/// the extraction stage predicts it for "unseen" designs.
+enum class DspRole : uint8_t {
+  kNotDsp,
+  kDatapath,
+  kControl,
+};
+
+using CellId = int32_t;
+using NetId = int32_t;
+inline constexpr CellId kInvalidCell = -1;
+
+struct Cell {
+  std::string name;
+  CellType type = CellType::kLut;
+  DspRole role = DspRole::kNotDsp;  // ground truth (generated designs only)
+  int cascade_chain = -1;           // chain id, -1 if not in a DSP macro
+  int cascade_pos = -1;             // index within the chain, 0 = head
+  bool fixed = false;               // PS ports / IO pads with pinned sites
+  double fixed_x = 0.0;             // valid when fixed
+  double fixed_y = 0.0;
+};
+
+struct Net {
+  std::string name;
+  CellId driver = kInvalidCell;
+  std::vector<CellId> sinks;
+  double weight = 1.0;  // criticality weight usable by timing-driven passes
+
+  int degree() const { return 1 + static_cast<int>(sinks.size()); }
+};
+
+/// A DSP macro: ordered cell ids; member i drives member i+1 through the
+/// dedicated cascade path (PCOUT->PCIN), so legal placement requires
+/// adjacent rows of one column, in order.
+struct CascadeChain {
+  std::vector<CellId> cells;
+  int length() const { return static_cast<int>(cells.size()); }
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -------------------------------------------------------
+  CellId add_cell(const std::string& name, CellType type);
+  NetId add_net(const std::string& name, CellId driver, std::vector<CellId> sinks);
+  void add_sink(NetId net, CellId sink);
+
+  /// Registers `cells` (in dataflow order) as one cascade macro and stamps
+  /// each member's chain/pos fields. Cells must be DSPs.
+  int add_cascade_chain(const std::vector<CellId>& cells);
+
+  void set_dsp_role(CellId cell, DspRole role);
+  void set_fixed(CellId cell, double x, double y);
+
+  // ---- accessors -----------------------------------------------------------
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  int num_chains() const { return static_cast<int>(chains_.size()); }
+
+  const Cell& cell(CellId id) const { return cells_[static_cast<size_t>(id)]; }
+  Cell& cell(CellId id) { return cells_[static_cast<size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<size_t>(id)]; }
+  const CascadeChain& chain(int id) const { return chains_[static_cast<size_t>(id)]; }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<CascadeChain>& chains() const { return chains_; }
+
+  /// Nets where the cell is the driver / one of the sinks.
+  const std::vector<NetId>& nets_driven_by(CellId c) const {
+    return driven_[static_cast<size_t>(c)];
+  }
+  const std::vector<NetId>& nets_sinking(CellId c) const {
+    return sunk_[static_cast<size_t>(c)];
+  }
+
+  std::optional<CellId> find_cell(const std::string& name) const;
+
+  std::vector<CellId> cells_of_type(CellType t) const;
+  int count_type(CellType t) const;
+
+  /// Lowers the hypergraph to a Digraph: node = cell, and each net
+  /// contributes driver->sink edges (deduplicated). This is the graph
+  /// representation of Fig. 3(b).
+  Digraph to_digraph() const;
+
+  /// Structural sanity: net endpoints valid, chain members are DSPs with
+  /// consistent chain/pos stamps. Returns an error string or empty if OK.
+  std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<CascadeChain> chains_;
+  std::vector<std::vector<NetId>> driven_;
+  std::vector<std::vector<NetId>> sunk_;
+  std::unordered_map<std::string, CellId> name_to_cell_;
+};
+
+}  // namespace dsp

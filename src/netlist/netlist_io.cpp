@@ -1,0 +1,138 @@
+#include "netlist/netlist_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsp {
+namespace {
+
+CellType parse_type(const std::string& s, int line_no) {
+  if (s == "LUT") return CellType::kLut;
+  if (s == "LUTRAM") return CellType::kLutRam;
+  if (s == "FF") return CellType::kFlipFlop;
+  if (s == "CARRY") return CellType::kCarry;
+  if (s == "DSP") return CellType::kDsp;
+  if (s == "BRAM") return CellType::kBram;
+  if (s == "IO") return CellType::kIo;
+  if (s == "PSPORT") return CellType::kPsPort;
+  throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                           ": unknown cell type '" + s + "'");
+}
+
+}  // namespace
+
+std::string write_netlist(const Netlist& nl) {
+  std::ostringstream os;
+  os << "design " << nl.name() << '\n';
+  for (CellId i = 0; i < nl.num_cells(); ++i) {
+    const Cell& c = nl.cell(i);
+    os << "cell " << c.name << ' ' << cell_type_name(c.type);
+    if (c.role == DspRole::kDatapath) os << " role=datapath";
+    if (c.role == DspRole::kControl) os << " role=control";
+    if (c.fixed) os << " fixed=" << c.fixed_x << ',' << c.fixed_y;
+    os << '\n';
+  }
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Net& n = nl.net(i);
+    os << "net " << n.name << ' ' << nl.cell(n.driver).name;
+    for (CellId s : n.sinks) os << ' ' << nl.cell(s).name;
+    os << '\n';
+  }
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    os << "chain";
+    for (CellId c : nl.chain(ci).cells) os << ' ' << nl.cell(c).name;
+    os << '\n';
+  }
+  return os.str();
+}
+
+Netlist read_netlist(const std::string& text) {
+  Netlist nl;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  auto resolve = [&](const std::string& name) -> CellId {
+    auto id = nl.find_cell(name);
+    if (!id)
+      throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                               ": unknown cell '" + name + "'");
+    return *id;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "design") {
+      std::string name;
+      ls >> name;
+      nl.set_name(name);
+    } else if (kw == "cell") {
+      std::string name, type;
+      if (!(ls >> name >> type))
+        throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                                 ": cell needs <name> <type>");
+      const CellId id = nl.add_cell(name, parse_type(type, line_no));
+      std::string attr;
+      while (ls >> attr) {
+        if (attr == "role=datapath") {
+          nl.set_dsp_role(id, DspRole::kDatapath);
+        } else if (attr == "role=control") {
+          nl.set_dsp_role(id, DspRole::kControl);
+        } else if (attr.rfind("fixed=", 0) == 0) {
+          const auto comma = attr.find(',');
+          if (comma == std::string::npos)
+            throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                                     ": fixed=<x>,<y> expected");
+          const double x = std::stod(attr.substr(6, comma - 6));
+          const double y = std::stod(attr.substr(comma + 1));
+          nl.set_fixed(id, x, y);
+        } else {
+          throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                                   ": unknown attribute '" + attr + "'");
+        }
+      }
+    } else if (kw == "net") {
+      std::string name, driver;
+      if (!(ls >> name >> driver))
+        throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                                 ": net needs <name> <driver>");
+      std::vector<CellId> sinks;
+      std::string sink;
+      while (ls >> sink) sinks.push_back(resolve(sink));
+      nl.add_net(name, resolve(driver), std::move(sinks));
+    } else if (kw == "chain") {
+      std::vector<CellId> members;
+      std::string name;
+      while (ls >> name) members.push_back(resolve(name));
+      if (members.empty())
+        throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                                 ": empty chain");
+      nl.add_cascade_chain(members);
+    } else {
+      throw std::runtime_error("netlist parse error line " + std::to_string(line_no) +
+                               ": unknown keyword '" + kw + "'");
+    }
+  }
+  return nl;
+}
+
+bool save_netlist(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << write_netlist(nl);
+  return static_cast<bool>(f);
+}
+
+Netlist load_netlist(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open netlist file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return read_netlist(ss.str());
+}
+
+}  // namespace dsp

@@ -1,0 +1,31 @@
+// Plain-text netlist serialization.
+//
+// Format (one record per line, '#' comments):
+//   design <name>
+//   cell <name> <TYPE> [role=datapath|control] [fixed=<x>,<y>]
+//   net <name> <driver> <sink> [<sink> ...]
+//   chain <cell> <cell> ...
+//
+// Deterministic round-trip: write(read(s)) == s up to comment/whitespace.
+// Used by examples, tests, and for dumping generated benchmarks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+/// Serializes `nl` into the text format above.
+std::string write_netlist(const Netlist& nl);
+
+/// Parses the text format. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Netlist read_netlist(const std::string& text);
+
+/// File helpers; return false / throw on I/O failure respectively.
+bool save_netlist(const Netlist& nl, const std::string& path);
+Netlist load_netlist(const std::string& path);
+
+}  // namespace dsp

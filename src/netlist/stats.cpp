@@ -1,0 +1,31 @@
+#include "netlist/stats.hpp"
+
+namespace dsp {
+
+DesignStats compute_stats(const Netlist& nl, double target_freq_mhz) {
+  DesignStats s;
+  s.design = nl.name();
+  s.target_freq_mhz = target_freq_mhz;
+  for (const auto& c : nl.cells()) {
+    switch (c.type) {
+      case CellType::kLut: ++s.num_lut; break;
+      case CellType::kLutRam: ++s.num_lutram; break;
+      case CellType::kFlipFlop: ++s.num_ff; break;
+      case CellType::kCarry: ++s.num_carry; break;
+      case CellType::kBram: ++s.num_bram; break;
+      case CellType::kDsp:
+        ++s.num_dsp;
+        if (c.role == DspRole::kDatapath) ++s.num_datapath_dsp;
+        if (c.role == DspRole::kControl) ++s.num_control_dsp;
+        break;
+      case CellType::kIo:
+      case CellType::kPsPort:
+        break;
+    }
+  }
+  s.num_chains = nl.num_chains();
+  s.num_nets = nl.num_nets();
+  return s;
+}
+
+}  // namespace dsp

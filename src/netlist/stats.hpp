@@ -1,0 +1,35 @@
+// Resource statistics for a netlist — the quantities of the paper's Table I.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+struct DesignStats {
+  std::string design;
+  int num_lut = 0;
+  int num_lutram = 0;
+  int num_ff = 0;
+  int num_carry = 0;
+  int num_bram = 0;
+  int num_dsp = 0;
+  int num_datapath_dsp = 0;  // ground-truth labels when available
+  int num_control_dsp = 0;
+  int num_chains = 0;
+  int num_nets = 0;
+  double target_freq_mhz = 0.0;  // the design's timing target (Table I "freq.")
+
+  /// DSP utilization relative to a device's DSP capacity.
+  double dsp_utilization(int device_dsp_capacity) const {
+    return device_dsp_capacity > 0
+               ? static_cast<double>(num_dsp) / device_dsp_capacity
+               : 0.0;
+  }
+};
+
+/// Counts resources; `target_freq_mhz` is carried through for reporting.
+DesignStats compute_stats(const Netlist& nl, double target_freq_mhz = 0.0);
+
+}  // namespace dsp

@@ -1,0 +1,130 @@
+#include "nn/gcn.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace dsp {
+
+GcnClassifier::GcnClassifier(int in_dim, GcnConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      gcn1_(in_dim, cfg.hidden, rng_),
+      gcn2_(cfg.hidden, cfg.hidden, rng_),
+      fc1_(cfg.hidden, cfg.fc_hidden, rng_),
+      fc2_(cfg.fc_hidden, cfg.fc_hidden / 2, rng_),
+      fc3_(cfg.fc_hidden / 2, cfg.num_classes, rng_),
+      drop1_(cfg.dropout),
+      drop2_(cfg.dropout),
+      opt_(AdamConfig{cfg.lr, 0.9, 0.999, 1e-8, cfg.weight_decay}) {
+  opt_.attach(&gcn1_.weight());
+  opt_.attach(&gcn1_.bias());
+  opt_.attach(&gcn2_.weight());
+  opt_.attach(&gcn2_.bias());
+  opt_.attach(&fc1_.weight());
+  opt_.attach(&fc1_.bias());
+  opt_.attach(&fc2_.weight());
+  opt_.attach(&fc2_.bias());
+  opt_.attach(&fc3_.weight());
+  opt_.attach(&fc3_.bias());
+}
+
+Matrix GcnClassifier::forward(const CsrMatrix& adj_norm, const Matrix& features,
+                              bool training) {
+  Matrix h = relu_g1_.forward(gcn1_.forward(adj_norm, features));
+  h = drop1_.forward(h, training, rng_);
+  h = relu_g2_.forward(gcn2_.forward(adj_norm, h));
+  h = drop2_.forward(h, training, rng_);
+  h = relu_f1_.forward(fc1_.forward(h));
+  h = relu_f2_.forward(fc2_.forward(h));
+  return fc3_.forward(h);
+}
+
+void GcnClassifier::backward(const CsrMatrix& adj_norm, const Matrix& dlogits) {
+  Matrix d = fc3_.backward(dlogits);
+  d = relu_f2_.backward(d);
+  d = fc2_.backward(d);
+  d = relu_f1_.backward(d);
+  d = fc1_.backward(d);
+  d = drop2_.backward(d);
+  d = relu_g2_.backward(d);
+  d = gcn2_.backward(adj_norm, d);
+  d = drop1_.backward(d);
+  d = relu_g1_.backward(d);
+  (void)gcn1_.backward(adj_norm, d);
+}
+
+std::vector<EpochMetrics> GcnClassifier::fit(const CsrMatrix& adj_norm,
+                                             const Matrix& features,
+                                             const std::vector<int>& labels,
+                                             const std::vector<char>& train_mask,
+                                             const std::vector<char>& test_mask) {
+  // Inverse-frequency class weights from the training rows.
+  std::vector<double> class_count(static_cast<size_t>(cfg_.num_classes), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < train_mask.size(); ++i) {
+    if (train_mask[i]) {
+      class_count[static_cast<size_t>(labels[i])] += 1.0;
+      total += 1.0;
+    }
+  }
+  std::vector<double> class_weight(static_cast<size_t>(cfg_.num_classes), 1.0);
+  for (int k = 0; k < cfg_.num_classes; ++k) {
+    const double cnt = class_count[static_cast<size_t>(k)];
+    class_weight[static_cast<size_t>(k)] =
+        cnt > 0 ? total / (cfg_.num_classes * cnt) : 0.0;
+  }
+
+  std::vector<EpochMetrics> curve;
+  curve.reserve(static_cast<size_t>(cfg_.epochs));
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    Matrix logits = forward(adj_norm, features, /*training=*/true);
+    Matrix dlogits;
+    const double loss =
+        weighted_cross_entropy(logits, labels, train_mask, class_weight, &dlogits);
+    backward(adj_norm, dlogits);
+    opt_.step();
+
+    EpochMetrics m;
+    m.epoch = epoch;
+    m.loss = loss;
+    // Evaluation pass without dropout.
+    const Matrix eval_logits = forward(adj_norm, features, /*training=*/false);
+    m.train_accuracy = accuracy(eval_logits, labels, train_mask);
+    m.test_accuracy = accuracy(eval_logits, labels, test_mask);
+    curve.push_back(m);
+    if (epoch % 50 == 0)
+      LOG_DEBUG("gcn", "epoch %d loss %.4f train %.3f test %.3f", epoch, loss,
+                m.train_accuracy, m.test_accuracy);
+  }
+  return curve;
+}
+
+std::vector<int> GcnClassifier::predict(const CsrMatrix& adj_norm, const Matrix& features) {
+  const Matrix logits = forward(adj_norm, features, /*training=*/false);
+  std::vector<int> out(static_cast<size_t>(logits.rows()), 0);
+  for (int i = 0; i < logits.rows(); ++i) {
+    int best = 0;
+    for (int j = 1; j < logits.cols(); ++j)
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double GcnClassifier::accuracy(const Matrix& logits, const std::vector<int>& labels,
+                               const std::vector<char>& mask) {
+  int correct = 0;
+  int count = 0;
+  for (int i = 0; i < logits.rows(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) continue;
+    int best = 0;
+    for (int j = 1; j < logits.cols(); ++j)
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    if (best == labels[static_cast<size_t>(i)]) ++correct;
+    ++count;
+  }
+  return count > 0 ? static_cast<double>(correct) / count : 0.0;
+}
+
+}  // namespace dsp

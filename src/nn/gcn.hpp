@@ -1,0 +1,74 @@
+// The paper's datapath-DSP classifier (Fig. 3(c)): two graph-convolution
+// layers with 32 hidden units, followed by three fully-connected layers and
+// softmax, trained with dropout and a class-weighted cross-entropy loss.
+// Node classification runs over the whole netlist graph; the loss and the
+// accuracy metrics are masked to DSP nodes (the only labeled class).
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sparse.hpp"
+
+namespace dsp {
+
+struct GcnConfig {
+  int hidden = 32;       // units per GCN layer (paper: 32)
+  int fc_hidden = 32;    // width of the first two FC layers
+  int num_classes = 2;   // datapath vs control
+  double dropout = 0.3;
+  double lr = 1e-2;
+  double weight_decay = 5e-4;
+  int epochs = 300;      // paper's accuracy curve spans 300 epochs
+  uint64_t seed = 1;
+};
+
+struct EpochMetrics {
+  int epoch = 0;
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+class GcnClassifier {
+ public:
+  GcnClassifier(int in_dim, GcnConfig cfg);
+
+  /// Full-batch forward over all nodes. Returns logits (n x num_classes).
+  Matrix forward(const CsrMatrix& adj_norm, const Matrix& features, bool training);
+
+  /// Trains on `train_mask` rows; `test_mask` rows are evaluated per epoch
+  /// (never trained on). Class weights are derived from the inverse class
+  /// frequency of the training rows, the paper's imbalance remedy.
+  /// Returns the per-epoch curve (paper Fig. 7(b)).
+  std::vector<EpochMetrics> fit(const CsrMatrix& adj_norm, const Matrix& features,
+                                const std::vector<int>& labels,
+                                const std::vector<char>& train_mask,
+                                const std::vector<char>& test_mask);
+
+  /// Argmax class per node (eval mode, no dropout).
+  std::vector<int> predict(const CsrMatrix& adj_norm, const Matrix& features);
+
+  /// Fraction of `mask` rows whose argmax equals the label.
+  static double accuracy(const Matrix& logits, const std::vector<int>& labels,
+                         const std::vector<char>& mask);
+
+  const GcnConfig& config() const { return cfg_; }
+
+ private:
+  void backward(const CsrMatrix& adj_norm, const Matrix& dlogits);
+
+  GcnConfig cfg_;
+  Rng rng_;
+  GcnLayer gcn1_;
+  GcnLayer gcn2_;
+  DenseLayer fc1_;
+  DenseLayer fc2_;
+  DenseLayer fc3_;
+  ReluLayer relu_g1_, relu_g2_, relu_f1_, relu_f2_;
+  DropoutLayer drop1_, drop2_;
+  Adam opt_;
+};
+
+}  // namespace dsp

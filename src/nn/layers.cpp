@@ -1,0 +1,147 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dsp {
+
+DenseLayer::DenseLayer(int in_dim, int out_dim, Rng& rng)
+    : w_(Matrix::glorot(in_dim, out_dim, rng)), b_(Matrix(1, out_dim)) {}
+
+Matrix DenseLayer::forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix y = x.matmul(w_.value);
+  y.add_row_broadcast(b_.value);
+  return y;
+}
+
+Matrix DenseLayer::backward(const Matrix& dy) {
+  w_.grad.add_in_place(last_input_.matmul_transposed_lhs(dy));
+  for (int i = 0; i < dy.rows(); ++i)
+    for (int j = 0; j < dy.cols(); ++j) b_.grad.at(0, j) += dy.at(i, j);
+  return dy.matmul_transposed_rhs(w_.value);
+}
+
+GcnLayer::GcnLayer(int in_dim, int out_dim, Rng& rng)
+    : w_(Matrix::glorot(in_dim, out_dim, rng)), b_(Matrix(1, out_dim)) {}
+
+Matrix GcnLayer::forward(const CsrMatrix& adj_norm, const Matrix& x) {
+  last_agg_ = adj_norm.spmm(x);
+  Matrix y = last_agg_.matmul(w_.value);
+  y.add_row_broadcast(b_.value);
+  return y;
+}
+
+Matrix GcnLayer::backward(const CsrMatrix& adj_norm, const Matrix& dy) {
+  // Y = (ÂX)W + b. dW = (ÂX)^T dY; dX = Â^T (dY W^T) = Â (dY W^T), Â symm.
+  w_.grad.add_in_place(last_agg_.matmul_transposed_lhs(dy));
+  for (int i = 0; i < dy.rows(); ++i)
+    for (int j = 0; j < dy.cols(); ++j) b_.grad.at(0, j) += dy.at(i, j);
+  return adj_norm.spmm(dy.matmul_transposed_rhs(w_.value));
+}
+
+Matrix ReluLayer::forward(const Matrix& x) {
+  cols_ = x.cols();
+  mask_.assign(x.size(), 0);
+  Matrix y = x;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      const size_t k = static_cast<size_t>(i) * cols_ + j;
+      if (x.at(i, j) > 0) {
+        mask_[k] = 1;
+      } else {
+        y.at(i, j) = 0.0;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix ReluLayer::backward(const Matrix& dy) const {
+  Matrix dx = dy;
+  for (int i = 0; i < dy.rows(); ++i)
+    for (int j = 0; j < dy.cols(); ++j)
+      if (!mask_[static_cast<size_t>(i) * cols_ + j]) dx.at(i, j) = 0.0;
+  return dx;
+}
+
+Matrix DropoutLayer::forward(const Matrix& x, bool training, Rng& rng) {
+  cols_ = x.cols();
+  if (!training || p_ <= 0.0) {
+    mask_.assign(x.size(), 1.0);
+    return x;
+  }
+  const double keep = 1.0 - p_;
+  mask_.assign(x.size(), 0.0);
+  Matrix y = x;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      const size_t k = static_cast<size_t>(i) * cols_ + j;
+      if (rng.uniform() < keep) {
+        mask_[k] = 1.0 / keep;
+        y.at(i, j) *= mask_[k];
+      } else {
+        y.at(i, j) = 0.0;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix DropoutLayer::backward(const Matrix& dy) const {
+  Matrix dx = dy;
+  for (int i = 0; i < dy.rows(); ++i)
+    for (int j = 0; j < dy.cols(); ++j)
+      dx.at(i, j) *= mask_[static_cast<size_t>(i) * cols_ + j];
+  return dx;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix p = logits;
+  for (int i = 0; i < p.rows(); ++i) {
+    double mx = p.at(i, 0);
+    for (int j = 1; j < p.cols(); ++j) mx = std::max(mx, p.at(i, j));
+    double sum = 0.0;
+    for (int j = 0; j < p.cols(); ++j) {
+      p.at(i, j) = std::exp(p.at(i, j) - mx);
+      sum += p.at(i, j);
+    }
+    for (int j = 0; j < p.cols(); ++j) p.at(i, j) /= sum;
+  }
+  return p;
+}
+
+double weighted_cross_entropy(const Matrix& logits, const std::vector<int>& labels,
+                              const std::vector<char>& mask,
+                              const std::vector<double>& class_weight, Matrix* dlogits) {
+  assert(static_cast<int>(labels.size()) == logits.rows());
+  assert(static_cast<int>(mask.size()) == logits.rows());
+  const Matrix p = softmax_rows(logits);
+  if (dlogits != nullptr) *dlogits = Matrix(logits.rows(), logits.cols());
+
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  for (int i = 0; i < logits.rows(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) continue;
+    const int y = labels[static_cast<size_t>(i)];
+    assert(y >= 0 && y < logits.cols());
+    weight_sum += class_weight[static_cast<size_t>(y)];
+  }
+  if (weight_sum <= 0) return 0.0;
+
+  for (int i = 0; i < logits.rows(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) continue;
+    const int y = labels[static_cast<size_t>(i)];
+    const double w = class_weight[static_cast<size_t>(y)] / weight_sum;
+    loss -= w * std::log(std::max(p.at(i, y), 1e-12));
+    if (dlogits != nullptr) {
+      for (int j = 0; j < logits.cols(); ++j) {
+        const double indicator = (j == y) ? 1.0 : 0.0;
+        dlogits->at(i, j) = w * (p.at(i, j) - indicator);
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace dsp

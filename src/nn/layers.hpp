@@ -1,0 +1,98 @@
+// Neural-network building blocks with explicit forward/backward passes.
+//
+// A tiny, dependency-free stand-in for the PyTorch(-Geometric) stack the
+// paper's extraction stage uses: dense (fully-connected) layers, graph
+// convolution layers, ReLU, inverted dropout, and a class-weighted softmax
+// cross-entropy head (the paper's remedy for datapath/control imbalance).
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+
+/// Parameter tensor plus its gradient accumulator.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  explicit Param(Matrix v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+  void zero_grad() { grad.fill(0.0); }
+};
+
+/// Fully connected layer: Y = X W + b.
+class DenseLayer {
+ public:
+  DenseLayer(int in_dim, int out_dim, Rng& rng);
+
+  Matrix forward(const Matrix& x);
+  /// Returns dL/dX and accumulates dL/dW, dL/db.
+  Matrix backward(const Matrix& dy);
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  Param w_;
+  Param b_;
+  Matrix last_input_;
+};
+
+/// Graph convolution: Y = Â X W + b with symmetric normalized Â.
+class GcnLayer {
+ public:
+  GcnLayer(int in_dim, int out_dim, Rng& rng);
+
+  Matrix forward(const CsrMatrix& adj_norm, const Matrix& x);
+  Matrix backward(const CsrMatrix& adj_norm, const Matrix& dy);
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  Param w_;
+  Param b_;
+  Matrix last_agg_;  // Â X, cached for the weight gradient
+};
+
+/// ReLU with cached mask.
+class ReluLayer {
+ public:
+  Matrix forward(const Matrix& x);
+  Matrix backward(const Matrix& dy) const;
+
+ private:
+  std::vector<char> mask_;
+  int cols_ = 0;
+};
+
+/// Inverted dropout: scales kept units by 1/(1-p) at train time so
+/// inference needs no rescaling.
+class DropoutLayer {
+ public:
+  explicit DropoutLayer(double p) : p_(p) {}
+
+  Matrix forward(const Matrix& x, bool training, Rng& rng);
+  Matrix backward(const Matrix& dy) const;
+
+ private:
+  double p_;
+  std::vector<double> mask_;
+  int cols_ = 0;
+};
+
+/// Row-wise softmax (out-of-place).
+Matrix softmax_rows(const Matrix& logits);
+
+/// Class-weighted cross-entropy over the rows selected by `mask`.
+/// labels[i] in [0, num_classes); class_weight[k] scales class-k rows.
+/// Returns the mean weighted loss and writes dL/dlogits into `dlogits`
+/// (zero rows where mask is false).
+double weighted_cross_entropy(const Matrix& logits, const std::vector<int>& labels,
+                              const std::vector<char>& mask,
+                              const std::vector<double>& class_weight, Matrix* dlogits);
+
+}  // namespace dsp

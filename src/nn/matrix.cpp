@@ -1,0 +1,92 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+
+namespace dsp {
+
+Matrix Matrix::glorot(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / (rows + cols));
+  for (size_t i = 0; i < m.data_.size(); ++i) m.data_[i] = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (int k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.row(k);
+      for (int j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed_lhs(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (int k = 0; k < rows_; ++k) {
+    const double* a = row(k);
+    const double* b = other.row(k);
+    for (int i = 0; i < cols_; ++i) {
+      const double aki = a[i];
+      if (aki == 0.0) continue;
+      double* o = out.row(i);
+      for (int j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed_rhs(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (int j = 0; j < other.rows_; ++j) {
+      const double* b = other.row(j);
+      double s = 0.0;
+      for (int k = 0; k < cols_; ++k) s += a[k] * b[k];
+      o[j] = s;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+void Matrix::add_in_place(const Matrix& other, double scale) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::scale_in_place(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::add_row_broadcast(const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == cols_);
+  for (int i = 0; i < rows_; ++i) {
+    double* r = row(i);
+    for (int j = 0; j < cols_; ++j) r[j] += bias.at(0, j);
+  }
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace dsp

@@ -1,0 +1,65 @@
+// Dense row-major matrix of doubles with the handful of BLAS-like kernels
+// the GCN training loop needs. Deliberately simple: netlist feature
+// matrices are (num_nodes x 7) and hidden layers are 32-wide, so cache
+// blocking and vectorization heroics are unnecessary.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dsp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+
+  /// Glorot/Xavier-uniform initialization (the PyTorch-Geometric default
+  /// for GCN weights, which the paper's model uses).
+  static Matrix glorot(int rows, int cols, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+  Matrix matmul(const Matrix& other) const;           // this (r x k) * other (k x c)
+  Matrix matmul_transposed_lhs(const Matrix& other) const;  // this^T * other
+  Matrix matmul_transposed_rhs(const Matrix& other) const;  // this * other^T
+  Matrix transposed() const;
+
+  void add_in_place(const Matrix& other, double scale = 1.0);
+  void scale_in_place(double s);
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Adds a row vector (1 x cols) to every row (bias broadcast).
+  void add_row_broadcast(const Matrix& bias);
+
+  double frobenius_norm() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,36 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace dsp {
+
+void Adam::attach(Param* p) {
+  State s{p, Matrix(p->value.rows(), p->value.cols()), Matrix(p->value.rows(), p->value.cols())};
+  states_.push_back(std::move(s));
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (auto& s : states_) {
+    Matrix& w = s.param->value;
+    Matrix& g = s.param->grad;
+    for (int i = 0; i < w.rows(); ++i) {
+      for (int j = 0; j < w.cols(); ++j) {
+        const double grad = g.at(i, j);
+        double& m = s.m.at(i, j);
+        double& v = s.v.at(i, j);
+        m = cfg_.beta1 * m + (1.0 - cfg_.beta1) * grad;
+        v = cfg_.beta2 * v + (1.0 - cfg_.beta2) * grad * grad;
+        const double mhat = m / bc1;
+        const double vhat = v / bc2;
+        w.at(i, j) -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                                 cfg_.weight_decay * w.at(i, j));
+      }
+    }
+    s.param->zero_grad();
+  }
+}
+
+}  // namespace dsp

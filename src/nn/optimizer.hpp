@@ -1,0 +1,41 @@
+// Adam optimizer over a set of Param tensors.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace dsp {
+
+struct AdamConfig {
+  double lr = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style)
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Registers a parameter tensor; must be called before the first step.
+  void attach(Param* p);
+
+  /// Applies one update from the accumulated gradients, then clears them.
+  void step();
+
+  const AdamConfig& config() const { return cfg_; }
+
+ private:
+  struct State {
+    Param* param;
+    Matrix m;
+    Matrix v;
+  };
+  AdamConfig cfg_;
+  std::vector<State> states_;
+  long t_ = 0;
+};
+
+}  // namespace dsp

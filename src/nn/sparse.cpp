@@ -1,0 +1,68 @@
+#include "nn/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <tuple>
+
+namespace dsp {
+
+CsrMatrix CsrMatrix::from_triplets(int rows, int cols,
+                                   std::vector<std::tuple<int, int, double>> triplets) {
+  std::sort(triplets.begin(), triplets.end(), [](const auto& a, const auto& b) {
+    return std::tie(std::get<0>(a), std::get<1>(a)) < std::tie(std::get<0>(b), std::get<1>(b));
+  });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (size_t i = 0; i < triplets.size();) {
+    const int r = std::get<0>(triplets[i]);
+    const int c = std::get<1>(triplets[i]);
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    double v = 0.0;
+    while (i < triplets.size() && std::get<0>(triplets[i]) == r && std::get<1>(triplets[i]) == c)
+      v += std::get<2>(triplets[i++]);
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    ++m.row_ptr_[static_cast<size_t>(r) + 1];
+  }
+  for (int r = 0; r < rows; ++r) m.row_ptr_[static_cast<size_t>(r) + 1] += m.row_ptr_[static_cast<size_t>(r)];
+  return m;
+}
+
+CsrMatrix CsrMatrix::normalized_adjacency(const Digraph& g) {
+  const int n = g.num_nodes();
+  // Degree includes the self-loop.
+  std::vector<double> deg(static_cast<size_t>(n), 1.0);
+  for (int u = 0; u < n; ++u) deg[static_cast<size_t>(u)] += static_cast<double>(g.undirected_neighbors(u).size());
+
+  std::vector<std::tuple<int, int, double>> trips;
+  trips.reserve(static_cast<size_t>(g.num_edges()) * 2 + static_cast<size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    const double du = 1.0 / std::sqrt(deg[static_cast<size_t>(u)]);
+    trips.emplace_back(u, u, du * du);  // self loop
+    for (int v : g.undirected_neighbors(u)) {
+      if (v == u) continue;  // explicit self-loop already added above
+      const double dv = 1.0 / std::sqrt(deg[static_cast<size_t>(v)]);
+      trips.emplace_back(u, v, du * dv);
+    }
+  }
+  return from_triplets(n, n, std::move(trips));
+}
+
+Matrix CsrMatrix::spmm(const Matrix& dense) const {
+  assert(cols_ == dense.rows());
+  Matrix out(rows_, dense.cols());
+  for (int r = 0; r < rows_; ++r) {
+    double* o = out.row(r);
+    for (int k = row_ptr_[static_cast<size_t>(r)]; k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const double v = values_[static_cast<size_t>(k)];
+      const double* d = dense.row(col_idx_[static_cast<size_t>(k)]);
+      for (int j = 0; j < dense.cols(); ++j) o[j] += v * d[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace dsp

@@ -1,0 +1,43 @@
+// CSR sparse matrix for the GCN propagation operator.
+//
+// The GCN layer computes H' = Â H W with Â = D^{-1/2}(A + I)D^{-1/2}
+// (Kipf-Welling symmetric normalization, the formulation the paper's
+// PyTorch-Geometric model uses). Â is symmetric, so the backward pass can
+// reuse the same spmm.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "nn/matrix.hpp"
+
+namespace dsp {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// From (row, col, value) triplets; duplicates are summed.
+  static CsrMatrix from_triplets(int rows, int cols,
+                                 std::vector<std::tuple<int, int, double>> triplets);
+
+  /// Kipf-Welling normalized adjacency of `g` treated as undirected, with
+  /// self-loops added: D^{-1/2} (A + I) D^{-1/2}.
+  static CsrMatrix normalized_adjacency(const Digraph& g);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// out = this * dense  (rows x dense.cols()).
+  Matrix spmm(const Matrix& dense) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,93 @@
+#include "nn/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dsp {
+
+void LinearSvm::fit(const Matrix& x, const std::vector<int>& y,
+                    const std::vector<char>& mask) {
+  const int d = x.cols();
+  std::vector<int> rows;
+  for (int i = 0; i < x.rows(); ++i)
+    if (mask[static_cast<size_t>(i)]) rows.push_back(i);
+  if (rows.empty()) return;
+
+  // Standardize on training rows.
+  mean_.assign(static_cast<size_t>(d), 0.0);
+  stddev_.assign(static_cast<size_t>(d), 1.0);
+  for (int i : rows)
+    for (int j = 0; j < d; ++j) mean_[static_cast<size_t>(j)] += x.at(i, j);
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  for (int i : rows)
+    for (int j = 0; j < d; ++j) {
+      const double delta = x.at(i, j) - mean_[static_cast<size_t>(j)];
+      stddev_[static_cast<size_t>(j)] += delta * delta;
+    }
+  for (double& s : stddev_) s = std::sqrt(s / static_cast<double>(rows.size())) + 1e-9;
+
+  // Per-class weights (minority boosted).
+  double pos = 0;
+  for (int i : rows) pos += y[static_cast<size_t>(i)] == 1 ? 1.0 : 0.0;
+  const double neg = static_cast<double>(rows.size()) - pos;
+  const double w_pos = pos > 0 ? static_cast<double>(rows.size()) / (2.0 * pos) : 1.0;
+  const double w_neg = neg > 0 ? static_cast<double>(rows.size()) / (2.0 * neg) : 1.0;
+
+  w_.assign(static_cast<size_t>(d), 0.0);
+  b_ = 0.0;
+  Rng rng(cfg_.seed);
+  long t = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(rows);
+    for (int i : rows) {
+      ++t;
+      const double eta = 1.0 / (cfg_.lambda * static_cast<double>(t));
+      const double target = y[static_cast<size_t>(i)] == 1 ? 1.0 : -1.0;
+      const double cw = (target > 0 ? w_pos : w_neg) * cfg_.class_balance;
+      double score = b_;
+      for (int j = 0; j < d; ++j)
+        score += w_[static_cast<size_t>(j)] *
+                 ((x.at(i, j) - mean_[static_cast<size_t>(j)]) / stddev_[static_cast<size_t>(j)]);
+      // Pegasos update: shrink + (hinge-active) gradient step.
+      for (double& wj : w_) wj *= (1.0 - eta * cfg_.lambda);
+      if (target * score < 1.0) {
+        for (int j = 0; j < d; ++j)
+          w_[static_cast<size_t>(j)] +=
+              eta * cw * target *
+              ((x.at(i, j) - mean_[static_cast<size_t>(j)]) / stddev_[static_cast<size_t>(j)]);
+        b_ += eta * cw * target;
+      }
+    }
+  }
+}
+
+double LinearSvm::decision(const Matrix& x, int row) const {
+  if (w_.empty()) return 0.0;
+  double score = b_;
+  for (int j = 0; j < x.cols(); ++j)
+    score += w_[static_cast<size_t>(j)] *
+             ((x.at(row, j) - mean_[static_cast<size_t>(j)]) / stddev_[static_cast<size_t>(j)]);
+  return score;
+}
+
+std::vector<int> LinearSvm::predict(const Matrix& x) const {
+  std::vector<int> out(static_cast<size_t>(x.rows()), 0);
+  for (int i = 0; i < x.rows(); ++i) out[static_cast<size_t>(i)] = decision(x, i) >= 0 ? 1 : 0;
+  return out;
+}
+
+double LinearSvm::accuracy(const Matrix& x, const std::vector<int>& y,
+                           const std::vector<char>& mask) const {
+  int correct = 0, count = 0;
+  const auto pred = predict(x);
+  for (int i = 0; i < x.rows(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) continue;
+    if (pred[static_cast<size_t>(i)] == y[static_cast<size_t>(i)]) ++correct;
+    ++count;
+  }
+  return count > 0 ? static_cast<double>(correct) / count : 0.0;
+}
+
+}  // namespace dsp

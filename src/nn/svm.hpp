@@ -1,0 +1,48 @@
+// Linear SVM trained with Pegasos-style SGD on the hinge loss.
+//
+// This reproduces the PADE baseline of the paper's Fig. 7(a): an SVM over
+// *local* automorphism-style features, which the GCN's global centrality
+// features outperform by ~15 accuracy points. Features are standardized
+// internally (zero mean, unit variance on the training set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace dsp {
+
+struct SvmConfig {
+  double lambda = 1e-3;  // L2 regularization strength
+  int epochs = 60;
+  uint64_t seed = 7;
+  double class_balance = 1.0;  // >1 boosts minority-class updates
+};
+
+class LinearSvm {
+ public:
+  explicit LinearSvm(SvmConfig cfg = {}) : cfg_(cfg) {}
+
+  /// X: one row per sample; y: 0/1 labels. Rows where mask is false are
+  /// ignored.
+  void fit(const Matrix& x, const std::vector<int>& y, const std::vector<char>& mask);
+
+  /// Predicted 0/1 labels for every row of X.
+  std::vector<int> predict(const Matrix& x) const;
+
+  /// Signed decision value for one row.
+  double decision(const Matrix& x, int row) const;
+
+  double accuracy(const Matrix& x, const std::vector<int>& y,
+                  const std::vector<char>& mask) const;
+
+ private:
+  SvmConfig cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace dsp

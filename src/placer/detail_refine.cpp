@@ -1,0 +1,181 @@
+#include "placer/detail_refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "timing/wirelength.hpp"
+
+namespace dsp {
+namespace {
+
+enum class SlotClass { kLut, kFf, kCarry, kNone };
+
+SlotClass slot_class(const Cell& c) {
+  if (c.fixed) return SlotClass::kNone;
+  switch (c.type) {
+    case CellType::kLut:
+    case CellType::kLutRam:
+      return SlotClass::kLut;
+    case CellType::kFlipFlop:
+      return SlotClass::kFf;
+    case CellType::kCarry:
+      return SlotClass::kCarry;
+    default:
+      return SlotClass::kNone;
+  }
+}
+
+struct TileLoad {
+  int luts = 0;
+  int ffs = 0;
+  int carries = 0;
+
+  int& of(SlotClass cls) {
+    switch (cls) {
+      case SlotClass::kLut: return luts;
+      case SlotClass::kFf: return ffs;
+      default: return carries;
+    }
+  }
+};
+
+}  // namespace
+
+RefineStats refine_detail(const Netlist& nl, const Device& dev, Placement& pl,
+                          const RefineOptions& opts) {
+  RefineStats stats;
+  const int w = dev.width();
+  const int h = dev.height();
+  std::vector<TileLoad> load(static_cast<size_t>(w) * h);
+  std::vector<std::vector<CellId>> tile_cells(static_cast<size_t>(w) * h);
+
+  auto tile_of = [&](CellId c) {
+    const int tx = std::clamp(static_cast<int>(pl.x(c)), 0, w - 1);
+    const int ty = std::clamp(static_cast<int>(pl.y(c)), 0, h - 1);
+    return std::make_pair(tx, ty);
+  };
+  auto idx = [&](int tx, int ty) { return static_cast<size_t>(ty) * w + tx; };
+
+  std::vector<CellId> movable;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const SlotClass cls = slot_class(nl.cell(c));
+    if (cls == SlotClass::kNone) continue;
+    movable.push_back(c);
+    const auto [tx, ty] = tile_of(c);
+    load[idx(tx, ty)].of(cls) += 1;
+    tile_cells[idx(tx, ty)].push_back(c);
+  }
+
+  auto capacity_of = [&](SlotClass cls) {
+    switch (cls) {
+      case SlotClass::kLut: return dev.clb_capacity().luts_per_tile;
+      case SlotClass::kFf: return dev.clb_capacity().ffs_per_tile;
+      default: return dev.clb_capacity().carries_per_tile;
+    }
+  };
+  auto tile_legal_for = [&](int tx, int ty, const Cell& cell) {
+    if (!dev.is_logic_column(tx)) return false;
+    if (cell.type == CellType::kLutRam && dev.column_type(tx) != ColumnType::kClbM)
+      return false;
+    return ty >= 0 && ty < h;
+  };
+
+  // HPWL of all nets touching `c` at the current positions.
+  auto incident_hpwl = [&](CellId c) {
+    double sum = 0;
+    for (NetId n : nl.nets_driven_by(c)) sum += net_hpwl(nl, pl, n);
+    for (NetId n : nl.nets_sinking(c)) sum += net_hpwl(nl, pl, n);
+    return sum;
+  };
+
+  for (int pass = 0; pass < opts.passes; ++pass) {
+    bool improved = false;
+    for (CellId c : movable) {
+      const Cell& cell = nl.cell(c);
+      const SlotClass cls = slot_class(cell);
+      const auto [cx, cy] = tile_of(c);
+      const double old_x = pl.x(c), old_y = pl.y(c);
+      const double before = incident_hpwl(c);
+
+      double best_gain = opts.min_gain;
+      int best_tx = -1, best_ty = -1;
+      CellId best_swap = kInvalidCell;
+
+      for (int dy = -opts.window; dy <= opts.window; ++dy) {
+        for (int dx = -opts.window; dx <= opts.window; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const int tx = cx + dx, ty = cy + dy;
+          if (tx < 0 || tx >= w || ty < 0 || ty >= h) continue;
+          if (!tile_legal_for(tx, ty, cell)) continue;
+
+          if (load[idx(tx, ty)].of(cls) < capacity_of(cls)) {
+            // Free slot: evaluate a plain move.
+            pl.set(c, tx + 0.5, ty + 0.5);
+            const double gain = before - incident_hpwl(c);
+            pl.set(c, old_x, old_y);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_tx = tx;
+              best_ty = ty;
+              best_swap = kInvalidCell;
+            }
+          } else {
+            // Full tile: try swapping with a same-class occupant.
+            for (CellId other : tile_cells[idx(tx, ty)]) {
+              if (slot_class(nl.cell(other)) != cls) continue;
+              if (nl.cell(other).type == CellType::kLutRam &&
+                  dev.column_type(cx) != ColumnType::kClbM)
+                continue;
+              if (cell.type == CellType::kLutRam &&
+                  dev.column_type(tx) != ColumnType::kClbM)
+                continue;
+              const double ox = pl.x(other), oy = pl.y(other);
+              const double before_both = before + incident_hpwl(other);
+              pl.set(c, ox, oy);
+              pl.set(other, old_x, old_y);
+              const double after_both = incident_hpwl(c) + incident_hpwl(other);
+              pl.set(c, old_x, old_y);
+              pl.set(other, ox, oy);
+              const double gain = before_both - after_both;
+              if (gain > best_gain) {
+                best_gain = gain;
+                best_tx = tx;
+                best_ty = ty;
+                best_swap = other;
+              }
+              break;  // one candidate per tile keeps the pass linear-ish
+            }
+          }
+        }
+      }
+
+      if (best_tx < 0) continue;
+      improved = true;
+      stats.hpwl_gain += best_gain;
+      auto& from_list = tile_cells[idx(cx, cy)];
+      if (best_swap == kInvalidCell) {
+        pl.set(c, best_tx + 0.5, best_ty + 0.5);
+        load[idx(cx, cy)].of(cls) -= 1;
+        load[idx(best_tx, best_ty)].of(cls) += 1;
+        from_list.erase(std::find(from_list.begin(), from_list.end(), c));
+        tile_cells[idx(best_tx, best_ty)].push_back(c);
+        ++stats.moves;
+      } else {
+        const double ox = pl.x(best_swap), oy = pl.y(best_swap);
+        pl.set(best_swap, old_x, old_y);
+        pl.set(c, ox, oy);
+        auto& to_list = tile_cells[idx(best_tx, best_ty)];
+        from_list.erase(std::find(from_list.begin(), from_list.end(), c));
+        to_list.erase(std::find(to_list.begin(), to_list.end(), best_swap));
+        from_list.push_back(best_swap);
+        to_list.push_back(c);
+        ++stats.swaps;
+      }
+    }
+    if (!improved) break;
+  }
+  return stats;
+}
+
+}  // namespace dsp

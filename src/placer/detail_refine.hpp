@@ -1,0 +1,31 @@
+// Detailed placement refinement: greedy wirelength-driven moves and swaps
+// of logic cells within a bounded window after legalization. Keeps every
+// placement legal by construction (moves go to free compatible slots,
+// swaps exchange same-resource cells) and never increases total HPWL.
+// Optional last mile of the host placer; exercised by the ablation bench.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+struct RefineOptions {
+  int passes = 2;         // sweeps over all movable logic cells
+  int window = 3;         // Chebyshev radius of candidate slots (tiles)
+  double min_gain = 1e-9; // accept a move only above this HPWL gain
+};
+
+struct RefineStats {
+  int moves = 0;
+  int swaps = 0;
+  double hpwl_gain = 0.0;  // total HPWL reduction (>= 0)
+};
+
+/// Refines LUT/LUTRAM/FF/CARRY positions in `pl` (must already be legal
+/// w.r.t. tile capacities; DSP/BRAM/fixed cells are untouched).
+RefineStats refine_detail(const Netlist& nl, const Device& dev, Placement& pl,
+                          const RefineOptions& opts = {});
+
+}  // namespace dsp

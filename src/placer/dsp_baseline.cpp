@@ -1,0 +1,192 @@
+#include "placer/dsp_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+// Unified view: every DSP belongs to a "group" that must occupy consecutive
+// rows of one column — real chains, or singletons of length 1.
+struct Group {
+  std::vector<CellId> cells;
+  double cx = 0, cy = 0;  // centroid of current continuous positions
+};
+
+std::vector<Group> collect_groups(const Netlist& nl, const Placement& pl,
+                                  bool skip_assigned) {
+  std::vector<Group> groups;
+  std::vector<char> in_chain(static_cast<size_t>(nl.num_cells()), 0);
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    Group g;
+    g.cells = nl.chain(ci).cells;
+    for (CellId c : g.cells) in_chain[static_cast<size_t>(c)] = 1;
+    if (skip_assigned) {
+      bool any_assigned = false;
+      for (CellId c : g.cells) any_assigned |= pl.dsp_site(c) >= 0;
+      if (any_assigned) continue;  // chain pinned by DSPlacer
+    }
+    groups.push_back(std::move(g));
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    if (nl.cell(c).type == CellType::kDsp && !in_chain[static_cast<size_t>(c)] &&
+        !(skip_assigned && pl.dsp_site(c) >= 0))
+      groups.push_back(Group{{c}, 0, 0});
+  for (Group& g : groups) {
+    for (CellId c : g.cells) {
+      g.cx += pl.x(c);
+      g.cy += pl.y(c);
+    }
+    g.cx /= static_cast<double>(g.cells.size());
+    g.cy /= static_cast<double>(g.cells.size());
+  }
+  return groups;
+}
+
+// Occupancy per column; finds the free run of `len` consecutive rows whose
+// placement cost (distance of the run's span midpoint to the target) is
+// minimal.
+class SiteOccupancy {
+ public:
+  explicit SiteOccupancy(const Device& dev) : dev_(dev) {
+    for (const auto& col : dev.dsp_columns())
+      used_.emplace_back(static_cast<size_t>(col.num_sites), 0);
+  }
+
+  void occupy_site(int site) {
+    const DspSite& s = dev_.dsp_site(site);
+    used_[static_cast<size_t>(s.column)][static_cast<size_t>(s.row)] = 1;
+  }
+
+  /// Best (column, start_row) for a group of `len` near (tx, ty); {-1,-1}
+  /// if nothing fits.
+  std::pair<int, int> best_fit(int len, double tx, double ty) const {
+    int best_col = -1, best_row = -1;
+    double best_cost = 1e18;
+    for (size_t ci = 0; ci < used_.size(); ++ci) {
+      const auto& col = dev_.dsp_columns()[ci];
+      int run = 0;
+      for (int r = 0; r < col.num_sites; ++r) {
+        run = used_[ci][static_cast<size_t>(r)] ? 0 : run + 1;
+        if (run >= len) {
+          const int start = r - len + 1;
+          const double mid_y = col.y0 + start + (len - 1) / 2.0;
+          const double cost = std::fabs(col.x - tx) * 1.5 + std::fabs(mid_y - ty);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_col = static_cast<int>(ci);
+            best_row = start;
+          }
+        }
+      }
+    }
+    return {best_col, best_row};
+  }
+
+  /// Lowest free run of `len` rows in a specific column, or -1.
+  int lowest_fit(int column, int len) const {
+    const auto& col = dev_.dsp_columns()[static_cast<size_t>(column)];
+    int run = 0;
+    for (int r = 0; r < col.num_sites; ++r) {
+      run = used_[static_cast<size_t>(column)][static_cast<size_t>(r)] ? 0 : run + 1;
+      if (run >= len) return r - len + 1;
+    }
+    return -1;
+  }
+
+  void occupy(int column, int start, int len) {
+    for (int r = start; r < start + len; ++r)
+      used_[static_cast<size_t>(column)][static_cast<size_t>(r)] = 1;
+  }
+
+ private:
+  const Device& dev_;
+  std::vector<std::vector<char>> used_;
+};
+
+void commit(const Netlist& nl, const Device& dev, Placement& pl, const Group& g,
+            int column, int start) {
+  for (size_t k = 0; k < g.cells.size(); ++k)
+    pl.assign_dsp_site(dev, g.cells[k], dev.dsp_site_index(column, start + static_cast<int>(k)));
+  (void)nl;
+}
+
+}  // namespace
+
+bool legalize_dsps_baseline(const Netlist& nl, const Device& dev, Placement& pl,
+                            const DspBaselineOptions& opts) {
+  std::vector<Group> groups = collect_groups(nl, pl, opts.only_unassigned);
+  SiteOccupancy occ(dev);
+  if (opts.only_unassigned) {
+    for (CellId c = 0; c < nl.num_cells(); ++c)
+      if (nl.cell(c).type == CellType::kDsp && pl.dsp_site(c) >= 0)
+        occ.occupy_site(pl.dsp_site(c));
+  }
+
+  if (opts.mode == DspBaselineMode::kVivadoLike) {
+    // Longest groups first (hardest to fit), then by centroid for
+    // determinism. Each goes to the nearest feasible segment.
+    std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+      if (a.cells.size() != b.cells.size()) return a.cells.size() > b.cells.size();
+      if (a.cy != b.cy) return a.cy < b.cy;
+      return a.cx < b.cx;
+    });
+    for (const Group& g : groups) {
+      const auto [col, row] = occ.best_fit(static_cast<int>(g.cells.size()), g.cx, g.cy);
+      if (col < 0) return false;
+      occ.occupy(col, row, static_cast<int>(g.cells.size()));
+      commit(nl, dev, pl, g, col, row);
+    }
+    return true;
+  }
+
+  // kAmfLike: compute the DSP centroid, order columns by distance to it,
+  // shuffle the groups (dataflow-oblivious), then stuff columns in order —
+  // maximal compaction, scrambled datapath.
+  double cx = 0, cy = 0;
+  int total = 0;
+  for (const Group& g : groups) {
+    cx += g.cx * static_cast<double>(g.cells.size());
+    cy += g.cy * static_cast<double>(g.cells.size());
+    total += static_cast<int>(g.cells.size());
+  }
+  if (total == 0) return true;
+  cx /= total;
+  cy /= total;
+
+  std::vector<int> col_order(dev.dsp_columns().size());
+  std::iota(col_order.begin(), col_order.end(), 0);
+  std::sort(col_order.begin(), col_order.end(), [&](int a, int b) {
+    return std::fabs(dev.dsp_columns()[static_cast<size_t>(a)].x - cx) <
+           std::fabs(dev.dsp_columns()[static_cast<size_t>(b)].x - cx);
+  });
+
+  Rng rng(opts.seed);
+  rng.shuffle(groups);
+  // Longest-first within the shuffle so long chains do not strand free rows.
+  std::stable_sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    return a.cells.size() > b.cells.size();
+  });
+
+  for (const Group& g : groups) {
+    bool placed = false;
+    for (int col : col_order) {
+      const int row = occ.lowest_fit(col, static_cast<int>(g.cells.size()));
+      if (row >= 0) {
+        occ.occupy(col, row, static_cast<int>(g.cells.size()));
+        commit(nl, dev, pl, g, col, row);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+}  // namespace dsp

@@ -1,0 +1,38 @@
+// Baseline DSP legalizers standing in for the comparison tools of Table II.
+//
+//  * kVivadoLike — displacement-driven: each cascade chain goes to the free
+//    column segment nearest its analytical centroid. Cascades are legal and
+//    placement tracks wirelength, but no datapath ordering is attempted —
+//    Vivado 2020.2's qualitative behavior in the paper.
+//  * kAmfLike — cluster-compact: chains are packed into the fewest columns
+//    around the DSP centroid in an order unrelated to dataflow (the paper's
+//    Fig. 9(b): "compact layout ... fails to maintain the datapath
+//    information between PS and PL, resulting in a disordered datapath").
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+enum class DspBaselineMode { kVivadoLike, kAmfLike };
+
+struct DspBaselineOptions {
+  DspBaselineMode mode = DspBaselineMode::kVivadoLike;
+  uint64_t seed = 0x7ace;
+  /// When true, DSPs that already hold a site keep it (their sites are
+  /// marked occupied) and only the rest are placed — how DSPlacer hands
+  /// control DSPs back to the host flow after fixing the datapath DSPs.
+  bool only_unassigned = false;
+};
+
+/// Assigns every DSP cell (datapath and control) to a legal site honoring
+/// cascade constraints. Starts from the continuous positions in `pl`.
+/// Returns false if the device lacks capacity (never for our benchmarks).
+bool legalize_dsps_baseline(const Netlist& nl, const Device& dev, Placement& pl,
+                            const DspBaselineOptions& opts = {});
+
+}  // namespace dsp

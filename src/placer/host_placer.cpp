@@ -1,0 +1,117 @@
+#include "placer/host_placer.hpp"
+
+#include <algorithm>
+
+#include "timing/sta.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+
+HostPlacerOptions HostPlacerOptions::vivado_like() {
+  HostPlacerOptions o;
+  o.mode = HostMode::kVivadoLike;
+  o.global_iterations = 3;
+  o.spread.target_util = 0.75;
+  return o;
+}
+
+HostPlacerOptions HostPlacerOptions::amf_like() {
+  HostPlacerOptions o;
+  o.mode = HostMode::kAmfLike;
+  // AMF-Placer adapted to ZCU104 converges with fewer refinement rounds,
+  // packs harder, and leaves its solves under-converged (the paper reports
+  // limited adaptability: compact but congested, poor PS-PL datapath).
+  o.global_iterations = 1;
+  o.spread.target_util = 0.95;
+  o.qplace.max_cg_iters = 120;
+  return o;
+}
+
+HostPlacer::HostPlacer(const Netlist& nl, const Device& dev, HostPlacerOptions opts)
+    : nl_(nl), dev_(dev), opts_(opts) {}
+
+void HostPlacer::global_and_legalize(Placement& pl, bool freeze_dsps) {
+  QPlaceOptions qopts = opts_.qplace;
+  qopts.freeze_dsps = freeze_dsps;
+  if (!net_weight_scale_.empty()) qopts.net_weight_scale = &net_weight_scale_;
+  SpreaderOptions sopts = opts_.spread;
+  sopts.move_dsps = !freeze_dsps;
+  for (int it = 0; it < opts_.global_iterations; ++it) {
+    // Anchored loop: the first solve is pure wirelength; later solves pull
+    // toward the spread result with growing strength so density sticks.
+    qopts.pseudo_anchor_weight = it == 0 ? 0.0 : 0.05 * static_cast<double>(it);
+    quadratic_place(nl_, dev_, pl, qopts);
+    spread_cells(nl_, dev_, pl, sopts);
+  }
+  // Final anchored solve recovers wirelength, then one more spread so the
+  // legalizer starts from a density-feasible state (ring displacement stays
+  // local).
+  qopts.pseudo_anchor_weight = 0.12;
+  quadratic_place(nl_, dev_, pl, qopts);
+  spread_cells(nl_, dev_, pl, sopts);
+  legalize_logic(nl_, dev_, pl);
+  if (opts_.detail_refine) refine_detail(nl_, dev_, pl, opts_.refine);
+}
+
+Placement HostPlacer::place_full() {
+  Placement pl(nl_, dev_);
+  // Jitter movable cells around the fabric center so the first quadratic
+  // solve is well-conditioned (identical coordinates make the Laplacian
+  // solve degenerate toward anchors only).
+  Rng rng(opts_.seed);
+  for (CellId c = 0; c < nl_.num_cells(); ++c) {
+    if (nl_.cell(c).fixed) continue;
+    pl.set(c, dev_.clamp_x(pl.x(c) + rng.uniform(-3.0, 3.0)),
+           dev_.clamp_y(pl.y(c) + rng.uniform(-3.0, 3.0)));
+  }
+
+  global_and_legalize(pl, /*freeze_dsps=*/false);
+
+  DspBaselineOptions dsp_opts;
+  dsp_opts.mode = opts_.mode == HostMode::kVivadoLike ? DspBaselineMode::kVivadoLike
+                                                      : DspBaselineMode::kAmfLike;
+  dsp_opts.seed = opts_.seed;
+  if (!legalize_dsps_baseline(nl_, dev_, pl, dsp_opts))
+    LOG_ERROR("host", "baseline DSP legalization failed (device too small?)");
+
+  for (int t = 0; t < opts_.timing_driven_iterations; ++t) timing_driven_round(pl);
+  return pl;
+}
+
+void HostPlacer::timing_driven_round(Placement& pl) {
+  // Criticality extraction: any net with a pin on a failing endpoint's
+  // worst path (approximated by endpoint slack sign) gets boosted.
+  StaOptions sta;
+  const TimingReport rep = run_sta_mhz(nl_, pl, dev_, opts_.timing_target_mhz, sta);
+  if (rep.wns_ns >= 0 || rep.critical_path.empty()) return;  // nothing to chase
+  if (net_weight_scale_.empty())
+    net_weight_scale_.assign(static_cast<size_t>(nl_.num_nets()), 1.0);
+
+  // Boost every net incident to a critical-path cell (the classic
+  // path-based reweighting), with a cap so weights cannot run away.
+  for (CellId c : rep.critical_path) {
+    auto boost = [&](NetId n) {
+      double& w = net_weight_scale_[static_cast<size_t>(n)];
+      w = std::min(w * opts_.critical_net_boost, 16.0);
+    };
+    for (NetId n : nl_.nets_driven_by(c)) boost(n);
+    for (NetId n : nl_.nets_sinking(c)) boost(n);
+  }
+
+  // Re-place everything with the boosted weights, then restore DSP
+  // legality in the configured mode.
+  global_and_legalize(pl, /*freeze_dsps=*/false);
+  DspBaselineOptions dsp_opts;
+  dsp_opts.mode = opts_.mode == HostMode::kVivadoLike ? DspBaselineMode::kVivadoLike
+                                                      : DspBaselineMode::kAmfLike;
+  dsp_opts.seed = opts_.seed;
+  legalize_dsps_baseline(nl_, dev_, pl, dsp_opts);
+  LOG_DEBUG("host", "timing-driven round: WNS was %.3f", rep.wns_ns);
+}
+
+void HostPlacer::replace_others(Placement& pl) {
+  global_and_legalize(pl, /*freeze_dsps=*/true);
+}
+
+}  // namespace dsp

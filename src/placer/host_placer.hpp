@@ -1,0 +1,69 @@
+// The "off-the-shelf FPGA placement tool" of the paper's flow (Fig. 2).
+//
+// HostPlacer produces the prototype placement (global quadratic place +
+// spread + legalize, then a baseline DSP legalization), and re-places the
+// non-DSP logic around frozen DSP sites during DSPlacer's incremental
+// alternation (Fig. 6). Two modes mimic the two comparison tools:
+// kVivadoLike (more global iterations, balanced spreading) and kAmfLike
+// (fewer iterations, tighter packing, cluster-compact DSPs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "placer/detail_refine.hpp"
+#include "placer/dsp_baseline.hpp"
+#include "placer/legalizer.hpp"
+#include "placer/qplace.hpp"
+#include "placer/spreader.hpp"
+
+namespace dsp {
+
+enum class HostMode { kVivadoLike, kAmfLike };
+
+struct HostPlacerOptions {
+  HostMode mode = HostMode::kVivadoLike;
+  int global_iterations = 3;  // quadratic-solve + spread rounds
+  QPlaceOptions qplace;
+  SpreaderOptions spread;
+  bool detail_refine = false;  // post-legalization move/swap cleanup
+  RefineOptions refine;
+  /// Timing-driven refinement rounds: after the wirelength flow, run STA,
+  /// boost the weights of nets on failing paths, and re-place. 0 = off
+  /// (pure wirelength, the calibrated Table II baseline behavior).
+  int timing_driven_iterations = 0;
+  double timing_target_mhz = 300.0;  // STA clock for criticality extraction
+  double critical_net_boost = 3.0;   // weight multiplier per round (capped)
+  uint64_t seed = 0xfab;
+
+  static HostPlacerOptions vivado_like();
+  static HostPlacerOptions amf_like();
+};
+
+class HostPlacer {
+ public:
+  HostPlacer(const Netlist& nl, const Device& dev, HostPlacerOptions opts = {});
+
+  /// Full flow: global placement, spreading, logic legalization, and the
+  /// mode's baseline DSP legalization. This is the "prototype placement".
+  Placement place_full();
+
+  /// Re-places all non-DSP logic around the (frozen) DSP sites already
+  /// assigned in `pl` — one half of DSPlacer's incremental iteration.
+  void replace_others(Placement& pl);
+
+  const HostPlacerOptions& options() const { return opts_; }
+
+ private:
+  void global_and_legalize(Placement& pl, bool freeze_dsps);
+  /// One timing-driven round: STA -> boost weights of nets feeding failing
+  /// endpoints -> re-place (DSPs re-legalized by the caller's mode).
+  void timing_driven_round(Placement& pl);
+
+  const Netlist& nl_;
+  const Device& dev_;
+  HostPlacerOptions opts_;
+  std::vector<double> net_weight_scale_;
+};
+
+}  // namespace dsp

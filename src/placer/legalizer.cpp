@@ -1,0 +1,140 @@
+#include "placer/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace dsp {
+namespace {
+
+struct TileLoad {
+  int luts = 0;
+  int ffs = 0;
+  int carries = 0;
+};
+
+class TileGrid {
+ public:
+  TileGrid(const Device& dev) : dev_(dev), load_(static_cast<size_t>(dev.width()) * dev.height()) {}
+
+  /// Tries to put a cell of `type` into tile (tx, ty); true on success.
+  bool try_place(int tx, int ty, CellType type) {
+    if (tx < 0 || tx >= dev_.width() || ty < 0 || ty >= dev_.height()) return false;
+    if (!dev_.is_logic_column(tx)) return false;
+    if (type == CellType::kLutRam && dev_.column_type(tx) != ColumnType::kClbM) return false;
+    TileLoad& tl = load_[static_cast<size_t>(ty) * dev_.width() + tx];
+    const ClbCapacity& cap = dev_.clb_capacity();
+    switch (type) {
+      case CellType::kLut:
+      case CellType::kLutRam:
+        if (tl.luts >= cap.luts_per_tile) return false;
+        ++tl.luts;
+        return true;
+      case CellType::kFlipFlop:
+        if (tl.ffs >= cap.ffs_per_tile) return false;
+        ++tl.ffs;
+        return true;
+      case CellType::kCarry:
+        if (tl.carries >= cap.carries_per_tile) return false;
+        ++tl.carries;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+ private:
+  const Device& dev_;
+  std::vector<TileLoad> load_;
+};
+
+}  // namespace
+
+LegalizeStats legalize_logic(const Netlist& nl, const Device& dev, Placement& pl) {
+  LegalizeStats stats;
+  TileGrid grid(dev);
+
+  // Deterministic order: row-major by current position so displacement is
+  // locally bounded; FFs after LUTs so LUT slots (the scarcer budget at 8
+  // vs 16 per tile) get first pick.
+  std::vector<CellId> logic_cells;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    if (cell.fixed) continue;
+    if (cell.type == CellType::kLut || cell.type == CellType::kLutRam ||
+        cell.type == CellType::kFlipFlop || cell.type == CellType::kCarry)
+      logic_cells.push_back(c);
+  }
+  std::sort(logic_cells.begin(), logic_cells.end(), [&](CellId a, CellId b) {
+    const bool a_lut = nl.cell(a).type != CellType::kFlipFlop;
+    const bool b_lut = nl.cell(b).type != CellType::kFlipFlop;
+    if (a_lut != b_lut) return a_lut;
+    if (pl.y(a) != pl.y(b)) return pl.y(a) < pl.y(b);
+    return pl.x(a) < pl.x(b);
+  });
+
+  auto record_move = [&](CellId c, double nx, double ny) {
+    const double d = std::hypot(pl.x(c) - nx, pl.y(c) - ny);
+    if (d > 1e-9) {
+      stats.total_displacement += d;
+      stats.max_displacement = std::max(stats.max_displacement, d);
+      ++stats.cells_moved;
+    }
+    pl.set(c, nx, ny);
+  };
+
+  for (CellId c : logic_cells) {
+    const int tx0 = static_cast<int>(dev.clamp_x(pl.x(c)));
+    const int ty0 = static_cast<int>(dev.clamp_y(pl.y(c)));
+    bool placed = false;
+    // Ring search by Chebyshev radius.
+    const int max_r = std::max(dev.width(), dev.height());
+    for (int r = 0; r <= max_r && !placed; ++r) {
+      for (int dy = -r; dy <= r && !placed; ++dy) {
+        for (int dx = -r; dx <= r && !placed; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != r) continue;  // ring only
+          if (grid.try_place(tx0 + dx, ty0 + dy, nl.cell(c).type)) {
+            record_move(c, tx0 + dx + 0.5, ty0 + dy + 0.5);
+            placed = true;
+          }
+        }
+      }
+    }
+    // If the fabric is genuinely full the cell keeps its continuous spot;
+    // generated designs stay within capacity so this is unreachable.
+  }
+
+  // BRAM legalization: nearest free site per cell, processed bottom-up.
+  std::vector<CellId> brams = nl.cells_of_type(CellType::kBram);
+  std::sort(brams.begin(), brams.end(),
+            [&](CellId a, CellId b) { return pl.y(a) < pl.y(b); });
+  std::vector<std::vector<char>> bram_used;
+  for (const auto& col : dev.bram_columns())
+    bram_used.emplace_back(static_cast<size_t>(col.num_sites), 0);
+  for (CellId c : brams) {
+    double best_d = 1e18;
+    int best_col = -1, best_row = -1;
+    for (size_t ci = 0; ci < dev.bram_columns().size(); ++ci) {
+      const auto& col = dev.bram_columns()[ci];
+      for (int r = 0; r < col.num_sites; ++r) {
+        if (bram_used[ci][static_cast<size_t>(r)]) continue;
+        const auto [sx, sy] = dev.bram_site_xy(static_cast<int>(ci), r);
+        const double d = std::hypot(pl.x(c) - sx, pl.y(c) - sy);
+        if (d < best_d) {
+          best_d = d;
+          best_col = static_cast<int>(ci);
+          best_row = r;
+        }
+      }
+    }
+    if (best_col >= 0) {
+      bram_used[static_cast<size_t>(best_col)][static_cast<size_t>(best_row)] = 1;
+      const auto [sx, sy] = dev.bram_site_xy(best_col, best_row);
+      record_move(c, sx, sy);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dsp

@@ -1,0 +1,25 @@
+// Discrete legalization of non-DSP resources.
+//
+// LUT/FF/CARRY cells snap to logic-tile slots (SLICEM-only for LUTRAM),
+// BRAM cells to BRAM column sites. Greedy nearest-feasible with ring search
+// — the Tetris-style legalizer every analytical FPGA flow ends with.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+struct LegalizeStats {
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+  int cells_moved = 0;
+};
+
+/// Legalizes LUT/LUTRAM/FF/CARRY onto logic tiles honoring per-tile
+/// capacities, and BRAMs onto BRAM sites. DSP cells are untouched (their
+/// legalization is the DSPlacer core's job, or the baseline DSP placer's).
+LegalizeStats legalize_logic(const Netlist& nl, const Device& dev, Placement& pl);
+
+}  // namespace dsp

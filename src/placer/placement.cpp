@@ -1,0 +1,71 @@
+#include "placer/placement.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace dsp {
+
+Placement::Placement(const Netlist& nl, const Device& dev) {
+  const size_t n = static_cast<size_t>(nl.num_cells());
+  x_.assign(n, dev.width() / 2.0);
+  y_.assign(n, dev.height() / 2.0);
+  dsp_site_.assign(n, -1);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    if (cell.fixed) {
+      x_[static_cast<size_t>(c)] = cell.fixed_x;
+      y_[static_cast<size_t>(c)] = cell.fixed_y;
+    }
+  }
+}
+
+void Placement::assign_dsp_site(const Device& dev, CellId c, int site) {
+  dsp_site_[static_cast<size_t>(c)] = site;
+  const DspSite& s = dev.dsp_site(site);
+  x_[static_cast<size_t>(c)] = s.x;
+  y_[static_cast<size_t>(c)] = s.y;
+}
+
+std::string Placement::validate_dsp(const Netlist& nl, const Device& dev) const {
+  std::ostringstream err;
+  std::unordered_map<int, CellId> occupied;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).type != CellType::kDsp) continue;
+    const int site = dsp_site_[static_cast<size_t>(c)];
+    if (site < 0) {
+      err << "DSP " << nl.cell(c).name << " unassigned\n";
+      continue;
+    }
+    if (site >= dev.dsp_capacity()) {
+      err << "DSP " << nl.cell(c).name << " assigned to invalid site " << site << '\n';
+      continue;
+    }
+    auto [it, inserted] = occupied.emplace(site, c);
+    if (!inserted)
+      err << "site " << site << " shared by " << nl.cell(it->second).name << " and "
+          << nl.cell(c).name << '\n';
+  }
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      const int sp = dsp_site_[static_cast<size_t>(chain[k])];
+      const int ss = dsp_site_[static_cast<size_t>(chain[k + 1])];
+      if (sp < 0 || ss < 0) continue;  // reported above
+      const DspSite& a = dev.dsp_site(sp);
+      const DspSite& b = dev.dsp_site(ss);
+      if (a.column != b.column || b.row != a.row + 1)
+        err << "chain " << ci << ": " << nl.cell(chain[k]).name << " -> "
+            << nl.cell(chain[k + 1]).name << " not cascade-adjacent\n";
+    }
+  }
+  return err.str();
+}
+
+double Placement::distance(CellId a, CellId b) const {
+  const double dx = x(a) - x(b);
+  const double dy = y(a) - y(b);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace dsp

@@ -1,0 +1,50 @@
+// Placement state shared by the host placer, the DSPlacer core, timing
+// analysis and routing: a continuous (x, y) per cell plus the discrete DSP
+// site assignment for DSP cells. Legality of the DSP part (one cell per
+// site, cascade chains on adjacent rows of one column — paper constraints
+// (4) and (5)) is checked by validate_dsp().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+class Placement {
+ public:
+  Placement() = default;
+  Placement(const Netlist& nl, const Device& dev);
+
+  double x(CellId c) const { return x_[static_cast<size_t>(c)]; }
+  double y(CellId c) const { return y_[static_cast<size_t>(c)]; }
+  void set(CellId c, double x, double y) {
+    x_[static_cast<size_t>(c)] = x;
+    y_[static_cast<size_t>(c)] = y;
+  }
+
+  /// DSP site index for a DSP cell (-1 = unassigned). Setting the site also
+  /// snaps the continuous coordinates to the site.
+  int dsp_site(CellId c) const { return dsp_site_[static_cast<size_t>(c)]; }
+  void assign_dsp_site(const Device& dev, CellId c, int site);
+  void clear_dsp_site(CellId c) { dsp_site_[static_cast<size_t>(c)] = -1; }
+
+  int num_cells() const { return static_cast<int>(x_.size()); }
+
+  /// Checks DSP legality against netlist chains and device sites:
+  /// every DSP assigned, no site shared, chains occupy consecutive rows of
+  /// one column in order. Returns an error description or "" if legal.
+  std::string validate_dsp(const Netlist& nl, const Device& dev) const;
+
+  /// Euclidean distance between two placed cells.
+  double distance(CellId a, CellId b) const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<int> dsp_site_;
+};
+
+}  // namespace dsp

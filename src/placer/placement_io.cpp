@@ -1,0 +1,74 @@
+#include "placer/placement_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsp {
+
+std::string write_placement(const Netlist& nl, const Placement& pl) {
+  std::ostringstream os;
+  os << "placement " << nl.name() << '\n';
+  os.precision(9);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    os << nl.cell(c).name << ' ' << pl.x(c) << ' ' << pl.y(c);
+    if (pl.dsp_site(c) >= 0) os << " site=" << pl.dsp_site(c);
+    os << '\n';
+  }
+  return os.str();
+}
+
+Placement read_placement(const Netlist& nl, const Device& dev, const std::string& text) {
+  Placement pl(nl, dev);
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+    if (first == "placement") continue;  // header
+    double x = 0, y = 0;
+    if (!(ls >> x >> y))
+      throw std::runtime_error("placement parse error line " + std::to_string(line_no) +
+                               ": expected <name> <x> <y>");
+    const auto cell = nl.find_cell(first);
+    if (!cell)
+      throw std::runtime_error("placement parse error line " + std::to_string(line_no) +
+                               ": unknown cell '" + first + "'");
+    pl.set(*cell, x, y);
+    std::string attr;
+    while (ls >> attr) {
+      if (attr.rfind("site=", 0) == 0) {
+        const int site = std::stoi(attr.substr(5));
+        if (site < 0 || site >= dev.dsp_capacity())
+          throw std::runtime_error("placement parse error line " + std::to_string(line_no) +
+                                   ": site out of range");
+        pl.assign_dsp_site(dev, *cell, site);
+        pl.set(*cell, x, y);  // keep the serialized coordinates verbatim
+      } else {
+        throw std::runtime_error("placement parse error line " + std::to_string(line_no) +
+                                 ": unknown attribute '" + attr + "'");
+      }
+    }
+  }
+  return pl;
+}
+
+bool save_placement(const Netlist& nl, const Placement& pl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << write_placement(nl, pl);
+  return static_cast<bool>(f);
+}
+
+Placement load_placement(const Netlist& nl, const Device& dev, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open placement file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return read_placement(nl, dev, ss.str());
+}
+
+}  // namespace dsp

@@ -1,0 +1,24 @@
+// Full-placement serialization: cell coordinates plus DSP sites in a
+// text format, for checkpointing flows and for the CLI's place/report
+// split. Round-trip safe with the owning netlist.
+#pragma once
+
+#include <string>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+/// One line per cell: `<name> <x> <y> [site=<n>]`.
+std::string write_placement(const Netlist& nl, const Placement& pl);
+
+/// Parses write_placement output against `nl`. Throws std::runtime_error
+/// with a line number on malformed input or unknown cells.
+Placement read_placement(const Netlist& nl, const Device& dev, const std::string& text);
+
+bool save_placement(const Netlist& nl, const Placement& pl, const std::string& path);
+Placement load_placement(const Netlist& nl, const Device& dev, const std::string& path);
+
+}  // namespace dsp

@@ -1,0 +1,184 @@
+#include "placer/qplace.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace dsp {
+namespace {
+
+// Sparse symmetric system assembled from quadratic net models:
+//   movable-movable terms form the Laplacian part,
+//   movable-fixed terms contribute to the diagonal and the rhs.
+struct QuadSystem {
+  int n = 0;  // movable unknowns (original movables + star nodes)
+  std::vector<double> diag;
+  std::vector<std::vector<std::pair<int, double>>> off;  // off-diagonal entries
+  std::vector<double> rhs_x;
+  std::vector<double> rhs_y;
+
+  explicit QuadSystem(int unknowns)
+      : n(unknowns),
+        diag(static_cast<size_t>(unknowns), 0.0),
+        off(static_cast<size_t>(unknowns)),
+        rhs_x(static_cast<size_t>(unknowns), 0.0),
+        rhs_y(static_cast<size_t>(unknowns), 0.0) {}
+
+  void add_pair(int a, int b, double w) {
+    diag[static_cast<size_t>(a)] += w;
+    diag[static_cast<size_t>(b)] += w;
+    off[static_cast<size_t>(a)].push_back({b, -w});
+    off[static_cast<size_t>(b)].push_back({a, -w});
+  }
+
+  void add_anchor(int a, double w, double fx, double fy) {
+    diag[static_cast<size_t>(a)] += w;
+    rhs_x[static_cast<size_t>(a)] += w * fx;
+    rhs_y[static_cast<size_t>(a)] += w * fy;
+  }
+
+  void apply(const std::vector<double>& v, std::vector<double>& out) const {
+    for (int i = 0; i < n; ++i) {
+      double s = diag[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+      for (const auto& [j, w] : off[static_cast<size_t>(i)]) s += w * v[static_cast<size_t>(j)];
+      out[static_cast<size_t>(i)] = s;
+    }
+  }
+
+  // Jacobi-preconditioned CG.
+  void solve(const std::vector<double>& rhs, std::vector<double>& x, int max_iters,
+             double tol) const {
+    std::vector<double> r(static_cast<size_t>(n)), z(static_cast<size_t>(n)),
+        p(static_cast<size_t>(n)), ap(static_cast<size_t>(n));
+    apply(x, ap);
+    double rr = 0.0;
+    for (int i = 0; i < n; ++i) {
+      r[static_cast<size_t>(i)] = rhs[static_cast<size_t>(i)] - ap[static_cast<size_t>(i)];
+      const double d = diag[static_cast<size_t>(i)] > 1e-12 ? diag[static_cast<size_t>(i)] : 1.0;
+      z[static_cast<size_t>(i)] = r[static_cast<size_t>(i)] / d;
+      p[static_cast<size_t>(i)] = z[static_cast<size_t>(i)];
+      rr += r[static_cast<size_t>(i)] * z[static_cast<size_t>(i)];
+    }
+    const double rr0 = rr;
+    if (rr0 < 1e-20) return;
+    for (int it = 0; it < max_iters && rr > tol * tol * rr0; ++it) {
+      apply(p, ap);
+      double pap = 0.0;
+      for (int i = 0; i < n; ++i) pap += p[static_cast<size_t>(i)] * ap[static_cast<size_t>(i)];
+      if (pap <= 1e-20) break;
+      const double alpha = rr / pap;
+      double rr_new = 0.0;
+      for (int i = 0; i < n; ++i) {
+        x[static_cast<size_t>(i)] += alpha * p[static_cast<size_t>(i)];
+        r[static_cast<size_t>(i)] -= alpha * ap[static_cast<size_t>(i)];
+        const double d = diag[static_cast<size_t>(i)] > 1e-12 ? diag[static_cast<size_t>(i)] : 1.0;
+        z[static_cast<size_t>(i)] = r[static_cast<size_t>(i)] / d;
+        rr_new += r[static_cast<size_t>(i)] * z[static_cast<size_t>(i)];
+      }
+      const double beta = rr_new / rr;
+      rr = rr_new;
+      for (int i = 0; i < n; ++i)
+        p[static_cast<size_t>(i)] = z[static_cast<size_t>(i)] + beta * p[static_cast<size_t>(i)];
+    }
+  }
+};
+
+}  // namespace
+
+void quadratic_place(const Netlist& nl, const Device& dev, Placement& pl,
+                     const QPlaceOptions& opts) {
+  const int n_cells = nl.num_cells();
+
+  // Movable index per cell, -1 for fixed/frozen.
+  std::vector<int> movable_idx(static_cast<size_t>(n_cells), -1);
+  int n_movable = 0;
+  for (CellId c = 0; c < n_cells; ++c) {
+    const Cell& cell = nl.cell(c);
+    const bool frozen_dsp =
+        opts.freeze_dsps && cell.type == CellType::kDsp && pl.dsp_site(c) >= 0;
+    if (!cell.fixed && !frozen_dsp) movable_idx[static_cast<size_t>(c)] = n_movable++;
+  }
+  if (n_movable == 0) return;
+
+  // Star nodes for big nets come after the movables.
+  int n_star = 0;
+  for (NetId i = 0; i < nl.num_nets(); ++i)
+    if (nl.net(i).degree() > opts.clique_limit) ++n_star;
+
+  QuadSystem sys(n_movable + n_star);
+  int next_star = n_movable;
+
+  auto add_connection = [&](CellId a, CellId b, double w) {
+    const int ia = movable_idx[static_cast<size_t>(a)];
+    const int ib = movable_idx[static_cast<size_t>(b)];
+    if (ia >= 0 && ib >= 0) {
+      if (ia != ib) sys.add_pair(ia, ib, w);
+    } else if (ia >= 0) {
+      sys.add_anchor(ia, w * opts.anchor_weight, pl.x(b), pl.y(b));
+    } else if (ib >= 0) {
+      sys.add_anchor(ib, w * opts.anchor_weight, pl.x(a), pl.y(a));
+    }
+  };
+
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Net& net = nl.net(i);
+    const int p = net.degree();
+    if (p < 2) continue;
+    std::vector<CellId> pins;
+    pins.reserve(static_cast<size_t>(p));
+    pins.push_back(net.driver);
+    pins.insert(pins.end(), net.sinks.begin(), net.sinks.end());
+    double w = net.weight;
+    if (opts.net_weight_scale != nullptr)
+      w *= (*opts.net_weight_scale)[static_cast<size_t>(i)];
+    if (p <= opts.clique_limit) {
+      const double cw = w / (p - 1);
+      for (size_t a = 0; a < pins.size(); ++a)
+        for (size_t b = a + 1; b < pins.size(); ++b) add_connection(pins[a], pins[b], cw);
+    } else {
+      // Star model: one auxiliary movable node connected to every pin.
+      const int star = next_star++;
+      const double sw = w * static_cast<double>(p) / (p - 1);
+      for (CellId pin : pins) {
+        const int ip = movable_idx[static_cast<size_t>(pin)];
+        if (ip >= 0) {
+          sys.add_pair(ip, star, sw);
+        } else {
+          sys.add_anchor(star, sw, pl.x(pin), pl.y(pin));
+        }
+      }
+    }
+  }
+
+  if (opts.pseudo_anchor_weight > 0.0) {
+    for (CellId c = 0; c < n_cells; ++c) {
+      const int i = movable_idx[static_cast<size_t>(c)];
+      if (i >= 0) sys.add_anchor(i, opts.pseudo_anchor_weight, pl.x(c), pl.y(c));
+    }
+  }
+
+  // Initial guess: current positions; star nodes start at net centroids
+  // (approximated by the device center; CG fixes them quickly).
+  std::vector<double> x(static_cast<size_t>(sys.n), dev.width() / 2.0);
+  std::vector<double> y(static_cast<size_t>(sys.n), dev.height() / 2.0);
+  for (CellId c = 0; c < n_cells; ++c) {
+    const int i = movable_idx[static_cast<size_t>(c)];
+    if (i >= 0) {
+      x[static_cast<size_t>(i)] = pl.x(c);
+      y[static_cast<size_t>(i)] = pl.y(c);
+    }
+  }
+
+  sys.solve(sys.rhs_x, x, opts.max_cg_iters, opts.cg_tolerance);
+  sys.solve(sys.rhs_y, y, opts.max_cg_iters, opts.cg_tolerance);
+
+  for (CellId c = 0; c < n_cells; ++c) {
+    const int i = movable_idx[static_cast<size_t>(c)];
+    if (i >= 0)
+      pl.set(c, dev.clamp_x(x[static_cast<size_t>(i)]), dev.clamp_y(y[static_cast<size_t>(i)]));
+  }
+  LOG_DEBUG("qplace", "solved %d movables (+%d star nodes)", n_movable, n_star);
+}
+
+}  // namespace dsp

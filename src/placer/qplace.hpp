@@ -1,0 +1,42 @@
+// Quadratic analytical global placement.
+//
+// Minimizes the clique/star quadratic wirelength model with fixed cells as
+// anchors, solved per axis by Jacobi-preconditioned conjugate gradient on
+// the (implicit, matrix-free) graph Laplacian. This is the "off-the-shelf
+// analytical placer" substrate of the paper's flow (Fig. 2): it produces
+// the prototype placement, and re-places non-DSP logic around frozen DSPs
+// during DSPlacer's incremental alternation.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+
+struct QPlaceOptions {
+  int max_cg_iters = 300;
+  double cg_tolerance = 1e-6;
+  int clique_limit = 5;        // nets up to this many pins use a clique model
+  double anchor_weight = 1.0;  // extra pull toward fixed cells
+  bool freeze_dsps = false;    // treat currently-assigned DSP sites as fixed
+  /// Pseudo-anchor weight toward each movable cell's CURRENT position.
+  /// Zero for the first wirelength solve; later global iterations raise it
+  /// so the solution keeps the density achieved by spreading (the standard
+  /// anchored-quadratic-placement loop).
+  double pseudo_anchor_weight = 0.0;
+  /// Optional per-net weight multipliers (index = NetId), used by the
+  /// timing-driven loop to pull critical nets tighter. Null = all 1.
+  const std::vector<double>* net_weight_scale = nullptr;
+};
+
+/// Solves the quadratic program and writes positions for movable cells into
+/// `pl` (fixed cells and, if freeze_dsps, site-assigned DSPs are untouched).
+/// Cells not connected to any anchor stay at their current coordinates.
+void quadratic_place(const Netlist& nl, const Device& dev, Placement& pl,
+                     const QPlaceOptions& opts = {});
+
+}  // namespace dsp

@@ -1,0 +1,143 @@
+#include "placer/spreader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace dsp {
+namespace {
+
+// Resource class for capacity accounting: LUT-shaped cells compete for the
+// 8 LUT slots of a tile, FFs for the 16 FF slots. Spreading them against a
+// combined budget lets LUT-dense bins overflow even when total slots look
+// fine, which the legalizer then resolves with huge displacements — so the
+// two classes are spread independently.
+enum class SpreadClass { kLutLike, kFfLike, kNone };
+
+SpreadClass spread_class(const Cell& c, const SpreaderOptions& opts) {
+  if (c.fixed) return SpreadClass::kNone;
+  switch (c.type) {
+    case CellType::kLut:
+    case CellType::kLutRam:
+    case CellType::kCarry:
+      return SpreadClass::kLutLike;
+    case CellType::kFlipFlop:
+      return SpreadClass::kFfLike;
+    case CellType::kDsp:
+    case CellType::kBram:
+      return opts.move_dsps ? SpreadClass::kLutLike : SpreadClass::kNone;
+    default:
+      return SpreadClass::kNone;
+  }
+}
+
+}  // namespace
+
+// Capacity-proportional recursive bisection. Cells are split along the
+// region's longer axis by their current coordinate, with the split sized to
+// the two halves' logic capacity; leaves distribute their cells uniformly.
+// The mapping is monotone per axis, so the relative order produced by the
+// quadratic solve is preserved — which is exactly what diffusion-style
+// spreading destroys and what keeps chains/arrays local after spreading.
+void spread_cells_of_class(const Netlist& nl, const Device& dev, Placement& pl,
+                           const SpreaderOptions& opts, SpreadClass cls,
+                           double slots_per_tile) {
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    if (spread_class(nl.cell(c), opts) == cls) cells.push_back(c);
+  if (cells.empty()) return;
+
+  // Per-tile-column capacity in "cell slots". Non-logic columns get a small
+  // epsilon so DSP/BRAM cells traversing them are not globally forbidden;
+  // the legalizers snap them to real sites afterwards.
+  //
+  // If the design genuinely needs more than target_util of this resource
+  // class (e.g. 81% LUT utilization on SkrSkr-3), raise the effective
+  // target so the bisection remains feasible instead of piling overflow
+  // into the last-processed region.
+  long long logic_tiles = 0;
+  for (int x = 0; x < dev.width(); ++x)
+    if (dev.is_logic_column(x)) logic_tiles += dev.height();
+  const double needed_util =
+      static_cast<double>(cells.size()) /
+      std::max(1.0, static_cast<double>(logic_tiles) * slots_per_tile);
+  const double effective_util =
+      std::clamp(std::max(opts.target_util, needed_util * 1.06), 0.05, 0.99);
+  const double tile_slots = slots_per_tile * effective_util;
+  auto column_capacity = [&](int x) {
+    if (dev.is_logic_column(x)) return tile_slots;
+    return dev.column_type(x) == ColumnType::kPs ? 0.0 : tile_slots * 0.15;
+  };
+
+  struct Region {
+    int x0, x1, y0, y1;  // tile bounds, half-open [x0,x1) x [y0,y1)
+  };
+
+  std::function<double(const Region&)> region_capacity = [&](const Region& r) {
+    double cap = 0.0;
+    for (int x = r.x0; x < r.x1; ++x) cap += column_capacity(x) * (r.y1 - r.y0);
+    return cap;
+  };
+
+  // Recursive splitting on index ranges of `cells`.
+  std::function<void(Region, size_t, size_t)> split = [&](Region r, size_t lo, size_t hi) {
+    const size_t n = hi - lo;
+    if (n == 0) return;
+    const int w = r.x1 - r.x0;
+    const int h = r.y1 - r.y0;
+    if ((w <= 1 && h <= 1) || n <= 2) {
+      // Leaf: uniform fill, ordered by y for determinism.
+      std::sort(cells.begin() + static_cast<long>(lo), cells.begin() + static_cast<long>(hi),
+                [&](CellId a, CellId b) { return pl.y(a) < pl.y(b); });
+      for (size_t i = lo; i < hi; ++i) {
+        const double f = (static_cast<double>(i - lo) + 0.5) / static_cast<double>(n);
+        const double x = r.x0 + 0.5 * w;
+        const double y = r.y0 + f * h;
+        pl.set(cells[i], dev.clamp_x(x), dev.clamp_y(y));
+      }
+      return;
+    }
+
+    const bool split_x = w >= h;
+    // Capacities of the two halves.
+    Region a = r, b = r;
+    if (split_x) {
+      const int mid = r.x0 + w / 2;
+      a.x1 = mid;
+      b.x0 = mid;
+    } else {
+      const int mid = r.y0 + h / 2;
+      a.y1 = mid;
+      b.y0 = mid;
+    }
+    const double cap_a = region_capacity(a);
+    const double cap_b = region_capacity(b);
+    if (cap_a + cap_b <= 0) return;
+
+    std::sort(cells.begin() + static_cast<long>(lo), cells.begin() + static_cast<long>(hi),
+              [&](CellId u, CellId v) {
+                return split_x ? pl.x(u) < pl.x(v) : pl.y(u) < pl.y(v);
+              });
+    double ideal = static_cast<double>(n) * cap_a / (cap_a + cap_b);
+    // Respect hard capacity on both sides where possible.
+    ideal = std::min(ideal, cap_a);
+    ideal = std::max(ideal, static_cast<double>(n) - cap_b);
+    size_t take = static_cast<size_t>(std::llround(std::clamp(ideal, 0.0, static_cast<double>(n))));
+    split(a, lo, lo + take);
+    split(b, lo + take, hi);
+  };
+
+  Region whole{0, dev.width(), 0, dev.height()};
+  split(whole, 0, cells.size());
+}
+
+void spread_cells(const Netlist& nl, const Device& dev, Placement& pl,
+                  const SpreaderOptions& opts) {
+  spread_cells_of_class(nl, dev, pl, opts, SpreadClass::kLutLike,
+                        dev.clb_capacity().luts_per_tile);
+  spread_cells_of_class(nl, dev, pl, opts, SpreadClass::kFfLike,
+                        dev.clb_capacity().ffs_per_tile);
+}
+
+}  // namespace dsp

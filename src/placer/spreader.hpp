@@ -1,0 +1,25 @@
+// Density spreading for the quadratic placement solution.
+//
+// Pure quadratic placement collapses cells toward anchors; this pass
+// diffuses overfull bins outward so the downstream legalizer has slack to
+// find nearby sites. Standard bin-based cell shifting, a few iterations.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+struct SpreaderOptions {
+  int bin_size = 3;          // fabric tiles per bin edge
+  double target_util = 0.8;  // spread until bins are below this utilization
+  int iterations = 24;       // diffusion rounds (cells travel 1 bin/round)
+  bool move_dsps = true;     // false during DSPlacer's incremental re-place
+};
+
+/// Spreads movable LUT/FF/CARRY/LUTRAM (and optionally DSP/BRAM) cells.
+void spread_cells(const Netlist& nl, const Device& dev, Placement& pl,
+                  const SpreaderOptions& opts = {});
+
+}  // namespace dsp

@@ -1,0 +1,81 @@
+#include "route/grid_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/wirelength.hpp"
+
+namespace dsp {
+
+RouteResult route_global(const Netlist& nl, const Placement& pl, const Device& dev,
+                         const RouterConfig& cfg) {
+  RouteResult res;
+  res.bins_x = (dev.width() + cfg.bin_size - 1) / cfg.bin_size;
+  res.bins_y = (dev.height() + cfg.bin_size - 1) / cfg.bin_size;
+  const size_t num_bins = static_cast<size_t>(res.bins_x) * res.bins_y;
+  res.demand.assign(num_bins, 0.0);
+  res.overflow.assign(num_bins, 0.0);
+  res.net_detour.assign(static_cast<size_t>(nl.num_nets()), 1.0);
+
+  auto bin_of = [&](double x, double y) {
+    const int bx = std::clamp(static_cast<int>(x) / cfg.bin_size, 0, res.bins_x - 1);
+    const int by = std::clamp(static_cast<int>(y) / cfg.bin_size, 0, res.bins_y - 1);
+    return std::make_pair(bx, by);
+  };
+
+  // Pass 1: probabilistic demand. A net's routed length (HPWL with the
+  // fanout correction) is spread uniformly over the bins its bounding box
+  // covers — the classic RUDY congestion estimator.
+  struct Bbox {
+    int x0, y0, x1, y1;
+    double length;
+  };
+  std::vector<Bbox> boxes(static_cast<size_t>(nl.num_nets()));
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Net& n = nl.net(i);
+    double min_x = pl.x(n.driver), max_x = min_x, min_y = pl.y(n.driver), max_y = min_y;
+    for (CellId s : n.sinks) {
+      min_x = std::min(min_x, pl.x(s));
+      max_x = std::max(max_x, pl.x(s));
+      min_y = std::min(min_y, pl.y(s));
+      max_y = std::max(max_y, pl.y(s));
+    }
+    const auto [bx0, by0] = bin_of(min_x, min_y);
+    const auto [bx1, by1] = bin_of(max_x, max_y);
+    const double length = net_hpwl(nl, pl, i) *
+                          std::max(1.0, std::sqrt(static_cast<double>(n.sinks.size())));
+    boxes[static_cast<size_t>(i)] = {bx0, by0, bx1, by1, length};
+    const int cover = (bx1 - bx0 + 1) * (by1 - by0 + 1);
+    const double per_bin = (length + 1.0) / cover;
+    for (int by = by0; by <= by1; ++by)
+      for (int bx = bx0; bx <= bx1; ++bx)
+        res.demand[static_cast<size_t>(by) * res.bins_x + bx] += per_bin;
+  }
+
+  // Overflow map.
+  for (size_t b = 0; b < num_bins; ++b) {
+    res.overflow[b] = std::max(0.0, res.demand[b] - cfg.capacity_per_bin);
+    res.total_overflow += res.overflow[b];
+    res.max_overflow_ratio =
+        std::max(res.max_overflow_ratio, res.overflow[b] / cfg.capacity_per_bin);
+  }
+
+  // Pass 2: per-net detour factor from the mean overflow ratio across the
+  // net's bounding box.
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Bbox& bb = boxes[static_cast<size_t>(i)];
+    double over = 0.0;
+    int cover = 0;
+    for (int by = bb.y0; by <= bb.y1; ++by)
+      for (int bx = bb.x0; bx <= bb.x1; ++bx) {
+        over += res.overflow[static_cast<size_t>(by) * res.bins_x + bx];
+        ++cover;
+      }
+    const double ratio = over / (cfg.capacity_per_bin * cover);
+    res.net_detour[static_cast<size_t>(i)] =
+        std::min(cfg.max_detour, 1.0 + cfg.detour_slope * ratio);
+  }
+  return res;
+}
+
+}  // namespace dsp

@@ -1,0 +1,138 @@
+#include "solver/bnb_ilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace dsp {
+
+int IntegerProgram::add_binary(double obj) {
+  obj_.push_back(obj);
+  ub_.push_back(1.0);
+  is_binary_.push_back(1);
+  return num_vars() - 1;
+}
+
+int IntegerProgram::add_binary_implied_bound(double obj) {
+  obj_.push_back(obj);
+  ub_.push_back(LinearProgram::kInfinity);
+  is_binary_.push_back(1);
+  return num_vars() - 1;
+}
+
+int IntegerProgram::add_continuous(double obj, double ub) {
+  obj_.push_back(obj);
+  ub_.push_back(ub);
+  is_binary_.push_back(0);
+  return num_vars() - 1;
+}
+
+void IntegerProgram::add_constraint(const std::vector<std::pair<int, double>>& terms,
+                                    Relation rel, double rhs) {
+  rows_.push_back({terms, rel, rhs});
+}
+
+IlpResult IntegerProgram::solve(const IlpOptions& opts) const {
+  const int n = num_vars();
+  IlpResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  // fixed[j]: -1 free, 0/1 pinned by branching.
+  std::vector<int> fixed(static_cast<size_t>(n), -1);
+
+  auto build_lp = [&]() {
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j) {
+      double ub = ub_[static_cast<size_t>(j)];
+      if (fixed[static_cast<size_t>(j)] == 0) ub = 0.0;
+      lp.add_var(obj_[static_cast<size_t>(j)], ub);
+    }
+    for (const auto& r : rows_) lp.add_constraint(r.terms, r.rel, r.rhs);
+    for (int j = 0; j < n; ++j)
+      if (fixed[static_cast<size_t>(j)] == 1)
+        lp.add_constraint({{j, 1.0}}, Relation::kEq, 1.0);
+    return lp;
+  };
+
+  auto row_satisfied = [&](const Row& r, const std::vector<double>& x) {
+    double lhs = 0.0;
+    for (auto [j, c] : r.terms) lhs += c * x[static_cast<size_t>(j)];
+    switch (r.rel) {
+      case Relation::kLe: return lhs <= r.rhs + 1e-6;
+      case Relation::kGe: return lhs >= r.rhs - 1e-6;
+      case Relation::kEq: return std::fabs(lhs - r.rhs) <= 1e-6;
+    }
+    return false;
+  };
+
+  auto try_incumbent = [&](const std::vector<double>& x_frac) {
+    // LP-guided rounding: snap binaries to the nearest integer, keep
+    // continuous parts, accept only if every row still holds.
+    std::vector<double> x = x_frac;
+    for (int j = 0; j < n; ++j)
+      if (is_binary_[static_cast<size_t>(j)])
+        x[static_cast<size_t>(j)] = x[static_cast<size_t>(j)] >= 0.5 ? 1.0 : 0.0;
+    for (const auto& r : rows_)
+      if (!row_satisfied(r, x)) return;
+    double obj = 0.0;
+    for (int j = 0; j < n; ++j) obj += obj_[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+    if (obj < best.objective - 1e-9) {
+      best.feasible = true;
+      best.objective = obj;
+      best.x = std::move(x);
+    }
+  };
+
+  bool budget_hit = false;
+  long nodes = 0;
+
+  std::function<void()> dive = [&]() {
+    if (nodes >= opts.max_nodes) {
+      budget_hit = true;
+      return;
+    }
+    ++nodes;
+    const LpResult rel = build_lp().solve(opts.lp_max_iters);
+    if (rel.status == LpStatus::kInfeasible) return;
+    if (rel.status == LpStatus::kIterLimit) {
+      budget_hit = true;  // cannot bound this subtree reliably
+      return;
+    }
+    if (rel.status == LpStatus::kUnbounded) return;  // binaries bounded => no finite branch here
+    if (best.feasible && rel.objective >= best.objective - 1e-9) return;  // bound prune
+
+    // Most fractional binary.
+    int branch_var = -1;
+    double branch_frac = opts.int_tol;
+    for (int j = 0; j < n; ++j) {
+      if (!is_binary_[static_cast<size_t>(j)] || fixed[static_cast<size_t>(j)] != -1) continue;
+      const double v = rel.x[static_cast<size_t>(j)];
+      const double frac = std::fabs(v - std::round(v));
+      if (frac > branch_frac) {
+        branch_frac = frac;
+        branch_var = j;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral (within tolerance) => candidate incumbent.
+      try_incumbent(rel.x);
+      return;
+    }
+    try_incumbent(rel.x);  // rounding heuristic keeps the incumbent fresh
+
+    const int first = rel.x[static_cast<size_t>(branch_var)] >= 0.5 ? 1 : 0;
+    for (int v : {first, 1 - first}) {
+      fixed[static_cast<size_t>(branch_var)] = v;
+      dive();
+      fixed[static_cast<size_t>(branch_var)] = -1;
+      if (budget_hit) return;
+    }
+  };
+
+  dive();
+  best.nodes_explored = nodes;
+  best.proven_optimal = best.feasible && !budget_hit;
+  return best;
+}
+
+}  // namespace dsp

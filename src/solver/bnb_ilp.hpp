@@ -1,0 +1,65 @@
+// Branch-and-bound 0-1 integer linear programming on top of the dense
+// simplex. Together with simplex.hpp this replaces the paper's Gurobi
+// dependency for the inter-column cascade legalization ILP (eq. (10)).
+//
+// Model:  min c'x,  rows (<=,=,>=),  x_j in {0,1} for j in binary set,
+//         other variables continuous in [0, ub].
+// Strategy: depth-first branch-and-bound, branching on the most fractional
+// binary variable, pruning on the LP bound and on the incumbent found by
+// LP-guided rounding. A node budget keeps worst cases bounded; the result
+// reports whether optimality was proven.
+#pragma once
+
+#include <vector>
+
+#include "solver/simplex.hpp"
+
+namespace dsp {
+
+struct IlpOptions {
+  long max_nodes = 20000;      // branch-and-bound node budget
+  long lp_max_iters = 0;       // per-LP pivot cap (0 = automatic)
+  double int_tol = 1e-6;       // integrality tolerance
+};
+
+struct IlpResult {
+  bool feasible = false;   // an integral solution was found
+  bool proven_optimal = false;
+  double objective = 0.0;
+  std::vector<double> x;
+  long nodes_explored = 0;
+};
+
+class IntegerProgram {
+ public:
+  /// Adds a binary decision variable; returns its index.
+  int add_binary(double obj);
+
+  /// Adds a binary variable whose <=1 bound is already implied by the row
+  /// constraints (e.g. it appears in a sum-to-one equality). The LP
+  /// relaxation then skips the explicit bound row, which keeps the dense
+  /// tableau much smaller for assignment-shaped programs.
+  int add_binary_implied_bound(double obj);
+  /// Adds a continuous variable in [0, ub].
+  int add_continuous(double obj, double ub = LinearProgram::kInfinity);
+
+  void add_constraint(const std::vector<std::pair<int, double>>& terms, Relation rel,
+                      double rhs);
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+
+  IlpResult solve(const IlpOptions& opts = {}) const;
+
+ private:
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<double> obj_;
+  std::vector<double> ub_;
+  std::vector<char> is_binary_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dsp

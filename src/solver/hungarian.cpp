@@ -1,0 +1,78 @@
+#include "solver/hungarian.hpp"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace dsp {
+
+std::vector<int> hungarian_assign(const std::vector<std::vector<int64_t>>& cost,
+                                  int64_t* total_cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) {
+    if (total_cost != nullptr) *total_cost = 0;
+    return {};
+  }
+  const int m = static_cast<int>(cost[0].size());
+  assert(m >= n && "need at least as many columns as rows");
+  constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+  // 1-indexed potentials; p[j] for columns, u[i] for rows.
+  std::vector<int64_t> u(static_cast<size_t>(n) + 1, 0), v(static_cast<size_t>(m) + 1, 0);
+  std::vector<int> way(static_cast<size_t>(m) + 1, 0);
+  std::vector<int> match(static_cast<size_t>(m) + 1, 0);  // match[j] = row in column j
+
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<int64_t> minv(static_cast<size_t>(m) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(m) + 1, 0);
+    do {
+      used[static_cast<size_t>(j0)] = 1;
+      const int i0 = match[static_cast<size_t>(j0)];
+      int64_t delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const int64_t cur = cost[static_cast<size_t>(i0) - 1][static_cast<size_t>(j) - 1] -
+                            u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(n), -1);
+  int64_t total = 0;
+  for (int j = 1; j <= m; ++j) {
+    if (match[static_cast<size_t>(j)] > 0) {
+      assignment[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] = j - 1;
+      total += cost[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1][static_cast<size_t>(j) - 1];
+    }
+  }
+  if (total_cost != nullptr) *total_cost = total;
+  return assignment;
+}
+
+}  // namespace dsp

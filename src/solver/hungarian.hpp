@@ -1,0 +1,18 @@
+// Hungarian algorithm (Jonker-Volgenant potentials variant), O(n^2 m).
+//
+// Used as the exact oracle in the test suite to validate the min-cost-flow
+// assignment results, and as an ablation backend for small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsp {
+
+/// Solves min-cost assignment of `n` rows to `m >= n` columns.
+/// cost[i][j] is the cost of assigning row i to column j.
+/// Returns assignment[i] = chosen column, and total cost via out param.
+std::vector<int> hungarian_assign(const std::vector<std::vector<int64_t>>& cost,
+                                  int64_t* total_cost = nullptr);
+
+}  // namespace dsp

@@ -1,0 +1,72 @@
+#include "solver/isotonic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsp {
+namespace {
+
+// A block of pooled adjacent points, represented by its members; its
+// optimal common value is the weighted lower median.
+struct Block {
+  std::vector<std::pair<double, double>> points;  // (target, weight)
+  double value = 0.0;
+
+  void recompute_median() {
+    // Weighted lower median: smallest v with cumulative weight >= half.
+    std::sort(points.begin(), points.end());
+    double total = 0.0;
+    for (const auto& [t, w] : points) total += w;
+    double acc = 0.0;
+    for (const auto& [t, w] : points) {
+      acc += w;
+      if (acc * 2.0 >= total) {
+        value = t;
+        return;
+      }
+    }
+    value = points.back().first;
+  }
+};
+
+}  // namespace
+
+std::vector<double> isotonic_l1(const std::vector<double>& targets,
+                                const std::vector<double>& weights) {
+  assert(targets.size() == weights.size());
+  const size_t n = targets.size();
+  std::vector<Block> stack;
+  std::vector<size_t> block_size;  // members per block, parallel to stack
+
+  for (size_t k = 0; k < n; ++k) {
+    assert(weights[k] > 0.0);
+    Block b;
+    b.points = {{targets[k], weights[k]}};
+    b.value = targets[k];
+    stack.push_back(std::move(b));
+    block_size.push_back(1);
+    // Pool while monotonicity is violated.
+    while (stack.size() >= 2 && stack[stack.size() - 2].value > stack.back().value) {
+      Block top = std::move(stack.back());
+      stack.pop_back();
+      const size_t sz = block_size.back();
+      block_size.pop_back();
+      Block& prev = stack.back();
+      prev.points.insert(prev.points.end(), top.points.begin(), top.points.end());
+      prev.recompute_median();
+      block_size.back() += sz;
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t bi = 0; bi < stack.size(); ++bi)
+    out.insert(out.end(), block_size[bi], stack[bi].value);
+  return out;
+}
+
+std::vector<double> isotonic_l1(const std::vector<double>& targets) {
+  return isotonic_l1(targets, std::vector<double>(targets.size(), 1.0));
+}
+
+}  // namespace dsp

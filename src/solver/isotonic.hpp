@@ -1,0 +1,24 @@
+// Weighted L1 isotonic regression (pool-adjacent-violators).
+//
+// The intra-column legalization LP (paper eq. (11)) reduces, after
+// collapsing cascade chains and substituting out the >=1 spacing, to
+//     min sum w_k |u_k - t_k|   s.t.  u_1 <= u_2 <= ... <= u_K,
+// i.e. L1 isotonic regression on the chain targets. This module provides
+// the exact solver used both as an alternative backend to the DP legalizer
+// and as a cross-check oracle in the test suite.
+#pragma once
+
+#include <vector>
+
+namespace dsp {
+
+/// Returns the nondecreasing vector u minimizing sum_k w[k]*|u[k]-t[k]|.
+/// Weights must be positive. Ties are resolved to the lower weighted median
+/// so the result is deterministic.
+std::vector<double> isotonic_l1(const std::vector<double>& targets,
+                                const std::vector<double>& weights);
+
+/// Unweighted convenience overload.
+std::vector<double> isotonic_l1(const std::vector<double>& targets);
+
+}  // namespace dsp

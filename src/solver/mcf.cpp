@@ -1,0 +1,147 @@
+#include "solver/mcf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace dsp {
+namespace {
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(int num_nodes) { first_out_.assign(static_cast<size_t>(num_nodes), -1); }
+
+int MinCostFlow::add_node() {
+  first_out_.push_back(-1);
+  return num_nodes() - 1;
+}
+
+int MinCostFlow::add_edge(int u, int v, int cap, int64_t cost) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  assert(cap >= 0);
+  if (cost < 0) has_negative_ = true;
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back({v, cap, cost, first_out_[static_cast<size_t>(u)]});
+  first_out_[static_cast<size_t>(u)] = id;
+  arcs_.push_back({u, 0, -cost, first_out_[static_cast<size_t>(v)]});
+  first_out_[static_cast<size_t>(v)] = id + 1;
+  return id;
+}
+
+bool MinCostFlow::bellman_ford_potentials(int s) {
+  const size_t n = static_cast<size_t>(num_nodes());
+  potential_.assign(n, kInf);
+  potential_[static_cast<size_t>(s)] = 0;
+  // SPFA-style relaxation; terminates because input graphs from the
+  // assignment builder are DAG-like (no negative cycles by construction).
+  std::vector<char> in_queue(n, 0);
+  std::queue<int> q;
+  q.push(s);
+  in_queue[static_cast<size_t>(s)] = 1;
+  size_t relaxations = 0;
+  const size_t budget = n * arcs_.size() + 16;
+  while (!q.empty()) {
+    if (++relaxations > budget) return false;  // negative cycle guard
+    const int u = q.front();
+    q.pop();
+    in_queue[static_cast<size_t>(u)] = 0;
+    for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0 || potential_[static_cast<size_t>(u)] == kInf) continue;
+      const int64_t nd = potential_[static_cast<size_t>(u)] + arc.cost;
+      if (nd < potential_[static_cast<size_t>(arc.to)]) {
+        potential_[static_cast<size_t>(arc.to)] = nd;
+        if (!in_queue[static_cast<size_t>(arc.to)]) {
+          in_queue[static_cast<size_t>(arc.to)] = 1;
+          q.push(arc.to);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool MinCostFlow::dijkstra(int s, int t) {
+  const size_t n = static_cast<size_t>(num_nodes());
+  dist_.assign(n, kInf);
+  prev_arc_.assign(n, -1);
+  using Entry = std::pair<int64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist_[static_cast<size_t>(s)] = 0;
+  pq.push({0, s});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist_[static_cast<size_t>(u)]) continue;
+    for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      if (potential_[static_cast<size_t>(arc.to)] == kInf) {
+        // Node unreachable in the potential pass => treat reduced cost with
+        // care: it can only be reached now through new residual arcs; fall
+        // back to a large-but-finite potential.
+        potential_[static_cast<size_t>(arc.to)] = potential_[static_cast<size_t>(u)];
+      }
+      const int64_t reduced =
+          arc.cost + potential_[static_cast<size_t>(u)] - potential_[static_cast<size_t>(arc.to)];
+      const int64_t nd = d + reduced;
+      if (nd < dist_[static_cast<size_t>(arc.to)]) {
+        dist_[static_cast<size_t>(arc.to)] = nd;
+        prev_arc_[static_cast<size_t>(arc.to)] = a;
+        pq.push({nd, arc.to});
+      }
+    }
+  }
+  return dist_[static_cast<size_t>(t)] < kInf;
+}
+
+MinCostFlow::Result MinCostFlow::solve(int s, int t, int desired_flow) {
+  Result res;
+  if (s == t || desired_flow <= 0) {
+    res.reached_desired = true;
+    return res;
+  }
+  const size_t n = static_cast<size_t>(num_nodes());
+  if (has_negative_) {
+    if (!bellman_ford_potentials(s)) return res;  // negative cycle: give up
+  } else {
+    potential_.assign(n, 0);
+  }
+
+  while (res.flow < desired_flow) {
+    if (!dijkstra(s, t)) break;
+    // Update potentials with the new shortest distances, capped at dist[t]
+    // (the classic trick that keeps reduced costs nonnegative for nodes the
+    // search did not settle this round).
+    const int64_t dt = dist_[static_cast<size_t>(t)];
+    for (size_t v = 0; v < n; ++v)
+      if (potential_[v] < kInf) potential_[v] += std::min(dist_[v], dt);
+
+    // Bottleneck along the augmenting path.
+    int bottleneck = desired_flow - res.flow;
+    for (int v = t; v != s;) {
+      const int a = prev_arc_[static_cast<size_t>(v)];
+      bottleneck = std::min(bottleneck, arcs_[static_cast<size_t>(a)].cap);
+      v = arcs_[static_cast<size_t>(a ^ 1)].to;
+    }
+    // Apply.
+    for (int v = t; v != s;) {
+      const int a = prev_arc_[static_cast<size_t>(v)];
+      arcs_[static_cast<size_t>(a)].cap -= bottleneck;
+      arcs_[static_cast<size_t>(a ^ 1)].cap += bottleneck;
+      res.cost += static_cast<int64_t>(bottleneck) * arcs_[static_cast<size_t>(a)].cost;
+      v = arcs_[static_cast<size_t>(a ^ 1)].to;
+    }
+    res.flow += bottleneck;
+  }
+  res.reached_desired = (res.flow == desired_flow);
+  return res;
+}
+
+int MinCostFlow::flow_on(int id) const {
+  // Forward arc 2k: flow equals the residual capacity accumulated on twin.
+  return arcs_[static_cast<size_t>(id ^ 1)].cap;
+}
+
+}  // namespace dsp

@@ -1,0 +1,63 @@
+// Min-cost flow via successive shortest paths with Johnson potentials.
+//
+// This is the LEMON-replacement used by DSPlacer's assignment step (paper
+// Section IV-A): after linearizing the quadratic objective (eq. (9)), each
+// iteration reduces to a transportation problem DSP-components -> DSP-sites
+// whose constraint matrix is totally unimodular, so the LP optimum returned
+// by min-cost flow is integral (the property the paper relies on).
+//
+// Costs are int64 (callers scale doubles); capacities are int. Negative
+// edge costs are supported (one Bellman-Ford pass seeds the potentials).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsp {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes = 0);
+
+  int add_node();
+  int num_nodes() const { return static_cast<int>(first_out_.size()); }
+
+  /// Adds edge u->v with capacity `cap` and per-unit cost `cost`.
+  /// Returns an edge id usable with flow_on(). A reverse residual edge is
+  /// created internally.
+  int add_edge(int u, int v, int cap, int64_t cost);
+
+  struct Result {
+    int flow = 0;          // units actually shipped
+    int64_t cost = 0;      // total cost of the shipped flow
+    bool reached_desired = false;
+  };
+
+  /// Ships up to `desired_flow` units from s to t at minimum cost.
+  /// Augments along exact shortest paths, so every prefix of the shipped
+  /// flow is itself min-cost (standard SSP invariant).
+  Result solve(int s, int t, int desired_flow);
+
+  /// Flow currently on edge `id` (after solve()).
+  int flow_on(int id) const;
+
+ private:
+  struct Arc {
+    int to;
+    int cap;
+    int64_t cost;
+    int next;  // next arc out of the same tail, -1 terminates
+  };
+
+  bool bellman_ford_potentials(int s);
+  bool dijkstra(int s, int t);
+
+  std::vector<int> first_out_;
+  std::vector<Arc> arcs_;  // arc 2k is forward, 2k+1 its residual twin
+  std::vector<int64_t> potential_;
+  std::vector<int64_t> dist_;
+  std::vector<int> prev_arc_;
+  bool has_negative_ = false;
+};
+
+}  // namespace dsp

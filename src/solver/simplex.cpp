@@ -1,0 +1,255 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau with an explicit reduced-cost row, pivoted in place.
+struct Tableau {
+  int m = 0;                            // constraint rows
+  int n = 0;                            // columns (all variables)
+  std::vector<std::vector<double>> a;   // m x n
+  std::vector<double> b;                // m, kept >= 0
+  std::vector<int> basis;               // m, column basic in each row
+  std::vector<double> z;                // n reduced costs
+  double zval = 0.0;                    // objective of current basis
+
+  void pivot(int pr, int pc) {
+    const double pv = a[static_cast<size_t>(pr)][static_cast<size_t>(pc)];
+    auto& prow = a[static_cast<size_t>(pr)];
+    for (double& v : prow) v /= pv;
+    b[static_cast<size_t>(pr)] /= pv;
+    for (int i = 0; i < m; ++i) {
+      if (i == pr) continue;
+      const double f = a[static_cast<size_t>(i)][static_cast<size_t>(pc)];
+      if (std::fabs(f) < kEps) continue;
+      auto& row = a[static_cast<size_t>(i)];
+      for (int j = 0; j < n; ++j) row[static_cast<size_t>(j)] -= f * prow[static_cast<size_t>(j)];
+      b[static_cast<size_t>(i)] -= f * b[static_cast<size_t>(pr)];
+      row[static_cast<size_t>(pc)] = 0.0;  // exact zero against drift
+    }
+    const double fz = z[static_cast<size_t>(pc)];
+    if (std::fabs(fz) > 0) {
+      for (int j = 0; j < n; ++j) z[static_cast<size_t>(j)] -= fz * prow[static_cast<size_t>(j)];
+      zval -= fz * b[static_cast<size_t>(pr)];
+      z[static_cast<size_t>(pc)] = 0.0;
+    }
+    basis[static_cast<size_t>(pr)] = pc;
+  }
+
+  /// Recomputes reduced costs for cost vector c over the current basis.
+  void load_costs(const std::vector<double>& c) {
+    z = c;
+    zval = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const int bc = basis[static_cast<size_t>(i)];
+      const double cb = c[static_cast<size_t>(bc)];
+      if (std::fabs(cb) < kEps) continue;
+      const auto& row = a[static_cast<size_t>(i)];
+      for (int j = 0; j < n; ++j) z[static_cast<size_t>(j)] -= cb * row[static_cast<size_t>(j)];
+      zval -= cb * b[static_cast<size_t>(i)];
+      z[static_cast<size_t>(bc)] = 0.0;
+    }
+  }
+
+  /// Bland's-rule simplex on the loaded costs. `banned[j]` columns never
+  /// enter. Returns kOptimal/kUnbounded/kIterLimit.
+  LpStatus iterate(const std::vector<char>& banned, long max_iters) {
+    for (long it = 0; it < max_iters; ++it) {
+      int pc = -1;
+      for (int j = 0; j < n; ++j) {
+        if (banned[static_cast<size_t>(j)]) continue;
+        if (z[static_cast<size_t>(j)] < -kEps) {
+          pc = j;
+          break;  // Bland: smallest improving index
+        }
+      }
+      if (pc < 0) return LpStatus::kOptimal;
+      int pr = -1;
+      double best_ratio = 0.0;
+      for (int i = 0; i < m; ++i) {
+        const double aij = a[static_cast<size_t>(i)][static_cast<size_t>(pc)];
+        if (aij > kEps) {
+          const double ratio = b[static_cast<size_t>(i)] / aij;
+          if (pr < 0 || ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               basis[static_cast<size_t>(i)] < basis[static_cast<size_t>(pr)])) {
+            pr = i;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (pr < 0) return LpStatus::kUnbounded;
+      pivot(pr, pc);
+    }
+    return LpStatus::kIterLimit;
+  }
+};
+
+}  // namespace
+
+int LinearProgram::add_var(double obj, double ub) {
+  obj_.push_back(obj);
+  ub_.push_back(ub);
+  return num_vars() - 1;
+}
+
+void LinearProgram::add_constraint(const std::vector<std::pair<int, double>>& terms,
+                                   Relation rel, double rhs) {
+  Row r;
+  r.terms = terms;
+  r.rel = rel;
+  r.rhs = rhs;
+  rows_.push_back(std::move(r));
+}
+
+LpResult LinearProgram::solve(long max_iters) const {
+  const int n0 = num_vars();
+
+  // Assemble the full row set: user rows plus one <= row per finite bound.
+  struct DenseRow {
+    std::vector<double> a;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<DenseRow> rows;
+  rows.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    DenseRow dr;
+    dr.a.assign(static_cast<size_t>(n0), 0.0);
+    for (auto [j, c] : r.terms) {
+      assert(j >= 0 && j < n0);
+      dr.a[static_cast<size_t>(j)] += c;
+    }
+    dr.rel = r.rel;
+    dr.rhs = r.rhs;
+    rows.push_back(std::move(dr));
+  }
+  for (int j = 0; j < n0; ++j) {
+    if (std::isfinite(ub_[static_cast<size_t>(j)])) {
+      DenseRow dr;
+      dr.a.assign(static_cast<size_t>(n0), 0.0);
+      dr.a[static_cast<size_t>(j)] = 1.0;
+      dr.rel = Relation::kLe;
+      dr.rhs = ub_[static_cast<size_t>(j)];
+      rows.push_back(std::move(dr));
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  // Column layout: [original n0][slack/surplus per row as needed][artificials].
+  int n_total = n0;
+  std::vector<int> slack_col(static_cast<size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    // Normalize rhs >= 0 first (flips the relation).
+    if (rows[static_cast<size_t>(i)].rhs < 0) {
+      for (double& v : rows[static_cast<size_t>(i)].a) v = -v;
+      rows[static_cast<size_t>(i)].rhs = -rows[static_cast<size_t>(i)].rhs;
+      if (rows[static_cast<size_t>(i)].rel == Relation::kLe)
+        rows[static_cast<size_t>(i)].rel = Relation::kGe;
+      else if (rows[static_cast<size_t>(i)].rel == Relation::kGe)
+        rows[static_cast<size_t>(i)].rel = Relation::kLe;
+    }
+    if (rows[static_cast<size_t>(i)].rel != Relation::kEq) slack_col[static_cast<size_t>(i)] = n_total++;
+  }
+  std::vector<int> art_col(static_cast<size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    // '<=' rows start basic on their slack; '>=' and '=' need an artificial.
+    if (rows[static_cast<size_t>(i)].rel != Relation::kLe) art_col[static_cast<size_t>(i)] = n_total++;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n = n_total;
+  t.a.assign(static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n_total), 0.0));
+  t.b.resize(static_cast<size_t>(m));
+  t.basis.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    auto& row = t.a[static_cast<size_t>(i)];
+    for (int j = 0; j < n0; ++j) row[static_cast<size_t>(j)] = rows[static_cast<size_t>(i)].a[static_cast<size_t>(j)];
+    t.b[static_cast<size_t>(i)] = rows[static_cast<size_t>(i)].rhs;
+    if (slack_col[static_cast<size_t>(i)] >= 0)
+      row[static_cast<size_t>(slack_col[static_cast<size_t>(i)])] =
+          rows[static_cast<size_t>(i)].rel == Relation::kLe ? 1.0 : -1.0;
+    if (art_col[static_cast<size_t>(i)] >= 0) {
+      row[static_cast<size_t>(art_col[static_cast<size_t>(i)])] = 1.0;
+      t.basis[static_cast<size_t>(i)] = art_col[static_cast<size_t>(i)];
+    } else {
+      t.basis[static_cast<size_t>(i)] = slack_col[static_cast<size_t>(i)];
+    }
+  }
+
+  if (max_iters <= 0) max_iters = 200L * (m + n_total) + 5000;
+
+  LpResult result;
+  std::vector<char> banned(static_cast<size_t>(n_total), 0);
+
+  // ---- Phase 1: minimize sum of artificials --------------------------------
+  bool need_phase1 = false;
+  std::vector<double> phase1_costs(static_cast<size_t>(n_total), 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (art_col[static_cast<size_t>(i)] >= 0) {
+      phase1_costs[static_cast<size_t>(art_col[static_cast<size_t>(i)])] = 1.0;
+      need_phase1 = true;
+    }
+  }
+  if (need_phase1) {
+    t.load_costs(phase1_costs);
+    const LpStatus st = t.iterate(banned, max_iters);
+    if (st == LpStatus::kIterLimit) {
+      result.status = st;
+      return result;
+    }
+    if (-t.zval > 1e-6) {  // zval tracks -objective internally
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Pivot artificials out of the basis where possible, then ban them.
+    for (int i = 0; i < m; ++i) {
+      const int bc = t.basis[static_cast<size_t>(i)];
+      bool is_art = false;
+      for (int k = 0; k < m; ++k)
+        if (art_col[static_cast<size_t>(k)] == bc) is_art = true;
+      if (!is_art) continue;
+      int pc = -1;
+      for (int j = 0; j < n_total && pc < 0; ++j) {
+        bool j_art = false;
+        for (int k = 0; k < m; ++k)
+          if (art_col[static_cast<size_t>(k)] == j) j_art = true;
+        if (!j_art && std::fabs(t.a[static_cast<size_t>(i)][static_cast<size_t>(j)]) > kEps) pc = j;
+      }
+      if (pc >= 0) t.pivot(i, pc);
+      // else: the row is redundant; the artificial stays basic at value 0.
+    }
+    for (int i = 0; i < m; ++i)
+      if (art_col[static_cast<size_t>(i)] >= 0) banned[static_cast<size_t>(art_col[static_cast<size_t>(i)])] = 1;
+  }
+
+  // ---- Phase 2: original objective -----------------------------------------
+  std::vector<double> costs(static_cast<size_t>(n_total), 0.0);
+  for (int j = 0; j < n0; ++j) costs[static_cast<size_t>(j)] = obj_[static_cast<size_t>(j)];
+  t.load_costs(costs);
+  const LpStatus st = t.iterate(banned, max_iters);
+  if (st != LpStatus::kOptimal) {
+    result.status = st;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.x.assign(static_cast<size_t>(n0), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int bc = t.basis[static_cast<size_t>(i)];
+    if (bc < n0) result.x[static_cast<size_t>(bc)] = t.b[static_cast<size_t>(i)];
+  }
+  double obj = 0.0;
+  for (int j = 0; j < n0; ++j) obj += obj_[static_cast<size_t>(j)] * result.x[static_cast<size_t>(j)];
+  result.objective = obj;
+  return result;
+}
+
+}  // namespace dsp

@@ -1,0 +1,59 @@
+// Dense two-phase primal simplex for linear programs.
+//
+// This is the Gurobi-replacement substrate behind the branch-and-bound ILP
+// used by DSPlacer's inter-column cascade legalization (paper eq. (10)).
+// Problem form accepted:
+//     min  c'x
+//     s.t. sum_j A_ij x_j  (<= | = | >=)  b_i
+//          0 <= x_j <= ub_j          (ub may be +infinity)
+// Sizes in this repo are small (grouped legalization instances have a few
+// thousand variables and a few hundred rows), so a dense tableau with
+// Bland's anti-cycling rule is both simple and fast enough.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace dsp {
+
+enum class Relation { kLe, kEq, kGe };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+class LinearProgram {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Adds a variable with bounds [0, ub] and objective coefficient `obj`.
+  /// Returns its index.
+  int add_var(double obj, double ub = kInfinity);
+
+  /// Adds a row: sum(coef * var) rel rhs. Terms may repeat a variable (they
+  /// are accumulated).
+  void add_constraint(const std::vector<std::pair<int, double>>& terms, Relation rel,
+                      double rhs);
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  /// Two-phase simplex. `max_iters` caps total pivots (0 = automatic).
+  LpResult solve(long max_iters = 0) const;
+
+ private:
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<double> obj_;
+  std::vector<double> ub_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dsp

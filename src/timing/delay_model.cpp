@@ -1,0 +1,83 @@
+#include "timing/delay_model.hpp"
+
+#include <cmath>
+
+namespace dsp {
+
+double DelayModel::launch_delay(CellType t) const {
+  switch (t) {
+    case CellType::kFlipFlop: return ff_clk2q;
+    case CellType::kDsp: return dsp_clk2q;
+    case CellType::kBram: return bram_clk2q;
+    case CellType::kIo: return io_delay;
+    case CellType::kPsPort: return ps_interface;
+    default: return 0.0;
+  }
+}
+
+double DelayModel::setup_time(CellType t) const {
+  switch (t) {
+    case CellType::kFlipFlop: return ff_setup;
+    case CellType::kDsp: return dsp_setup;
+    case CellType::kBram: return bram_setup;
+    case CellType::kIo: return io_delay;
+    case CellType::kPsPort: return ps_interface;
+    default: return 0.0;
+  }
+}
+
+double DelayModel::logic_delay(CellType t) const {
+  switch (t) {
+    case CellType::kLut: return lut_delay;
+    case CellType::kCarry: return carry_delay;
+    case CellType::kLutRam: return lutram_read;
+    default: return 0.0;
+  }
+}
+
+bool DelayModel::is_sequential(CellType t) {
+  switch (t) {
+    case CellType::kFlipFlop:
+    case CellType::kDsp:
+    case CellType::kBram:
+    case CellType::kIo:
+    case CellType::kPsPort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool DelayModel::cascade_realized(const Netlist& nl, const Placement& pl,
+                                  const Device& dev, CellId from, CellId to) {
+  const Cell& a = nl.cell(from);
+  const Cell& b = nl.cell(to);
+  if (a.type != CellType::kDsp || b.type != CellType::kDsp) return false;
+  if (a.cascade_chain < 0 || a.cascade_chain != b.cascade_chain) return false;
+  if (b.cascade_pos != a.cascade_pos + 1) return false;
+  const int sa = pl.dsp_site(from);
+  const int sb = pl.dsp_site(to);
+  if (sa < 0 || sb < 0) return false;
+  const DspSite& site_a = dev.dsp_site(sa);
+  const DspSite& site_b = dev.dsp_site(sb);
+  return site_a.column == site_b.column && site_b.row == site_a.row + 1;
+}
+
+double DelayModel::wire_delay(const Netlist& nl, const Placement& pl, const Device& dev,
+                              NetId net, CellId from, CellId to, double detour) const {
+  const Cell& a = nl.cell(from);
+  const Cell& b = nl.cell(to);
+  const bool is_cascade_arc = a.type == CellType::kDsp && b.type == CellType::kDsp &&
+                              a.cascade_chain >= 0 && a.cascade_chain == b.cascade_chain &&
+                              b.cascade_pos == a.cascade_pos + 1;
+  (void)net;
+  const double dist = std::fabs(pl.x(from) - pl.x(to)) + std::fabs(pl.y(from) - pl.y(to));
+  if (is_cascade_arc) {
+    if (cascade_realized(nl, pl, dev, from, to)) return cascade_delay;
+    // Wide cascade bus forced through the general fabric.
+    return (wire_base + wire_per_tile * dist) * cascade_fabric_penalty * detour;
+  }
+  return (wire_base + wire_per_tile * dist) * detour;
+}
+
+}  // namespace dsp

@@ -1,0 +1,182 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace dsp {
+namespace {
+
+struct Arc {
+  CellId from;
+  NetId net;
+};
+
+}  // namespace
+
+TimingReport run_sta(const Netlist& nl, const Placement& pl, const Device& dev,
+                     double clock_period_ns, const StaOptions& opts,
+                     const RouteResult* route) {
+  const int n = nl.num_cells();
+  const DelayModel& dm = opts.delays;
+
+  auto detour_of = [&](NetId net) {
+    return route != nullptr ? route->detour(net) : 1.0;
+  };
+
+  // Fan-in arcs per cell and combinational in-degrees for Kahn ordering.
+  std::vector<std::vector<Arc>> fanin(static_cast<size_t>(n));
+  std::vector<int> comb_indeg(static_cast<size_t>(n), 0);
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Net& net = nl.net(i);
+    for (CellId s : net.sinks) {
+      if (s == net.driver) continue;
+      fanin[static_cast<size_t>(s)].push_back({net.driver, i});
+      if (!DelayModel::is_sequential(nl.cell(s).type) &&
+          !DelayModel::is_sequential(nl.cell(net.driver).type))
+        ++comb_indeg[static_cast<size_t>(s)];
+    }
+  }
+
+  // Arrival initialization: sequential cells launch at clk-to-q.
+  std::vector<double> arrival(static_cast<size_t>(n), 0.0);
+  std::vector<CellId> worst_pred(static_cast<size_t>(n), kInvalidCell);
+  std::queue<CellId> ready;
+  std::vector<char> processed(static_cast<size_t>(n), 0);
+  for (CellId c = 0; c < n; ++c) {
+    const CellType t = nl.cell(c).type;
+    if (DelayModel::is_sequential(t)) {
+      arrival[static_cast<size_t>(c)] = dm.launch_delay(t);
+      processed[static_cast<size_t>(c)] = 1;
+    } else if (comb_indeg[static_cast<size_t>(c)] == 0) {
+      ready.push(c);
+    }
+  }
+
+  // Kahn over the combinational subgraph.
+  auto relax_cell = [&](CellId c) {
+    double best = 0.0;
+    CellId best_pred = kInvalidCell;
+    for (const Arc& a : fanin[static_cast<size_t>(c)]) {
+      const double t = arrival[static_cast<size_t>(a.from)] +
+                       dm.wire_delay(nl, pl, dev, a.net, a.from, c, detour_of(a.net));
+      if (t > best) {
+        best = t;
+        best_pred = a.from;
+      }
+    }
+    arrival[static_cast<size_t>(c)] = best + dm.logic_delay(nl.cell(c).type);
+    worst_pred[static_cast<size_t>(c)] = best_pred;
+  };
+
+  int processed_comb = 0;
+  int total_comb = 0;
+  for (CellId c = 0; c < n; ++c)
+    if (!DelayModel::is_sequential(nl.cell(c).type)) ++total_comb;
+
+  // Downstream combinational adjacency (built on the fly from nets).
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    relax_cell(c);
+    processed[static_cast<size_t>(c)] = 1;
+    ++processed_comb;
+    for (NetId net_id : nl.nets_driven_by(c)) {
+      for (CellId s : nl.net(net_id).sinks) {
+        if (s == c || DelayModel::is_sequential(nl.cell(s).type)) continue;
+        if (--comb_indeg[static_cast<size_t>(s)] == 0) ready.push(s);
+      }
+    }
+  }
+  if (processed_comb < total_comb) {
+    // Combinational cycle (should not happen with generated designs):
+    // approximate leftover arrivals with two relaxation sweeps.
+    LOG_WARN("sta", "combinational cycle: %d cells unordered", total_comb - processed_comb);
+    for (int pass = 0; pass < 2; ++pass)
+      for (CellId c = 0; c < n; ++c)
+        if (!processed[static_cast<size_t>(c)]) relax_cell(c);
+  }
+
+  // Endpoint slacks.
+  TimingReport rep;
+  rep.clock_period_ns = clock_period_ns;
+  rep.wns_ns = clock_period_ns;  // best case before scanning endpoints
+  double worst_arrival = 0.0;
+  CellId worst_endpoint = kInvalidCell;
+  CellId worst_endpoint_pred = kInvalidCell;
+  for (CellId c = 0; c < n; ++c) {
+    const CellType t = nl.cell(c).type;
+    if (!DelayModel::is_sequential(t)) continue;
+    if (fanin[static_cast<size_t>(c)].empty()) continue;
+    double arr = 0.0;
+    CellId pred = kInvalidCell;
+    for (const Arc& a : fanin[static_cast<size_t>(c)]) {
+      const double ta = arrival[static_cast<size_t>(a.from)] +
+                        dm.wire_delay(nl, pl, dev, a.net, a.from, c, detour_of(a.net));
+      if (ta > arr) {
+        arr = ta;
+        pred = a.from;
+      }
+    }
+    const double slack = clock_period_ns - dm.setup_time(t) - arr;
+    ++rep.num_endpoints;
+    if (slack < 0) {
+      ++rep.failing_endpoints;
+      rep.tns_ns += slack;
+    }
+    if (slack < rep.wns_ns) {
+      rep.wns_ns = slack;
+      worst_arrival = arr;
+      worst_endpoint = c;
+      worst_endpoint_pred = pred;
+    }
+  }
+  rep.critical_arrival_ns = worst_arrival;
+
+  // Reconstruct the critical path endpoint <- ... <- startpoint.
+  if (worst_endpoint != kInvalidCell) {
+    std::vector<CellId> path = {worst_endpoint};
+    CellId cur = worst_endpoint_pred;
+    int guard = 0;
+    while (cur != kInvalidCell && guard++ < n) {
+      path.push_back(cur);
+      if (DelayModel::is_sequential(nl.cell(cur).type)) break;
+      cur = worst_pred[static_cast<size_t>(cur)];
+    }
+    std::reverse(path.begin(), path.end());
+    rep.critical_path = std::move(path);
+  }
+  return rep;
+}
+
+TimingReport run_sta_mhz(const Netlist& nl, const Placement& pl, const Device& dev,
+                         double freq_mhz, const StaOptions& opts) {
+  const double period = 1000.0 / freq_mhz;
+  if (opts.use_router) {
+    const RouteResult route = route_global(nl, pl, dev, opts.router);
+    return run_sta(nl, pl, dev, period, opts, &route);
+  }
+  return run_sta(nl, pl, dev, period, opts, nullptr);
+}
+
+double max_frequency_mhz(const Netlist& nl, const Placement& pl, const Device& dev,
+                         const StaOptions& opts, double lo, double hi) {
+  // The critical arrival time is frequency-independent in this model, so one
+  // STA pass suffices: fmax = 1000 / (arrival + setup_slack_at_period0).
+  const TimingReport rep = run_sta_mhz(nl, pl, dev, lo, opts);
+  const double required = rep.clock_period_ns - rep.wns_ns;  // arrival + setup
+  if (required <= 0) return hi;
+  return std::clamp(1000.0 / required, lo, hi);
+}
+
+std::string summarize(const TimingReport& r) {
+  std::ostringstream os;
+  os << "period=" << r.clock_period_ns << "ns WNS=" << r.wns_ns << "ns TNS=" << r.tns_ns
+     << "ns endpoints=" << r.num_endpoints << " failing=" << r.failing_endpoints;
+  return os.str();
+}
+
+}  // namespace dsp

@@ -1,0 +1,53 @@
+// Graph-based static timing analysis over a placed netlist.
+//
+// Standard setup analysis: sequential cells (FF/DSP/BRAM/IO/PS) launch and
+// capture paths; combinational cells (LUT/CARRY/LUTRAM) propagate worst
+// arrival times in topological order. Wire delays come from the DelayModel
+// and are stretched by the router's per-net congestion detour factors, so
+// the reported numbers play the role of the paper's post-route WNS/TNS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/grid_router.hpp"
+#include "timing/delay_model.hpp"
+
+namespace dsp {
+
+struct TimingReport {
+  double clock_period_ns = 0.0;
+  double wns_ns = 0.0;   // worst negative slack (positive = met, like Vivado)
+  double tns_ns = 0.0;   // total negative slack (<= 0)
+  int num_endpoints = 0;
+  int failing_endpoints = 0;
+  std::vector<CellId> critical_path;  // startpoint .. endpoint
+  double critical_arrival_ns = 0.0;
+
+  bool met() const { return wns_ns >= 0.0; }
+};
+
+struct StaOptions {
+  bool use_router = true;        // congestion-aware wire delays
+  RouterConfig router;
+  DelayModel delays;
+};
+
+/// Runs setup STA at the given clock. `route` may be null, in which case
+/// detour factors default to 1 (pre-route timing).
+TimingReport run_sta(const Netlist& nl, const Placement& pl, const Device& dev,
+                     double clock_period_ns, const StaOptions& opts = {},
+                     const RouteResult* route = nullptr);
+
+/// Convenience: route + STA at a target frequency in MHz.
+TimingReport run_sta_mhz(const Netlist& nl, const Placement& pl, const Device& dev,
+                         double freq_mhz, const StaOptions& opts = {});
+
+/// Maximum frequency (MHz) with non-negative WNS, via bisection.
+double max_frequency_mhz(const Netlist& nl, const Placement& pl, const Device& dev,
+                         const StaOptions& opts = {}, double lo = 20.0, double hi = 800.0);
+
+/// Human-readable single-line summary.
+std::string summarize(const TimingReport& r);
+
+}  // namespace dsp

@@ -1,0 +1,39 @@
+#include "timing/wirelength.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsp {
+
+double net_hpwl(const Netlist& nl, const Placement& pl, NetId net) {
+  const Net& n = nl.net(net);
+  double min_x = pl.x(n.driver), max_x = min_x;
+  double min_y = pl.y(n.driver), max_y = min_y;
+  for (CellId s : n.sinks) {
+    min_x = std::min(min_x, pl.x(s));
+    max_x = std::max(max_x, pl.x(s));
+    min_y = std::min(min_y, pl.y(s));
+    max_y = std::max(max_y, pl.y(s));
+  }
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+double total_hpwl(const Netlist& nl, const Placement& pl, bool weighted) {
+  double sum = 0.0;
+  for (NetId i = 0; i < nl.num_nets(); ++i)
+    sum += net_hpwl(nl, pl, i) * (weighted ? nl.net(i).weight : 1.0);
+  return sum;
+}
+
+double routed_wirelength_estimate(const Netlist& nl, const Placement& pl) {
+  double sum = 0.0;
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const int fanout = static_cast<int>(nl.net(i).sinks.size());
+    // Steiner-tree length of a k-pin net grows sublinearly in k; the
+    // sqrt(k) factor is the standard RSMT-from-HPWL correction.
+    sum += net_hpwl(nl, pl, i) * std::max(1.0, std::sqrt(static_cast<double>(fanout)));
+  }
+  return sum;
+}
+
+}  // namespace dsp

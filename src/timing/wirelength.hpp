@@ -1,0 +1,20 @@
+// Wirelength metrics: per-net and total half-perimeter wirelength (HPWL),
+// the quantity the paper reports (via RapidWright) in Table II.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+/// HPWL of one net: half-perimeter of the bounding box of its pins.
+double net_hpwl(const Netlist& nl, const Placement& pl, NetId net);
+
+/// Sum of net HPWLs, optionally weighted by net weight.
+double total_hpwl(const Netlist& nl, const Placement& pl, bool weighted = false);
+
+/// Sum over nets of HPWL * (pin_count - 1): a routed-wirelength proxy that
+/// grows with fanout the way detailed routes do.
+double routed_wirelength_estimate(const Netlist& nl, const Placement& pl);
+
+}  // namespace dsp

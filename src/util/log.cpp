@@ -1,0 +1,79 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace dsp {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+std::once_flag g_env_once;
+std::mutex g_sink_mutex;
+
+LogLevel parse_level(const char* s) {
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void apply_env_once() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("DSPLACER_LOG")) g_level = parse_level(env);
+  });
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  apply_env_once();
+  g_level = level;
+}
+
+LogLevel log_level() {
+  apply_env_once();
+  return g_level;
+}
+
+void log_message(LogLevel level, const std::string& tag, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %-12s %s\n", level_name(level), tag.c_str(), msg.c_str());
+}
+
+namespace detail {
+
+std::string format_args(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.assign(buf.data(), static_cast<size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace dsp

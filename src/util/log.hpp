@@ -1,0 +1,46 @@
+// Lightweight leveled logger used across all DSPlacer subsystems.
+//
+// The logger writes to stderr so that bench harness tables on stdout stay
+// machine-parsable. Verbosity is controlled globally (set_level) or via the
+// DSPLACER_LOG environment variable ("debug", "info", "warn", "error",
+// "off"), read once on first use.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dsp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Set the global log threshold. Messages below the threshold are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global threshold (after applying DSPLACER_LOG on first call).
+LogLevel log_level();
+
+/// Core sink. Prefer the LOG_* macros below which add the call site tag.
+void log_message(LogLevel level, const std::string& tag, const std::string& msg);
+
+namespace detail {
+std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace dsp
+
+#define DSP_LOG_AT(level, tag, ...)                                      \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::dsp::log_level())) \
+      ::dsp::log_message(level, tag, ::dsp::detail::format_args(__VA_ARGS__)); \
+  } while (0)
+
+#define LOG_DEBUG(tag, ...) DSP_LOG_AT(::dsp::LogLevel::kDebug, tag, __VA_ARGS__)
+#define LOG_INFO(tag, ...) DSP_LOG_AT(::dsp::LogLevel::kInfo, tag, __VA_ARGS__)
+#define LOG_WARN(tag, ...) DSP_LOG_AT(::dsp::LogLevel::kWarn, tag, __VA_ARGS__)
+#define LOG_ERROR(tag, ...) DSP_LOG_AT(::dsp::LogLevel::kError, tag, __VA_ARGS__)

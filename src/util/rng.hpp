@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the repository (netlist generation, GCN weight
+// init, dropout masks, placer perturbations, property tests) draw from an
+// explicitly seeded Rng so every experiment is reproducible run-to-run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dsp {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedu) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform 64-bit integer in [lo, hi] inclusive.
+  int64_t uniform_i64(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool flip(double p = 0.5) { return uniform() < p; }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  size_t index(size_t size) {
+    std::uniform_int_distribution<size_t> dist(0, size - 1);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,87 @@
+#include "util/svg.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dsp {
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgWriter::SvgWriter(double width, double height) : width_(width), height_(height) {}
+
+void SvgWriter::rect(double x, double y, double w, double h, const std::string& fill,
+                     double opacity, const std::string& stroke) {
+  std::ostringstream os;
+  os << "<rect x=\"" << num(x) << "\" y=\"" << num(y) << "\" width=\"" << num(w)
+     << "\" height=\"" << num(h) << "\" fill=\"" << fill << "\" opacity=\""
+     << num(opacity) << "\" stroke=\"" << stroke << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double stroke_width, double opacity) {
+  std::ostringstream os;
+  os << "<line x1=\"" << num(x1) << "\" y1=\"" << num(y1) << "\" x2=\"" << num(x2)
+     << "\" y2=\"" << num(y2) << "\" stroke=\"" << stroke << "\" stroke-width=\""
+     << num(stroke_width) << "\" opacity=\"" << num(opacity) << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::circle(double cx, double cy, double r, const std::string& fill,
+                       double opacity) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << num(cx) << "\" cy=\"" << num(cy) << "\" r=\"" << num(r)
+     << "\" fill=\"" << fill << "\" opacity=\"" << num(opacity) << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::text(double x, double y, const std::string& content, double font_size,
+                     const std::string& fill) {
+  std::ostringstream os;
+  os << "<text x=\"" << num(x) << "\" y=\"" << num(y) << "\" font-size=\""
+     << num(font_size) << "\" fill=\"" << fill
+     << "\" font-family=\"monospace\">" << escape(content) << "</text>";
+  body_.push_back(os.str());
+}
+
+std::string SvgWriter::to_string() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 " << num(width_)
+     << ' ' << num(height_) << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << num(width_) << "\" height=\""
+     << num(height_) << "\" fill=\"#ffffff\"/>\n";
+  for (const auto& e : body_) os << e << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace dsp

@@ -1,0 +1,36 @@
+// Minimal SVG writer used to render placement layouts (paper Fig. 9):
+// device columns, DSP sites, placed cells and datapath edges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+class SvgWriter {
+ public:
+  /// Canvas in user units; a view box is emitted so any size renders.
+  SvgWriter(double width, double height);
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0, const std::string& stroke = "none");
+  void line(double x1, double y1, double x2, double y2, const std::string& stroke,
+            double stroke_width = 1.0, double opacity = 1.0);
+  void circle(double cx, double cy, double r, const std::string& fill,
+              double opacity = 1.0);
+  void text(double x, double y, const std::string& content, double font_size = 10.0,
+            const std::string& fill = "#222222");
+
+  /// Full document text.
+  std::string to_string() const;
+
+  /// Write the document to `path`; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  double width_;
+  double height_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace dsp

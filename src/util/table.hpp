@@ -1,0 +1,34 @@
+// Fixed-width ASCII table printer used by the bench harnesses to emit the
+// paper's tables (Table I, Table II, Fig. 7a) in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column-aligned cells and a header separator.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (header first).
+  std::string to_csv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,71 @@
+// Wall-clock timers and a named stopwatch registry used for the Fig. 8
+// runtime-breakdown profiling of the DSPlacer flow.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+/// Simple monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations; the DSPlacer flow driver uses one
+/// instance per run to produce the runtime-breakdown report (paper Fig. 8).
+class PhaseProfile {
+ public:
+  void add(const std::string& phase, double seconds) { acc_[phase] += seconds; }
+
+  double total() const {
+    double t = 0;
+    for (const auto& [k, v] : acc_) t += v;
+    return t;
+  }
+
+  double seconds(const std::string& phase) const {
+    auto it = acc_.find(phase);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+
+  /// Phases in insertion-independent (sorted) order with their share of total.
+  std::vector<std::pair<std::string, double>> entries() const {
+    return {acc_.begin(), acc_.end()};
+  }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+/// RAII helper: times a scope and adds the duration to a PhaseProfile.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfile& profile, std::string phase)
+      : profile_(profile), phase_(std::move(phase)) {}
+  ~ScopedPhase() { profile_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfile& profile_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,216 @@
+// Centrality tests against the paper's Definitions 1-3, hand-computed
+// examples, brute-force oracles on random graphs, and sampling consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/centrality.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+// Brute-force betweenness per Definition 1 (undirected, unordered pairs):
+// enumerate all shortest paths by BFS DAG counting.
+std::vector<double> betweenness_brute(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<double> c(static_cast<size_t>(n), 0.0);
+  for (int s = 0; s < n; ++s) {
+    const auto ds = bfs_distances_undirected(g, s);
+    for (int t = s + 1; t < n; ++t) {
+      if (ds[static_cast<size_t>(t)] == kUnreached) continue;
+      const auto dt = bfs_distances_undirected(g, t);
+      // sigma(s,t): count shortest paths via DP over distance layers.
+      std::vector<double> sigma(static_cast<size_t>(n), 0.0);
+      sigma[static_cast<size_t>(s)] = 1.0;
+      for (int d = 1; d <= ds[static_cast<size_t>(t)]; ++d)
+        for (int v = 0; v < n; ++v)
+          if (ds[static_cast<size_t>(v)] == d)
+            for (int u : g.undirected_neighbors(v))
+              if (ds[static_cast<size_t>(u)] == d - 1) sigma[static_cast<size_t>(v)] += sigma[static_cast<size_t>(u)];
+      const double total = sigma[static_cast<size_t>(t)];
+      if (total <= 0) continue;
+      for (int v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        // v lies on a shortest s-t path iff d(s,v)+d(v,t)=d(s,t).
+        if (ds[static_cast<size_t>(v)] + dt[static_cast<size_t>(v)] != ds[static_cast<size_t>(t)]) continue;
+        // Count of shortest paths through v = sigma(s,v) * sigma(v,t).
+        std::vector<double> sigma_v(static_cast<size_t>(n), 0.0);
+        sigma_v[static_cast<size_t>(v)] = 1.0;
+        for (int d = ds[static_cast<size_t>(v)] + 1; d <= ds[static_cast<size_t>(t)]; ++d)
+          for (int w = 0; w < n; ++w)
+            if (ds[static_cast<size_t>(w)] == d)
+              for (int u : g.undirected_neighbors(w))
+                if (ds[static_cast<size_t>(u)] == d - 1) sigma_v[static_cast<size_t>(w)] += sigma_v[static_cast<size_t>(u)];
+        c[static_cast<size_t>(v)] += sigma[static_cast<size_t>(v)] * sigma_v[static_cast<size_t>(t)] / total;
+      }
+    }
+  }
+  return c;
+}
+
+Digraph random_connected(int n, double p, Rng& rng) {
+  Digraph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(rng.uniform_int(0, i - 1), i);  // spanning tree
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.uniform() < p) g.add_edge_unique(u, v);
+  return g;
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  // Star with 4 leaves: center lies on all C(4,2)=6 leaf pairs.
+  Digraph g(5);
+  for (int leaf = 1; leaf <= 4; ++leaf) g.add_edge(0, leaf);
+  const auto c = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(c[0], 6.0);
+  for (int leaf = 1; leaf <= 4; ++leaf) EXPECT_DOUBLE_EQ(c[static_cast<size_t>(leaf)], 0.0);
+}
+
+TEST(Betweenness, PathGraphInteriorValues) {
+  // Path 0-1-2-3: node 1 carries pairs (0,2),(0,3) => 2; symmetric for 2.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto c = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 2.0);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+}
+
+TEST(Betweenness, SplitShortestPathsCountFractions) {
+  // Square 0-1-3, 0-2-3: both 1 and 2 carry half of pair (0,3).
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto c = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 0.5);
+}
+
+TEST(Betweenness, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Digraph g = random_connected(12, 0.15, rng);
+    const auto fast = betweenness_exact(g);
+    const auto brute = betweenness_brute(g);
+    for (int v = 0; v < g.num_nodes(); ++v)
+      EXPECT_NEAR(fast[static_cast<size_t>(v)], brute[static_cast<size_t>(v)], 1e-9)
+          << "trial " << trial << " node " << v;
+  }
+}
+
+TEST(Betweenness, SampledWithAllPivotsIsExact) {
+  Rng rng(5);
+  const Digraph g = random_connected(15, 0.2, rng);
+  const auto exact = betweenness_exact(g);
+  Rng rng2(6);
+  const auto sampled = betweenness_sampled(g, g.num_nodes(), rng2);
+  for (int v = 0; v < g.num_nodes(); ++v)
+    EXPECT_NEAR(sampled[static_cast<size_t>(v)], exact[static_cast<size_t>(v)], 1e-9);
+}
+
+TEST(Betweenness, SampledApproximatesExact) {
+  Rng rng(8);
+  const Digraph g = random_connected(60, 0.06, rng);
+  const auto exact = betweenness_exact(g);
+  Rng rng2(9);
+  const auto sampled = betweenness_sampled(g, 30, rng2);
+  // Top-ranked exact node should rank highly in the sample too.
+  int best = 0;
+  for (int v = 1; v < g.num_nodes(); ++v)
+    if (exact[static_cast<size_t>(v)] > exact[static_cast<size_t>(best)]) best = v;
+  int rank = 0;
+  for (int v = 0; v < g.num_nodes(); ++v)
+    if (sampled[static_cast<size_t>(v)] > sampled[static_cast<size_t>(best)]) ++rank;
+  EXPECT_LE(rank, 6);
+}
+
+TEST(Closeness, Definition2OnPath) {
+  // Path 0-1-2-3: closeness(0) = 1/(1+2+3), closeness(1) = 1/(1+1+2).
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto c = closeness_exact(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0 / 4.0);
+}
+
+TEST(Closeness, IsolatedNodeGetsZero) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto c = closeness_exact(g);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(Closeness, SampledCorrelatesWithExact) {
+  Rng rng(13);
+  const Digraph g = random_connected(50, 0.08, rng);
+  const auto exact = closeness_exact(g);
+  Rng rng2(14);
+  const auto sampled = closeness_sampled(g, 25, rng2);
+  // Spearman-ish check: compare pairwise order agreement on a sample.
+  int agree = 0, total = 0;
+  for (int a = 0; a < g.num_nodes(); a += 3)
+    for (int b = a + 1; b < g.num_nodes(); b += 3) {
+      if (std::fabs(exact[static_cast<size_t>(a)] - exact[static_cast<size_t>(b)]) < 1e-12) continue;
+      ++total;
+      if ((exact[static_cast<size_t>(a)] < exact[static_cast<size_t>(b)]) ==
+          (sampled[static_cast<size_t>(a)] < sampled[static_cast<size_t>(b)]))
+        ++agree;
+    }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.75);
+}
+
+TEST(Eccentricity, Definition3OnPathAndStar) {
+  Digraph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  const auto e = eccentricity_exact(path);
+  EXPECT_EQ(e[0], 3);
+  EXPECT_EQ(e[1], 2);
+
+  Digraph star(5);
+  for (int leaf = 1; leaf <= 4; ++leaf) star.add_edge(0, leaf);
+  const auto es = eccentricity_exact(star);
+  EXPECT_EQ(es[0], 1);
+  EXPECT_EQ(es[1], 2);
+}
+
+TEST(Eccentricity, SampledIsLowerBoundOfExact) {
+  Rng rng(21);
+  const Digraph g = random_connected(40, 0.1, rng);
+  const auto exact = eccentricity_exact(g);
+  Rng rng2(22);
+  const auto sampled = eccentricity_sampled(g, 10, rng2);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(sampled[static_cast<size_t>(v)], exact[static_cast<size_t>(v)]);
+    EXPECT_GE(sampled[static_cast<size_t>(v)], 0);
+  }
+}
+
+TEST(Centrality, PaperFig4StyleExample) {
+  // A small control-hub topology: node C (2) bridges two halves, mirroring
+  // Fig. 4's betweenness illustration — the bridge must dominate.
+  Digraph g(6);
+  g.add_edge(0, 2);  // A-C
+  g.add_edge(1, 2);  // B-C
+  g.add_edge(2, 3);  // C-D
+  g.add_edge(3, 4);  // D-E
+  g.add_edge(3, 5);  // D-F
+  const auto bc = betweenness_exact(g);
+  for (int v = 0; v < 6; ++v)
+    if (v != 2 && v != 3) EXPECT_LT(bc[static_cast<size_t>(v)], bc[2]);
+  const auto ecc = eccentricity_exact(g);
+  EXPECT_EQ(ecc[2], 2);  // C reaches everything within 2
+  EXPECT_EQ(ecc[0], 3);  // A-E / A-F distance
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,140 @@
+// Classifier-pipeline tests: design-data assembly, block-diagonal merging,
+// the 2-hop restriction, and a miniature leave-one-out run reproducing the
+// Fig. 7(a) ordering (GCN >= SVM).
+#include <gtest/gtest.h>
+
+#include "designs/benchmarks.hpp"
+#include "extract/classifier.hpp"
+
+namespace dsp {
+namespace {
+
+std::vector<DesignGraphData> tiny_suite() {
+  const Device dev = make_zcu104(0.05);
+  std::vector<DesignGraphData> designs;
+  for (const auto& spec : benchmark_suite()) {
+    const Netlist nl = make_benchmark(spec, dev, 0.05);
+    FeatureOptions fopts;
+    fopts.exact_threshold = 0;  // always sample: keep the test fast
+    fopts.centrality_pivots = 48;
+    fopts.dsp_distance_sources = 48;
+    designs.push_back(build_design_data(nl, fopts));
+  }
+  return designs;
+}
+
+TEST(Classifier, BuildDesignDataShapes) {
+  const Device dev = make_zcu104(0.05);
+  const Netlist nl = make_benchmark(benchmark_suite()[0], dev, 0.05);
+  const DesignGraphData d = build_design_data(nl);
+  EXPECT_EQ(d.graph.num_nodes(), nl.num_cells());
+  EXPECT_EQ(d.gcn_features.rows(), nl.num_cells());
+  EXPECT_EQ(d.local_features.rows(), nl.num_cells());
+  int dsp_count = 0;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).type == CellType::kDsp) {
+      ++dsp_count;
+      EXPECT_TRUE(d.dsp_mask[static_cast<size_t>(c)]);
+      EXPECT_EQ(d.labels[static_cast<size_t>(c)],
+                nl.cell(c).role == DspRole::kDatapath ? 1 : 0);
+    } else {
+      EXPECT_FALSE(d.dsp_mask[static_cast<size_t>(c)]);
+    }
+  }
+  EXPECT_EQ(dsp_count, nl.count_type(CellType::kDsp));
+}
+
+TEST(Classifier, MergeIsBlockDiagonal) {
+  DesignGraphData a;
+  a.name = "a";
+  a.graph = Digraph(3);
+  a.graph.add_edge(0, 1);
+  a.gcn_features = Matrix(3, kNumNodeFeatures, 1.0);
+  a.local_features = Matrix(3, num_local_features(), 1.0);
+  a.labels = {1, 0, 1};
+  a.dsp_mask = {1, 0, 1};
+  DesignGraphData b = a;
+  b.name = "b";
+  b.graph = Digraph(2);
+  b.graph.add_edge(0, 1);
+  b.gcn_features = Matrix(2, kNumNodeFeatures, 2.0);
+  b.local_features = Matrix(2, num_local_features(), 2.0);
+  b.labels = {0, 1};
+  b.dsp_mask = {1, 1};
+
+  const DesignGraphData m = merge_designs({&a, &b});
+  EXPECT_EQ(m.graph.num_nodes(), 5);
+  EXPECT_TRUE(m.graph.has_edge(0, 1));
+  EXPECT_TRUE(m.graph.has_edge(3, 4));       // offset block
+  EXPECT_FALSE(m.graph.has_edge(2, 3));      // no cross-block edges
+  EXPECT_DOUBLE_EQ(m.gcn_features.at(3, 0), 2.0);
+  EXPECT_EQ(m.labels[4], 1);
+}
+
+TEST(Classifier, RestrictionKeepsAllDspsAndTheirContext) {
+  const Device dev = make_zcu104(0.05);
+  const Netlist nl = make_benchmark(benchmark_suite()[1], dev, 0.05);
+  FeatureOptions fopts;
+  fopts.exact_threshold = 0;
+  fopts.centrality_pivots = 16;
+  fopts.dsp_distance_sources = 16;
+  const DesignGraphData d = build_design_data(nl, fopts);
+  std::vector<int> orig;
+  const DesignGraphData sub = restrict_to_dsp_neighborhood(d, 2, &orig);
+  EXPECT_LT(sub.graph.num_nodes(), d.graph.num_nodes());
+  // Every DSP survives.
+  int dsps_in = 0, dsps_out = 0;
+  for (char m : d.dsp_mask) dsps_in += m;
+  for (char m : sub.dsp_mask) dsps_out += m;
+  EXPECT_EQ(dsps_in, dsps_out);
+  // orig maps back consistently.
+  ASSERT_EQ(static_cast<int>(orig.size()), sub.graph.num_nodes());
+  for (int i = 0; i < sub.graph.num_nodes(); ++i) {
+    EXPECT_EQ(sub.dsp_mask[static_cast<size_t>(i)], d.dsp_mask[static_cast<size_t>(orig[static_cast<size_t>(i)])]);
+    EXPECT_EQ(sub.labels[static_cast<size_t>(i)], d.labels[static_cast<size_t>(orig[static_cast<size_t>(i)])]);
+  }
+}
+
+TEST(Classifier, LeaveOneOutReproducesFig7Ordering) {
+  const auto designs = tiny_suite();
+  GcnConfig gcfg;
+  gcfg.epochs = 80;
+  const auto results = leave_one_out(designs, gcfg);
+  ASSERT_EQ(results.size(), designs.size());
+  double gcn_avg = 0, svm_avg = 0;
+  for (const auto& r : results) {
+    gcn_avg += r.gcn_accuracy;
+    svm_avg += r.svm_accuracy;
+    EXPECT_EQ(r.curve.size(), 80u);
+  }
+  gcn_avg /= results.size();
+  svm_avg /= results.size();
+  // Fig. 7(a) shape: global GCN features beat PADE's local SVM features.
+  EXPECT_GT(gcn_avg, 0.85);
+  EXPECT_GT(gcn_avg, svm_avg);
+}
+
+TEST(Classifier, PredictDatapathCoversDspsOnly) {
+  const auto designs = tiny_suite();
+  std::vector<DesignGraphData> train(designs.begin(), designs.end() - 1);
+  const DesignGraphData& target = designs.back();
+  GcnConfig gcfg;
+  gcfg.epochs = 60;
+  const auto pred = predict_datapath_dsps(train, target, gcfg);
+  ASSERT_EQ(static_cast<int>(pred.size()), target.graph.num_nodes());
+  int flagged = 0, correct = 0, dsps = 0;
+  for (int v = 0; v < target.graph.num_nodes(); ++v) {
+    if (!target.dsp_mask[static_cast<size_t>(v)]) {
+      EXPECT_FALSE(pred[static_cast<size_t>(v)]);
+      continue;
+    }
+    ++dsps;
+    flagged += pred[static_cast<size_t>(v)] ? 1 : 0;
+    if ((pred[static_cast<size_t>(v)] ? 1 : 0) == target.labels[static_cast<size_t>(v)]) ++correct;
+  }
+  EXPECT_GT(flagged, 0);
+  EXPECT_GT(static_cast<double>(correct) / dsps, 0.8);
+}
+
+}  // namespace
+}  // namespace dsp

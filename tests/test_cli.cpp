@@ -1,0 +1,118 @@
+// CLI driver tests: the gen -> place -> report pipeline over temp files,
+// flag validation, and error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/cli.hpp"
+
+namespace dsp {
+namespace {
+
+int cli(const std::vector<std::string>& args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::ostringstream out, err;
+  const int rc = run_cli(args, out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  std::string err;
+  EXPECT_EQ(cli({}, nullptr, &err), 2);
+  EXPECT_NE(err.find("dsplacer_cli"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(cli({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListShowsAllBenchmarks) {
+  std::string out;
+  EXPECT_EQ(cli({"list"}, &out), 0);
+  for (const char* name : {"iSmartDNN", "SkyNet", "SkrSkr-1", "SkrSkr-2", "SkrSkr-3"})
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, GenRequiresOut) {
+  std::string err;
+  EXPECT_EQ(cli({"gen", "--benchmark", "SkyNet"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST(Cli, MalformedFlagRejected) {
+  std::string err;
+  EXPECT_EQ(cli({"gen", "--out"}, nullptr, &err), 2);      // missing value
+  EXPECT_EQ(cli({"gen", "out", "x"}, nullptr, &err), 2);   // not a --flag
+}
+
+TEST(Cli, GenPlaceReportPipeline) {
+  const std::string dir = testing::TempDir();
+  const std::string netlist = dir + "/cli_test.netlist";
+  const std::string placement = dir + "/cli_test.place";
+  const std::string xdc = dir + "/cli_test.xdc";
+
+  std::string out;
+  ASSERT_EQ(cli({"gen", "--benchmark", "iSmartDNN", "--scale", "0.08", "--out", netlist},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+
+  ASSERT_EQ(cli({"place", "--netlist", netlist, "--scale", "0.08", "--tool", "dsplacer",
+                 "--out", placement, "--constraints", xdc},
+                &out),
+            0);
+  EXPECT_NE(out.find("HPWL"), std::string::npos);
+  EXPECT_NE(out.find("wrote constraints"), std::string::npos);
+
+  // The XDC is real: it contains LOC lines.
+  std::ifstream xf(xdc);
+  std::string xdc_text((std::istreambuf_iterator<char>(xf)), std::istreambuf_iterator<char>());
+  EXPECT_NE(xdc_text.find("set_property LOC DSP48E2_X"), std::string::npos);
+
+  // Report at fmax: placement is legal and timing met -> exit 0.
+  ASSERT_EQ(cli({"report", "--netlist", netlist, "--placement", placement, "--scale", "0.08"},
+                &out),
+            0);
+  EXPECT_NE(out.find("DSP legality: OK"), std::string::npos);
+
+  // Report far above fmax: fails timing -> nonzero exit.
+  EXPECT_EQ(cli({"report", "--netlist", netlist, "--placement", placement, "--scale", "0.08",
+                 "--freq", "5000"}),
+            1);
+
+  std::remove(netlist.c_str());
+  std::remove(placement.c_str());
+  std::remove(xdc.c_str());
+}
+
+TEST(Cli, PlaceBaselineToolsWork) {
+  const std::string dir = testing::TempDir();
+  const std::string netlist = dir + "/cli_vivado.netlist";
+  std::string out, err;
+  ASSERT_EQ(cli({"gen", "--benchmark", "SkyNet", "--scale", "0.06", "--out", netlist}, &out),
+            0);
+  EXPECT_EQ(cli({"place", "--netlist", netlist, "--scale", "0.06", "--tool", "vivado"}, &out),
+            0);
+  EXPECT_EQ(cli({"place", "--netlist", netlist, "--scale", "0.06", "--tool", "amf"}, &out), 0);
+  EXPECT_EQ(cli({"place", "--netlist", netlist, "--scale", "0.06", "--tool", "quartus"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown --tool"), std::string::npos);
+  std::remove(netlist.c_str());
+}
+
+TEST(Cli, ReportMissingFilesErrors) {
+  std::string err;
+  EXPECT_EQ(cli({"report", "--netlist", "/no/file", "--placement", "/no/file"}, nullptr, &err),
+            1);
+  EXPECT_NE(err.find("report:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsp

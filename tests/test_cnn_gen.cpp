@@ -1,0 +1,159 @@
+// Generator tests: Table I resource budgets, structural invariants of the
+// CNN accelerator (chains, PS anchoring, control signatures), determinism,
+// and scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "designs/benchmarks.hpp"
+#include "graph/traversal.hpp"
+#include "netlist/stats.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Benchmarks, SuiteMatchesTableOne) {
+  const auto& suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "iSmartDNN");
+  EXPECT_EQ(suite[0].config.total_dsps, 197);
+  EXPECT_DOUBLE_EQ(suite[0].target_freq_mhz, 130.0);
+  EXPECT_EQ(suite[4].name, "SkrSkr-3");
+  EXPECT_EQ(suite[4].config.total_dsps, 1431);
+  EXPECT_EQ(suite[4].config.num_lut, 70382);
+  EXPECT_THROW(benchmark_by_name("nope"), std::out_of_range);
+  EXPECT_EQ(benchmark_by_name("SkyNet").config.num_bram, 192);
+}
+
+TEST(Benchmarks, ScaleEnvParsing) {
+  ASSERT_EQ(unsetenv("DSPLACER_SCALE"), 0);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(0.25), 0.25);
+  ASSERT_EQ(setenv("DSPLACER_SCALE", "0.5", 1), 0);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(0.25), 0.5);
+  ASSERT_EQ(setenv("DSPLACER_SCALE", "bogus", 1), 0);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(0.25), 0.25);
+  unsetenv("DSPLACER_SCALE");
+}
+
+TEST(CnnGen, FullScaleCountsMatchTableOne) {
+  const Device dev = make_zcu104(1.0);
+  for (const auto& spec : benchmark_suite()) {
+    const Netlist nl = make_benchmark(spec, dev, 1.0);
+    const DesignStats s = compute_stats(nl, spec.target_freq_mhz);
+    EXPECT_EQ(s.num_dsp, spec.config.total_dsps) << spec.name;
+    EXPECT_EQ(s.num_bram, spec.config.num_bram) << spec.name;
+    // LUT/FF/LUTRAM budgets land within the granularity of the structural
+    // blocks (the generator never removes cells, only stops adding filler).
+    EXPECT_NEAR(s.num_lut, spec.config.num_lut, spec.config.num_lut * 0.02) << spec.name;
+    EXPECT_NEAR(s.num_ff, spec.config.num_ff, spec.config.num_ff * 0.02) << spec.name;
+    EXPECT_NEAR(s.num_lutram, spec.config.num_lutram, spec.config.num_lutram * 0.05)
+        << spec.name;
+    EXPECT_EQ(nl.validate(), "") << spec.name;
+  }
+}
+
+TEST(CnnGen, DspRolesAndChains) {
+  const Device dev = make_zcu104(0.25);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkyNet"), dev, 0.25);
+  const DesignStats s = compute_stats(nl);
+  EXPECT_GT(s.num_datapath_dsp, 0);
+  EXPECT_GT(s.num_control_dsp, 0);
+  EXPECT_GT(s.num_datapath_dsp, s.num_control_dsp * 5);  // class imbalance
+  // Every datapath chain is a consecutive run of datapath DSPs.
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    const DspRole role = nl.cell(chain[0]).role;
+    for (CellId c : chain) {
+      EXPECT_EQ(nl.cell(c).type, CellType::kDsp);
+      EXPECT_EQ(nl.cell(c).role, role);  // chains never mix roles
+    }
+    // Cascade nets exist pred -> succ.
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      bool found = false;
+      for (NetId n : nl.nets_driven_by(chain[k]))
+        for (CellId snk : nl.net(n).sinks)
+          if (snk == chain[k + 1]) found = true;
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(CnnGen, PsPortsArePinnedToDeviceGeometry) {
+  const Device dev = make_zcu104(0.25);
+  const Netlist nl = make_benchmark(benchmark_by_name("iSmartDNN"), dev, 0.25);
+  int pinned = 0;
+  for (const auto& c : nl.cells()) {
+    if (c.type != CellType::kPsPort) continue;
+    EXPECT_TRUE(c.fixed);
+    ++pinned;
+  }
+  EXPECT_EQ(pinned, static_cast<int>(dev.ps().top_ports.size() + dev.ps().right_ports.size()));
+}
+
+TEST(CnnGen, DataflowReachesFromPsToPs) {
+  // The accelerator dataflow must connect PS inputs to PS outputs.
+  const Device dev = make_zcu104(0.15);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkyNet"), dev, 0.15);
+  const Digraph g = nl.to_digraph();
+  const CellId in0 = *nl.find_cell("ps_in_0");
+  const auto dist = bfs_distances(g, in0);
+  bool reaches_out = false;
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    if (nl.cell(c).type == CellType::kPsPort && nl.cell(c).name.rfind("ps_out", 0) == 0 &&
+        dist[static_cast<size_t>(c)] != kUnreached)
+      reaches_out = true;
+  EXPECT_TRUE(reaches_out);
+}
+
+TEST(CnnGen, ControlDspsCarryFeedbackSignature) {
+  const Device dev = make_zcu104(0.25);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkrSkr-2"), dev, 0.25);
+  const Digraph g = nl.to_digraph();
+  // Count control DSPs inside a cycle vs datapath DSPs inside a cycle.
+  int ctrl_total = 0, ctrl_fb = 0, dp_total = 0, dp_fb = 0;
+  // Use 3-hop cycle probe: node is in feedback if BFS from it can return.
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    if (cell.type != CellType::kDsp) continue;
+    bool in_cycle = false;
+    const auto dist = bfs_distances(g, c);
+    for (int u : g.in(c))
+      if (dist[static_cast<size_t>(u)] != kUnreached) in_cycle = true;
+    if (cell.role == DspRole::kControl) {
+      ++ctrl_total;
+      ctrl_fb += in_cycle;
+    } else {
+      ++dp_total;
+      dp_fb += in_cycle;
+    }
+  }
+  ASSERT_GT(ctrl_total, 0);
+  ASSERT_GT(dp_total, 0);
+  // Majority of control DSPs sit in loops; only a minority of datapath do.
+  EXPECT_GT(static_cast<double>(ctrl_fb) / ctrl_total, 0.5);
+  EXPECT_LT(static_cast<double>(dp_fb) / dp_total, 0.5);
+}
+
+TEST(CnnGen, DeterministicForFixedSeed) {
+  const Device dev = make_zcu104(0.1);
+  const Netlist a = make_benchmark(benchmark_by_name("SkrSkr-1"), dev, 0.1);
+  const Netlist b = make_benchmark(benchmark_by_name("SkrSkr-1"), dev, 0.1);
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (CellId c = 0; c < a.num_cells(); ++c) {
+    EXPECT_EQ(a.cell(c).name, b.cell(c).name);
+    EXPECT_EQ(a.cell(c).type, b.cell(c).type);
+  }
+}
+
+TEST(CnnGen, ScalingShrinksProportionally) {
+  const Device dev = make_zcu104(0.5);
+  const auto& spec = benchmark_by_name("SkrSkr-2");
+  const Netlist half = make_benchmark(spec, dev, 0.5);
+  const DesignStats s = compute_stats(half);
+  EXPECT_NEAR(s.num_dsp, spec.config.total_dsps * 0.5, spec.config.total_dsps * 0.03);
+  EXPECT_NEAR(s.num_lut, spec.config.num_lut * 0.5, spec.config.num_lut * 0.03);
+}
+
+}  // namespace
+}  // namespace dsp

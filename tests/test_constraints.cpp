@@ -1,0 +1,89 @@
+// Constraint export/import tests: XDC site naming, round trip, error
+// reporting — the artifact DSPlacer hands to the host P&R tool.
+#include <gtest/gtest.h>
+
+#include "core/constraints.hpp"
+
+namespace dsp {
+namespace {
+
+struct Fixture {
+  Device dev = make_test_device();
+  Netlist nl{"cx"};
+  CellId d0, d1, lut;
+
+  Fixture() {
+    d0 = nl.add_cell("mac_a", CellType::kDsp);
+    d1 = nl.add_cell("mac_b", CellType::kDsp);
+    lut = nl.add_cell("glue", CellType::kLut);
+  }
+};
+
+TEST(Constraints, SiteNamesAreXdcStyle) {
+  Fixture f;
+  EXPECT_EQ(dsp_site_name(f.dev, f.dev.dsp_site_index(0, 3)), "DSP48E2_X0Y3");
+  EXPECT_EQ(dsp_site_name(f.dev, f.dev.dsp_site_index(1, 15)), "DSP48E2_X1Y15");
+}
+
+TEST(Constraints, ParseSiteNames) {
+  Fixture f;
+  EXPECT_EQ(parse_dsp_site_name(f.dev, "DSP48E2_X1Y7"), f.dev.dsp_site_index(1, 7));
+  EXPECT_EQ(parse_dsp_site_name(f.dev, "DSP48E2_X9Y0"), -1);   // no column 9
+  EXPECT_EQ(parse_dsp_site_name(f.dev, "DSP48E2_X0Y99"), -1);  // row OOR
+  EXPECT_EQ(parse_dsp_site_name(f.dev, "SLICE_X0Y0"), -1);
+}
+
+TEST(Constraints, WriteEmitsOnlyAssignedDsps) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, f.dev.dsp_site_index(0, 2));
+  const std::string xdc = write_dsp_constraints(f.nl, f.dev, pl);
+  EXPECT_NE(xdc.find("set_property LOC DSP48E2_X0Y2 [get_cells mac_a]"), std::string::npos);
+  EXPECT_EQ(xdc.find("mac_b"), std::string::npos);  // unassigned: skipped
+  EXPECT_EQ(xdc.find("glue"), std::string::npos);   // not a DSP
+}
+
+TEST(Constraints, RoundTripRestoresSites) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, f.dev.dsp_site_index(0, 5));
+  pl.assign_dsp_site(f.dev, f.d1, f.dev.dsp_site_index(1, 9));
+  const std::string xdc = write_dsp_constraints(f.nl, f.dev, pl);
+
+  Placement fresh(f.nl, f.dev);
+  const std::string err = apply_dsp_constraints(f.nl, f.dev, xdc, fresh);
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(fresh.dsp_site(f.d0), f.dev.dsp_site_index(0, 5));
+  EXPECT_EQ(fresh.dsp_site(f.d1), f.dev.dsp_site_index(1, 9));
+}
+
+TEST(Constraints, ApplyReportsErrorsButKeepsGoodLines) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  const std::string xdc =
+      "# comment line\n"
+      "set_property LOC DSP48E2_X0Y1 [get_cells mac_a]\n"
+      "set_property LOC DSP48E2_X0Y2 [get_cells nonexistent]\n"
+      "set_property LOC DSP48E2_X7Y1 [get_cells mac_b]\n"
+      "set_property LOC DSP48E2_X1Y1 [get_cells glue]\n"
+      "garbage line here\n";
+  const std::string err = apply_dsp_constraints(f.nl, f.dev, xdc, pl);
+  EXPECT_EQ(pl.dsp_site(f.d0), f.dev.dsp_site_index(0, 1));  // applied
+  EXPECT_EQ(pl.dsp_site(f.d1), -1);                          // bad site: skipped
+  EXPECT_NE(err.find("unknown cell"), std::string::npos);
+  EXPECT_NE(err.find("bad site"), std::string::npos);
+  EXPECT_NE(err.find("not a DSP"), std::string::npos);
+  EXPECT_NE(err.find("unrecognized"), std::string::npos);
+}
+
+TEST(Constraints, FileHelperWritesReadableXdc) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, 0);
+  const std::string path = testing::TempDir() + "/dsplacer_constraints.xdc";
+  ASSERT_TRUE(save_dsp_constraints(f.nl, f.dev, pl, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,110 @@
+// Tests for SCC computation and the feedback-loop feature (paper feature
+// (b): control-path elements live in feedback structures).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cycles.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Scc, DagHasSingletonComponents) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  int num = 0;
+  const auto comp = strongly_connected_components(g, &num);
+  EXPECT_EQ(num, 4);
+  // All distinct.
+  auto sorted = comp;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+}
+
+TEST(Scc, CycleCollapsesToOneComponent) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // cycle {0,1,2}
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  int num = 0;
+  const auto comp = strongly_connected_components(g, &num);
+  EXPECT_EQ(num, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(Scc, TwoSeparateCycles) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);  // bridge, one direction only
+  int num = 0;
+  const auto comp = strongly_connected_components(g, &num);
+  EXPECT_EQ(num, 4);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  const int n = 200000;
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  int num = 0;
+  const auto comp = strongly_connected_components(g, &num);
+  EXPECT_EQ(num, n);
+  EXPECT_EQ(static_cast<int>(comp.size()), n);
+}
+
+TEST(FeedbackScores, ZeroOutsideCycles) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto s = feedback_scores(g);
+  for (int v = 0; v < 4; ++v) EXPECT_EQ(s[static_cast<size_t>(v)], 0);
+}
+
+TEST(FeedbackScores, CycleMembersGetPositiveScores) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);  // acyclic part
+  const auto s = feedback_scores(g);
+  EXPECT_EQ(s[0], 2);  // both in-SCC arcs touch node 0
+  EXPECT_EQ(s[1], 2);
+  EXPECT_EQ(s[2], 0);
+  EXPECT_EQ(s[3], 0);
+}
+
+TEST(FeedbackScores, SelfLoopCountsDouble) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  const auto s = feedback_scores(g);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 0);
+}
+
+TEST(FeedbackScores, DenserFeedbackScoresHigher) {
+  // Node 0 participates in two 2-cycles; node 3 in one.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  const auto s = feedback_scores(g);
+  EXPECT_GT(s[0], s[3]);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,142 @@
+// Detailed-refinement tests: HPWL never increases, legality is preserved,
+// and an obviously-improvable placement actually improves.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "placer/detail_refine.hpp"
+#include "placer/legalizer.hpp"
+#include "timing/wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Refine, PullsLoneCellTowardItsNet) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("pull");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  nl.set_fixed(a, 20.0, 10.0);
+  const CellId l = nl.add_cell("l", CellType::kLut);
+  nl.add_net("n", a, {l});
+  Placement pl(nl, dev);
+  pl.set(l, 26.5, 10.5);  // 6 tiles away; window=3 lets it walk closer
+  RefineOptions opts;
+  opts.passes = 4;
+  const RefineStats stats = refine_detail(nl, dev, pl, opts);
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_GT(stats.hpwl_gain, 0.0);
+  EXPECT_LT(pl.distance(a, l), 3.0);
+}
+
+TEST(Refine, NeverIncreasesHpwl) {
+  const Device dev = make_zcu104(0.15);
+  Rng rng(8);
+  Netlist nl("rand");
+  const CellId anchor = nl.add_cell("ps", CellType::kPsPort);
+  nl.set_fixed(anchor, 30.0, 10.0);
+  std::vector<CellId> cells;
+  for (int i = 0; i < 300; ++i)
+    cells.push_back(nl.add_cell("c" + std::to_string(i),
+                                i % 2 ? CellType::kLut : CellType::kFlipFlop));
+  for (int i = 0; i < 400; ++i) {
+    const CellId u = cells[rng.index(cells.size())];
+    const CellId v = cells[rng.index(cells.size())];
+    if (u != v) nl.add_net("n" + std::to_string(i), u, {v});
+  }
+  Placement pl(nl, dev);
+  for (CellId c : cells)
+    pl.set(c, rng.uniform(12, 90), rng.uniform(0, dev.height() - 1.0));
+  legalize_logic(nl, dev, pl);
+  const double before = total_hpwl(nl, pl);
+  const RefineStats stats = refine_detail(nl, dev, pl);
+  const double after = total_hpwl(nl, pl);
+  EXPECT_LE(after, before + 1e-6);
+  EXPECT_NEAR(before - after, stats.hpwl_gain, 1e-6);
+}
+
+TEST(Refine, PreservesTileCapacitiesAndColumnRules) {
+  const Device dev = make_zcu104(0.15);
+  Rng rng(9);
+  Netlist nl("cap");
+  std::vector<CellId> cells;
+  for (int i = 0; i < 400; ++i) {
+    const CellType t = i % 3 == 0   ? CellType::kLutRam
+                       : i % 3 == 1 ? CellType::kLut
+                                    : CellType::kFlipFlop;
+    cells.push_back(nl.add_cell("c" + std::to_string(i), t));
+  }
+  for (int i = 0; i + 1 < 400; i += 2)
+    nl.add_net("n" + std::to_string(i), cells[static_cast<size_t>(i)],
+               {cells[static_cast<size_t>(i) + 1]});
+  Placement pl(nl, dev);
+  for (CellId c : cells) pl.set(c, rng.uniform(12, 90), rng.uniform(0, dev.height() - 1.0));
+  legalize_logic(nl, dev, pl);
+  refine_detail(nl, dev, pl);
+
+  std::map<std::pair<int, int>, int> luts, ffs;
+  for (CellId c : cells) {
+    const int tx = static_cast<int>(pl.x(c));
+    const int ty = static_cast<int>(pl.y(c));
+    const CellType t = nl.cell(c).type;
+    EXPECT_TRUE(dev.is_logic_column(tx));
+    if (t == CellType::kLutRam) EXPECT_EQ(dev.column_type(tx), ColumnType::kClbM);
+    if (t == CellType::kFlipFlop)
+      ffs[{tx, ty}]++;
+    else
+      luts[{tx, ty}]++;
+  }
+  for (const auto& [tile, n] : luts) EXPECT_LE(n, dev.clb_capacity().luts_per_tile);
+  for (const auto& [tile, n] : ffs) EXPECT_LE(n, dev.clb_capacity().ffs_per_tile);
+}
+
+TEST(Refine, LeavesDspAndFixedCellsAlone) {
+  const Device dev = make_zcu104(0.15);
+  Netlist nl("frozen");
+  const CellId ps = nl.add_cell("ps", CellType::kPsPort);
+  nl.set_fixed(ps, 5.0, 5.0);
+  const CellId d = nl.add_cell("d", CellType::kDsp);
+  const CellId l = nl.add_cell("l", CellType::kLut);
+  nl.add_net("n1", ps, {l});
+  nl.add_net("n2", l, {d});
+  Placement pl(nl, dev);
+  pl.assign_dsp_site(dev, d, 0);
+  pl.set(l, 20.5, 10.5);
+  refine_detail(nl, dev, pl);
+  EXPECT_DOUBLE_EQ(pl.x(ps), 5.0);
+  EXPECT_EQ(pl.dsp_site(d), 0);
+}
+
+TEST(Refine, SwapHappensWhenTilesAreFull) {
+  // Two cells placed in each other's ideal tiles, both tiles full: only a
+  // swap can improve.
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("swap");
+  const CellId a1 = nl.add_cell("a1", CellType::kPsPort);
+  const CellId a2 = nl.add_cell("a2", CellType::kPsPort);
+  nl.set_fixed(a1, 20.0, 10.0);
+  nl.set_fixed(a2, 22.0, 10.0);
+  const CellId u = nl.add_cell("u", CellType::kLut);
+  const CellId v = nl.add_cell("v", CellType::kLut);
+  nl.add_net("nu", a1, {u});
+  nl.add_net("nv", a2, {v});
+  // Fill both tiles to LUT capacity with bystanders so plain moves fail
+  // (cells must exist before the Placement is sized).
+  std::vector<CellId> filler;
+  for (int i = 0; i < 2 * (dev.clb_capacity().luts_per_tile - 1); ++i)
+    filler.push_back(nl.add_cell("fill" + std::to_string(i), CellType::kLut));
+  Placement pl(nl, dev);
+  pl.set(u, 22.5, 10.5);  // u sits at v's anchor and vice versa
+  pl.set(v, 20.5, 10.5);
+  for (size_t i = 0; i < filler.size(); ++i)
+    pl.set(filler[i], (i % 2 ? 22.5 : 20.5), 10.5);
+  RefineOptions opts;
+  opts.window = 2;
+  const RefineStats stats = refine_detail(nl, dev, pl, opts);
+  EXPECT_GT(stats.swaps + stats.moves, 0);
+  EXPECT_LT(pl.distance(a1, u), 2.0);
+  EXPECT_LT(pl.distance(a2, v), 2.5);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,112 @@
+// Baseline DSP legalizer tests (the Vivado-like and AMF-like comparison
+// modes): legality, chain integrity, displacement behavior, the
+// only_unassigned handoff used by DSPlacer for control DSPs.
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "placer/dsp_baseline.hpp"
+
+namespace dsp {
+namespace {
+
+struct ChainDesign {
+  Netlist nl{"chains"};
+  std::vector<std::vector<CellId>> chains;
+
+  explicit ChainDesign(const std::vector<int>& lengths) {
+    for (size_t ci = 0; ci < lengths.size(); ++ci) {
+      std::vector<CellId> chain;
+      for (int k = 0; k < lengths[ci]; ++k)
+        chain.push_back(nl.add_cell("d" + std::to_string(ci) + "_" + std::to_string(k),
+                                    CellType::kDsp));
+      if (chain.size() > 1) nl.add_cascade_chain(chain);
+      chains.push_back(chain);
+    }
+  }
+};
+
+TEST(DspBaseline, VivadoModeProducesLegalPlacement) {
+  const Device dev = make_test_device();
+  ChainDesign d({4, 3, 1, 5});
+  Placement pl(d.nl, dev);
+  for (CellId c = 0; c < d.nl.num_cells(); ++c) pl.set(c, 6.0, 8.0);
+  ASSERT_TRUE(legalize_dsps_baseline(d.nl, dev, pl));
+  EXPECT_EQ(pl.validate_dsp(d.nl, dev), "");
+}
+
+TEST(DspBaseline, AmfModeProducesLegalPlacement) {
+  const Device dev = make_test_device();
+  ChainDesign d({4, 3, 2, 2, 1});
+  Placement pl(d.nl, dev);
+  for (CellId c = 0; c < d.nl.num_cells(); ++c) pl.set(c, 6.0, 8.0);
+  DspBaselineOptions opts;
+  opts.mode = DspBaselineMode::kAmfLike;
+  ASSERT_TRUE(legalize_dsps_baseline(d.nl, dev, pl, opts));
+  EXPECT_EQ(pl.validate_dsp(d.nl, dev), "");
+}
+
+TEST(DspBaseline, VivadoModePlacesChainNearCentroid) {
+  const Device dev = make_test_device();  // DSP columns at x=5 and x=9
+  ChainDesign d({3});
+  Placement pl(d.nl, dev);
+  for (CellId c : d.chains[0]) pl.set(c, 8.8, 4.0);  // near column 1
+  ASSERT_TRUE(legalize_dsps_baseline(d.nl, dev, pl));
+  for (CellId c : d.chains[0]) EXPECT_DOUBLE_EQ(pl.x(c), 9.0);
+}
+
+TEST(DspBaseline, AmfModePacksCompactly) {
+  const Device dev = make_test_device();
+  ChainDesign d({4, 4, 4, 4});  // 16 DSPs = one full test column
+  Placement pl(d.nl, dev);
+  for (CellId c = 0; c < d.nl.num_cells(); ++c) pl.set(c, 5.0, 8.0);
+  DspBaselineOptions opts;
+  opts.mode = DspBaselineMode::kAmfLike;
+  ASSERT_TRUE(legalize_dsps_baseline(d.nl, dev, pl, opts));
+  // All chains land in the single closest column (pure packing).
+  for (const auto& chain : d.chains)
+    for (CellId c : chain) EXPECT_DOUBLE_EQ(pl.x(c), 5.0);
+}
+
+TEST(DspBaseline, FailsGracefullyWhenDeviceTooSmall) {
+  const Device dev = make_test_device();  // 32 sites
+  ChainDesign d({16, 16, 4});             // 36 DSPs cannot fit
+  Placement pl(d.nl, dev);
+  EXPECT_FALSE(legalize_dsps_baseline(d.nl, dev, pl));
+}
+
+TEST(DspBaseline, OnlyUnassignedKeepsPinnedSites) {
+  const Device dev = make_test_device();
+  ChainDesign d({2, 1, 1});
+  Placement pl(d.nl, dev);
+  // Pin the 2-chain manually.
+  pl.assign_dsp_site(dev, d.chains[0][0], dev.dsp_site_index(0, 7));
+  pl.assign_dsp_site(dev, d.chains[0][1], dev.dsp_site_index(0, 8));
+  for (CellId c : {d.chains[1][0], d.chains[2][0]}) pl.set(c, 5.0, 7.5);
+  DspBaselineOptions opts;
+  opts.only_unassigned = true;
+  ASSERT_TRUE(legalize_dsps_baseline(d.nl, dev, pl, opts));
+  EXPECT_EQ(pl.dsp_site(d.chains[0][0]), dev.dsp_site_index(0, 7));
+  EXPECT_EQ(pl.dsp_site(d.chains[0][1]), dev.dsp_site_index(0, 8));
+  EXPECT_EQ(pl.validate_dsp(d.nl, dev), "");
+  // The singletons must avoid the pinned rows.
+  EXPECT_NE(pl.dsp_site(d.chains[1][0]), dev.dsp_site_index(0, 7));
+  EXPECT_NE(pl.dsp_site(d.chains[2][0]), dev.dsp_site_index(0, 8));
+}
+
+TEST(DspBaseline, AmfShuffleIsSeedDeterministic) {
+  const Device dev = make_test_device();
+  DspBaselineOptions opts;
+  opts.mode = DspBaselineMode::kAmfLike;
+  opts.seed = 99;
+  ChainDesign d1({3, 3, 2, 2, 1, 1});
+  ChainDesign d2({3, 3, 2, 2, 1, 1});
+  Placement p1(d1.nl, dev), p2(d2.nl, dev);
+  ASSERT_TRUE(legalize_dsps_baseline(d1.nl, dev, p1, opts));
+  ASSERT_TRUE(legalize_dsps_baseline(d2.nl, dev, p2, opts));
+  for (CellId c = 0; c < d1.nl.num_cells(); ++c) {
+    EXPECT_EQ(p1.dsp_site(c), p2.dsp_site(c));
+  }
+}
+
+}  // namespace
+}  // namespace dsp

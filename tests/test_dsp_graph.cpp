@@ -1,0 +1,123 @@
+// DSP-graph construction tests (paper Section III-B): IDDFS edges connect
+// only directly dataflow-adjacent DSPs, path metadata counts cell types,
+// and control pruning keeps the datapath subgraph.
+#include <gtest/gtest.h>
+
+#include "extract/dsp_graph.hpp"
+
+namespace dsp {
+namespace {
+
+// d0 -> lut -> ff -> d1 -> d2, and d0 -> bram -> d3.
+struct GraphDesign {
+  Netlist nl{"dg"};
+  CellId d0, d1, d2, d3, lut, ff, bram;
+
+  GraphDesign() {
+    d0 = nl.add_cell("d0", CellType::kDsp);
+    lut = nl.add_cell("lut", CellType::kLut);
+    ff = nl.add_cell("ff", CellType::kFlipFlop);
+    d1 = nl.add_cell("d1", CellType::kDsp);
+    d2 = nl.add_cell("d2", CellType::kDsp);
+    bram = nl.add_cell("bram", CellType::kBram);
+    d3 = nl.add_cell("d3", CellType::kDsp);
+    nl.add_net("n0", d0, {lut});
+    nl.add_net("n1", lut, {ff});
+    nl.add_net("n2", ff, {d1});
+    nl.add_net("n3", d1, {d2});
+    nl.add_net("n4", d0, {bram});
+    nl.add_net("n5", bram, {d3});
+  }
+};
+
+TEST(DspGraph, EdgesAndDistances) {
+  GraphDesign d;
+  const Digraph g = d.nl.to_digraph();
+  const DspGraph dg = build_dsp_graph(d.nl, g);
+  ASSERT_EQ(dg.num_nodes(), 4);
+  // Expected edges: d0->d1 (dist 3), d1->d2 (dist 1), d0->d3 (dist 2).
+  EXPECT_EQ(dg.num_edges(), 3);
+  auto find_edge = [&](CellId a, CellId b) -> const DspGraphEdge* {
+    const int la = dg.local_index(a), lb = dg.local_index(b);
+    for (const auto& e : dg.edges)
+      if (e.from == la && e.to == lb) return &e;
+    return nullptr;
+  };
+  const DspGraphEdge* e01 = find_edge(d.d0, d.d1);
+  ASSERT_NE(e01, nullptr);
+  EXPECT_EQ(e01->distance, 3);
+  EXPECT_EQ(e01->luts_on_path, 1);
+  EXPECT_EQ(e01->ffs_on_path, 1);
+  EXPECT_EQ(e01->rams_on_path, 0);
+  const DspGraphEdge* e03 = find_edge(d.d0, d.d3);
+  ASSERT_NE(e03, nullptr);
+  EXPECT_EQ(e03->distance, 2);
+  EXPECT_EQ(e03->rams_on_path, 1);
+  const DspGraphEdge* e12 = find_edge(d.d1, d.d2);
+  ASSERT_NE(e12, nullptr);
+  EXPECT_EQ(e12->distance, 1);
+}
+
+TEST(DspGraph, NoTunnelingThroughDsps) {
+  GraphDesign d;
+  const Digraph g = d.nl.to_digraph();
+  const DspGraph dg = build_dsp_graph(d.nl, g);
+  // d0 reaches d2 only through d1, so there must be NO d0->d2 edge.
+  const int l0 = dg.local_index(d.d0), l2 = dg.local_index(d.d2);
+  for (const auto& e : dg.edges) EXPECT_FALSE(e.from == l0 && e.to == l2);
+}
+
+TEST(DspGraph, MaxDepthCutsLongPaths) {
+  GraphDesign d;
+  const Digraph g = d.nl.to_digraph();
+  DspGraphOptions opts;
+  opts.max_depth = 2;  // d0->d1 needs 3 hops: dropped
+  const DspGraph dg = build_dsp_graph(d.nl, g, opts);
+  const int l0 = dg.local_index(d.d0), l1 = dg.local_index(d.d1);
+  for (const auto& e : dg.edges) EXPECT_FALSE(e.from == l0 && e.to == l1);
+}
+
+TEST(DspGraph, MeanDistancePerNode) {
+  GraphDesign d;
+  const Digraph g = d.nl.to_digraph();
+  const DspGraph dg = build_dsp_graph(d.nl, g);
+  const auto mean = dg.mean_dsp_distance();
+  // d0 touches edges of length 3 and 2 -> mean 2.5.
+  EXPECT_DOUBLE_EQ(mean[static_cast<size_t>(dg.local_index(d.d0))], 2.5);
+  // d2 touches only the length-1 edge.
+  EXPECT_DOUBLE_EQ(mean[static_cast<size_t>(dg.local_index(d.d2))], 1.0);
+}
+
+TEST(DspGraph, PruneKeepsOnlySelectedAndRemaps) {
+  GraphDesign d;
+  const Digraph g = d.nl.to_digraph();
+  const DspGraph dg = build_dsp_graph(d.nl, g);
+  std::vector<char> keep(static_cast<size_t>(d.nl.num_cells()), 0);
+  keep[static_cast<size_t>(d.d0)] = 1;
+  keep[static_cast<size_t>(d.d1)] = 1;
+  keep[static_cast<size_t>(d.d2)] = 1;  // drop d3
+  const DspGraph pruned = prune_dsp_graph(dg, keep);
+  EXPECT_EQ(pruned.num_nodes(), 3);
+  EXPECT_EQ(pruned.num_edges(), 2);  // d0->d1, d1->d2 survive
+  for (const auto& e : pruned.edges) {
+    EXPECT_GE(e.from, 0);
+    EXPECT_LT(e.from, pruned.num_nodes());
+    EXPECT_GE(e.to, 0);
+    EXPECT_LT(e.to, pruned.num_nodes());
+  }
+  EXPECT_EQ(pruned.local_index(d.d3), -1);
+}
+
+TEST(DspGraph, AdjacencyIndexesEdges) {
+  GraphDesign d;
+  const Digraph g = d.nl.to_digraph();
+  const DspGraph dg = build_dsp_graph(d.nl, g);
+  const int l0 = dg.local_index(d.d0);
+  ASSERT_GE(l0, 0);
+  EXPECT_EQ(dg.adj[static_cast<size_t>(l0)].size(), 2u);  // edges to d1 and d3
+  for (int ei : dg.adj[static_cast<size_t>(l0)])
+    EXPECT_EQ(dg.edges[static_cast<size_t>(ei)].from, l0);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,82 @@
+// Parameterized end-to-end sweep: for EVERY Table I benchmark (small
+// scale), all three tools produce legal placements, the constraint
+// round-trip preserves the DSP placement bit-exactly, and the DSPlacer
+// placement survives a serialize/reload with identical timing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/constraints.hpp"
+#include "core/flow_report.hpp"
+#include "placer/placement_io.hpp"
+#include "timing/sta.hpp"
+
+namespace dsp {
+namespace {
+
+class EndToEnd : public ::testing::TestWithParam<const char*> {
+ protected:
+  static constexpr double kScale = 0.08;
+};
+
+TEST_P(EndToEnd, AllToolsLegalAndComparable) {
+  const Device dev = make_zcu104(kScale);
+  const auto& spec = benchmark_by_name(GetParam());
+  const Netlist nl = make_benchmark(spec, dev, kScale);
+  ASSERT_EQ(nl.validate(), "");
+
+  ComparisonOptions copts;
+  copts.dsplacer.use_ground_truth_roles = true;
+  copts.dsplacer.assign.iterations = 6;
+  copts.dsplacer.outer_iterations = 1;
+  const ComparisonRow row = run_comparison(spec, dev, nl, {}, copts);
+  ASSERT_EQ(row.runs.size(), 3u);
+
+  for (const auto& run : row.runs) {
+    EXPECT_EQ(run.placement.validate_dsp(nl, dev), "") << run.tool;
+    EXPECT_GT(run.timing.num_endpoints, 0) << run.tool;
+    // Every DSP on a unique site.
+    std::set<int> sites;
+    for (CellId c = 0; c < nl.num_cells(); ++c)
+      if (nl.cell(c).type == CellType::kDsp)
+        EXPECT_TRUE(sites.insert(run.placement.dsp_site(c)).second) << run.tool;
+  }
+  // The headline ordering at the protocol frequency.
+  EXPECT_GE(row.by_tool("DSPlacer").timing.wns_ns, row.by_tool("AMF").timing.wns_ns)
+      << GetParam();
+}
+
+TEST_P(EndToEnd, ConstraintAndPlacementRoundTrips) {
+  const Device dev = make_zcu104(kScale);
+  const auto& spec = benchmark_by_name(GetParam());
+  const Netlist nl = make_benchmark(spec, dev, kScale);
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;
+  opts.assign.iterations = 5;
+  opts.outer_iterations = 1;
+  const DsplacerResult res = run_dsplacer(nl, dev, {}, opts);
+  ASSERT_EQ(res.legality_error, "");
+
+  // XDC round trip reproduces every DSP site.
+  const std::string xdc = write_dsp_constraints(nl, dev, res.placement);
+  Placement from_xdc(nl, dev);
+  EXPECT_EQ(apply_dsp_constraints(nl, dev, xdc, from_xdc), "");
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    if (nl.cell(c).type == CellType::kDsp)
+      EXPECT_EQ(from_xdc.dsp_site(c), res.placement.dsp_site(c));
+
+  // Full placement round trip preserves timing exactly.
+  const Placement reloaded = read_placement(nl, dev, write_placement(nl, res.placement));
+  StaOptions sta;
+  const TimingReport a = run_sta_mhz(nl, res.placement, dev, spec.target_freq_mhz, sta);
+  const TimingReport b = run_sta_mhz(nl, reloaded, dev, spec.target_freq_mhz, sta);
+  EXPECT_DOUBLE_EQ(a.wns_ns, b.wns_ns) << GetParam();
+  EXPECT_DOUBLE_EQ(a.tns_ns, b.tns_ns) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EndToEnd,
+                         ::testing::Values("iSmartDNN", "SkyNet", "SkrSkr-1", "SkrSkr-2",
+                                           "SkrSkr-3"));
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,122 @@
+// Comparison-harness tests: protocol frequency behavior, normalization
+// math, and the Fig. 9 SVG renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/flow_report.hpp"
+
+namespace dsp {
+namespace {
+
+ComparisonOptions fast_copts() {
+  ComparisonOptions o;
+  o.dsplacer.use_ground_truth_roles = true;
+  o.dsplacer.assign.iterations = 6;
+  o.dsplacer.outer_iterations = 1;
+  return o;
+}
+
+TEST(FlowReport, ProtocolFrequencyMakesVivadoSlightlyNegative) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const auto& spec = benchmark_by_name("iSmartDNN");
+  const Netlist nl = make_benchmark(spec, dev, scale);
+  ComparisonOptions copts = fast_copts();
+  copts.run_amf = false;
+  copts.run_dsplacer = false;
+  const ComparisonRow row = run_comparison(spec, dev, nl, {}, copts);
+  const ToolRun& vivado = row.by_tool("Vivado");
+  EXPECT_LT(vivado.timing.wns_ns, 0.0);        // pushed past fmax...
+  EXPECT_GT(vivado.timing.wns_ns, -1.5);       // ...but only slightly
+  EXPECT_NE(row.freq_mhz, spec.target_freq_mhz);
+}
+
+TEST(FlowReport, FixedFrequencyModeUsesTableOneValue) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const auto& spec = benchmark_by_name("iSmartDNN");
+  const Netlist nl = make_benchmark(spec, dev, scale);
+  ComparisonOptions copts = fast_copts();
+  copts.protocol_frequency = false;
+  copts.run_amf = false;
+  copts.run_dsplacer = false;
+  const ComparisonRow row = run_comparison(spec, dev, nl, {}, copts);
+  EXPECT_DOUBLE_EQ(row.freq_mhz, spec.target_freq_mhz);
+  EXPECT_DOUBLE_EQ(row.by_tool("Vivado").timing.clock_period_ns, 1000.0 / spec.target_freq_mhz);
+}
+
+TEST(FlowReport, AllThreeToolsReportMetrics) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const auto& spec = benchmark_by_name("SkyNet");
+  const Netlist nl = make_benchmark(spec, dev, scale);
+  const ComparisonRow row = run_comparison(spec, dev, nl, {}, fast_copts());
+  ASSERT_EQ(row.runs.size(), 3u);
+  for (const auto& run : row.runs) {
+    EXPECT_GT(run.hpwl, 0.0) << run.tool;
+    EXPECT_GE(run.routed_wl, run.hpwl) << run.tool;
+    EXPECT_GT(run.runtime_s, 0.0) << run.tool;
+    EXPECT_GT(run.timing.num_endpoints, 0) << run.tool;
+  }
+  EXPECT_THROW(row.by_tool("Quartus"), std::out_of_range);
+}
+
+TEST(FlowReport, NormalizationIsOneForDsplacerItself) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const auto& spec = benchmark_by_name("iSmartDNN");
+  const Netlist nl = make_benchmark(spec, dev, scale);
+  const ComparisonRow row = run_comparison(spec, dev, nl, {}, fast_copts());
+  const NormalizedMetrics self = normalize_against_dsplacer({row}, "DSPlacer");
+  EXPECT_NEAR(self.wns, 1.0, 1e-9);
+  EXPECT_NEAR(self.tns, 1.0, 1e-9);
+  EXPECT_NEAR(self.hpwl, 1.0, 1e-9);
+  EXPECT_NEAR(self.runtime, 1.0, 1e-9);
+}
+
+TEST(FlowReport, NormalizationOrdersToolsSensibly) {
+  NormalizedMetrics m;
+  ComparisonRow row;
+  row.benchmark = "x";
+  ToolRun a;
+  a.tool = "Vivado";
+  a.timing.clock_period_ns = 10.0;
+  a.timing.wns_ns = -1.0;  // shortfall 11
+  a.timing.tns_ns = -10.0;
+  a.hpwl = 200.0;
+  a.runtime_s = 1.0;
+  ToolRun b;
+  b.tool = "DSPlacer";
+  b.timing.clock_period_ns = 10.0;
+  b.timing.wns_ns = 0.5;  // shortfall 9.5
+  b.timing.tns_ns = 0.0;
+  b.hpwl = 100.0;
+  b.runtime_s = 2.0;
+  row.runs = {a, b};
+  m = normalize_against_dsplacer({row}, "Vivado");
+  EXPECT_GT(m.wns, 1.0);     // Vivado needs more clock
+  EXPECT_GT(m.tns, 1.0);     // worse TNS
+  EXPECT_GT(m.hpwl, 1.0);    // more wire
+  EXPECT_LT(m.runtime, 1.0); // but faster
+}
+
+TEST(FlowReport, RendersLayoutSvg) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const auto& spec = benchmark_by_name("iSmartDNN");
+  const Netlist nl = make_benchmark(spec, dev, scale);
+  HostPlacer host(nl, dev, HostPlacerOptions::vivado_like());
+  const Placement pl = host.place_full();
+  const std::string path = testing::TempDir() + "/dsplacer_fig9_test.svg";
+  ASSERT_TRUE(render_layout_svg(nl, dev, pl, path));
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("<svg"), std::string::npos);
+  EXPECT_NE(all.find("circle"), std::string::npos);  // DSP markers
+  EXPECT_NE(all.find("PS"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,126 @@
+// Device-model tests: ZCU104 capacities, cascade-ordered site indexing,
+// PS geometry, and scaling.
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Zcu104, FullScaleMatchesPartCapacities) {
+  const Device dev = make_zcu104(1.0);
+  EXPECT_EQ(dev.dsp_capacity(), 1728);  // XCZU7EV DSP48E2 count
+  EXPECT_EQ(dev.dsp_columns().size(), 12u);
+  EXPECT_EQ(dev.bram_capacity(), 312);  // BRAM36 count
+  EXPECT_GT(dev.lut_capacity(), 200000);
+  EXPECT_EQ(dev.ff_capacity(), 2 * dev.lut_capacity());
+}
+
+TEST(Zcu104, PsSitsBottomLeftWithPorts) {
+  const Device dev = make_zcu104(1.0);
+  EXPECT_GT(dev.ps().width, 0);
+  EXPECT_GT(dev.ps().height, 0);
+  EXPECT_EQ(dev.ps().top_ports.size(), 8u);
+  EXPECT_EQ(dev.ps().right_ports.size(), 8u);
+  for (const auto& [x, y] : dev.ps().top_ports) {
+    EXPECT_LT(x, dev.ps().width);
+    EXPECT_DOUBLE_EQ(y, dev.ps().height);
+  }
+  for (const auto& [x, y] : dev.ps().right_ports) {
+    EXPECT_DOUBLE_EQ(x, dev.ps().width);
+    EXPECT_LT(y, dev.ps().height);
+  }
+  EXPECT_EQ(dev.column_type(0), ColumnType::kPs);
+}
+
+TEST(Zcu104, DspColumnsClearThePsBlock) {
+  const Device dev = make_zcu104(1.0);
+  for (const auto& col : dev.dsp_columns()) EXPECT_GE(col.x, dev.ps().width);
+}
+
+TEST(Zcu104, ScalingShrinksProportionally) {
+  const Device full = make_zcu104(1.0);
+  const Device half = make_zcu104(0.5);
+  EXPECT_EQ(half.dsp_columns().size(), full.dsp_columns().size());
+  EXPECT_NEAR(static_cast<double>(half.dsp_capacity()) / full.dsp_capacity(), 0.5, 0.05);
+  EXPECT_LT(half.bram_capacity(), full.bram_capacity());
+}
+
+TEST(Device, SiteIndexingIsCascadeOrdered) {
+  const Device dev = make_zcu104(0.2);
+  // Within a column, consecutive indices are consecutive rows (the cascade
+  // adjacency invariant the legalizers rely on).
+  for (size_t ci = 0; ci < dev.dsp_columns().size(); ++ci) {
+    const auto& col = dev.dsp_columns()[ci];
+    for (int r = 0; r + 1 < col.num_sites; ++r) {
+      const int a = dev.dsp_site_index(static_cast<int>(ci), r);
+      EXPECT_EQ(a + 1, dev.dsp_site_index(static_cast<int>(ci), r + 1));
+      const DspSite& sa = dev.dsp_site(a);
+      const DspSite& sb = dev.dsp_site(a + 1);
+      EXPECT_EQ(sa.column, sb.column);
+      EXPECT_DOUBLE_EQ(sb.y, sa.y + 1);
+    }
+  }
+}
+
+TEST(Device, SitesSortedByCoordinates) {
+  const Device dev = make_zcu104(0.2);
+  for (int s = 0; s + 1 < dev.dsp_capacity(); ++s) {
+    const DspSite& a = dev.dsp_site(s);
+    const DspSite& b = dev.dsp_site(s + 1);
+    EXPECT_TRUE(a.x < b.x || (a.x == b.x && a.y < b.y));
+  }
+}
+
+TEST(Device, NearestDspSite) {
+  const Device dev = make_test_device();
+  // Exactly on a site.
+  const int s0 = dev.nearest_dsp_site(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(dev.dsp_site(s0).x, 5.0);
+  EXPECT_DOUBLE_EQ(dev.dsp_site(s0).y, 3.0);
+  // Off-fabric coordinates clamp to the nearest column end.
+  const int s1 = dev.nearest_dsp_site(100.0, 100.0);
+  EXPECT_DOUBLE_EQ(dev.dsp_site(s1).x, 9.0);
+  EXPECT_DOUBLE_EQ(dev.dsp_site(s1).y, 15.0);
+}
+
+TEST(Device, ClampKeepsCoordinatesInFabric) {
+  const Device dev = make_test_device();
+  EXPECT_DOUBLE_EQ(dev.clamp_x(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(dev.clamp_x(50.0), 11.0);
+  EXPECT_DOUBLE_EQ(dev.clamp_y(7.2), 7.2);
+}
+
+TEST(Device, BramSites) {
+  const Device dev = make_test_device();
+  EXPECT_EQ(dev.bram_capacity(), 8);
+  const auto [x, y] = dev.bram_site_xy(0, 3);
+  EXPECT_DOUBLE_EQ(x, 7.0);
+  EXPECT_DOUBLE_EQ(y, 3.0);
+}
+
+TEST(Device, ColumnTypesAreConsistent) {
+  const Device dev = make_zcu104(1.0);
+  int dsp_cols = 0, bram_cols = 0, clbm = 0;
+  for (int x = 0; x < dev.width(); ++x) {
+    switch (dev.column_type(x)) {
+      case ColumnType::kDsp: ++dsp_cols; break;
+      case ColumnType::kBram: ++bram_cols; break;
+      case ColumnType::kClbM: ++clbm; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(dsp_cols, 12);
+  EXPECT_EQ(bram_cols, 8);
+  EXPECT_GT(clbm, 5);  // LUTRAM-capable columns exist
+}
+
+TEST(Device, LogicColumnPredicate) {
+  const Device dev = make_zcu104(1.0);
+  EXPECT_FALSE(dev.is_logic_column(0));                       // PS
+  EXPECT_FALSE(dev.is_logic_column(16));                      // DSP column
+  EXPECT_TRUE(dev.is_logic_column(20));                       // plain CLB area
+}
+
+}  // namespace
+}  // namespace dsp

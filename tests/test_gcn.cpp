@@ -1,0 +1,150 @@
+// End-to-end GCN classifier tests on synthetic node-classification tasks:
+// learning, masking discipline, class imbalance, determinism.
+#include <gtest/gtest.h>
+
+#include "nn/gcn.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+// Two communities (dense within, sparse across); the label is the
+// community. Features are noisy one-hot community indicators.
+struct Task {
+  Digraph graph;
+  Matrix features;
+  std::vector<int> labels;
+  std::vector<char> train_mask;
+  std::vector<char> test_mask;
+};
+
+Task community_task(int per_side, double noise, uint64_t seed) {
+  Task t;
+  const int n = per_side * 2;
+  t.graph = Digraph(n);
+  Rng rng(seed);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const bool same = (u < per_side) == (v < per_side);
+      if (rng.uniform() < (same ? 0.25 : 0.02)) t.graph.add_edge(u, v);
+    }
+  t.features = Matrix(n, 2);
+  t.labels.assign(static_cast<size_t>(n), 0);
+  t.train_mask.assign(static_cast<size_t>(n), 0);
+  t.test_mask.assign(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const int label = v < per_side ? 0 : 1;
+    t.labels[static_cast<size_t>(v)] = label;
+    t.features.at(v, label) = 1.0 + rng.gaussian(0, noise);
+    t.features.at(v, 1 - label) = rng.gaussian(0, noise);
+    (v % 3 == 0 ? t.test_mask : t.train_mask)[static_cast<size_t>(v)] = 1;
+  }
+  return t;
+}
+
+GcnConfig fast_config() {
+  GcnConfig cfg;
+  cfg.epochs = 120;
+  cfg.hidden = 16;
+  cfg.fc_hidden = 16;
+  cfg.dropout = 0.1;
+  return cfg;
+}
+
+TEST(Gcn, LearnsCommunityLabels) {
+  const Task t = community_task(30, 0.3, 42);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(t.graph);
+  GcnClassifier gcn(2, fast_config());
+  const auto curve = gcn.fit(adj, t.features, t.labels, t.train_mask, t.test_mask);
+  ASSERT_EQ(curve.size(), 120u);
+  EXPECT_GT(curve.back().test_accuracy, 0.9);
+  EXPECT_GT(curve.back().train_accuracy, 0.9);
+}
+
+TEST(Gcn, LossDecreasesOverTraining) {
+  const Task t = community_task(20, 0.2, 7);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(t.graph);
+  GcnClassifier gcn(2, fast_config());
+  const auto curve = gcn.fit(adj, t.features, t.labels, t.train_mask, t.test_mask);
+  double early = 0, late = 0;
+  for (int e = 0; e < 10; ++e) early += curve[static_cast<size_t>(e)].loss;
+  for (size_t e = curve.size() - 10; e < curve.size(); ++e) late += curve[e].loss;
+  EXPECT_LT(late, early * 0.7);
+}
+
+TEST(Gcn, PredictMatchesAccuracyAccounting) {
+  const Task t = community_task(15, 0.2, 9);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(t.graph);
+  GcnClassifier gcn(2, fast_config());
+  gcn.fit(adj, t.features, t.labels, t.train_mask, t.test_mask);
+  const auto pred = gcn.predict(adj, t.features);
+  const Matrix logits = gcn.forward(adj, t.features, false);
+  int correct = 0, count = 0;
+  for (int v = 0; v < t.graph.num_nodes(); ++v) {
+    if (!t.test_mask[static_cast<size_t>(v)]) continue;
+    ++count;
+    if (pred[static_cast<size_t>(v)] == t.labels[static_cast<size_t>(v)]) ++correct;
+  }
+  EXPECT_NEAR(GcnClassifier::accuracy(logits, t.labels, t.test_mask),
+              static_cast<double>(correct) / count, 1e-12);
+}
+
+TEST(Gcn, DeterministicGivenSeed) {
+  const Task t = community_task(12, 0.3, 11);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(t.graph);
+  GcnConfig cfg = fast_config();
+  cfg.epochs = 30;
+  GcnClassifier a(2, cfg), b(2, cfg);
+  const auto ca = a.fit(adj, t.features, t.labels, t.train_mask, t.test_mask);
+  const auto cb = b.fit(adj, t.features, t.labels, t.train_mask, t.test_mask);
+  for (size_t e = 0; e < ca.size(); ++e) EXPECT_DOUBLE_EQ(ca[e].loss, cb[e].loss);
+}
+
+TEST(Gcn, HandlesClassImbalanceViaWeights) {
+  // 90/10 imbalance; features informative. The weighted loss should still
+  // recover the minority class on test rows.
+  const int n = 100;
+  Digraph g(n);
+  Rng rng(13);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.flip(0.05)) g.add_edge(u, v);
+  Matrix features(n, 2);
+  std::vector<int> labels(static_cast<size_t>(n), 0);
+  std::vector<char> train(static_cast<size_t>(n), 0), test(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const int label = v < 90 ? 0 : 1;
+    labels[static_cast<size_t>(v)] = label;
+    features.at(v, label) = 1.0 + rng.gaussian(0, 0.2);
+    (v % 4 == 0 ? test : train)[static_cast<size_t>(v)] = 1;
+  }
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(g);
+  GcnClassifier gcn(2, fast_config());
+  gcn.fit(adj, features, labels, train, test);
+  const auto pred = gcn.predict(adj, features);
+  int minority_correct = 0, minority_total = 0;
+  for (int v = 90; v < n; ++v) {
+    if (!test[static_cast<size_t>(v)]) continue;
+    ++minority_total;
+    if (pred[static_cast<size_t>(v)] == 1) ++minority_correct;
+  }
+  ASSERT_GT(minority_total, 0);
+  EXPECT_GE(static_cast<double>(minority_correct) / minority_total, 0.5);
+}
+
+TEST(Gcn, CurveRecordsBothMasks) {
+  const Task t = community_task(10, 0.2, 17);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(t.graph);
+  GcnConfig cfg = fast_config();
+  cfg.epochs = 5;
+  GcnClassifier gcn(2, cfg);
+  const auto curve = gcn.fit(adj, t.features, t.labels, t.train_mask, t.test_mask);
+  for (size_t e = 0; e < curve.size(); ++e) {
+    EXPECT_EQ(curve[e].epoch, static_cast<int>(e));
+    EXPECT_GE(curve[e].train_accuracy, 0.0);
+    EXPECT_LE(curve[e].test_accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dsp

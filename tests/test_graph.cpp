@@ -1,0 +1,219 @@
+// Tests for the directed graph and traversals, including the IDDFS used for
+// DSP-graph construction (paper Section III-B): its distances must equal
+// BFS distances, with DFS-level memory behavior.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+Digraph path_graph(int n) {
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(Digraph, DegreesAndEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(3), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, AddEdgeUniqueDeduplicates) {
+  Digraph g(3);
+  EXPECT_TRUE(g.add_edge_unique(0, 1));
+  EXPECT_FALSE(g.add_edge_unique(0, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Digraph, UndirectedNeighborsMergesBothDirections) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 0);
+  g.add_edge(0, 1);  // parallel
+  const auto nbrs = g.undirected_neighbors(0);
+  EXPECT_EQ(nbrs, (std::vector<int>{1, 2}));
+}
+
+TEST(Digraph, SymmetrizedHasBothDirections) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph s = g.symmetrized();
+  EXPECT_TRUE(s.has_edge(1, 0));
+  EXPECT_TRUE(s.has_edge(2, 1));
+  EXPECT_EQ(s.num_edges(), 4);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Digraph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[static_cast<size_t>(i)], i);
+  // Directed: nothing reaches back.
+  const auto d2 = bfs_distances(g, 4);
+  EXPECT_EQ(d2[0], kUnreached);
+  const auto du = bfs_distances_undirected(g, 4);
+  EXPECT_EQ(du[0], 4);
+}
+
+TEST(Dfs, PreorderVisitsReachableOnce) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto order = dfs_preorder(g, 0);
+  EXPECT_EQ(order.size(), 4u);  // node 4 unreachable
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);  // adjacency order respected
+}
+
+TEST(Iddfs, MatchesBfsOnRandomDags) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 30;
+    Digraph g(n);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.flip(0.12)) g.add_edge(u, v);
+    const auto bfs = bfs_distances(g, 0);
+    const auto iddfs = iddfs_shortest_paths(g, 0, n, [](int) { return true; });
+    for (int v = 1; v < n; ++v) EXPECT_EQ(iddfs.distance[static_cast<size_t>(v)], bfs[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(Iddfs, PathEndpointsAndLength) {
+  const Digraph g = path_graph(6);
+  const auto r = iddfs_shortest_paths(g, 0, 10, [](int v) { return v == 4; });
+  ASSERT_EQ(r.distance[4], 4);
+  ASSERT_EQ(r.path[4].size(), 5u);
+  EXPECT_EQ(r.path[4].front(), 0);
+  EXPECT_EQ(r.path[4].back(), 4);
+}
+
+TEST(Iddfs, RespectsMaxDepth) {
+  const Digraph g = path_graph(8);
+  const auto r = iddfs_shortest_paths(g, 0, 3, [](int) { return true; });
+  EXPECT_EQ(r.distance[3], 3);
+  EXPECT_EQ(r.distance[4], kUnreached);
+}
+
+TEST(Iddfs, StopThroughBlocksTunneling) {
+  // 0 -> 1 -> 2 where 1 is opaque: 2 must be unreachable, 1 still found.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = iddfs_shortest_paths(
+      g, 0, 5, [](int) { return true; }, [](int v) { return v == 1; });
+  EXPECT_EQ(r.distance[1], 1);
+  EXPECT_EQ(r.distance[2], kUnreached);
+}
+
+TEST(Iddfs, StopThroughAllowsAlternatePath) {
+  // Two routes 0->1->3 (1 opaque) and 0->2->4->3: the longer open route wins.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(4, 3);
+  const auto r = iddfs_shortest_paths(
+      g, 0, 5, [](int v) { return v == 3; }, [](int v) { return v == 1; });
+  EXPECT_EQ(r.distance[3], 3);
+  ASSERT_EQ(r.path[3].size(), 4u);
+  EXPECT_EQ(r.path[3][1], 2);
+}
+
+TEST(Iddfs, CyclesDoNotHangTheSearch) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  const auto r = iddfs_shortest_paths(g, 0, 10, [](int v) { return v == 3; });
+  EXPECT_EQ(r.distance[3], 3);
+}
+
+TEST(Iddfs, SourceIsNotItsOwnTarget) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto r = iddfs_shortest_paths(g, 0, 4, [](int) { return true; });
+  EXPECT_EQ(r.distance[0], kUnreached);  // source excluded by contract
+  EXPECT_EQ(r.distance[1], 1);
+}
+
+
+// Oracle for stop_through: BFS where opaque nodes may be endpoints but are
+// never expanded.
+namespace {
+std::vector<int> blocked_bfs(const Digraph& g, int source,
+                             const std::vector<char>& opaque) {
+  std::vector<int> dist(static_cast<size_t>(g.num_nodes()), kUnreached);
+  std::vector<int> queue = {source};
+  dist[static_cast<size_t>(source)] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    if (u != source && opaque[static_cast<size_t>(u)]) continue;  // no expansion
+    for (int v : g.out(u)) {
+      if (dist[static_cast<size_t>(v)] == kUnreached) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+}  // namespace
+
+class IddfsBlockedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IddfsBlockedProperty, MatchesBlockedBfsOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  const int n = 24;
+  Digraph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      if (u != v && rng.flip(0.1)) g.add_edge_unique(u, v);
+  std::vector<char> opaque(static_cast<size_t>(n), 0);
+  for (int v = 1; v < n; ++v) opaque[static_cast<size_t>(v)] = rng.flip(0.3);
+
+  const auto want = blocked_bfs(g, 0, opaque);
+  const auto got = iddfs_shortest_paths(
+      g, 0, n, [&](int v) { return opaque[static_cast<size_t>(v)]; },
+      [&](int v) { return opaque[static_cast<size_t>(v)]; });
+  for (int v = 1; v < n; ++v) {
+    if (!opaque[static_cast<size_t>(v)]) continue;  // only targets recorded
+    EXPECT_EQ(got.distance[static_cast<size_t>(v)], want[static_cast<size_t>(v)])
+        << "param " << GetParam() << " node " << v;
+    if (got.distance[static_cast<size_t>(v)] != kUnreached) {
+      // The recorded path is genuine: correct ends, correct length, real
+      // edges, no opaque interior nodes.
+      const auto& path = got.path[static_cast<size_t>(v)];
+      ASSERT_EQ(static_cast<int>(path.size()) - 1, got.distance[static_cast<size_t>(v)]);
+      EXPECT_EQ(path.front(), 0);
+      EXPECT_EQ(path.back(), v);
+      for (size_t k = 0; k + 1 < path.size(); ++k) {
+        EXPECT_TRUE(g.has_edge(path[k], path[k + 1]));
+        if (k > 0) EXPECT_FALSE(opaque[static_cast<size_t>(path[k])]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBlockedGraphs, IddfsBlockedProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,143 @@
+// Host-placer integration tests: the full prototype flow is legal and
+// sane, the two modes differ as designed, and replace_others honors frozen
+// DSP sites (the contract DSPlacer's alternation relies on).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "designs/benchmarks.hpp"
+#include "placer/host_placer.hpp"
+#include "timing/sta.hpp"
+#include "timing/wirelength.hpp"
+
+namespace dsp {
+namespace {
+
+struct Bench {
+  Device dev = make_zcu104(0.12);
+  Netlist nl;
+
+  Bench() : nl(make_benchmark(benchmark_by_name("SkyNet"), dev, 0.12)) {}
+};
+
+TEST(HostPlacer, FullFlowProducesLegalPlacement) {
+  Bench b;
+  HostPlacer host(b.nl, b.dev, HostPlacerOptions::vivado_like());
+  const Placement pl = host.place_full();
+  EXPECT_EQ(pl.validate_dsp(b.nl, b.dev), "");
+  // Every non-fixed logic cell sits on a logic column within the fabric.
+  for (CellId c = 0; c < b.nl.num_cells(); ++c) {
+    const Cell& cell = b.nl.cell(c);
+    if (cell.fixed || cell.type == CellType::kDsp || cell.type == CellType::kBram)
+      continue;
+    const int tx = static_cast<int>(pl.x(c));
+    EXPECT_GE(tx, 0);
+    EXPECT_LT(tx, b.dev.width());
+    EXPECT_TRUE(b.dev.is_logic_column(tx)) << b.nl.cell(c).name << " at " << tx;
+  }
+}
+
+TEST(HostPlacer, LogicTileCapacitiesRespected) {
+  Bench b;
+  HostPlacer host(b.nl, b.dev, HostPlacerOptions::vivado_like());
+  const Placement pl = host.place_full();
+  std::map<std::pair<int, int>, int> luts;
+  for (CellId c = 0; c < b.nl.num_cells(); ++c) {
+    const CellType t = b.nl.cell(c).type;
+    if (t != CellType::kLut && t != CellType::kLutRam) continue;
+    luts[{static_cast<int>(pl.x(c)), static_cast<int>(pl.y(c))}]++;
+  }
+  for (const auto& [tile, n] : luts) EXPECT_LE(n, b.dev.clb_capacity().luts_per_tile);
+}
+
+TEST(HostPlacer, AmfModePacksDspsTighterHorizontally) {
+  Bench b;
+  HostPlacer vivado(b.nl, b.dev, HostPlacerOptions::vivado_like());
+  HostPlacer amf(b.nl, b.dev, HostPlacerOptions::amf_like());
+  const Placement pv = vivado.place_full();
+  const Placement pa = amf.place_full();
+  auto used_columns = [&](const Placement& pl) {
+    std::map<int, int> cols;
+    for (CellId c = 0; c < b.nl.num_cells(); ++c)
+      if (b.nl.cell(c).type == CellType::kDsp)
+        cols[b.dev.dsp_site(pl.dsp_site(c)).column]++;
+    return static_cast<int>(cols.size());
+  };
+  // The cluster-compact AMF mode occupies no more DSP columns than the
+  // displacement-driven mode.
+  EXPECT_LE(used_columns(pa), used_columns(pv));
+}
+
+TEST(HostPlacer, ReplaceOthersKeepsFrozenDsps) {
+  Bench b;
+  HostPlacer host(b.nl, b.dev, HostPlacerOptions::vivado_like());
+  Placement pl = host.place_full();
+  std::vector<int> sites_before;
+  for (CellId c = 0; c < b.nl.num_cells(); ++c)
+    if (b.nl.cell(c).type == CellType::kDsp) sites_before.push_back(pl.dsp_site(c));
+  host.replace_others(pl);
+  size_t k = 0;
+  for (CellId c = 0; c < b.nl.num_cells(); ++c)
+    if (b.nl.cell(c).type == CellType::kDsp)
+      EXPECT_EQ(pl.dsp_site(c), sites_before[k++]) << b.nl.cell(c).name;
+  EXPECT_EQ(pl.validate_dsp(b.nl, b.dev), "");
+}
+
+TEST(HostPlacer, ReplaceOthersDoesNotBlowUpWirelength) {
+  Bench b;
+  HostPlacer host(b.nl, b.dev, HostPlacerOptions::vivado_like());
+  Placement pl = host.place_full();
+  const double before = total_hpwl(b.nl, pl);
+  host.replace_others(pl);
+  const double after = total_hpwl(b.nl, pl);
+  EXPECT_LT(after, before * 1.35);  // re-placing around the same DSPs stays close
+}
+
+TEST(HostPlacer, DeterministicForFixedSeed) {
+  Bench b;
+  HostPlacerOptions opts = HostPlacerOptions::vivado_like();
+  opts.seed = 1234;
+  HostPlacer h1(b.nl, b.dev, opts);
+  HostPlacer h2(b.nl, b.dev, opts);
+  const Placement p1 = h1.place_full();
+  const Placement p2 = h2.place_full();
+  for (CellId c = 0; c < b.nl.num_cells(); ++c) {
+    EXPECT_DOUBLE_EQ(p1.x(c), p2.x(c)) << c;
+    EXPECT_EQ(p1.dsp_site(c), p2.dsp_site(c));
+  }
+}
+
+TEST(HostPlacer, DetailRefineOptionImprovesOrMatchesHpwl) {
+  Bench b;
+  HostPlacerOptions plain = HostPlacerOptions::vivado_like();
+  HostPlacerOptions refined = plain;
+  refined.detail_refine = true;
+  HostPlacer h1(b.nl, b.dev, plain);
+  HostPlacer h2(b.nl, b.dev, refined);
+  const double hp = total_hpwl(b.nl, h1.place_full());
+  const double hr = total_hpwl(b.nl, h2.place_full());
+  EXPECT_LE(hr, hp + 1e-6);
+}
+
+
+TEST(HostPlacer, TimingDrivenRoundsDoNotHurtFmax) {
+  Bench b;
+  HostPlacerOptions plain = HostPlacerOptions::vivado_like();
+  HostPlacerOptions timing = plain;
+  timing.timing_driven_iterations = 2;
+  // Chase a clock the wirelength flow misses so reweighting has work to do.
+  HostPlacer h0(b.nl, b.dev, plain);
+  const Placement p0 = h0.place_full();
+  timing.timing_target_mhz = max_frequency_mhz(b.nl, p0, b.dev) * 1.2;
+  HostPlacer h1(b.nl, b.dev, timing);
+  const Placement p1 = h1.place_full();
+  EXPECT_EQ(p1.validate_dsp(b.nl, b.dev), "");
+  const double f0 = max_frequency_mhz(b.nl, p0, b.dev);
+  const double f1 = max_frequency_mhz(b.nl, p1, b.dev);
+  // Path-based reweighting must not regress fmax materially, and usually
+  // helps when the target is above the wirelength flow's fmax.
+  EXPECT_GE(f1, f0 * 0.97);
+}
+
+}  // namespace
+}  // namespace dsp

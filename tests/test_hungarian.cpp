@@ -1,0 +1,77 @@
+// Hungarian oracle tests: hand instances and brute-force equivalence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "solver/hungarian.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+int64_t brute_force_best(const std::vector<std::vector<int64_t>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  const int m = static_cast<int>(cost[0].size());
+  std::vector<int> cols(static_cast<size_t>(m));
+  std::iota(cols.begin(), cols.end(), 0);
+  int64_t best = INT64_MAX;
+  // Permute columns; first n entries are the assignment.
+  std::sort(cols.begin(), cols.end());
+  do {
+    int64_t total = 0;
+    for (int i = 0; i < n; ++i) total += cost[static_cast<size_t>(i)][static_cast<size_t>(cols[static_cast<size_t>(i)])];
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(Hungarian, HandInstance) {
+  const std::vector<std::vector<int64_t>> cost = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  int64_t total = 0;
+  const auto assign = hungarian_assign(cost, &total);
+  EXPECT_EQ(total, 5);  // 1 + 2 + 2
+  // Valid permutation.
+  std::vector<int> seen(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_GE(assign[static_cast<size_t>(i)], 0);
+    ++seen[static_cast<size_t>(assign[static_cast<size_t>(i)])];
+  }
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(seen[static_cast<size_t>(j)], 1);
+}
+
+TEST(Hungarian, RectangularLeavesColumnsFree) {
+  const std::vector<std::vector<int64_t>> cost = {{10, 1, 10, 10}, {10, 10, 1, 10}};
+  int64_t total = 0;
+  const auto assign = hungarian_assign(cost, &total);
+  EXPECT_EQ(total, 2);
+  EXPECT_EQ(assign[0], 1);
+  EXPECT_EQ(assign[1], 2);
+}
+
+TEST(Hungarian, EmptyInstance) {
+  int64_t total = 7;
+  const auto assign = hungarian_assign({}, &total);
+  EXPECT_TRUE(assign.empty());
+  EXPECT_EQ(total, 0);
+}
+
+class HungarianProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianProperty, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  const int n = 2 + GetParam() % 4;
+  const int m = n + GetParam() % 3;  // <= 7 columns keeps brute force cheap
+  std::vector<std::vector<int64_t>> cost(static_cast<size_t>(n),
+                                         std::vector<int64_t>(static_cast<size_t>(m)));
+  for (auto& row : cost)
+    for (auto& c : row) c = rng.uniform_i64(0, 30);
+  int64_t total = 0;
+  hungarian_assign(cost, &total);
+  EXPECT_EQ(total, brute_force_best(cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, HungarianProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,157 @@
+// Branch-and-bound 0-1 ILP tests: knapsack-style hand instances, the
+// implied-bound binary optimization, and randomized brute-force equivalence
+// (the correctness basis of the inter-column legalization, paper eq. (10)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/bnb_ilp.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Ilp, KnapsackHandInstance) {
+  // max 10a + 6b + 4c st 5a+4b+3c <= 9 => min -(...). Optimum {a,b}=16.
+  IntegerProgram ip;
+  const int a = ip.add_binary(-10.0);
+  const int b = ip.add_binary(-6.0);
+  const int c = ip.add_binary(-4.0);
+  ip.add_constraint({{a, 5.0}, {b, 4.0}, {c, 3.0}}, Relation::kLe, 9.0);
+  const IlpResult r = ip.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NEAR(r.objective, -16.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<size_t>(a)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<size_t>(c)], 0.0, 1e-6);
+}
+
+TEST(Ilp, FractionalLpNeedsBranching) {
+  // LP relaxation of this parity-flavored instance is fractional; ILP must
+  // still find the integral optimum.
+  IntegerProgram ip;
+  const int a = ip.add_binary(-1.0);
+  const int b = ip.add_binary(-1.0);
+  const int c = ip.add_binary(-1.0);
+  ip.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::kLe, 1.0);
+  ip.add_constraint({{b, 1.0}, {c, 1.0}}, Relation::kLe, 1.0);
+  ip.add_constraint({{a, 1.0}, {c, 1.0}}, Relation::kLe, 1.0);
+  const IlpResult r = ip.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);  // at most one of a pairwise-conflicting trio
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  IntegerProgram ip;
+  const int a = ip.add_binary(1.0);
+  ip.add_constraint({{a, 1.0}}, Relation::kGe, 2.0);  // impossible for binary
+  const IlpResult r = ip.solve();
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Ilp, MixedContinuousAndBinary) {
+  // min -2b - y st y <= 3b, y <= 2.5 (continuous). Opt b=1, y=2.5.
+  IntegerProgram ip;
+  const int b = ip.add_binary(-2.0);
+  const int y = ip.add_continuous(-1.0, 2.5);
+  ip.add_constraint({{y, 1.0}, {b, -3.0}}, Relation::kLe, 0.0);
+  const IlpResult r = ip.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[static_cast<size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<size_t>(y)], 2.5, 1e-6);
+}
+
+TEST(Ilp, ImpliedBoundBinariesBehaveAsBinaries) {
+  // Assignment row makes the <=1 bound implicit; solution must still be 0/1.
+  IntegerProgram ip;
+  const int a = ip.add_binary_implied_bound(3.0);
+  const int b = ip.add_binary_implied_bound(1.0);
+  ip.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::kEq, 1.0);
+  const IlpResult r = ip.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<size_t>(a)], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<size_t>(b)], 1.0, 1e-6);
+}
+
+TEST(Ilp, NodeBudgetReportsNotProven) {
+  // Irregular knapsack weights keep the LP relaxation fractional, so a
+  // single-node budget must stop before branching completes.
+  IntegerProgram ip;
+  std::vector<int> vars;
+  const double weights[] = {2.3, 3.7, 1.9, 4.1, 2.8, 3.3};
+  for (int i = 0; i < 6; ++i) vars.push_back(ip.add_binary(-(1.0 + 0.37 * i)));
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 6; ++i) row.push_back({vars[static_cast<size_t>(i)], weights[i]});
+  ip.add_constraint(row, Relation::kLe, 5.0);
+  IlpOptions opts;
+  opts.max_nodes = 1;
+  const IlpResult r = ip.solve(opts);
+  EXPECT_FALSE(r.proven_optimal);
+  // Without the budget the same program is solved to proven optimality.
+  const IlpResult full = ip.solve();
+  EXPECT_TRUE(full.proven_optimal);
+  EXPECT_TRUE(full.feasible);
+}
+
+// Brute-force oracle over all binary combinations.
+double brute_force(const std::vector<double>& obj,
+                   const std::vector<std::tuple<std::vector<double>, Relation, double>>& rows) {
+  const int n = static_cast<int>(obj.size());
+  double best = 1e18;
+  for (int bits = 0; bits < (1 << n); ++bits) {
+    bool ok = true;
+    for (const auto& [coef, rel, rhs] : rows) {
+      double lhs = 0;
+      for (int j = 0; j < n; ++j)
+        if (bits & (1 << j)) lhs += coef[static_cast<size_t>(j)];
+      if (rel == Relation::kLe && lhs > rhs + 1e-9) ok = false;
+      if (rel == Relation::kGe && lhs < rhs - 1e-9) ok = false;
+      if (rel == Relation::kEq && std::fabs(lhs - rhs) > 1e-9) ok = false;
+    }
+    if (!ok) continue;
+    double val = 0;
+    for (int j = 0; j < n; ++j)
+      if (bits & (1 << j)) val += obj[static_cast<size_t>(j)];
+    best = std::min(best, val);
+  }
+  return best;
+}
+
+class IlpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpProperty, MatchesBruteForceOnRandomPrograms) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 13);
+  const int n = 4 + GetParam() % 5;  // up to 8 binaries
+  const int m = 2 + GetParam() % 3;
+  std::vector<double> obj(static_cast<size_t>(n));
+  for (auto& o : obj) o = rng.uniform(-5, 5);
+  std::vector<std::tuple<std::vector<double>, Relation, double>> rows;
+  IntegerProgram ip;
+  for (double o : obj) ip.add_binary(o);
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> coef(static_cast<size_t>(n));
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      coef[static_cast<size_t>(j)] = rng.uniform(-3, 3);
+      terms.push_back({j, coef[static_cast<size_t>(j)]});
+    }
+    const double rhs = rng.uniform(0, 4);
+    rows.emplace_back(coef, Relation::kLe, rhs);
+    ip.add_constraint(terms, Relation::kLe, rhs);
+  }
+  const double want = brute_force(obj, rows);
+  const IlpResult got = ip.solve();
+  if (want > 1e17) {
+    EXPECT_FALSE(got.feasible);
+  } else {
+    ASSERT_TRUE(got.feasible) << "param " << GetParam();
+    EXPECT_NEAR(got.objective, want, 1e-6) << "param " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, IlpProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dsp

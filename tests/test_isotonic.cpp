@@ -1,0 +1,98 @@
+// L1 isotonic regression (PAVA) tests: monotone output, brute-force
+// optimality on grids, weighted medians, known hand cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/isotonic.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+double l1_cost(const std::vector<double>& u, const std::vector<double>& t,
+               const std::vector<double>& w) {
+  double c = 0;
+  for (size_t i = 0; i < u.size(); ++i) c += w[i] * std::fabs(u[i] - t[i]);
+  return c;
+}
+
+// Brute force over a value grid (targets are grid points; an optimal L1
+// isotonic fit exists with every level equal to some target value).
+double brute_best(const std::vector<double>& t, const std::vector<double>& w) {
+  std::vector<double> levels = t;
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  const int n = static_cast<int>(t.size());
+  const int L = static_cast<int>(levels.size());
+  // dp[i][l]: best cost of prefix i with u_i = levels[l].
+  std::vector<std::vector<double>> dp(static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(L), 1e18));
+  for (int l = 0; l < L; ++l) dp[0][static_cast<size_t>(l)] = w[0] * std::fabs(levels[static_cast<size_t>(l)] - t[0]);
+  for (int i = 1; i < n; ++i) {
+    double best_prev = 1e18;
+    for (int l = 0; l < L; ++l) {
+      best_prev = std::min(best_prev, dp[static_cast<size_t>(i - 1)][static_cast<size_t>(l)]);
+      dp[static_cast<size_t>(i)][static_cast<size_t>(l)] =
+          best_prev + w[static_cast<size_t>(i)] * std::fabs(levels[static_cast<size_t>(l)] - t[static_cast<size_t>(i)]);
+    }
+  }
+  double best = 1e18;
+  for (int l = 0; l < L; ++l) best = std::min(best, dp[static_cast<size_t>(n - 1)][static_cast<size_t>(l)]);
+  return best;
+}
+
+TEST(Isotonic, AlreadyMonotoneIsUnchanged) {
+  const std::vector<double> t = {1, 2, 3, 5, 8};
+  EXPECT_EQ(isotonic_l1(t), t);
+}
+
+TEST(Isotonic, SingleViolationPoolsToMedian) {
+  // {3, 1}: pooled block value = lower weighted median = 1.
+  const auto u = isotonic_l1({3, 1});
+  EXPECT_DOUBLE_EQ(u[0], u[1]);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+}
+
+TEST(Isotonic, WeightsShiftTheMedian) {
+  // Heavy first point: pooled value should stay at 3.
+  const auto u = isotonic_l1({3, 1}, {10.0, 1.0});
+  EXPECT_DOUBLE_EQ(u[0], 3.0);
+  EXPECT_DOUBLE_EQ(u[1], 3.0);
+}
+
+TEST(Isotonic, OutputAlwaysMonotone) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> t(20), w(20);
+    for (int i = 0; i < 20; ++i) {
+      t[static_cast<size_t>(i)] = rng.uniform(-10, 10);
+      w[static_cast<size_t>(i)] = rng.uniform(0.1, 5.0);
+    }
+    const auto u = isotonic_l1(t, w);
+    for (size_t i = 0; i + 1 < u.size(); ++i) EXPECT_LE(u[i], u[i + 1] + 1e-12);
+  }
+}
+
+class IsotonicProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsotonicProperty, AchievesBruteForceOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 3);
+  const int n = 3 + GetParam() % 8;
+  std::vector<double> t(static_cast<size_t>(n)), w(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    t[static_cast<size_t>(i)] = rng.uniform_int(-5, 5);
+    w[static_cast<size_t>(i)] = rng.uniform_int(1, 4);
+  }
+  const auto u = isotonic_l1(t, w);
+  EXPECT_NEAR(l1_cost(u, t, w), brute_best(t, w), 1e-9) << "param " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, IsotonicProperty, ::testing::Range(0, 30));
+
+TEST(Isotonic, EmptyAndSingleton) {
+  EXPECT_TRUE(isotonic_l1({}).empty());
+  EXPECT_EQ(isotonic_l1({4.0}), (std::vector<double>{4.0}));
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,155 @@
+// Inter-column ILP legalization tests (paper eq. (10)): group building,
+// capacity feasibility, chain-keeps-one-column, optimal displacement vs
+// brute force, and the greedy fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/legalize_intercol.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+// Brute force: try every column assignment of groups (small instances).
+double brute_best_displacement(const Device& dev, const std::vector<DspGroup>& groups,
+                               const std::vector<int>& capacity) {
+  const int num_cols = static_cast<int>(dev.dsp_columns().size());
+  double best = 1e18;
+  std::vector<int> assign(groups.size(), 0);
+  std::function<void(size_t, double)> rec = [&](size_t g, double cost) {
+    if (cost >= best) return;
+    if (g == groups.size()) {
+      std::vector<int> used(static_cast<size_t>(num_cols), 0);
+      for (size_t i = 0; i < groups.size(); ++i) used[static_cast<size_t>(assign[i])] += groups[i].size();
+      for (int c = 0; c < num_cols; ++c)
+        if (used[static_cast<size_t>(c)] > capacity[static_cast<size_t>(c)]) return;
+      best = cost;
+      return;
+    }
+    for (int c = 0; c < num_cols; ++c) {
+      assign[g] = c;
+      const double d = std::fabs(dev.dsp_columns()[static_cast<size_t>(c)].x - groups[g].cx) *
+                       groups[g].size();
+      rec(g + 1, cost + d);
+    }
+  };
+  rec(0, 0.0);
+  return best;
+}
+
+std::vector<DspGroup> make_groups(const std::vector<std::pair<int, double>>& spec) {
+  // spec: (size, centroid x); cy fixed.
+  std::vector<DspGroup> groups;
+  Netlist nl("tmp");
+  for (const auto& [size, cx] : spec) {
+    DspGroup g;
+    for (int k = 0; k < size; ++k)
+      g.cells.push_back(nl.add_cell("d" + std::to_string(nl.num_cells()), CellType::kDsp));
+    g.cx = cx;
+    g.cy = 8.0;
+    groups.push_back(g);
+  }
+  return groups;
+}
+
+TEST(InterCol, SingleGroupGoesToNearestColumn) {
+  const Device dev = make_test_device();  // columns at x=5, x=9
+  auto groups = make_groups({{3, 8.4}});
+  const InterColumnResult r = legalize_inter_column(dev, groups, {16, 16});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.column[0], 1);
+}
+
+TEST(InterCol, CapacityForcesSpill) {
+  const Device dev = make_test_device();
+  // Two groups of 10 both near column 0, but column 0 fits only one.
+  auto groups = make_groups({{10, 5.0}, {10, 5.1}});
+  const InterColumnResult r = legalize_inter_column(dev, groups, {10, 16});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NE(r.column[0], r.column[1]);
+  // The closer-to-column-0 group keeps it (lower displacement overall).
+  EXPECT_EQ(r.column[0], 0);
+  EXPECT_EQ(r.column[1], 1);
+}
+
+TEST(InterCol, MatchesBruteForceOptimum) {
+  const Device dev = make_test_device();
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::pair<int, double>> spec;
+    const int n = 2 + trial % 4;
+    for (int i = 0; i < n; ++i)
+      spec.push_back({1 + rng.uniform_int(0, 4), rng.uniform(3.0, 11.0)});
+    auto groups = make_groups(spec);
+    const std::vector<int> capacity = {9, 9};
+    const double want = brute_best_displacement(dev, groups, capacity);
+    if (want > 1e17) continue;  // infeasible draw
+    InterColumnOptions opts;
+    opts.angle_weight = 0.0;  // pure displacement for oracle comparison
+    const InterColumnResult r = legalize_inter_column(dev, groups, capacity, opts);
+    ASSERT_TRUE(r.feasible) << "trial " << trial;
+    EXPECT_NEAR(r.total_displacement, want, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(InterCol, InfeasibleCapacityDetected) {
+  const Device dev = make_test_device();
+  auto groups = make_groups({{10, 5.0}, {10, 9.0}});
+  const InterColumnResult r = legalize_inter_column(dev, groups, {8, 8});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(InterCol, BuildGroupsMergesChainsAndSingletons) {
+  const Device dev = make_test_device();
+  Netlist nl("bg");
+  const CellId a = nl.add_cell("a", CellType::kDsp);
+  const CellId b = nl.add_cell("b", CellType::kDsp);
+  const CellId c = nl.add_cell("c", CellType::kDsp);
+  nl.add_cascade_chain({a, b});
+  const std::vector<CellId> targets = {a, b, c};
+  const std::vector<int> sites = {dev.dsp_site_index(0, 2), dev.dsp_site_index(0, 3),
+                                  dev.dsp_site_index(1, 7)};
+  const auto groups = build_dsp_groups(nl, dev, targets, sites);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 2);
+  EXPECT_DOUBLE_EQ(groups[0].cx, 5.0);
+  EXPECT_DOUBLE_EQ(groups[0].cy, 2.5);
+  EXPECT_EQ(groups[1].size(), 1);
+  EXPECT_DOUBLE_EQ(groups[1].cx, 9.0);
+}
+
+TEST(InterCol, ChainMembersOutsideTargetsExcluded) {
+  // Only part of a chain is datapath-targeted: the group contains just the
+  // targeted members (run_dsplacer expands chains beforehand; this guards
+  // the lower-level contract).
+  const Device dev = make_test_device();
+  Netlist nl("px");
+  const CellId a = nl.add_cell("a", CellType::kDsp);
+  const CellId b = nl.add_cell("b", CellType::kDsp);
+  nl.add_cascade_chain({a, b});
+  const std::vector<CellId> targets = {a};
+  const std::vector<int> sites = {dev.dsp_site_index(0, 2)};
+  const auto groups = build_dsp_groups(nl, dev, targets, sites);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 1);
+}
+
+TEST(InterCol, GreedyFallbackUnderTinyNodeBudget) {
+  const Device dev = make_test_device();
+  auto groups = make_groups({{2, 5.0}, {3, 9.0}, {1, 7.0}, {4, 6.0}});
+  InterColumnOptions opts;
+  opts.ilp.max_nodes = 0;  // force the fallback path
+  const InterColumnResult r = legalize_inter_column(dev, groups, {16, 16}, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_FALSE(r.used_ilp);
+  // Still capacity-legal.
+  std::vector<int> used(2, 0);
+  for (size_t g = 0; g < groups.size(); ++g) used[static_cast<size_t>(r.column[g])] += groups[g].size();
+  EXPECT_LE(used[0], 16);
+  EXPECT_LE(used[1], 16);
+}
+
+}  // namespace
+}  // namespace dsp

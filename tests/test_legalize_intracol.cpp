@@ -1,0 +1,140 @@
+// Intra-column legalization tests (paper eq. (11)): exact DP vs brute
+// force, cascade-block integrity, capacity edge cases, and the isotonic-
+// regression cross-check on the unit-length special case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/legalize_intracol.hpp"
+#include "solver/isotonic.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(IntraCol, AlreadyFeasibleStaysPut) {
+  const std::vector<ColumnItem> items = {{2, 1.0}, {1, 5.0}, {3, 8.0}};
+  const IntraColumnResult r = legalize_intra_column(items, 16);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.start_row[0], 1);
+  EXPECT_EQ(r.start_row[1], 5);
+  EXPECT_EQ(r.start_row[2], 8);
+  EXPECT_DOUBLE_EQ(r.total_displacement, 0.0);
+}
+
+TEST(IntraCol, OverlapResolvedMinimally) {
+  // Two unit items both wanting row 3: one stays, one shifts by 1.
+  const std::vector<ColumnItem> items = {{1, 3.0}, {1, 3.0}};
+  const IntraColumnResult r = legalize_intra_column(items, 8);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.start_row[1], r.start_row[0] + 1);
+  EXPECT_DOUBLE_EQ(r.total_displacement, 1.0);
+}
+
+TEST(IntraCol, BlocksNeverOverlapAndKeepOrder) {
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 1 + rng.uniform_int(0, 5);
+    std::vector<ColumnItem> items;
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      ColumnItem it;
+      it.length = 1 + rng.uniform_int(0, 3);
+      total += it.length;
+      it.desired = rng.uniform(0, 15);
+      items.push_back(it);
+    }
+    std::sort(items.begin(), items.end(),
+              [](const ColumnItem& a, const ColumnItem& b) { return a.desired < b.desired; });
+    const int rows = std::max(total, 16);
+    const IntraColumnResult r = legalize_intra_column(items, rows);
+    ASSERT_TRUE(r.feasible);
+    for (size_t k = 0; k + 1 < items.size(); ++k)
+      EXPECT_GE(r.start_row[k + 1], r.start_row[k] + items[k].length);
+    for (size_t k = 0; k < items.size(); ++k) {
+      EXPECT_GE(r.start_row[k], 0);
+      EXPECT_LE(r.start_row[k] + items[k].length, rows);
+    }
+  }
+}
+
+class IntraColProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntraColProperty, DpMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 11 + 2);
+  const int n = 1 + GetParam() % 4;
+  std::vector<ColumnItem> items;
+  for (int i = 0; i < n; ++i) {
+    ColumnItem it;
+    it.length = 1 + rng.uniform_int(0, 2);
+    it.desired = rng.uniform(0, 9);
+    items.push_back(it);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const ColumnItem& a, const ColumnItem& b) { return a.desired < b.desired; });
+  const int rows = 10;
+  const IntraColumnResult dp = legalize_intra_column(items, rows);
+  const IntraColumnResult brute = legalize_intra_column_brute(items, rows);
+  ASSERT_EQ(dp.feasible, brute.feasible);
+  if (dp.feasible) EXPECT_NEAR(dp.total_displacement, brute.total_displacement, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomColumns, IntraColProperty, ::testing::Range(0, 30));
+
+TEST(IntraCol, ExactFitPacksFlush) {
+  const std::vector<ColumnItem> items = {{4, 0.0}, {4, 2.0}, {4, 9.0}, {4, 11.0}};
+  const IntraColumnResult r = legalize_intra_column(items, 16);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.start_row[0], 0);
+  EXPECT_EQ(r.start_row[1], 4);
+  EXPECT_EQ(r.start_row[2], 8);
+  EXPECT_EQ(r.start_row[3], 12);
+}
+
+TEST(IntraCol, InfeasibleWhenTooLong) {
+  const std::vector<ColumnItem> items = {{9, 0.0}, {8, 2.0}};
+  const IntraColumnResult r = legalize_intra_column(items, 16);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(IntraCol, EmptyColumnIsTriviallyFeasible) {
+  const IntraColumnResult r = legalize_intra_column({}, 16);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.start_row.empty());
+}
+
+TEST(IntraCol, UnitItemsReduceToIsotonicRegression) {
+  // For unit lengths on an uncrowded column, s_k = r_k - k must solve the
+  // L1 isotonic problem on targets (desired_k - k). Cross-check costs.
+  Rng rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 3 + rng.uniform_int(0, 4);
+    std::vector<ColumnItem> items;
+    // Keep desired rows >= n so the r >= 0 boundary stays inactive and the
+    // unconstrained isotonic optimum is feasible for the DP.
+    for (int i = 0; i < n; ++i)
+      items.push_back({1, static_cast<double>(n + rng.uniform_int(0, 11))});
+    std::sort(items.begin(), items.end(),
+              [](const ColumnItem& a, const ColumnItem& b) { return a.desired < b.desired; });
+    const IntraColumnResult dp = legalize_intra_column(items, 40);
+    ASSERT_TRUE(dp.feasible);
+    std::vector<double> targets;
+    for (int i = 0; i < n; ++i) targets.push_back(items[static_cast<size_t>(i)].desired - i);
+    const auto iso = isotonic_l1(targets);
+    double iso_cost = 0;
+    for (int i = 0; i < n; ++i) iso_cost += std::fabs(iso[static_cast<size_t>(i)] - targets[static_cast<size_t>(i)]);
+    // The DP solves over integer rows; the isotonic optimum is attained at
+    // integer levels too (targets are integral), so costs match exactly.
+    EXPECT_NEAR(dp.total_displacement, iso_cost, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(IntraColBrute, HandlesEmptyAndSingle) {
+  EXPECT_TRUE(legalize_intra_column_brute({}, 4).feasible);
+  const IntraColumnResult r = legalize_intra_column_brute({{2, 1.0}}, 4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.start_row[0], 1);
+}
+
+}  // namespace
+}  // namespace dsp

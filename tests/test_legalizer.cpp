@@ -1,0 +1,101 @@
+// Logic/BRAM legalizer tests: per-tile capacities, SLICEM restriction for
+// LUTRAM, site exclusivity, and displacement accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fpga/device.hpp"
+#include "placer/legalizer.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Legalizer, RespectsPerTileLutCapacity) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("cap");
+  for (int i = 0; i < 300; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 40.0, 10.0);
+  legalize_logic(nl, dev, pl);
+  std::map<std::pair<int, int>, int> per_tile;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const int x = static_cast<int>(pl.x(c));
+    const int y = static_cast<int>(pl.y(c));
+    EXPECT_TRUE(dev.is_logic_column(x)) << "cell on non-logic column " << x;
+    per_tile[{x, y}]++;
+  }
+  for (const auto& [tile, count] : per_tile)
+    EXPECT_LE(count, dev.clb_capacity().luts_per_tile);
+}
+
+TEST(Legalizer, LutramOnlyOnSlicemColumns) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("lram");
+  for (int i = 0; i < 60; ++i) nl.add_cell("r" + std::to_string(i), CellType::kLutRam);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 20.0, 5.0);
+  legalize_logic(nl, dev, pl);
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    EXPECT_EQ(dev.column_type(static_cast<int>(pl.x(c))), ColumnType::kClbM);
+}
+
+TEST(Legalizer, BramsGetExclusiveSites) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("bram");
+  for (int i = 0; i < 20; ++i) nl.add_cell("b" + std::to_string(i), CellType::kBram);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 36.0, 3.0);
+  legalize_logic(nl, dev, pl);
+  std::map<std::pair<double, double>, int> per_site;
+  for (CellId c = 0; c < nl.num_cells(); ++c) per_site[{pl.x(c), pl.y(c)}]++;
+  for (const auto& [site, count] : per_site) EXPECT_EQ(count, 1);
+}
+
+TEST(Legalizer, NearbyCellStaysNearby) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("near");
+  const CellId l = nl.add_cell("l", CellType::kLut);
+  Placement pl(nl, dev);
+  pl.set(l, 20.3, 7.8);
+  const LegalizeStats stats = legalize_logic(nl, dev, pl);
+  EXPECT_LE(stats.max_displacement, 2.0);
+  EXPECT_LE(std::abs(pl.x(l) - 20.3), 2.0);
+}
+
+TEST(Legalizer, FixedCellsUntouched) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("fx");
+  const CellId ps = nl.add_cell("ps", CellType::kPsPort);
+  nl.set_fixed(ps, 2.0, 2.0);
+  const CellId l = nl.add_cell("l", CellType::kLut);
+  Placement pl(nl, dev);
+  pl.set(l, 30.0, 5.0);
+  legalize_logic(nl, dev, pl);
+  EXPECT_DOUBLE_EQ(pl.x(ps), 2.0);
+}
+
+TEST(Legalizer, DspCellsAreNotItsJob) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("dsp");
+  const CellId d = nl.add_cell("d", CellType::kDsp);
+  Placement pl(nl, dev);
+  pl.set(d, 33.3, 4.4);
+  legalize_logic(nl, dev, pl);
+  EXPECT_DOUBLE_EQ(pl.x(d), 33.3);  // untouched
+  EXPECT_DOUBLE_EQ(pl.y(d), 4.4);
+}
+
+TEST(Legalizer, StatsAccounting) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("stats");
+  for (int i = 0; i < 50; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 40.0, 10.0);
+  const LegalizeStats stats = legalize_logic(nl, dev, pl);
+  EXPECT_GT(stats.cells_moved, 0);
+  EXPECT_GT(stats.total_displacement, 0.0);
+  EXPECT_GE(stats.max_displacement, stats.total_displacement / stats.cells_moved);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,137 @@
+// Min-cost-flow tests: hand instances, flow conservation, integrality, and
+// randomized equivalence with the Hungarian oracle on assignment problems —
+// the property DSPlacer's MCF assignment step (paper Section IV-A) rests on.
+#include <gtest/gtest.h>
+
+#include "solver/hungarian.hpp"
+#include "solver/mcf.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Mcf, SimpleTwoPathNetwork) {
+  // s=0, t=3; cheap path capacity 1, expensive path capacity 2.
+  MinCostFlow f(4);
+  f.add_edge(0, 1, 1, 1);
+  f.add_edge(1, 3, 1, 1);
+  f.add_edge(0, 2, 2, 5);
+  f.add_edge(2, 3, 2, 5);
+  const auto r = f.solve(0, 3, 3);
+  EXPECT_EQ(r.flow, 3);
+  EXPECT_TRUE(r.reached_desired);
+  EXPECT_EQ(r.cost, 1 * 2 + 2 * 10);
+}
+
+TEST(Mcf, RespectsDesiredFlowLimit) {
+  MinCostFlow f(2);
+  f.add_edge(0, 1, 10, 3);
+  const auto r = f.solve(0, 1, 4);
+  EXPECT_EQ(r.flow, 4);
+  EXPECT_EQ(r.cost, 12);
+}
+
+TEST(Mcf, ReportsShortfallWhenSaturated) {
+  MinCostFlow f(3);
+  f.add_edge(0, 1, 2, 1);
+  f.add_edge(1, 2, 1, 1);  // bottleneck
+  const auto r = f.solve(0, 2, 5);
+  EXPECT_EQ(r.flow, 1);
+  EXPECT_FALSE(r.reached_desired);
+}
+
+TEST(Mcf, FlowOnReportsPerEdgeUnits) {
+  MinCostFlow f(3);
+  const int e1 = f.add_edge(0, 1, 3, 1);
+  const int e2 = f.add_edge(1, 2, 3, 1);
+  f.solve(0, 2, 2);
+  EXPECT_EQ(f.flow_on(e1), 2);
+  EXPECT_EQ(f.flow_on(e2), 2);
+}
+
+TEST(Mcf, NegativeCostsHandled) {
+  MinCostFlow f(3);
+  f.add_edge(0, 1, 1, -5);
+  f.add_edge(1, 2, 1, 2);
+  f.add_edge(0, 2, 1, 0);
+  const auto r = f.solve(0, 2, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, -3 + 0);
+}
+
+TEST(Mcf, ZeroFlowRequests) {
+  MinCostFlow f(2);
+  f.add_edge(0, 1, 1, 1);
+  const auto r = f.solve(0, 1, 0);
+  EXPECT_EQ(r.flow, 0);
+  EXPECT_TRUE(r.reached_desired);
+}
+
+TEST(Mcf, ChoosesCheaperAugmentingOrder) {
+  // Classic case where greedy max-flow would misroute: SSP must ship the
+  // cheap unit first and reroute via residuals.
+  MinCostFlow f(4);
+  f.add_edge(0, 1, 1, 1);
+  f.add_edge(0, 2, 1, 2);
+  f.add_edge(1, 3, 1, 2);
+  f.add_edge(2, 3, 1, 1);
+  f.add_edge(1, 2, 1, 0);  // cross edge
+  const auto r = f.solve(0, 3, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, 6);
+}
+
+// Assignment transportation instance: rows -> cols via unit edges.
+struct AssignmentInstance {
+  std::vector<std::vector<int64_t>> cost;
+};
+
+class McfAssignmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(McfAssignmentProperty, MatchesHungarianOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 3 + GetParam() % 6;      // rows
+  const int m = n + GetParam() % 4;      // cols >= rows
+  AssignmentInstance inst;
+  inst.cost.assign(static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(m)));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j) inst.cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = rng.uniform_int(0, 50);
+
+  int64_t hungarian_cost = 0;
+  hungarian_assign(inst.cost, &hungarian_cost);
+
+  MinCostFlow f(2 + n + m);
+  const int src = 0, snk = 1;
+  std::vector<std::vector<int>> arc(static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(m)));
+  for (int i = 0; i < n; ++i) f.add_edge(src, 2 + i, 1, 0);
+  for (int j = 0; j < m; ++j) f.add_edge(2 + n + j, snk, 1, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      arc[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          f.add_edge(2 + i, 2 + n + j, 1, inst.cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+  const auto r = f.solve(src, snk, n);
+  ASSERT_TRUE(r.reached_desired);
+  EXPECT_EQ(r.cost, hungarian_cost);
+
+  // Integrality + uniqueness of the extracted assignment.
+  std::vector<int> col_used(static_cast<size_t>(m), 0);
+  for (int i = 0; i < n; ++i) {
+    int chosen = 0;
+    for (int j = 0; j < m; ++j) {
+      const int units = f.flow_on(arc[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      EXPECT_TRUE(units == 0 || units == 1);
+      if (units == 1) {
+        ++chosen;
+        ++col_used[static_cast<size_t>(j)];
+      }
+    }
+    EXPECT_EQ(chosen, 1);
+  }
+  for (int j = 0; j < m; ++j) EXPECT_LE(col_used[static_cast<size_t>(j)], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, McfAssignmentProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dsp

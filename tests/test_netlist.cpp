@@ -1,0 +1,161 @@
+// Netlist model, cascade-chain bookkeeping, serialization round-trip, and
+// graph lowering tests.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stats.hpp"
+
+#include "designs/benchmarks.hpp"
+
+namespace dsp {
+namespace {
+
+Netlist small_design() {
+  Netlist nl("tiny");
+  const CellId a = nl.add_cell("a", CellType::kLut);
+  const CellId b = nl.add_cell("b", CellType::kFlipFlop);
+  const CellId d1 = nl.add_cell("d1", CellType::kDsp);
+  const CellId d2 = nl.add_cell("d2", CellType::kDsp);
+  const CellId ps = nl.add_cell("ps0", CellType::kPsPort);
+  nl.set_fixed(ps, 1.5, 4.0);
+  nl.add_net("n0", a, {b});
+  nl.add_net("n1", b, {d1});
+  nl.add_net("n2", d1, {d2});
+  nl.add_net("n3", ps, {a});
+  nl.add_cascade_chain({d1, d2});
+  nl.set_dsp_role(d2, DspRole::kControl);
+  return nl;
+}
+
+TEST(Netlist, BasicAccessors) {
+  const Netlist nl = small_design();
+  EXPECT_EQ(nl.num_cells(), 5);
+  EXPECT_EQ(nl.num_nets(), 4);
+  EXPECT_EQ(nl.num_chains(), 1);
+  EXPECT_EQ(nl.count_type(CellType::kDsp), 2);
+  ASSERT_TRUE(nl.find_cell("d1").has_value());
+  EXPECT_EQ(*nl.find_cell("d1"), 2);
+  EXPECT_FALSE(nl.find_cell("nope").has_value());
+}
+
+TEST(Netlist, CascadeChainStampsCells) {
+  const Netlist nl = small_design();
+  const Cell& d1 = nl.cell(*nl.find_cell("d1"));
+  const Cell& d2 = nl.cell(*nl.find_cell("d2"));
+  EXPECT_EQ(d1.cascade_chain, 0);
+  EXPECT_EQ(d1.cascade_pos, 0);
+  EXPECT_EQ(d2.cascade_chain, 0);
+  EXPECT_EQ(d2.cascade_pos, 1);
+}
+
+TEST(Netlist, NetIncidenceLists) {
+  const Netlist nl = small_design();
+  const CellId b = *nl.find_cell("b");
+  EXPECT_EQ(nl.nets_driven_by(b).size(), 1u);
+  EXPECT_EQ(nl.nets_sinking(b).size(), 1u);
+}
+
+TEST(Netlist, ValidatePassesOnGoodDesign) {
+  EXPECT_EQ(small_design().validate(), "");
+}
+
+TEST(Netlist, ValidateCatchesBadChainStamp) {
+  Netlist nl = small_design();
+  nl.cell(*nl.find_cell("d1")).cascade_pos = 7;  // corrupt
+  EXPECT_NE(nl.validate().find("inconsistent"), std::string::npos);
+}
+
+TEST(Netlist, ToDigraphDedupesAndDirects) {
+  const Netlist nl = small_design();
+  const Digraph g = nl.to_digraph();
+  EXPECT_EQ(g.num_nodes(), nl.num_cells());
+  EXPECT_TRUE(g.has_edge(*nl.find_cell("a"), *nl.find_cell("b")));
+  EXPECT_FALSE(g.has_edge(*nl.find_cell("b"), *nl.find_cell("a")));
+}
+
+TEST(NetlistIo, RoundTripPreservesEverything) {
+  const Netlist nl = small_design();
+  const std::string text = write_netlist(nl);
+  const Netlist back = read_netlist(text);
+  EXPECT_EQ(back.name(), "tiny");
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  EXPECT_EQ(back.num_nets(), nl.num_nets());
+  EXPECT_EQ(back.num_chains(), nl.num_chains());
+  // Role and fixed attributes survive.
+  EXPECT_EQ(back.cell(*back.find_cell("d2")).role, DspRole::kControl);
+  const Cell& ps = back.cell(*back.find_cell("ps0"));
+  EXPECT_TRUE(ps.fixed);
+  EXPECT_DOUBLE_EQ(ps.fixed_x, 1.5);
+  EXPECT_DOUBLE_EQ(ps.fixed_y, 4.0);
+  // Idempotence.
+  EXPECT_EQ(write_netlist(back), text);
+}
+
+TEST(NetlistIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "design t\n\n# comment\ncell a LUT # trailing\ncell b FF\nnet n a b\n";
+  const Netlist nl = read_netlist(text);
+  EXPECT_EQ(nl.num_cells(), 2);
+  EXPECT_EQ(nl.num_nets(), 1);
+}
+
+TEST(NetlistIo, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(read_netlist("cell a BOGUS\n"), std::runtime_error);
+  EXPECT_THROW(read_netlist("net n missing_driver\n"), std::runtime_error);
+  EXPECT_THROW(read_netlist("cell a LUT\nnet n a nosink_is_ok\n"), std::runtime_error);
+  EXPECT_THROW(read_netlist("chain\n"), std::runtime_error);
+  try {
+    read_netlist("design d\ncell a LUT\nwhat is this\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(NetlistIo, FileHelpers) {
+  const Netlist nl = small_design();
+  const std::string path = testing::TempDir() + "/dsplacer_nl_test.txt";
+  ASSERT_TRUE(save_netlist(nl, path));
+  const Netlist back = load_netlist(path);
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_netlist("/nonexistent/dir/foo.txt"), std::runtime_error);
+}
+
+TEST(Stats, CountsPerType) {
+  const Netlist nl = small_design();
+  const DesignStats s = compute_stats(nl, 150.0);
+  EXPECT_EQ(s.num_lut, 1);
+  EXPECT_EQ(s.num_ff, 1);
+  EXPECT_EQ(s.num_dsp, 2);
+  EXPECT_EQ(s.num_datapath_dsp, 1);
+  EXPECT_EQ(s.num_control_dsp, 1);
+  EXPECT_EQ(s.num_chains, 1);
+  EXPECT_DOUBLE_EQ(s.target_freq_mhz, 150.0);
+  EXPECT_NEAR(s.dsp_utilization(20), 0.1, 1e-12);
+}
+
+
+TEST(NetlistIo, GeneratedBenchmarkRoundTrips) {
+  // Property over real (generated) designs: write/read/write is a fixed
+  // point and preserves chains, roles, and fixed pins.
+  const Device dev = make_zcu104(0.05);
+  for (const auto& spec : benchmark_suite()) {
+    const Netlist nl = make_benchmark(spec, dev, 0.05);
+    const std::string text = write_netlist(nl);
+    const Netlist back = read_netlist(text);
+    ASSERT_EQ(back.num_cells(), nl.num_cells()) << spec.name;
+    ASSERT_EQ(back.num_nets(), nl.num_nets()) << spec.name;
+    ASSERT_EQ(back.num_chains(), nl.num_chains()) << spec.name;
+    EXPECT_EQ(write_netlist(back), text) << spec.name;
+    EXPECT_EQ(back.validate(), "") << spec.name;
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      EXPECT_EQ(back.cell(c).role, nl.cell(c).role);
+      EXPECT_EQ(back.cell(c).cascade_chain, nl.cell(c).cascade_chain);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,207 @@
+// Gradient checks (finite differences) for every layer, plus the
+// class-weighted cross-entropy head used against the paper's class
+// imbalance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+
+namespace dsp {
+namespace {
+
+// Numerically differentiates loss(x) wrt one entry of a parameter matrix.
+double numeric_grad(Matrix& param, int r, int c, const std::function<double()>& loss) {
+  const double eps = 1e-6;
+  const double orig = param.at(r, c);
+  param.at(r, c) = orig + eps;
+  const double up = loss();
+  param.at(r, c) = orig - eps;
+  const double down = loss();
+  param.at(r, c) = orig;
+  return (up - down) / (2 * eps);
+}
+
+// Scalar loss used for all checks: 0.5 * ||Y||^2 so dL/dY = Y.
+double l2_of(const Matrix& y) {
+  double s = 0;
+  for (int i = 0; i < y.rows(); ++i)
+    for (int j = 0; j < y.cols(); ++j) s += y.at(i, j) * y.at(i, j);
+  return 0.5 * s;
+}
+
+TEST(DenseLayer, WeightAndBiasGradientsMatchNumeric) {
+  Rng rng(1);
+  DenseLayer layer(4, 3, rng);
+  Matrix x(5, 4);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 4; ++j) x.at(i, j) = rng.uniform(-1, 1);
+
+  auto loss = [&]() { return l2_of(layer.forward(x)); };
+  const Matrix y = layer.forward(x);
+  layer.weight().zero_grad();
+  layer.bias().zero_grad();
+  layer.backward(y);  // dL/dY = Y for the L2 loss
+
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(layer.weight().grad.at(r, c), numeric_grad(layer.weight().value, r, c, loss),
+                  1e-4);
+  for (int c = 0; c < 3; ++c)
+    EXPECT_NEAR(layer.bias().grad.at(0, c), numeric_grad(layer.bias().value, 0, c, loss), 1e-4);
+}
+
+TEST(DenseLayer, InputGradientMatchesNumeric) {
+  Rng rng(2);
+  DenseLayer layer(3, 2, rng);
+  Matrix x(2, 3);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) x.at(i, j) = rng.uniform(-1, 1);
+  const Matrix y = layer.forward(x);
+  const Matrix dx = layer.backward(y);
+  auto loss = [&]() { return l2_of(layer.forward(x)); };
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(dx.at(i, j), numeric_grad(x, i, j, loss), 1e-4);
+}
+
+TEST(GcnLayer, GradientsMatchNumeric) {
+  Rng rng(3);
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(g);
+  GcnLayer layer(3, 2, rng);
+  Matrix x(4, 3);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j) x.at(i, j) = rng.uniform(-1, 1);
+
+  auto loss = [&]() { return l2_of(layer.forward(adj, x)); };
+  const Matrix y = layer.forward(adj, x);
+  layer.weight().zero_grad();
+  layer.bias().zero_grad();
+  const Matrix dx = layer.backward(adj, y);
+
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 2; ++c)
+      EXPECT_NEAR(layer.weight().grad.at(r, c), numeric_grad(layer.weight().value, r, c, loss),
+                  1e-4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(dx.at(i, j), numeric_grad(x, i, j, loss), 1e-4);
+}
+
+TEST(Relu, ForwardZeroesNegativesBackwardMasks) {
+  ReluLayer relu;
+  Matrix x(1, 4);
+  x.at(0, 0) = -1;
+  x.at(0, 1) = 2;
+  x.at(0, 2) = 0;
+  x.at(0, 3) = 0.5;
+  const Matrix y = relu.forward(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0);
+  EXPECT_DOUBLE_EQ(y.at(0, 1), 2);
+  EXPECT_DOUBLE_EQ(y.at(0, 2), 0);
+  Matrix dy(1, 4, 1.0);
+  const Matrix dx = relu.backward(dy);
+  EXPECT_DOUBLE_EQ(dx.at(0, 0), 0);
+  EXPECT_DOUBLE_EQ(dx.at(0, 1), 1);
+  EXPECT_DOUBLE_EQ(dx.at(0, 2), 0);
+  EXPECT_DOUBLE_EQ(dx.at(0, 3), 1);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(4);
+  DropoutLayer drop(0.5);
+  Matrix x(3, 3, 2.0);
+  const Matrix y = drop.forward(x, /*training=*/false, rng);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(y.at(i, j), 2.0);
+}
+
+TEST(Dropout, TrainModePreservesExpectation) {
+  Rng rng(5);
+  DropoutLayer drop(0.3);
+  Matrix x(1, 10000, 1.0);
+  const Matrix y = drop.forward(x, /*training=*/true, rng);
+  double mean = 0;
+  int zeros = 0;
+  for (int j = 0; j < x.cols(); ++j) {
+    mean += y.at(0, j);
+    if (y.at(0, j) == 0.0) ++zeros;
+  }
+  mean /= x.cols();
+  EXPECT_NEAR(mean, 1.0, 0.05);  // inverted dropout keeps E[y]=x
+  EXPECT_NEAR(static_cast<double>(zeros) / x.cols(), 0.3, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(6);
+  DropoutLayer drop(0.5);
+  Matrix x(1, 100, 1.0);
+  const Matrix y = drop.forward(x, true, rng);
+  Matrix dy(1, 100, 1.0);
+  const Matrix dx = drop.backward(dy);
+  for (int j = 0; j < 100; ++j) EXPECT_DOUBLE_EQ(dx.at(0, j), y.at(0, j));
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Matrix logits(2, 3);
+  logits.at(0, 0) = 1;
+  logits.at(0, 1) = 2;
+  logits.at(0, 2) = 3;
+  logits.at(1, 0) = 1000;  // overflow-safe
+  logits.at(1, 1) = 1000;
+  logits.at(1, 2) = 999;
+  const Matrix p = softmax_rows(logits);
+  for (int i = 0; i < 2; ++i) {
+    double s = 0;
+    for (int j = 0; j < 3; ++j) s += p.at(i, j);
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+  EXPECT_NEAR(p.at(1, 0), p.at(1, 1), 1e-12);
+}
+
+TEST(WeightedCrossEntropy, GradientMatchesNumeric) {
+  Rng rng(7);
+  Matrix logits(4, 2);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j) logits.at(i, j) = rng.uniform(-1, 1);
+  const std::vector<int> labels = {0, 1, 1, 0};
+  const std::vector<char> mask = {1, 1, 0, 1};
+  const std::vector<double> cw = {1.0, 2.5};
+
+  Matrix dlogits;
+  weighted_cross_entropy(logits, labels, mask, cw, &dlogits);
+  auto loss = [&]() { return weighted_cross_entropy(logits, labels, mask, cw, nullptr); };
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j)
+      EXPECT_NEAR(dlogits.at(i, j), numeric_grad(logits, i, j, loss), 1e-5);
+}
+
+TEST(WeightedCrossEntropy, MaskedRowsGetZeroGradient) {
+  Matrix logits(2, 2, 0.3);
+  Matrix dlogits;
+  weighted_cross_entropy(logits, {0, 1}, {0, 1}, {1.0, 1.0}, &dlogits);
+  EXPECT_DOUBLE_EQ(dlogits.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dlogits.at(0, 1), 0.0);
+  EXPECT_NE(dlogits.at(1, 0), 0.0);
+}
+
+TEST(WeightedCrossEntropy, HigherWeightRaisesMinorityLoss) {
+  Matrix logits(2, 2);
+  logits.at(0, 0) = 2;   // confident class-0, label 0: cheap
+  logits.at(1, 0) = 2;   // confident class-0 but label 1: expensive
+  const std::vector<int> labels = {0, 1};
+  const std::vector<char> mask = {1, 1};
+  const double balanced = weighted_cross_entropy(logits, labels, mask, {1.0, 1.0}, nullptr);
+  const double boosted = weighted_cross_entropy(logits, labels, mask, {1.0, 5.0}, nullptr);
+  EXPECT_GT(boosted, balanced);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,153 @@
+// Dense matrix kernel and CSR sparse tests, including the GCN's normalized
+// adjacency construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
+
+namespace dsp {
+namespace {
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (int k = 0; k < a.cols(); ++k) s += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = s;
+    }
+  return out;
+}
+
+Matrix random_matrix(int r, int c, Rng& rng) {
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i)
+    for (int j = 0; j < c; ++j) m.at(i, j) = rng.uniform(-2, 2);
+  return m;
+}
+
+TEST(Matrix, MatmulMatchesNaive) {
+  Rng rng(3);
+  const Matrix a = random_matrix(7, 5, rng);
+  const Matrix b = random_matrix(5, 9, rng);
+  const Matrix got = a.matmul(b);
+  const Matrix want = naive_matmul(a, b);
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 9; ++j) EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-12);
+}
+
+TEST(Matrix, TransposedLhsMatmul) {
+  Rng rng(4);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix b = random_matrix(6, 3, rng);
+  const Matrix got = a.matmul_transposed_lhs(b);  // a^T b: 4x3
+  const Matrix want = naive_matmul(a.transposed(), b);
+  ASSERT_EQ(got.rows(), 4);
+  ASSERT_EQ(got.cols(), 3);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-12);
+}
+
+TEST(Matrix, TransposedRhsMatmul) {
+  Rng rng(5);
+  const Matrix a = random_matrix(5, 4, rng);
+  const Matrix b = random_matrix(6, 4, rng);
+  const Matrix got = a.matmul_transposed_rhs(b);  // a b^T: 5x6
+  const Matrix want = naive_matmul(a, b.transposed());
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 6; ++j) EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-12);
+}
+
+TEST(Matrix, AddScaleBroadcastNorm) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 3;
+  m.at(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  Matrix other(2, 2, 1.0);
+  m.add_in_place(other, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  m.scale_in_place(0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.5);
+  Matrix bias(1, 2);
+  bias.at(0, 0) = 10;
+  m.add_row_broadcast(bias);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 12.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 11.0);  // (0+2)*0.5 + 10
+}
+
+TEST(Matrix, GlorotBounds) {
+  Rng rng(6);
+  const Matrix m = Matrix::glorot(20, 30, rng);
+  const double limit = std::sqrt(6.0 / 50.0);
+  for (int i = 0; i < m.rows(); ++i)
+    for (int j = 0; j < m.cols(); ++j) {
+      EXPECT_LE(m.at(i, j), limit);
+      EXPECT_GE(m.at(i, j), -limit);
+    }
+}
+
+TEST(Csr, FromTripletsSumsDuplicates) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  Matrix x(2, 1, 1.0);
+  const Matrix y = m.spmm(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y.at(1, 0), 5.0);
+}
+
+TEST(Csr, SpmmMatchesDense) {
+  Rng rng(7);
+  std::vector<std::tuple<int, int, double>> trips;
+  Matrix dense(8, 8);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      if (rng.flip(0.3)) {
+        const double v = rng.uniform(-1, 1);
+        trips.emplace_back(i, j, v);
+        dense.at(i, j) = v;
+      }
+  const CsrMatrix sparse = CsrMatrix::from_triplets(8, 8, trips);
+  const Matrix x = random_matrix(8, 5, rng);
+  const Matrix want = naive_matmul(dense, x);
+  const Matrix got = sparse.spmm(x);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 5; ++j) EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-12);
+}
+
+TEST(Csr, NormalizedAdjacencyRowsumsAndSymmetry) {
+  // Path 0-1-2. Â = D^-1/2 (A+I) D^-1/2 must be symmetric with the
+  // Kipf-Welling values: deg+1 = {2,3,2}.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(g);
+  Matrix eye(3, 3);
+  for (int i = 0; i < 3; ++i) eye.at(i, i) = 1.0;
+  const Matrix dense = adj.spmm(eye);
+  EXPECT_NEAR(dense.at(0, 0), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(dense.at(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(dense.at(1, 1), 1.0 / 3.0, 1e-12);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(dense.at(i, j), dense.at(j, i), 1e-12);
+}
+
+TEST(Csr, NormalizedAdjacencyHandlesSelfLoopsAndParallels) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // parallel in undirected view
+  const CsrMatrix adj = CsrMatrix::normalized_adjacency(g);
+  Matrix eye(2, 2);
+  eye.at(0, 0) = eye.at(1, 1) = 1.0;
+  const Matrix dense = adj.spmm(eye);
+  // Finite, symmetric, no double-counted entries beyond the model.
+  EXPECT_NEAR(dense.at(0, 1), dense.at(1, 0), 1e-12);
+  EXPECT_GT(dense.at(0, 0), 0.0);
+  EXPECT_LE(dense.at(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace dsp

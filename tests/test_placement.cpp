@@ -1,0 +1,106 @@
+// Placement-state tests: fixed-cell pinning, DSP site snapping, and the
+// legality validator for the paper's constraints (4)/(5).
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+namespace {
+
+struct Fixture {
+  Device dev = make_test_device();
+  Netlist nl;
+  CellId d0, d1, d2, lut, ps;
+
+  Fixture() : nl("fix") {
+    d0 = nl.add_cell("d0", CellType::kDsp);
+    d1 = nl.add_cell("d1", CellType::kDsp);
+    d2 = nl.add_cell("d2", CellType::kDsp);
+    lut = nl.add_cell("l", CellType::kLut);
+    ps = nl.add_cell("ps", CellType::kPsPort);
+    nl.set_fixed(ps, 1.0, 4.0);
+    nl.add_cascade_chain({d0, d1});
+  }
+};
+
+TEST(Placement, FixedCellsPinnedAtConstruction) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  EXPECT_DOUBLE_EQ(pl.x(f.ps), 1.0);
+  EXPECT_DOUBLE_EQ(pl.y(f.ps), 4.0);
+}
+
+TEST(Placement, AssignSiteSnapsCoordinates) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  const int site = f.dev.dsp_site_index(1, 5);
+  pl.assign_dsp_site(f.dev, f.d0, site);
+  EXPECT_EQ(pl.dsp_site(f.d0), site);
+  EXPECT_DOUBLE_EQ(pl.x(f.d0), f.dev.dsp_site(site).x);
+  EXPECT_DOUBLE_EQ(pl.y(f.d0), f.dev.dsp_site(site).y);
+}
+
+TEST(Placement, ValidateAcceptsLegalCascade) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, f.dev.dsp_site_index(0, 3));
+  pl.assign_dsp_site(f.dev, f.d1, f.dev.dsp_site_index(0, 4));
+  pl.assign_dsp_site(f.dev, f.d2, f.dev.dsp_site_index(1, 0));
+  EXPECT_EQ(pl.validate_dsp(f.nl, f.dev), "");
+}
+
+TEST(Placement, ValidateFlagsUnassigned) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  const std::string err = pl.validate_dsp(f.nl, f.dev);
+  EXPECT_NE(err.find("unassigned"), std::string::npos);
+}
+
+TEST(Placement, ValidateFlagsSharedSite) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, 0);
+  pl.assign_dsp_site(f.dev, f.d1, 1);
+  pl.assign_dsp_site(f.dev, f.d2, 0);  // duplicate of d0's site
+  EXPECT_NE(pl.validate_dsp(f.nl, f.dev).find("shared"), std::string::npos);
+}
+
+TEST(Placement, ValidateFlagsBrokenCascadeAcrossColumns) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, f.dev.dsp_site_index(0, 3));
+  pl.assign_dsp_site(f.dev, f.d1, f.dev.dsp_site_index(1, 4));  // other column
+  pl.assign_dsp_site(f.dev, f.d2, f.dev.dsp_site_index(1, 0));
+  EXPECT_NE(pl.validate_dsp(f.nl, f.dev).find("cascade"), std::string::npos);
+}
+
+TEST(Placement, ValidateFlagsWrongOrderWithinColumn) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  // succ BELOW pred: row order violated.
+  pl.assign_dsp_site(f.dev, f.d0, f.dev.dsp_site_index(0, 4));
+  pl.assign_dsp_site(f.dev, f.d1, f.dev.dsp_site_index(0, 3));
+  pl.assign_dsp_site(f.dev, f.d2, f.dev.dsp_site_index(1, 0));
+  EXPECT_NE(pl.validate_dsp(f.nl, f.dev).find("cascade"), std::string::npos);
+}
+
+TEST(Placement, ValidateFlagsGapInCascade) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.assign_dsp_site(f.dev, f.d0, f.dev.dsp_site_index(0, 3));
+  pl.assign_dsp_site(f.dev, f.d1, f.dev.dsp_site_index(0, 5));  // skipped row 4
+  pl.assign_dsp_site(f.dev, f.d2, f.dev.dsp_site_index(1, 0));
+  EXPECT_NE(pl.validate_dsp(f.nl, f.dev).find("cascade"), std::string::npos);
+}
+
+TEST(Placement, DistanceIsEuclidean) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.set(f.lut, 0.0, 0.0);
+  pl.set(f.d2, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(pl.distance(f.lut, f.d2), 5.0);
+}
+
+}  // namespace
+}  // namespace dsp

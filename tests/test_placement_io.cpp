@@ -1,0 +1,68 @@
+// Placement serialization round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include "placer/placement_io.hpp"
+
+namespace dsp {
+namespace {
+
+struct Fixture {
+  Device dev = make_test_device();
+  Netlist nl{"pio"};
+  CellId lut, ff, d;
+
+  Fixture() {
+    lut = nl.add_cell("l0", CellType::kLut);
+    ff = nl.add_cell("f0", CellType::kFlipFlop);
+    d = nl.add_cell("d0", CellType::kDsp);
+  }
+};
+
+TEST(PlacementIo, RoundTripCoordinatesAndSites) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.set(f.lut, 3.25, 7.5);
+  pl.set(f.ff, 10.0, 0.125);
+  pl.assign_dsp_site(f.dev, f.d, f.dev.dsp_site_index(1, 4));
+  const std::string text = write_placement(f.nl, pl);
+  const Placement back = read_placement(f.nl, f.dev, text);
+  EXPECT_DOUBLE_EQ(back.x(f.lut), 3.25);
+  EXPECT_DOUBLE_EQ(back.y(f.lut), 7.5);
+  EXPECT_DOUBLE_EQ(back.y(f.ff), 0.125);
+  EXPECT_EQ(back.dsp_site(f.d), f.dev.dsp_site_index(1, 4));
+  // Idempotence.
+  EXPECT_EQ(write_placement(f.nl, back), text);
+}
+
+TEST(PlacementIo, UnknownCellThrowsWithLineNumber) {
+  Fixture f;
+  try {
+    read_placement(f.nl, f.dev, "placement pio\nl0 1 1\nghost 2 2\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
+}
+
+TEST(PlacementIo, MalformedLineAndBadSiteThrow) {
+  Fixture f;
+  EXPECT_THROW(read_placement(f.nl, f.dev, "l0 not-a-number 3\n"), std::runtime_error);
+  EXPECT_THROW(read_placement(f.nl, f.dev, "d0 1 1 site=99999\n"), std::runtime_error);
+  EXPECT_THROW(read_placement(f.nl, f.dev, "d0 1 1 color=red\n"), std::runtime_error);
+}
+
+TEST(PlacementIo, FileHelpers) {
+  Fixture f;
+  Placement pl(f.nl, f.dev);
+  pl.set(f.lut, 5, 5);
+  const std::string path = testing::TempDir() + "/dsplacer_pl_test.txt";
+  ASSERT_TRUE(save_placement(f.nl, pl, path));
+  const Placement back = load_placement(f.nl, f.dev, path);
+  EXPECT_DOUBLE_EQ(back.x(f.lut), 5.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_placement(f.nl, f.dev, "/no/such/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsp

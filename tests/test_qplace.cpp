@@ -1,0 +1,138 @@
+// Quadratic placement tests: spring-system optima, anchors, star model for
+// big nets, DSP freezing, pseudo anchors.
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "placer/qplace.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(QPlace, MovableBetweenTwoAnchorsLandsAtMidpoint) {
+  const Device dev = make_test_device();
+  Netlist nl("spring");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  const CellId m = nl.add_cell("m", CellType::kLut);
+  const CellId b = nl.add_cell("b", CellType::kIo);
+  nl.set_fixed(a, 2.0, 2.0);
+  nl.set_fixed(b, 10.0, 10.0);
+  nl.add_net("n1", a, {m});
+  nl.add_net("n2", m, {b});
+  Placement pl(nl, dev);
+  quadratic_place(nl, dev, pl);
+  EXPECT_NEAR(pl.x(m), 6.0, 1e-3);
+  EXPECT_NEAR(pl.y(m), 6.0, 1e-3);
+}
+
+TEST(QPlace, ChainOfMovablesInterpolates) {
+  const Device dev = make_test_device();
+  Netlist nl("chain");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  nl.set_fixed(a, 0.0, 0.0);
+  const CellId b = nl.add_cell("b", CellType::kIo);
+  nl.set_fixed(b, 9.0, 0.0);
+  std::vector<CellId> mids;
+  for (int i = 0; i < 2; ++i) mids.push_back(nl.add_cell("m" + std::to_string(i), CellType::kLut));
+  nl.add_net("n0", a, {mids[0]});
+  nl.add_net("n1", mids[0], {mids[1]});
+  nl.add_net("n2", mids[1], {b});
+  Placement pl(nl, dev);
+  quadratic_place(nl, dev, pl);
+  EXPECT_NEAR(pl.x(mids[0]), 3.0, 1e-3);
+  EXPECT_NEAR(pl.x(mids[1]), 6.0, 1e-3);
+}
+
+TEST(QPlace, WeightedNetPullsHarder) {
+  const Device dev = make_test_device();
+  Netlist nl("wt");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  const CellId b = nl.add_cell("b", CellType::kIo);
+  const CellId m = nl.add_cell("m", CellType::kLut);
+  nl.set_fixed(a, 0.0, 5.0);
+  nl.set_fixed(b, 10.0, 5.0);
+  const NetId heavy = nl.add_net("h", a, {m});
+  nl.add_net("l", m, {b});
+  nl.net(heavy).weight = 3.0;
+  Placement pl(nl, dev);
+  quadratic_place(nl, dev, pl);
+  // Weighted optimum: x = (3*0 + 1*10)/4 = 2.5.
+  EXPECT_NEAR(pl.x(m), 2.5, 1e-3);
+}
+
+TEST(QPlace, BigNetUsesStarAndCentersOnPins) {
+  const Device dev = make_test_device();
+  Netlist nl("star");
+  std::vector<CellId> pins;
+  const CellId drv = nl.add_cell("drv", CellType::kPsPort);
+  nl.set_fixed(drv, 4.0, 4.0);
+  std::vector<CellId> sinks;
+  for (int i = 0; i < 9; ++i) {
+    const CellId s = nl.add_cell("s" + std::to_string(i), CellType::kIo);
+    nl.set_fixed(s, (i % 3) * 4.0, (i / 3) * 4.0);
+    sinks.push_back(s);
+  }
+  const CellId m = nl.add_cell("m", CellType::kLut);
+  sinks.push_back(m);
+  nl.add_net("big", drv, sinks);  // degree 11 > clique limit
+  Placement pl(nl, dev);
+  quadratic_place(nl, dev, pl);
+  // The movable should land near the centroid of the fixed pins (4,4).
+  EXPECT_NEAR(pl.x(m), 4.0, 0.5);
+  EXPECT_NEAR(pl.y(m), 4.0, 0.5);
+}
+
+TEST(QPlace, FreezeDspsKeepsAssignedSites) {
+  const Device dev = make_test_device();
+  Netlist nl("frz");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  nl.set_fixed(a, 0.0, 0.0);
+  const CellId d = nl.add_cell("d", CellType::kDsp);
+  const CellId m = nl.add_cell("m", CellType::kLut);
+  nl.add_net("n0", a, {m});
+  nl.add_net("n1", m, {d});
+  Placement pl(nl, dev);
+  pl.assign_dsp_site(dev, d, dev.dsp_site_index(1, 10));  // (9, 10)
+  QPlaceOptions opts;
+  opts.freeze_dsps = true;
+  quadratic_place(nl, dev, pl, opts);
+  EXPECT_DOUBLE_EQ(pl.x(d), 9.0);
+  EXPECT_DOUBLE_EQ(pl.y(d), 10.0);
+  // The movable LUT balances between the anchor and the frozen DSP.
+  EXPECT_NEAR(pl.x(m), 4.5, 1e-3);
+}
+
+TEST(QPlace, PseudoAnchorHoldsCurrentPosition) {
+  const Device dev = make_test_device();
+  Netlist nl("pa");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  nl.set_fixed(a, 0.0, 0.0);
+  const CellId m = nl.add_cell("m", CellType::kLut);
+  nl.add_net("n", a, {m});
+  Placement pl(nl, dev);
+  pl.set(m, 8.0, 8.0);
+  QPlaceOptions strong;
+  strong.pseudo_anchor_weight = 100.0;  // dominates the net pull
+  quadratic_place(nl, dev, pl, strong);
+  EXPECT_NEAR(pl.x(m), 8.0, 0.2);
+  // Without the pseudo anchor the cell collapses onto the driver.
+  Placement pl2(nl, dev);
+  pl2.set(m, 8.0, 8.0);
+  quadratic_place(nl, dev, pl2);
+  EXPECT_NEAR(pl2.x(m), 0.0, 1e-2);
+}
+
+TEST(QPlace, DisconnectedCellStaysPut) {
+  const Device dev = make_test_device();
+  Netlist nl("iso");
+  const CellId a = nl.add_cell("a", CellType::kPsPort);
+  nl.set_fixed(a, 0.0, 0.0);
+  const CellId lone = nl.add_cell("lone", CellType::kLut);
+  Placement pl(nl, dev);
+  pl.set(lone, 7.0, 7.0);
+  quadratic_place(nl, dev, pl);
+  EXPECT_DOUBLE_EQ(pl.x(lone), 7.0);
+  EXPECT_DOUBLE_EQ(pl.y(lone), 7.0);
+}
+
+}  // namespace
+}  // namespace dsp

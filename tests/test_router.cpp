@@ -1,0 +1,124 @@
+// Global-router/congestion-model tests: demand conservation, detour bounds,
+// and the monotone congestion->detour relation the STA relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fpga/device.hpp"
+#include "route/grid_router.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+Netlist two_cell_net(double x0, double y0, double x1, double y1, Placement* pl_out,
+                     const Device& dev) {
+  Netlist nl("r");
+  const CellId a = nl.add_cell("a", CellType::kLut);
+  const CellId b = nl.add_cell("b", CellType::kFlipFlop);
+  nl.add_net("n", a, {b});
+  Placement pl(nl, dev);
+  pl.set(a, x0, y0);
+  pl.set(b, x1, y1);
+  *pl_out = pl;
+  return nl;
+}
+
+TEST(Router, DetourAtLeastOneAndCapped) {
+  const Device dev = make_zcu104(0.2);
+  Placement pl;
+  const Netlist nl = two_cell_net(5, 5, 60, 20, &pl, dev);
+  RouterConfig cfg;
+  const RouteResult r = route_global(nl, pl, dev, cfg);
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    EXPECT_GE(r.detour(i), 1.0);
+    EXPECT_LE(r.detour(i), cfg.max_detour);
+  }
+}
+
+TEST(Router, UncongestedFabricGivesUnitDetour) {
+  const Device dev = make_zcu104(0.2);
+  Placement pl;
+  const Netlist nl = two_cell_net(5, 5, 10, 8, &pl, dev);
+  const RouteResult r = route_global(nl, pl, dev);
+  EXPECT_DOUBLE_EQ(r.detour(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.total_overflow, 0.0);
+}
+
+TEST(Router, DemandCoversNetBoundingBox) {
+  const Device dev = make_zcu104(0.2);
+  Placement pl;
+  const Netlist nl = two_cell_net(4, 4, 40, 16, &pl, dev);
+  RouterConfig cfg;
+  const RouteResult r = route_global(nl, pl, dev, cfg);
+  // Bins inside the bbox have demand; bins far away have none.
+  double inside = 0.0, outside = 0.0;
+  for (int by = 0; by < r.bins_y; ++by)
+    for (int bx = 0; bx < r.bins_x; ++bx) {
+      const double d = r.demand[static_cast<size_t>(by) * r.bins_x + bx];
+      const double cx = bx * cfg.bin_size + cfg.bin_size / 2.0;
+      const double cy = by * cfg.bin_size + cfg.bin_size / 2.0;
+      if (cx >= 4 && cx <= 44 && cy >= 4 && cy <= 20)
+        inside += d;
+      else
+        outside += d;
+    }
+  EXPECT_GT(inside, 0.0);
+  EXPECT_NEAR(outside, 0.0, 1e2);  // some boundary spill at bin granularity
+}
+
+TEST(Router, ClumpedNetsCongestMoreThanSpread) {
+  const Device dev = make_zcu104(0.2);
+  const int n = 400;
+  Netlist nl("many");
+  std::vector<CellId> drivers, sinks;
+  for (int i = 0; i < n; ++i) {
+    drivers.push_back(nl.add_cell("d" + std::to_string(i), CellType::kLut));
+    sinks.push_back(nl.add_cell("s" + std::to_string(i), CellType::kFlipFlop));
+    nl.add_net("n" + std::to_string(i), drivers.back(), {sinks.back()});
+  }
+  Placement clumped(nl, dev);
+  Placement spread(nl, dev);
+  Rng rng(4);
+  for (int i = 0; i < n; ++i) {
+    // Clumped: all nets cross the same small window.
+    clumped.set(drivers[static_cast<size_t>(i)], 30 + rng.uniform(0, 2), 10 + rng.uniform(0, 2));
+    clumped.set(sinks[static_cast<size_t>(i)], 38 + rng.uniform(0, 2), 14 + rng.uniform(0, 2));
+    // Spread: same lengths, scattered everywhere.
+    const double x = rng.uniform(0, 80), y = rng.uniform(0, 20);
+    spread.set(drivers[static_cast<size_t>(i)], x, y);
+    spread.set(sinks[static_cast<size_t>(i)], x + 8, y + 4);
+  }
+  RouterConfig tight;
+  tight.capacity_per_bin = 40.0;  // stress the window so overflow shows
+  const RouteResult rc = route_global(nl, clumped, dev, tight);
+  const RouteResult rs = route_global(nl, spread, dev, tight);
+  EXPECT_GT(rc.max_overflow_ratio, rs.max_overflow_ratio);
+  double dc = 0, ds = 0;
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    dc += rc.detour(i);
+    ds += rs.detour(i);
+  }
+  EXPECT_GE(dc, ds);
+}
+
+TEST(Router, FanoutRaisesDemand) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("fan");
+  const CellId d = nl.add_cell("d", CellType::kLut);
+  std::vector<CellId> sinks;
+  for (int i = 0; i < 9; ++i) sinks.push_back(nl.add_cell("s" + std::to_string(i), CellType::kFlipFlop));
+  const NetId big = nl.add_net("big", d, sinks);
+  Placement pl(nl, dev);
+  pl.set(d, 20, 10);
+  for (size_t i = 0; i < sinks.size(); ++i)
+    pl.set(sinks[i], 20 + 10.0 * (i % 3), 10 + 3.0 * (i / 3));
+  const RouteResult r = route_global(nl, pl, dev);
+  (void)big;
+  const double total_demand = std::accumulate(r.demand.begin(), r.demand.end(), 0.0);
+  // Demand must exceed the plain HPWL (sqrt(fanout) correction).
+  EXPECT_GT(total_demand, 26.0);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,119 @@
+// Spreader tests: density feasibility, order preservation (the property
+// that distinguishes bisection spreading from diffusion), and class-aware
+// capacity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fpga/device.hpp"
+#include "placer/spreader.hpp"
+
+namespace dsp {
+namespace {
+
+Netlist clump_design(int num_luts, int num_ffs) {
+  Netlist nl("clump");
+  for (int i = 0; i < num_luts; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  for (int i = 0; i < num_ffs; ++i) nl.add_cell("f" + std::to_string(i), CellType::kFlipFlop);
+  return nl;
+}
+
+TEST(Spreader, ReducesPeakDensityBelowCapacity) {
+  const Device dev = make_zcu104(0.2);
+  const Netlist nl = clump_design(4000, 4000);
+  Placement pl(nl, dev);
+  // Everything starts in one clump.
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 30.0, 10.0);
+  spread_cells(nl, dev, pl);
+
+  // Count LUTs per tile; no tile may exceed its physical capacity by much
+  // (the legalizer only has to fix rounding, not mass overflow).
+  std::map<std::pair<int, int>, int> lut_per_tile;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).type != CellType::kLut) continue;
+    lut_per_tile[{static_cast<int>(pl.x(c)), static_cast<int>(pl.y(c))}]++;
+  }
+  int peak = 0;
+  for (const auto& [tile, count] : lut_per_tile) peak = std::max(peak, count);
+  EXPECT_LE(peak, 3 * dev.clb_capacity().luts_per_tile);
+}
+
+TEST(Spreader, PreservesRelativeOrderOfAChain) {
+  const Device dev = make_zcu104(0.2);
+  const int n = 200;
+  Netlist nl("order");
+  for (int i = 0; i < n; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  Placement pl(nl, dev);
+  // Dense clump, but with a strict x-order.
+  for (CellId c = 0; c < n; ++c) pl.set(c, 30.0 + 0.001 * c, 10.0);
+  spread_cells(nl, dev, pl);
+  // Global x-order must be (weakly) preserved up to bin granularity: compare
+  // coarse positions of widely separated pairs.
+  for (int a = 0; a < n; a += 17)
+    for (int b = a + 50; b < n; b += 23)
+      EXPECT_LE(pl.x(a), pl.x(b) + 3.5) << a << " vs " << b;
+}
+
+TEST(Spreader, MovesCellsOffThePsBlock) {
+  const Device dev = make_zcu104(0.2);
+  const Netlist nl = clump_design(500, 500);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 2.0, 2.0);  // inside PS
+  spread_cells(nl, dev, pl);
+  int on_ps = 0;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const int x = static_cast<int>(pl.x(c));
+    if (x >= 0 && x < dev.width() && dev.column_type(x) == ColumnType::kPs) ++on_ps;
+  }
+  EXPECT_LT(on_ps, nl.num_cells() / 10);
+}
+
+TEST(Spreader, FixedCellsNeverMove) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("fixed");
+  const CellId ps = nl.add_cell("ps", CellType::kPsPort);
+  nl.set_fixed(ps, 3.0, 3.0);
+  for (int i = 0; i < 100; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  Placement pl(nl, dev);
+  spread_cells(nl, dev, pl);
+  EXPECT_DOUBLE_EQ(pl.x(ps), 3.0);
+  EXPECT_DOUBLE_EQ(pl.y(ps), 3.0);
+}
+
+TEST(Spreader, MoveDspsFlagFreezesDspCells) {
+  const Device dev = make_zcu104(0.2);
+  Netlist nl("dsp");
+  const CellId d = nl.add_cell("d", CellType::kDsp);
+  for (int i = 0; i < 400; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 40.0, 5.0);
+  SpreaderOptions opts;
+  opts.move_dsps = false;
+  spread_cells(nl, dev, pl, opts);
+  EXPECT_DOUBLE_EQ(pl.x(d), 40.0);
+  EXPECT_DOUBLE_EQ(pl.y(d), 5.0);
+}
+
+TEST(Spreader, HighUtilizationRaisesEffectiveTarget) {
+  // More LUTs than target_util allows: the spreader must still produce a
+  // feasible (not absurdly overfull) distribution instead of piling the
+  // overflow at one edge.
+  const Device dev = make_zcu104(0.1);
+  const long long lut_cap = dev.lut_capacity();
+  const int n = static_cast<int>(lut_cap * 85 / 100);
+  Netlist nl("hot");
+  for (int i = 0; i < n; ++i) nl.add_cell("l" + std::to_string(i), CellType::kLut);
+  Placement pl(nl, dev);
+  for (CellId c = 0; c < nl.num_cells(); ++c) pl.set(c, 50.0, 7.0);
+  SpreaderOptions opts;
+  opts.target_util = 0.6;  // below what the design needs
+  spread_cells(nl, dev, pl, opts);
+  std::map<int, int> per_col;
+  for (CellId c = 0; c < nl.num_cells(); ++c) per_col[static_cast<int>(pl.x(c))]++;
+  const int col_cap = dev.height() * dev.clb_capacity().luts_per_tile;
+  for (const auto& [x, count] : per_col)
+    EXPECT_LE(count, col_cap * 13 / 10) << "column " << x;
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,270 @@
+// Static timing analysis tests: hand-computed path delays, the DSP cascade
+// fast path (the paper's central timing mechanism), WNS/TNS accounting,
+// slack monotonicity in the clock period, and critical-path extraction.
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "timing/sta.hpp"
+#include "timing/wirelength.hpp"
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+struct PipeDesign {
+  Netlist nl{"pipe"};
+  CellId src, lut, dst;
+
+  PipeDesign() {
+    src = nl.add_cell("src", CellType::kFlipFlop);
+    lut = nl.add_cell("lut", CellType::kLut);
+    dst = nl.add_cell("dst", CellType::kFlipFlop);
+    nl.add_net("n1", src, {lut});
+    nl.add_net("n2", lut, {dst});
+  }
+};
+
+TEST(Sta, HandComputedPathDelay) {
+  const Device dev = make_test_device();
+  PipeDesign d;
+  Placement pl(d.nl, dev);
+  pl.set(d.src, 0, 0);
+  pl.set(d.lut, 3, 0);  // dist 3
+  pl.set(d.dst, 3, 4);  // dist 4
+  StaOptions opts;
+  opts.use_router = false;
+  const DelayModel& dm = opts.delays;
+  const double expected_arrival = dm.ff_clk2q + (dm.wire_base + 3 * dm.wire_per_tile) +
+                                  dm.lut_delay + (dm.wire_base + 4 * dm.wire_per_tile);
+  const TimingReport rep = run_sta(d.nl, pl, dev, 5.0, opts);
+  EXPECT_NEAR(rep.critical_arrival_ns, expected_arrival, 1e-9);
+  EXPECT_NEAR(rep.wns_ns, 5.0 - dm.ff_setup - expected_arrival, 1e-9);
+  EXPECT_EQ(rep.num_endpoints, 1);
+}
+
+TEST(Sta, CriticalPathEndpoints) {
+  const Device dev = make_test_device();
+  PipeDesign d;
+  Placement pl(d.nl, dev);
+  pl.set(d.src, 0, 0);
+  pl.set(d.lut, 5, 5);
+  pl.set(d.dst, 9, 9);
+  StaOptions opts;
+  opts.use_router = false;
+  const TimingReport rep = run_sta(d.nl, pl, dev, 3.0, opts);
+  ASSERT_EQ(rep.critical_path.size(), 3u);
+  EXPECT_EQ(rep.critical_path.front(), d.src);
+  EXPECT_EQ(rep.critical_path[1], d.lut);
+  EXPECT_EQ(rep.critical_path.back(), d.dst);
+}
+
+TEST(Sta, SlackMonotoneInClockPeriod) {
+  const Device dev = make_test_device();
+  PipeDesign d;
+  Placement pl(d.nl, dev);
+  pl.set(d.src, 0, 0);
+  pl.set(d.lut, 5, 5);
+  pl.set(d.dst, 9, 9);
+  StaOptions opts;
+  opts.use_router = false;
+  double prev = -1e9;
+  for (double period : {1.0, 2.0, 4.0, 8.0}) {
+    const TimingReport rep = run_sta(d.nl, pl, dev, period, opts);
+    EXPECT_GT(rep.wns_ns, prev);
+    prev = rep.wns_ns;
+  }
+}
+
+TEST(Sta, TnsAccumulatesOnlyNegativeEndpoints) {
+  const Device dev = make_test_device();
+  Netlist nl("two");
+  const CellId src = nl.add_cell("src", CellType::kFlipFlop);
+  const CellId near_ff = nl.add_cell("near", CellType::kFlipFlop);
+  const CellId far_ff = nl.add_cell("far", CellType::kFlipFlop);
+  nl.add_net("n1", src, {near_ff});
+  nl.add_net("n2", src, {far_ff});
+  Placement pl(nl, dev);
+  pl.set(src, 0, 0);
+  pl.set(near_ff, 1, 0);
+  pl.set(far_ff, 11, 15);
+  StaOptions opts;
+  opts.use_router = false;
+  // Pick a period where only the far endpoint fails.
+  const double period = opts.delays.ff_clk2q + opts.delays.ff_setup + opts.delays.wire_base +
+                        opts.delays.wire_per_tile * 10;
+  const TimingReport rep = run_sta(nl, pl, dev, period, opts);
+  EXPECT_EQ(rep.num_endpoints, 2);
+  EXPECT_EQ(rep.failing_endpoints, 1);
+  EXPECT_LT(rep.tns_ns, 0.0);
+  EXPECT_NEAR(rep.tns_ns, rep.wns_ns, 1e-9);  // single failing endpoint
+}
+
+struct CascadeDesign {
+  Netlist nl{"casc"};
+  CellId d0, d1;
+
+  CascadeDesign() {
+    d0 = nl.add_cell("d0", CellType::kDsp);
+    d1 = nl.add_cell("d1", CellType::kDsp);
+    nl.add_cascade_chain({d0, d1});
+    nl.add_net("pc", d0, {d1});
+  }
+};
+
+TEST(Sta, CascadeRealizedUsesDedicatedDelay) {
+  const Device dev = make_test_device();
+  CascadeDesign d;
+  Placement pl(d.nl, dev);
+  pl.assign_dsp_site(dev, d.d0, dev.dsp_site_index(0, 4));
+  pl.assign_dsp_site(dev, d.d1, dev.dsp_site_index(0, 5));
+  StaOptions opts;
+  opts.use_router = false;
+  const DelayModel& dm = opts.delays;
+  const TimingReport rep = run_sta(d.nl, pl, dev, 5.0, opts);
+  EXPECT_NEAR(rep.critical_arrival_ns, dm.dsp_clk2q + dm.cascade_delay, 1e-9);
+}
+
+TEST(Sta, BrokenCascadePaysFabricPenalty) {
+  const Device dev = make_test_device();
+  CascadeDesign d;
+  Placement pl(d.nl, dev);
+  // Same column but a gap: cascade not realized.
+  pl.assign_dsp_site(dev, d.d0, dev.dsp_site_index(0, 4));
+  pl.assign_dsp_site(dev, d.d1, dev.dsp_site_index(0, 8));
+  StaOptions opts;
+  opts.use_router = false;
+  const DelayModel& dm = opts.delays;
+  const TimingReport rep = run_sta(d.nl, pl, dev, 5.0, opts);
+  const double expected =
+      dm.dsp_clk2q + (dm.wire_base + 4 * dm.wire_per_tile) * dm.cascade_fabric_penalty;
+  EXPECT_NEAR(rep.critical_arrival_ns, expected, 1e-9);
+  // And it is always slower than the realized hop.
+  EXPECT_GT(expected, dm.dsp_clk2q + dm.cascade_delay);
+}
+
+TEST(Sta, CascadeAdjacencyNeverWorsensWns) {
+  // Property: for the same netlist, realizing the cascade is at least as
+  // good as any detached placement of the pair.
+  const Device dev = make_test_device();
+  CascadeDesign d;
+  StaOptions opts;
+  opts.use_router = false;
+  Placement adj(d.nl, dev);
+  adj.assign_dsp_site(dev, d.d0, dev.dsp_site_index(0, 0));
+  adj.assign_dsp_site(dev, d.d1, dev.dsp_site_index(0, 1));
+  const double wns_adj = run_sta(d.nl, adj, dev, 4.0, opts).wns_ns;
+  for (int gap = 2; gap < 10; gap += 3) {
+    Placement det(d.nl, dev);
+    det.assign_dsp_site(dev, d.d0, dev.dsp_site_index(0, 0));
+    det.assign_dsp_site(dev, d.d1, dev.dsp_site_index(0, gap));
+    EXPECT_LE(run_sta(d.nl, det, dev, 4.0, opts).wns_ns, wns_adj);
+  }
+}
+
+TEST(Sta, PsPortsActAsTimingBoundary) {
+  const Device dev = make_test_device();
+  Netlist nl("ps");
+  const CellId ps = nl.add_cell("ps", CellType::kPsPort);
+  nl.set_fixed(ps, 1.0, 4.0);
+  const CellId ff = nl.add_cell("ff", CellType::kFlipFlop);
+  nl.add_net("n", ps, {ff});
+  Placement pl(nl, dev);
+  pl.set(ff, 3.0, 4.0);
+  StaOptions opts;
+  opts.use_router = false;
+  const DelayModel& dm = opts.delays;
+  const TimingReport rep = run_sta(nl, pl, dev, 10.0, opts);
+  EXPECT_NEAR(rep.critical_arrival_ns,
+              dm.ps_interface + dm.wire_base + 2 * dm.wire_per_tile, 1e-9);
+}
+
+TEST(Sta, MaxFrequencySolvesWnsZero) {
+  const Device dev = make_test_device();
+  PipeDesign d;
+  Placement pl(d.nl, dev);
+  pl.set(d.src, 0, 0);
+  pl.set(d.lut, 5, 5);
+  pl.set(d.dst, 9, 9);
+  StaOptions opts;
+  opts.use_router = false;
+  // Wide search bounds: the toy path is fast, fmax lands above the default
+  // 800 MHz cap.
+  const double fmax = max_frequency_mhz(d.nl, pl, dev, opts, 20.0, 10000.0);
+  const TimingReport at_fmax = run_sta(d.nl, pl, dev, 1000.0 / fmax, opts);
+  EXPECT_NEAR(at_fmax.wns_ns, 0.0, 1e-6);
+  const TimingReport above = run_sta(d.nl, pl, dev, 1000.0 / (fmax * 1.05), opts);
+  EXPECT_LT(above.wns_ns, 0.0);
+}
+
+TEST(Sta, RouterDetourStretchesDelay) {
+  const Device dev = make_zcu104(0.2);
+  // Hundreds of parallel nets through one window to trigger congestion.
+  Netlist nl("hot");
+  std::vector<CellId> ffs;
+  (void)nl.add_cell("src", CellType::kFlipFlop);
+  Placement pl;
+  {
+    for (int i = 0; i < 600; ++i) {
+      const CellId a = nl.add_cell("a" + std::to_string(i), CellType::kLut);
+      const CellId b = nl.add_cell("b" + std::to_string(i), CellType::kFlipFlop);
+      nl.add_net("n" + std::to_string(i), a, {b});
+      ffs.push_back(b);
+    }
+    pl = Placement(nl, dev);
+    Rng rng(3);
+    for (CellId c = 0; c < nl.num_cells(); ++c)
+      pl.set(c, 30 + rng.uniform(0, 4), 10 + rng.uniform(0, 4));
+  }
+  StaOptions with_router;
+  with_router.use_router = true;
+  StaOptions without_router;
+  without_router.use_router = false;
+  const TimingReport congested = run_sta_mhz(nl, pl, dev, 200.0, with_router);
+  const TimingReport clean = run_sta_mhz(nl, pl, dev, 200.0, without_router);
+  EXPECT_LE(congested.wns_ns, clean.wns_ns);
+}
+
+TEST(Sta, SummaryMentionsKeyNumbers) {
+  TimingReport r;
+  r.clock_period_ns = 5.0;
+  r.wns_ns = -0.25;
+  r.tns_ns = -3.5;
+  r.num_endpoints = 10;
+  r.failing_endpoints = 4;
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("WNS=-0.25"), std::string::npos);
+  EXPECT_NE(s.find("failing=4"), std::string::npos);
+  EXPECT_FALSE(r.met());
+}
+
+
+TEST(Sta, CombinationalCycleFallsBackGracefully) {
+  // Two LUTs driving each other with no register: the Kahn order cannot
+  // cover them; the STA must warn and still produce finite numbers.
+  const Device dev = make_test_device();
+  Netlist nl("loop");
+  const CellId src = nl.add_cell("src", CellType::kFlipFlop);
+  const CellId l1 = nl.add_cell("l1", CellType::kLut);
+  const CellId l2 = nl.add_cell("l2", CellType::kLut);
+  const CellId dst = nl.add_cell("dst", CellType::kFlipFlop);
+  nl.add_net("n0", src, {l1});
+  nl.add_net("n1", l1, {l2});
+  nl.add_net("n2", l2, {l1});  // combinational loop
+  nl.add_net("n3", l2, {dst});
+  Placement pl(nl, dev);
+  pl.set(src, 0, 0);
+  pl.set(l1, 2, 2);
+  pl.set(l2, 3, 3);
+  pl.set(dst, 5, 5);
+  StaOptions opts;
+  opts.use_router = false;
+  const TimingReport rep = run_sta(nl, pl, dev, 5.0, opts);
+  EXPECT_EQ(rep.num_endpoints, 1);
+  EXPECT_TRUE(std::isfinite(rep.wns_ns));
+  EXPECT_GT(rep.critical_arrival_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace dsp

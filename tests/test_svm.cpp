@@ -1,0 +1,117 @@
+// Linear SVM (PADE baseline) tests: separable data, masking, imbalance,
+// standardization behavior.
+#include <gtest/gtest.h>
+
+#include "nn/svm.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Svm, SeparablePointsClassifiedPerfectly) {
+  Rng rng(1);
+  const int n = 200;
+  Matrix x(n, 2);
+  std::vector<int> y(static_cast<size_t>(n));
+  std::vector<char> mask(static_cast<size_t>(n), 1);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    x.at(i, 0) = (label ? 3.0 : -3.0) + rng.gaussian(0, 0.5);
+    x.at(i, 1) = rng.gaussian(0, 1.0);
+    y[static_cast<size_t>(i)] = label;
+  }
+  LinearSvm svm;
+  svm.fit(x, y, mask);
+  EXPECT_GT(svm.accuracy(x, y, mask), 0.97);
+}
+
+TEST(Svm, IgnoresMaskedRows) {
+  Rng rng(2);
+  const int n = 100;
+  Matrix x(n, 1);
+  std::vector<int> y(static_cast<size_t>(n));
+  std::vector<char> mask(static_cast<size_t>(n), 0);
+  // Only even rows are trainable and follow x>0 <=> 1; odd rows are
+  // adversarial garbage that must not influence the fit.
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      y[static_cast<size_t>(i)] = i % 4 == 0 ? 1 : 0;
+      x.at(i, 0) = y[static_cast<size_t>(i)] ? 2.0 + rng.uniform() : -2.0 - rng.uniform();
+      mask[static_cast<size_t>(i)] = 1;
+    } else {
+      y[static_cast<size_t>(i)] = rng.flip() ? 1 : 0;
+      x.at(i, 0) = y[static_cast<size_t>(i)] ? -5.0 : 5.0;  // inverted
+    }
+  }
+  LinearSvm svm;
+  svm.fit(x, y, mask);
+  EXPECT_GT(svm.accuracy(x, y, mask), 0.95);
+}
+
+TEST(Svm, ImbalancedDataStillFindsMinority) {
+  Rng rng(3);
+  const int n = 220;
+  Matrix x(n, 2);
+  std::vector<int> y(static_cast<size_t>(n));
+  std::vector<char> mask(static_cast<size_t>(n), 1);
+  for (int i = 0; i < n; ++i) {
+    const int label = i < 200 ? 0 : 1;  // 10:1
+    y[static_cast<size_t>(i)] = label;
+    x.at(i, 0) = (label ? 2.5 : -1.0) + rng.gaussian(0, 0.6);
+    x.at(i, 1) = rng.gaussian(0, 1.0);
+  }
+  LinearSvm svm;
+  svm.fit(x, y, mask);
+  int minority_hits = 0;
+  const auto pred = svm.predict(x);
+  for (int i = 200; i < n; ++i)
+    if (pred[static_cast<size_t>(i)] == 1) ++minority_hits;
+  EXPECT_GE(minority_hits, 14);  // at least 70% of the 20 minority rows
+}
+
+TEST(Svm, DecisionSignMatchesPrediction) {
+  Rng rng(4);
+  Matrix x(50, 2);
+  std::vector<int> y(50);
+  std::vector<char> mask(50, 1);
+  for (int i = 0; i < 50; ++i) {
+    y[static_cast<size_t>(i)] = i % 2;
+    x.at(i, 0) = y[static_cast<size_t>(i)] ? 1.0 : -1.0;
+    x.at(i, 1) = rng.uniform(-1, 1);
+  }
+  LinearSvm svm;
+  svm.fit(x, y, mask);
+  const auto pred = svm.predict(x);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(pred[static_cast<size_t>(i)], svm.decision(x, i) >= 0 ? 1 : 0);
+}
+
+TEST(Svm, ScaleInvariantViaStandardization) {
+  // Same geometry, one feature blown up 1000x: accuracy should survive.
+  Rng rng(5);
+  const int n = 120;
+  Matrix x(n, 2);
+  std::vector<int> y(static_cast<size_t>(n));
+  std::vector<char> mask(static_cast<size_t>(n), 1);
+  for (int i = 0; i < n; ++i) {
+    y[static_cast<size_t>(i)] = i % 2;
+    x.at(i, 0) = (y[static_cast<size_t>(i)] ? 1.0 : -1.0) * 1000.0 + rng.gaussian(0, 100.0);
+    x.at(i, 1) = rng.gaussian(0, 0.001);
+  }
+  LinearSvm svm;
+  svm.fit(x, y, mask);
+  EXPECT_GT(svm.accuracy(x, y, mask), 0.95);
+}
+
+TEST(Svm, EmptyTrainingSetIsSafe) {
+  Matrix x(3, 2, 1.0);
+  const std::vector<int> y = {0, 1, 0};
+  const std::vector<char> mask = {0, 0, 0};
+  LinearSvm svm;
+  svm.fit(x, y, mask);  // no-op, must not crash
+  const auto pred = svm.predict(x);
+  EXPECT_EQ(pred.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,129 @@
+// Unit tests for the util module: table formatting, SVG output, timers,
+// deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/rng.hpp"
+#include "util/svg.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::fmt_int(1431), "1431");
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  SvgWriter svg(100, 50);
+  svg.rect(0, 0, 10, 10, "#ff0000");
+  svg.line(0, 0, 100, 50, "#000000", 2.0);
+  svg.circle(5, 5, 2, "#00ff00");
+  svg.text(1, 1, "a<b&c");
+  const std::string s = svg.to_string();
+  EXPECT_NE(s.find("<svg"), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  EXPECT_NE(s.find("a&lt;b&amp;c"), std::string::npos);  // escaped
+  EXPECT_EQ(s.find("a<b"), std::string::npos);
+}
+
+TEST(Svg, SavesToFile) {
+  SvgWriter svg(10, 10);
+  svg.rect(1, 1, 2, 2, "#123456");
+  const std::string path = testing::TempDir() + "/dsplacer_svg_test.svg";
+  ASSERT_TRUE(svg.save(path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_NE(line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(PhaseProfile, AccumulatesAndTotals) {
+  PhaseProfile p;
+  p.add("a", 1.0);
+  p.add("b", 2.0);
+  p.add("a", 0.5);
+  EXPECT_DOUBLE_EQ(p.seconds("a"), 1.5);
+  EXPECT_DOUBLE_EQ(p.seconds("b"), 2.0);
+  EXPECT_DOUBLE_EQ(p.seconds("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), 3.5);
+  EXPECT_EQ(p.entries().size(), 2u);
+}
+
+TEST(PhaseProfile, ScopedPhaseRecordsElapsed) {
+  PhaseProfile p;
+  {
+    ScopedPhase sp(p, "scope");
+    Timer t;
+    while (t.seconds() < 0.01) {
+    }
+  }
+  EXPECT_GE(p.seconds("scope"), 0.009);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng r(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.gaussian(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace dsp

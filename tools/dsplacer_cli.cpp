@@ -1,0 +1,11 @@
+// Thin main() around the library CLI (src/core/cli.hpp).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return dsp::run_cli(args, std::cout, std::cerr);
+}
