@@ -2,15 +2,67 @@
 // iSmartDNN and SkyNet. The paper reports prototype placement + other
 // component placement dominating (90.61% / 88.31%) with extraction and
 // datapath-driven DSP placement around 2%.
+//
+// Usage:
+//   bench_fig8              run the flows and print flat + nested breakdowns
+//   bench_fig8 trace.json   print the nested stage table of a trace exported
+//                           with `dsplacer_cli place ... --trace trace.json`
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/dsplacer.hpp"
 #include "designs/benchmarks.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace dsp;
 
-int main() {
+namespace {
+
+void add_trace_rows(Table& table, const TraceNode& node, double total, int depth) {
+  std::string label(static_cast<size_t>(2 * depth), ' ');
+  label += node.name;
+  std::string counters;
+  for (const auto& [cname, value] : node.counters) {
+    if (!counters.empty()) counters += ", ";
+    counters += cname + "=" + std::to_string(value);
+  }
+  table.add_row({label, Table::fmt(node.seconds, 2),
+                 total > 0 ? Table::fmt(100.0 * node.seconds / total, 1) + "%" : "-",
+                 std::to_string(node.entered), counters});
+  for (const auto& child : node.children) add_trace_rows(table, *child, total, depth + 1);
+}
+
+void print_trace_tree(const TraceNode& root) {
+  Table table({"Stage", "Seconds", "Share", "Entered", "Counters"});
+  add_trace_rows(table, root, root.seconds, 0);
+  std::printf("stage tree:\n%s", table.to_string().c_str());
+}
+
+int print_trace_file(const char* path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  TraceNode root;
+  if (!trace_from_json(text.str(), &root)) {
+    std::fprintf(stderr, "%s: not a dsplacer trace JSON\n", path);
+    return 1;
+  }
+  print_trace_tree(root);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) return print_trace_file(argv[1]);
+
   const double scale = bench_scale_from_env(0.25);
   const Device dev = make_zcu104(scale);
   std::printf("FIG. 8 benchmark scale: %.2f\n\n", scale);
@@ -29,6 +81,7 @@ int main() {
                      Table::fmt(100.0 * seconds / total, 1) + "%"});
     table.add_row({"TOTAL", Table::fmt(total, 2), "100%"});
     std::printf("FIG. 8 runtime profile: %s\n%s", name, table.to_string().c_str());
+    print_trace_tree(res.trace.root());
     const double dominant = res.profile.seconds(phase::kPrototype) +
                             res.profile.seconds(phase::kOtherPlacement);
     std::printf("prototype+other share: %.1f%%  (paper: %.1f%%)\n\n",

@@ -3,6 +3,9 @@
 // intra-column DP, the simplex, STA, and the global router.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+
 #include "core/legalize_intracol.hpp"
 #include "designs/benchmarks.hpp"
 #include "extract/dsp_graph.hpp"
@@ -13,6 +16,7 @@
 #include "solver/simplex.hpp"
 #include "timing/sta.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -73,6 +77,61 @@ void BM_DspGraphConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DspGraphConstruction);
+
+// Threads-scaling benchmarks for the parallel kernels. Each runs the same
+// deterministic kernel on a ThreadPool of 1/2/4/8 lanes and reports the
+// speedup over the 1-lane run of the same benchmark (the registration order
+// guarantees Arg(1) runs first). Results are bit-identical across lanes —
+// only the wall time may change.
+double timed_mean_seconds(benchmark::State& state, const std::function<void()>& body) {
+  double elapsed = 0.0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    ++iters;
+  }
+  return iters > 0 ? elapsed / static_cast<double>(iters) : 0.0;
+}
+
+void report_speedup(benchmark::State& state, double mean_secs, double* serial_secs) {
+  if (state.range(0) == 1) *serial_secs = mean_secs;
+  if (*serial_secs > 0.0 && mean_secs > 0.0)
+    state.counters["speedup"] = *serial_secs / mean_secs;
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_BetweennessThreads(benchmark::State& state) {
+  const int n = 600;
+  Rng rng(7);
+  Digraph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(rng.uniform_int(0, i - 1), i);
+  for (int e = 0; e < 2 * n; ++e)
+    g.add_edge_unique(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  static double serial_secs = 0.0;
+  const double mean = timed_mean_seconds(state, [&] {
+    const auto c = betweenness_exact(g, &pool);
+    benchmark::DoNotOptimize(c.data());
+  });
+  report_speedup(state, mean, &serial_secs);
+}
+BENCHMARK(BM_BetweennessThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DspGraphThreads(benchmark::State& state) {
+  const Device dev = make_zcu104(0.15);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkrSkr-1"), dev, 0.15);
+  const Digraph g = nl.to_digraph();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  static double serial_secs = 0.0;
+  const double mean = timed_mean_seconds(state, [&] {
+    const DspGraph dg = build_dsp_graph(nl, g, {}, &pool);
+    benchmark::DoNotOptimize(dg.num_edges());
+  });
+  report_speedup(state, mean, &serial_secs);
+}
+BENCHMARK(BM_DspGraphThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_IntraColumnDp(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -59,5 +59,15 @@ int main() {
   const TimingReport rep = run_sta_mhz(nl, res.placement, dev, 300.0);
   std::printf("timing @300MHz: %s\n", summarize(rep).c_str());
   std::printf("HPWL: %.1f\n", total_hpwl(nl, res.placement));
+
+  // 6. Where did the time go? The run trace is a nested stage tree with
+  // counters (also exportable as JSON via res.trace.to_json()).
+  std::printf("stages:\n");
+  for (const auto& stage : res.trace.root().children) {
+    std::printf("  %-14s %6.3fs x%lld\n", stage->name.c_str(), stage->seconds,
+                static_cast<long long>(stage->entered));
+    for (const auto& [counter, value] : stage->counters)
+      std::printf("      %s=%lld\n", counter.c_str(), static_cast<long long>(value));
+  }
   return rep.met() ? 0 : 1;
 }

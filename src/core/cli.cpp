@@ -1,11 +1,14 @@
 #include "core/cli.hpp"
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
 #include "core/constraints.hpp"
 #include "core/dsplacer.hpp"
+#include "util/thread_pool.hpp"
 #include "core/flow_report.hpp"
 #include "designs/benchmarks.hpp"
 #include "netlist/netlist_io.hpp"
@@ -84,6 +87,10 @@ int cmd_place(const std::map<std::string, std::string>& flags, std::ostream& out
   const Device dev = make_zcu104(scale);
   const Netlist nl = load_netlist(nl_path);
 
+  // Worker count precedence: --threads > DSPLACER_THREADS > hardware.
+  const int threads = static_cast<int>(flag_double(flags, "threads", 0.0));
+  if (threads > 0) set_global_threads(threads);
+
   Placement pl;
   if (tool == "dsplacer") {
     DsplacerOptions opts;
@@ -92,6 +99,16 @@ int cmd_place(const std::map<std::string, std::string>& flags, std::ostream& out
     if (!res.legality_error.empty()) {
       err << "place: illegal result: " << res.legality_error;
       return 1;
+    }
+    const std::string trace_path = flag_str(flags, "trace");
+    if (!trace_path.empty()) {
+      std::ofstream f(trace_path);
+      if (!f) {
+        err << "place: cannot write " << trace_path << '\n';
+        return 1;
+      }
+      f << res.trace.to_json() << '\n';
+      out << "wrote trace " << trace_path << '\n';
     }
     pl = res.placement;
   } else if (tool == "vivado" || tool == "amf") {
@@ -166,6 +183,7 @@ std::string cli_usage() {
       "  gen    --benchmark <name> --scale <s> --out <netlist>\n"
       "  place  --netlist <file> --scale <s> --tool dsplacer|vivado|amf\n"
       "         [--out <placement>] [--constraints <xdc>] [--svg <file>]\n"
+      "         [--threads <n>] [--trace <json>]\n"
       "  report --netlist <file> --placement <file> --scale <s> [--freq <MHz>]\n";
 }
 

@@ -1,159 +1,14 @@
 #include "core/dsplacer.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
-#include "core/legalize_intracol.hpp"
-#include "route/grid_router.hpp"
-#include "util/log.hpp"
+#include "core/flow.hpp"
 
 namespace dsp {
-namespace {
-
-/// Applies the two-step legalization to an MCF assignment and commits the
-/// sites into `pl`. Returns false only on capacity infeasibility.
-bool legalize_and_commit(const Netlist& nl, const Device& dev, Placement& pl,
-                         const std::vector<CellId>& targets,
-                         const std::vector<int>& mcf_sites,
-                         const DsplacerOptions& opts, DsplacerResult& out) {
-  // Inter-column: one column per chain/singleton group (eq. 10).
-  std::vector<DspGroup> groups = build_dsp_groups(nl, dev, targets, mcf_sites);
-  std::vector<int> capacity;
-  for (const auto& col : dev.dsp_columns()) capacity.push_back(col.num_sites);
-  const InterColumnResult cols =
-      legalize_inter_column(dev, groups, capacity, opts.inter_column);
-  if (!cols.feasible) return false;
-  out.intercol_used_ilp = cols.used_ilp;
-
-  // Intra-column: stack each column's groups by desired row (eq. 11).
-  const int num_cols = static_cast<int>(dev.dsp_columns().size());
-  for (int j = 0; j < num_cols; ++j) {
-    std::vector<size_t> members;
-    for (size_t g = 0; g < groups.size(); ++g)
-      if (cols.column[g] == j) members.push_back(g);
-    if (members.empty()) continue;
-    const auto& col = dev.dsp_columns()[static_cast<size_t>(j)];
-    // Paper ordering: groups sorted by average vertical location.
-    std::sort(members.begin(), members.end(),
-              [&](size_t a, size_t b) { return groups[a].cy < groups[b].cy; });
-    std::vector<ColumnItem> items;
-    items.reserve(members.size());
-    for (size_t g : members) {
-      ColumnItem it;
-      it.length = groups[g].size();
-      // Desired start row: group centroid shifted to the first member.
-      it.desired = groups[g].cy - col.y0 - (groups[g].size() - 1) / 2.0;
-      items.push_back(it);
-    }
-    const IntraColumnResult rows = legalize_intra_column(items, col.num_sites);
-    if (!rows.feasible) return false;
-    for (size_t m = 0; m < members.size(); ++m) {
-      const DspGroup& g = groups[members[m]];
-      const int start = rows.start_row[m];
-      for (int k = 0; k < g.size(); ++k)
-        pl.assign_dsp_site(dev, g.cells[static_cast<size_t>(k)],
-                           dev.dsp_site_index(j, start + k));
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 DsplacerResult run_dsplacer(const Netlist& nl, const Device& dev,
                             const std::vector<DesignGraphData>& training,
                             const DsplacerOptions& opts) {
-  DsplacerResult result;
-  HostPlacer host(nl, dev, opts.host);
-
-  // ---- Stage 1: prototype placement ----------------------------------------
-  {
-    ScopedPhase p(result.profile, phase::kPrototype);
-    result.placement = host.place_full();
-  }
-
-  // ---- Stage 2: datapath DSP extraction -------------------------------------
-  DspGraph dsp_graph;
-  std::vector<CellId> datapath;
-  {
-    ScopedPhase p(result.profile, phase::kExtraction);
-    std::vector<char> is_datapath(static_cast<size_t>(nl.num_cells()), 0);
-    if (opts.use_ground_truth_roles || training.empty()) {
-      for (CellId c = 0; c < nl.num_cells(); ++c)
-        is_datapath[static_cast<size_t>(c)] =
-            nl.cell(c).type == CellType::kDsp && nl.cell(c).role == DspRole::kDatapath;
-    } else {
-      const DesignGraphData target = build_design_data(nl, opts.features);
-      is_datapath = predict_datapath_dsps(training, target, opts.gcn);
-    }
-    // A DSP sharing a cascade chain with datapath DSPs must travel with the
-    // chain regardless of the classifier's call on it.
-    for (int ci = 0; ci < nl.num_chains(); ++ci) {
-      const auto& chain = nl.chain(ci).cells;
-      const bool any = std::any_of(chain.begin(), chain.end(), [&](CellId c) {
-        return is_datapath[static_cast<size_t>(c)];
-      });
-      if (any)
-        for (CellId c : chain) is_datapath[static_cast<size_t>(c)] = 1;
-    }
-
-    const Digraph g = nl.to_digraph();
-    DspGraph full = build_dsp_graph(nl, g, opts.dsp_graph);
-    if (opts.prune_control) {
-      dsp_graph = prune_dsp_graph(full, is_datapath);
-    } else {
-      dsp_graph = std::move(full);
-      for (CellId c = 0; c < nl.num_cells(); ++c)
-        if (nl.cell(c).type == CellType::kDsp) is_datapath[static_cast<size_t>(c)] = 1;
-    }
-    datapath = dsp_graph.dsps;
-    result.num_datapath_dsps = static_cast<int>(datapath.size());
-    result.num_control_dsps = nl.count_type(CellType::kDsp) - result.num_datapath_dsps;
-    result.dsp_graph_edges = dsp_graph.num_edges();
-  }
-
-  // ---- Stage 3: incremental datapath-driven DSP placement -------------------
-  for (int outer = 0; outer < opts.outer_iterations; ++outer) {
-    {
-      ScopedPhase p(result.profile, phase::kDspPlacement);
-      // Release previous datapath assignment (keep others as attractors).
-      for (CellId c : datapath) result.placement.clear_dsp_site(c);
-      const AssignResult assign =
-          mcf_assign_dsps(nl, dev, result.placement, dsp_graph, datapath, opts.assign);
-      result.mcf_iterations = assign.iterations_run;
-      result.mcf_converged = assign.converged;
-      if (!legalize_and_commit(nl, dev, result.placement, datapath, assign.site, opts,
-                               result)) {
-        result.legality_error = "legalization infeasible";
-        return result;
-      }
-    }
-    {
-      ScopedPhase p(result.profile, phase::kOtherPlacement);
-      // Control DSPs go back to the host flow, then all non-DSP logic is
-      // re-placed around the frozen DSPs (Fig. 6 alternation).
-      DspBaselineOptions ctrl;
-      ctrl.mode = DspBaselineMode::kVivadoLike;
-      ctrl.only_unassigned = true;
-      for (CellId c = 0; c < nl.num_cells(); ++c)
-        if (nl.cell(c).type == CellType::kDsp &&
-            std::find(datapath.begin(), datapath.end(), c) == datapath.end())
-          result.placement.clear_dsp_site(c);
-      legalize_dsps_baseline(nl, dev, result.placement, ctrl);
-      host.replace_others(result.placement);
-    }
-  }
-
-  {
-    ScopedPhase p(result.profile, phase::kRouting);
-    (void)route_global(nl, result.placement, dev);
-  }
-
-  result.legality_error = result.placement.validate_dsp(nl, dev);
-  if (!result.legality_error.empty())
-    LOG_ERROR("dsplacer", "illegal result: %s", result.legality_error.c_str());
-  return result;
+  FlowContext ctx(nl, dev, training, opts);
+  return run_flow(ctx, dsplacer_pipeline(opts));
 }
 
 }  // namespace dsp

@@ -22,6 +22,7 @@
 #include "extract/dsp_graph.hpp"
 #include "placer/host_placer.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace dsp {
 
@@ -41,7 +42,8 @@ struct DsplacerOptions {
 
 struct DsplacerResult {
   Placement placement;
-  PhaseProfile profile;  // Fig. 8 phase breakdown
+  PhaseProfile profile;  // Fig. 8 phase breakdown (flat, insertion order)
+  RunTrace trace;        // nested per-stage times + counters (JSON-exportable)
   int num_datapath_dsps = 0;
   int num_control_dsps = 0;
   int dsp_graph_edges = 0;

@@ -1,0 +1,215 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/legalize_intracol.hpp"
+#include "route/grid_router.hpp"
+#include "util/log.hpp"
+
+namespace dsp {
+
+FlowContext::FlowContext(const Netlist& netlist, const Device& device,
+                         const std::vector<DesignGraphData>& training_designs,
+                         const DsplacerOptions& options, ThreadPool* thread_pool)
+    : nl(&netlist),
+      dev(&device),
+      training(&training_designs),
+      opts(options),
+      pool(thread_pool ? thread_pool : &global_pool()),
+      seed(options.features.seed) {
+  host.emplace(netlist, device, options.host);
+  host->set_trace(&trace);
+}
+
+namespace {
+
+/// Applies the two-step legalization to an MCF assignment and commits the
+/// sites into ctx.placement. Sets ctx.error on capacity infeasibility.
+void legalize_and_commit(FlowContext& ctx, const std::vector<int>& mcf_sites) {
+  const Netlist& nl = *ctx.nl;
+  const Device& dev = *ctx.dev;
+
+  // Inter-column: one column per chain/singleton group (eq. 10).
+  std::vector<DspGroup> groups = build_dsp_groups(nl, dev, ctx.datapath, mcf_sites);
+  std::vector<int> capacity;
+  for (const auto& col : dev.dsp_columns()) capacity.push_back(col.num_sites);
+  const InterColumnResult cols =
+      legalize_inter_column(dev, groups, capacity, ctx.opts.inter_column);
+  ctx.trace.add_counter("ilp_nodes", cols.ilp_nodes);
+  if (!cols.feasible) {
+    ctx.error = "legalization infeasible";
+    return;
+  }
+  ctx.intercol_used_ilp = cols.used_ilp;
+
+  // Intra-column: stack each column's groups by desired row (eq. 11).
+  const int num_cols = static_cast<int>(dev.dsp_columns().size());
+  for (int j = 0; j < num_cols; ++j) {
+    std::vector<size_t> members;
+    for (size_t g = 0; g < groups.size(); ++g)
+      if (cols.column[g] == j) members.push_back(g);
+    if (members.empty()) continue;
+    const auto& col = dev.dsp_columns()[static_cast<size_t>(j)];
+    // Paper ordering: groups sorted by average vertical location.
+    std::sort(members.begin(), members.end(),
+              [&](size_t a, size_t b) { return groups[a].cy < groups[b].cy; });
+    std::vector<ColumnItem> items;
+    items.reserve(members.size());
+    for (size_t g : members) {
+      ColumnItem it;
+      it.length = groups[g].size();
+      // Desired start row: group centroid shifted to the first member.
+      it.desired = groups[g].cy - col.y0 - (groups[g].size() - 1) / 2.0;
+      items.push_back(it);
+    }
+    const IntraColumnResult rows = legalize_intra_column(items, col.num_sites);
+    if (!rows.feasible) {
+      ctx.error = "legalization infeasible";
+      return;
+    }
+    for (size_t m = 0; m < members.size(); ++m) {
+      const DspGroup& g = groups[members[m]];
+      const int start = rows.start_row[m];
+      for (int k = 0; k < g.size(); ++k)
+        ctx.placement.assign_dsp_site(dev, g.cells[static_cast<size_t>(k)],
+                                      dev.dsp_site_index(j, start + k));
+    }
+  }
+}
+
+}  // namespace
+
+void stage_prototype(FlowContext& ctx) {
+  ctx.placement = ctx.host->place_full();
+}
+
+void stage_extract(FlowContext& ctx) {
+  const Netlist& nl = *ctx.nl;
+  ctx.is_datapath.assign(static_cast<size_t>(nl.num_cells()), 0);
+  if (ctx.opts.use_ground_truth_roles || ctx.training->empty()) {
+    for (CellId c = 0; c < nl.num_cells(); ++c)
+      ctx.is_datapath[static_cast<size_t>(c)] =
+          nl.cell(c).type == CellType::kDsp && nl.cell(c).role == DspRole::kDatapath;
+  } else {
+    FeatureOptions fopts = ctx.opts.features;
+    fopts.seed = ctx.seed;
+    const DesignGraphData target = build_design_data(nl, fopts, ctx.pool);
+    ctx.is_datapath = predict_datapath_dsps(*ctx.training, target, ctx.opts.gcn);
+  }
+  // A DSP sharing a cascade chain with datapath DSPs must travel with the
+  // chain regardless of the classifier's call on it.
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    const bool any = std::any_of(chain.begin(), chain.end(), [&](CellId c) {
+      return ctx.is_datapath[static_cast<size_t>(c)];
+    });
+    if (any)
+      for (CellId c : chain) ctx.is_datapath[static_cast<size_t>(c)] = 1;
+  }
+
+  const Digraph g = nl.to_digraph();
+  DspGraph full = build_dsp_graph(nl, g, ctx.opts.dsp_graph, ctx.pool);
+  if (ctx.opts.prune_control) {
+    ctx.dsp_graph = prune_dsp_graph(full, ctx.is_datapath);
+  } else {
+    ctx.dsp_graph = std::move(full);
+    for (CellId c = 0; c < nl.num_cells(); ++c)
+      if (nl.cell(c).type == CellType::kDsp) ctx.is_datapath[static_cast<size_t>(c)] = 1;
+  }
+  ctx.datapath = ctx.dsp_graph.dsps;
+  ctx.num_datapath_dsps = static_cast<int>(ctx.datapath.size());
+  ctx.num_control_dsps = nl.count_type(CellType::kDsp) - ctx.num_datapath_dsps;
+  ctx.dsp_graph_edges = ctx.dsp_graph.num_edges();
+
+  ctx.trace.add_counter("nodes_visited", ctx.dsp_graph.nodes_visited);
+  ctx.trace.add_counter("dsp_graph_edges", ctx.dsp_graph_edges);
+  ctx.trace.add_counter("datapath_dsps", ctx.num_datapath_dsps);
+  ctx.trace.add_counter("control_dsps", ctx.num_control_dsps);
+}
+
+void stage_dsp_place(FlowContext& ctx) {
+  // Release previous datapath assignment (keep others as attractors).
+  for (CellId c : ctx.datapath) ctx.placement.clear_dsp_site(c);
+  const AssignResult assign =
+      mcf_assign_dsps(*ctx.nl, *ctx.dev, ctx.placement, ctx.dsp_graph, ctx.datapath,
+                      ctx.opts.assign, ctx.pool);
+  ctx.mcf_iterations = assign.iterations_run;
+  ctx.mcf_converged = assign.converged;
+  ctx.trace.add_counter("mcf_arcs", assign.arcs_built);
+  ctx.trace.add_counter("mcf_iterations", assign.iterations_run);
+  legalize_and_commit(ctx, assign.site);
+}
+
+void stage_replace(FlowContext& ctx) {
+  const Netlist& nl = *ctx.nl;
+  // Control DSPs go back to the host flow, then all non-DSP logic is
+  // re-placed around the frozen DSPs (Fig. 6 alternation).
+  DspBaselineOptions ctrl;
+  ctrl.mode = DspBaselineMode::kVivadoLike;
+  ctrl.only_unassigned = true;
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    if (nl.cell(c).type == CellType::kDsp &&
+        std::find(ctx.datapath.begin(), ctx.datapath.end(), c) == ctx.datapath.end())
+      ctx.placement.clear_dsp_site(c);
+  legalize_dsps_baseline(nl, *ctx.dev, ctx.placement, ctrl);
+  ctx.host->replace_others(ctx.placement);
+}
+
+void stage_route_report(FlowContext& ctx) {
+  const RouteResult route = route_global(*ctx.nl, ctx.placement, *ctx.dev);
+  ctx.trace.add_counter("route_overflow",
+                        static_cast<long long>(std::llround(route.total_overflow)));
+}
+
+std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts) {
+  std::vector<FlowStage> stages;
+  stages.push_back({stage::kPrototype, phase::kPrototype, stage_prototype});
+  stages.push_back({stage::kExtract, phase::kExtraction, stage_extract});
+  // Fig. 6 alternation: re-entering the same stage names accumulates their
+  // trace nodes (entered counts the rounds).
+  for (int outer = 0; outer < opts.outer_iterations; ++outer) {
+    stages.push_back({stage::kDspPlace, phase::kDspPlacement, stage_dsp_place});
+    stages.push_back({stage::kReplace, phase::kOtherPlacement, stage_replace});
+  }
+  stages.push_back({stage::kRouteReport, phase::kRouting, stage_route_report});
+  return stages;
+}
+
+DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) {
+  Timer total;
+  ctx.pool->reset_peak();
+  ctx.trace.root().add_counter("threads", ctx.pool->num_threads());
+
+  for (const FlowStage& s : stages) {
+    if (!ctx.error.empty()) break;  // fail-fast: later stages are skipped
+    ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
+    s.run(ctx);
+  }
+
+  ctx.trace.root().seconds = total.seconds();
+  ctx.trace.root().max_counter("peak_threads", ctx.pool->peak_active());
+
+  DsplacerResult result;
+  result.num_datapath_dsps = ctx.num_datapath_dsps;
+  result.num_control_dsps = ctx.num_control_dsps;
+  result.dsp_graph_edges = ctx.dsp_graph_edges;
+  result.mcf_iterations = ctx.mcf_iterations;
+  result.mcf_converged = ctx.mcf_converged;
+  result.intercol_used_ilp = ctx.intercol_used_ilp;
+  result.placement = std::move(ctx.placement);
+  result.profile = std::move(ctx.profile);
+  result.trace = ctx.trace;
+
+  if (!ctx.error.empty()) {
+    result.legality_error = ctx.error;
+    return result;
+  }
+  result.legality_error = result.placement.validate_dsp(*ctx.nl, *ctx.dev);
+  if (!result.legality_error.empty())
+    LOG_ERROR("dsplacer", "illegal result: %s", result.legality_error.c_str());
+  return result;
+}
+
+}  // namespace dsp

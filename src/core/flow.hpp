@@ -1,0 +1,103 @@
+// The DSPlacer flow as an explicit stage pipeline.
+//
+// Fig. 2's monolithic driver is decomposed into five named stages —
+//   Prototype  : host analytical placer produces the prototype placement
+//   Extract    : role classification + IDDFS DSP-graph construction
+//   DspPlace   : iterative linearized-MCF assignment + two-step legalization
+//   Replace    : control DSPs to the host flow, non-DSP logic re-placed
+//   Route/Report : global routing + final legality validation
+// — that communicate exclusively through a shared FlowContext (netlist,
+// device, placement, roles, DSP graph, thread pool, instrumentation, seed).
+// The standard pipeline alternates DspPlace/Replace outer_iterations times
+// (Fig. 6); custom flows can reorder, repeat, or replace stages.
+//
+// Every stage is timed into a nested RunTrace (exported as JSON by the CLI)
+// and mirrored into the flat Fig. 8 PhaseProfile.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dsplacer.hpp"
+#include "placer/host_placer.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace dsp {
+
+/// All state the pipeline stages share. Stages mutate the context in place;
+/// the driver (run_flow) owns timing, error short-circuiting, and the final
+/// assembly into a DsplacerResult.
+struct FlowContext {
+  /// `pool` = nullptr uses the process-global pool (configured by
+  /// set_global_threads / DSPLACER_THREADS / --threads).
+  FlowContext(const Netlist& netlist, const Device& device,
+              const std::vector<DesignGraphData>& training_designs,
+              const DsplacerOptions& options, ThreadPool* thread_pool = nullptr);
+
+  // ---- inputs (fixed for the run) ----
+  const Netlist* nl;
+  const Device* dev;
+  const std::vector<DesignGraphData>* training;
+  DsplacerOptions opts;
+  ThreadPool* pool;     // never null
+  uint64_t seed;        // RNG seed for the flow's stochastic kernels
+
+  // ---- evolving flow state ----
+  std::optional<HostPlacer> host;  // constructed once, reused across stages
+  Placement placement;
+  std::vector<char> is_datapath;   // per cell, valid after Extract
+  DspGraph dsp_graph;              // pruned datapath graph after Extract
+  std::vector<CellId> datapath;    // the MCF targets
+  std::string error;               // first stage failure; empty when healthy
+
+  // ---- instrumentation ----
+  RunTrace trace{"dsplacer"};
+  PhaseProfile profile;  // flat Fig. 8 view, kept in sync with the tree
+
+  // ---- summary stats mirrored into DsplacerResult ----
+  int num_datapath_dsps = 0;
+  int num_control_dsps = 0;
+  int dsp_graph_edges = 0;
+  int mcf_iterations = 0;
+  bool mcf_converged = false;
+  bool intercol_used_ilp = false;
+};
+
+/// One named pipeline stage. `phase` is the flat Fig. 8 bucket its wall
+/// time accumulates into (stage names can repeat; times accumulate).
+struct FlowStage {
+  const char* name;
+  const char* phase;
+  std::function<void(FlowContext&)> run;
+};
+
+/// Canonical stage names (trace-tree node names).
+namespace stage {
+inline constexpr const char* kPrototype = "Prototype";
+inline constexpr const char* kExtract = "Extract";
+inline constexpr const char* kDspPlace = "DspPlace";
+inline constexpr const char* kReplace = "Replace";
+inline constexpr const char* kRouteReport = "Route/Report";
+}  // namespace stage
+
+// The five canonical stage bodies (exposed so custom pipelines and tests
+// can compose them directly).
+void stage_prototype(FlowContext& ctx);
+void stage_extract(FlowContext& ctx);
+void stage_dsp_place(FlowContext& ctx);
+void stage_replace(FlowContext& ctx);
+void stage_route_report(FlowContext& ctx);
+
+/// The standard DSPlacer pipeline for `opts`: Prototype, Extract,
+/// outer_iterations x (DspPlace, Replace), Route/Report.
+std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts);
+
+/// Runs `stages` over `ctx`: times each stage into ctx.trace/ctx.profile,
+/// stops at the first stage error, validates DSP legality, and assembles
+/// the DsplacerResult (placement, profile, trace, counters).
+DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages);
+
+}  // namespace dsp

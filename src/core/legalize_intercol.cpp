@@ -136,9 +136,12 @@ InterColumnResult legalize_inter_column(const Device& dev,
   if (!sol.feasible) {
     LOG_WARN("intercol", "ILP found no incumbent (%ld nodes); greedy fallback",
              sol.nodes_explored);
-    return greedy_columns(dev, groups, capacity);
+    InterColumnResult greedy = greedy_columns(dev, groups, capacity);
+    greedy.ilp_nodes = sol.nodes_explored;
+    return greedy;
   }
   res.used_ilp = true;
+  res.ilp_nodes = sol.nodes_explored;
   res.feasible = true;
   for (int g = 0; g < num_groups; ++g) {
     for (int j = 0; j < num_cols; ++j) {

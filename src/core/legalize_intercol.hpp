@@ -34,6 +34,7 @@ struct InterColumnResult {
   bool used_ilp = true;     // false if the greedy fallback decided
   double total_displacement = 0.0;
   bool feasible = false;
+  long ilp_nodes = 0;       // branch-and-bound nodes explored by the solve
 };
 
 struct InterColumnOptions {

@@ -8,6 +8,7 @@
 
 #include "solver/mcf.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsp {
 namespace {
@@ -58,7 +59,8 @@ double site_cos_angle(const Device& dev, int site) {
 
 AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placement& pl,
                              const DspGraph& graph, const std::vector<CellId>& targets,
-                             const AssignOptions& opts) {
+                             const AssignOptions& opts, ThreadPool* pool_arg) {
+  ThreadPool& pool = pool_arg != nullptr ? *pool_arg : global_pool();
   AssignResult result;
   const int n = static_cast<int>(targets.size());
   result.site.assign(static_cast<size_t>(n), -1);
@@ -146,8 +148,13 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
   };
   for (int iter = 0; iter < opts.iterations; ++iter) {
     // --- assemble per-target candidates and costs ---------------------------
+    // Each target's candidate set and arc costs depend only on the previous
+    // iterate (tx/ty/prev_site are read, never written here), so targets
+    // build in parallel; edges[i] is written by exactly one lane and the
+    // rounding per arc is deterministic.
     std::vector<std::vector<std::pair<int, int64_t>>> edges(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) {
+    pool.parallel_for_each(n, [&](int64_t ti) {
+      const int i = static_cast<int>(ti);
       // Ideal point: weighted centroid of the neighbours' current positions.
       double cx = tx[static_cast<size_t>(i)], cy = ty[static_cast<size_t>(i)], wsum = 0;
       double sx = 0, sy = 0;
@@ -183,7 +190,8 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
         edges[static_cast<size_t>(i)].push_back(
             {site, static_cast<int64_t>(std::llround(cost * opts.cost_scale))});
       }
-    }
+    });
+    for (const auto& e : edges) result.arcs_built += static_cast<long long>(e.size());
     // Cascade penalty eta * (x_cp,j - x_cs,j+1)^2 linearized around the
     // previous iterate: reward the site that continues the partner's run.
     if (iter > 0) {

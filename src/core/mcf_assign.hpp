@@ -19,6 +19,8 @@
 
 namespace dsp {
 
+class ThreadPool;
+
 struct AssignOptions {
   int iterations = 50;       // MCF linearization iterations (paper: 50)
   double lambda = 100.0;     // datapath-angle penalty weight (paper: 100)
@@ -32,14 +34,17 @@ struct AssignResult {
   int iterations_run = 0;
   bool converged = false;       // assignment reached a fixed point early
   double final_objective = 0.0; // linearized objective of the last iterate
+  long long arcs_built = 0;     // candidate arcs costed across all iterations
 };
 
 /// Assigns a site to every cell of `targets` (the datapath DSPs). Other
 /// cells' positions in `pl` act as fixed attractors; `graph` supplies the
-/// datapath edges for the angle penalty. `pl` is not modified.
+/// datapath edges for the angle penalty. `pl` is not modified. Per-target
+/// arc-cost construction runs on `pool` (nullptr: the global pool) and is
+/// bit-identical for any thread count; the MCF solve itself stays serial.
 AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placement& pl,
                              const DspGraph& graph, const std::vector<CellId>& targets,
-                             const AssignOptions& opts = {});
+                             const AssignOptions& opts = {}, ThreadPool* pool = nullptr);
 
 /// The angle term of constraint (6): cos of the site's bearing measured at
 /// the PS corner (origin). Exposed for tests and the legalizer tie-breaks.

@@ -6,11 +6,12 @@
 
 namespace dsp {
 
-DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts) {
+DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts,
+                                  ThreadPool* pool) {
   DesignGraphData d;
   d.name = nl.name();
   d.graph = nl.to_digraph();
-  d.gcn_features = extract_node_features(nl, d.graph, opts);
+  d.gcn_features = extract_node_features(nl, d.graph, opts, pool);
   d.local_features = extract_local_features(nl, d.graph);
   d.labels.assign(static_cast<size_t>(nl.num_cells()), 0);
   d.dsp_mask.assign(static_cast<size_t>(nl.num_cells()), 0);

@@ -24,7 +24,9 @@ struct DesignGraphData {
   std::vector<char> dsp_mask;  // true at DSP cells
 };
 
-DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts = {});
+/// `pool` = nullptr runs feature extraction on the global thread pool.
+DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts = {},
+                                  ThreadPool* pool = nullptr);
 
 /// Induced subgraph on all nodes within `hops` (undirected) of a DSP node,
 /// with features/labels/masks selected accordingly. With a 2-layer GCN the

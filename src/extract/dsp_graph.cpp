@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/traversal.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsp {
 
@@ -27,7 +28,9 @@ std::vector<double> DspGraph::mean_dsp_distance() const {
   return mean;
 }
 
-DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOptions& opts) {
+DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOptions& opts,
+                         ThreadPool* pool_arg) {
+  ThreadPool& pool = pool_arg != nullptr ? *pool_arg : global_pool();
   DspGraph out;
   out.dsps = nl.cells_of_type(CellType::kDsp);
   std::vector<int> local(static_cast<size_t>(nl.num_cells()), -1);
@@ -36,12 +39,19 @@ DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOpti
 
   auto is_dsp = [&](int v) { return local[static_cast<size_t>(v)] >= 0; };
 
-  for (size_t i = 0; i < out.dsps.size(); ++i) {
-    const CellId src = out.dsps[i];
+  // Per-source IDDFS walks are independent; each source collects its own
+  // edge list and the lists concatenate in source order, so the edge array
+  // (and hence adj) is identical for any thread count.
+  const int64_t num_dsps = static_cast<int64_t>(out.dsps.size());
+  std::vector<std::vector<DspGraphEdge>> per_src(static_cast<size_t>(num_dsps));
+  std::vector<long long> visited(static_cast<size_t>(num_dsps), 0);
+  pool.parallel_for_each(num_dsps, [&](int64_t i) {
+    const CellId src = out.dsps[static_cast<size_t>(i)];
     // IDDFS with DSPs opaque: a path may END at a DSP but not pass through
     // one, so edges connect directly dataflow-adjacent DSPs.
     const IddfsResult r =
         iddfs_shortest_paths(g, src, opts.max_depth, is_dsp, is_dsp);
+    visited[static_cast<size_t>(i)] = r.nodes_visited;
     for (size_t j = 0; j < out.dsps.size(); ++j) {
       const CellId dst = out.dsps[j];
       if (dst == src || r.distance[static_cast<size_t>(dst)] == kUnreached) continue;
@@ -67,8 +77,12 @@ DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOpti
             break;
         }
       }
-      out.edges.push_back(e);
+      per_src[static_cast<size_t>(i)].push_back(e);
     }
+  });
+  for (size_t i = 0; i < per_src.size(); ++i) {
+    out.nodes_visited += visited[i];
+    out.edges.insert(out.edges.end(), per_src[i].begin(), per_src[i].end());
   }
 
   out.adj.assign(out.dsps.size(), {});
@@ -79,6 +93,7 @@ DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOpti
 
 DspGraph prune_dsp_graph(const DspGraph& graph, const std::vector<char>& keep) {
   DspGraph out;
+  out.nodes_visited = graph.nodes_visited;
   std::vector<int> remap(static_cast<size_t>(graph.num_nodes()), -1);
   for (int i = 0; i < graph.num_nodes(); ++i) {
     const CellId c = graph.dsps[static_cast<size_t>(i)];

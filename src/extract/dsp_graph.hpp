@@ -15,6 +15,8 @@
 
 namespace dsp {
 
+class ThreadPool;
+
 struct DspGraphEdge {
   int from = 0;  // index into DspGraph::dsps
   int to = 0;
@@ -28,6 +30,7 @@ struct DspGraph {
   std::vector<CellId> dsps;       // DSP cells, graph-local index order
   std::vector<DspGraphEdge> edges;
   std::vector<std::vector<int>> adj;  // out-edge indices per local node
+  long long nodes_visited = 0;        // IDDFS expansions spent building it
 
   int num_nodes() const { return static_cast<int>(dsps.size()); }
   int num_edges() const { return static_cast<int>(edges.size()); }
@@ -44,9 +47,12 @@ struct DspGraphOptions {
   int max_depth = 12;  // IDDFS depth bound for DSP-to-DSP paths
 };
 
-/// Builds the full DSP graph (all DSPs, datapath and control).
+/// Builds the full DSP graph (all DSPs, datapath and control). Per-source
+/// IDDFS walks run on `pool` (nullptr: the global pool); the result is
+/// identical for any thread count.
 DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g,
-                         const DspGraphOptions& opts = {});
+                         const DspGraphOptions& opts = {},
+                         ThreadPool* pool = nullptr);
 
 /// Returns a copy containing only the DSPs where keep[cell] is true
 /// (edges between surviving nodes are kept, indices remapped).

@@ -7,23 +7,35 @@
 #include "graph/cycles.hpp"
 #include "graph/traversal.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsp {
+namespace {
+
+// Fixed chunk length for the per-source DSP-distance loop; chunk-ordered
+// reduction keeps feature (g) bit-identical for any thread count.
+constexpr int64_t kSourceGrain = 16;
+
+}  // namespace
 
 Matrix extract_node_features(const Netlist& nl, const Digraph& g,
-                             const FeatureOptions& opts) {
+                             const FeatureOptions& opts, ThreadPool* pool_arg) {
+  ThreadPool& pool = pool_arg != nullptr ? *pool_arg : global_pool();
   const int n = g.num_nodes();
   Matrix f(n, kNumNodeFeatures);
   Rng rng(opts.seed);
   const bool exact = n <= opts.exact_threshold;
 
   const std::vector<double> closeness =
-      exact ? closeness_exact(g) : closeness_sampled(g, opts.centrality_pivots, rng);
+      exact ? closeness_exact(g, &pool)
+            : closeness_sampled(g, opts.centrality_pivots, rng, &pool);
   const std::vector<int> feedback = feedback_scores(g);
   const std::vector<int> ecc =
-      exact ? eccentricity_exact(g) : eccentricity_sampled(g, opts.centrality_pivots, rng);
+      exact ? eccentricity_exact(g, &pool)
+            : eccentricity_sampled(g, opts.centrality_pivots, rng, &pool);
   const std::vector<double> betweenness =
-      exact ? betweenness_exact(g) : betweenness_sampled(g, opts.centrality_pivots, rng);
+      exact ? betweenness_exact(g, &pool)
+            : betweenness_sampled(g, opts.centrality_pivots, rng, &pool);
 
   // Feature (g): mean shortest distance to other DSPs, DSP nodes only.
   std::vector<CellId> dsps = nl.cells_of_type(CellType::kDsp);
@@ -34,16 +46,41 @@ Matrix extract_node_features(const Netlist& nl, const Digraph& g,
     rng.shuffle(sources);
     sources.resize(static_cast<size_t>(opts.dsp_distance_sources));
   }
-  for (CellId s : sources) {
-    const auto dist = bfs_distances_undirected(g, s);
-    for (CellId d : dsps) {
-      if (d == s || dist[static_cast<size_t>(d)] == kUnreached) continue;
-      dsp_dist_sum[static_cast<size_t>(d)] += dist[static_cast<size_t>(d)];
-      ++dsp_dist_cnt[static_cast<size_t>(d)];
+  {
+    const int64_t num_sources = static_cast<int64_t>(sources.size());
+    const int64_t chunks = (num_sources + kSourceGrain - 1) / kSourceGrain;
+    struct Partial {
+      std::vector<double> sum;
+      std::vector<int> cnt;
+    };
+    std::vector<Partial> partial(static_cast<size_t>(chunks));
+    pool.parallel_for(num_sources, kSourceGrain,
+                      [&](int64_t chunk, int64_t begin, int64_t end) {
+                        Partial& p = partial[static_cast<size_t>(chunk)];
+                        p.sum.assign(static_cast<size_t>(n), 0.0);
+                        p.cnt.assign(static_cast<size_t>(n), 0);
+                        for (int64_t k = begin; k < end; ++k) {
+                          const CellId s = sources[static_cast<size_t>(k)];
+                          const auto dist = bfs_distances_undirected(g, s);
+                          for (CellId d : dsps) {
+                            if (d == s || dist[static_cast<size_t>(d)] == kUnreached)
+                              continue;
+                            p.sum[static_cast<size_t>(d)] += dist[static_cast<size_t>(d)];
+                            ++p.cnt[static_cast<size_t>(d)];
+                          }
+                        }
+                      });
+    for (const Partial& p : partial) {
+      for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
+        dsp_dist_sum[v] += p.sum[v];
+        dsp_dist_cnt[v] += p.cnt[v];
+      }
     }
   }
 
-  for (int v = 0; v < n; ++v) {
+  // Per-node assembly: rows are independent, so no reduction concerns.
+  pool.parallel_for_each(n, [&](int64_t vi) {
+    const int v = static_cast<int>(vi);
     f.at(v, 0) = closeness[static_cast<size_t>(v)];
     f.at(v, 1) = static_cast<double>(feedback[static_cast<size_t>(v)]);
     f.at(v, 2) = static_cast<double>(ecc[static_cast<size_t>(v)]);
@@ -53,7 +90,7 @@ Matrix extract_node_features(const Netlist& nl, const Digraph& g,
     f.at(v, 6) = dsp_dist_cnt[static_cast<size_t>(v)] > 0
                      ? dsp_dist_sum[static_cast<size_t>(v)] / dsp_dist_cnt[static_cast<size_t>(v)]
                      : 0.0;
-  }
+  });
 
   // Per-design z-score normalization keeps scales comparable across the
   // leave-one-out designs (different sizes => wildly different raw ranges).

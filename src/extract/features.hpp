@@ -16,6 +16,8 @@
 
 namespace dsp {
 
+class ThreadPool;
+
 inline constexpr int kNumNodeFeatures = 7;
 
 struct FeatureOptions {
@@ -26,9 +28,12 @@ struct FeatureOptions {
 };
 
 /// Computes the feature matrix (num_cells x kNumNodeFeatures) for `nl`
-/// using its lowered graph `g` (pass nl.to_digraph()).
+/// using its lowered graph `g` (pass nl.to_digraph()). The centrality and
+/// DSP-distance loops run on `pool` (nullptr: the global pool) and are
+/// bit-identical for any thread count.
 Matrix extract_node_features(const Netlist& nl, const Digraph& g,
-                             const FeatureOptions& opts = {});
+                             const FeatureOptions& opts = {},
+                             ThreadPool* pool = nullptr);
 
 /// PADE-style *local* features for the SVM baseline: degree, neighbor
 /// cell-type histogram, and a local-regularity (automorphism proxy) score.

@@ -5,9 +5,20 @@
 #include <queue>
 
 #include "graph/traversal.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsp {
 namespace {
+
+// Chunk length for per-source parallel loops. Fixed (independent of the
+// thread count) so the chunk-ordered reduction below sums floating-point
+// partials in the same order for any number of threads — results are
+// bit-identical from 1 thread to N.
+constexpr int64_t kSourceGrain = 16;
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_pool();
+}
 
 // One Brandes source iteration: BFS shortest-path DAG + backward dependency
 // accumulation. Adds this source's contribution into `centrality`.
@@ -57,6 +68,31 @@ void brandes_accumulate(const Digraph& g, int s, std::vector<double>& centrality
   }
 }
 
+// Runs Brandes from each of `sources`, in parallel over fixed chunks, and
+// reduces the per-chunk partial centrality vectors in chunk order.
+std::vector<double> brandes_over_sources(const Digraph& g, const std::vector<int>& sources,
+                                         ThreadPool& pool) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  const int64_t num_sources = static_cast<int64_t>(sources.size());
+  const int64_t chunks = (num_sources + kSourceGrain - 1) / kSourceGrain;
+  std::vector<std::vector<double>> partial(static_cast<size_t>(chunks));
+  pool.parallel_for(num_sources, kSourceGrain,
+                    [&](int64_t chunk, int64_t begin, int64_t end) {
+                      auto& acc = partial[static_cast<size_t>(chunk)];
+                      acc.assign(n, 0.0);
+                      std::vector<int> dist(n);
+                      std::vector<double> sigma(n), delta(n);
+                      std::vector<std::vector<int>> preds(n);
+                      for (int64_t k = begin; k < end; ++k)
+                        brandes_accumulate(g, sources[static_cast<size_t>(k)], acc, dist,
+                                           sigma, delta, preds);
+                    });
+  std::vector<double> centrality(n, 0.0);
+  for (const auto& acc : partial)
+    for (size_t v = 0; v < n; ++v) centrality[v] += acc[v];
+  return centrality;
+}
+
 std::vector<int> pick_pivots(int n, int num_pivots, Rng& rng) {
   std::vector<int> ids(static_cast<size_t>(n));
   std::iota(ids.begin(), ids.end(), 0);
@@ -67,62 +103,79 @@ std::vector<int> pick_pivots(int n, int num_pivots, Rng& rng) {
 
 }  // namespace
 
-std::vector<double> betweenness_exact(const Digraph& g) {
-  const size_t n = static_cast<size_t>(g.num_nodes());
-  std::vector<double> centrality(n, 0.0);
-  std::vector<int> dist(n);
-  std::vector<double> sigma(n), delta(n);
-  std::vector<std::vector<int>> preds(n);
-  for (int s = 0; s < g.num_nodes(); ++s)
-    brandes_accumulate(g, s, centrality, dist, sigma, delta, preds);
+std::vector<double> betweenness_exact(const Digraph& g, ThreadPool* pool) {
+  std::vector<int> sources(static_cast<size_t>(g.num_nodes()));
+  std::iota(sources.begin(), sources.end(), 0);
+  std::vector<double> centrality = brandes_over_sources(g, sources, pool_or_global(pool));
   // Each unordered pair {u,w} was counted from both endpoints.
   for (auto& c : centrality) c *= 0.5;
   return centrality;
 }
 
-std::vector<double> betweenness_sampled(const Digraph& g, int num_pivots, Rng& rng) {
-  const size_t n = static_cast<size_t>(g.num_nodes());
-  std::vector<double> centrality(n, 0.0);
-  if (n == 0) return centrality;
-  std::vector<int> dist(n);
-  std::vector<double> sigma(n), delta(n);
-  std::vector<std::vector<int>> preds(n);
+std::vector<double> betweenness_sampled(const Digraph& g, int num_pivots, Rng& rng,
+                                        ThreadPool* pool) {
+  if (g.num_nodes() == 0) return {};
   const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
-  for (int s : pivots) brandes_accumulate(g, s, centrality, dist, sigma, delta, preds);
+  std::vector<double> centrality = brandes_over_sources(g, pivots, pool_or_global(pool));
   const double scale =
       0.5 * static_cast<double>(g.num_nodes()) / static_cast<double>(pivots.size());
   for (auto& c : centrality) c *= scale;
   return centrality;
 }
 
-std::vector<double> closeness_exact(const Digraph& g) {
+std::vector<double> closeness_exact(const Digraph& g, ThreadPool* pool) {
   const size_t n = static_cast<size_t>(g.num_nodes());
   std::vector<double> closeness(n, 0.0);
-  for (int v = 0; v < g.num_nodes(); ++v) {
-    const auto dist = bfs_distances_undirected(g, v);
+  // Per-node independent BFS: no cross-node reduction, so chunking is free
+  // to load-balance.
+  pool_or_global(pool).parallel_for_each(g.num_nodes(), [&](int64_t v) {
+    const auto dist = bfs_distances_undirected(g, static_cast<int>(v));
     long long sum = 0;
     for (int u = 0; u < g.num_nodes(); ++u)
       if (u != v && dist[static_cast<size_t>(u)] != kUnreached)
         sum += dist[static_cast<size_t>(u)];
     if (sum > 0) closeness[static_cast<size_t>(v)] = 1.0 / static_cast<double>(sum);
-  }
+  });
   return closeness;
 }
 
-std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng) {
+std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool) {
   const size_t n = static_cast<size_t>(g.num_nodes());
   std::vector<double> closeness(n, 0.0);
   if (n == 0) return closeness;
   const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
   // Accumulate distance sums to the pivots, then extrapolate to all nodes.
+  // Chunk-ordered reduction keeps the (integer-valued, thus exact anyway)
+  // double sums thread-count invariant.
+  const int64_t num_pivots_used = static_cast<int64_t>(pivots.size());
+  const int64_t chunks = (num_pivots_used + kSourceGrain - 1) / kSourceGrain;
+  struct Partial {
+    std::vector<double> sum;
+    std::vector<int> reached;
+  };
+  std::vector<Partial> partial(static_cast<size_t>(chunks));
+  pool_or_global(pool).parallel_for(
+      num_pivots_used, kSourceGrain, [&](int64_t chunk, int64_t begin, int64_t end) {
+        Partial& p = partial[static_cast<size_t>(chunk)];
+        p.sum.assign(n, 0.0);
+        p.reached.assign(n, 0);
+        for (int64_t k = begin; k < end; ++k) {
+          const int s = pivots[static_cast<size_t>(k)];
+          const auto dist = bfs_distances_undirected(g, s);
+          for (int v = 0; v < g.num_nodes(); ++v) {
+            if (v == s || dist[static_cast<size_t>(v)] == kUnreached) continue;
+            p.sum[static_cast<size_t>(v)] += dist[static_cast<size_t>(v)];
+            ++p.reached[static_cast<size_t>(v)];
+          }
+        }
+      });
   std::vector<double> sum(n, 0.0);
   std::vector<int> reached(n, 0);
-  for (int s : pivots) {
-    const auto dist = bfs_distances_undirected(g, s);
-    for (int v = 0; v < g.num_nodes(); ++v) {
-      if (v == s || dist[static_cast<size_t>(v)] == kUnreached) continue;
-      sum[static_cast<size_t>(v)] += dist[static_cast<size_t>(v)];
-      ++reached[static_cast<size_t>(v)];
+  for (const Partial& p : partial) {
+    for (size_t v = 0; v < n; ++v) {
+      sum[v] += p.sum[v];
+      reached[v] += p.reached[v];
     }
   }
   for (size_t v = 0; v < n; ++v) {
@@ -135,33 +188,47 @@ std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng
   return closeness;
 }
 
-std::vector<int> eccentricity_exact(const Digraph& g) {
+std::vector<int> eccentricity_exact(const Digraph& g, ThreadPool* pool) {
   const size_t n = static_cast<size_t>(g.num_nodes());
   std::vector<int> ecc(n, 0);
-  for (int v = 0; v < g.num_nodes(); ++v) {
-    const auto dist = bfs_distances_undirected(g, v);
+  pool_or_global(pool).parallel_for_each(g.num_nodes(), [&](int64_t v) {
+    const auto dist = bfs_distances_undirected(g, static_cast<int>(v));
     int mx = 0;
     for (int u = 0; u < g.num_nodes(); ++u)
       if (dist[static_cast<size_t>(u)] != kUnreached)
         mx = std::max(mx, dist[static_cast<size_t>(u)]);
     ecc[static_cast<size_t>(v)] = mx;
-  }
+  });
   return ecc;
 }
 
-std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng) {
+std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool) {
   const size_t n = static_cast<size_t>(g.num_nodes());
   std::vector<int> ecc(n, 0);
   if (n == 0) return ecc;
   const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
-  for (int s : pivots) {
-    const auto dist = bfs_distances_undirected(g, s);
-    // d(v,s) lower-bounds ecc(v); max over pivots is the standard estimator.
-    for (int v = 0; v < g.num_nodes(); ++v)
-      if (dist[static_cast<size_t>(v)] != kUnreached)
-        ecc[static_cast<size_t>(v)] =
-            std::max(ecc[static_cast<size_t>(v)], dist[static_cast<size_t>(v)]);
-  }
+  // max() over pivots is order-independent, so per-chunk partial maxima
+  // combined in any order are exact.
+  const int64_t num_pivots_used = static_cast<int64_t>(pivots.size());
+  const int64_t chunks = (num_pivots_used + kSourceGrain - 1) / kSourceGrain;
+  std::vector<std::vector<int>> partial(static_cast<size_t>(chunks));
+  pool_or_global(pool).parallel_for(
+      num_pivots_used, kSourceGrain, [&](int64_t chunk, int64_t begin, int64_t end) {
+        auto& p = partial[static_cast<size_t>(chunk)];
+        p.assign(n, 0);
+        for (int64_t k = begin; k < end; ++k) {
+          const auto dist = bfs_distances_undirected(g, pivots[static_cast<size_t>(k)]);
+          // d(v,s) lower-bounds ecc(v); max over pivots is the standard
+          // estimator.
+          for (int v = 0; v < g.num_nodes(); ++v)
+            if (dist[static_cast<size_t>(v)] != kUnreached)
+              p[static_cast<size_t>(v)] =
+                  std::max(p[static_cast<size_t>(v)], dist[static_cast<size_t>(v)]);
+        }
+      });
+  for (const auto& p : partial)
+    for (size_t v = 0; v < n; ++v) ecc[v] = std::max(ecc[v], p[v]);
   return ecc;
 }
 

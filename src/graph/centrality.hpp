@@ -6,6 +6,11 @@
 //
 // All metrics treat the graph as UNDIRECTED and UNWEIGHTED, matching the
 // paper's netlist graph representation.
+//
+// Every entry point runs its per-source loop on a ThreadPool (`pool`
+// argument; nullptr uses the process-global pool). Reductions are chunked
+// with thread-count-independent boundaries and combined in chunk order, so
+// every function returns bit-identical results for any thread count.
 #pragma once
 
 #include <vector>
@@ -15,29 +20,34 @@
 
 namespace dsp {
 
+class ThreadPool;
+
 /// Exact betweenness centrality via Brandes' algorithm, O(V*E).
 /// Endpoint pairs are unordered; values match Definition 1 up to the
 /// standard factor 1/2 applied to undirected graphs.
-std::vector<double> betweenness_exact(const Digraph& g);
+std::vector<double> betweenness_exact(const Digraph& g, ThreadPool* pool = nullptr);
 
 /// Pivot-sampled betweenness: runs Brandes' dependency accumulation from
 /// `num_pivots` random sources and scales by n/num_pivots. Unbiased
 /// estimator of betweenness_exact.
-std::vector<double> betweenness_sampled(const Digraph& g, int num_pivots, Rng& rng);
+std::vector<double> betweenness_sampled(const Digraph& g, int num_pivots, Rng& rng,
+                                        ThreadPool* pool = nullptr);
 
 /// Exact closeness centrality per Definition 2. For nodes that cannot reach
 /// the whole graph the sum runs over reachable nodes only (and isolated
 /// nodes get 0), mirroring NetworkX's per-component convention.
-std::vector<double> closeness_exact(const Digraph& g);
+std::vector<double> closeness_exact(const Digraph& g, ThreadPool* pool = nullptr);
 
 /// Sampled closeness from `num_pivots` BFS sources.
-std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng);
+std::vector<double> closeness_sampled(const Digraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool = nullptr);
 
 /// Exact eccentricity per Definition 3 (max shortest-path distance to any
 /// reachable node; 0 for isolated nodes).
-std::vector<int> eccentricity_exact(const Digraph& g);
+std::vector<int> eccentricity_exact(const Digraph& g, ThreadPool* pool = nullptr);
 
 /// Sampled lower-bound eccentricity: max distance to the sampled pivots.
-std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng);
+std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace dsp

@@ -83,6 +83,7 @@ IddfsResult iddfs_shortest_paths(const Digraph& g, int source, int max_depth,
     std::function<void(int, int)> dls = [&](int u, int depth) {
       if (depth >= best_depth[static_cast<size_t>(u)]) return;
       best_depth[static_cast<size_t>(u)] = depth;
+      ++result.nodes_visited;
       stack.push_back(u);
       if (u != source && is_target(u) &&
           result.distance[static_cast<size_t>(u)] == kUnreached && depth == limit) {

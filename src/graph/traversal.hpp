@@ -32,6 +32,7 @@ std::vector<int> dfs_preorder(const Digraph& g, int source);
 struct IddfsResult {
   std::vector<int> distance;                // indexed by node id; kUnreached if not found
   std::vector<std::vector<int>> path;       // indexed by node id; empty if not found
+  long long nodes_visited = 0;              // DLS expansions across all deepening passes
 };
 
 /// Iterative-deepening DFS from `source`, directed edges, exploring depths

@@ -1,6 +1,7 @@
 #include "placer/host_placer.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "timing/sta.hpp"
 #include "util/log.hpp"
@@ -37,19 +38,25 @@ void HostPlacer::global_and_legalize(Placement& pl, bool freeze_dsps) {
   if (!net_weight_scale_.empty()) qopts.net_weight_scale = &net_weight_scale_;
   SpreaderOptions sopts = opts_.spread;
   sopts.move_dsps = !freeze_dsps;
-  for (int it = 0; it < opts_.global_iterations; ++it) {
-    // Anchored loop: the first solve is pure wirelength; later solves pull
-    // toward the spread result with growing strength so density sticks.
-    qopts.pseudo_anchor_weight = it == 0 ? 0.0 : 0.05 * static_cast<double>(it);
+  {
+    std::optional<ScopedStage> scope;
+    if (trace_ != nullptr) scope.emplace(*trace_, "qplace+spread");
+    for (int it = 0; it < opts_.global_iterations; ++it) {
+      // Anchored loop: the first solve is pure wirelength; later solves pull
+      // toward the spread result with growing strength so density sticks.
+      qopts.pseudo_anchor_weight = it == 0 ? 0.0 : 0.05 * static_cast<double>(it);
+      quadratic_place(nl_, dev_, pl, qopts);
+      spread_cells(nl_, dev_, pl, sopts);
+    }
+    // Final anchored solve recovers wirelength, then one more spread so the
+    // legalizer starts from a density-feasible state (ring displacement stays
+    // local).
+    qopts.pseudo_anchor_weight = 0.12;
     quadratic_place(nl_, dev_, pl, qopts);
     spread_cells(nl_, dev_, pl, sopts);
   }
-  // Final anchored solve recovers wirelength, then one more spread so the
-  // legalizer starts from a density-feasible state (ring displacement stays
-  // local).
-  qopts.pseudo_anchor_weight = 0.12;
-  quadratic_place(nl_, dev_, pl, qopts);
-  spread_cells(nl_, dev_, pl, sopts);
+  std::optional<ScopedStage> scope;
+  if (trace_ != nullptr) scope.emplace(*trace_, "legalize logic");
   legalize_logic(nl_, dev_, pl);
   if (opts_.detail_refine) refine_detail(nl_, dev_, pl, opts_.refine);
 }
@@ -68,14 +75,22 @@ Placement HostPlacer::place_full() {
 
   global_and_legalize(pl, /*freeze_dsps=*/false);
 
-  DspBaselineOptions dsp_opts;
-  dsp_opts.mode = opts_.mode == HostMode::kVivadoLike ? DspBaselineMode::kVivadoLike
-                                                      : DspBaselineMode::kAmfLike;
-  dsp_opts.seed = opts_.seed;
-  if (!legalize_dsps_baseline(nl_, dev_, pl, dsp_opts))
-    LOG_ERROR("host", "baseline DSP legalization failed (device too small?)");
+  {
+    std::optional<ScopedStage> scope;
+    if (trace_ != nullptr) scope.emplace(*trace_, "dsp baseline");
+    DspBaselineOptions dsp_opts;
+    dsp_opts.mode = opts_.mode == HostMode::kVivadoLike ? DspBaselineMode::kVivadoLike
+                                                        : DspBaselineMode::kAmfLike;
+    dsp_opts.seed = opts_.seed;
+    if (!legalize_dsps_baseline(nl_, dev_, pl, dsp_opts))
+      LOG_ERROR("host", "baseline DSP legalization failed (device too small?)");
+  }
 
-  for (int t = 0; t < opts_.timing_driven_iterations; ++t) timing_driven_round(pl);
+  for (int t = 0; t < opts_.timing_driven_iterations; ++t) {
+    std::optional<ScopedStage> scope;
+    if (trace_ != nullptr) scope.emplace(*trace_, "timing round");
+    timing_driven_round(pl);
+  }
   return pl;
 }
 

@@ -16,6 +16,7 @@
 #include "placer/legalizer.hpp"
 #include "placer/qplace.hpp"
 #include "placer/spreader.hpp"
+#include "util/trace.hpp"
 
 namespace dsp {
 
@@ -54,6 +55,11 @@ class HostPlacer {
 
   const HostPlacerOptions& options() const { return opts_; }
 
+  /// Optional instrumentation: sub-steps (global+spread, legalize, DSP
+  /// baseline, timing rounds) are recorded as children of the trace's
+  /// current stage. The trace must outlive the placer. nullptr disables.
+  void set_trace(RunTrace* trace) { trace_ = trace; }
+
  private:
   void global_and_legalize(Placement& pl, bool freeze_dsps);
   /// One timing-driven round: STA -> boost weights of nets feeding failing
@@ -64,6 +70,7 @@ class HostPlacer {
   const Device& dev_;
   HostPlacerOptions opts_;
   std::vector<double> net_weight_scale_;
+  RunTrace* trace_ = nullptr;
 };
 
 }  // namespace dsp

@@ -1,0 +1,152 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace dsp {
+namespace {
+
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+bool ThreadPool::inside_worker() { return t_inside_worker; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = default_threads();
+  const int workers = std::max(0, num_threads - 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(int64_t n, int64_t grain,
+                              const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  if (grain <= 0) {
+    const int64_t lanes = num_threads();
+    grain = std::max<int64_t>(1, (n + 4 * lanes - 1) / (4 * lanes));
+  }
+  const int64_t chunks = (n + grain - 1) / grain;
+
+  // Serial fast path: no workers, a single chunk, or a nested call from a
+  // worker thread (running inline avoids queue deadlock).
+  if (workers_.empty() || chunks == 1 || inside_worker()) {
+    for (int64_t c = 0; c < chunks; ++c)
+      body(c, c * grain, std::min(n, (c + 1) * grain));
+    return;
+  }
+
+  struct Batch {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+
+  // Shared by the caller and the queued helper tasks. Helpers hold their
+  // own copies of everything (a task may fire after the caller returned,
+  // once all chunks are claimed; it must not touch caller stack state).
+  auto drain = [batch, body, grain, n, chunks, this] {
+    active_.fetch_add(1, std::memory_order_relaxed);
+    int cur = active_.load(std::memory_order_relaxed);
+    int peak = peak_.load(std::memory_order_relaxed);
+    while (cur > peak && !peak_.compare_exchange_weak(peak, cur)) {
+    }
+    for (;;) {
+      const int64_t c = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      try {
+        body(c, c * grain, std::min(n, (c + 1) * grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch->mu);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->cv.notify_all();
+      }
+    }
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < helpers; ++i) tasks_.push(drain);
+  }
+  cv_.notify_all();
+
+  drain();  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] { return batch->done.load() == chunks; });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+}
+
+void ThreadPool::parallel_for_each(int64_t n, const std::function<void(int64_t)>& fn) {
+  parallel_for(n, 0, [&fn](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+int default_threads() {
+  if (const char* env = std::getenv("DSPLACER_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_pool;
+}
+
+void set_global_threads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool = std::make_unique<ThreadPool>(n > 0 ? n : default_threads());
+}
+
+}  // namespace dsp

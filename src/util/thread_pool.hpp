@@ -1,0 +1,88 @@
+// A small fixed-size thread pool with a chunked parallel_for, used by the
+// flow's embarrassingly-parallel kernels (per-source Brandes, per-node
+// feature assembly, per-source IDDFS, per-DSP MCF arc construction).
+//
+// Determinism contract: parallel_for partitions [0, n) into chunks whose
+// boundaries depend ONLY on n and the `grain` argument — never on the
+// thread count or on scheduling. A kernel that accumulates floating-point
+// partials per chunk and reduces them in chunk order therefore produces
+// bit-identical results for any number of threads, including one.
+//
+// There is no work stealing: chunks are claimed from a shared atomic
+// counter, the calling thread participates, and nested parallel_for calls
+// from inside a worker run inline (serially), so nesting cannot deadlock.
+// The first exception thrown by a chunk is rethrown on the calling thread
+// after the loop drains.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dsp {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread: a pool of N runs loop bodies
+  /// on N-1 workers plus the caller. 0 (and 1) mean fully serial.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread); always >= 1.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(chunk_index, begin, end) over the chunked range [0, n).
+  /// `grain` is the chunk length; pass an explicit value when the caller
+  /// reduces per-chunk partials (see the determinism contract above).
+  /// grain <= 0 picks a load-balancing default that may depend on the
+  /// thread count — only safe for order-independent bodies.
+  void parallel_for(int64_t n, int64_t grain,
+                    const std::function<void(int64_t, int64_t, int64_t)>& body);
+
+  /// Convenience: runs fn(i) for each i in [0, n) with independent
+  /// iterations (no reduction); chunking is unspecified.
+  void parallel_for_each(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// High-water mark of lanes simultaneously executing chunks since the
+  /// last reset_peak(); instrumentation only.
+  int peak_active() const { return peak_.load(std::memory_order_relaxed); }
+  void reset_peak() { peak_.store(0, std::memory_order_relaxed); }
+
+  /// True when the current thread is one of this process's pool workers
+  /// (any pool); nested parallel loops detect this and run inline.
+  static bool inside_worker();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::atomic<int> active_{0};
+  std::atomic<int> peak_{0};
+};
+
+/// Threads to use when nothing was configured: the DSPLACER_THREADS
+/// environment variable if set to a positive integer, else
+/// hardware_concurrency (min 1).
+int default_threads();
+
+/// The process-wide pool used by kernels when no pool is passed
+/// explicitly. Created on first use with default_threads() lanes.
+ThreadPool& global_pool();
+
+/// Replaces the global pool with one of `n` lanes (n <= 0 restores the
+/// default). Not safe to call while a parallel_for is in flight.
+void set_global_threads(int n);
+
+}  // namespace dsp

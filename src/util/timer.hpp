@@ -3,8 +3,8 @@
 #pragma once
 
 #include <chrono>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dsp {
@@ -30,7 +30,15 @@ class Timer {
 /// instance per run to produce the runtime-breakdown report (paper Fig. 8).
 class PhaseProfile {
  public:
-  void add(const std::string& phase, double seconds) { acc_[phase] += seconds; }
+  void add(const std::string& phase, double seconds) {
+    for (auto& [k, v] : acc_) {
+      if (k == phase) {
+        v += seconds;
+        return;
+      }
+    }
+    acc_.emplace_back(phase, seconds);
+  }
 
   double total() const {
     double t = 0;
@@ -39,17 +47,17 @@ class PhaseProfile {
   }
 
   double seconds(const std::string& phase) const {
-    auto it = acc_.find(phase);
-    return it == acc_.end() ? 0.0 : it->second;
+    for (const auto& [k, v] : acc_)
+      if (k == phase) return v;
+    return 0.0;
   }
 
-  /// Phases in insertion-independent (sorted) order with their share of total.
-  std::vector<std::pair<std::string, double>> entries() const {
-    return {acc_.begin(), acc_.end()};
-  }
+  /// Phases in first-insertion order (the order the flow entered them),
+  /// so Fig. 8 reports stages in pipeline order regardless of name.
+  const std::vector<std::pair<std::string, double>>& entries() const { return acc_; }
 
  private:
-  std::map<std::string, double> acc_;
+  std::vector<std::pair<std::string, double>> acc_;
 };
 
 /// RAII helper: times a scope and adds the duration to a PhaseProfile.

@@ -1,0 +1,206 @@
+#include "util/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace dsp {
+
+TraceNode& TraceNode::operator=(const TraceNode& other) {
+  if (this == &other) return *this;
+  name = other.name;
+  seconds = other.seconds;
+  entered = other.entered;
+  counters = other.counters;
+  children.clear();
+  children.reserve(other.children.size());
+  for (const auto& c : other.children)
+    children.push_back(std::make_unique<TraceNode>(*c));
+  return *this;
+}
+
+TraceNode& TraceNode::child(const std::string& child_name) {
+  for (auto& c : children)
+    if (c->name == child_name) return *c;
+  children.push_back(std::make_unique<TraceNode>(child_name));
+  return *children.back();
+}
+
+const TraceNode* TraceNode::find(const std::string& child_name) const {
+  for (const auto& c : children)
+    if (c->name == child_name) return c.get();
+  return nullptr;
+}
+
+void TraceNode::add_counter(const std::string& counter, int64_t delta) {
+  for (auto& [k, v] : counters) {
+    if (k == counter) {
+      v += delta;
+      return;
+    }
+  }
+  counters.emplace_back(counter, delta);
+}
+
+void TraceNode::max_counter(const std::string& counter, int64_t value) {
+  for (auto& [k, v] : counters) {
+    if (k == counter) {
+      if (value > v) v = value;
+      return;
+    }
+  }
+  counters.emplace_back(counter, value);
+}
+
+int64_t TraceNode::counter(const std::string& counter) const {
+  for (const auto& [k, v] : counters)
+    if (k == counter) return v;
+  return 0;
+}
+
+namespace {
+
+void json_escape(const std::string& s, std::ostringstream& out) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out << '\\';
+    out << ch;
+  }
+}
+
+void node_to_json(const TraceNode& n, std::ostringstream& out) {
+  char num[64];
+  std::snprintf(num, sizeof num, "%.9g", n.seconds);
+  out << "{\"name\":\"";
+  json_escape(n.name, out);
+  out << "\",\"seconds\":" << num << ",\"entered\":" << n.entered
+      << ",\"counters\":{";
+  for (size_t i = 0; i < n.counters.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"';
+    json_escape(n.counters[i].first, out);
+    out << "\":" << n.counters[i].second;
+  }
+  out << "},\"children\":[";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (i > 0) out << ',';
+    node_to_json(*n.children[i], out);
+  }
+  out << "]}";
+}
+
+// Minimal recursive-descent parser for the subset node_to_json emits.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      out->push_back(text[pos++]);
+    }
+    return expect('"');
+  }
+  bool parse_number(double* out) {
+    skip_ws();
+    const size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '-' ||
+            text[pos] == '+' || text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    if (pos == start) return false;
+    *out = std::atof(text.substr(start, pos - start).c_str());
+    return true;
+  }
+  bool parse_node(TraceNode* node) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!parse_string(&key) || !expect(':')) return false;
+      if (key == "name") {
+        if (!parse_string(&node->name)) return false;
+      } else if (key == "seconds") {
+        if (!parse_number(&node->seconds)) return false;
+      } else if (key == "entered") {
+        double v = 0;
+        if (!parse_number(&v)) return false;
+        node->entered = static_cast<int64_t>(v);
+      } else if (key == "counters") {
+        if (!expect('{')) return false;
+        bool cfirst = true;
+        while (!peek('}')) {
+          if (!cfirst && !expect(',')) return false;
+          cfirst = false;
+          std::string ck;
+          double cv = 0;
+          if (!parse_string(&ck) || !expect(':') || !parse_number(&cv)) return false;
+          node->counters.emplace_back(ck, static_cast<int64_t>(cv));
+        }
+        if (!expect('}')) return false;
+      } else if (key == "children") {
+        if (!expect('[')) return false;
+        bool afirst = true;
+        while (!peek(']')) {
+          if (!afirst && !expect(',')) return false;
+          afirst = false;
+          auto c = std::make_unique<TraceNode>();
+          if (!parse_node(c.get())) return false;
+          node->children.push_back(std::move(c));
+        }
+        if (!expect(']')) return false;
+      } else {
+        return false;  // unknown key: not a trace document
+      }
+    }
+    return expect('}');
+  }
+};
+
+}  // namespace
+
+std::string TraceNode::to_json() const {
+  std::ostringstream out;
+  node_to_json(*this, out);
+  return out.str();
+}
+
+bool trace_from_json(const std::string& text, TraceNode* out) {
+  Parser p{text};
+  TraceNode parsed;
+  if (!p.parse_node(&parsed)) return false;
+  p.skip_ws();
+  if (p.pos != text.size()) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+void RunTrace::begin(const std::string& name) {
+  TraceNode& c = current().child(name);
+  ++c.entered;
+  stack_.push_back(&c);
+}
+
+void RunTrace::end(double seconds) {
+  if (stack_.size() <= 1) return;  // root cannot be closed
+  stack_.back()->seconds += seconds;
+  stack_.pop_back();
+}
+
+}  // namespace dsp

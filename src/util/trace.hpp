@@ -1,0 +1,120 @@
+// Structured run instrumentation: a nested tree of named stages, each with
+// accumulated wall time and ordered integer counters (nodes visited, MCF
+// arcs, ILP pivots, peak threads, ...). The DSPlacer flow records one
+// RunTrace per run; the CLI exports it as JSON (--trace out.json) and
+// bench_fig8 consumes the JSON for the Fig. 8 stage table.
+//
+// Re-entering a stage name under the same parent accumulates into the
+// existing node (the flow's DspPlace/Replace alternation folds its outer
+// iterations into one node each, like the flat Fig. 8 profile).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace dsp {
+
+struct TraceNode {
+  std::string name;
+  double seconds = 0.0;
+  int64_t entered = 0;  // times this stage was opened
+  std::vector<std::pair<std::string, int64_t>> counters;  // insertion order
+  std::vector<std::unique_ptr<TraceNode>> children;       // insertion order
+
+  TraceNode() = default;
+  explicit TraceNode(std::string n) : name(std::move(n)) {}
+  TraceNode(const TraceNode& other) { *this = other; }
+  TraceNode& operator=(const TraceNode& other);
+  TraceNode(TraceNode&&) = default;
+  TraceNode& operator=(TraceNode&&) = default;
+
+  /// Child with this name, created (appended) if absent.
+  TraceNode& child(const std::string& child_name);
+  /// Child lookup without creation; nullptr if absent.
+  const TraceNode* find(const std::string& child_name) const;
+
+  /// Adds `delta` to the named counter, creating it at the end on first use.
+  void add_counter(const std::string& counter, int64_t delta);
+  /// Sets the named counter to the maximum of its current value and `value`.
+  void max_counter(const std::string& counter, int64_t value);
+  int64_t counter(const std::string& counter) const;
+
+  /// Serializes this subtree as a JSON object.
+  std::string to_json() const;
+};
+
+/// Parses a TraceNode JSON document produced by to_json(). Returns false on
+/// malformed input (only the subset to_json emits is supported).
+bool trace_from_json(const std::string& text, TraceNode* out);
+
+/// A RunTrace is a TraceNode tree plus a cursor for scoped begin/end.
+class RunTrace {
+ public:
+  explicit RunTrace(std::string root_name = "dsplacer")
+      : root_(std::move(root_name)) {
+    stack_.push_back(&root_);
+  }
+  RunTrace(const RunTrace& other) { *this = other; }
+  RunTrace& operator=(const RunTrace& other) {
+    root_ = other.root_;
+    stack_.assign(1, &root_);
+    return *this;
+  }
+
+  TraceNode& root() { return root_; }
+  const TraceNode& root() const { return root_; }
+  /// The innermost open stage (the root when none is open).
+  TraceNode& current() { return *stack_.back(); }
+
+  /// Opens (or re-enters) the named child stage of the current one.
+  void begin(const std::string& name);
+  /// Closes the innermost stage, accumulating `seconds` into it.
+  void end(double seconds);
+
+  /// Counter helpers applied to the innermost open stage.
+  void add_counter(const std::string& name, int64_t delta) {
+    current().add_counter(name, delta);
+  }
+  void max_counter(const std::string& name, int64_t value) {
+    current().max_counter(name, value);
+  }
+
+  std::string to_json() const { return root_.to_json(); }
+
+ private:
+  TraceNode root_;
+  std::vector<TraceNode*> stack_;
+};
+
+/// RAII stage scope: begin on construction, end (with elapsed wall time) on
+/// destruction. Optionally mirrors the duration into a flat PhaseProfile
+/// bucket so the Fig. 8 view stays in sync with the tree.
+class ScopedStage {
+ public:
+  ScopedStage(RunTrace& trace, std::string name, PhaseProfile* flat = nullptr,
+              std::string flat_phase = "")
+      : trace_(trace), flat_(flat),
+        flat_phase_(flat_phase.empty() ? name : std::move(flat_phase)) {
+    trace_.begin(name);
+  }
+  ~ScopedStage() {
+    const double s = timer_.seconds();
+    trace_.end(s);
+    if (flat_ != nullptr) flat_->add(flat_phase_, s);
+  }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  RunTrace& trace_;
+  PhaseProfile* flat_;
+  std::string flat_phase_;
+  Timer timer_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,244 @@
+// ThreadPool mechanics and the determinism contract: every parallel kernel
+// must return bit-identical results for 1, 2, and 8 lanes (chunk boundaries
+// depend only on n and grain; partials reduce in chunk order).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/mcf_assign.hpp"
+#include "extract/dsp_graph.hpp"
+#include "extract/features.hpp"
+#include "graph/centrality.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for_each(n, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+    for (int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount) {
+  auto boundaries = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<int64_t, int64_t>> out(100, {-1, -1});
+    std::mutex mu;
+    pool.parallel_for(1000, 16, [&](int64_t chunk, int64_t begin, int64_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      out[static_cast<size_t>(chunk)] = {begin, end};
+    });
+    return out;
+  };
+  const auto one = boundaries(1);
+  EXPECT_EQ(boundaries(2), one);
+  EXPECT_EQ(boundaries(8), one);
+  // Grain 16 over 1000 -> 63 chunks, last one short.
+  EXPECT_EQ(one[62], (std::pair<int64_t, int64_t>{992, 1000}));
+  EXPECT_EQ(one[63], (std::pair<int64_t, int64_t>{-1, -1}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_each(100,
+                                      [&](int64_t i) {
+                                        if (i == 37) throw std::runtime_error("chunk 37");
+                                      }),
+               std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<int64_t> sum{0};
+  pool.parallel_for_each(10, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for_each(8, [&](int64_t) {
+    // Inner loops from worker threads run inline; this must complete.
+    pool.parallel_for_each(8, [&](int64_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SerialPoolHasOneLane) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t sum = 0;  // serial execution: no synchronization needed
+  pool.parallel_for(100, 7, [&](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, PeakActiveIsTracked) {
+  ThreadPool pool(2);
+  pool.reset_peak();
+  EXPECT_EQ(pool.peak_active(), 0);
+  pool.parallel_for_each(64, [](int64_t) {});
+  EXPECT_GE(pool.peak_active(), 1);
+  EXPECT_LE(pool.peak_active(), 2);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("DSPLACER_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3);
+  ::setenv("DSPLACER_THREADS", "not-a-number", 1);
+  EXPECT_GE(default_threads(), 1);
+  ::unsetenv("DSPLACER_THREADS");
+  EXPECT_GE(default_threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel determinism across thread counts
+// ---------------------------------------------------------------------------
+
+Digraph random_graph(int n, int extra_edges, uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(rng.uniform_int(0, i - 1), i);
+  for (int e = 0; e < extra_edges; ++e)
+    g.add_edge_unique(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+  return g;
+}
+
+/// Runs `kernel` with pools of 1, 2, and 8 lanes and requires all three
+/// results to compare equal (operator== on vectors is bitwise for doubles).
+template <typename Fn>
+void expect_identical_across_pools(Fn kernel) {
+  ThreadPool p1(1), p2(2), p8(8);
+  const auto r1 = kernel(&p1);
+  const auto r2 = kernel(&p2);
+  const auto r8 = kernel(&p8);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r8);
+}
+
+TEST(ParallelDeterminism, BetweennessExact) {
+  const Digraph g = random_graph(180, 240, 11);
+  expect_identical_across_pools([&](ThreadPool* p) { return betweenness_exact(g, p); });
+}
+
+TEST(ParallelDeterminism, BetweennessSampled) {
+  const Digraph g = random_graph(400, 700, 12);
+  expect_identical_across_pools([&](ThreadPool* p) {
+    Rng rng(21);  // fresh RNG per run: pivot choice must match too
+    return betweenness_sampled(g, 48, rng, p);
+  });
+}
+
+TEST(ParallelDeterminism, ClosenessExactAndSampled) {
+  const Digraph g = random_graph(220, 300, 13);
+  expect_identical_across_pools([&](ThreadPool* p) { return closeness_exact(g, p); });
+  expect_identical_across_pools([&](ThreadPool* p) {
+    Rng rng(22);
+    return closeness_sampled(g, 40, rng, p);
+  });
+}
+
+TEST(ParallelDeterminism, EccentricitySampled) {
+  const Digraph g = random_graph(260, 350, 14);
+  expect_identical_across_pools([&](ThreadPool* p) {
+    Rng rng(23);
+    return eccentricity_sampled(g, 40, rng, p);
+  });
+}
+
+/// A dataflow-shaped netlist: `num_dsps` DSP chains fed from a PS port with
+/// LUT/FF stages between DSPs, big enough for multi-chunk parallel loops.
+Netlist chain_netlist(int num_dsps) {
+  Netlist nl("par");
+  const CellId a = nl.add_cell("anchor", CellType::kPsPort);
+  nl.set_fixed(a, 1.0, 14.0);
+  CellId prev = a;
+  for (int i = 0; i < num_dsps; ++i) {
+    const CellId lut = nl.add_cell("l" + std::to_string(i), CellType::kLut);
+    const CellId ff = nl.add_cell("f" + std::to_string(i), CellType::kFlipFlop);
+    const CellId d = nl.add_cell("d" + std::to_string(i), CellType::kDsp);
+    nl.add_net("nl" + std::to_string(i), prev, {lut});
+    nl.add_net("nf" + std::to_string(i), lut, {ff});
+    nl.add_net("nd" + std::to_string(i), ff, {d});
+    prev = d;
+  }
+  return nl;
+}
+
+TEST(ParallelDeterminism, NodeFeatures) {
+  const Netlist nl = chain_netlist(40);
+  const Digraph g = nl.to_digraph();
+  ThreadPool p1(1), p2(2), p8(8);
+  const Matrix m1 = extract_node_features(nl, g, {}, &p1);
+  const Matrix m2 = extract_node_features(nl, g, {}, &p2);
+  const Matrix m8 = extract_node_features(nl, g, {}, &p8);
+  ASSERT_EQ(m1.rows(), m2.rows());
+  ASSERT_EQ(m1.rows(), m8.rows());
+  for (int r = 0; r < m1.rows(); ++r)
+    for (int c = 0; c < m1.cols(); ++c) {
+      EXPECT_EQ(m1.at(r, c), m2.at(r, c)) << "row " << r << " col " << c;
+      EXPECT_EQ(m1.at(r, c), m8.at(r, c)) << "row " << r << " col " << c;
+    }
+}
+
+TEST(ParallelDeterminism, DspGraphConstruction) {
+  const Netlist nl = chain_netlist(40);
+  const Digraph g = nl.to_digraph();
+  ThreadPool p1(1), p2(2), p8(8);
+  const DspGraph g1 = build_dsp_graph(nl, g, {}, &p1);
+  const DspGraph g2 = build_dsp_graph(nl, g, {}, &p2);
+  const DspGraph g8 = build_dsp_graph(nl, g, {}, &p8);
+  auto expect_same = [](const DspGraph& a, const DspGraph& b) {
+    EXPECT_EQ(a.dsps, b.dsps);
+    EXPECT_EQ(a.adj, b.adj);
+    EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (int e = 0; e < a.num_edges(); ++e) {
+      EXPECT_EQ(a.edges[static_cast<size_t>(e)].from, b.edges[static_cast<size_t>(e)].from);
+      EXPECT_EQ(a.edges[static_cast<size_t>(e)].to, b.edges[static_cast<size_t>(e)].to);
+      EXPECT_EQ(a.edges[static_cast<size_t>(e)].distance,
+                b.edges[static_cast<size_t>(e)].distance);
+    }
+  };
+  expect_same(g1, g2);
+  expect_same(g1, g8);
+  EXPECT_GT(g1.nodes_visited, 0);
+}
+
+TEST(ParallelDeterminism, McfAssignment) {
+  const Netlist nl = chain_netlist(24);
+  const Device dev = make_test_device();
+  const DspGraph graph = build_dsp_graph(nl, nl.to_digraph());
+  std::vector<CellId> dsps = graph.dsps;
+  Placement pl(nl, dev);
+  AssignOptions opts;
+  opts.iterations = 6;
+  ThreadPool p1(1), p2(2), p8(8);
+  const AssignResult r1 = mcf_assign_dsps(nl, dev, pl, graph, dsps, opts, &p1);
+  const AssignResult r2 = mcf_assign_dsps(nl, dev, pl, graph, dsps, opts, &p2);
+  const AssignResult r8 = mcf_assign_dsps(nl, dev, pl, graph, dsps, opts, &p8);
+  EXPECT_EQ(r1.site, r2.site);
+  EXPECT_EQ(r1.site, r8.site);
+  EXPECT_EQ(r1.final_objective, r2.final_objective);
+  EXPECT_EQ(r1.final_objective, r8.final_objective);
+  EXPECT_EQ(r1.iterations_run, r2.iterations_run);
+  EXPECT_EQ(r1.arcs_built, r2.arcs_built);
+  EXPECT_GT(r1.arcs_built, 0);
+}
+
+}  // namespace
+}  // namespace dsp

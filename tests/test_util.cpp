@@ -9,6 +9,7 @@
 #include "util/svg.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace dsp {
 namespace {
@@ -82,6 +83,105 @@ TEST(PhaseProfile, ScopedPhaseRecordsElapsed) {
     }
   }
   EXPECT_GE(p.seconds("scope"), 0.009);
+}
+
+TEST(PhaseProfile, EntriesKeepFirstInsertionOrder) {
+  PhaseProfile p;
+  p.add("routing", 1.0);
+  p.add("prototype", 2.0);
+  p.add("extraction", 0.5);
+  p.add("routing", 0.25);  // accumulates, does not move the entry
+  const auto& e = p.entries();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].first, "routing");
+  EXPECT_EQ(e[1].first, "prototype");
+  EXPECT_EQ(e[2].first, "extraction");
+  EXPECT_DOUBLE_EQ(e[0].second, 1.25);
+}
+
+TEST(RunTrace, NestsStagesAndAccumulatesReentry) {
+  RunTrace trace("run");
+  trace.begin("outer");
+  trace.begin("inner");
+  trace.add_counter("items", 3);
+  trace.end(0.5);
+  trace.begin("inner");  // re-entry folds into the same node
+  trace.add_counter("items", 4);
+  trace.end(0.25);
+  trace.end(1.0);
+
+  const TraceNode& root = trace.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNode& outer = *root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_DOUBLE_EQ(outer.seconds, 1.0);
+  EXPECT_EQ(outer.entered, 1);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const TraceNode& inner = *outer.children[0];
+  EXPECT_DOUBLE_EQ(inner.seconds, 0.75);
+  EXPECT_EQ(inner.entered, 2);
+  EXPECT_EQ(inner.counter("items"), 7);
+  EXPECT_EQ(inner.counter("missing"), 0);
+}
+
+TEST(RunTrace, CountersKeepInsertionOrderAndMax) {
+  TraceNode node("n");
+  node.add_counter("b", 2);
+  node.add_counter("a", 1);
+  node.max_counter("b", 1);   // keeps 2
+  node.max_counter("b", 10);  // raises to 10
+  ASSERT_EQ(node.counters.size(), 2u);
+  EXPECT_EQ(node.counters[0].first, "b");
+  EXPECT_EQ(node.counters[1].first, "a");
+  EXPECT_EQ(node.counter("b"), 10);
+}
+
+TEST(RunTrace, JsonRoundTrips) {
+  RunTrace trace("flow");
+  trace.root().add_counter("threads", 4);
+  trace.begin("Extract");
+  trace.add_counter("nodes_visited", 12345);
+  trace.end(0.125);
+  trace.begin("DspPlace");
+  trace.begin("mcf");
+  trace.end(0.0625);
+  trace.end(0.25);
+
+  const std::string json = trace.to_json();
+  TraceNode parsed;
+  ASSERT_TRUE(trace_from_json(json, &parsed)) << json;
+  EXPECT_EQ(parsed.name, "flow");
+  EXPECT_EQ(parsed.counter("threads"), 4);
+  ASSERT_EQ(parsed.children.size(), 2u);
+  EXPECT_EQ(parsed.children[0]->name, "Extract");
+  EXPECT_DOUBLE_EQ(parsed.children[0]->seconds, 0.125);
+  EXPECT_EQ(parsed.children[0]->counter("nodes_visited"), 12345);
+  ASSERT_EQ(parsed.children[1]->children.size(), 1u);
+  EXPECT_EQ(parsed.children[1]->children[0]->name, "mcf");
+  // A second round trip is stable.
+  TraceNode again;
+  ASSERT_TRUE(trace_from_json(parsed.to_json(), &again));
+  EXPECT_EQ(again.to_json(), json);
+}
+
+TEST(RunTrace, RejectsMalformedJson) {
+  TraceNode out;
+  EXPECT_FALSE(trace_from_json("", &out));
+  EXPECT_FALSE(trace_from_json("{\"name\":\"x\"", &out));
+  EXPECT_FALSE(trace_from_json("[1,2,3]", &out));
+}
+
+TEST(RunTrace, ScopedStageMirrorsIntoFlatProfile) {
+  RunTrace trace("run");
+  PhaseProfile flat;
+  {
+    ScopedStage outer(trace, "DspPlace", &flat, "datapath-driven DSP placement");
+    ScopedStage inner(trace, "mcf");  // nested, not mirrored
+  }
+  EXPECT_EQ(trace.root().children.size(), 1u);
+  EXPECT_EQ(trace.root().children[0]->children.size(), 1u);
+  ASSERT_EQ(flat.entries().size(), 1u);
+  EXPECT_EQ(flat.entries()[0].first, "datapath-driven DSP placement");
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
