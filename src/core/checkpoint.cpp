@@ -1,0 +1,237 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "placer/placement_io.hpp"
+#include "util/binio.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace dsp {
+namespace {
+
+// Payload kinds (header field). Only stage snapshots exist today; the tag
+// keeps the container format open for other artifact types.
+constexpr uint32_t kKindStageSnapshot = 1;
+
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 8 + 8;  // see docs/TRACE_FORMAT.md
+
+std::string payload_of(const StageSnapshot& snap) {
+  ByteWriter w;
+  w.str(snap.stage);
+  w.u64(snap.key);
+  write_placement_binary(snap.placement, w);
+  w.u64(snap.is_datapath.size());
+  w.bytes(snap.is_datapath.data(), snap.is_datapath.size());
+  write_dsp_graph_binary(snap.dsp_graph, w);
+  w.u64(snap.datapath.size());
+  for (CellId c : snap.datapath) w.i32(c);
+  w.u64(snap.net_weight_scale.size());
+  for (double v : snap.net_weight_scale) w.f64(v);
+  w.i32(snap.num_datapath_dsps);
+  w.i32(snap.num_control_dsps);
+  w.i32(snap.dsp_graph_edges);
+  w.i32(snap.mcf_iterations);
+  w.boolean(snap.mcf_converged);
+  w.boolean(snap.intercol_used_ilp);
+  w.u64(snap.trace_counters.size());
+  for (const auto& [name, value] : snap.trace_counters) {
+    w.str(name);
+    w.i64(value);
+  }
+  return w.take();
+}
+
+std::string parse_payload(const std::string& payload, const Netlist& nl, const Device& dev,
+                          StageSnapshot* out) {
+  ByteReader r(payload);
+  out->stage = r.str();
+  out->key = r.u64();
+  std::string err = read_placement_binary(r, nl, dev, &out->placement);
+  if (!err.empty()) return err;
+
+  const uint64_t roles = r.u64();
+  if (!r.fits(roles, 1)) return "truncated roles vector";
+  if (roles != 0 && roles != static_cast<uint64_t>(nl.num_cells()))
+    return "roles vector size " + std::to_string(roles) + " != netlist cells";
+  out->is_datapath.resize(roles);
+  for (uint64_t i = 0; i < roles; ++i) out->is_datapath[i] = static_cast<char>(r.u8());
+
+  err = read_dsp_graph_binary(r, nl, &out->dsp_graph);
+  if (!err.empty()) return err;
+
+  const uint64_t targets = r.u64();
+  if (!r.fits(targets, 4)) return "truncated datapath list";
+  out->datapath.reserve(targets);
+  for (uint64_t i = 0; i < targets; ++i) {
+    const int32_t c = r.i32();
+    if (c < 0 || c >= nl.num_cells())
+      return "datapath cell id " + std::to_string(c) + " out of range";
+    out->datapath.push_back(c);
+  }
+
+  const uint64_t weights = r.u64();
+  if (!r.fits(weights, 8)) return "truncated net-weight vector";
+  if (weights != 0 && weights != static_cast<uint64_t>(nl.num_nets()))
+    return "net-weight vector size " + std::to_string(weights) + " != netlist nets";
+  out->net_weight_scale.reserve(weights);
+  for (uint64_t i = 0; i < weights; ++i) out->net_weight_scale.push_back(r.f64());
+
+  out->num_datapath_dsps = r.i32();
+  out->num_control_dsps = r.i32();
+  out->dsp_graph_edges = r.i32();
+  out->mcf_iterations = r.i32();
+  out->mcf_converged = r.boolean();
+  out->intercol_used_ilp = r.boolean();
+
+  const uint64_t counters = r.u64();
+  if (!r.fits(counters, 8 + 8)) return "truncated counter list";
+  out->trace_counters.reserve(counters);
+  for (uint64_t i = 0; i < counters; ++i) {
+    std::string name = r.str();
+    const int64_t value = r.i64();
+    out->trace_counters.emplace_back(std::move(name), value);
+  }
+
+  if (!r.done()) return "truncated or oversized payload";
+  return "";
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const StageSnapshot& snap) {
+  const std::string payload = payload_of(snap);
+  ByteWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u32(kKindStageSnapshot);
+  w.u32(0);  // reserved
+  w.u64(payload.size());
+  w.u64(hash_bytes(payload.data(), payload.size()));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+std::string deserialize_checkpoint(const std::string& bytes, const Netlist& nl,
+                                   const Device& dev, StageSnapshot* out) {
+  if (bytes.size() < kHeaderBytes) return "truncated header";
+  ByteReader r(std::string_view(bytes).substr(0, kHeaderBytes));
+  const uint32_t magic = r.u32();
+  if (magic != kCheckpointMagic) return "bad magic";
+  const uint32_t version = r.u32();
+  if (version != kCheckpointVersion)
+    return "unsupported checkpoint version " + std::to_string(version);
+  const uint32_t kind = r.u32();
+  if (kind != kKindStageSnapshot)
+    return "unsupported payload kind " + std::to_string(kind);
+  r.u32();  // reserved
+  const uint64_t payload_size = r.u64();
+  const uint64_t payload_hash = r.u64();
+  if (bytes.size() - kHeaderBytes != payload_size) return "payload size mismatch";
+  const std::string payload = bytes.substr(kHeaderBytes);
+  if (hash_bytes(payload.data(), payload.size()) != payload_hash)
+    return "payload hash mismatch";
+  *out = StageSnapshot{};
+  return parse_payload(payload, nl, dev, out);
+}
+
+uint64_t device_content_hash(const Device& dev) {
+  Fnv1a h;
+  h.str("device-v1");
+  h.str(dev.name());
+  h.i32(dev.width());
+  h.i32(dev.height());
+  for (int x = 0; x < dev.width(); ++x) h.u8(static_cast<uint8_t>(dev.column_type(x)));
+  h.u64(dev.dsp_columns().size());
+  for (const DspColumn& c : dev.dsp_columns()) {
+    h.f64(c.x);
+    h.f64(c.y0);
+    h.i32(c.num_sites);
+    h.i32(c.first_site);
+  }
+  h.u64(dev.bram_columns().size());
+  for (const DspColumn& c : dev.bram_columns()) {
+    h.f64(c.x);
+    h.f64(c.y0);
+    h.i32(c.num_sites);
+  }
+  const PsRegion& ps = dev.ps();
+  h.f64(ps.width);
+  h.f64(ps.height);
+  h.u64(ps.top_ports.size());
+  for (const auto& [x, y] : ps.top_ports) {
+    h.f64(x);
+    h.f64(y);
+  }
+  h.u64(ps.right_ports.size());
+  for (const auto& [x, y] : ps.right_ports) {
+    h.f64(x);
+    h.f64(y);
+  }
+  h.i32(dev.clb_capacity().luts_per_tile);
+  h.i32(dev.clb_capacity().ffs_per_tile);
+  h.i32(dev.clb_capacity().carries_per_tile);
+  return h.digest();
+}
+
+StageCache::StageCache(const std::string& dir) : dir_(dir) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    LOG_WARN("checkpoint", "cannot create cache dir %s: %s — caching disabled",
+             dir_.c_str(), ec.message().c_str());
+    dir_.clear();
+  }
+}
+
+std::string StageCache::path_for(const std::string& stage, uint64_t key) const {
+  std::string name = stage;
+  for (char& c : name)
+    if (c == '/' || c == '\\') c = '_';
+  return dir_ + "/" + name + "-" + hex16(key) + ".ckpt";
+}
+
+std::string StageCache::load(const std::string& stage, uint64_t key, const Netlist& nl,
+                             const Device& dev, StageSnapshot* out) const {
+  if (!enabled()) return "absent";
+  const std::string path = path_for(stage, key);
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return "absent";
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (!f.good() && !f.eof()) return "read error on " + path;
+  std::string err = deserialize_checkpoint(ss.str(), nl, dev, out);
+  if (!err.empty()) return err;
+  // Belt and braces: a renamed or cross-run file with a valid payload must
+  // still describe this exact stage/key.
+  if (out->stage != stage || out->key != key) return "stage/key mismatch in " + path;
+  return "";
+}
+
+std::string StageCache::store(const std::string& stage, uint64_t key,
+                              const StageSnapshot& snap) const {
+  if (!enabled()) return "cache disabled";
+  const std::string path = path_for(stage, key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return "cannot open " + tmp;
+    const std::string bytes = serialize_checkpoint(snap);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f) return "short write to " + tmp;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return "cannot rename into " + path;
+  }
+  return "";
+}
+
+}  // namespace dsp

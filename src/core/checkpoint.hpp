@@ -1,0 +1,105 @@
+// Stage checkpoint cache — the artifact layer behind the flow's
+// incremental re-runs (docs/ARCHITECTURE.md).
+//
+// A StageSnapshot is everything a pipeline stage leaves behind in the
+// FlowContext (placement, datapath roles, pruned DSP graph, MCF targets,
+// host-placer net-weight state, summary counters, and the trace counters
+// the stage emitted). Restoring a snapshot and running the remaining
+// stages is bit-identical to having run the checkpointed prefix, so a
+// warm run with an unchanged prefix skips straight to the first stage
+// whose inputs changed.
+//
+// On disk each snapshot is a corruption-checked container
+// (docs/TRACE_FORMAT.md): magic, format version, payload size, payload
+// hash, then the little-endian payload. Loads validate all four before
+// parsing and bounds-check every id against the live netlist/device, so a
+// corrupt or version-skewed file degrades to a cache miss — never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "extract/dsp_graph.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "placer/placement.hpp"
+
+namespace dsp {
+
+inline constexpr uint32_t kCheckpointMagic = 0x43505344u;  // "DSPC" little-endian
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+struct StageSnapshot {
+  std::string stage;  // producing stage name (cross-checked on load)
+  uint64_t key = 0;   // chained content key this snapshot was stored under
+
+  Placement placement;
+  std::vector<char> is_datapath;  // empty until Extract has run
+  DspGraph dsp_graph;
+  std::vector<CellId> datapath;
+  std::vector<double> net_weight_scale;  // host timing-driven state (usually empty)
+
+  int num_datapath_dsps = 0;
+  int num_control_dsps = 0;
+  int dsp_graph_edges = 0;
+  int mcf_iterations = 0;
+  bool mcf_converged = false;
+  bool intercol_used_ilp = false;
+
+  /// Counters the stage added to its own trace node, re-applied on a cache
+  /// hit so warm traces keep nodes_visited / mcf_arcs / route_overflow.
+  std::vector<std::pair<std::string, int64_t>> trace_counters;
+};
+
+/// Serializes the snapshot into the checkpoint container (header + hashed
+/// payload), ready to write to disk.
+std::string serialize_checkpoint(const StageSnapshot& snap);
+
+/// Parses and validates a container produced by serialize_checkpoint.
+/// Returns "" and fills `out` on success, else a diagnostic ("bad magic",
+/// "unsupported checkpoint version N", "payload hash mismatch",
+/// "truncated ...", an id-range error, ...). `nl`/`dev` bound-check cell
+/// ids and site indices.
+std::string deserialize_checkpoint(const std::string& bytes, const Netlist& nl,
+                                   const Device& dev, StageSnapshot* out);
+
+/// Content hash of the device geometry (column map, DSP/BRAM columns and
+/// sites, PS region and ports, CLB capacities) — a root-key ingredient of
+/// the flow cache: a resized or re-columned device invalidates everything.
+uint64_t device_content_hash(const Device& dev);
+
+/// A directory of content-addressed stage snapshots. Default-constructed
+/// (or constructed with an empty directory) the cache is disabled and all
+/// operations are no-ops.
+class StageCache {
+ public:
+  StageCache() = default;
+  /// Creates `dir` (and parents) if needed. Creation failure disables the
+  /// cache with a logged warning rather than failing the flow.
+  explicit StageCache(const std::string& dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// `<dir>/<stage>-<16-hex-key>.ckpt`; '/' in stage names becomes '_'
+  /// ("Route/Report" -> "Route_Report-<key>.ckpt").
+  std::string path_for(const std::string& stage, uint64_t key) const;
+
+  /// "" and *out on a hit. "absent" when no checkpoint exists for the key.
+  /// Any other return is a validation failure (corrupt, truncated, or
+  /// version-skewed file) — callers treat it as a miss and may log it.
+  std::string load(const std::string& stage, uint64_t key, const Netlist& nl,
+                   const Device& dev, StageSnapshot* out) const;
+
+  /// Stores atomically (temp file + rename) so a concurrent reader never
+  /// observes a half-written checkpoint. Returns "" or an I/O error.
+  std::string store(const std::string& stage, uint64_t key,
+                    const StageSnapshot& snap) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace dsp

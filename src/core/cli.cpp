@@ -20,16 +20,30 @@
 namespace dsp {
 namespace {
 
-// --flag value pairs after the subcommand.
+// Flags that take no value (stored as "1" when present).
+bool is_bool_flag(const std::string& name) { return name == "no-cache"; }
+
+// --flag value pairs (or bare boolean flags) after the subcommand.
 std::map<std::string, std::string> parse_flags(const std::vector<std::string>& args,
                                                size_t first, std::string* error) {
   std::map<std::string, std::string> flags;
-  for (size_t i = first; i < args.size(); i += 2) {
-    if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
+  for (size_t i = first; i < args.size();) {
+    if (args[i].rfind("--", 0) != 0) {
       *error = "malformed flag: " + args[i];
       return flags;
     }
-    flags[args[i].substr(2)] = args[i + 1];
+    const std::string name = args[i].substr(2);
+    if (is_bool_flag(name)) {
+      flags[name] = "1";
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      *error = "malformed flag: " + args[i];
+      return flags;
+    }
+    flags[name] = args[i + 1];
+    i += 2;
   }
   return flags;
 }
@@ -95,10 +109,33 @@ int cmd_place(const std::map<std::string, std::string>& flags, std::ostream& out
   if (tool == "dsplacer") {
     DsplacerOptions opts;
     opts.use_ground_truth_roles = true;  // CLI flows have labeled netlists
+    // Cache dir precedence: --cache-dir > DSPLACER_CACHE_DIR; --no-cache
+    // wins over both.
+    std::string cache_dir = flag_str(flags, "cache-dir");
+    if (cache_dir.empty()) {
+      const char* env = std::getenv("DSPLACER_CACHE_DIR");
+      if (env != nullptr) cache_dir = env;
+    }
+    if (flags.count("no-cache") != 0) cache_dir.clear();
+    opts.cache_dir = cache_dir;
+    opts.resume_from = flag_str(flags, "resume-from");
+    if (!opts.resume_from.empty() && opts.cache_dir.empty()) {
+      err << "place: --resume-from requires --cache-dir (or DSPLACER_CACHE_DIR)\n";
+      return 2;
+    }
     const DsplacerResult res = run_dsplacer(nl, dev, {}, opts);
     if (!res.legality_error.empty()) {
       err << "place: illegal result: " << res.legality_error;
       return 1;
+    }
+    if (!opts.cache_dir.empty()) {
+      long long hits = 0, misses = 0;
+      for (const auto& stage : res.trace.root().children) {
+        hits += stage->counter("cache_hit");
+        misses += stage->counter("cache_miss");
+      }
+      out << "cache " << opts.cache_dir << ": " << hits << " hits, " << misses
+          << " misses\n";
     }
     const std::string trace_path = flag_str(flags, "trace");
     if (!trace_path.empty()) {
@@ -184,6 +221,7 @@ std::string cli_usage() {
       "  place  --netlist <file> --scale <s> --tool dsplacer|vivado|amf\n"
       "         [--out <placement>] [--constraints <xdc>] [--svg <file>]\n"
       "         [--threads <n>] [--trace <json>]\n"
+      "         [--cache-dir <dir>] [--no-cache] [--resume-from <stage>]\n"
       "  report --netlist <file> --placement <file> --scale <s> [--freq <MHz>]\n";
 }
 

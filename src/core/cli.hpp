@@ -4,9 +4,12 @@
 //   gen     --benchmark <name> --scale <s> --out <netlist>
 //   place   --netlist <file> --scale <s> --tool dsplacer|vivado|amf
 //           [--out <placement>] [--constraints <xdc>] [--svg <file>]
+//           [--threads <n>] [--trace <json>]
+//           [--cache-dir <dir>] [--no-cache] [--resume-from <stage>]
 //   report  --netlist <file> --placement <file> --scale <s> [--freq <MHz>]
 //   list    (prints the benchmark suite)
-// The `dsplacer_cli` binary in tools/ forwards argv here.
+// The `dsplacer_cli` binary in tools/ forwards argv here. The consolidated
+// flag reference (including env-var precedence) lives in README.md.
 #pragma once
 
 #include <iosfwd>

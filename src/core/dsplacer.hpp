@@ -38,6 +38,17 @@ struct DsplacerOptions {
   bool use_ground_truth_roles = false;
   bool prune_control = true;
   HostPlacerOptions host = HostPlacerOptions::vivado_like();
+  /// Stage checkpoint cache (docs/ARCHITECTURE.md). When non-empty, every
+  /// stage consults `<cache_dir>/<stage>-<key>.ckpt` before running and
+  /// stores its snapshot afterwards. Keys chain content hashes of each
+  /// stage's true inputs (netlist, device, seed, the option fields that
+  /// stage reads, and the upstream chain), so a changed option re-runs
+  /// exactly the suffix of stages it affects. Empty = caching off.
+  std::string cache_dir;
+  /// When set (requires cache_dir), stages before the first occurrence of
+  /// this stage name must load from cache (error if absent) and this stage
+  /// onward recompute even when checkpointed.
+  std::string resume_from;
 };
 
 struct DsplacerResult {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 #include <utility>
 
 #include "core/legalize_intracol.hpp"
+#include "netlist/netlist_io.hpp"
 #include "route/grid_router.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace dsp {
@@ -18,7 +21,8 @@ FlowContext::FlowContext(const Netlist& netlist, const Device& device,
       training(&training_designs),
       opts(options),
       pool(thread_pool ? thread_pool : &global_pool()),
-      seed(options.features.seed) {
+      seed(options.features.seed),
+      cache(options.cache_dir) {
   host.emplace(netlist, device, options.host);
   host->set_trace(&trace);
 }
@@ -79,7 +83,170 @@ void legalize_and_commit(FlowContext& ctx, const std::vector<int>& mcf_sites) {
   }
 }
 
+// ---- stage checkpoint cache helpers ----------------------------------------
+
+void hash_host_options(Fnv1a& h, const HostPlacerOptions& o) {
+  h.u8(static_cast<uint8_t>(o.mode));
+  h.i32(o.global_iterations);
+  h.i32(o.qplace.max_cg_iters);
+  h.f64(o.qplace.cg_tolerance);
+  h.i32(o.qplace.clique_limit);
+  h.f64(o.qplace.anchor_weight);
+  h.i32(o.spread.bin_size);
+  h.f64(o.spread.target_util);
+  h.i32(o.spread.iterations);
+  h.boolean(o.detail_refine);
+  h.i32(o.refine.passes);
+  h.i32(o.refine.window);
+  h.f64(o.refine.min_gain);
+  h.i32(o.timing_driven_iterations);
+  h.f64(o.timing_target_mhz);
+  h.f64(o.critical_net_boost);
+  h.u64(o.seed);
+}
+
+uint64_t training_content_hash(const std::vector<DesignGraphData>& training) {
+  Fnv1a h;
+  h.u64(training.size());
+  for (const DesignGraphData& d : training) {
+    h.str(d.name);
+    h.i32(d.graph.num_nodes());
+    h.i32(d.graph.num_edges());
+    for (int u = 0; u < d.graph.num_nodes(); ++u)
+      for (int v : d.graph.out(u)) h.i32(v);
+    for (const Matrix* m : {&d.gcn_features, &d.local_features}) {
+      h.i32(m->rows());
+      h.i32(m->cols());
+      for (size_t i = 0; i < m->size(); ++i) h.f64(m->data()[i]);
+    }
+    h.u64(d.labels.size());
+    for (int l : d.labels) h.i32(l);
+    h.u64(d.dsp_mask.size());
+    for (char m : d.dsp_mask) h.u8(static_cast<uint8_t>(m));
+  }
+  return h.digest();
+}
+
+/// Hash of the DsplacerOptions fields a stage actually reads — the basis
+/// of per-stage invalidation (an untouched stage keeps its key).
+uint64_t stage_options_hash(const char* stage_name, const FlowContext& ctx) {
+  const DsplacerOptions& o = ctx.opts;
+  Fnv1a h;
+  if (stage_name == std::string_view(stage::kPrototype) ||
+      stage_name == std::string_view(stage::kReplace)) {
+    // Both halves of the host alternation read the host placer options.
+    hash_host_options(h, o.host);
+  } else if (stage_name == std::string_view(stage::kExtract)) {
+    h.i32(o.features.exact_threshold);
+    h.i32(o.features.centrality_pivots);
+    h.i32(o.features.dsp_distance_sources);
+    h.u64(ctx.seed);  // overrides o.features.seed inside the stage
+    h.i32(o.dsp_graph.max_depth);
+    h.boolean(o.use_ground_truth_roles);
+    h.boolean(o.prune_control);
+    if (!o.use_ground_truth_roles && !ctx.training->empty()) {
+      h.i32(o.gcn.hidden);
+      h.i32(o.gcn.fc_hidden);
+      h.i32(o.gcn.num_classes);
+      h.f64(o.gcn.dropout);
+      h.f64(o.gcn.lr);
+      h.f64(o.gcn.weight_decay);
+      h.i32(o.gcn.epochs);
+      h.u64(o.gcn.seed);
+      h.u64(training_content_hash(*ctx.training));
+    }
+  } else if (stage_name == std::string_view(stage::kDspPlace)) {
+    h.i32(o.assign.iterations);
+    h.f64(o.assign.lambda);
+    h.f64(o.assign.eta);
+    h.i32(o.assign.candidate_sites);
+    h.f64(o.assign.cost_scale);
+    h.i64(o.inter_column.ilp.max_nodes);
+    h.i64(o.inter_column.ilp.lp_max_iters);
+    h.f64(o.inter_column.ilp.int_tol);
+    h.f64(o.inter_column.angle_weight);
+  }
+  // Route/Report (and unknown custom stages) read no options: their results
+  // are fully determined by the upstream chain.
+  return h.digest();
+}
+
+/// Counter deltas this stage added to its (possibly re-entered) trace node.
+std::vector<std::pair<std::string, int64_t>> counter_delta(
+    const std::vector<std::pair<std::string, int64_t>>& before,
+    const std::vector<std::pair<std::string, int64_t>>& after) {
+  std::vector<std::pair<std::string, int64_t>> delta;
+  for (const auto& [name, value] : after) {
+    int64_t base = 0;
+    for (const auto& [bname, bvalue] : before)
+      if (bname == name) {
+        base = bvalue;
+        break;
+      }
+    if (value != base) delta.emplace_back(name, value - base);
+  }
+  return delta;
+}
+
+StageSnapshot capture_snapshot(const FlowContext& ctx, const char* stage_name,
+                               uint64_t key,
+                               std::vector<std::pair<std::string, int64_t>> counters) {
+  StageSnapshot snap;
+  snap.stage = stage_name;
+  snap.key = key;
+  snap.placement = ctx.placement;
+  snap.is_datapath = ctx.is_datapath;
+  snap.dsp_graph = ctx.dsp_graph;
+  snap.datapath = ctx.datapath;
+  snap.net_weight_scale = ctx.host->net_weight_scale();
+  snap.num_datapath_dsps = ctx.num_datapath_dsps;
+  snap.num_control_dsps = ctx.num_control_dsps;
+  snap.dsp_graph_edges = ctx.dsp_graph_edges;
+  snap.mcf_iterations = ctx.mcf_iterations;
+  snap.mcf_converged = ctx.mcf_converged;
+  snap.intercol_used_ilp = ctx.intercol_used_ilp;
+  snap.trace_counters = std::move(counters);
+  return snap;
+}
+
+void restore_snapshot(FlowContext& ctx, StageSnapshot&& snap) {
+  ctx.placement = std::move(snap.placement);
+  ctx.is_datapath = std::move(snap.is_datapath);
+  ctx.dsp_graph = std::move(snap.dsp_graph);
+  ctx.datapath = std::move(snap.datapath);
+  ctx.host->set_net_weight_scale(std::move(snap.net_weight_scale));
+  ctx.num_datapath_dsps = snap.num_datapath_dsps;
+  ctx.num_control_dsps = snap.num_control_dsps;
+  ctx.dsp_graph_edges = snap.dsp_graph_edges;
+  ctx.mcf_iterations = snap.mcf_iterations;
+  ctx.mcf_converged = snap.mcf_converged;
+  ctx.intercol_used_ilp = snap.intercol_used_ilp;
+  for (const auto& [name, value] : snap.trace_counters) ctx.trace.add_counter(name, value);
+}
+
+int64_t micros(const Timer& t) {
+  return static_cast<int64_t>(std::llround(t.seconds() * 1e6));
+}
+
 }  // namespace
+
+uint64_t flow_base_key(const FlowContext& ctx) {
+  Fnv1a h;
+  h.str("dsplacer-stage-cache");
+  h.u32(kCheckpointVersion);
+  h.u64(netlist_content_hash(*ctx.nl));
+  h.u64(device_content_hash(*ctx.dev));
+  h.u64(ctx.seed);
+  return h.digest();
+}
+
+uint64_t chain_stage_key(uint64_t prev, const char* stage_name, const FlowContext& ctx) {
+  Fnv1a h;
+  h.u64(prev);
+  h.str(stage_name);
+  h.u64(stage_options_hash(stage_name, ctx));
+  return h.digest();
+}
 
 void stage_prototype(FlowContext& ctx) {
   ctx.placement = ctx.host->place_full();
@@ -182,10 +349,75 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
   ctx.pool->reset_peak();
   ctx.trace.root().add_counter("threads", ctx.pool->num_threads());
 
-  for (const FlowStage& s : stages) {
+  const bool caching = ctx.cache.enabled();
+  uint64_t key = caching ? flow_base_key(ctx) : 0;
+
+  // --resume-from barrier: stages before the first occurrence of the named
+  // stage must load from cache; the named stage onward recompute even when
+  // a checkpoint exists.
+  const bool resuming = !ctx.opts.resume_from.empty();
+  size_t resume_at = 0;
+  if (resuming) {
+    size_t found = stages.size();
+    for (size_t i = 0; i < stages.size(); ++i)
+      if (ctx.opts.resume_from == stages[i].name) {
+        found = i;
+        break;
+      }
+    if (found == stages.size())
+      ctx.error = "resume-from: unknown stage '" + ctx.opts.resume_from + "'";
+    else if (!caching)
+      ctx.error = "resume-from requires a cache directory";
+    else
+      resume_at = found;
+  }
+
+  for (size_t i = 0; i < stages.size(); ++i) {
     if (!ctx.error.empty()) break;  // fail-fast: later stages are skipped
+    const FlowStage& s = stages[i];
     ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
+    if (!caching) {
+      s.run(ctx);
+      continue;
+    }
+
+    key = chain_stage_key(key, s.name, ctx);
+    if (!resuming || i < resume_at) {
+      StageSnapshot snap;
+      Timer load_timer;
+      const std::string verdict = ctx.cache.load(s.name, key, *ctx.nl, *ctx.dev, &snap);
+      if (verdict.empty()) {
+        restore_snapshot(ctx, std::move(snap));
+        ctx.trace.add_counter("cache_hit", 1);
+        ctx.trace.add_counter("cache_load_us", micros(load_timer));
+        continue;
+      }
+      if (verdict != "absent") {
+        // A corrupt/version-skewed checkpoint degrades to a miss.
+        LOG_WARN("flow", "discarding bad checkpoint for %s: %s", s.name, verdict.c_str());
+        ctx.trace.add_counter("cache_bad", 1);
+      }
+      if (i < resume_at) {
+        ctx.error = "resume-from " + ctx.opts.resume_from +
+                    ": no usable checkpoint for upstream stage " + s.name;
+        continue;
+      }
+      ctx.trace.add_counter("cache_miss", 1);
+    }
+
+    const auto counters_before = ctx.trace.current().counters;
     s.run(ctx);
+    if (!ctx.error.empty()) continue;  // failed stages are never checkpointed
+
+    Timer store_timer;
+    const std::string store_err = ctx.cache.store(
+        s.name, key,
+        capture_snapshot(ctx, s.name, key,
+                         counter_delta(counters_before, ctx.trace.current().counters)));
+    if (!store_err.empty())
+      LOG_WARN("flow", "cannot store checkpoint for %s: %s", s.name, store_err.c_str());
+    else
+      ctx.trace.add_counter("cache_store_us", micros(store_timer));
   }
 
   ctx.trace.root().seconds = total.seconds();

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/dsplacer.hpp"
 #include "placer/host_placer.hpp"
 #include "util/thread_pool.hpp"
@@ -56,6 +57,9 @@ struct FlowContext {
   // ---- instrumentation ----
   RunTrace trace{"dsplacer"};
   PhaseProfile profile;  // flat Fig. 8 view, kept in sync with the tree
+
+  // ---- stage checkpoint cache (disabled when opts.cache_dir is empty) ----
+  StageCache cache;
 
   // ---- summary stats mirrored into DsplacerResult ----
   int num_datapath_dsps = 0;
@@ -95,9 +99,29 @@ void stage_route_report(FlowContext& ctx);
 /// outer_iterations x (DspPlace, Replace), Route/Report.
 std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts);
 
+/// Root key of the checkpoint chain: format version, netlist content,
+/// device geometry, flow seed. Exposed for tests and external tooling.
+uint64_t flow_base_key(const FlowContext& ctx);
+
+/// Advances the checkpoint key chain across one stage:
+/// H(prev, stage name, hash of the DsplacerOptions fields that stage
+/// reads — plus the training set for Extract). Because keys chain, a
+/// changed option invalidates exactly the suffix of stages downstream of
+/// the first stage that reads it, and the two DspPlace/Replace rounds of
+/// the Fig. 6 alternation get distinct keys without positional bookkeeping.
+uint64_t chain_stage_key(uint64_t prev, const char* stage_name, const FlowContext& ctx);
+
 /// Runs `stages` over `ctx`: times each stage into ctx.trace/ctx.profile,
 /// stops at the first stage error, validates DSP legality, and assembles
 /// the DsplacerResult (placement, profile, trace, counters).
+///
+/// With ctx.cache enabled, each stage first looks up its chained content
+/// key: on a hit the snapshot is restored (bit-identical to running the
+/// stage) and the stage's trace node gets a `cache_hit` counter; on a miss
+/// the stage runs and its snapshot is stored. Corrupt checkpoints are
+/// discarded with a warning (`cache_bad`) and recomputed. With
+/// ctx.opts.resume_from set, stages before the named one must hit (error
+/// otherwise) and the named stage onward always recompute.
 DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages);
 
 }  // namespace dsp

@@ -1,8 +1,10 @@
 #include "extract/dsp_graph.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "graph/traversal.hpp"
+#include "util/binio.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dsp {
@@ -116,6 +118,73 @@ DspGraph prune_dsp_graph(const DspGraph& graph, const std::vector<char>& keep) {
   for (size_t k = 0; k < out.edges.size(); ++k)
     out.adj[static_cast<size_t>(out.edges[k].from)].push_back(static_cast<int>(k));
   return out;
+}
+
+void write_dsp_graph_binary(const DspGraph& graph, ByteWriter& w) {
+  w.i32(graph.num_nodes());
+  for (CellId c : graph.dsps) w.i32(c);
+  w.i32(graph.num_edges());
+  for (const DspGraphEdge& e : graph.edges) {
+    w.i32(e.from);
+    w.i32(e.to);
+    w.i32(e.distance);
+    w.i32(e.luts_on_path);
+    w.i32(e.ffs_on_path);
+    w.i32(e.rams_on_path);
+  }
+  // Adjacency is derivable from the edge list but cheap to store, and
+  // storing it preserves the builder's exact edge ordering per node.
+  for (const auto& out_edges : graph.adj) {
+    w.u64(out_edges.size());
+    for (int k : out_edges) w.i32(k);
+  }
+  w.i64(graph.nodes_visited);
+}
+
+std::string read_dsp_graph_binary(ByteReader& r, const Netlist& nl, DspGraph* out) {
+  *out = DspGraph{};
+  const int32_t num_nodes = r.i32();
+  if (r.fail() || num_nodes < 0 || !r.fits(static_cast<uint64_t>(num_nodes), 4))
+    return "truncated DSP graph (nodes)";
+  out->dsps.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    const int32_t c = r.i32();
+    if (c < 0 || c >= nl.num_cells())
+      return "DSP graph cell id " + std::to_string(c) + " out of range";
+    out->dsps.push_back(c);
+  }
+  const int32_t num_edges = r.i32();
+  if (r.fail() || num_edges < 0 || !r.fits(static_cast<uint64_t>(num_edges), 24))
+    return "truncated DSP graph (edges)";
+  out->edges.reserve(static_cast<size_t>(num_edges));
+  for (int i = 0; i < num_edges; ++i) {
+    DspGraphEdge e;
+    e.from = r.i32();
+    e.to = r.i32();
+    e.distance = r.i32();
+    e.luts_on_path = r.i32();
+    e.ffs_on_path = r.i32();
+    e.rams_on_path = r.i32();
+    if (!r.fail() && (e.from < 0 || e.from >= num_nodes || e.to < 0 || e.to >= num_nodes))
+      return "DSP graph edge endpoint out of range";
+    out->edges.push_back(e);
+  }
+  out->adj.assign(static_cast<size_t>(num_nodes), {});
+  for (int i = 0; i < num_nodes; ++i) {
+    const uint64_t degree = r.u64();
+    if (!r.fits(degree, 4)) return "truncated DSP graph (adjacency)";
+    auto& out_edges = out->adj[static_cast<size_t>(i)];
+    out_edges.reserve(static_cast<size_t>(degree));
+    for (uint64_t k = 0; k < degree; ++k) {
+      const int32_t idx = r.i32();
+      if (!r.fail() && (idx < 0 || idx >= num_edges))
+        return "DSP graph adjacency index out of range";
+      out_edges.push_back(idx);
+    }
+  }
+  out->nodes_visited = r.i64();
+  if (r.fail()) return "truncated DSP graph";
+  return "";
 }
 
 }  // namespace dsp

@@ -58,4 +58,17 @@ DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g,
 /// (edges between surviving nodes are kept, indices remapped).
 DspGraph prune_dsp_graph(const DspGraph& graph, const std::vector<char>& keep);
 
+class ByteWriter;
+class ByteReader;
+
+/// Binary (little-endian) DSP-graph record for stage checkpoints
+/// (docs/TRACE_FORMAT.md): nodes, edges, adjacency, IDDFS work counter.
+void write_dsp_graph_binary(const DspGraph& graph, ByteWriter& w);
+
+/// Reads a write_dsp_graph_binary record. Returns "" on success or a
+/// diagnostic; every cell id, edge endpoint, and adjacency index is
+/// bounds-checked against `nl` / the graph itself so corrupt input can
+/// never produce an out-of-range graph.
+std::string read_dsp_graph_binary(ByteReader& r, const Netlist& nl, DspGraph* out);
+
 }  // namespace dsp

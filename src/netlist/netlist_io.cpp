@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace dsp {
 namespace {
 
@@ -133,6 +135,42 @@ Netlist load_netlist(const std::string& path) {
   std::ostringstream ss;
   ss << f.rdbuf();
   return read_netlist(ss.str());
+}
+
+uint64_t netlist_content_hash(const Netlist& nl) {
+  Fnv1a h;
+  h.str("netlist-v1");
+  h.str(nl.name());
+  h.i32(nl.num_cells());
+  for (CellId i = 0; i < nl.num_cells(); ++i) {
+    const Cell& c = nl.cell(i);
+    h.str(c.name);
+    h.u8(static_cast<uint8_t>(c.type));
+    h.u8(static_cast<uint8_t>(c.role));
+    h.i32(c.cascade_chain);
+    h.i32(c.cascade_pos);
+    h.boolean(c.fixed);
+    if (c.fixed) {
+      h.f64(c.fixed_x);
+      h.f64(c.fixed_y);
+    }
+  }
+  h.i32(nl.num_nets());
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Net& n = nl.net(i);
+    h.str(n.name);
+    h.i32(n.driver);
+    h.u64(n.sinks.size());
+    for (CellId s : n.sinks) h.i32(s);
+    h.f64(n.weight);
+  }
+  h.i32(nl.num_chains());
+  for (int ci = 0; ci < nl.num_chains(); ++ci) {
+    const auto& chain = nl.chain(ci).cells;
+    h.u64(chain.size());
+    for (CellId c : chain) h.i32(c);
+  }
+  return h.digest();
 }
 
 }  // namespace dsp

@@ -28,4 +28,11 @@ Netlist read_netlist(const std::string& text);
 bool save_netlist(const Netlist& nl, const std::string& path);
 Netlist load_netlist(const std::string& path);
 
+/// Content hash of the netlist structure (name, cells with types / roles /
+/// chain stamps / pinned coordinates, nets, cascade chains). The primary
+/// ingredient of the stage checkpoint cache's root key
+/// (docs/ARCHITECTURE.md): two netlists hash equal iff the flow cannot
+/// tell them apart.
+uint64_t netlist_content_hash(const Netlist& nl);
+
 }  // namespace dsp

@@ -55,6 +55,14 @@ class HostPlacer {
 
   const HostPlacerOptions& options() const { return opts_; }
 
+  /// Timing-driven net-weight state accumulated by place_full. Snapshotted
+  /// and restored by the stage checkpoint cache so a flow resumed from a
+  /// cached prototype replays replace_others identically.
+  const std::vector<double>& net_weight_scale() const { return net_weight_scale_; }
+  void set_net_weight_scale(std::vector<double> scale) {
+    net_weight_scale_ = std::move(scale);
+  }
+
   /// Optional instrumentation: sub-steps (global+spread, legalize, DSP
   /// baseline, timing rounds) are recorded as children of the trace's
   /// current stage. The trace must outlive the placer. nullptr disables.

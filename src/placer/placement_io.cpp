@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/binio.hpp"
+
 namespace dsp {
 
 std::string write_placement(const Netlist& nl, const Placement& pl) {
@@ -69,6 +71,41 @@ Placement load_placement(const Netlist& nl, const Device& dev, const std::string
   std::ostringstream ss;
   ss << f.rdbuf();
   return read_placement(nl, dev, ss.str());
+}
+
+void write_placement_binary(const Placement& pl, ByteWriter& w) {
+  w.i32(pl.num_cells());
+  for (CellId c = 0; c < pl.num_cells(); ++c) {
+    w.f64(pl.x(c));
+    w.f64(pl.y(c));
+    w.i32(pl.dsp_site(c));
+  }
+}
+
+std::string read_placement_binary(ByteReader& r, const Netlist& nl, const Device& dev,
+                                  Placement* pl) {
+  const int32_t count = r.i32();
+  if (r.fail()) return "truncated placement record";
+  if (count != nl.num_cells())
+    return "placement cell count " + std::to_string(count) + " != netlist " +
+           std::to_string(nl.num_cells());
+  if (!r.fits(static_cast<uint64_t>(count), 2 * sizeof(double) + sizeof(int32_t)))
+    return "truncated placement record";
+  *pl = Placement(nl, dev);
+  for (CellId c = 0; c < count; ++c) {
+    const double x = r.f64();
+    const double y = r.f64();
+    const int32_t site = r.i32();
+    if (site < -1 || site >= dev.dsp_capacity())
+      return "placement site " + std::to_string(site) + " out of range for cell " +
+             std::to_string(c);
+    if (site >= 0) pl->assign_dsp_site(dev, c, site);
+    // Exact coordinates last: assign_dsp_site snaps to the site center, the
+    // checkpointed values are authoritative.
+    pl->set(c, x, y);
+  }
+  if (r.fail()) return "truncated placement record";
+  return "";
 }
 
 }  // namespace dsp

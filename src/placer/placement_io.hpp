@@ -21,4 +21,19 @@ Placement read_placement(const Netlist& nl, const Device& dev, const std::string
 bool save_placement(const Netlist& nl, const Placement& pl, const std::string& path);
 Placement load_placement(const Netlist& nl, const Device& dev, const std::string& path);
 
+class ByteWriter;
+class ByteReader;
+
+/// Binary (little-endian) placement record for stage checkpoints
+/// (docs/TRACE_FORMAT.md): cell count, then per-cell x/y bit patterns and
+/// DSP site. Bit-exact round trip, unlike the text format's decimal
+/// printing.
+void write_placement_binary(const Placement& pl, ByteWriter& w);
+
+/// Reads a write_placement_binary record against `nl`/`dev`. Returns "" on
+/// success or a diagnostic (cell-count mismatch, site out of range,
+/// truncated input); on failure `*pl` is left unspecified but sized.
+std::string read_placement_binary(ByteReader& r, const Netlist& nl, const Device& dev,
+                                  Placement* pl);
+
 }  // namespace dsp

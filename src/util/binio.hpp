@@ -1,0 +1,121 @@
+// Little-endian binary writer/reader for checkpoint artifacts
+// (docs/TRACE_FORMAT.md). The reader is truncation-safe: every accessor
+// bounds-checks, failure is sticky, and reads after a failure return zero —
+// callers parse straight through and check fail()/done() once at the end
+// instead of guarding each field. Corrupt length prefixes can never cause
+// oversized allocations because lengths are checked against the bytes that
+// actually remain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dsp {
+
+class ByteWriter {
+ public:
+  void bytes(const void* p, size_t n) { buf_.append(static_cast<const char*>(p), n); }
+  void u8(uint8_t v) { bytes(&v, 1); }
+  void u32(uint32_t v) {
+    const char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                       static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    bytes(b, 4);
+  }
+  void u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v));
+    u32(static_cast<uint32_t>(v >> 32));
+  }
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  /// Bit pattern, so round trips are exact for every double (±0, NaN, denormals).
+  void f64(double v) {
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    u64(b);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool fail() const { return fail_; }
+  /// All bytes consumed and no read ever failed — the end-of-parse check.
+  bool done() const { return !fail_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t u8() {
+    uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  uint32_t u32() {
+    unsigned char b[4] = {0, 0, 0, 0};
+    take(b, 4);
+    return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+           static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+  }
+  uint64_t u64() {
+    const uint64_t lo = u32();
+    return lo | static_cast<uint64_t>(u32()) << 32;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() {
+    const uint64_t b = u64();
+    double v = 0;
+    std::memcpy(&v, &b, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const uint64_t n = u64();
+    if (fail_ || n > remaining()) {
+      fail_ = true;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Pre-flight for a length prefix: can `count` elements of `elem_size`
+  /// bytes still fit in the remaining input? Marks failure if not, so a
+  /// corrupt count fails before any allocation.
+  bool fits(uint64_t count, size_t elem_size) {
+    if (!fail_ && count <= remaining() / (elem_size == 0 ? 1 : elem_size)) return true;
+    fail_ = true;
+    return false;
+  }
+
+ private:
+  bool take(void* out, size_t n) {
+    if (fail_ || n > remaining()) {
+      fail_ = true;
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+}  // namespace dsp

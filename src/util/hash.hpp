@@ -1,0 +1,78 @@
+// Content hashing for the stage checkpoint cache (docs/ARCHITECTURE.md):
+// 64-bit FNV-1a over a canonical little-endian byte stream. Not
+// cryptographic — collisions only need to be unlikely between accidental
+// option/netlist coincidences, and checkpoint payloads are re-validated
+// against a stored hash at load time anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dsp {
+
+class Fnv1a {
+ public:
+  static constexpr uint64_t kOffset = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) state_ = (state_ ^ p[i]) * kPrime;
+  }
+  void u8(uint8_t v) { bytes(&v, 1); }
+  void u32(uint32_t v) {
+    const unsigned char b[4] = {static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+                                static_cast<unsigned char>(v >> 16),
+                                static_cast<unsigned char>(v >> 24)};
+    bytes(b, 4);
+  }
+  void u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v));
+    u32(static_cast<uint32_t>(v >> 32));
+  }
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  /// Hashes the bit pattern, so -0.0 vs 0.0 and NaN payloads distinguish.
+  void f64(double v) {
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    u64(b);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Length-prefixed, so consecutive strings cannot alias each other.
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kOffset;
+};
+
+inline uint64_t hash_bytes(const void* data, size_t n) {
+  Fnv1a h;
+  h.bytes(data, n);
+  return h.digest();
+}
+
+inline uint64_t hash_combine(uint64_t a, uint64_t b) {
+  Fnv1a h;
+  h.u64(a);
+  h.u64(b);
+  return h.digest();
+}
+
+/// 16 lowercase hex digits (zero-padded) — checkpoint filename suffix.
+inline std::string hex16(uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) s[static_cast<size_t>(i)] = kDigits[v & 0xf];
+  return s;
+}
+
+}  // namespace dsp

@@ -1,0 +1,386 @@
+// Stage checkpoint cache tests: bit-identical snapshot round trips,
+// graceful rejection of corrupted/truncated/version-skewed files, warm
+// re-runs that skip the Prototype/Extract prefix, per-option suffix
+// invalidation, thread-count independence, and --resume-from semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/checkpoint.hpp"
+#include "core/flow.hpp"
+#include "designs/benchmarks.hpp"
+#include "netlist/netlist_io.hpp"
+#include "util/binio.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_cache_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dsplacer_ckpt_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+DsplacerOptions fast_options() {
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;
+  opts.assign.iterations = 6;
+  opts.outer_iterations = 1;
+  return opts;
+}
+
+struct SmallDesign {
+  Device dev;
+  Netlist nl;
+  SmallDesign()
+      : dev(make_zcu104(0.1)),
+        nl(make_benchmark(benchmark_by_name("SkyNet"), dev, 0.1)) {}
+};
+
+void expect_bit_identical(const Placement& a, const Placement& b) {
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (CellId c = 0; c < a.num_cells(); ++c) {
+    double ax = a.x(c), bx = b.x(c), ay = a.y(c), by = b.y(c);
+    EXPECT_EQ(std::memcmp(&ax, &bx, sizeof ax), 0) << "x differs at cell " << c;
+    EXPECT_EQ(std::memcmp(&ay, &by, sizeof ay), 0) << "y differs at cell " << c;
+    EXPECT_EQ(a.dsp_site(c), b.dsp_site(c)) << "site differs at cell " << c;
+  }
+}
+
+int64_t stage_counter(const DsplacerResult& res, const char* stage, const char* name) {
+  const TraceNode* node = res.trace.root().find(stage);
+  return node == nullptr ? 0 : node->counter(name);
+}
+
+TEST(BinIo, PrimitivesRoundTripAndRejectTruncation) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(-0.0);
+  w.f64(1e-310);  // denormal
+  w.boolean(true);
+  w.str("hello");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  const double neg_zero = r.f64();
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), 1e-310);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+
+  // Truncated at every prefix length: reads fail sticky, never crash.
+  for (size_t cut = 0; cut < w.data().size(); ++cut) {
+    ByteReader t(std::string_view(w.data()).substr(0, cut));
+    t.u8();
+    t.u32();
+    t.u64();
+    t.i32();
+    t.i64();
+    t.f64();
+    t.f64();
+    t.boolean();
+    t.str();
+    EXPECT_FALSE(t.done());
+  }
+}
+
+TEST(BinIo, CorruptStringLengthDoesNotAllocate) {
+  ByteWriter w;
+  w.u64(~0ull);  // absurd length prefix
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.fail());
+}
+
+TEST(Checkpoint, SnapshotRoundTripsBitIdentically) {
+  SmallDesign d;
+  // A snapshot with every field populated, taken from a real cold run.
+  const std::string dir = fresh_cache_dir("roundtrip");
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = dir;
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+
+  // Re-serialize every stored stage file: load -> save must be byte-stable.
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    std::ifstream f(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    StageSnapshot snap;
+    ASSERT_EQ(deserialize_checkpoint(bytes, d.nl, d.dev, &snap), "")
+        << entry.path().string();
+    EXPECT_EQ(serialize_checkpoint(snap), bytes) << entry.path().string();
+  }
+  EXPECT_EQ(files, 5);  // Prototype, Extract, DspPlace, Replace, Route/Report
+}
+
+TEST(Checkpoint, RejectsCorruptedTruncatedAndVersionSkewedFiles) {
+  SmallDesign d;
+  StageSnapshot snap;
+  snap.stage = "Prototype";
+  snap.key = 0x1234;
+  snap.placement = Placement(d.nl, d.dev);
+  snap.trace_counters.emplace_back("nodes_visited", 7);
+  const std::string bytes = serialize_checkpoint(snap);
+
+  StageSnapshot out;
+  EXPECT_EQ(deserialize_checkpoint(bytes, d.nl, d.dev, &out), "");
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_EQ(deserialize_checkpoint(bad, d.nl, d.dev, &out), "bad magic");
+
+  // Unsupported version.
+  bad = bytes;
+  bad[4] = static_cast<char>(kCheckpointVersion + 1);
+  EXPECT_NE(deserialize_checkpoint(bad, d.nl, d.dev, &out).find("version"),
+            std::string::npos);
+
+  // Payload corruption is caught by the payload hash.
+  bad = bytes;
+  bad[bytes.size() / 2] ^= 0x5a;
+  EXPECT_EQ(deserialize_checkpoint(bad, d.nl, d.dev, &out), "payload hash mismatch");
+
+  // Truncation at any length: an error string, never a crash.
+  for (size_t cut = 0; cut < bytes.size(); cut += 7)
+    EXPECT_NE(deserialize_checkpoint(bytes.substr(0, cut), d.nl, d.dev, &out), "");
+
+  // Trailing garbage.
+  EXPECT_NE(deserialize_checkpoint(bytes + "zzz", d.nl, d.dev, &out), "");
+}
+
+TEST(Checkpoint, WarmRunHitsEveryStageAndIsBitIdentical) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("warm");
+
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+  EXPECT_EQ(stage_counter(cold, stage::kPrototype, "cache_hit"), 0);
+  EXPECT_EQ(stage_counter(cold, stage::kPrototype, "cache_miss"), 1);
+
+  const DsplacerResult warm = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(warm.legality_error, "");
+  // The acceptance property: the warm run skips Prototype+Extract (and in
+  // fact every stage), visible as cache_hit counters in the trace.
+  EXPECT_EQ(stage_counter(warm, stage::kPrototype, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(warm, stage::kExtract, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(warm, stage::kDspPlace, "cache_hit"), 1);
+  expect_bit_identical(cold.placement, warm.placement);
+
+  // Summary counters and stage trace counters survive the cache.
+  EXPECT_EQ(cold.num_datapath_dsps, warm.num_datapath_dsps);
+  EXPECT_EQ(cold.num_control_dsps, warm.num_control_dsps);
+  EXPECT_EQ(cold.dsp_graph_edges, warm.dsp_graph_edges);
+  EXPECT_EQ(cold.mcf_iterations, warm.mcf_iterations);
+  EXPECT_EQ(cold.mcf_converged, warm.mcf_converged);
+  EXPECT_EQ(stage_counter(cold, stage::kExtract, "nodes_visited"),
+            stage_counter(warm, stage::kExtract, "nodes_visited"));
+  EXPECT_EQ(stage_counter(cold, stage::kDspPlace, "mcf_arcs"),
+            stage_counter(warm, stage::kDspPlace, "mcf_arcs"));
+}
+
+TEST(Checkpoint, ChangedAssignOptionInvalidatesExactlyTheSuffix) {
+  SmallDesign d;
+  DsplacerOptions a = fast_options();
+  a.cache_dir = fresh_cache_dir("suffix");
+  const DsplacerResult cold_a = run_dsplacer(d.nl, d.dev, {}, a);
+  ASSERT_EQ(cold_a.legality_error, "");
+
+  // Sweep lambda (the bench_ablation use-case): the Prototype/Extract
+  // prefix is untouched, DspPlace onward recompute.
+  DsplacerOptions b = a;
+  b.assign.lambda = 0.0;
+  const DsplacerResult warm_b = run_dsplacer(d.nl, d.dev, {}, b);
+  ASSERT_EQ(warm_b.legality_error, "");
+  EXPECT_EQ(stage_counter(warm_b, stage::kPrototype, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(warm_b, stage::kExtract, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(warm_b, stage::kDspPlace, "cache_hit"), 0);
+  EXPECT_EQ(stage_counter(warm_b, stage::kDspPlace, "cache_miss"), 1);
+
+  // The cached prefix + recomputed suffix equals a cold cacheless run.
+  DsplacerOptions b_cold = b;
+  b_cold.cache_dir.clear();
+  const DsplacerResult cold_b = run_dsplacer(d.nl, d.dev, {}, b_cold);
+  ASSERT_EQ(cold_b.legality_error, "");
+  expect_bit_identical(cold_b.placement, warm_b.placement);
+}
+
+TEST(Checkpoint, OuterIterationSweepSharesThePrefixChain) {
+  SmallDesign d;
+  DsplacerOptions one = fast_options();
+  one.cache_dir = fresh_cache_dir("outer");
+  one.outer_iterations = 1;
+  const DsplacerResult r1 = run_dsplacer(d.nl, d.dev, {}, one);
+  ASSERT_EQ(r1.legality_error, "");
+
+  // outer_iterations only changes the stage list length; the first
+  // DspPlace/Replace round chains to identical keys and hits.
+  DsplacerOptions two = one;
+  two.outer_iterations = 2;
+  const DsplacerResult r2 = run_dsplacer(d.nl, d.dev, {}, two);
+  ASSERT_EQ(r2.legality_error, "");
+  EXPECT_EQ(stage_counter(r2, stage::kDspPlace, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(r2, stage::kDspPlace, "cache_miss"), 1);
+}
+
+TEST(Checkpoint, CachedRerunIsThreadCountIndependent) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("threads");
+
+  ThreadPool pool1(1);
+  FlowContext cold_ctx(d.nl, d.dev, {}, opts, &pool1);
+  const DsplacerResult cold = run_flow(cold_ctx, dsplacer_pipeline(opts));
+  ASSERT_EQ(cold.legality_error, "");
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    FlowContext ctx(d.nl, d.dev, {}, opts, &pool);
+    const DsplacerResult warm = run_flow(ctx, dsplacer_pipeline(opts));
+    ASSERT_EQ(warm.legality_error, "");
+    // Kernels are bit-identical across thread counts, so the keys (and the
+    // cached artifacts) match regardless of the pool that produced them.
+    EXPECT_EQ(stage_counter(warm, stage::kPrototype, "cache_hit"), 1) << threads;
+    EXPECT_EQ(stage_counter(warm, stage::kExtract, "cache_hit"), 1) << threads;
+    expect_bit_identical(cold.placement, warm.placement);
+  }
+}
+
+TEST(Checkpoint, CorruptCacheFileFallsBackToRecomputation) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("corrupt");
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+
+  // Vandalize the Extract checkpoint.
+  bool corrupted = false;
+  for (const auto& entry : fs::directory_iterator(opts.cache_dir)) {
+    if (entry.path().filename().string().rfind("Extract-", 0) != 0) continue;
+    std::fstream f(entry.path(), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(40);
+    const int byte = f.get();
+    f.seekp(40);
+    f.put(static_cast<char>(~byte));  // guaranteed flip, whatever was there
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+
+  const DsplacerResult warm = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(warm.legality_error, "");
+  EXPECT_EQ(stage_counter(warm, stage::kPrototype, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(warm, stage::kExtract, "cache_hit"), 0);
+  EXPECT_EQ(stage_counter(warm, stage::kExtract, "cache_bad"), 1);
+  expect_bit_identical(cold.placement, warm.placement);
+}
+
+TEST(Checkpoint, TruncatedCacheFileFallsBackToRecomputation) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("trunc");
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+
+  for (const auto& entry : fs::directory_iterator(opts.cache_dir)) {
+    if (entry.path().filename().string().rfind("Prototype-", 0) != 0) continue;
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) / 3);
+  }
+
+  const DsplacerResult warm = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(warm.legality_error, "");
+  EXPECT_EQ(stage_counter(warm, stage::kPrototype, "cache_bad"), 1);
+  expect_bit_identical(cold.placement, warm.placement);
+}
+
+TEST(Checkpoint, ResumeFromRecomputesTheNamedStageOnward) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("resume");
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+
+  DsplacerOptions resume = opts;
+  resume.resume_from = stage::kDspPlace;
+  const DsplacerResult res = run_dsplacer(d.nl, d.dev, {}, resume);
+  ASSERT_EQ(res.legality_error, "");
+  EXPECT_EQ(stage_counter(res, stage::kPrototype, "cache_hit"), 1);
+  EXPECT_EQ(stage_counter(res, stage::kExtract, "cache_hit"), 1);
+  // DspPlace recomputes despite a valid checkpoint being available.
+  EXPECT_EQ(stage_counter(res, stage::kDspPlace, "cache_hit"), 0);
+  EXPECT_EQ(stage_counter(res, stage::kDspPlace, "cache_miss"), 0);
+  expect_bit_identical(cold.placement, res.placement);
+}
+
+TEST(Checkpoint, ResumeFromErrorsWithoutUsableCheckpoints) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("resume_missing");
+  opts.resume_from = stage::kDspPlace;
+  const DsplacerResult res = run_dsplacer(d.nl, d.dev, {}, opts);
+  EXPECT_NE(res.legality_error.find("no usable checkpoint"), std::string::npos);
+
+  DsplacerOptions no_cache = fast_options();
+  no_cache.resume_from = stage::kDspPlace;
+  const DsplacerResult res2 = run_dsplacer(d.nl, d.dev, {}, no_cache);
+  EXPECT_NE(res2.legality_error.find("requires a cache directory"), std::string::npos);
+
+  DsplacerOptions bad_stage = fast_options();
+  bad_stage.cache_dir = opts.cache_dir;
+  bad_stage.resume_from = "NoSuchStage";
+  const DsplacerResult res3 = run_dsplacer(d.nl, d.dev, {}, bad_stage);
+  EXPECT_NE(res3.legality_error.find("unknown stage"), std::string::npos);
+}
+
+TEST(Checkpoint, DifferentNetlistOrDeviceOrSeedMisses) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("keys");
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+
+  // Another design: everything misses.
+  const Netlist other = make_benchmark(benchmark_by_name("iSmartDNN"), d.dev, 0.1);
+  const DsplacerResult other_run = run_dsplacer(other, d.dev, {}, opts);
+  EXPECT_EQ(stage_counter(other_run, stage::kPrototype, "cache_hit"), 0);
+
+  // Another seed: the base key changes, so even Prototype misses.
+  DsplacerOptions seeded = opts;
+  seeded.features.seed = 1234;
+  const DsplacerResult seeded_run = run_dsplacer(d.nl, d.dev, {}, seeded);
+  EXPECT_EQ(stage_counter(seeded_run, stage::kPrototype, "cache_hit"), 0);
+}
+
+TEST(Checkpoint, ContentHashesAreStructureSensitive) {
+  SmallDesign d;
+  EXPECT_EQ(netlist_content_hash(d.nl), netlist_content_hash(d.nl));
+  Netlist copy = d.nl;
+  copy.set_name("renamed");
+  EXPECT_NE(netlist_content_hash(d.nl), netlist_content_hash(copy));
+
+  EXPECT_EQ(device_content_hash(d.dev), device_content_hash(d.dev));
+  const Device other = make_zcu104(0.12);
+  EXPECT_NE(device_content_hash(d.dev), device_content_hash(other));
+}
+
+}  // namespace
+}  // namespace dsp

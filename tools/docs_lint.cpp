@@ -1,0 +1,178 @@
+// docs_lint — keeps the Markdown docs honest. Run as a ctest entry
+// (`ctest -R docs_lint`) with the repo root as argv[1].
+//
+// Checks, over README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
+// docs/*.md:
+//   1. Every relative Markdown link `](path)` resolves to a file that
+//      exists (http(s)/mailto/pure-fragment links are skipped, fragments
+//      are stripped before the existence check).
+//   2. Every backticked token that looks like a pipeline stage name is
+//      spelled exactly like one of the stage::k* constants parsed out of
+//      src/core/flow.hpp — so the docs cannot drift when a stage is
+//      renamed (`DSPPlace` or `Route-Report` fail the build).
+//   3. docs/ARCHITECTURE.md and docs/TRACE_FORMAT.md each mention every
+//      canonical stage name at least once (the inverse drift: a new stage
+//      must be documented).
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Pulls the canonical stage names out of the `namespace stage { ... }`
+// block: every string literal assigned to an `inline constexpr` there.
+std::vector<std::string> canonical_stages(const std::string& flow_hpp) {
+  std::vector<std::string> stages;
+  const size_t ns = flow_hpp.find("namespace stage {");
+  if (ns == std::string::npos) return stages;
+  const size_t end = flow_hpp.find("}  // namespace stage", ns);
+  size_t pos = ns;
+  while (true) {
+    const size_t q1 = flow_hpp.find('"', pos);
+    if (q1 == std::string::npos || q1 >= end) break;
+    const size_t q2 = flow_hpp.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 >= end) break;
+    stages.push_back(flow_hpp.substr(q1 + 1, q2 - q1 - 1));
+    pos = q2 + 1;
+  }
+  return stages;
+}
+
+bool stage_like(const std::string& token, const std::vector<std::string>& stages) {
+  // A token is "stage-like" when some canonical name is a case-insensitive
+  // prefix of it (or vice versa) and it contains only name characters.
+  // This flags near-misses like `DSPPlace`, `Route/report` or `Extraction`
+  // without tripping on ordinary identifiers. All-lowercase tokens are
+  // exempt: stage names are capitalized, while module directories
+  // (`extract`, `placer`, ...) are legitimately lowercase in docs.
+  if (token.empty()) return false;
+  if (std::isupper(static_cast<unsigned char>(token[0])) == 0) return false;
+  for (char c : token)
+    if (std::isalpha(static_cast<unsigned char>(c)) == 0 && c != '/') return false;
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+  };
+  const std::string lt = lower(token);
+  for (const std::string& s : stages) {
+    const std::string ls = lower(s);
+    if (lt.rfind(ls, 0) == 0 || ls.rfind(lt, 0) == 0) return true;
+  }
+  return false;
+}
+
+int lint_file(const fs::path& repo, const fs::path& md,
+              const std::vector<std::string>& stages) {
+  const std::string text = read_file(md);
+  const std::string rel = fs::relative(md, repo).string();
+  int errors = 0;
+
+  // ---- 1. relative links resolve --------------------------------------
+  for (size_t pos = 0; (pos = text.find("](", pos)) != std::string::npos; pos += 2) {
+    const size_t close = text.find(')', pos + 2);
+    if (close == std::string::npos) break;
+    std::string target = text.substr(pos + 2, close - pos - 2);
+    if (target.empty() || target.find("://") != std::string::npos ||
+        target.rfind("mailto:", 0) == 0 || target[0] == '#')
+      continue;
+    if (target.find(' ') != std::string::npos)  // "](x) (y)" artifacts; skip
+      continue;
+    const size_t frag = target.find('#');
+    if (frag != std::string::npos) target = target.substr(0, frag);
+    if (target.empty()) continue;
+    const fs::path resolved = md.parent_path() / target;
+    if (!fs::exists(resolved)) {
+      std::cerr << rel << ": broken link: " << target << '\n';
+      ++errors;
+    }
+  }
+
+  // ---- 2. backticked stage names are canonical ------------------------
+  for (size_t pos = 0; (pos = text.find('`', pos)) != std::string::npos;) {
+    if (text.compare(pos, 3, "```") == 0) {  // skip fenced code blocks
+      const size_t end = text.find("```", pos + 3);
+      if (end == std::string::npos) break;
+      pos = end + 3;
+      continue;
+    }
+    const size_t close = text.find('`', pos + 1);
+    if (close == std::string::npos) break;
+    const std::string token = text.substr(pos + 1, close - pos - 1);
+    if (stage_like(token, stages)) {
+      bool exact = false;
+      for (const std::string& s : stages) exact |= (token == s);
+      if (!exact) {
+        std::cerr << rel << ": `" << token
+                  << "` is not a canonical stage name (see src/core/flow.hpp)\n";
+        ++errors;
+      }
+    }
+    pos = close + 1;
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: docs_lint <repo-root>\n";
+    return 2;
+  }
+  const fs::path repo = argv[1];
+  const std::string flow_hpp = read_file(repo / "src/core/flow.hpp");
+  const std::vector<std::string> stages = canonical_stages(flow_hpp);
+  if (stages.size() < 5) {
+    std::cerr << "docs_lint: cannot parse stage names from src/core/flow.hpp\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const char* name : {"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"})
+    if (fs::exists(repo / name)) files.push_back(repo / name);
+  if (fs::exists(repo / "docs"))
+    for (const auto& entry : fs::directory_iterator(repo / "docs"))
+      if (entry.path().extension() == ".md") files.push_back(entry.path());
+
+  int errors = 0;
+  for (const fs::path& md : files) errors += lint_file(repo, md, stages);
+
+  // ---- 3. the architecture/trace docs cover every stage ----------------
+  for (const char* doc : {"docs/ARCHITECTURE.md", "docs/TRACE_FORMAT.md"}) {
+    const fs::path p = repo / doc;
+    if (!fs::exists(p)) {
+      std::cerr << doc << ": missing\n";
+      ++errors;
+      continue;
+    }
+    const std::string text = read_file(p);
+    for (const std::string& s : stages)
+      if (text.find(s) == std::string::npos) {
+        std::cerr << doc << ": stage `" << s << "` is undocumented\n";
+        ++errors;
+      }
+  }
+
+  if (errors != 0) {
+    std::cerr << "docs_lint: " << errors << " problem(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "docs_lint: " << files.size() << " files clean ("
+            << stages.size() << " stage names)\n";
+  return 0;
+}
