@@ -1,0 +1,131 @@
+// Placement-service throughput microbenchmark (docs/SERVER.md).
+//
+// Starts an in-process dsplacerd on a Unix-domain socket, then measures
+// end-to-end job latency and throughput through the framed protocol:
+//   cold   - empty stage cache, every stage computed
+//   warm   - identical resubmissions served from the shared cache
+//   mixed  - four concurrent clients alternating two benchmarks
+// The cold/warm gap is the checkpoint cache's value to a long-lived
+// service; the mixed row shows worker-pool scaling across clients.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "designs/benchmarks.hpp"
+#include "netlist/netlist_io.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace dsp;
+
+namespace {
+
+JobRequest request_for(const std::string& netlist_text, double scale) {
+  JobRequest req;
+  req.netlist_text = netlist_text;
+  req.scale = scale;
+  req.want_trace = false;  // measure placement service time, not JSON size
+  return req;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale_from_env(0.1);
+  const Device dev = make_zcu104(scale);
+  const std::string sky = write_netlist(make_benchmark(benchmark_by_name("SkyNet"), dev, scale));
+  const std::string ismart =
+      write_netlist(make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale));
+  std::printf("SERVER benchmark scale: %.2f\n\n", scale);
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "dsplacer_bench_server_cache";
+  std::filesystem::remove_all(cache_dir);  // cold start for honest timing
+
+  ServerOptions sopts;
+  sopts.unix_path =
+      (std::filesystem::temp_directory_path() / "dsplacer_bench_server.sock").string();
+  sopts.workers = 4;
+  sopts.queue_depth = 32;
+  sopts.cache_dir = cache_dir.string();
+  DsplacerServer server(sopts);
+  const std::string start_err = server.start();
+  if (!start_err.empty()) {
+    std::fprintf(stderr, "bench_server: %s\n", start_err.c_str());
+    return 1;
+  }
+
+  Table table({"phase", "jobs", "total s", "jobs/s", "cache hits"});
+  const auto run_serial = [&](const char* phase, int jobs, const std::string& netlist) {
+    std::string err;
+    DsplacerClient client = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+    if (!client.connected()) {
+      std::fprintf(stderr, "bench_server: %s\n", err.c_str());
+      return;
+    }
+    int64_t hits = 0;
+    Timer t;
+    for (int i = 0; i < jobs; ++i) {
+      JobReply reply;
+      if (!client.submit(request_for(netlist, scale), &reply).empty() ||
+          reply.status != JobStatus::kOk) {
+        std::fprintf(stderr, "bench_server: job failed (%s)\n", reply.error.c_str());
+        return;
+      }
+      hits += reply.cache_hits;
+    }
+    const double secs = t.seconds();
+    table.add_row({phase, std::to_string(jobs), Table::fmt(secs, 3),
+                   Table::fmt(jobs / secs, 2), std::to_string(hits)});
+  };
+
+  run_serial("cold (1 client)", 1, sky);
+  run_serial("warm (1 client)", 8, sky);
+
+  // Mixed concurrent load: 4 clients, 5 jobs each, two designs.
+  {
+    constexpr int kClients = 4;
+    constexpr int kJobs = 5;
+    std::atomic<int64_t> hits{0};
+    std::atomic<int> failed{0};
+    Timer t;
+    std::vector<std::thread> threads;
+    for (int ci = 0; ci < kClients; ++ci)
+      threads.emplace_back([&, ci] {
+        std::string err;
+        DsplacerClient client = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+        if (!client.connected()) {
+          failed.fetch_add(kJobs);
+          return;
+        }
+        for (int j = 0; j < kJobs; ++j) {
+          JobReply reply;
+          const std::string& netlist = (ci + j) % 2 == 0 ? sky : ismart;
+          if (!client.submit(request_for(netlist, scale), &reply).empty() ||
+              reply.status != JobStatus::kOk)
+            failed.fetch_add(1);
+          else
+            hits.fetch_add(reply.cache_hits);
+        }
+      });
+    for (std::thread& th : threads) th.join();
+    const double secs = t.seconds();
+    const int ok = kClients * kJobs - failed.load();
+    table.add_row({"mixed (4 clients)", std::to_string(ok), Table::fmt(secs, 3),
+                   Table::fmt(ok / secs, 2), std::to_string(hits.load())});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  server.stop();
+  const ServerStats stats = server.stats();
+  std::printf("server stats: %lld ok, %lld failed, %lld busy\n",
+              static_cast<long long>(stats.jobs_ok),
+              static_cast<long long>(stats.jobs_failed),
+              static_cast<long long>(stats.busy_rejections));
+  std::filesystem::remove_all(cache_dir);
+  return stats.jobs_failed == 0 ? 0 : 1;
+}

@@ -1,10 +1,12 @@
 #include "core/checkpoint.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <unistd.h>
 
 #include "placer/placement_io.hpp"
 #include "util/binio.hpp"
@@ -217,7 +219,14 @@ std::string StageCache::store(const std::string& stage, uint64_t key,
                               const StageSnapshot& snap) const {
   if (!enabled()) return "cache disabled";
   const std::string path = path_for(stage, key);
-  const std::string tmp = path + ".tmp";
+  // Unique temp name per store: concurrent jobs in a shared cache (the
+  // placement service) can miss on the same key and store it at the same
+  // time; writing to one shared ".tmp" would interleave their bytes. Each
+  // writer gets its own temp file and the atomic rename makes the last
+  // one win with an intact payload.
+  static std::atomic<uint64_t> store_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(store_seq.fetch_add(1));
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) return "cannot open " + tmp;

@@ -16,6 +16,7 @@
 #include "placer/placement_io.hpp"
 #include "timing/sta.hpp"
 #include "timing/wirelength.hpp"
+#include "util/version.hpp"
 
 namespace dsp {
 namespace {
@@ -102,8 +103,24 @@ int cmd_place(const std::map<std::string, std::string>& flags, std::ostream& out
   const Netlist nl = load_netlist(nl_path);
 
   // Worker count precedence: --threads > DSPLACER_THREADS > hardware.
-  const int threads = static_cast<int>(flag_double(flags, "threads", 0.0));
-  if (threads > 0) set_global_threads(threads);
+  // Both are validated strictly: 0, negative, or non-numeric values are a
+  // usage error, never a silent clamp to a default.
+  std::string threads_error;
+  if (const char* env = std::getenv("DSPLACER_THREADS")) {
+    if (parse_thread_count(env, &threads_error) < 0) {
+      err << "place: DSPLACER_THREADS: " << threads_error << '\n';
+      return 2;
+    }
+  }
+  const auto threads_flag = flags.find("threads");
+  if (threads_flag != flags.end()) {
+    const int threads = parse_thread_count(threads_flag->second, &threads_error);
+    if (threads < 0) {
+      err << "place: --threads: " << threads_error << '\n';
+      return 2;
+    }
+    set_global_threads(threads);
+  }
 
   Placement pl;
   if (tool == "dsplacer") {
@@ -222,13 +239,18 @@ std::string cli_usage() {
       "         [--out <placement>] [--constraints <xdc>] [--svg <file>]\n"
       "         [--threads <n>] [--trace <json>]\n"
       "         [--cache-dir <dir>] [--no-cache] [--resume-from <stage>]\n"
-      "  report --netlist <file> --placement <file> --scale <s> [--freq <MHz>]\n";
+      "  report --netlist <file> --placement <file> --scale <s> [--freq <MHz>]\n"
+      "  --version\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   if (args.empty()) {
     err << cli_usage();
     return 2;
+  }
+  if (args[0] == "--version" || args[0] == "version") {
+    out << version_line("dsplacer_cli") << '\n';
+    return 0;
   }
   std::string flag_error;
   const auto flags = parse_flags(args, 1, &flag_error);

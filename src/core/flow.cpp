@@ -374,6 +374,11 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
 
   for (size_t i = 0; i < stages.size(); ++i) {
     if (!ctx.error.empty()) break;  // fail-fast: later stages are skipped
+    if (ctx.cancel && ctx.cancel()) {
+      ctx.error = "cancelled";
+      ctx.trace.root().add_counter("cancelled", 1);
+      break;
+    }
     const FlowStage& s = stages[i];
     ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
     if (!caching) {

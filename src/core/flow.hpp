@@ -54,6 +54,12 @@ struct FlowContext {
   std::vector<CellId> datapath;    // the MCF targets
   std::string error;               // first stage failure; empty when healthy
 
+  /// Optional cooperative cancellation (service deadlines, graceful
+  /// drain): run_flow polls it before each stage and, when it returns
+  /// true, stops with error "cancelled" instead of running further
+  /// stages. Unset = never cancelled.
+  std::function<bool()> cancel;
+
   // ---- instrumentation ----
   RunTrace trace{"dsplacer"};
   PhaseProfile profile;  // flat Fig. 8 view, kept in sync with the tree

@@ -1,0 +1,73 @@
+#include "server/client.hpp"
+
+namespace dsp {
+
+DsplacerClient DsplacerClient::connect_to_unix(const std::string& path,
+                                               std::string* error) {
+  DsplacerClient c;
+  c.socket_ = connect_unix(path, error);
+  return c;
+}
+
+DsplacerClient DsplacerClient::connect_to_tcp(int port, std::string* error) {
+  DsplacerClient c;
+  c.socket_ = connect_tcp_loopback(port, error);
+  return c;
+}
+
+std::string DsplacerClient::read_frame(Frame* out) {
+  char buf[4096];
+  for (;;) {
+    if (!decoder_.error().empty()) return "protocol error: " + decoder_.error();
+    if (decoder_.next(out)) {
+      if (out->type == MsgType::kError) {
+        ByteReader r(out->payload);
+        const std::string msg = r.str();
+        return "server: " + (r.fail() ? std::string("protocol error") : msg);
+      }
+      return "";
+    }
+    const long got = recv_some(socket_.fd(), buf, sizeof(buf));
+    if (got <= 0) return "connection closed by server";
+    decoder_.feed(buf, static_cast<size_t>(got));
+  }
+}
+
+std::string DsplacerClient::submit(const JobRequest& request, JobReply* reply) {
+  if (!connected()) return "not connected";
+  const std::string frame =
+      encode_frame(MsgType::kJobRequest, encode_job_request(request));
+  if (!send_all(socket_.fd(), frame.data(), frame.size())) {
+    close();
+    return "send failed";
+  }
+  Frame in;
+  std::string err = read_frame(&in);
+  if (err.empty() && in.type != MsgType::kJobReply)
+    err = "unexpected reply type " + std::to_string(static_cast<uint32_t>(in.type));
+  if (err.empty()) err = decode_job_reply(in.payload, reply);
+  if (!err.empty()) close();
+  return err;
+}
+
+std::string DsplacerClient::ping(std::string* server_version) {
+  if (!connected()) return "not connected";
+  const std::string frame = encode_frame(MsgType::kPing, "");
+  if (!send_all(socket_.fd(), frame.data(), frame.size())) {
+    close();
+    return "send failed";
+  }
+  Frame in;
+  std::string err = read_frame(&in);
+  if (err.empty() && in.type != MsgType::kPong)
+    err = "unexpected reply type " + std::to_string(static_cast<uint32_t>(in.type));
+  if (err.empty()) {
+    ByteReader r(in.payload);
+    *server_version = r.str();
+    if (!r.done()) err = "truncated pong";
+  }
+  if (!err.empty()) close();
+  return err;
+}
+
+}  // namespace dsp

@@ -1,0 +1,43 @@
+// Client side of the dsplacerd protocol (docs/SERVER.md): connect over a
+// Unix-domain socket or TCP loopback, submit placement jobs, read framed
+// replies. One client = one connection; jobs on a connection run
+// serially (submit blocks until the reply frame arrives). Use one client
+// per thread for concurrent submission.
+#pragma once
+
+#include <string>
+
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+
+namespace dsp {
+
+class DsplacerClient {
+ public:
+  /// Factories return a disconnected client + *error on failure.
+  static DsplacerClient connect_to_unix(const std::string& path, std::string* error);
+  static DsplacerClient connect_to_tcp(int port, std::string* error);
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Submits one job and blocks for its reply. Returns "" and fills
+  /// *reply on success (including BUSY and error statuses — those are
+  /// valid replies); a non-empty return is a transport failure and the
+  /// connection is dead.
+  std::string submit(const JobRequest& request, JobReply* reply);
+
+  /// Liveness probe; fills *server_version from the pong. "" on success.
+  std::string ping(std::string* server_version);
+
+  void close() { socket_ = SocketFd(); }
+
+ private:
+  /// Reads frames until one arrives; "" on success. A kError frame from
+  /// the server is surfaced as "server: <message>".
+  std::string read_frame(Frame* out);
+
+  SocketFd socket_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,127 @@
+#include "server/protocol.hpp"
+
+#include <cmath>
+
+namespace dsp {
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "OK";
+    case JobStatus::kError: return "ERROR";
+    case JobStatus::kBusy: return "BUSY";
+    case JobStatus::kCancelled: return "CANCELLED";
+    case JobStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case JobStatus::kShuttingDown: return "SHUTTING_DOWN";
+    case JobStatus::kBadRequest: return "BAD_REQUEST";
+  }
+  return "?";
+}
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(kProtocolVersion);
+  w.u32(static_cast<uint32_t>(type));
+  w.u64(payload.size());
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+bool FrameDecoder::next(Frame* out) {
+  if (!error_.empty() || buf_.size() < kFrameHeaderBytes) return false;
+  ByteReader r(buf_);
+  const uint32_t magic = r.u32();
+  const uint32_t version = r.u32();
+  const uint32_t type = r.u32();
+  const uint64_t length = r.u64();
+  if (magic != kFrameMagic) {
+    error_ = "bad magic";
+    return false;
+  }
+  if (version != kProtocolVersion) {
+    error_ = "unsupported protocol version " + std::to_string(version);
+    return false;
+  }
+  if (type < static_cast<uint32_t>(MsgType::kJobRequest) ||
+      type > static_cast<uint32_t>(MsgType::kError)) {
+    error_ = "unknown message type " + std::to_string(type);
+    return false;
+  }
+  if (length > kMaxFramePayload) {
+    error_ = "oversized frame (" + std::to_string(length) + " bytes)";
+    return false;
+  }
+  if (buf_.size() - kFrameHeaderBytes < length) return false;  // need more bytes
+  out->type = static_cast<MsgType>(type);
+  out->payload = buf_.substr(kFrameHeaderBytes, static_cast<size_t>(length));
+  buf_.erase(0, kFrameHeaderBytes + static_cast<size_t>(length));
+  return true;
+}
+
+std::string encode_job_request(const JobRequest& req) {
+  ByteWriter w;
+  w.str(req.netlist_text);
+  w.f64(req.scale);
+  w.u64(req.seed);
+  w.u32(req.deadline_ms);
+  w.boolean(req.use_cache);
+  w.i32(req.outer_iterations);
+  w.i32(req.assign_iterations);
+  w.boolean(req.want_trace);
+  return w.take();
+}
+
+std::string decode_job_request(std::string_view payload, JobRequest* out) {
+  ByteReader r(payload);
+  out->netlist_text = r.str();
+  out->scale = r.f64();
+  out->seed = r.u64();
+  out->deadline_ms = r.u32();
+  out->use_cache = r.boolean();
+  out->outer_iterations = r.i32();
+  out->assign_iterations = r.i32();
+  out->want_trace = r.boolean();
+  if (!r.done()) return "truncated job request";
+  if (out->netlist_text.empty()) return "empty netlist";
+  if (!std::isfinite(out->scale) || out->scale <= 0.0 || out->scale > 4.0)
+    return "scale out of range";
+  if (out->outer_iterations < 0 || out->outer_iterations > 64)
+    return "outer_iterations out of range";
+  if (out->assign_iterations < 0 || out->assign_iterations > 10000)
+    return "assign_iterations out of range";
+  return "";
+}
+
+std::string encode_job_reply(const JobReply& reply) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(reply.status));
+  w.str(reply.error);
+  w.str(reply.placement_text);
+  w.str(reply.trace_json);
+  w.i64(reply.cache_hits);
+  w.i64(reply.cache_misses);
+  w.f64(reply.hpwl);
+  w.i32(reply.num_datapath_dsps);
+  w.i32(reply.num_control_dsps);
+  return w.take();
+}
+
+std::string decode_job_reply(std::string_view payload, JobReply* out) {
+  ByteReader r(payload);
+  const uint32_t status = r.u32();
+  out->error = r.str();
+  out->placement_text = r.str();
+  out->trace_json = r.str();
+  out->cache_hits = r.i64();
+  out->cache_misses = r.i64();
+  out->hpwl = r.f64();
+  out->num_datapath_dsps = r.i32();
+  out->num_control_dsps = r.i32();
+  if (!r.done()) return "truncated job reply";
+  if (status > static_cast<uint32_t>(JobStatus::kBadRequest))
+    return "unknown job status " + std::to_string(status);
+  out->status = static_cast<JobStatus>(status);
+  return "";
+}
+
+}  // namespace dsp

@@ -1,0 +1,126 @@
+// dsplacerd wire protocol (docs/SERVER.md).
+//
+// Every message is one length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     magic 0x4A505344 ("DSPJ" as little-endian bytes)
+//   4       4     protocol version (kProtocolVersion)
+//   8       4     message type (MsgType)
+//   12      8     payload length in bytes
+//   20      n     payload (little-endian, util/binio encoding)
+//
+// The decoder is incremental and hostile-input safe: it accumulates raw
+// bytes, validates magic/version/type/length before trusting the length
+// prefix, caps payloads at kMaxFramePayload so a corrupt length can never
+// cause an oversized allocation, and makes every failure sticky — after an
+// error the only safe action is to reply with an error frame (if possible)
+// and drop the connection. Payload parsing reuses the truncation-safe
+// ByteReader from util/binio, so a short or trailing-garbage payload
+// degrades to a clean decode error, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/binio.hpp"
+
+namespace dsp {
+
+inline constexpr uint32_t kFrameMagic = 0x4A505344u;  // "DSPJ" little-endian
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Hard payload cap: larger frames are a protocol error (the biggest legal
+/// payload is a benchmark netlist, well under this).
+inline constexpr uint64_t kMaxFramePayload = 64ull << 20;
+
+enum class MsgType : uint32_t {
+  kJobRequest = 1,  // client -> server: run one placement job
+  kJobReply = 2,    // server -> client: job outcome
+  kPing = 3,        // client -> server: liveness probe
+  kPong = 4,        // server -> client: version string payload
+  kError = 5,       // server -> client: protocol-level failure, then close
+};
+
+/// Job outcome codes carried in JobReply (stable wire values).
+enum class JobStatus : uint32_t {
+  kOk = 0,
+  kError = 1,         // flow failed (legality error, bad netlist, ...)
+  kBusy = 2,          // bounded queue full: resubmit later (backpressure)
+  kCancelled = 3,     // cancelled by server drain
+  kDeadlineExceeded = 4,
+  kShuttingDown = 5,  // server draining: no new jobs accepted
+  kBadRequest = 6,    // malformed or out-of-range job fields
+};
+
+const char* job_status_name(JobStatus s);
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Encodes one complete frame (header + payload), ready to send.
+std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame parser for a byte stream. feed() bytes as they
+/// arrive, then drain frames with next(). Errors are sticky.
+class FrameDecoder {
+ public:
+  void feed(const void* data, size_t n) {
+    if (error_.empty()) buf_.append(static_cast<const char*>(data), n);
+  }
+
+  /// True and fills *out when a complete, validated frame is buffered.
+  /// False when more bytes are needed or the stream is in error.
+  bool next(Frame* out);
+
+  /// Non-empty once the stream is unrecoverable ("bad magic", ...).
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (a truncated trailing frame).
+  size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::string error_;
+};
+
+/// One placement job, as submitted by a client. Field semantics match the
+/// one-shot CLI `place` subcommand so the daemon and CLI produce
+/// bit-identical placements for the same inputs (docs/SERVER.md).
+struct JobRequest {
+  std::string netlist_text;   // netlist in the netlist_io text format
+  double scale = 0.25;        // device scale for make_zcu104
+  uint64_t seed = 0;          // 0 = library default seeds
+  uint32_t deadline_ms = 0;   // 0 = no deadline
+  bool use_cache = true;      // consult the server's shared stage cache
+  int32_t outer_iterations = 0;   // 0 = DsplacerOptions default
+  int32_t assign_iterations = 0;  // 0 = AssignOptions default
+  bool want_trace = true;     // return the RunTrace JSON in the reply
+};
+
+std::string encode_job_request(const JobRequest& req);
+/// "" on success, else a diagnostic ("truncated job request",
+/// "scale out of range", ...). Never throws on hostile input.
+std::string decode_job_request(std::string_view payload, JobRequest* out);
+
+/// Outcome of one job. On kOk `placement_text` holds the placement in the
+/// placement_io text format; the trace JSON and cache counters make the
+/// run's observability survive the network hop.
+struct JobReply {
+  JobStatus status = JobStatus::kError;
+  std::string error;           // diagnostic for non-kOk statuses
+  std::string placement_text;  // write_placement output (kOk only)
+  std::string trace_json;      // RunTrace JSON ("" unless want_trace)
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double hpwl = 0.0;
+  int32_t num_datapath_dsps = 0;
+  int32_t num_control_dsps = 0;
+};
+
+std::string encode_job_reply(const JobReply& reply);
+std::string decode_job_reply(std::string_view payload, JobReply* out);
+
+}  // namespace dsp

@@ -1,0 +1,384 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <future>
+#include <unistd.h>
+
+#include "core/dsplacer.hpp"
+#include "core/flow.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist_io.hpp"
+#include "placer/placement_io.hpp"
+#include "timing/wirelength.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsp {
+
+using Clock = std::chrono::steady_clock;
+
+struct DsplacerServer::PendingJob {
+  uint64_t id = 0;
+  JobRequest req;
+  Clock::time_point deadline;  // valid only when has_deadline
+  bool has_deadline = false;
+  std::promise<JobReply> promise;
+};
+
+DsplacerServer::DsplacerServer(ServerOptions options) : opts_(std::move(options)) {
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.queue_depth = std::max(1, opts_.queue_depth);
+}
+
+DsplacerServer::~DsplacerServer() { stop(); }
+
+std::string DsplacerServer::start() {
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0)
+    return "no listener configured (need a unix path or a tcp port)";
+
+  std::string error;
+  if (!opts_.unix_path.empty()) {
+    unix_listener_ = listen_unix(opts_.unix_path, &error);
+    if (!unix_listener_.valid()) return error;
+  }
+  if (opts_.tcp_port >= 0) {
+    tcp_listener_ = listen_tcp_loopback(opts_.tcp_port, &bound_port_, &error);
+    if (!tcp_listener_.valid()) return error;
+  }
+
+  running_.store(true);
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  if (unix_listener_.valid())
+    accept_threads_.emplace_back([this, fd = unix_listener_.fd()] { accept_loop(fd); });
+  if (tcp_listener_.valid())
+    accept_threads_.emplace_back([this, fd = tcp_listener_.fd()] { accept_loop(fd); });
+
+  LOG_INFO("server", "dsplacerd up: %d worker(s), queue depth %d, cache '%s'",
+           opts_.workers, opts_.queue_depth,
+           opts_.cache_dir.empty() ? "(off)" : opts_.cache_dir.c_str());
+  return "";
+}
+
+void DsplacerServer::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_ || !running_.load()) return;
+  stopped_ = true;
+  draining_.store(true);
+  LOG_INFO("server", "draining: closing listeners, finishing in-flight jobs");
+
+  // Wake the accept threads: shutdown unblocks a blocking accept(), then
+  // the listeners close for good.
+  unix_listener_.shutdown_read();
+  tcp_listener_.shutdown_read();
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  unix_listener_.close_fd();
+  tcp_listener_.close_fd();
+
+  // Let queued + in-flight jobs finish within the grace period; past it,
+  // cancel cooperatively — flows stop at the next stage boundary and the
+  // jobs still get CANCELLED replies, so no client is left hanging.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const auto grace = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(std::max(0.0, opts_.drain_grace_seconds)));
+    idle_cv_.wait_for(lock, grace,
+                      [this] { return queue_.empty() && active_jobs_ == 0; });
+    if (!queue_.empty() || active_jobs_ != 0) {
+      LOG_WARN("server", "drain grace expired: cancelling %zu queued + %d active job(s)",
+               queue_.size(), active_jobs_);
+      cancel_all_.store(true);
+      idle_cv_.wait(lock, [this] { return queue_.empty() && active_jobs_ == 0; });
+    }
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+
+  // Every reply has been delivered; unblock connection readers and join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (ConnSlot& c : conns_)
+      if (c.socket) c.socket->shutdown_read();
+  }
+  for (;;) {
+    ConnSlot slot;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      slot = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+  running_.store(false);
+  const ServerStats s = stats();
+  LOG_INFO("server",
+           "drained: %lld ok, %lld failed, %lld cancelled, %lld busy-rejected, "
+           "%lld protocol error(s)",
+           static_cast<long long>(s.jobs_ok), static_cast<long long>(s.jobs_failed),
+           static_cast<long long>(s.jobs_cancelled),
+           static_cast<long long>(s.busy_rejections),
+           static_cast<long long>(s.protocol_errors));
+}
+
+ServerStats DsplacerServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void DsplacerServer::accept_loop(int listen_fd) {
+  set_log_thread_tag("accept");
+  for (;;) {
+    SocketFd conn = accept_connection(listen_fd);
+    if (!conn.valid()) return;  // listener shut down: drain in progress
+    if (draining_.load()) continue;  // close immediately; no new sessions
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    auto socket = std::make_shared<SocketFd>(std::move(conn));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    reap_finished_connections();
+    ConnSlot slot;
+    slot.socket = socket;
+    slot.done = std::make_shared<std::atomic<bool>>(false);
+    slot.thread = std::thread([this, socket, done = slot.done] {
+      connection_loop(socket);
+      done->store(true);
+    });
+    conns_.push_back(std::move(slot));
+  }
+}
+
+void DsplacerServer::reap_finished_connections() {
+  // Called under conns_mu_. Joins and erases connections whose thread has
+  // finished, so a long-lived daemon doesn't accumulate dead slots.
+  for (size_t i = conns_.size(); i-- > 0;) {
+    if (!conns_[i].done->load()) continue;
+    if (conns_[i].thread.joinable()) conns_[i].thread.join();
+    conns_.erase(conns_.begin() + static_cast<long>(i));
+  }
+}
+
+void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
+  set_log_thread_tag("conn");
+  FrameDecoder decoder;
+  char buf[4096];
+  const auto send_frame = [&](MsgType type, const std::string& payload) {
+    const std::string bytes = encode_frame(type, payload);
+    return send_all(conn->fd(), bytes.data(), bytes.size());
+  };
+
+  for (;;) {
+    Frame frame;
+    while (decoder.error().empty() && decoder.next(&frame)) {
+      if (frame.type == MsgType::kPing) {
+        ByteWriter w;
+        w.str("dsplacerd");
+        if (!send_frame(MsgType::kPong, w.take())) return;
+        continue;
+      }
+      if (frame.type != MsgType::kJobRequest) {
+        // A client must only send requests and pings; anything else is a
+        // protocol error: answer and hang up.
+        ByteWriter w;
+        w.str("unexpected message type");
+        send_frame(MsgType::kError, w.take());
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        return;
+      }
+
+      auto job = std::make_shared<PendingJob>();
+      const std::string bad = decode_job_request(frame.payload, &job->req);
+      if (!bad.empty()) {
+        JobReply reply;
+        reply.status = JobStatus::kBadRequest;
+        reply.error = bad;
+        if (!send_frame(MsgType::kJobReply, encode_job_reply(reply))) return;
+        continue;
+      }
+      job->id = next_job_id_.fetch_add(1);
+      if (job->req.deadline_ms > 0) {
+        job->has_deadline = true;
+        job->deadline = Clock::now() + std::chrono::milliseconds(job->req.deadline_ms);
+      }
+
+      // Bounded enqueue with explicit backpressure.
+      std::future<JobReply> result;
+      JobReply immediate;
+      bool rejected = false;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (draining_.load()) {
+          immediate.status = JobStatus::kShuttingDown;
+          immediate.error = "server is draining";
+          rejected = true;
+        } else if (queue_.size() >= static_cast<size_t>(opts_.queue_depth)) {
+          immediate.status = JobStatus::kBusy;
+          immediate.error = "job queue full (" + std::to_string(queue_.size()) +
+                            " queued); resubmit later";
+          rejected = true;
+        } else {
+          result = job->promise.get_future();
+          queue_.push_back(job);
+        }
+      }
+      if (rejected) {
+        if (immediate.status == JobStatus::kBusy) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.busy_rejections;
+        }
+        if (!send_frame(MsgType::kJobReply, encode_job_reply(immediate))) return;
+        continue;
+      }
+      queue_cv_.notify_one();
+      const JobReply reply = result.get();
+      if (!send_frame(MsgType::kJobReply, encode_job_reply(reply))) return;
+    }
+    if (!decoder.error().empty()) {
+      LOG_WARN("server", "protocol error: %s", decoder.error().c_str());
+      ByteWriter w;
+      w.str(decoder.error());
+      send_frame(MsgType::kError, w.take());  // best effort before close
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      return;
+    }
+
+    const long got = recv_some(conn->fd(), buf, sizeof(buf));
+    if (got <= 0) {
+      if (decoder.pending_bytes() > 0) {
+        // Connection dropped mid-frame: nothing to answer, just count it.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      return;
+    }
+    decoder.feed(buf, static_cast<size_t>(got));
+  }
+}
+
+void DsplacerServer::worker_loop(int worker_index) {
+  const std::string idle_tag = "worker" + std::to_string(worker_index);
+  set_log_thread_tag(idle_tag);
+  for (;;) {
+    std::shared_ptr<PendingJob> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      ++active_jobs_;
+    }
+
+    set_log_thread_tag("job" + std::to_string(job->id));
+    if (opts_.test_hook_job_start) opts_.test_hook_job_start(job->id);
+    JobReply reply = execute_job(*job);
+    set_log_thread_tag(idle_tag);
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      switch (reply.status) {
+        case JobStatus::kOk: ++stats_.jobs_ok; break;
+        case JobStatus::kCancelled: ++stats_.jobs_cancelled; break;
+        default: ++stats_.jobs_failed; break;
+      }
+    }
+    job->promise.set_value(std::move(reply));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --active_jobs_;
+      if (queue_.empty() && active_jobs_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+JobReply DsplacerServer::execute_job(const PendingJob& job) const {
+  JobReply reply;
+  if (cancel_all_.load()) {
+    reply.status = JobStatus::kCancelled;
+    reply.error = "cancelled: server drain grace expired";
+    return reply;
+  }
+  if (job.has_deadline && Clock::now() >= job.deadline) {
+    reply.status = JobStatus::kDeadlineExceeded;
+    reply.error = "deadline expired while queued";
+    return reply;
+  }
+
+  // Malformed netlist text is the client's fault: BAD_REQUEST.
+  Netlist nl;
+  try {
+    nl = read_netlist(job.req.netlist_text);
+  } catch (const std::exception& e) {
+    reply.status = JobStatus::kBadRequest;
+    reply.error = e.what();
+    return reply;
+  }
+
+  try {
+    const Device dev = make_zcu104(job.req.scale);
+    // Mirror the one-shot CLI `place --tool dsplacer` option contract so a
+    // daemon job and a CLI run are bit-identical for the same inputs.
+    DsplacerOptions opts;
+    opts.use_ground_truth_roles = true;
+    if (job.req.seed != 0) {
+      opts.features.seed = job.req.seed;
+      opts.host.seed = job.req.seed;
+    }
+    if (job.req.outer_iterations > 0) opts.outer_iterations = job.req.outer_iterations;
+    if (job.req.assign_iterations > 0) opts.assign.iterations = job.req.assign_iterations;
+    if (job.req.use_cache) opts.cache_dir = opts_.cache_dir;
+
+    const std::vector<DesignGraphData> no_training;
+    FlowContext ctx(nl, dev, no_training, opts);
+    bool past_deadline = false;
+    ctx.cancel = [this, &job, &past_deadline] {
+      if (cancel_all_.load(std::memory_order_relaxed)) return true;
+      if (job.has_deadline && Clock::now() >= job.deadline) {
+        past_deadline = true;
+        return true;
+      }
+      return false;
+    };
+    DsplacerResult res = run_flow(ctx, dsplacer_pipeline(opts));
+
+    if (job.req.want_trace) reply.trace_json = res.trace.to_json();
+    for (const auto& stage : res.trace.root().children) {
+      reply.cache_hits += stage->counter("cache_hit");
+      reply.cache_misses += stage->counter("cache_miss");
+    }
+    if (res.legality_error == "cancelled") {
+      reply.status =
+          past_deadline ? JobStatus::kDeadlineExceeded : JobStatus::kCancelled;
+      reply.error = past_deadline ? "deadline exceeded" : "cancelled by server drain";
+      return reply;
+    }
+    if (!res.legality_error.empty()) {
+      reply.status = JobStatus::kError;
+      reply.error = res.legality_error;
+      return reply;
+    }
+    reply.status = JobStatus::kOk;
+    reply.placement_text = write_placement(nl, res.placement);
+    reply.hpwl = total_hpwl(nl, res.placement);
+    reply.num_datapath_dsps = res.num_datapath_dsps;
+    reply.num_control_dsps = res.num_control_dsps;
+  } catch (const std::exception& e) {
+    reply.status = JobStatus::kError;
+    reply.error = e.what();
+  }
+  return reply;
+}
+
+}  // namespace dsp

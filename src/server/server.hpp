@@ -1,0 +1,140 @@
+// dsplacerd — the concurrent placement service (docs/SERVER.md).
+//
+// A DsplacerServer owns:
+//   - one or two listeners (Unix-domain socket and/or TCP loopback),
+//     each drained by an accept thread that spawns one thread per
+//     connection (connections are long-lived and submit jobs serially);
+//   - a bounded job queue with explicit backpressure: when the queue is
+//     full a job is answered BUSY immediately instead of buffering
+//     unboundedly, so clients see overload as a reply, not a stall;
+//   - a worker pool: each worker pops a job, rebuilds the netlist/device,
+//     and runs the standard DSPlacer pipeline through run_flow on the
+//     process-global ThreadPool, with the server's shared stage cache
+//     directory so identical or prefix-identical jobs hit the PR 2
+//     checkpoint cache across clients;
+//   - per-job deadlines and cooperative cancellation via the
+//     FlowContext::cancel hook (polled at stage boundaries);
+//   - graceful drain (SIGINT/SIGTERM in the daemon): stop accepting,
+//     finish queued and in-flight jobs — cancelling those that outlive
+//     the drain grace — and deliver every pending reply before exit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+
+namespace dsp {
+
+struct ServerOptions {
+  /// Unix-domain socket path ("" = no unix listener).
+  std::string unix_path;
+  /// TCP loopback port: -1 = no TCP listener, 0 = ephemeral (see port()).
+  int tcp_port = -1;
+  /// Concurrent placement workers (each runs one job at a time).
+  int workers = 2;
+  /// Bounded queue depth; a submit beyond this is answered BUSY.
+  int queue_depth = 8;
+  /// Shared stage checkpoint cache directory ("" = caching off; jobs may
+  /// still opt out individually with use_cache = false).
+  std::string cache_dir;
+  /// Drain grace: how long stop() lets queued/in-flight jobs keep running
+  /// before cancelling them (they still get CANCELLED replies).
+  double drain_grace_seconds = 30.0;
+  /// Test instrumentation only: invoked on the worker thread right after a
+  /// job is popped, before it executes. Tests block here to make queue-full
+  /// (BUSY), deadline, and drain scenarios deterministic. May block; must
+  /// eventually return.
+  std::function<void(uint64_t job_id)> test_hook_job_start;
+};
+
+struct ServerStats {
+  int64_t jobs_ok = 0;
+  int64_t jobs_failed = 0;       // kError / kBadRequest / kDeadlineExceeded
+  int64_t jobs_cancelled = 0;
+  int64_t busy_rejections = 0;
+  int64_t protocol_errors = 0;   // bad frames answered with kError + close
+  int64_t connections = 0;
+};
+
+class DsplacerServer {
+ public:
+  explicit DsplacerServer(ServerOptions options);
+  ~DsplacerServer();
+
+  DsplacerServer(const DsplacerServer&) = delete;
+  DsplacerServer& operator=(const DsplacerServer&) = delete;
+
+  /// Binds the listeners and starts accept/worker threads. "" on success,
+  /// else the bind error (the server is then unusable).
+  std::string start();
+
+  /// Graceful drain, idempotent: stop accepting connections and jobs,
+  /// finish (or cancel after the grace period) everything in flight,
+  /// deliver all replies, join every thread, remove the unix socket file.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  /// Actual TCP port after start() (ephemeral binds resolve here).
+  int port() const { return bound_port_; }
+  const ServerOptions& options() const { return opts_; }
+
+  ServerStats stats() const;
+
+ private:
+  struct PendingJob;
+
+  void accept_loop(int listen_fd);
+  void connection_loop(std::shared_ptr<SocketFd> conn);
+  void worker_loop(int worker_index);
+  JobReply execute_job(const PendingJob& job) const;
+  void reap_finished_connections();
+
+  ServerOptions opts_;
+  SocketFd unix_listener_;
+  SocketFd tcp_listener_;
+  int bound_port_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Set after the drain grace expires: the FlowContext::cancel hook of
+  /// every in-flight job reads it, so flows stop at the next stage.
+  std::atomic<bool> cancel_all_{false};
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingJob>> queue_;
+  int active_jobs_ = 0;            // popped but not yet replied (under queue_mu_)
+  bool stop_workers_ = false;      // under queue_mu_
+  std::condition_variable idle_cv_;  // signalled when queue drains to empty
+
+  std::mutex stop_mu_;             // serializes stop(); makes it idempotent
+  bool stopped_ = false;
+  std::atomic<uint64_t> next_job_id_{1};
+
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> workers_;
+
+  struct ConnSlot {
+    std::thread thread;
+    std::shared_ptr<SocketFd> socket;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conns_mu_;
+  std::vector<ConnSlot> conns_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace dsp

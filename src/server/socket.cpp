@@ -1,0 +1,157 @@
+#include "server/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dsp {
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void SocketFd::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SocketFd::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+SocketFd listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + path;
+    return SocketFd();
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_text("socket");
+    return SocketFd();
+  }
+  ::unlink(path.c_str());  // stale socket from a crashed daemon
+  if (::bind(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_text(("bind " + path).c_str());
+    return SocketFd();
+  }
+  if (::listen(fd.fd(), 64) != 0) {
+    *error = errno_text("listen");
+    return SocketFd();
+  }
+  return fd;
+}
+
+SocketFd listen_tcp_loopback(int port, int* bound_port, std::string* error) {
+  SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_text("socket");
+    return SocketFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_text("bind 127.0.0.1");
+    return SocketFd();
+  }
+  if (::listen(fd.fd(), 64) != 0) {
+    *error = errno_text("listen");
+    return SocketFd();
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    *error = errno_text("getsockname");
+    return SocketFd();
+  }
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+SocketFd accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return SocketFd(fd);
+    if (errno == EINTR) continue;
+    return SocketFd();
+  }
+}
+
+SocketFd connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + path;
+    return SocketFd();
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_text("socket");
+    return SocketFd();
+  }
+  if (::connect(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_text(("connect " + path).c_str());
+    return SocketFd();
+  }
+  return fd;
+}
+
+SocketFd connect_tcp_loopback(int port, std::string* error) {
+  SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_text("socket");
+    return SocketFd();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_text("connect 127.0.0.1");
+    return SocketFd();
+  }
+  return fd;
+}
+
+bool send_all(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const long sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+long recv_some(int fd, void* out, size_t n) {
+  for (;;) {
+    const long got = ::recv(fd, out, n, 0);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace dsp

@@ -1,0 +1,72 @@
+// Minimal POSIX socket wrappers for the placement service: Unix-domain
+// and TCP-loopback listeners, blocking client connects, and full-buffer
+// send/recv helpers. Dependency-free (no third-party networking) and
+// loopback-only by design — dsplacerd never binds a routable address.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dsp {
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class SocketFd {
+ public:
+  SocketFd() = default;
+  explicit SocketFd(int fd) : fd_(fd) {}
+  ~SocketFd() { close_fd(); }
+
+  SocketFd(SocketFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  SocketFd& operator=(SocketFd&& other) noexcept {
+    if (this != &other) {
+      close_fd();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  SocketFd(const SocketFd&) = delete;
+  SocketFd& operator=(const SocketFd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void close_fd();
+  /// shutdown(SHUT_RD): wakes a thread blocked in recv without closing the
+  /// descriptor (replies can still be written during drain).
+  void shutdown_read();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket at `path` (an existing stale socket file
+/// is unlinked first). Invalid fd + *error on failure.
+SocketFd listen_unix(const std::string& path, std::string* error);
+
+/// Listening TCP socket bound to 127.0.0.1:`port` (0 = ephemeral).
+/// *bound_port receives the actual port. Invalid fd + *error on failure.
+SocketFd listen_tcp_loopback(int port, int* bound_port, std::string* error);
+
+/// Blocking accept; invalid fd when the listener was closed/shut down.
+SocketFd accept_connection(int listen_fd);
+
+SocketFd connect_unix(const std::string& path, std::string* error);
+SocketFd connect_tcp_loopback(int port, std::string* error);
+
+/// Writes all n bytes (retrying short writes, EINTR-safe, SIGPIPE
+/// suppressed). False on a broken connection.
+bool send_all(int fd, const void* data, size_t n);
+
+/// One blocking read of at most n bytes. Returns bytes read, 0 on orderly
+/// close or shutdown, -1 on error.
+long recv_some(int fd, void* out, size_t n);
+
+}  // namespace dsp

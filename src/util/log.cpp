@@ -51,9 +51,33 @@ LogLevel log_level() {
   return g_level;
 }
 
+thread_local std::string t_thread_tag;
+
+void set_log_thread_tag(const std::string& tag) { t_thread_tag = tag; }
+
+std::string log_thread_tag() { return t_thread_tag; }
+
 void log_message(LogLevel level, const std::string& tag, const std::string& msg) {
+  // Assemble the complete line first so the sink performs exactly one
+  // write: stderr is unbuffered, and a multi-part fprintf from concurrent
+  // ThreadPool kernels or server workers could interleave partial lines.
+  std::string line;
+  line.reserve(tag.size() + t_thread_tag.size() + msg.size() + 24);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += tag;
+  for (size_t i = tag.size(); i < 12; ++i) line += ' ';
+  if (!t_thread_tag.empty()) {
+    line += " [";
+    line += t_thread_tag;
+    line += ']';
+  }
+  line += ' ';
+  line += msg;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %-12s %s\n", level_name(level), tag.c_str(), msg.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 namespace detail {

@@ -26,7 +26,19 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Core sink. Prefer the LOG_* macros below which add the call site tag.
+/// Concurrency-safe: the whole line (including a trailing newline) is
+/// formatted into one buffer and emitted with a single write under one
+/// mutex, so lines from ThreadPool kernels and server workers never
+/// interleave mid-line.
 void log_message(LogLevel level, const std::string& tag, const std::string& msg);
+
+/// Optional per-thread tag (worker index, job id) appended to every line
+/// this thread logs, as "[tag]" after the call-site tag. Empty clears it.
+/// Thread-local: each pool worker / server thread sets its own.
+void set_log_thread_tag(const std::string& tag);
+
+/// The calling thread's current tag ("" when unset).
+std::string log_thread_tag();
 
 namespace detail {
 std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -122,6 +122,23 @@ void ThreadPool::parallel_for_each(int64_t n, const std::function<void(int64_t)>
   });
 }
 
+int parse_thread_count(const std::string& text, std::string* error) {
+  size_t begin = text.find_first_not_of(" \t");
+  const size_t end = text.find_last_not_of(" \t");
+  if (begin == std::string::npos) begin = text.size();
+  const std::string trimmed =
+      begin < text.size() ? text.substr(begin, end - begin + 1) : std::string();
+  bool numeric = !trimmed.empty() && trimmed.size() <= 9;
+  for (char c : trimmed) numeric &= (c >= '0' && c <= '9');
+  const int value = numeric ? std::atoi(trimmed.c_str()) : 0;
+  if (!numeric || value <= 0) {
+    if (error != nullptr)
+      *error = "thread count must be a positive integer, got '" + text + "'";
+    return -1;
+  }
+  return value;
+}
+
 int default_threads() {
   if (const char* env = std::getenv("DSPLACER_THREADS")) {
     const int v = std::atoi(env);

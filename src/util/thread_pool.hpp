@@ -21,6 +21,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -72,9 +73,17 @@ class ThreadPool {
   std::atomic<int> peak_{0};
 };
 
+/// Strict thread-count parse shared by `--threads` and DSPLACER_THREADS
+/// validation: returns the value for a positive integer (optionally
+/// surrounded by whitespace), else -1 with a diagnostic in *error
+/// ("thread count must be a positive integer, got '0'").
+int parse_thread_count(const std::string& text, std::string* error);
+
 /// Threads to use when nothing was configured: the DSPLACER_THREADS
 /// environment variable if set to a positive integer, else
-/// hardware_concurrency (min 1).
+/// hardware_concurrency (min 1). Tools validate DSPLACER_THREADS with
+/// parse_thread_count at startup and refuse to run on a malformed value;
+/// this fallback only tolerates it for library embedders.
 int default_threads();
 
 /// The process-wide pool used by kernels when no pool is passed

@@ -1,0 +1,18 @@
+// Single source of truth for the toolchain version reported by
+// `dsplacer_cli --version`, `dsplacerd --version`, and
+// `dsplacer_submit --version`. Bump on releases; the wire protocol has
+// its own independent version (server/protocol.hpp).
+#pragma once
+
+#include <string>
+
+namespace dsp {
+
+inline constexpr const char* kDsplacerVersion = "0.4.0";
+
+/// "dsplacerd 0.4.0 (protocol 1)"-style line for a named tool.
+inline std::string version_line(const char* tool) {
+  return std::string(tool) + " " + kDsplacerVersion;
+}
+
+}  // namespace dsp

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "core/cli.hpp"
+#include "util/version.hpp"
 
 namespace dsp {
 namespace {
@@ -49,6 +51,36 @@ TEST(Cli, MalformedFlagRejected) {
   std::string err;
   EXPECT_EQ(cli({"gen", "--out"}, nullptr, &err), 2);      // missing value
   EXPECT_EQ(cli({"gen", "out", "x"}, nullptr, &err), 2);   // not a --flag
+}
+
+TEST(Cli, VersionFlagPrintsToolAndVersion) {
+  std::string out;
+  EXPECT_EQ(cli({"--version"}, &out), 0);
+  EXPECT_NE(out.find("dsplacer_cli"), std::string::npos);
+  EXPECT_NE(out.find(kDsplacerVersion), std::string::npos);
+}
+
+TEST(Cli, ThreadCountValidatedStrictlyNeverClamped) {
+  const std::string netlist = testing::TempDir() + "/cli_threads.netlist";
+  ASSERT_EQ(cli({"gen", "--benchmark", "SkyNet", "--scale", "0.05", "--out", netlist}),
+            0);
+  const std::vector<std::string> base = {"place", "--netlist", netlist,
+                                         "--scale", "0.05"};
+  for (const char* bad : {"0", "-2", "abc", "", " ", "4x"}) {
+    std::string err;
+    std::vector<std::string> args = base;
+    args.push_back("--threads");
+    args.push_back(bad);
+    EXPECT_EQ(cli(args, nullptr, &err), 2) << "--threads '" << bad << "'";
+    EXPECT_NE(err.find("--threads"), std::string::npos) << err;
+    EXPECT_NE(err.find("positive integer"), std::string::npos) << err;
+  }
+  // A malformed environment variable is rejected the same way.
+  ASSERT_EQ(setenv("DSPLACER_THREADS", "zero", 1), 0);
+  std::string err;
+  EXPECT_EQ(cli(base, nullptr, &err), 2);
+  EXPECT_NE(err.find("DSPLACER_THREADS"), std::string::npos) << err;
+  unsetenv("DSPLACER_THREADS");
 }
 
 TEST(Cli, GenPlaceReportPipeline) {

@@ -1,0 +1,679 @@
+// Placement-service tests (label: server): frame-codec robustness against
+// truncated/oversized/bad-magic/version-skewed input (mirroring the .ckpt
+// corruption tests), end-to-end loopback jobs that must be bit-identical
+// to the one-shot CLI, shared-cache hits across repeated jobs, BUSY
+// backpressure on a full queue, per-job deadlines, and graceful drain
+// with no lost replies. All live-server tests run in-process over a
+// Unix-domain socket (plus one TCP loopback case) so they are hermetic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/dsplacer.hpp"
+#include "designs/benchmarks.hpp"
+#include "netlist/netlist_io.hpp"
+#include "placer/placement_io.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace dsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dsplacer_srv_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string socket_path(const std::string& name) {
+  // Unix socket paths are length-limited (~108 bytes); keep them short.
+  return "/tmp/dsp_t_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+/// A small benchmark netlist in wire (text) form + the options the server
+/// applies for the matching request, for computing expected placements.
+struct TestDesign {
+  Netlist nl;
+  std::string text;
+  explicit TestDesign(const char* benchmark, double scale = 0.08)
+      : nl(make_benchmark(benchmark_by_name(benchmark), make_zcu104(scale), scale)),
+        text(write_netlist(nl)) {}
+};
+
+JobRequest fast_request(const TestDesign& d, double scale = 0.08) {
+  JobRequest req;
+  req.netlist_text = d.text;
+  req.scale = scale;
+  req.outer_iterations = 1;
+  req.assign_iterations = 6;
+  return req;
+}
+
+DsplacerOptions options_for(const JobRequest& req, const std::string& cache_dir = "") {
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;
+  if (req.seed != 0) {
+    opts.features.seed = req.seed;
+    opts.host.seed = req.seed;
+  }
+  if (req.outer_iterations > 0) opts.outer_iterations = req.outer_iterations;
+  if (req.assign_iterations > 0) opts.assign.iterations = req.assign_iterations;
+  opts.cache_dir = cache_dir;
+  return opts;
+}
+
+// ---- codec robustness ------------------------------------------------------
+
+TEST(Protocol, FrameRoundTripIncludingByteAtATimeFeed) {
+  const std::string payload = encode_job_request(JobRequest{"netlist", 0.1});
+  const std::string bytes = encode_frame(MsgType::kJobRequest, payload);
+
+  FrameDecoder whole;
+  whole.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_TRUE(whole.next(&f));
+  EXPECT_EQ(f.type, MsgType::kJobRequest);
+  EXPECT_EQ(f.payload, payload);
+  EXPECT_FALSE(whole.next(&f));
+  EXPECT_TRUE(whole.error().empty());
+
+  // Dribble the same two frames one byte at a time.
+  FrameDecoder dribble;
+  int seen = 0;
+  const std::string two = bytes + encode_frame(MsgType::kPing, "");
+  for (char c : two) {
+    dribble.feed(&c, 1);
+    while (dribble.next(&f)) ++seen;
+  }
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(dribble.pending_bytes(), 0u);
+}
+
+TEST(Protocol, JobRequestRoundTrip) {
+  JobRequest req;
+  req.netlist_text = "design x\n";
+  req.scale = 0.125;
+  req.seed = 42;
+  req.deadline_ms = 1500;
+  req.use_cache = false;
+  req.outer_iterations = 3;
+  req.assign_iterations = 11;
+  req.want_trace = false;
+
+  JobRequest back;
+  ASSERT_EQ(decode_job_request(encode_job_request(req), &back), "");
+  EXPECT_EQ(back.netlist_text, req.netlist_text);
+  EXPECT_EQ(back.scale, req.scale);
+  EXPECT_EQ(back.seed, req.seed);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.use_cache, req.use_cache);
+  EXPECT_EQ(back.outer_iterations, req.outer_iterations);
+  EXPECT_EQ(back.assign_iterations, req.assign_iterations);
+  EXPECT_EQ(back.want_trace, req.want_trace);
+}
+
+TEST(Protocol, JobReplyRoundTrip) {
+  JobReply reply;
+  reply.status = JobStatus::kBusy;
+  reply.error = "queue full";
+  reply.placement_text = "a 1 2\n";
+  reply.trace_json = "{}";
+  reply.cache_hits = 7;
+  reply.cache_misses = -1;
+  reply.hpwl = 123.5;
+  reply.num_datapath_dsps = 26;
+  reply.num_control_dsps = 2;
+
+  JobReply back;
+  ASSERT_EQ(decode_job_reply(encode_job_reply(reply), &back), "");
+  EXPECT_EQ(back.status, JobStatus::kBusy);
+  EXPECT_EQ(back.error, reply.error);
+  EXPECT_EQ(back.placement_text, reply.placement_text);
+  EXPECT_EQ(back.cache_hits, 7);
+  EXPECT_EQ(back.hpwl, 123.5);
+}
+
+TEST(Protocol, BadMagicIsStickyError) {
+  std::string bytes = encode_frame(MsgType::kPing, "");
+  bytes[0] = 'X';
+  FrameDecoder d;
+  d.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_FALSE(d.next(&f));
+  EXPECT_EQ(d.error(), "bad magic");
+  d.feed(bytes.data(), bytes.size());  // ignored once failed
+  EXPECT_FALSE(d.next(&f));
+}
+
+TEST(Protocol, VersionSkewRejected) {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(kProtocolVersion + 41);
+  w.u32(static_cast<uint32_t>(MsgType::kPing));
+  w.u64(0);
+  FrameDecoder d;
+  d.feed(w.data().data(), w.data().size());
+  Frame f;
+  EXPECT_FALSE(d.next(&f));
+  EXPECT_NE(d.error().find("unsupported protocol version"), std::string::npos);
+}
+
+TEST(Protocol, UnknownTypeAndOversizedLengthRejected) {
+  ByteWriter bad_type;
+  bad_type.u32(kFrameMagic);
+  bad_type.u32(kProtocolVersion);
+  bad_type.u32(999);
+  bad_type.u64(0);
+  FrameDecoder d1;
+  d1.feed(bad_type.data().data(), bad_type.data().size());
+  Frame f;
+  EXPECT_FALSE(d1.next(&f));
+  EXPECT_NE(d1.error().find("unknown message type"), std::string::npos);
+
+  // A corrupt length prefix must fail before any allocation is attempted.
+  ByteWriter oversized;
+  oversized.u32(kFrameMagic);
+  oversized.u32(kProtocolVersion);
+  oversized.u32(static_cast<uint32_t>(MsgType::kJobRequest));
+  oversized.u64(kMaxFramePayload + 1);
+  FrameDecoder d2;
+  d2.feed(oversized.data().data(), oversized.data().size());
+  EXPECT_FALSE(d2.next(&f));
+  EXPECT_NE(d2.error().find("oversized frame"), std::string::npos);
+}
+
+TEST(Protocol, TruncatedFramesWaitRatherThanCrash) {
+  const std::string bytes =
+      encode_frame(MsgType::kJobRequest, encode_job_request(JobRequest{"x", 0.1}));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder d;
+    d.feed(bytes.data(), cut);
+    Frame f;
+    EXPECT_FALSE(d.next(&f)) << "cut " << cut;
+    EXPECT_TRUE(d.error().empty()) << "cut " << cut;
+    EXPECT_EQ(d.pending_bytes(), cut);
+  }
+}
+
+TEST(Protocol, TruncatedPayloadsDecodeToErrorsNeverCrash) {
+  const std::string req = encode_job_request(JobRequest{"design x\n", 0.1});
+  for (size_t cut = 0; cut < req.size(); ++cut) {
+    JobRequest out;
+    EXPECT_NE(decode_job_request(req.substr(0, cut), &out), "") << "cut " << cut;
+  }
+  JobReply ok;
+  ok.status = JobStatus::kOk;
+  const std::string rep = encode_job_reply(ok);
+  for (size_t cut = 0; cut < rep.size(); ++cut) {
+    JobReply out;
+    EXPECT_NE(decode_job_reply(rep.substr(0, cut), &out), "") << "cut " << cut;
+  }
+}
+
+TEST(Protocol, JobRequestFieldValidation) {
+  JobRequest out;
+  JobRequest empty;
+  empty.netlist_text = "";
+  EXPECT_EQ(decode_job_request(encode_job_request(empty), &out), "empty netlist");
+
+  JobRequest bad_scale;
+  bad_scale.netlist_text = "x";
+  bad_scale.scale = -1.0;
+  EXPECT_EQ(decode_job_request(encode_job_request(bad_scale), &out),
+            "scale out of range");
+
+  JobRequest bad_outer;
+  bad_outer.netlist_text = "x";
+  bad_outer.outer_iterations = 10000;
+  EXPECT_NE(decode_job_request(encode_job_request(bad_outer), &out), "");
+
+  // Trailing garbage after a valid request is a framing bug: reject.
+  const std::string padded = encode_job_request(JobRequest{"x", 0.1}) + "zz";
+  EXPECT_EQ(decode_job_request(padded, &out), "truncated job request");
+}
+
+TEST(Protocol, DeterministicGarbageFuzzNeverCrashes) {
+  Rng rng(0xf00d);
+  for (int round = 0; round < 200; ++round) {
+    std::string junk(static_cast<size_t>(rng.uniform_int(0, 96)), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.uniform_int(0, 255));
+    // Half the rounds start from a valid header so the length/type paths
+    // get fuzzed too, not just the magic check.
+    if (round % 2 == 0) junk = encode_frame(MsgType::kPing, "").substr(0, 12) + junk;
+    FrameDecoder d;
+    size_t fed = 0;
+    while (fed < junk.size()) {
+      const size_t n =
+          std::min(junk.size() - fed, static_cast<size_t>(rng.uniform_int(1, 7)));
+      d.feed(junk.data() + fed, n);
+      fed += n;
+      Frame f;
+      while (d.next(&f)) {
+        JobRequest out;
+        decode_job_request(f.payload, &out);  // must not crash either
+      }
+    }
+  }
+}
+
+// ---- live loopback server --------------------------------------------------
+
+TEST(Server, EndToEndBitIdenticalToOneShotCli) {
+  const std::string dir = fresh_dir("e2e");
+  TestDesign sky("SkyNet");
+  ASSERT_TRUE(save_netlist(sky.nl, dir + "/sky.netlist"));
+
+  // One-shot CLI run with default options (the reference).
+  std::ostringstream out, err;
+  ASSERT_EQ(run_cli({"place", "--netlist", dir + "/sky.netlist", "--scale", "0.08",
+                     "--tool", "dsplacer", "--no-cache", "--out", dir + "/cli.place"},
+                    out, err),
+            0)
+      << err.str();
+  std::ifstream pf(dir + "/cli.place");
+  const std::string cli_placement((std::istreambuf_iterator<char>(pf)),
+                                  std::istreambuf_iterator<char>());
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("e2e");
+  sopts.workers = 2;
+  sopts.cache_dir = dir + "/cache";
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  std::string cerr_text;
+  DsplacerClient client = DsplacerClient::connect_to_unix(sopts.unix_path, &cerr_text);
+  ASSERT_TRUE(client.connected()) << cerr_text;
+
+  JobRequest req;  // default options: exactly what the CLI ran
+  req.netlist_text = sky.text;
+  req.scale = 0.08;
+  JobReply reply;
+  ASSERT_EQ(client.submit(req, &reply), "");
+  ASSERT_EQ(reply.status, JobStatus::kOk) << reply.error;
+  EXPECT_EQ(reply.placement_text, cli_placement);
+  EXPECT_GT(reply.hpwl, 0.0);
+  EXPECT_GT(reply.num_datapath_dsps, 0);
+  EXPECT_FALSE(reply.trace_json.empty());
+  EXPECT_EQ(reply.cache_hits, 0);
+  EXPECT_GT(reply.cache_misses, 0);
+
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_ok, 1);
+}
+
+TEST(Server, RepeatedJobsHitTheSharedCache) {
+  const std::string dir = fresh_dir("warm");
+  TestDesign sky("SkyNet");
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("warm");
+  sopts.cache_dir = dir + "/cache";
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  std::string err;
+  DsplacerClient a = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(a.connected()) << err;
+  JobReply cold, warm;
+  ASSERT_EQ(a.submit(fast_request(sky), &cold), "");
+  ASSERT_EQ(cold.status, JobStatus::kOk) << cold.error;
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_GT(cold.cache_misses, 0);
+
+  // Even from a different client/connection: the cache is server-wide.
+  DsplacerClient b = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(b.connected()) << err;
+  ASSERT_EQ(b.submit(fast_request(sky), &warm), "");
+  ASSERT_EQ(warm.status, JobStatus::kOk) << warm.error;
+  EXPECT_GT(warm.cache_hits, 0);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.placement_text, cold.placement_text);
+
+  // Opting out of the cache still succeeds, with neither hits nor misses.
+  JobRequest no_cache = fast_request(sky);
+  no_cache.use_cache = false;
+  JobReply fresh;
+  ASSERT_EQ(b.submit(no_cache, &fresh), "");
+  ASSERT_EQ(fresh.status, JobStatus::kOk);
+  EXPECT_EQ(fresh.cache_hits + fresh.cache_misses, 0);
+  EXPECT_EQ(fresh.placement_text, cold.placement_text);
+  server.stop();
+}
+
+TEST(Server, BusyWhenQueueFullAndDeadlineWhileQueued) {
+  TestDesign sky("SkyNet");
+
+  // One worker, queue depth one, and the worker parked on the test hook:
+  // job1 occupies the worker, job2 occupies the queue, job3 must get BUSY.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> parked{0};
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("busy");
+  sopts.workers = 1;
+  sopts.queue_depth = 1;
+  sopts.test_hook_job_start = [&](uint64_t) {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  JobReply r1, r2, r3;
+  std::thread t1([&] {
+    std::string e1;
+    DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &e1);
+    ASSERT_EQ(c.submit(fast_request(sky), &r1), "");
+  });
+  // Wait until job1 is parked in the hook (worker busy, queue empty again).
+  while (parked.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  std::thread t2([&] {
+    std::string e2;
+    DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &e2);
+    JobRequest queued = fast_request(sky);
+    queued.deadline_ms = 50;  // expires while parked behind job1
+    ASSERT_EQ(c.submit(queued, &r2), "");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::string e3;
+  DsplacerClient c3 = DsplacerClient::connect_to_unix(sopts.unix_path, &e3);
+  ASSERT_TRUE(c3.connected()) << e3;
+  ASSERT_EQ(c3.submit(fast_request(sky), &r3), "");
+  EXPECT_EQ(r3.status, JobStatus::kBusy) << r3.error;
+  EXPECT_NE(r3.error.find("queue full"), std::string::npos);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(r1.status, JobStatus::kOk) << r1.error;
+  EXPECT_EQ(r2.status, JobStatus::kDeadlineExceeded) << r2.error;
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.busy_rejections, 1);
+  server.stop();
+}
+
+TEST(Server, DeadlineCancelsMidFlow) {
+  TestDesign sky("SkyNet", 0.1);
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("deadline");
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  std::string err;
+  DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(c.connected()) << err;
+  JobRequest req = fast_request(sky, 0.1);
+  req.outer_iterations = 16;  // long enough to straddle the deadline
+  req.deadline_ms = 40;
+  JobReply reply;
+  ASSERT_EQ(c.submit(req, &reply), "");
+  EXPECT_EQ(reply.status, JobStatus::kDeadlineExceeded) << reply.error;
+  // The partial trace still comes back (observability survives failure).
+  EXPECT_FALSE(reply.trace_json.empty());
+  server.stop();
+}
+
+TEST(Server, GracefulDrainDeliversEveryReply) {
+  TestDesign sky("SkyNet");
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> parked{0};
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("drain");
+  sopts.workers = 2;
+  sopts.drain_grace_seconds = 0.05;
+  sopts.test_hook_job_start = [&](uint64_t) {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  // Four clients, four jobs: two parked in workers, two queued.
+  std::vector<std::thread> clients;
+  std::vector<JobReply> replies(4);
+  std::vector<std::string> errors(4);
+  for (int i = 0; i < 4; ++i)
+    clients.emplace_back([&, i] {
+      DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &errors[i]);
+      if (!c.connected()) return;
+      errors[i] = c.submit(fast_request(sky), &replies[i]);
+    });
+  while (parked.load() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // let 2 more queue
+
+  std::thread stopper([&] { server.stop(); });
+  // Let the drain grace expire so stop() must take the cancel path, then
+  // unpark the workers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  stopper.join();
+  for (std::thread& t : clients) t.join();
+
+  // No lost replies: every client got a well-formed CANCELLED reply.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(errors[i], "") << "client " << i;
+    EXPECT_EQ(replies[i].status, JobStatus::kCancelled) << "client " << i;
+  }
+  EXPECT_EQ(server.stats().jobs_cancelled, 4);
+  EXPECT_FALSE(server.running());
+
+  // And the listener really is gone.
+  std::string err;
+  DsplacerClient late = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  EXPECT_FALSE(late.connected());
+}
+
+TEST(Server, TcpLoopbackServesJobsAndPings) {
+  TestDesign sky("SkyNet");
+  ServerOptions sopts;
+  sopts.tcp_port = 0;  // ephemeral
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+  ASSERT_GT(server.port(), 0);
+
+  std::string err;
+  DsplacerClient c = DsplacerClient::connect_to_tcp(server.port(), &err);
+  ASSERT_TRUE(c.connected()) << err;
+  std::string version;
+  ASSERT_EQ(c.ping(&version), "");
+  EXPECT_EQ(version, "dsplacerd");
+  JobReply reply;
+  ASSERT_EQ(c.submit(fast_request(sky), &reply), "");
+  EXPECT_EQ(reply.status, JobStatus::kOk) << reply.error;
+  server.stop();
+}
+
+TEST(Server, HostileBytesGetErrorReplyThenDisconnect) {
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("hostile");
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  ByteWriter skew;
+  skew.u32(kFrameMagic);
+  skew.u32(kProtocolVersion + 9);
+  skew.u32(static_cast<uint32_t>(MsgType::kPing));
+  skew.u64(0);
+  ByteWriter huge;
+  huge.u32(kFrameMagic);
+  huge.u32(kProtocolVersion);
+  huge.u32(static_cast<uint32_t>(MsgType::kJobRequest));
+  huge.u64(kMaxFramePayload + 1);
+  const Case cases[] = {
+      {"garbage", std::string("this is not a frame at all......")},
+      {"version skew", skew.take()},
+      {"oversized", huge.take()},
+      {"unexpected type", encode_frame(MsgType::kJobReply, "")},
+      {"bad job payload", encode_frame(MsgType::kJobRequest, "short")},
+  };
+  for (const Case& c : cases) {
+    std::string err;
+    SocketFd fd = connect_unix(sopts.unix_path, &err);
+    ASSERT_TRUE(fd.valid()) << c.name << ": " << err;
+    ASSERT_TRUE(send_all(fd.fd(), c.bytes.data(), c.bytes.size())) << c.name;
+    // Expect one well-formed reply frame (kError, or kJobReply with
+    // BAD_REQUEST for a parseable frame with a bad payload) — never a
+    // hang or crash.
+    FrameDecoder d;
+    char buf[512];
+    Frame f;
+    bool got = false;
+    for (int i = 0; i < 100 && !got; ++i) {
+      const long n = recv_some(fd.fd(), buf, sizeof(buf));
+      if (n <= 0) break;
+      d.feed(buf, static_cast<size_t>(n));
+      got = d.next(&f);
+    }
+    ASSERT_TRUE(got) << c.name;
+    if (f.type == MsgType::kJobReply) {
+      JobReply reply;
+      ASSERT_EQ(decode_job_reply(f.payload, &reply), "") << c.name;
+      EXPECT_EQ(reply.status, JobStatus::kBadRequest) << c.name;
+    } else {
+      EXPECT_EQ(f.type, MsgType::kError) << c.name;
+    }
+  }
+  // A truncated frame followed by a hangup leaves the server healthy.
+  {
+    std::string err;
+    SocketFd fd = connect_unix(sopts.unix_path, &err);
+    ASSERT_TRUE(fd.valid());
+    const std::string bytes = encode_frame(MsgType::kPing, "");
+    ASSERT_TRUE(send_all(fd.fd(), bytes.data(), bytes.size() / 2));
+  }
+  std::string err;
+  DsplacerClient probe = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(probe.connected()) << err;
+  std::string version;
+  EXPECT_EQ(probe.ping(&version), "");
+  EXPECT_GE(server.stats().protocol_errors, 4);
+  server.stop();
+}
+
+TEST(Server, MalformedNetlistTextIsBadRequest) {
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("badnl");
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+  std::string err;
+  DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(c.connected()) << err;
+  JobRequest req;
+  req.netlist_text = "cell before design -- not a netlist\n";
+  req.scale = 0.08;
+  JobReply reply;
+  ASSERT_EQ(c.submit(req, &reply), "");
+  EXPECT_EQ(reply.status, JobStatus::kBadRequest);
+  EXPECT_FALSE(reply.error.empty());
+  server.stop();
+}
+
+// The acceptance soak: >=4 concurrent clients, >=20 jobs total, mixed
+// benchmarks with repeats. Every result must be bit-identical to running
+// the flow directly with the same options, repeats must hit the shared
+// cache, and the drain must lose nothing.
+TEST(Server, LoopbackSoakFourClientsTwentyJobs) {
+  const std::string dir = fresh_dir("soak");
+  TestDesign sky("SkyNet");
+  TestDesign ismart("iSmartDNN");
+
+  // Expected placements, computed directly with the same options. The
+  // direct run must see exactly what the server sees: the netlist after a
+  // text round trip (serialization quantizes pinned coordinates).
+  const JobRequest sky_req = fast_request(sky);
+  const JobRequest ismart_req = fast_request(ismart);
+  const Device dev = make_zcu104(0.08);
+  const Netlist sky_wire = read_netlist(sky.text);
+  const Netlist ismart_wire = read_netlist(ismart.text);
+  const DsplacerResult sky_direct =
+      run_dsplacer(sky_wire, dev, {}, options_for(sky_req));
+  const DsplacerResult ismart_direct =
+      run_dsplacer(ismart_wire, dev, {}, options_for(ismart_req));
+  ASSERT_EQ(sky_direct.legality_error, "");
+  ASSERT_EQ(ismart_direct.legality_error, "");
+  const std::string sky_expected = write_placement(sky_wire, sky_direct.placement);
+  const std::string ismart_expected =
+      write_placement(ismart_wire, ismart_direct.placement);
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("soak");
+  sopts.workers = 4;
+  sopts.queue_depth = 32;
+  sopts.cache_dir = dir + "/cache";
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 5;  // 20 total
+  std::atomic<int> ok{0};
+  std::atomic<int64_t> total_hits{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < kClients; ++ci)
+    threads.emplace_back([&, ci] {
+      std::string err;
+      DsplacerClient client =
+          DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+      ASSERT_TRUE(client.connected()) << err;
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        // Mixed benchmarks, including same-design repeats across clients.
+        const bool use_sky = (ci + j) % 2 == 0;
+        JobReply reply;
+        const std::string serr =
+            client.submit(use_sky ? sky_req : ismart_req, &reply);
+        if (!serr.empty() || reply.status != JobStatus::kOk) continue;
+        ok.fetch_add(1);
+        total_hits.fetch_add(reply.cache_hits);
+        const std::string& expected = use_sky ? sky_expected : ismart_expected;
+        if (reply.placement_text != expected) mismatches.fetch_add(1);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  server.stop();
+
+  EXPECT_EQ(ok.load(), kClients * kJobsPerClient);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Repeats of an identical job must come from the shared stage cache.
+  EXPECT_GT(total_hits.load(), 0);
+  EXPECT_EQ(server.stats().jobs_ok, kClients * kJobsPerClient);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -5,9 +5,13 @@
 #include <cstdio>
 #include <fstream>
 
+#include <thread>
+
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/svg.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -223,6 +227,35 @@ TEST(Rng, GaussianMomentsRoughlyCorrect) {
   const double var = sq / n - mean * mean;
   EXPECT_NEAR(mean, 2.0, 0.1);
   EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(ThreadPool, ParseThreadCountAcceptsOnlyPositiveIntegers) {
+  std::string error;
+  EXPECT_EQ(parse_thread_count("1", &error), 1);
+  EXPECT_EQ(parse_thread_count("  8 ", &error), 8);  // surrounding spaces ok
+  EXPECT_EQ(parse_thread_count("128", &error), 128);
+  for (const char* bad : {"0", "-1", "abc", "", "   ", "3.5", "4x", "0x4",
+                          "9999999999"}) {
+    error.clear();
+    EXPECT_EQ(parse_thread_count(bad, &error), -1) << "'" << bad << "'";
+    EXPECT_NE(error.find("positive integer"), std::string::npos) << error;
+  }
+}
+
+TEST(Log, ThreadTagIsPerThread) {
+  set_log_thread_tag("main-tag");
+  EXPECT_EQ(log_thread_tag(), "main-tag");
+  std::string other;
+  std::thread t([&] {
+    other = log_thread_tag();  // fresh thread: no tag inherited
+    set_log_thread_tag("worker-tag");
+    other += '|';
+    other += log_thread_tag();
+  });
+  t.join();
+  EXPECT_EQ(other, "|worker-tag");
+  EXPECT_EQ(log_thread_tag(), "main-tag");  // unaffected by the other thread
+  set_log_thread_tag("");
 }
 
 }  // namespace

@@ -1,0 +1,147 @@
+// dsplacer_submit — client CLI for dsplacerd (docs/SERVER.md).
+//
+// Submits placement jobs to a running daemon over its Unix-domain socket
+// or TCP loopback port and prints one status line per job; BUSY and
+// deadline replies exit nonzero so scripts can see backpressure.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "util/version.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int rc) {
+  os << "dsplacer_submit (--socket <path> | --port <n>) --netlist <file>\n"
+        "                [--scale <s>] [--seed <n>] [--deadline-ms <n>]\n"
+        "                [--no-cache] [--outer-iterations <n>]\n"
+        "                [--assign-iterations <n>] [--repeat <n>]\n"
+        "                [--out <placement>] [--trace <json>] [--ping]\n"
+        "                [--version]\n"
+        "Submits jobs to a running dsplacerd (see docs/SERVER.md). --repeat\n"
+        "sends the same job N times (warm repeats show cache hits).\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::map<std::string, std::string> flags;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--version") {
+      std::cout << dsp::version_line("dsplacer_submit") << " (protocol "
+                << dsp::kProtocolVersion << ")\n";
+      return 0;
+    }
+    if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
+    if (args[i] == "--no-cache" || args[i] == "--ping") {
+      flags.emplace(args[i].substr(2), "1");
+      continue;
+    }
+    if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
+      std::cerr << "malformed flag: " << args[i] << '\n';
+      return usage(std::cerr, 2);
+    }
+    flags[args[i].substr(2)] = args[i + 1];
+    ++i;
+  }
+
+  std::string err;
+  dsp::DsplacerClient client =
+      flags.count("socket")
+          ? dsp::DsplacerClient::connect_to_unix(flags["socket"], &err)
+          : flags.count("port")
+                ? dsp::DsplacerClient::connect_to_tcp(std::atoi(flags["port"].c_str()),
+                                                      &err)
+                : dsp::DsplacerClient();
+  if (!client.connected()) {
+    std::cerr << "dsplacer_submit: "
+              << (err.empty() ? "need --socket <path> or --port <n>" : err) << '\n';
+    return 2;
+  }
+
+  if (flags.count("ping")) {
+    std::string server_version;
+    err = client.ping(&server_version);
+    if (!err.empty()) {
+      std::cerr << "dsplacer_submit: ping: " << err << '\n';
+      return 1;
+    }
+    std::cout << "pong from " << server_version << '\n';
+    return 0;
+  }
+
+  if (flags.count("netlist") == 0) {
+    std::cerr << "dsplacer_submit: --netlist <file> is required\n";
+    return 2;
+  }
+  std::ifstream nf(flags["netlist"]);
+  if (!nf) {
+    std::cerr << "dsplacer_submit: cannot read " << flags["netlist"] << '\n';
+    return 2;
+  }
+  std::ostringstream netlist_text;
+  netlist_text << nf.rdbuf();
+
+  dsp::JobRequest req;
+  req.netlist_text = netlist_text.str();
+  if (flags.count("scale")) req.scale = std::atof(flags["scale"].c_str());
+  if (flags.count("seed"))
+    req.seed = static_cast<uint64_t>(std::strtoull(flags["seed"].c_str(), nullptr, 10));
+  if (flags.count("deadline-ms"))
+    req.deadline_ms = static_cast<uint32_t>(std::atoi(flags["deadline-ms"].c_str()));
+  if (flags.count("no-cache")) req.use_cache = false;
+  if (flags.count("outer-iterations"))
+    req.outer_iterations = std::atoi(flags["outer-iterations"].c_str());
+  if (flags.count("assign-iterations"))
+    req.assign_iterations = std::atoi(flags["assign-iterations"].c_str());
+
+  const int repeat = flags.count("repeat") ? std::atoi(flags["repeat"].c_str()) : 1;
+  bool all_ok = true;
+  dsp::JobReply last_ok;
+  for (int i = 0; i < std::max(1, repeat); ++i) {
+    dsp::JobReply reply;
+    err = client.submit(req, &reply);
+    if (!err.empty()) {
+      std::cerr << "dsplacer_submit: " << err << '\n';
+      return 1;
+    }
+    std::cout << "job " << (i + 1) << ": " << dsp::job_status_name(reply.status);
+    if (reply.status == dsp::JobStatus::kOk) {
+      std::cout << "  HPWL " << reply.hpwl << "  dsps " << reply.num_datapath_dsps
+                << "+" << reply.num_control_dsps << "  cache " << reply.cache_hits
+                << " hit / " << reply.cache_misses << " miss";
+      last_ok = reply;
+    } else {
+      std::cout << "  (" << reply.error << ')';
+      all_ok = false;
+    }
+    std::cout << '\n';
+  }
+
+  if (flags.count("out") && !last_ok.placement_text.empty()) {
+    std::ofstream f(flags["out"]);
+    f << last_ok.placement_text;
+    if (!f) {
+      std::cerr << "dsplacer_submit: cannot write " << flags["out"] << '\n';
+      return 1;
+    }
+    std::cout << "wrote placement " << flags["out"] << '\n';
+  }
+  if (flags.count("trace") && !last_ok.trace_json.empty()) {
+    std::ofstream f(flags["trace"]);
+    f << last_ok.trace_json << '\n';
+    if (!f) {
+      std::cerr << "dsplacer_submit: cannot write " << flags["trace"] << '\n';
+      return 1;
+    }
+    std::cout << "wrote trace " << flags["trace"] << '\n';
+  }
+  return all_ok ? 0 : 1;
+}

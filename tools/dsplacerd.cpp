@@ -1,0 +1,124 @@
+// dsplacerd — the DSPlacer placement daemon (docs/SERVER.md).
+//
+// Listens on a Unix-domain socket (and optionally TCP loopback), runs
+// placement jobs from many clients concurrently over one shared thread
+// pool and stage checkpoint cache, and drains gracefully on SIGINT or
+// SIGTERM: stop accepting, finish or cancel in-flight jobs (every client
+// still gets a reply), then exit.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "server/server.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/version.hpp"
+
+namespace {
+
+// Self-pipe: the only async-signal-safe thing the handler does is write
+// one byte; the main thread blocks on the read end and runs the drain.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto ignored = write(g_signal_pipe[1], &byte, 1);
+}
+
+int usage(std::ostream& os, int rc) {
+  os << "dsplacerd [--socket <path>] [--tcp-port <n>] [--workers <n>]\n"
+        "          [--queue-depth <n>] [--cache-dir <dir>] [--threads <n>]\n"
+        "          [--drain-grace <seconds>] [--version]\n"
+        "Defaults: --socket /tmp/dsplacerd.sock, no TCP listener, 2 workers,\n"
+        "queue depth 8, caching off. --tcp-port 0 binds an ephemeral port\n"
+        "(printed on startup). See docs/SERVER.md for the wire protocol.\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::map<std::string, std::string> flags;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--version") {
+      std::cout << dsp::version_line("dsplacerd") << " (protocol "
+                << dsp::kProtocolVersion << ")\n";
+      return 0;
+    }
+    if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
+    if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
+      std::cerr << "malformed flag: " << args[i] << '\n';
+      return usage(std::cerr, 2);
+    }
+    flags[args[i].substr(2)] = args[i + 1];
+    ++i;
+  }
+
+  // Strict worker-count validation (same policy as the CLI): a malformed
+  // DSPLACER_THREADS or --threads refuses to start instead of clamping.
+  std::string threads_error;
+  if (const char* env = std::getenv("DSPLACER_THREADS")) {
+    if (dsp::parse_thread_count(env, &threads_error) < 0) {
+      std::cerr << "dsplacerd: DSPLACER_THREADS: " << threads_error << '\n';
+      return 2;
+    }
+  }
+  if (flags.count("threads") != 0) {
+    const int threads = dsp::parse_thread_count(flags["threads"], &threads_error);
+    if (threads < 0) {
+      std::cerr << "dsplacerd: --threads: " << threads_error << '\n';
+      return 2;
+    }
+    dsp::set_global_threads(threads);
+  }
+
+  dsp::ServerOptions opts;
+  opts.unix_path = flags.count("socket") ? flags["socket"] : "/tmp/dsplacerd.sock";
+  if (flags.count("tcp-port")) opts.tcp_port = std::atoi(flags["tcp-port"].c_str());
+  if (flags.count("workers")) opts.workers = std::atoi(flags["workers"].c_str());
+  if (flags.count("queue-depth"))
+    opts.queue_depth = std::atoi(flags["queue-depth"].c_str());
+  if (flags.count("cache-dir")) opts.cache_dir = flags["cache-dir"];
+  if (flags.count("drain-grace"))
+    opts.drain_grace_seconds = std::atof(flags["drain-grace"].c_str());
+  if (opts.workers <= 0 || opts.queue_depth <= 0) {
+    std::cerr << "dsplacerd: --workers and --queue-depth must be positive\n";
+    return 2;
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::cerr << "dsplacerd: pipe: " << std::strerror(errno) << '\n';
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  dsp::DsplacerServer server(opts);
+  const std::string err = server.start();
+  if (!err.empty()) {
+    std::cerr << "dsplacerd: " << err << '\n';
+    return 1;
+  }
+  std::cout << dsp::version_line("dsplacerd") << " listening on " << opts.unix_path;
+  if (server.port() >= 0) std::cout << " and 127.0.0.1:" << server.port();
+  std::cout << std::endl;
+
+  // Park until SIGINT/SIGTERM, then drain.
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.stop();
+  const dsp::ServerStats s = server.stats();
+  std::cout << "dsplacerd: drained (" << s.jobs_ok << " ok, " << s.jobs_failed
+            << " failed, " << s.jobs_cancelled << " cancelled, "
+            << s.busy_rejections << " busy)" << std::endl;
+  return 0;
+}
