@@ -1,15 +1,23 @@
 // Microbenchmarks (google-benchmark) for the hot kernels: min-cost-flow
 // assignment, Brandes betweenness, IDDFS DSP-graph construction, the
-// intra-column DP, the simplex, STA, and the global router.
+// intra-column DP, the simplex, STA, and the global router — plus the
+// graph-kernel suite comparing the Digraph reference implementations
+// against the frozen CsrGraph hot paths (wall time via the `vs_old`
+// counter, heap traffic via `allocs_per_iter`).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
+#include <new>
 
 #include "core/legalize_intracol.hpp"
 #include "designs/benchmarks.hpp"
 #include "extract/dsp_graph.hpp"
 #include "graph/centrality.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/traversal.hpp"
 #include "placer/host_placer.hpp"
 #include "route/grid_router.hpp"
 #include "solver/mcf.hpp"
@@ -17,6 +25,26 @@
 #include "timing/sta.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+// Global allocation counter backing the `allocs_per_iter` /
+// `allocs_per_source` benchmark counters (the CSR kernels must show zero
+// steady-state heap traffic per source).
+static std::atomic<int64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -132,6 +160,206 @@ void BM_DspGraphThreads(benchmark::State& state) {
   report_speedup(state, mean, &serial_secs);
 }
 BENCHMARK(BM_DspGraphThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// ---- graph-kernel suite: Digraph reference vs frozen CSR -------------------
+//
+// Each kernel runs twice on the largest suite design: the *Old variant on
+// the vector-of-vectors Digraph (per-visit undirected_neighbors()
+// allocate-sort-dedup), the *Csr variant on the frozen CsrGraph with a
+// leased KernelWorkspace. The Csr variants report `vs_old` (old mean wall
+// time / CSR mean wall time; registration order runs Old first) and both
+// report `allocs_per_iter` from a global operator-new counter.
+
+const Netlist& largest_design() {
+  static const Netlist nl = [] {
+    const Device dev = make_zcu104(0.1);
+    Netlist best("");
+    for (const auto& b : benchmark_suite()) {
+      Netlist cand = make_benchmark(b, dev, 0.1);
+      if (cand.num_cells() > best.num_cells()) best = std::move(cand);
+    }
+    return best;
+  }();
+  return nl;
+}
+
+int64_t allocs_now() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+double allocs_per_iter(benchmark::State& state, int64_t alloc_begin) {
+  return state.iterations() > 0
+             ? static_cast<double>(allocs_now() - alloc_begin) /
+                   static_cast<double>(state.iterations())
+             : 0.0;
+}
+
+constexpr int kGraphBenchPivots = 64;
+double g_brandes_old_secs = 0.0;
+double g_ecc_old_secs = 0.0;
+double g_iddfs_old_secs = 0.0;
+
+void BM_GraphFreeze(benchmark::State& state) {
+  const Digraph g = largest_design().to_digraph();
+  for (auto _ : state) {
+    const CsrGraph csr = CsrGraph::freeze(g);
+    benchmark::DoNotOptimize(csr.undirected_arcs());
+  }
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_GraphFreeze);
+
+void BM_GraphBrandesOld(benchmark::State& state) {
+  const Digraph g = largest_design().to_digraph();
+  ThreadPool pool(1);
+  const int64_t a0 = allocs_now();
+  g_brandes_old_secs = timed_mean_seconds(state, [&] {
+    Rng rng(17);
+    const auto c = betweenness_sampled(g, kGraphBenchPivots, rng, &pool);
+    benchmark::DoNotOptimize(c.data());
+  });
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+}
+BENCHMARK(BM_GraphBrandesOld)->UseRealTime();
+
+void BM_GraphBrandesCsr(benchmark::State& state) {
+  const CsrGraph csr = CsrGraph::freeze(largest_design().to_digraph());
+  ThreadPool pool(1);
+  {
+    // Warm-up populates the workspace pool: the timed loop is steady state.
+    Rng rng(17);
+    benchmark::DoNotOptimize(
+        betweenness_sampled(csr, kGraphBenchPivots, rng, &pool).data());
+  }
+  const int64_t a0 = allocs_now();
+  const double mean = timed_mean_seconds(state, [&] {
+    Rng rng(17);
+    const auto c = betweenness_sampled(csr, kGraphBenchPivots, rng, &pool);
+    benchmark::DoNotOptimize(c.data());
+  });
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+  state.counters["allocs_per_source"] =
+      state.counters["allocs_per_iter"] / kGraphBenchPivots;
+  if (g_brandes_old_secs > 0.0 && mean > 0.0)
+    state.counters["vs_old"] = g_brandes_old_secs / mean;
+}
+BENCHMARK(BM_GraphBrandesCsr)->UseRealTime();
+
+void BM_GraphEccentricityOld(benchmark::State& state) {
+  const Digraph g = largest_design().to_digraph();
+  ThreadPool pool(1);
+  const int64_t a0 = allocs_now();
+  g_ecc_old_secs = timed_mean_seconds(state, [&] {
+    Rng rng(18);
+    const auto e = eccentricity_sampled(g, kGraphBenchPivots, rng, &pool);
+    benchmark::DoNotOptimize(e.data());
+  });
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+}
+BENCHMARK(BM_GraphEccentricityOld)->UseRealTime();
+
+void BM_GraphEccentricityCsr(benchmark::State& state) {
+  const CsrGraph csr = CsrGraph::freeze(largest_design().to_digraph());
+  ThreadPool pool(1);
+  {
+    Rng rng(18);
+    benchmark::DoNotOptimize(
+        eccentricity_sampled(csr, kGraphBenchPivots, rng, &pool).data());
+  }
+  const int64_t a0 = allocs_now();
+  const double mean = timed_mean_seconds(state, [&] {
+    Rng rng(18);
+    const auto e = eccentricity_sampled(csr, kGraphBenchPivots, rng, &pool);
+    benchmark::DoNotOptimize(e.data());
+  });
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+  if (g_ecc_old_secs > 0.0 && mean > 0.0)
+    state.counters["vs_old"] = g_ecc_old_secs / mean;
+}
+BENCHMARK(BM_GraphEccentricityCsr)->UseRealTime();
+
+/// DSP sources for the IDDFS pair (bounded so one iteration stays short).
+std::vector<CellId> iddfs_sources() {
+  std::vector<CellId> dsps = largest_design().cells_of_type(CellType::kDsp);
+  if (dsps.size() > 32) dsps.resize(32);
+  return dsps;
+}
+
+void BM_GraphIddfsOld(benchmark::State& state) {
+  const Netlist& nl = largest_design();
+  const Digraph g = nl.to_digraph();
+  const std::vector<CellId> sources = iddfs_sources();
+  auto is_dsp = [&nl](int v) { return nl.cell(v).type == CellType::kDsp; };
+  const int64_t a0 = allocs_now();
+  g_iddfs_old_secs = timed_mean_seconds(state, [&] {
+    long long visited = 0;
+    for (CellId s : sources) {
+      const IddfsResult r = iddfs_shortest_paths(g, s, 12, is_dsp, is_dsp);
+      visited += r.nodes_visited;
+    }
+    benchmark::DoNotOptimize(visited);
+  });
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+}
+BENCHMARK(BM_GraphIddfsOld)->UseRealTime();
+
+void BM_GraphIddfsCsr(benchmark::State& state) {
+  const Netlist& nl = largest_design();
+  const CsrGraph csr = CsrGraph::freeze(nl.to_digraph());
+  const std::vector<CellId> sources = iddfs_sources();
+  auto is_dsp = [&nl](int v) { return nl.cell(v).type == CellType::kDsp; };
+  const std::function<bool(int)> target = is_dsp;
+  auto ws = csr.workspaces().acquire();
+  for (CellId s : sources)  // warm-up sizes every reused path vector
+    (void)iddfs_shortest_paths(csr, s, 12, target, target, *ws);
+  const int64_t a0 = allocs_now();
+  const double mean = timed_mean_seconds(state, [&] {
+    long long visited = 0;
+    for (CellId s : sources)
+      visited += iddfs_shortest_paths(csr, s, 12, target, target, *ws);
+    benchmark::DoNotOptimize(visited);
+  });
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+  state.counters["allocs_per_source"] =
+      state.counters["allocs_per_iter"] / static_cast<double>(sources.size());
+  if (g_iddfs_old_secs > 0.0 && mean > 0.0)
+    state.counters["vs_old"] = g_iddfs_old_secs / mean;
+}
+BENCHMARK(BM_GraphIddfsCsr)->UseRealTime();
+
+// Steady-state proof for the acceptance bar "zero per-source heap
+// allocations": one leased workspace, one source per iteration, counter
+// must report exactly 0.
+void BM_GraphBfsSourceSteadyState(benchmark::State& state) {
+  const CsrGraph csr = CsrGraph::freeze(largest_design().to_digraph());
+  auto ws = csr.workspaces().acquire();
+  ws->ensure_bfs(csr);
+  bfs_distances_undirected(csr, 0, *ws);  // warm-up
+  const int64_t a0 = allocs_now();
+  for (auto _ : state) {
+    bfs_distances_undirected(csr, 0, *ws);
+    benchmark::DoNotOptimize(ws->dist.data());
+  }
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+}
+BENCHMARK(BM_GraphBfsSourceSteadyState);
+
+void BM_GraphIddfsSourceSteadyState(benchmark::State& state) {
+  const Netlist& nl = largest_design();
+  const CsrGraph csr = CsrGraph::freeze(nl.to_digraph());
+  const std::function<bool(int)> is_dsp = [&nl](int v) {
+    return nl.cell(v).type == CellType::kDsp;
+  };
+  const CellId src = nl.cells_of_type(CellType::kDsp).front();
+  auto ws = csr.workspaces().acquire();
+  (void)iddfs_shortest_paths(csr, src, 12, is_dsp, is_dsp, *ws);  // warm-up
+  const int64_t a0 = allocs_now();
+  for (auto _ : state) {
+    const long long visited = iddfs_shortest_paths(csr, src, 12, is_dsp, is_dsp, *ws);
+    benchmark::DoNotOptimize(visited);
+  }
+  state.counters["allocs_per_iter"] = allocs_per_iter(state, a0);
+}
+BENCHMARK(BM_GraphIddfsSourceSteadyState);
 
 void BM_IntraColumnDp(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -27,6 +27,18 @@ FlowContext::FlowContext(const Netlist& netlist, const Device& device,
   host->set_trace(&trace);
 }
 
+const CsrGraph& FlowContext::frozen_graph() {
+  if (!csr_) {
+    Timer t;
+    csr_.emplace(CsrGraph::freeze(nl->to_digraph()));
+    // Root counter: stage snapshots capture only stage-node counters, so
+    // wall time here can never leak into a checkpoint.
+    trace.root().add_counter("graph_freeze_ms",
+                             static_cast<int64_t>(std::llround(t.seconds() * 1e3)));
+  }
+  return *csr_;
+}
+
 namespace {
 
 /// Applies the two-step legalization to an MCF assignment and commits the
@@ -262,7 +274,15 @@ void stage_extract(FlowContext& ctx) {
   } else {
     FeatureOptions fopts = ctx.opts.features;
     fopts.seed = ctx.seed;
-    const DesignGraphData target = build_design_data(nl, fopts, ctx.pool);
+    const DesignGraphData target =
+        build_design_data(nl, fopts, ctx.pool, &ctx.frozen_graph(), ctx.cancel);
+    // Mid-stage cancellation: a cancelled extraction holds meaningless
+    // partial features — bail before spending the GCN training budget.
+    if (ctx.cancel && ctx.cancel()) {
+      ctx.error = "cancelled";
+      ctx.trace.root().add_counter("cancelled", 1);
+      return;
+    }
     ctx.is_datapath = predict_datapath_dsps(*ctx.training, target, ctx.opts.gcn);
   }
   // A DSP sharing a cascade chain with datapath DSPs must travel with the
@@ -276,8 +296,13 @@ void stage_extract(FlowContext& ctx) {
       for (CellId c : chain) ctx.is_datapath[static_cast<size_t>(c)] = 1;
   }
 
-  const Digraph g = nl.to_digraph();
-  DspGraph full = build_dsp_graph(nl, g, ctx.opts.dsp_graph, ctx.pool);
+  DspGraph full =
+      build_dsp_graph(nl, ctx.frozen_graph(), ctx.opts.dsp_graph, ctx.pool, ctx.cancel);
+  if (ctx.cancel && ctx.cancel()) {
+    ctx.error = "cancelled";
+    ctx.trace.root().add_counter("cancelled", 1);
+    return;
+  }
   if (ctx.opts.prune_control) {
     ctx.dsp_graph = prune_dsp_graph(full, ctx.is_datapath);
   } else {
@@ -427,6 +452,13 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
 
   ctx.trace.root().seconds = total.seconds();
   ctx.trace.root().max_counter("peak_threads", ctx.pool->peak_active());
+  if (const CsrGraph* csr = ctx.frozen_graph_if_built()) {
+    // Workspace-reuse instrumentation: `created` is thread-count dependent
+    // (one workspace per concurrent lane), so it lives at the root — like
+    // peak_threads — and never enters a stage checkpoint.
+    ctx.trace.root().add_counter("workspace_acquired", csr->workspaces().acquired());
+    ctx.trace.root().add_counter("workspace_created", csr->workspaces().created());
+  }
 
   DsplacerResult result;
   result.num_datapath_dsps = ctx.num_datapath_dsps;

@@ -22,6 +22,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/dsplacer.hpp"
+#include "graph/csr_graph.hpp"
 #include "placer/host_placer.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -55,10 +56,21 @@ struct FlowContext {
   std::string error;               // first stage failure; empty when healthy
 
   /// Optional cooperative cancellation (service deadlines, graceful
-  /// drain): run_flow polls it before each stage and, when it returns
-  /// true, stops with error "cancelled" instead of running further
-  /// stages. Unset = never cancelled.
+  /// drain): run_flow polls it before each stage, and the Extract kernels
+  /// additionally poll it between source chunks, so a long extraction
+  /// stops mid-stage with error "cancelled" instead of running to the
+  /// next boundary. Must be thread-safe (polled from pool workers).
+  /// Unset = never cancelled.
   std::function<bool()> cancel;
+
+  /// Frozen CSR view of nl->to_digraph(), built lazily on first use and
+  /// shared by every kernel for the rest of the run (graph/csr_graph.hpp).
+  /// The freeze wall time lands in the trace root as `graph_freeze_ms`.
+  const CsrGraph& frozen_graph();
+
+  /// The frozen graph if a stage already built it, else nullptr. run_flow
+  /// uses this to report workspace counters without forcing a freeze.
+  const CsrGraph* frozen_graph_if_built() const { return csr_ ? &*csr_ : nullptr; }
 
   // ---- instrumentation ----
   RunTrace trace{"dsplacer"};
@@ -74,6 +86,9 @@ struct FlowContext {
   int mcf_iterations = 0;
   bool mcf_converged = false;
   bool intercol_used_ilp = false;
+
+ private:
+  std::optional<CsrGraph> csr_;  // backs frozen_graph()
 };
 
 /// One named pipeline stage. `phase` is the flat Fig. 8 bucket its wall

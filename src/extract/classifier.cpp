@@ -1,18 +1,25 @@
 #include "extract/classifier.hpp"
 
 #include <cassert>
+#include <optional>
 
 #include "util/log.hpp"
 
 namespace dsp {
 
 DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts,
-                                  ThreadPool* pool) {
+                                  ThreadPool* pool, const CsrGraph* frozen,
+                                  const std::function<bool()>& cancel) {
   DesignGraphData d;
   d.name = nl.name();
   d.graph = nl.to_digraph();
-  d.gcn_features = extract_node_features(nl, d.graph, opts, pool);
-  d.local_features = extract_local_features(nl, d.graph);
+  // Freeze once and feed every extractor the same flat view; the flow
+  // passes its per-run frozen graph so nothing re-freezes downstream.
+  std::optional<CsrGraph> local;
+  const CsrGraph& csr =
+      frozen != nullptr ? *frozen : local.emplace(CsrGraph::freeze(d.graph));
+  d.gcn_features = extract_node_features(nl, csr, opts, pool, cancel);
+  d.local_features = extract_local_features(nl, csr);
   d.labels.assign(static_cast<size_t>(nl.num_cells()), 0);
   d.dsp_mask.assign(static_cast<size_t>(nl.num_cells()), 0);
   for (CellId c = 0; c < nl.num_cells(); ++c) {
@@ -57,7 +64,11 @@ DesignGraphData merge_designs(const std::vector<const DesignGraphData*>& designs
 DesignGraphData restrict_to_dsp_neighborhood(const DesignGraphData& d, int hops,
                                              std::vector<int>* orig_index) {
   const int n = d.graph.num_nodes();
-  // Multi-source BFS from every DSP node, undirected, depth-limited.
+  // Multi-source BFS from every DSP node, undirected, depth-limited. The
+  // frozen undirected adjacency replaces per-node undirected_neighbors()
+  // materialization (each frontier node used to allocate+sort its own
+  // neighbor vector).
+  const CsrGraph csr = CsrGraph::freeze(d.graph);
   std::vector<int> depth(static_cast<size_t>(n), -1);
   std::vector<int> frontier;
   for (int v = 0; v < n; ++v) {
@@ -69,7 +80,7 @@ DesignGraphData restrict_to_dsp_neighborhood(const DesignGraphData& d, int hops,
   for (int h = 0; h < hops; ++h) {
     std::vector<int> next;
     for (int u : frontier) {
-      for (int v : d.graph.undirected_neighbors(u)) {
+      for (int v : csr.undirected(u)) {
         if (depth[static_cast<size_t>(v)] < 0) {
           depth[static_cast<size_t>(v)] = h + 1;
           next.push_back(v);

@@ -25,8 +25,15 @@ struct DesignGraphData {
 };
 
 /// `pool` = nullptr runs feature extraction on the global thread pool.
+/// `frozen`, when non-null, must be CsrGraph::freeze of nl.to_digraph();
+/// both feature extractors then run against it instead of freezing their
+/// own copy (the flow freezes once per run and passes it here). `cancel`
+/// (thread-safe, optional) is polled between kernel chunks; a cancelled
+/// build returns meaningless partial features.
 DesignGraphData build_design_data(const Netlist& nl, const FeatureOptions& opts = {},
-                                  ThreadPool* pool = nullptr);
+                                  ThreadPool* pool = nullptr,
+                                  const CsrGraph* frozen = nullptr,
+                                  const std::function<bool()>& cancel = nullptr);
 
 /// Induced subgraph on all nodes within `hops` (undirected) of a DSP node,
 /// with features/labels/masks selected accordingly. With a 2-layer GCN the

@@ -32,6 +32,11 @@ std::vector<double> DspGraph::mean_dsp_distance() const {
 
 DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOptions& opts,
                          ThreadPool* pool_arg) {
+  return build_dsp_graph(nl, CsrGraph::freeze(g), opts, pool_arg);
+}
+
+DspGraph build_dsp_graph(const Netlist& nl, const CsrGraph& g, const DspGraphOptions& opts,
+                         ThreadPool* pool_arg, const std::function<bool()>& cancel) {
   ThreadPool& pool = pool_arg != nullptr ? *pool_arg : global_pool();
   DspGraph out;
   out.dsps = nl.cells_of_type(CellType::kDsp);
@@ -43,43 +48,50 @@ DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g, const DspGraphOpti
 
   // Per-source IDDFS walks are independent; each source collects its own
   // edge list and the lists concatenate in source order, so the edge array
-  // (and hence adj) is identical for any thread count.
+  // (and hence adj) is identical for any thread count. Each chunk leases
+  // one workspace and reuses it across its sources; `cancel` is polled at
+  // chunk starts so service deadlines fire mid-stage, not only at stage
+  // boundaries.
   const int64_t num_dsps = static_cast<int64_t>(out.dsps.size());
   std::vector<std::vector<DspGraphEdge>> per_src(static_cast<size_t>(num_dsps));
   std::vector<long long> visited(static_cast<size_t>(num_dsps), 0);
-  pool.parallel_for_each(num_dsps, [&](int64_t i) {
-    const CellId src = out.dsps[static_cast<size_t>(i)];
-    // IDDFS with DSPs opaque: a path may END at a DSP but not pass through
-    // one, so edges connect directly dataflow-adjacent DSPs.
-    const IddfsResult r =
-        iddfs_shortest_paths(g, src, opts.max_depth, is_dsp, is_dsp);
-    visited[static_cast<size_t>(i)] = r.nodes_visited;
-    for (size_t j = 0; j < out.dsps.size(); ++j) {
-      const CellId dst = out.dsps[j];
-      if (dst == src || r.distance[static_cast<size_t>(dst)] == kUnreached) continue;
-      DspGraphEdge e;
-      e.from = static_cast<int>(i);
-      e.to = static_cast<int>(j);
-      e.distance = r.distance[static_cast<size_t>(dst)];
-      for (int v : r.path[static_cast<size_t>(dst)]) {
-        if (v == src || v == dst) continue;
-        switch (nl.cell(v).type) {
-          case CellType::kLut:
-          case CellType::kCarry:
-            ++e.luts_on_path;
-            break;
-          case CellType::kFlipFlop:
-            ++e.ffs_on_path;
-            break;
-          case CellType::kBram:
-          case CellType::kLutRam:
-            ++e.rams_on_path;
-            break;
-          default:
-            break;
+  pool.parallel_for(num_dsps, 0, [&](int64_t, int64_t begin, int64_t end) {
+    if (cancel && cancel()) return;
+    auto ws = g.workspaces().acquire();
+    for (int64_t i = begin; i < end; ++i) {
+      const CellId src = out.dsps[static_cast<size_t>(i)];
+      // IDDFS with DSPs opaque: a path may END at a DSP but not pass through
+      // one, so edges connect directly dataflow-adjacent DSPs.
+      visited[static_cast<size_t>(i)] =
+          iddfs_shortest_paths(g, src, opts.max_depth, is_dsp, is_dsp, *ws);
+      for (size_t j = 0; j < out.dsps.size(); ++j) {
+        const CellId dst = out.dsps[j];
+        if (dst == src || ws->iddfs_distance[static_cast<size_t>(dst)] == kUnreached)
+          continue;
+        DspGraphEdge e;
+        e.from = static_cast<int>(i);
+        e.to = static_cast<int>(j);
+        e.distance = ws->iddfs_distance[static_cast<size_t>(dst)];
+        for (int v : ws->iddfs_path[static_cast<size_t>(dst)]) {
+          if (v == src || v == dst) continue;
+          switch (nl.cell(v).type) {
+            case CellType::kLut:
+            case CellType::kCarry:
+              ++e.luts_on_path;
+              break;
+            case CellType::kFlipFlop:
+              ++e.ffs_on_path;
+              break;
+            case CellType::kBram:
+            case CellType::kLutRam:
+              ++e.rams_on_path;
+              break;
+            default:
+              break;
+          }
         }
+        per_src[static_cast<size_t>(i)].push_back(e);
       }
-      per_src[static_cast<size_t>(i)].push_back(e);
     }
   });
   for (size_t i = 0; i < per_src.size(); ++i) {

@@ -8,8 +8,10 @@
 // the GCN) so the placement stays compact.
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 #include "netlist/netlist.hpp"
 
@@ -50,9 +52,20 @@ struct DspGraphOptions {
 /// Builds the full DSP graph (all DSPs, datapath and control). Per-source
 /// IDDFS walks run on `pool` (nullptr: the global pool); the result is
 /// identical for any thread count.
+///
+/// The CsrGraph overload is the hot path: IDDFS walks the frozen flat
+/// adjacency with per-chunk leased workspaces, and `cancel` (optional,
+/// must be thread-safe) is polled between source chunks — when it fires,
+/// remaining chunks are skipped and the partial graph is meaningless
+/// (callers treat the computation as cancelled). The Digraph overload
+/// freezes internally and is result-identical.
 DspGraph build_dsp_graph(const Netlist& nl, const Digraph& g,
                          const DspGraphOptions& opts = {},
                          ThreadPool* pool = nullptr);
+DspGraph build_dsp_graph(const Netlist& nl, const CsrGraph& g,
+                         const DspGraphOptions& opts = {},
+                         ThreadPool* pool = nullptr,
+                         const std::function<bool()>& cancel = nullptr);
 
 /// Returns a copy containing only the DSPs where keep[cell] is true
 /// (edges between surviving nodes are kept, indices remapped).

@@ -20,6 +20,12 @@ constexpr int64_t kSourceGrain = 16;
 
 Matrix extract_node_features(const Netlist& nl, const Digraph& g,
                              const FeatureOptions& opts, ThreadPool* pool_arg) {
+  return extract_node_features(nl, CsrGraph::freeze(g), opts, pool_arg);
+}
+
+Matrix extract_node_features(const Netlist& nl, const CsrGraph& g,
+                             const FeatureOptions& opts, ThreadPool* pool_arg,
+                             const std::function<bool()>& cancel) {
   ThreadPool& pool = pool_arg != nullptr ? *pool_arg : global_pool();
   const int n = g.num_nodes();
   Matrix f(n, kNumNodeFeatures);
@@ -27,15 +33,15 @@ Matrix extract_node_features(const Netlist& nl, const Digraph& g,
   const bool exact = n <= opts.exact_threshold;
 
   const std::vector<double> closeness =
-      exact ? closeness_exact(g, &pool)
-            : closeness_sampled(g, opts.centrality_pivots, rng, &pool);
+      exact ? closeness_exact(g, &pool, cancel)
+            : closeness_sampled(g, opts.centrality_pivots, rng, &pool, cancel);
   const std::vector<int> feedback = feedback_scores(g);
   const std::vector<int> ecc =
-      exact ? eccentricity_exact(g, &pool)
-            : eccentricity_sampled(g, opts.centrality_pivots, rng, &pool);
+      exact ? eccentricity_exact(g, &pool, cancel)
+            : eccentricity_sampled(g, opts.centrality_pivots, rng, &pool, cancel);
   const std::vector<double> betweenness =
-      exact ? betweenness_exact(g, &pool)
-            : betweenness_sampled(g, opts.centrality_pivots, rng, &pool);
+      exact ? betweenness_exact(g, &pool, cancel)
+            : betweenness_sampled(g, opts.centrality_pivots, rng, &pool, cancel);
 
   // Feature (g): mean shortest distance to other DSPs, DSP nodes only.
   std::vector<CellId> dsps = nl.cells_of_type(CellType::kDsp);
@@ -56,21 +62,24 @@ Matrix extract_node_features(const Netlist& nl, const Digraph& g,
     std::vector<Partial> partial(static_cast<size_t>(chunks));
     pool.parallel_for(num_sources, kSourceGrain,
                       [&](int64_t chunk, int64_t begin, int64_t end) {
+                        if (cancel && cancel()) return;
+                        auto ws = g.workspaces().acquire();
                         Partial& p = partial[static_cast<size_t>(chunk)];
                         p.sum.assign(static_cast<size_t>(n), 0.0);
                         p.cnt.assign(static_cast<size_t>(n), 0);
                         for (int64_t k = begin; k < end; ++k) {
                           const CellId s = sources[static_cast<size_t>(k)];
-                          const auto dist = bfs_distances_undirected(g, s);
+                          bfs_distances_undirected(g, s, *ws);
                           for (CellId d : dsps) {
-                            if (d == s || dist[static_cast<size_t>(d)] == kUnreached)
+                            if (d == s || ws->dist[static_cast<size_t>(d)] == kUnreached)
                               continue;
-                            p.sum[static_cast<size_t>(d)] += dist[static_cast<size_t>(d)];
+                            p.sum[static_cast<size_t>(d)] += ws->dist[static_cast<size_t>(d)];
                             ++p.cnt[static_cast<size_t>(d)];
                           }
                         }
                       });
     for (const Partial& p : partial) {
+      if (p.sum.empty()) continue;  // chunk skipped by cancellation
       for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
         dsp_dist_sum[v] += p.sum[v];
         dsp_dist_cnt[v] += p.cnt[v];
@@ -112,6 +121,10 @@ Matrix extract_node_features(const Netlist& nl, const Digraph& g,
 int num_local_features() { return 6; }
 
 Matrix extract_local_features(const Netlist& nl, const Digraph& g) {
+  return extract_local_features(nl, CsrGraph::freeze(g));
+}
+
+Matrix extract_local_features(const Netlist& nl, const CsrGraph& g) {
   (void)nl;
   const int n = g.num_nodes();
   Matrix f(n, num_local_features());
@@ -136,7 +149,7 @@ Matrix extract_local_features(const Netlist& nl, const Digraph& g) {
     double two_hop = 0.0;
     for (int u : g.out(v)) two_hop += static_cast<double>(g.out_degree(u));
     f.at(v, 3) = two_hop;
-    const auto nbrs = g.undirected_neighbors(v);
+    const auto nbrs = g.undirected(v);
     f.at(v, 4) = static_cast<double>(nbrs.size());
     double nbr_deg = 0.0;
     for (int u : nbrs) nbr_deg += static_cast<double>(g.in_degree(u) + g.out_degree(u));

@@ -10,6 +10,9 @@
 // which sampling preserves).
 #pragma once
 
+#include <functional>
+
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 #include "netlist/netlist.hpp"
 #include "nn/matrix.hpp"
@@ -31,13 +34,27 @@ struct FeatureOptions {
 /// using its lowered graph `g` (pass nl.to_digraph()). The centrality and
 /// DSP-distance loops run on `pool` (nullptr: the global pool) and are
 /// bit-identical for any thread count.
+///
+/// The CsrGraph overload is the hot path: every kernel walks the frozen
+/// flat adjacency with per-chunk leased workspaces, and `cancel`
+/// (optional, must be thread-safe) is polled between source chunks. A
+/// cancelled extraction returns a meaningless partial matrix; callers
+/// must check their cancel source before using it. The Digraph overload
+/// freezes internally and is bit-identical.
 Matrix extract_node_features(const Netlist& nl, const Digraph& g,
                              const FeatureOptions& opts = {},
                              ThreadPool* pool = nullptr);
+Matrix extract_node_features(const Netlist& nl, const CsrGraph& g,
+                             const FeatureOptions& opts = {},
+                             ThreadPool* pool = nullptr,
+                             const std::function<bool()>& cancel = nullptr);
 
 /// PADE-style *local* features for the SVM baseline: degree, neighbor
 /// cell-type histogram, and a local-regularity (automorphism proxy) score.
+/// Overloads are bit-identical; CsrGraph reads neighborhoods off the
+/// frozen undirected adjacency without per-node allocation.
 Matrix extract_local_features(const Netlist& nl, const Digraph& g);
+Matrix extract_local_features(const Netlist& nl, const CsrGraph& g);
 
 int num_local_features();
 

@@ -101,6 +101,84 @@ std::vector<int> pick_pivots(int n, int num_pivots, Rng& rng) {
   return ids;
 }
 
+// ---- CSR forms -------------------------------------------------------------
+//
+// Same algorithms as above, walking the frozen flat adjacency with a leased
+// KernelWorkspace per chunk. CsrGraph::undirected(u) iterates the exact
+// sequence Digraph::undirected_neighbors(u) returns, the BFS queues dequeue
+// in the same order, and Brandes predecessors land in the flat arena in the
+// same order they were push_back'd before — so every accumulation happens
+// in the same order and the results are bit-identical to the Digraph forms.
+
+// One Brandes source iteration over the frozen graph. Zero allocations:
+// dist/sigma/delta are filled, the BFS order vector keeps its capacity, and
+// node v's predecessor list occupies the pred_arena slice starting at
+// undirected_offset(v) (capacity = undirected degree, always enough).
+void brandes_accumulate(const CsrGraph& g, int s, std::vector<double>& centrality,
+                        KernelWorkspace& ws) {
+  const int n = g.num_nodes();
+  std::fill(ws.dist.begin(), ws.dist.begin() + n, kUnreached);
+  std::fill(ws.sigma.begin(), ws.sigma.begin() + n, 0.0);
+  std::fill(ws.delta.begin(), ws.delta.begin() + n, 0.0);
+  std::fill(ws.pred_count.begin(), ws.pred_count.begin() + n, 0);
+  ws.order.clear();
+
+  ws.dist[static_cast<size_t>(s)] = 0;
+  ws.sigma[static_cast<size_t>(s)] = 1.0;
+  ws.order.push_back(s);
+  for (size_t head = 0; head < ws.order.size(); ++head) {
+    const int u = ws.order[head];
+    const int du = ws.dist[static_cast<size_t>(u)];
+    for (int v : g.undirected(u)) {
+      if (ws.dist[static_cast<size_t>(v)] == kUnreached) {
+        ws.dist[static_cast<size_t>(v)] = du + 1;
+        ws.order.push_back(v);
+      }
+      if (ws.dist[static_cast<size_t>(v)] == du + 1) {
+        ws.sigma[static_cast<size_t>(v)] += ws.sigma[static_cast<size_t>(u)];
+        ws.pred_arena[static_cast<size_t>(
+            g.undirected_offset(v) + ws.pred_count[static_cast<size_t>(v)]++)] = u;
+      }
+    }
+  }
+
+  for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
+    const int w = *it;
+    const int64_t base = g.undirected_offset(w);
+    for (int k = 0; k < ws.pred_count[static_cast<size_t>(w)]; ++k) {
+      const int v = ws.pred_arena[static_cast<size_t>(base + k)];
+      ws.delta[static_cast<size_t>(v)] += ws.sigma[static_cast<size_t>(v)] /
+                                          ws.sigma[static_cast<size_t>(w)] *
+                                          (1.0 + ws.delta[static_cast<size_t>(w)]);
+    }
+    if (w != s) centrality[static_cast<size_t>(w)] += ws.delta[static_cast<size_t>(w)];
+  }
+}
+
+std::vector<double> brandes_over_sources(const CsrGraph& g, const std::vector<int>& sources,
+                                         ThreadPool& pool, const CancelFn& cancel) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  const int64_t num_sources = static_cast<int64_t>(sources.size());
+  const int64_t chunks = (num_sources + kSourceGrain - 1) / kSourceGrain;
+  std::vector<std::vector<double>> partial(static_cast<size_t>(chunks));
+  pool.parallel_for(num_sources, kSourceGrain,
+                    [&](int64_t chunk, int64_t begin, int64_t end) {
+                      if (cancel && cancel()) return;  // leave partial empty
+                      auto ws = g.workspaces().acquire();
+                      ws->ensure_brandes(g);
+                      auto& acc = partial[static_cast<size_t>(chunk)];
+                      acc.assign(n, 0.0);
+                      for (int64_t k = begin; k < end; ++k)
+                        brandes_accumulate(g, sources[static_cast<size_t>(k)], acc, *ws);
+                    });
+  std::vector<double> centrality(n, 0.0);
+  for (const auto& acc : partial) {
+    if (acc.empty()) continue;  // cancelled chunk
+    for (size_t v = 0; v < n; ++v) centrality[v] += acc[v];
+  }
+  return centrality;
+}
+
 }  // namespace
 
 std::vector<double> betweenness_exact(const Digraph& g, ThreadPool* pool) {
@@ -229,6 +307,153 @@ std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng
       });
   for (const auto& p : partial)
     for (size_t v = 0; v < n; ++v) ecc[v] = std::max(ecc[v], p[v]);
+  return ecc;
+}
+
+// ---- CSR entry points ------------------------------------------------------
+
+std::vector<double> betweenness_exact(const CsrGraph& g, ThreadPool* pool,
+                                      const CancelFn& cancel) {
+  std::vector<int> sources(static_cast<size_t>(g.num_nodes()));
+  std::iota(sources.begin(), sources.end(), 0);
+  std::vector<double> centrality =
+      brandes_over_sources(g, sources, pool_or_global(pool), cancel);
+  for (auto& c : centrality) c *= 0.5;
+  return centrality;
+}
+
+std::vector<double> betweenness_sampled(const CsrGraph& g, int num_pivots, Rng& rng,
+                                        ThreadPool* pool, const CancelFn& cancel) {
+  if (g.num_nodes() == 0) return {};
+  const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
+  std::vector<double> centrality =
+      brandes_over_sources(g, pivots, pool_or_global(pool), cancel);
+  const double scale =
+      0.5 * static_cast<double>(g.num_nodes()) / static_cast<double>(pivots.size());
+  for (auto& c : centrality) c *= scale;
+  return centrality;
+}
+
+std::vector<double> closeness_exact(const CsrGraph& g, ThreadPool* pool,
+                                    const CancelFn& cancel) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> closeness(n, 0.0);
+  // Per-node independent BFS: no cross-node reduction, so chunking is free
+  // to load-balance (grain 0) and a cancelled chunk just leaves zeros.
+  pool_or_global(pool).parallel_for(
+      g.num_nodes(), 0, [&](int64_t, int64_t begin, int64_t end) {
+        if (cancel && cancel()) return;
+        auto ws = g.workspaces().acquire();
+        ws->ensure_bfs(g);
+        for (int64_t v = begin; v < end; ++v) {
+          bfs_distances_undirected(g, static_cast<int>(v), *ws);
+          long long sum = 0;
+          for (int u = 0; u < g.num_nodes(); ++u)
+            if (u != v && ws->dist[static_cast<size_t>(u)] != kUnreached)
+              sum += ws->dist[static_cast<size_t>(u)];
+          if (sum > 0) closeness[static_cast<size_t>(v)] = 1.0 / static_cast<double>(sum);
+        }
+      });
+  return closeness;
+}
+
+std::vector<double> closeness_sampled(const CsrGraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool, const CancelFn& cancel) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> closeness(n, 0.0);
+  if (n == 0) return closeness;
+  const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
+  const int64_t num_pivots_used = static_cast<int64_t>(pivots.size());
+  const int64_t chunks = (num_pivots_used + kSourceGrain - 1) / kSourceGrain;
+  struct Partial {
+    std::vector<double> sum;
+    std::vector<int> reached;
+  };
+  std::vector<Partial> partial(static_cast<size_t>(chunks));
+  pool_or_global(pool).parallel_for(
+      num_pivots_used, kSourceGrain, [&](int64_t chunk, int64_t begin, int64_t end) {
+        if (cancel && cancel()) return;
+        auto ws = g.workspaces().acquire();
+        ws->ensure_bfs(g);
+        Partial& p = partial[static_cast<size_t>(chunk)];
+        p.sum.assign(n, 0.0);
+        p.reached.assign(n, 0);
+        for (int64_t k = begin; k < end; ++k) {
+          const int s = pivots[static_cast<size_t>(k)];
+          bfs_distances_undirected(g, s, *ws);
+          for (int v = 0; v < g.num_nodes(); ++v) {
+            if (v == s || ws->dist[static_cast<size_t>(v)] == kUnreached) continue;
+            p.sum[static_cast<size_t>(v)] += ws->dist[static_cast<size_t>(v)];
+            ++p.reached[static_cast<size_t>(v)];
+          }
+        }
+      });
+  std::vector<double> sum(n, 0.0);
+  std::vector<int> reached(n, 0);
+  for (const Partial& p : partial) {
+    if (p.sum.empty()) continue;  // cancelled chunk
+    for (size_t v = 0; v < n; ++v) {
+      sum[v] += p.sum[v];
+      reached[v] += p.reached[v];
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (reached[v] == 0 || sum[v] <= 0) continue;
+    const double est = sum[v] / reached[v] * static_cast<double>(g.num_nodes() - 1);
+    closeness[v] = est > 0 ? 1.0 / est : 0.0;
+  }
+  return closeness;
+}
+
+std::vector<int> eccentricity_exact(const CsrGraph& g, ThreadPool* pool,
+                                    const CancelFn& cancel) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<int> ecc(n, 0);
+  pool_or_global(pool).parallel_for(
+      g.num_nodes(), 0, [&](int64_t, int64_t begin, int64_t end) {
+        if (cancel && cancel()) return;
+        auto ws = g.workspaces().acquire();
+        ws->ensure_bfs(g);
+        for (int64_t v = begin; v < end; ++v) {
+          bfs_distances_undirected(g, static_cast<int>(v), *ws);
+          int mx = 0;
+          for (int u = 0; u < g.num_nodes(); ++u)
+            if (ws->dist[static_cast<size_t>(u)] != kUnreached)
+              mx = std::max(mx, ws->dist[static_cast<size_t>(u)]);
+          ecc[static_cast<size_t>(v)] = mx;
+        }
+      });
+  return ecc;
+}
+
+std::vector<int> eccentricity_sampled(const CsrGraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool, const CancelFn& cancel) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<int> ecc(n, 0);
+  if (n == 0) return ecc;
+  const auto pivots = pick_pivots(g.num_nodes(), num_pivots, rng);
+  const int64_t num_pivots_used = static_cast<int64_t>(pivots.size());
+  const int64_t chunks = (num_pivots_used + kSourceGrain - 1) / kSourceGrain;
+  std::vector<std::vector<int>> partial(static_cast<size_t>(chunks));
+  pool_or_global(pool).parallel_for(
+      num_pivots_used, kSourceGrain, [&](int64_t chunk, int64_t begin, int64_t end) {
+        if (cancel && cancel()) return;
+        auto ws = g.workspaces().acquire();
+        ws->ensure_bfs(g);
+        auto& p = partial[static_cast<size_t>(chunk)];
+        p.assign(n, 0);
+        for (int64_t k = begin; k < end; ++k) {
+          bfs_distances_undirected(g, pivots[static_cast<size_t>(k)], *ws);
+          for (int v = 0; v < g.num_nodes(); ++v)
+            if (ws->dist[static_cast<size_t>(v)] != kUnreached)
+              p[static_cast<size_t>(v)] =
+                  std::max(p[static_cast<size_t>(v)], ws->dist[static_cast<size_t>(v)]);
+        }
+      });
+  for (const auto& p : partial) {
+    if (p.empty()) continue;  // cancelled chunk
+    for (size_t v = 0; v < n; ++v) ecc[v] = std::max(ecc[v], p[v]);
+  }
   return ecc;
 }
 

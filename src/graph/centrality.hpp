@@ -11,16 +11,31 @@
 // argument; nullptr uses the process-global pool). Reductions are chunked
 // with thread-count-independent boundaries and combined in chunk order, so
 // every function returns bit-identical results for any thread count.
+//
+// Each metric has two forms. The CsrGraph form is the hot path: it walks
+// the frozen flat adjacency, leases a KernelWorkspace per chunk (zero
+// per-source heap allocations in the steady state), and optionally polls a
+// `cancel` callback between source chunks — when it fires the remaining
+// chunks are skipped and the partial result is meaningless (callers treat
+// the whole computation as cancelled). `cancel` may be invoked from any
+// pool lane concurrently and must be thread-safe. The Digraph form is the
+// reference implementation, kept for equivalence tests and old-vs-CSR
+// benchmarks; both forms are bit-identical to each other and across
+// thread counts.
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 #include "util/rng.hpp"
 
 namespace dsp {
 
 class ThreadPool;
+
+using CancelFn = std::function<bool()>;
 
 /// Exact betweenness centrality via Brandes' algorithm, O(V*E).
 /// Endpoint pairs are unordered; values match Definition 1 up to the
@@ -49,5 +64,23 @@ std::vector<int> eccentricity_exact(const Digraph& g, ThreadPool* pool = nullptr
 /// Sampled lower-bound eccentricity: max distance to the sampled pivots.
 std::vector<int> eccentricity_sampled(const Digraph& g, int num_pivots, Rng& rng,
                                       ThreadPool* pool = nullptr);
+
+// ---- CSR forms (the hot path; see the file comment) ------------------------
+
+std::vector<double> betweenness_exact(const CsrGraph& g, ThreadPool* pool = nullptr,
+                                      const CancelFn& cancel = nullptr);
+std::vector<double> betweenness_sampled(const CsrGraph& g, int num_pivots, Rng& rng,
+                                        ThreadPool* pool = nullptr,
+                                        const CancelFn& cancel = nullptr);
+std::vector<double> closeness_exact(const CsrGraph& g, ThreadPool* pool = nullptr,
+                                    const CancelFn& cancel = nullptr);
+std::vector<double> closeness_sampled(const CsrGraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool = nullptr,
+                                      const CancelFn& cancel = nullptr);
+std::vector<int> eccentricity_exact(const CsrGraph& g, ThreadPool* pool = nullptr,
+                                    const CancelFn& cancel = nullptr);
+std::vector<int> eccentricity_sampled(const CsrGraph& g, int num_pivots, Rng& rng,
+                                      ThreadPool* pool = nullptr,
+                                      const CancelFn& cancel = nullptr);
 
 }  // namespace dsp

@@ -1,0 +1,98 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+namespace dsp {
+
+CsrGraph CsrGraph::freeze(const Digraph& g) {
+  CsrGraph c;
+  const int n = g.num_nodes();
+  c.num_nodes_ = n;
+  c.num_edges_ = g.num_edges();
+
+  c.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  c.in_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  c.und_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  c.out_targets_.reserve(static_cast<size_t>(g.num_edges()));
+  c.in_targets_.reserve(static_cast<size_t>(g.num_edges()));
+
+  // Out/in adjacency: flat copies preserving Digraph insertion order.
+  for (int u = 0; u < n; ++u) {
+    const auto nbrs = g.out(u);
+    c.out_targets_.insert(c.out_targets_.end(), nbrs.begin(), nbrs.end());
+    c.out_offsets_[static_cast<size_t>(u) + 1] =
+        static_cast<int64_t>(c.out_targets_.size());
+  }
+  for (int u = 0; u < n; ++u) {
+    const auto nbrs = g.in(u);
+    c.in_targets_.insert(c.in_targets_.end(), nbrs.begin(), nbrs.end());
+    c.in_offsets_[static_cast<size_t>(u) + 1] =
+        static_cast<int64_t>(c.in_targets_.size());
+  }
+
+  // Undirected adjacency: per node, union of out/in sorted ascending with
+  // duplicates removed — the exact sequence Digraph::undirected_neighbors
+  // returns, precomputed once.
+  std::vector<int> scratch;
+  c.und_targets_.reserve(static_cast<size_t>(g.num_edges()) * 2);
+  for (int u = 0; u < n; ++u) {
+    scratch.clear();
+    const auto out_nbrs = g.out(u);
+    const auto in_nbrs = g.in(u);
+    scratch.insert(scratch.end(), out_nbrs.begin(), out_nbrs.end());
+    scratch.insert(scratch.end(), in_nbrs.begin(), in_nbrs.end());
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    c.und_targets_.insert(c.und_targets_.end(), scratch.begin(), scratch.end());
+    c.und_offsets_[static_cast<size_t>(u) + 1] =
+        static_cast<int64_t>(c.und_targets_.size());
+  }
+  c.und_targets_.shrink_to_fit();
+
+  c.workspaces_ = std::make_unique<WorkspacePool>();
+  return c;
+}
+
+void KernelWorkspace::ensure_bfs(const CsrGraph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  if (dist.size() < n) dist.resize(n);
+  if (order.capacity() < n) order.reserve(n);
+}
+
+void KernelWorkspace::ensure_brandes(const CsrGraph& g) {
+  ensure_bfs(g);
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  if (sigma.size() < n) sigma.resize(n);
+  if (delta.size() < n) delta.resize(n);
+  if (pred_count.size() < n) pred_count.resize(n);
+  const size_t arcs = static_cast<size_t>(g.undirected_arcs());
+  if (pred_arena.size() < arcs) pred_arena.resize(arcs);
+}
+
+void KernelWorkspace::ensure_iddfs(const CsrGraph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  if (best_depth.size() < n) best_depth.resize(n);
+  if (iddfs_distance.size() < n) iddfs_distance.resize(n);
+  if (iddfs_path.size() < n) iddfs_path.resize(n);
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<KernelWorkspace> ws = std::move(free_.back());
+      free_.pop_back();
+      return Lease(*this, std::move(ws));
+    }
+  }
+  created_.fetch_add(1, std::memory_order_relaxed);
+  return Lease(*this, std::make_unique<KernelWorkspace>());
+}
+
+void WorkspacePool::release(std::unique_ptr<KernelWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
+}  // namespace dsp

@@ -1,0 +1,190 @@
+// Frozen CSR view of a Digraph: the kernel-side graph substrate.
+//
+// Digraph is the mutable *builder* API (netlist expansion, cnn_gen, tests
+// grow graphs edge by edge). Every hot kernel — Brandes betweenness,
+// closeness/eccentricity BFS sweeps, IDDFS DSP-graph extraction, the GCN's
+// normalized adjacency — instead walks a CsrGraph: three flat offset/target
+// arrays (out-, in-, and a precomputed deduplicated undirected adjacency)
+// built once by freeze(). Flat arrays turn the per-node
+// `undirected_neighbors()` allocate-sort-dedup of the vector-of-vectors
+// representation into a contiguous span lookup, which is what makes
+// placement-scale graph analytics cache-friendly.
+//
+// Determinism contract: freeze() preserves Digraph's exact adjacency
+// orders. out(u)/in(u) iterate in insertion order (identical to
+// Digraph::out/in) and undirected(u) is sorted ascending with duplicates
+// removed (identical to Digraph::undirected_neighbors). A kernel ported
+// from Digraph to CsrGraph therefore visits neighbors in the same order
+// and produces bit-identical results.
+//
+// A CsrGraph also owns a WorkspacePool of reusable per-lane kernel
+// buffers (BFS queues, Brandes sigma/delta, IDDFS scratch) so parallel
+// kernels allocate once per pool lane instead of once per chunk; see
+// KernelWorkspace below.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dsp {
+
+class WorkspacePool;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  CsrGraph(CsrGraph&&) = default;
+  CsrGraph& operator=(CsrGraph&&) = default;
+
+  /// Builds the frozen view of `g`. O(V + E). The Digraph can be discarded
+  /// afterwards; the CsrGraph holds no reference to it.
+  static CsrGraph freeze(const Digraph& g);
+
+  int num_nodes() const { return num_nodes_; }
+  /// Directed edge count (parallel edges included), as in Digraph.
+  int num_edges() const { return num_edges_; }
+
+  /// Out-neighbors of u in Digraph insertion order.
+  std::span<const int> out(int u) const {
+    return {out_targets_.data() + out_offsets_[static_cast<size_t>(u)],
+            out_targets_.data() + out_offsets_[static_cast<size_t>(u) + 1]};
+  }
+  /// In-neighbors of u in Digraph insertion order.
+  std::span<const int> in(int u) const {
+    return {in_targets_.data() + in_offsets_[static_cast<size_t>(u)],
+            in_targets_.data() + in_offsets_[static_cast<size_t>(u) + 1]};
+  }
+  /// Deduplicated undirected neighborhood of u, sorted ascending —
+  /// element-for-element equal to Digraph::undirected_neighbors(u), with
+  /// no allocation.
+  std::span<const int> undirected(int u) const {
+    return {und_targets_.data() + und_offsets_[static_cast<size_t>(u)],
+            und_targets_.data() + und_offsets_[static_cast<size_t>(u) + 1]};
+  }
+
+  int out_degree(int u) const {
+    return static_cast<int>(out_offsets_[static_cast<size_t>(u) + 1] -
+                            out_offsets_[static_cast<size_t>(u)]);
+  }
+  int in_degree(int u) const {
+    return static_cast<int>(in_offsets_[static_cast<size_t>(u) + 1] -
+                            in_offsets_[static_cast<size_t>(u)]);
+  }
+  int undirected_degree(int u) const {
+    return static_cast<int>(und_offsets_[static_cast<size_t>(u) + 1] -
+                            und_offsets_[static_cast<size_t>(u)]);
+  }
+
+  /// Start of u's slice in the undirected target array. Kernels use this
+  /// to key flat per-node arenas (e.g. Brandes predecessor lists, whose
+  /// per-node capacity is bounded by the undirected degree).
+  int64_t undirected_offset(int u) const { return und_offsets_[static_cast<size_t>(u)]; }
+  /// Total undirected arc count = size a flat per-arc arena needs.
+  int64_t undirected_arcs() const { return static_cast<int64_t>(und_targets_.size()); }
+
+  /// The reusable kernel-workspace pool attached to this frozen graph.
+  /// Thread-safe; kernels lease a workspace per parallel_for chunk so live
+  /// workspaces never exceed the pool's lane count.
+  WorkspacePool& workspaces() const { return *workspaces_; }
+
+ private:
+  int num_nodes_ = 0;
+  int num_edges_ = 0;
+  std::vector<int64_t> out_offsets_{0};
+  std::vector<int> out_targets_;
+  std::vector<int64_t> in_offsets_{0};
+  std::vector<int> in_targets_;
+  std::vector<int64_t> und_offsets_{0};
+  std::vector<int> und_targets_;
+  std::unique_ptr<WorkspacePool> workspaces_;
+};
+
+/// Reusable buffers for the BFS/Brandes/IDDFS kernels over one frozen
+/// graph. Each ensure_*() sizes only what that kernel family touches, so a
+/// workspace leased for BFS sweeps never pays for IDDFS path storage.
+/// Buffers are cleared per source by the kernels themselves (fill, not
+/// reallocate) — in the steady state a source iteration performs zero heap
+/// allocations.
+struct KernelWorkspace {
+  // BFS (closeness/eccentricity/DSP-distance sweeps and the Brandes
+  // forward pass): `order` doubles as the FIFO queue (BFS dequeue order is
+  // exactly visit order).
+  std::vector<int> dist;
+  std::vector<int> order;
+
+  // Brandes dependency accumulation.
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<int> pred_count;  // per node
+  // Flat predecessor arena: node v's predecessor list lives at
+  // [undirected_offset(v), undirected_offset(v) + pred_count[v]). Capacity
+  // per node is its undirected degree, which always suffices because
+  // predecessors are distinct undirected neighbors.
+  std::vector<int> pred_arena;
+
+  // IDDFS scratch (see iddfs_shortest_paths): per-pass best entry depth,
+  // the explicit DFS path stack and (node, next-child) frame stack, and
+  // the result arrays reused across sources (inner path vectors keep
+  // their capacity).
+  std::vector<int> best_depth;
+  std::vector<int> iddfs_stack;
+  std::vector<std::pair<int, int>> dls_frames;
+  std::vector<int> iddfs_distance;
+  std::vector<std::vector<int>> iddfs_path;
+
+  void ensure_bfs(const CsrGraph& g);
+  void ensure_brandes(const CsrGraph& g);
+  void ensure_iddfs(const CsrGraph& g);
+};
+
+/// Thread-safe free-list of KernelWorkspaces. A kernel chunk acquires a
+/// lease at chunk start and returns it at chunk end, so the number of live
+/// workspaces equals the number of concurrently executing lanes — not the
+/// (much larger) chunk count. acquired()/created() feed the
+/// workspace-reuse counters in the RunTrace.
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool& pool, std::unique_ptr<KernelWorkspace> ws)
+        : pool_(&pool), ws_(std::move(ws)) {}
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (ws_) pool_->release(std::move(ws_));
+    }
+    KernelWorkspace& operator*() { return *ws_; }
+    KernelWorkspace* operator->() { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<KernelWorkspace> ws_;
+  };
+
+  /// Leases a workspace: reuses a free one when available, else creates
+  /// one. The lease returns it on destruction.
+  Lease acquire();
+
+  /// Total leases handed out / workspaces actually heap-constructed.
+  /// reuse = acquired - created.
+  int64_t acquired() const { return acquired_.load(std::memory_order_relaxed); }
+  int64_t created() const { return created_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<KernelWorkspace> ws);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<KernelWorkspace>> free_;
+  std::atomic<int64_t> acquired_{0};
+  std::atomic<int64_t> created_{0};
+};
+
+}  // namespace dsp

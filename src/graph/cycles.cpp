@@ -3,8 +3,13 @@
 #include <algorithm>
 
 namespace dsp {
+namespace {
 
-std::vector<int> strongly_connected_components(const Digraph& g, int* num_components) {
+// Tarjan + score accumulation templated over the graph view: Digraph and
+// CsrGraph expose the same num_nodes()/out(u) shape and adjacency order,
+// so both overloads share one implementation and return identical labels.
+template <typename Graph>
+std::vector<int> scc_impl(const Graph& g, int* num_components) {
   // Iterative Tarjan (explicit stack) so deep netlist chains cannot overflow
   // the call stack.
   const int n = g.num_nodes();
@@ -68,9 +73,10 @@ std::vector<int> strongly_connected_components(const Digraph& g, int* num_compon
   return comp;
 }
 
-std::vector<int> feedback_scores(const Digraph& g) {
+template <typename Graph>
+std::vector<int> feedback_impl(const Graph& g) {
   const int n = g.num_nodes();
-  const auto comp = strongly_connected_components(g);
+  const auto comp = scc_impl(g, nullptr);
 
   // Size of each SCC to distinguish trivial (acyclic) components.
   std::vector<int> comp_size;
@@ -96,5 +102,19 @@ std::vector<int> feedback_scores(const Digraph& g) {
   }
   return score;
 }
+
+}  // namespace
+
+std::vector<int> strongly_connected_components(const Digraph& g, int* num_components) {
+  return scc_impl(g, num_components);
+}
+
+std::vector<int> strongly_connected_components(const CsrGraph& g, int* num_components) {
+  return scc_impl(g, num_components);
+}
+
+std::vector<int> feedback_scores(const Digraph& g) { return feedback_impl(g); }
+
+std::vector<int> feedback_scores(const CsrGraph& g) { return feedback_impl(g); }
 
 }  // namespace dsp

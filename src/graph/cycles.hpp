@@ -10,17 +10,22 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 
 namespace dsp {
 
 /// SCC id per node (ids are dense, reverse-topological order as produced by
-/// Tarjan's algorithm).
+/// Tarjan's algorithm). The Digraph and CsrGraph overloads run the same
+/// Tarjan over the same adjacency order and return identical labelings.
 std::vector<int> strongly_connected_components(const Digraph& g, int* num_components = nullptr);
+std::vector<int> strongly_connected_components(const CsrGraph& g,
+                                               int* num_components = nullptr);
 
 /// feedback_score[v] = number of directed in-SCC edges incident to v
 /// (counting both directions) + 2 * (number of self-loops at v).
-/// Zero for nodes outside any cycle.
+/// Zero for nodes outside any cycle. Overloads are result-identical.
 std::vector<int> feedback_scores(const Digraph& g);
+std::vector<int> feedback_scores(const CsrGraph& g);
 
 }  // namespace dsp

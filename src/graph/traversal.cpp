@@ -23,6 +23,28 @@ std::vector<int> bfs_distances(const Digraph& g, int source) {
   return dist;
 }
 
+void bfs_distances_undirected(const CsrGraph& g, int source, KernelWorkspace& ws) {
+  ws.ensure_bfs(g);
+  const int n = g.num_nodes();
+  std::fill(ws.dist.begin(), ws.dist.begin() + n, kUnreached);
+  ws.order.clear();
+  ws.dist[static_cast<size_t>(source)] = 0;
+  ws.order.push_back(source);
+  // ws.order is both the FIFO queue and the visit order: dequeue by index.
+  for (size_t head = 0; head < ws.order.size(); ++head) {
+    const int u = ws.order[head];
+    const int du = ws.dist[static_cast<size_t>(u)];
+    // The undirected view already merges out/in and dedups, so each
+    // neighbor is examined once.
+    for (int v : g.undirected(u)) {
+      if (ws.dist[static_cast<size_t>(v)] == kUnreached) {
+        ws.dist[static_cast<size_t>(v)] = du + 1;
+        ws.order.push_back(v);
+      }
+    }
+  }
+}
+
 std::vector<int> bfs_distances_undirected(const Digraph& g, int source) {
   std::vector<int> dist(static_cast<size_t>(g.num_nodes()), kUnreached);
   std::queue<int> q;
@@ -106,6 +128,69 @@ IddfsResult iddfs_shortest_paths(const Digraph& g, int source, int max_depth,
     if (!hit_frontier) break;  // graph exhausted before reaching max_depth
   }
   return result;
+}
+
+long long iddfs_shortest_paths(const CsrGraph& g, int source, int max_depth,
+                               const std::function<bool(int)>& is_target,
+                               const std::function<bool(int)>& stop_through,
+                               KernelWorkspace& ws) {
+  ws.ensure_iddfs(g);
+  const int n = g.num_nodes();
+  std::fill(ws.iddfs_distance.begin(), ws.iddfs_distance.begin() + n, kUnreached);
+  long long nodes_visited = 0;
+
+  auto& best_depth = ws.best_depth;
+  auto& stack = ws.iddfs_stack;    // current DFS path, source..current
+  auto& frames = ws.dls_frames;    // (node, next out-edge index) per level
+  stack.clear();
+  frames.clear();
+
+  for (int limit = 0; limit <= max_depth; ++limit) {
+    std::fill(best_depth.begin(), best_depth.begin() + n, kUnreached);
+    bool hit_frontier = false;  // some node had unexplored depth budget left
+
+    // Iterative depth-limited search, visiting out-neighbors in adjacency
+    // order — the same expansion sequence (and therefore the same
+    // distances, paths, and nodes_visited) as the recursive Digraph form.
+    // Returns true when it pushed a frame (u expands further).
+    auto enter = [&](int u, int depth) {
+      if (depth >= best_depth[static_cast<size_t>(u)]) return false;
+      best_depth[static_cast<size_t>(u)] = depth;
+      ++nodes_visited;
+      stack.push_back(u);
+      if (u != source && is_target(u) &&
+          ws.iddfs_distance[static_cast<size_t>(u)] == kUnreached && depth == limit) {
+        ws.iddfs_distance[static_cast<size_t>(u)] = depth;
+        ws.iddfs_path[static_cast<size_t>(u)] = stack;  // reuses capacity
+      }
+      const bool expandable =
+          depth < limit && (u == source || !stop_through || !stop_through(u));
+      if (expandable) {
+        frames.emplace_back(u, 0);
+        return true;
+      }
+      if (depth >= limit) hit_frontier = true;
+      stack.pop_back();
+      return false;
+    };
+
+    enter(source, 0);
+    while (!frames.empty()) {
+      auto& [node, next_child] = frames.back();
+      const auto nbrs = g.out(node);
+      if (static_cast<size_t>(next_child) < nbrs.size()) {
+        const int v = nbrs[static_cast<size_t>(next_child++)];
+        // A frame for `node` means the stack ends at `node`, so the child
+        // depth is the current stack size.
+        enter(v, static_cast<int>(stack.size()));
+      } else {
+        frames.pop_back();
+        stack.pop_back();
+      }
+    }
+    if (!hit_frontier) break;  // graph exhausted before reaching max_depth
+  }
+  return nodes_visited;
 }
 
 }  // namespace dsp

@@ -3,12 +3,19 @@
 // III-B). IDDFS combines DFS's O(depth) space with BFS's shortest-path
 // guarantee, which is what makes DSP-graph construction tractable on large
 // netlists.
+//
+// Each traversal has two forms: a Digraph form that allocates its own
+// buffers (the reference implementation, kept for equivalence tests and
+// old-vs-CSR benchmarks), and a CsrGraph form that runs on a leased
+// KernelWorkspace with zero steady-state allocations — the form every hot
+// kernel uses.
 #pragma once
 
 #include <functional>
 #include <limits>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 
 namespace dsp {
@@ -21,6 +28,12 @@ std::vector<int> bfs_distances(const Digraph& g, int source);
 
 /// BFS distances treating edges as undirected.
 std::vector<int> bfs_distances_undirected(const Digraph& g, int source);
+
+/// CSR form of bfs_distances_undirected: fills ws.dist (ws.order holds the
+/// visit order) without allocating. The result is element-for-element
+/// identical to the Digraph form; entries beyond g.num_nodes() in a larger
+/// reused workspace are left stale by design.
+void bfs_distances_undirected(const CsrGraph& g, int source, KernelWorkspace& ws);
 
 /// DFS preorder from `source` (directed). Deterministic: neighbors are
 /// visited in adjacency order.
@@ -49,5 +62,17 @@ IddfsResult iddfs_shortest_paths(
     const Digraph& g, int source, int max_depth,
     const std::function<bool(int)>& is_target,
     const std::function<bool(int)>& stop_through = nullptr);
+
+/// CSR form of iddfs_shortest_paths. Search state and the per-target
+/// distance/path arrays live in `ws` (ensure_iddfs'd by the callee) and
+/// are reused across sources: path vectors keep their capacity, so the
+/// steady state performs no heap allocation. Returns the distances in
+/// ws.iddfs_distance / paths in ws.iddfs_path (valid for indices
+/// [0, g.num_nodes())) and the expansion count as the return value.
+/// Results are identical to the Digraph form.
+long long iddfs_shortest_paths(const CsrGraph& g, int source, int max_depth,
+                               const std::function<bool(int)>& is_target,
+                               const std::function<bool(int)>& stop_through,
+                               KernelWorkspace& ws);
 
 }  // namespace dsp

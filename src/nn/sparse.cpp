@@ -32,17 +32,23 @@ CsrMatrix CsrMatrix::from_triplets(int rows, int cols,
 }
 
 CsrMatrix CsrMatrix::normalized_adjacency(const Digraph& g) {
+  return normalized_adjacency(CsrGraph::freeze(g));
+}
+
+CsrMatrix CsrMatrix::normalized_adjacency(const CsrGraph& g) {
   const int n = g.num_nodes();
-  // Degree includes the self-loop.
+  // Degree includes the self-loop; read off the precomputed undirected
+  // adjacency instead of materializing a neighbor vector per node.
   std::vector<double> deg(static_cast<size_t>(n), 1.0);
-  for (int u = 0; u < n; ++u) deg[static_cast<size_t>(u)] += static_cast<double>(g.undirected_neighbors(u).size());
+  for (int u = 0; u < n; ++u)
+    deg[static_cast<size_t>(u)] += static_cast<double>(g.undirected_degree(u));
 
   std::vector<std::tuple<int, int, double>> trips;
   trips.reserve(static_cast<size_t>(g.num_edges()) * 2 + static_cast<size_t>(n));
   for (int u = 0; u < n; ++u) {
     const double du = 1.0 / std::sqrt(deg[static_cast<size_t>(u)]);
     trips.emplace_back(u, u, du * du);  // self loop
-    for (int v : g.undirected_neighbors(u)) {
+    for (int v : g.undirected(u)) {
       if (v == u) continue;  // explicit self-loop already added above
       const double dv = 1.0 / std::sqrt(deg[static_cast<size_t>(v)]);
       trips.emplace_back(u, v, du * dv);

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 #include "nn/matrix.hpp"
 
@@ -22,8 +23,12 @@ class CsrMatrix {
                                  std::vector<std::tuple<int, int, double>> triplets);
 
   /// Kipf-Welling normalized adjacency of `g` treated as undirected, with
-  /// self-loops added: D^{-1/2} (A + I) D^{-1/2}.
+  /// self-loops added: D^{-1/2} (A + I) D^{-1/2}. The CsrGraph overload is
+  /// the hot path (degrees and neighborhoods read straight off the frozen
+  /// undirected adjacency, no per-node allocation); the Digraph overload
+  /// freezes internally and produces a bit-identical matrix.
   static CsrMatrix normalized_adjacency(const Digraph& g);
+  static CsrMatrix normalized_adjacency(const CsrGraph& g);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }

@@ -342,11 +342,13 @@ JobReply DsplacerServer::execute_job(const PendingJob& job) const {
 
     const std::vector<DesignGraphData> no_training;
     FlowContext ctx(nl, dev, no_training, opts);
-    bool past_deadline = false;
+    // Atomic: the Extract kernels poll ctx.cancel from pool workers, not
+    // just the flow driver thread.
+    std::atomic<bool> past_deadline{false};
     ctx.cancel = [this, &job, &past_deadline] {
       if (cancel_all_.load(std::memory_order_relaxed)) return true;
       if (job.has_deadline && Clock::now() >= job.deadline) {
-        past_deadline = true;
+        past_deadline.store(true, std::memory_order_relaxed);
         return true;
       }
       return false;
@@ -359,9 +361,9 @@ JobReply DsplacerServer::execute_job(const PendingJob& job) const {
       reply.cache_misses += stage->counter("cache_miss");
     }
     if (res.legality_error == "cancelled") {
-      reply.status =
-          past_deadline ? JobStatus::kDeadlineExceeded : JobStatus::kCancelled;
-      reply.error = past_deadline ? "deadline exceeded" : "cancelled by server drain";
+      const bool deadline = past_deadline.load(std::memory_order_relaxed);
+      reply.status = deadline ? JobStatus::kDeadlineExceeded : JobStatus::kCancelled;
+      reply.error = deadline ? "deadline exceeded" : "cancelled by server drain";
       return reply;
     }
     if (!res.legality_error.empty()) {

@@ -22,6 +22,7 @@
 
 #include "core/cli.hpp"
 #include "core/dsplacer.hpp"
+#include "core/flow.hpp"
 #include "designs/benchmarks.hpp"
 #include "netlist/netlist_io.hpp"
 #include "placer/placement_io.hpp"
@@ -436,6 +437,27 @@ TEST(Server, DeadlineCancelsMidFlow) {
   // The partial trace still comes back (observability survives failure).
   EXPECT_FALSE(reply.trace_json.empty());
   server.stop();
+}
+
+TEST(Server, ExtractKernelsPollCancelBetweenChunks) {
+  // With outer_iterations=1 the flow driver polls cancel only five times
+  // (once per stage boundary) plus once after DSP-graph construction. A
+  // cancel source that first fires on its ninth poll can therefore only
+  // be reached because the Extract kernels poll between source chunks —
+  // exactly the mid-stage responsiveness the job deadline relies on.
+  TestDesign sky("SkyNet", 0.1);
+  const Device dev = make_zcu104(0.1);
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;
+  opts.outer_iterations = 1;
+  ThreadPool pool(4);
+  const std::vector<DesignGraphData> no_training;
+  FlowContext ctx(sky.nl, dev, no_training, opts, &pool);
+  std::atomic<int> polls{0};
+  ctx.cancel = [&polls] { return polls.fetch_add(1) + 1 > 8; };
+  const DsplacerResult res = run_flow(ctx, dsplacer_pipeline(opts));
+  EXPECT_EQ(res.legality_error, "cancelled");
+  EXPECT_GT(polls.load(), 8);
 }
 
 TEST(Server, GracefulDrainDeliversEveryReply) {
