@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "designs/benchmarks.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/metrics_http.hpp"
+#include "metrics/names.hpp"
 #include "netlist/netlist_io.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
@@ -52,6 +55,7 @@ int main() {
   sopts.workers = 4;
   sopts.queue_depth = 32;
   sopts.cache_dir = cache_dir.string();
+  sopts.metrics_port = 0;  // scrape the live run below
   DsplacerServer server(sopts);
   const std::string start_err = server.start();
   if (!start_err.empty()) {
@@ -86,12 +90,40 @@ int main() {
   run_serial("cold (1 client)", 1, sky);
   run_serial("warm (1 client)", 8, sky);
 
-  // Mixed concurrent load: 4 clients, 5 jobs each, two designs.
+  // Mixed concurrent load: 4 clients, 5 jobs each, two designs, with a
+  // live scrape of both metrics read paths mid-run — the observability
+  // plane must answer while every worker is busy.
   {
     constexpr int kClients = 4;
     constexpr int kJobs = 5;
     std::atomic<int64_t> hits{0};
     std::atomic<int> failed{0};
+    std::atomic<bool> mixed_done{false};
+    std::atomic<int64_t> live_inflight_peak{0};
+    std::atomic<int64_t> live_scrapes{0};
+    std::thread scraper([&] {
+      std::string err;
+      DsplacerClient sc = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+      if (!sc.connected()) return;
+      while (!mixed_done.load()) {
+        MetricsSnapshot snap;
+        std::string body;
+        int status = 0;
+        if (sc.stats(&snap) != "" ||
+            http_get(server.metrics_http_port(), "/metrics", &body, &status) != "" ||
+            status != 200)
+          return;
+        live_scrapes.fetch_add(1);
+        for (const MetricSample& s : snap.samples)
+          if (s.name == metric::kJobsInflight) {
+            int64_t peak = live_inflight_peak.load();
+            while (s.value > peak &&
+                   !live_inflight_peak.compare_exchange_weak(peak, s.value)) {
+            }
+          }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
     Timer t;
     std::vector<std::thread> threads;
     for (int ci = 0; ci < kClients; ++ci)
@@ -114,9 +146,14 @@ int main() {
       });
     for (std::thread& th : threads) th.join();
     const double secs = t.seconds();
+    mixed_done.store(true);
+    scraper.join();
     const int ok = kClients * kJobs - failed.load();
     table.add_row({"mixed (4 clients)", std::to_string(ok), Table::fmt(secs, 3),
                    Table::fmt(ok / secs, 2), std::to_string(hits.load())});
+    std::printf("live metrics: %lld scrape(s) mid-run, in-flight peak %lld\n\n",
+                static_cast<long long>(live_scrapes.load()),
+                static_cast<long long>(live_inflight_peak.load()));
   }
 
   std::printf("%s\n", table.to_string().c_str());

@@ -8,6 +8,8 @@
 #include <system_error>
 #include <unistd.h>
 
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
 #include "placer/placement_io.hpp"
 #include "util/binio.hpp"
 #include "util/hash.hpp"
@@ -15,6 +17,18 @@
 
 namespace dsp {
 namespace {
+
+Counter& cache_load_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kCacheLoad, "Checkpoint files read from the cache directory");
+  return c;
+}
+
+Counter& cache_store_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kCacheStore, "Checkpoint files written to the cache directory");
+  return c;
+}
 
 // Payload kinds (header field). Only stage snapshots exist today; the tag
 // keeps the container format open for other artifact types.
@@ -204,6 +218,7 @@ std::string StageCache::load(const std::string& stage, uint64_t key, const Netli
   const std::string path = path_for(stage, key);
   std::ifstream f(path, std::ios::binary);
   if (!f) return "absent";
+  cache_load_metric().inc();
   std::ostringstream ss;
   ss << f.rdbuf();
   if (!f.good() && !f.eof()) return "read error on " + path;
@@ -240,6 +255,7 @@ std::string StageCache::store(const std::string& stage, uint64_t key,
     std::filesystem::remove(tmp, ec);
     return "cannot rename into " + path;
   }
+  cache_store_metric().inc();
   return "";
 }
 

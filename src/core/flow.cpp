@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/legalize_intracol.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
 #include "netlist/netlist_io.hpp"
 #include "route/grid_router.hpp"
 #include "util/hash.hpp"
@@ -240,6 +242,23 @@ int64_t micros(const Timer& t) {
   return static_cast<int64_t>(std::llround(t.seconds() * 1e6));
 }
 
+/// Process-wide cache efficiency series (docs/METRICS.md). The per-run
+/// trace carries the same events per stage; these aggregate across every
+/// run in the process so a loaded dsplacerd shows its live hit rate.
+struct CacheMetrics {
+  Counter& hit;
+  Counter& miss;
+  Counter& bad;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m{
+      global_metrics().counter(metric::kCacheHit, "Stage checkpoints restored"),
+      global_metrics().counter(metric::kCacheMiss, "Stage lookups with no usable checkpoint"),
+      global_metrics().counter(metric::kCacheBad, "Corrupt or version-skewed checkpoints discarded")};
+  return m;
+}
+
 }  // namespace
 
 uint64_t flow_base_key(const FlowContext& ctx) {
@@ -420,12 +439,14 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
         restore_snapshot(ctx, std::move(snap));
         ctx.trace.add_counter("cache_hit", 1);
         ctx.trace.add_counter("cache_load_us", micros(load_timer));
+        cache_metrics().hit.inc();
         continue;
       }
       if (verdict != "absent") {
         // A corrupt/version-skewed checkpoint degrades to a miss.
         LOG_WARN("flow", "discarding bad checkpoint for %s: %s", s.name, verdict.c_str());
         ctx.trace.add_counter("cache_bad", 1);
+        cache_metrics().bad.inc();
       }
       if (i < resume_at) {
         ctx.error = "resume-from " + ctx.opts.resume_from +
@@ -433,6 +454,7 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
         continue;
       }
       ctx.trace.add_counter("cache_miss", 1);
+      cache_metrics().miss.inc();
     }
 
     const auto counters_before = ctx.trace.current().counters;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+
 namespace dsp {
 
 CsrGraph CsrGraph::freeze(const Digraph& g) {
@@ -76,8 +79,28 @@ void KernelWorkspace::ensure_iddfs(const CsrGraph& g) {
   if (iddfs_path.size() < n) iddfs_path.resize(n);
 }
 
+namespace {
+
+/// Process-wide mirrors of the per-pool counters (docs/METRICS.md): the
+/// per-run trace roots report acquired/created after the run, these are
+/// live mid-run across every frozen graph in the process.
+Counter& workspace_acquired_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kWorkspaceAcquired, "Kernel workspace leases handed out");
+  return c;
+}
+
+Counter& workspace_created_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kWorkspaceCreated, "Kernel workspaces heap-constructed (misses)");
+  return c;
+}
+
+}  // namespace
+
 WorkspacePool::Lease WorkspacePool::acquire() {
   acquired_.fetch_add(1, std::memory_order_relaxed);
+  workspace_acquired_metric().inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!free_.empty()) {
@@ -87,6 +110,7 @@ WorkspacePool::Lease WorkspacePool::acquire() {
     }
   }
   created_.fetch_add(1, std::memory_order_relaxed);
+  workspace_created_metric().inc();
   return Lease(*this, std::make_unique<KernelWorkspace>());
 }
 

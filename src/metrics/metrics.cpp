@@ -1,0 +1,321 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/binio.hpp"
+
+namespace dsp {
+
+namespace detail {
+
+int metric_shard() {
+  static std::atomic<int> next{0};
+  thread_local int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<int64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), stride_(bounds_.size() + 1) {
+  // Enforce strictly increasing bounds so bucket search is well-defined.
+  for (size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1]) {
+      std::fprintf(stderr, "metrics: histogram bounds must be strictly increasing\n");
+      std::abort();
+    }
+  cells_ = std::vector<detail::ShardCell>(stride_ * kMetricShards);
+}
+
+void Histogram::observe(int64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  const size_t shard = static_cast<size_t>(detail::metric_shard());
+  cells_[shard * stride_ + bucket].v.fetch_add(1, std::memory_order_relaxed);
+  sums_[shard].v.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> counts(stride_, 0);
+  for (size_t s = 0; s < kMetricShards; ++s)
+    for (size_t b = 0; b < stride_; ++b)
+      counts[b] += cells_[s * stride_ + b].v.load(std::memory_order_relaxed);
+  return counts;
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+int64_t Histogram::sum() const {
+  int64_t total = 0;
+  for (const auto& c : sums_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+const std::vector<int64_t>& default_latency_buckets_us() {
+  static const std::vector<int64_t> buckets = {
+      1000,    5000,    10000,    25000,    50000,    100000,
+      250000,  500000,  1000000,  2500000,  5000000,  10000000};
+  return buckets;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  MetricType type;
+  std::string help;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, MetricType type, const std::string& help,
+    const std::vector<int64_t>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_)
+    if (e->name == name) {
+      if (e->type != type) {
+        std::fprintf(stderr, "metrics: '%s' re-registered with a different type\n",
+                     name.c_str());
+        std::abort();
+      }
+      return *e;
+    }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->type = type;
+  e->help = help;
+  switch (type) {
+    case MetricType::kCounter: e->counter = std::make_unique<Counter>(); break;
+    case MetricType::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+    case MetricType::kHistogram:
+      e->histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  return *find_or_create(name, MetricType::kCounter, help, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  return *find_or_create(name, MetricType::kGauge, help, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      const std::vector<int64_t>& upper_bounds) {
+  return *find_or_create(name, MetricType::kHistogram, help, &upper_bounds).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.type = e->type;
+    s.help = e->help;
+    switch (e->type) {
+      case MetricType::kCounter: s.value = e->counter->value(); break;
+      case MetricType::kGauge: s.value = e->gauge->value(); break;
+      case MetricType::kHistogram: {
+        s.bucket_bounds = e->histogram->upper_bounds();
+        s.bucket_bounds.push_back(0);  // +Inf slot; bound value unused
+        s.bucket_counts = e->histogram->bucket_counts();
+        s.count = e->histogram->count();
+        s.sum = e->histogram->sum();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::render_prometheus() const { return dsp::render_prometheus(snapshot()); }
+
+MetricsRegistry& global_metrics() {
+  // Intentionally leaked: the process-global ThreadPool (and its workers)
+  // update metrics while draining during static destruction, which can run
+  // after a function-local registry's destructor. A never-destroyed
+  // registry makes every update safe for the whole process lifetime.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+// ---- renderings ------------------------------------------------------------
+
+namespace {
+
+/// Splits "base{labels}" into its base name and the labels ("" when none).
+void split_labels(const std::string& name, std::string* base, std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string prev_base;
+  for (const MetricSample& s : snap.samples) {
+    std::string base, labels;
+    split_labels(s.name, &base, &labels);
+    if (base != prev_base) {
+      // One HELP/TYPE header per family; label variants registered
+      // consecutively share it.
+      out += "# HELP " + base + " " + s.help + "\n";
+      out += "# TYPE " + base + " " + type_name(s.type) + "\n";
+      prev_base = base;
+    }
+    if (s.type != MetricType::kHistogram) {
+      out += base + (labels.empty() ? "" : "{" + labels + "}") + " " +
+             std::to_string(s.value) + "\n";
+      continue;
+    }
+    const std::string sep = labels.empty() ? "" : labels + ",";
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < s.bucket_counts.size(); ++b) {
+      cumulative += s.bucket_counts[b];
+      const bool inf = b + 1 == s.bucket_counts.size();
+      const std::string le = inf ? "+Inf" : std::to_string(s.bucket_bounds[b]);
+      out += base + "_bucket{" + sep + "le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += base + "_sum" + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           std::to_string(s.sum) + "\n";
+    out += base + "_count" + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n";
+  for (size_t i = 0; i < snap.samples.size(); ++i) {
+    const MetricSample& s = snap.samples[i];
+    out += "  \"" + json_escape(s.name) + "\": {\"type\": \"" +
+           type_name(s.type) + "\", ";
+    if (s.type != MetricType::kHistogram) {
+      out += "\"value\": " + std::to_string(s.value) + "}";
+    } else {
+      out += "\"count\": " + std::to_string(s.count) +
+             ", \"sum\": " + std::to_string(s.sum) + ", \"buckets\": [";
+      for (size_t b = 0; b < s.bucket_counts.size(); ++b) {
+        if (b != 0) out += ", ";
+        const bool inf = b + 1 == s.bucket_counts.size();
+        out += "{\"le\": " + (inf ? std::string("\"+Inf\"")
+                                  : std::to_string(s.bucket_bounds[b])) +
+               ", \"n\": " + std::to_string(s.bucket_counts[b]) + "}";
+      }
+      out += "]}";
+    }
+    out += i + 1 < snap.samples.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+// ---- STATS frame payload codec ---------------------------------------------
+
+std::string serialize_metrics_snapshot(const MetricsSnapshot& snap) {
+  ByteWriter w;
+  w.u64(snap.samples.size());
+  for (const MetricSample& s : snap.samples) {
+    w.str(s.name);
+    w.u8(static_cast<uint8_t>(s.type));
+    w.str(s.help);
+    if (s.type != MetricType::kHistogram) {
+      w.i64(s.value);
+      continue;
+    }
+    w.i64(s.count);
+    w.i64(s.sum);
+    w.u64(s.bucket_counts.size());
+    for (size_t b = 0; b < s.bucket_counts.size(); ++b) {
+      w.i64(b < s.bucket_bounds.size() ? s.bucket_bounds[b] : 0);
+      w.i64(s.bucket_counts[b]);
+    }
+  }
+  return w.take();
+}
+
+std::string deserialize_metrics_snapshot(std::string_view payload,
+                                         MetricsSnapshot* out) {
+  ByteReader r(payload);
+  const uint64_t n = r.u64();
+  // Each sample needs at least name-len + type + help-len + value bytes.
+  if (!r.fits(n, 8 + 1 + 8 + 8)) return "truncated stats payload";
+  out->samples.clear();
+  out->samples.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    MetricSample s;
+    s.name = r.str();
+    const uint8_t type = r.u8();
+    s.help = r.str();
+    if (type > static_cast<uint8_t>(MetricType::kHistogram))
+      return "unknown metric type " + std::to_string(type);
+    s.type = static_cast<MetricType>(type);
+    if (s.type != MetricType::kHistogram) {
+      s.value = r.i64();
+    } else {
+      s.count = r.i64();
+      s.sum = r.i64();
+      const uint64_t buckets = r.u64();
+      if (!r.fits(buckets, 16)) return "truncated stats payload";
+      s.bucket_bounds.reserve(static_cast<size_t>(buckets));
+      s.bucket_counts.reserve(static_cast<size_t>(buckets));
+      for (uint64_t b = 0; b < buckets; ++b) {
+        s.bucket_bounds.push_back(r.i64());
+        s.bucket_counts.push_back(r.i64());
+      }
+    }
+    if (r.fail()) return "truncated stats payload";
+    out->samples.push_back(std::move(s));
+  }
+  if (!r.done()) return "truncated stats payload";
+  return "";
+}
+
+}  // namespace dsp

@@ -1,0 +1,192 @@
+// Live metrics plane: a process-global registry of monotone counters,
+// gauges, and fixed-bucket histograms (docs/METRICS.md).
+//
+// Hot-path updates are sharded relaxed atomics: each thread hashes to one
+// of kMetricShards cache-line-padded cells on first use, so concurrent
+// kernels and server workers increment without contention and without
+// locks — TSan-clean by construction. Reads merge the shards in fixed
+// shard order. Because every stored quantity is an int64 (histogram
+// observations included), the merge is associative and commutative: a
+// snapshot taken after N updates is bit-identical regardless of how many
+// threads performed them or which shards they landed in.
+//
+// Metric identity is the full name, optionally carrying Prometheus-style
+// labels inline: `dsplacer_jobs_completed_total{status="ok"}`. The
+// exposition splits the name at '{' so labeled families render correctly
+// (`_bucket{status="ok",le="1000"}` for histograms). Registration is
+// idempotent — the same name returns the same metric — so instrumented
+// call sites just look up by name once and cache the pointer.
+//
+// Two read paths consume snapshots: the Prometheus text exposition served
+// by MetricsHttpServer (metrics_http.hpp) and the STATS protocol frame
+// (serialize_metrics_snapshot below; server/protocol.hpp carries it).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsp {
+
+/// Number of update shards per metric. A power of two comfortably above
+/// typical lane counts; threads are assigned round-robin so any thread
+/// count spreads across the shards.
+inline constexpr int kMetricShards = 16;
+
+namespace detail {
+/// This thread's shard index in [0, kMetricShards), assigned round-robin
+/// on first use.
+int metric_shard();
+
+struct alignas(64) ShardCell {
+  std::atomic<int64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotone counter. inc() is wait-free on the caller's shard; value()
+/// merges shards in fixed order.
+class Counter {
+ public:
+  void inc(int64_t delta = 1) {
+    cells_[static_cast<size_t>(detail::metric_shard())].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    int64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<detail::ShardCell, kMetricShards> cells_;
+};
+
+/// Delta-tracked gauge (queue depths, in-flight counts): add()/sub() from
+/// any thread; the value is the merged sum of all deltas. There is
+/// deliberately no set() — absolute stores cannot be sharded without a
+/// race, and every instrumented gauge is naturally a running delta.
+class Gauge {
+ public:
+  void add(int64_t delta = 1) {
+    cells_[static_cast<size_t>(detail::metric_shard())].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void sub(int64_t delta = 1) { add(-delta); }
+  int64_t value() const {
+    int64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<detail::ShardCell, kMetricShards> cells_;
+};
+
+/// Fixed-bucket histogram over int64 observations (latencies in
+/// microseconds). Bucket boundaries are upper bounds, strictly increasing,
+/// fixed at construction; an implicit +Inf bucket catches the overflow.
+/// Per-shard storage is (bounds + 1) bucket cells plus a sum cell, so
+/// observe() is two relaxed adds after a branchless-ish linear scan
+/// (bucket counts are small and fixed).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> upper_bounds);
+
+  void observe(int64_t value);
+
+  const std::vector<int64_t>& upper_bounds() const { return bounds_; }
+  /// Merged per-bucket counts, non-cumulative; size = bounds + 1 (+Inf last).
+  std::vector<int64_t> bucket_counts() const;
+  int64_t count() const;
+  int64_t sum() const;
+
+ private:
+  std::vector<int64_t> bounds_;
+  // cells_[shard * stride + bucket]; sums_[shard].
+  size_t stride_;
+  std::vector<detail::ShardCell> cells_;
+  std::array<detail::ShardCell, kMetricShards> sums_;
+};
+
+/// Default latency buckets in microseconds: 1ms .. 10s, log-ish spacing.
+const std::vector<int64_t>& default_latency_buckets_us();
+
+enum class MetricType : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// One metric's merged point-in-time value, as carried by the STATS frame
+/// and rendered by the Prometheus exposition.
+struct MetricSample {
+  std::string name;  // full name, labels inline
+  MetricType type = MetricType::kCounter;
+  std::string help;
+  int64_t value = 0;  // counter/gauge
+  // Histogram only: parallel bound/count arrays (+Inf bucket last, bound
+  // slot unused), plus the merged count and sum.
+  std::vector<int64_t> bucket_bounds;
+  std::vector<int64_t> bucket_counts;
+  int64_t count = 0;
+  int64_t sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // registration order
+};
+
+/// The registry: named metrics, registered once, updated lock-free,
+/// snapshotted under a short registration lock (updates never block).
+/// Instantiable for tests; production code shares global_metrics().
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();  // out-of-line: Entry is incomplete here
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent lookup-or-create. Re-registering an existing name returns
+  /// the existing metric (help/buckets of the first registration win); a
+  /// type conflict aborts — that is a programming error, not input.
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<int64_t>& upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition format 0.0.4 of snapshot(): one HELP/TYPE
+  /// header per base name (label variants grouped), histogram buckets
+  /// cumulative with `le` labels.
+  std::string render_prometheus() const;
+
+ private:
+  struct Entry;
+  Entry& find_or_create(const std::string& name, MetricType type,
+                        const std::string& help,
+                        const std::vector<int64_t>* bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+/// The process-wide registry every subsystem instruments into.
+MetricsRegistry& global_metrics();
+
+/// Renders any snapshot (local or decoded from a STATS frame) in the
+/// Prometheus text format — shared by the HTTP exporter and the
+/// `dsplacer_stats` tool.
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+/// Compact JSON rendering of a snapshot (dsplacer_stats --json).
+std::string render_json(const MetricsSnapshot& snap);
+
+/// STATS frame payload codec (util/binio encoding, truncation-safe on
+/// decode like every other payload in the protocol). decode returns "" on
+/// success, else a diagnostic and *out is unspecified.
+std::string serialize_metrics_snapshot(const MetricsSnapshot& snap);
+std::string deserialize_metrics_snapshot(std::string_view payload, MetricsSnapshot* out);
+
+}  // namespace dsp

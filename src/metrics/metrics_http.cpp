@@ -1,0 +1,186 @@
+#include "metrics/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "util/log.hpp"
+
+namespace dsp {
+
+namespace {
+
+/// Largest request we will buffer before giving up on a client: a scrape
+/// request line plus headers is a few hundred bytes; anything bigger is
+/// hostile or broken.
+constexpr size_t kMaxRequestBytes = 4096;
+
+bool write_all(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(int status, const char* reason, const std::string& body,
+                          const char* content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Extracts the request path from "GET /metrics HTTP/1.1\r\n..."; "" when
+/// the request line is not a well-formed GET.
+std::string request_path(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return "";
+  const size_t end = request.find(' ', 4);
+  if (end == std::string::npos) return "";
+  return request.substr(4, end - 4);
+}
+
+}  // namespace
+
+std::string MetricsHttpServer::start(int port, MetricsRegistry& registry,
+                                     std::function<bool()> ready) {
+  if (listen_fd_ >= 0) return "metrics listener already started";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("socket: ") + std::strerror(errno);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::string("bind 127.0.0.1:") + std::to_string(port) +
+                            ": " + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = fd;
+  registry_ = &registry;
+  ready_ = std::move(ready);
+  thread_ = std::thread([this, fd] { serve_loop(fd); });
+  LOG_INFO("metrics", "exposition up on 127.0.0.1:%d (/metrics /healthz /readyz)",
+           port_);
+  return "";
+}
+
+void MetricsHttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocking accept; the fd is closed only after the
+  // accept thread has joined, so the thread never touches a recycled fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  registry_ = nullptr;
+  port_ = -1;
+}
+
+void MetricsHttpServer::serve_loop(int listen_fd) {
+  set_log_thread_tag("metrics");
+  Counter& scrapes = registry_->counter(
+      metric::kScrapes, "Completed /metrics scrapes served over HTTP");
+  for (;;) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < kMaxRequestBytes) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+
+    const std::string path = request_path(request);
+    std::string response;
+    if (path == "/metrics") {
+      scrapes.inc();
+      response = http_response(200, "OK", registry_->render_prometheus(),
+                               "text/plain; version=0.0.4; charset=utf-8");
+    } else if (path == "/healthz") {
+      response = http_response(200, "OK", "ok\n", "text/plain");
+    } else if (path == "/readyz") {
+      const bool ready = !ready_ || ready_();
+      response = ready ? http_response(200, "OK", "ready\n", "text/plain")
+                       : http_response(503, "Service Unavailable", "draining\n",
+                                       "text/plain");
+    } else if (path.empty()) {
+      response = http_response(400, "Bad Request", "bad request\n", "text/plain");
+    } else {
+      response = http_response(404, "Not Found", "not found\n", "text/plain");
+    }
+    write_all(conn, response);
+    ::close(conn);
+  }
+}
+
+std::string http_get(int port, const std::string& path, std::string* body,
+                     int* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("socket: ") + std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::string("connect 127.0.0.1:") +
+                            std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!write_all(fd, request)) {
+    ::close(fd);
+    return "send failed";
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (response.rfind("HTTP/1.1 ", 0) != 0 && response.rfind("HTTP/1.0 ", 0) != 0)
+    return "malformed response";
+  if (status != nullptr) *status = std::atoi(response.c_str() + 9);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return "truncated response";
+  if (body != nullptr) *body = response.substr(header_end + 4);
+  return "";
+}
+
+}  // namespace dsp

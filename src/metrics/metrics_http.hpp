@@ -1,0 +1,68 @@
+// Minimal HTTP/1.1 listener for the metrics plane (docs/METRICS.md):
+// serves the Prometheus text exposition of a MetricsRegistry plus liveness
+// and readiness probes, loopback-only by design (like the job listeners in
+// server/socket.hpp, dsplacerd never binds a routable address).
+//
+//   GET /metrics  -> 200, text/plain; version=0.0.4 exposition
+//   GET /healthz  -> 200 "ok" while the process is up
+//   GET /readyz   -> 200 "ready" while the ready callback returns true,
+//                    else 503 "draining" (dsplacerd wires this to
+//                    "running and not draining")
+//   anything else -> 404
+//
+// The implementation is deliberately tiny: one accept thread, one
+// short-lived connection at a time (scrapes are rare and small), a capped
+// request read, connection closed after each response. It exists so an
+// operator can point Prometheus / curl at a running dsplacerd without any
+// third-party HTTP dependency.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dsp {
+
+class MetricsRegistry;
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// accept thread. `ready` backs /readyz; nullptr means always ready.
+  /// Returns "" on success, else the bind error.
+  std::string start(int port, MetricsRegistry& registry,
+                    std::function<bool()> ready = nullptr);
+
+  /// Actual bound port after start(); -1 before.
+  int port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  // The fd is passed by value: the accept thread must never read the
+  // mutable member, which stop() rewrites from another thread.
+  void serve_loop(int listen_fd);
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  MetricsRegistry* registry_ = nullptr;
+  std::function<bool()> ready_;
+  std::thread thread_;
+};
+
+/// One-shot loopback HTTP GET helper for tests, benchmarks, and the CI
+/// smoke script: fetches http://127.0.0.1:port/path, stores the response
+/// body in *body and the status code in *status. Returns "" on success,
+/// else a transport diagnostic.
+std::string http_get(int port, const std::string& path, std::string* body,
+                     int* status);
+
+}  // namespace dsp

@@ -1,0 +1,55 @@
+// Canonical metric names — the single source of truth for every series the
+// process registers in the global MetricsRegistry (docs/METRICS.md).
+//
+// Every instrumented subsystem takes its metric names from this header, so
+// the full fleet of series is enumerable in one place. docs_lint parses the
+// string literals out of the `namespace metric { ... }` block below (the
+// same way it parses stage names out of src/core/flow.hpp) and fails the
+// build when docs/METRICS.md drifts from this catalog: a renamed or new
+// metric must be documented, and the doc cannot mention series that no
+// code registers.
+//
+// Labeled families (jobs by status, protocol errors by cause, stage
+// latencies by stage) are listed here by their base name; the code appends
+// `{label="value"}` when registering each member (see metrics.hpp on how
+// labels render in the Prometheus exposition).
+#pragma once
+
+namespace dsp {
+namespace metric {
+
+// ---- server job lifecycle (src/server/server.cpp) ----
+inline constexpr const char* kJobsSubmitted = "dsplacer_jobs_submitted_total";
+inline constexpr const char* kJobsCompleted = "dsplacer_jobs_completed_total";
+inline constexpr const char* kQueueDepth = "dsplacer_queue_depth";
+inline constexpr const char* kJobsInflight = "dsplacer_jobs_inflight";
+inline constexpr const char* kConnections = "dsplacer_connections_total";
+inline constexpr const char* kProtocolErrors = "dsplacer_protocol_errors_total";
+inline constexpr const char* kStatsRequests = "dsplacer_stats_requests_total";
+inline constexpr const char* kJobE2eUs = "dsplacer_job_e2e_us";
+inline constexpr const char* kStageUs = "dsplacer_stage_us";
+
+// ---- stage checkpoint cache (src/core/flow.cpp, src/core/checkpoint.cpp) ----
+inline constexpr const char* kCacheHit = "dsplacer_cache_hit_total";
+inline constexpr const char* kCacheMiss = "dsplacer_cache_miss_total";
+inline constexpr const char* kCacheBad = "dsplacer_cache_bad_total";
+inline constexpr const char* kCacheLoad = "dsplacer_cache_load_total";
+inline constexpr const char* kCacheStore = "dsplacer_cache_store_total";
+
+// ---- thread pool (src/util/thread_pool.cpp) ----
+inline constexpr const char* kPoolTasks = "dsplacer_pool_tasks_total";
+inline constexpr const char* kPoolParallelFors = "dsplacer_pool_parallel_fors_total";
+inline constexpr const char* kPoolQueueDepth = "dsplacer_pool_queue_depth";
+
+// ---- kernel workspaces (src/graph/csr_graph.cpp) ----
+inline constexpr const char* kWorkspaceAcquired = "dsplacer_workspace_acquired_total";
+inline constexpr const char* kWorkspaceCreated = "dsplacer_workspace_created_total";
+
+// ---- logging (src/util/log.cpp) ----
+inline constexpr const char* kLogLines = "dsplacer_log_lines_total";
+
+// ---- metrics plane itself (src/metrics/metrics_http.cpp) ----
+inline constexpr const char* kScrapes = "dsplacer_metrics_scrapes_total";
+
+}  // namespace metric
+}  // namespace dsp

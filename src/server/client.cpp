@@ -70,4 +70,20 @@ std::string DsplacerClient::ping(std::string* server_version) {
   return err;
 }
 
+std::string DsplacerClient::stats(MetricsSnapshot* out) {
+  if (!connected()) return "not connected";
+  const std::string frame = encode_frame(MsgType::kStatsRequest, "");
+  if (!send_all(socket_.fd(), frame.data(), frame.size())) {
+    close();
+    return "send failed";
+  }
+  Frame in;
+  std::string err = read_frame(&in);
+  if (err.empty() && in.type != MsgType::kStatsReply)
+    err = "unexpected reply type " + std::to_string(static_cast<uint32_t>(in.type));
+  if (err.empty()) err = deserialize_metrics_snapshot(in.payload, out);
+  if (!err.empty()) close();
+  return err;
+}
+
 }  // namespace dsp

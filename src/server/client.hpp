@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "metrics/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/socket.hpp"
 
@@ -28,6 +29,10 @@ class DsplacerClient {
 
   /// Liveness probe; fills *server_version from the pong. "" on success.
   std::string ping(std::string* server_version);
+
+  /// Fetches the server's live metrics snapshot over the STATS frame
+  /// (docs/METRICS.md). "" on success.
+  std::string stats(MetricsSnapshot* out);
 
   void close() { socket_ = SocketFd(); }
 

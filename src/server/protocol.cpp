@@ -17,6 +17,15 @@ const char* job_status_name(JobStatus s) {
   return "?";
 }
 
+const char* frame_error_cause(const std::string& decoder_error) {
+  if (decoder_error == "bad magic") return "bad_magic";
+  if (decoder_error.rfind("unsupported protocol version", 0) == 0)
+    return "version_skew";
+  if (decoder_error.rfind("unknown message type", 0) == 0) return "unknown_type";
+  if (decoder_error.rfind("oversized frame", 0) == 0) return "oversized";
+  return "other";
+}
+
 std::string encode_frame(MsgType type, std::string_view payload) {
   ByteWriter w;
   w.u32(kFrameMagic);
@@ -43,7 +52,7 @@ bool FrameDecoder::next(Frame* out) {
     return false;
   }
   if (type < static_cast<uint32_t>(MsgType::kJobRequest) ||
-      type > static_cast<uint32_t>(MsgType::kError)) {
+      type > static_cast<uint32_t>(MsgType::kStatsReply)) {
     error_ = "unknown message type " + std::to_string(type);
     return false;
   }

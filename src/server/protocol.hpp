@@ -35,11 +35,13 @@ inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr uint64_t kMaxFramePayload = 64ull << 20;
 
 enum class MsgType : uint32_t {
-  kJobRequest = 1,  // client -> server: run one placement job
-  kJobReply = 2,    // server -> client: job outcome
-  kPing = 3,        // client -> server: liveness probe
-  kPong = 4,        // server -> client: version string payload
-  kError = 5,       // server -> client: protocol-level failure, then close
+  kJobRequest = 1,    // client -> server: run one placement job
+  kJobReply = 2,      // server -> client: job outcome
+  kPing = 3,          // client -> server: liveness probe
+  kPong = 4,          // server -> client: version string payload
+  kError = 5,         // server -> client: protocol-level failure, then close
+  kStatsRequest = 6,  // client -> server: live metrics snapshot (empty payload)
+  kStatsReply = 7,    // server -> client: serialized MetricsSnapshot
 };
 
 /// Job outcome codes carried in JobReply (stable wire values).
@@ -54,6 +56,11 @@ enum class JobStatus : uint32_t {
 };
 
 const char* job_status_name(JobStatus s);
+
+/// Maps a FrameDecoder diagnostic onto a stable low-cardinality label value
+/// for the dsplacer_protocol_errors_total{cause=...} counter family
+/// (docs/METRICS.md). Unrecognised diagnostics fold into "other".
+const char* frame_error_cause(const std::string& decoder_error);
 
 struct Frame {
   MsgType type = MsgType::kError;

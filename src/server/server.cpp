@@ -7,6 +7,8 @@
 #include "core/dsplacer.hpp"
 #include "core/flow.hpp"
 #include "fpga/device.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
 #include "netlist/netlist_io.hpp"
 #include "placer/placement_io.hpp"
 #include "timing/wirelength.hpp"
@@ -17,10 +19,79 @@ namespace dsp {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+/// Stable lowercase label value for jobs_completed{status=...}; mirrors
+/// job_status_name but in Prometheus label style.
+const char* status_label(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kError: return "error";
+    case JobStatus::kBusy: return "busy";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case JobStatus::kShuttingDown: return "shutting_down";
+    case JobStatus::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+Counter& jobs_completed_metric(JobStatus s) {
+  return global_metrics().counter(
+      std::string(metric::kJobsCompleted) + "{status=\"" + status_label(s) + "\"}",
+      "Job replies delivered by outcome (immediate rejects included)");
+}
+
+Counter& protocol_error_metric(const char* cause) {
+  return global_metrics().counter(
+      std::string(metric::kProtocolErrors) + "{cause=\"" + cause + "\"}",
+      "Connections dropped for wire-protocol violations by cause");
+}
+
+Histogram& stage_us_metric(const std::string& stage_name) {
+  return global_metrics().histogram(
+      std::string(metric::kStageUs) + "{stage=\"" + stage_name + "\"}",
+      "Per-stage wall time of server jobs in microseconds",
+      default_latency_buckets_us());
+}
+
+/// Registry handles resolved once; everything else in this file goes
+/// through here so the metric names live in exactly one place
+/// (metrics/names.hpp, mirrored in docs/METRICS.md).
+struct ServerMetrics {
+  Counter& jobs_submitted;
+  Counter& connections;
+  Counter& stats_requests;
+  Gauge& queue_depth;
+  Gauge& jobs_inflight;
+  Histogram& job_e2e_us;
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m{
+      global_metrics().counter(metric::kJobsSubmitted,
+                               "Jobs accepted into the bounded queue"),
+      global_metrics().counter(metric::kConnections,
+                               "Client connections accepted"),
+      global_metrics().counter(metric::kStatsRequests,
+                               "STATS frames answered with a snapshot"),
+      global_metrics().gauge(metric::kQueueDepth,
+                             "Jobs queued but not yet claimed by a worker"),
+      global_metrics().gauge(metric::kJobsInflight,
+                             "Jobs currently executing on a worker"),
+      global_metrics().histogram(metric::kJobE2eUs,
+                                 "Enqueue-to-reply latency in microseconds",
+                                 default_latency_buckets_us())};
+  return m;
+}
+
+}  // namespace
+
 struct DsplacerServer::PendingJob {
   uint64_t id = 0;
   JobRequest req;
-  Clock::time_point deadline;  // valid only when has_deadline
+  Clock::time_point deadline;   // valid only when has_deadline
+  Clock::time_point submitted;  // enqueue time, feeds the e2e histogram
   bool has_deadline = false;
   std::promise<JobReply> promise;
 };
@@ -45,6 +116,12 @@ std::string DsplacerServer::start() {
     tcp_listener_ = listen_tcp_loopback(opts_.tcp_port, &bound_port_, &error);
     if (!tcp_listener_.valid()) return error;
   }
+  if (opts_.metrics_port >= 0) {
+    error = metrics_http_.start(opts_.metrics_port, global_metrics(), [this] {
+      return running_.load() && !draining_.load();
+    });
+    if (!error.empty()) return error;
+  }
 
   running_.store(true);
   for (int i = 0; i < opts_.workers; ++i)
@@ -57,6 +134,8 @@ std::string DsplacerServer::start() {
   LOG_INFO("server", "dsplacerd up: %d worker(s), queue depth %d, cache '%s'",
            opts_.workers, opts_.queue_depth,
            opts_.cache_dir.empty() ? "(off)" : opts_.cache_dir.c_str());
+  if (metrics_http_.running())
+    LOG_INFO("server", "metrics on http://127.0.0.1:%d/metrics", metrics_http_.port());
   return "";
 }
 
@@ -116,6 +195,9 @@ void DsplacerServer::stop() {
 
   if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
   running_.store(false);
+  // The metrics plane outlives the job plane so /metrics stays scrapeable
+  // through the drain (/readyz reports 503 the whole time).
+  metrics_http_.stop();
   const ServerStats s = stats();
   LOG_INFO("server",
            "drained: %lld ok, %lld failed, %lld cancelled, %lld busy-rejected, "
@@ -141,6 +223,7 @@ void DsplacerServer::accept_loop(int listen_fd) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.connections;
     }
+    server_metrics().connections.inc();
     auto socket = std::make_shared<SocketFd>(std::move(conn));
     std::lock_guard<std::mutex> lock(conns_mu_);
     reap_finished_connections();
@@ -183,12 +266,20 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
         if (!send_frame(MsgType::kPong, w.take())) return;
         continue;
       }
+      if (frame.type == MsgType::kStatsRequest) {
+        server_metrics().stats_requests.inc();
+        const std::string payload =
+            serialize_metrics_snapshot(global_metrics().snapshot());
+        if (!send_frame(MsgType::kStatsReply, payload)) return;
+        continue;
+      }
       if (frame.type != MsgType::kJobRequest) {
-        // A client must only send requests and pings; anything else is a
-        // protocol error: answer and hang up.
+        // A client must only send requests, pings and stats probes;
+        // anything else is a protocol error: answer and hang up.
         ByteWriter w;
         w.str("unexpected message type");
         send_frame(MsgType::kError, w.take());
+        protocol_error_metric("unexpected_type").inc();
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
         return;
@@ -200,6 +291,7 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
         JobReply reply;
         reply.status = JobStatus::kBadRequest;
         reply.error = bad;
+        jobs_completed_metric(reply.status).inc();
         if (!send_frame(MsgType::kJobReply, encode_job_reply(reply))) return;
         continue;
       }
@@ -226,10 +318,14 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
           rejected = true;
         } else {
           result = job->promise.get_future();
+          job->submitted = Clock::now();
           queue_.push_back(job);
+          server_metrics().jobs_submitted.inc();
+          server_metrics().queue_depth.add(1);
         }
       }
       if (rejected) {
+        jobs_completed_metric(immediate.status).inc();
         if (immediate.status == JobStatus::kBusy) {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.busy_rejections;
@@ -246,6 +342,7 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
       ByteWriter w;
       w.str(decoder.error());
       send_frame(MsgType::kError, w.take());  // best effort before close
+      protocol_error_metric(frame_error_cause(decoder.error())).inc();
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.protocol_errors;
       return;
@@ -255,6 +352,7 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
     if (got <= 0) {
       if (decoder.pending_bytes() > 0) {
         // Connection dropped mid-frame: nothing to answer, just count it.
+        protocol_error_metric("truncated").inc();
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
       }
@@ -280,6 +378,8 @@ void DsplacerServer::worker_loop(int worker_index) {
       queue_.pop_front();
       ++active_jobs_;
     }
+    server_metrics().queue_depth.sub(1);
+    server_metrics().jobs_inflight.add(1);
 
     set_log_thread_tag("job" + std::to_string(job->id));
     if (opts_.test_hook_job_start) opts_.test_hook_job_start(job->id);
@@ -294,6 +394,12 @@ void DsplacerServer::worker_loop(int worker_index) {
         default: ++stats_.jobs_failed; break;
       }
     }
+    jobs_completed_metric(reply.status).inc();
+    server_metrics().jobs_inflight.sub(1);
+    server_metrics().job_e2e_us.observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              job->submitted)
+            .count());
     job->promise.set_value(std::move(reply));
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -359,6 +465,11 @@ JobReply DsplacerServer::execute_job(const PendingJob& job) const {
     for (const auto& stage : res.trace.root().children) {
       reply.cache_hits += stage->counter("cache_hit");
       reply.cache_misses += stage->counter("cache_miss");
+      // Stage latency histograms are fed from the trace the flow already
+      // records, so they cost nothing extra and stay exact even when the
+      // client opted out of the JSON copy.
+      stage_us_metric(stage->name)
+          .observe(static_cast<int64_t>(stage->seconds * 1e6));
     }
     if (res.legality_error == "cancelled") {
       const bool deadline = past_deadline.load(std::memory_order_relaxed);

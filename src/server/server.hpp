@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/metrics_http.hpp"
 #include "server/protocol.hpp"
 #include "server/socket.hpp"
 
@@ -51,6 +52,10 @@ struct ServerOptions {
   /// Drain grace: how long stop() lets queued/in-flight jobs keep running
   /// before cancelling them (they still get CANCELLED replies).
   double drain_grace_seconds = 30.0;
+  /// Metrics-plane HTTP port on 127.0.0.1: -1 = no metrics listener,
+  /// 0 = ephemeral (see metrics_http_port()). Serves /metrics, /healthz
+  /// and /readyz (docs/METRICS.md).
+  int metrics_port = -1;
   /// Test instrumentation only: invoked on the worker thread right after a
   /// job is popped, before it executes. Tests block here to make queue-full
   /// (BUSY), deadline, and drain scenarios deterministic. May block; must
@@ -87,6 +92,8 @@ class DsplacerServer {
   bool running() const { return running_.load(); }
   /// Actual TCP port after start() (ephemeral binds resolve here).
   int port() const { return bound_port_; }
+  /// Actual metrics HTTP port after start(); -1 when disabled.
+  int metrics_http_port() const { return metrics_http_.port(); }
   const ServerOptions& options() const { return opts_; }
 
   ServerStats stats() const;
@@ -103,6 +110,7 @@ class DsplacerServer {
   ServerOptions opts_;
   SocketFd unix_listener_;
   SocketFd tcp_listener_;
+  MetricsHttpServer metrics_http_;
   int bound_port_ = -1;
 
   std::atomic<bool> running_{false};

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -152,6 +153,23 @@ long recv_some(int fd, void* out, size_t n) {
     if (errno == EINTR) continue;
     return -1;
   }
+}
+
+int parse_port_number(const std::string& text, std::string* error) {
+  size_t begin = text.find_first_not_of(" \t");
+  const size_t end = text.find_last_not_of(" \t");
+  if (begin == std::string::npos) begin = text.size();
+  const std::string trimmed =
+      begin < text.size() ? text.substr(begin, end - begin + 1) : std::string();
+  bool numeric = !trimmed.empty() && trimmed.size() <= 5;
+  for (char c : trimmed) numeric &= (c >= '0' && c <= '9');
+  const int value = numeric ? std::atoi(trimmed.c_str()) : -1;
+  if (!numeric || value > 65535) {
+    if (error != nullptr)
+      *error = "port must be an integer in [0, 65535], got '" + text + "'";
+    return -1;
+  }
+  return value;
 }
 
 }  // namespace dsp

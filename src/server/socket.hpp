@@ -69,4 +69,10 @@ bool send_all(int fd, const void* data, size_t n);
 /// close or shutdown, -1 on error.
 long recv_some(int fd, void* out, size_t n);
 
+/// Strict port-number parse for CLI flags, mirroring parse_thread_count:
+/// accepts only a plain decimal in [0, 65535] (0 = ephemeral bind) with
+/// optional surrounding whitespace. Returns -1 and fills *error on
+/// anything else — callers reject garbage instead of clamping it.
+int parse_port_number(const std::string& text, std::string* error);
+
 }  // namespace dsp

@@ -6,6 +6,9 @@
 #include <mutex>
 #include <vector>
 
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+
 namespace dsp {
 namespace {
 
@@ -58,6 +61,19 @@ void set_log_thread_tag(const std::string& tag) { t_thread_tag = tag; }
 std::string log_thread_tag() { return t_thread_tag; }
 
 void log_message(LogLevel level, const std::string& tag, const std::string& msg) {
+  // Emitted-line counters by severity: a climbing warn/error series is the
+  // cheapest fleet-wide smoke signal an operator can watch (docs/METRICS.md).
+  static Counter* const by_level[] = {
+      &global_metrics().counter(std::string(metric::kLogLines) + "{level=\"debug\"}",
+                                "Log lines emitted by severity"),
+      &global_metrics().counter(std::string(metric::kLogLines) + "{level=\"info\"}",
+                                "Log lines emitted by severity"),
+      &global_metrics().counter(std::string(metric::kLogLines) + "{level=\"warn\"}",
+                                "Log lines emitted by severity"),
+      &global_metrics().counter(std::string(metric::kLogLines) + "{level=\"error\"}",
+                                "Log lines emitted by severity")};
+  const int idx = static_cast<int>(level);
+  if (idx >= 0 && idx <= 3) by_level[idx]->inc();
   // Assemble the complete line first so the sink performs exactly one
   // write: stderr is unbuffered, and a multi-part fprintf from concurrent
   // ThreadPool kernels or server workers could interleave partial lines.

@@ -4,10 +4,35 @@
 #include <cstdlib>
 #include <memory>
 
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+
 namespace dsp {
 namespace {
 
 thread_local bool t_inside_worker = false;
+
+/// Registry handles for the pool's live instrumentation (docs/METRICS.md).
+/// Resolved once; the counters aggregate over every pool in the process
+/// (in practice the process-global pool dominates). Unlike the per-run
+/// peak_active trace counter, these are visible mid-run through /metrics
+/// and the STATS frame.
+struct PoolMetrics {
+  Counter& tasks;
+  Counter& parallel_fors;
+  Gauge& queue_depth;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      global_metrics().counter(metric::kPoolTasks,
+                               "Helper tasks enqueued by parallel_for"),
+      global_metrics().counter(metric::kPoolParallelFors,
+                               "parallel_for invocations (serial fast path included)"),
+      global_metrics().gauge(metric::kPoolQueueDepth,
+                             "Helper tasks queued but not yet claimed by a worker")};
+  return m;
+}
 
 }  // namespace
 
@@ -44,6 +69,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    pool_metrics().queue_depth.sub(1);
     task();
   }
 }
@@ -51,6 +77,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(int64_t n, int64_t grain,
                               const std::function<void(int64_t, int64_t, int64_t)>& body) {
   if (n <= 0) return;
+  pool_metrics().parallel_fors.inc();
   if (grain <= 0) {
     const int64_t lanes = num_threads();
     grain = std::max<int64_t>(1, (n + 4 * lanes - 1) / (4 * lanes));
@@ -102,6 +129,8 @@ void ThreadPool::parallel_for(int64_t n, int64_t grain,
 
   const int64_t helpers =
       std::min<int64_t>(static_cast<int64_t>(workers_.size()), chunks - 1);
+  pool_metrics().tasks.inc(helpers);
+  pool_metrics().queue_depth.add(helpers);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t i = 0; i < helpers; ++i) tasks_.push(drain);

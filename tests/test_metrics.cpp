@@ -1,0 +1,185 @@
+// Metrics-plane determinism and semantics (docs/METRICS.md): sharded
+// counters/gauges/histograms must merge to bit-identical snapshots
+// regardless of how many threads performed the updates, and the live
+// instrumentation of ThreadPool / WorkspacePool must be visible through
+// the global registry. Lives in the parallel test binary so the TSan build
+// exercises the concurrent update paths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/digraph.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t_counter_total", "test counter");
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  // Registration is idempotent: same name, same metric.
+  EXPECT_EQ(&reg.counter("t_counter_total", "other help"), &c);
+
+  Gauge& g = reg.gauge("t_gauge", "test gauge");
+  g.add(5);
+  g.sub(2);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 2);
+}
+
+TEST(Metrics, HistogramFixedBucketsAndBoundaries) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t_hist", "test histogram", {10, 100, 1000});
+  EXPECT_EQ(h.upper_bounds(), (std::vector<int64_t>{10, 100, 1000}));
+
+  h.observe(0);
+  h.observe(10);    // le="10" is an inclusive upper bound
+  h.observe(11);
+  h.observe(1000);
+  h.observe(1001);  // +Inf bucket
+  EXPECT_EQ(h.bucket_counts(), (std::vector<int64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 0 + 10 + 11 + 1000 + 1001);
+}
+
+// The determinism contract: the same multiset of updates yields a
+// byte-identical serialized snapshot whether 1, 2, or 8 threads applied
+// them. All storage is int64, so the fixed-order shard merge is exact.
+TEST(Metrics, SnapshotBitIdenticalAcrossThreadCounts) {
+  const int64_t n = 20000;
+  auto run = [n](int threads) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("t_ops_total", "ops");
+    Gauge& g = reg.gauge("t_depth", "depth");
+    Histogram& h = reg.histogram("t_latency_us", "latency",
+                                 default_latency_buckets_us());
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+      pool.emplace_back([&, t] {
+        for (int64_t i = t; i < n; i += threads) {
+          c.inc();
+          g.add((i % 7) - 3);
+          h.observe((i * i) % 20000000);
+        }
+      });
+    for (auto& th : pool) th.join();
+    return serialize_metrics_snapshot(reg.snapshot());
+  };
+  const std::string one = run(1);
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(8), one);
+}
+
+TEST(Metrics, ConcurrentCountersLoseNothing) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t_total", "contended counter");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t)
+    pool.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) c.inc();
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(c.value(), 80000);
+}
+
+TEST(Metrics, PrometheusExpositionShape) {
+  MetricsRegistry reg;
+  reg.counter("t_jobs_total{status=\"ok\"}", "jobs by status").inc(3);
+  reg.counter("t_jobs_total{status=\"busy\"}", "jobs by status").inc(1);
+  Histogram& h = reg.histogram("t_wait_us", "wait", {10, 100});
+  h.observe(5);
+  h.observe(50);
+  h.observe(5000);
+
+  const std::string text = reg.render_prometheus();
+  // One HELP/TYPE header per family, label variants grouped under it.
+  EXPECT_NE(text.find("# HELP t_jobs_total jobs by status\n"), std::string::npos);
+  EXPECT_EQ(text.find("# HELP t_jobs_total", text.find("# HELP t_jobs_total") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("t_jobs_total{status=\"ok\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_jobs_total{status=\"busy\"} 1\n"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("t_wait_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_us_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_us_count 3\n"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotCodecRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("t_a_total", "a").inc(7);
+  reg.gauge("t_b", "b").add(-4);
+  Histogram& h = reg.histogram("t_c_us", "c", {10, 100});
+  h.observe(3);
+  h.observe(300);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string bytes = serialize_metrics_snapshot(snap);
+  MetricsSnapshot back;
+  ASSERT_EQ(deserialize_metrics_snapshot(bytes, &back), "");
+  ASSERT_EQ(back.samples.size(), snap.samples.size());
+  for (size_t i = 0; i < snap.samples.size(); ++i) {
+    EXPECT_EQ(back.samples[i].name, snap.samples[i].name);
+    EXPECT_EQ(back.samples[i].type, snap.samples[i].type);
+    EXPECT_EQ(back.samples[i].value, snap.samples[i].value);
+    EXPECT_EQ(back.samples[i].count, snap.samples[i].count);
+    EXPECT_EQ(back.samples[i].sum, snap.samples[i].sum);
+    EXPECT_EQ(back.samples[i].bucket_counts, snap.samples[i].bucket_counts);
+  }
+  // Re-serializing the decoded snapshot is byte-identical (pure data).
+  EXPECT_EQ(serialize_metrics_snapshot(back), bytes);
+}
+
+// ThreadPool feeds the global registry: task/parallel_for counters climb
+// and the queue-depth gauge returns to its baseline once the pool drains.
+TEST(Metrics, ThreadPoolCountersVisibleInGlobalRegistry) {
+  Counter& tasks = global_metrics().counter(metric::kPoolTasks, "");
+  Counter& fors = global_metrics().counter(metric::kPoolParallelFors, "");
+  Gauge& depth = global_metrics().gauge(metric::kPoolQueueDepth, "");
+  const int64_t tasks0 = tasks.value();
+  const int64_t fors0 = fors.value();
+  const int64_t depth0 = depth.value();
+  {
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round)
+      pool.parallel_for_each(1000, [](int64_t) {});
+  }
+  EXPECT_EQ(fors.value() - fors0, 3);
+  EXPECT_GE(tasks.value() - tasks0, 3);  // >=1 helper per multi-chunk call
+  // Joined pool: every queued helper was popped, so the gauge settled.
+  EXPECT_EQ(depth.value(), depth0);
+}
+
+TEST(Metrics, WorkspacePoolCountersVisibleInGlobalRegistry) {
+  Counter& acquired = global_metrics().counter(metric::kWorkspaceAcquired, "");
+  Counter& created = global_metrics().counter(metric::kWorkspaceCreated, "");
+  const int64_t acquired0 = acquired.value();
+  const int64_t created0 = created.value();
+
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const CsrGraph csr = CsrGraph::freeze(g);
+  {
+    auto lease1 = csr.workspaces().acquire();
+    auto lease2 = csr.workspaces().acquire();
+  }
+  { auto lease3 = csr.workspaces().acquire(); }  // free-list hit, no create
+
+  EXPECT_EQ(acquired.value() - acquired0, 3);
+  EXPECT_EQ(created.value() - created0, 2);
+}
+
+}  // namespace
+}  // namespace dsp

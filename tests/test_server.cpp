@@ -24,6 +24,9 @@
 #include "core/dsplacer.hpp"
 #include "core/flow.hpp"
 #include "designs/benchmarks.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/metrics_http.hpp"
+#include "metrics/names.hpp"
 #include "netlist/netlist_io.hpp"
 #include "placer/placement_io.hpp"
 #include "server/client.hpp"
@@ -34,6 +37,25 @@ namespace dsp {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Current merged value of a counter/gauge in the global registry, by full
+/// name (labels inline). 0 when nothing registered it yet — the registry
+/// is cumulative across tests, so assertions below are delta-based.
+int64_t metric_value(const std::string& name) {
+  for (const MetricSample& s : global_metrics().snapshot().samples)
+    if (s.name == name) return s.value;
+  return 0;
+}
+
+int64_t status_metric(const char* status) {
+  return metric_value(std::string(metric::kJobsCompleted) + "{status=\"" +
+                      status + "\"}");
+}
+
+int64_t cause_metric(const char* cause) {
+  return metric_value(std::string(metric::kProtocolErrors) + "{cause=\"" +
+                      cause + "\"}");
+}
 
 std::string fresh_dir(const std::string& name) {
   const fs::path dir = fs::path(::testing::TempDir()) / ("dsplacer_srv_" + name);
@@ -273,6 +295,44 @@ TEST(Protocol, DeterministicGarbageFuzzNeverCrashes) {
   }
 }
 
+TEST(Protocol, StatsFrameRoundTripAndTruncationAtEveryCut) {
+  // A representative snapshot: labeled counters, a gauge, a histogram.
+  MetricsRegistry reg;
+  reg.counter("dsplacer_jobs_completed_total{status=\"ok\"}", "jobs").inc(9);
+  reg.gauge("dsplacer_queue_depth", "depth").add(2);
+  Histogram& h =
+      reg.histogram("dsplacer_job_e2e_us", "e2e", default_latency_buckets_us());
+  h.observe(1234);
+  h.observe(987654);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const std::string payload = serialize_metrics_snapshot(snap);
+  const std::string bytes = encode_frame(MsgType::kStatsReply, payload);
+  FrameDecoder d;
+  d.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_TRUE(d.next(&f));
+  ASSERT_EQ(f.type, MsgType::kStatsReply);
+  MetricsSnapshot back;
+  ASSERT_EQ(deserialize_metrics_snapshot(f.payload, &back), "");
+  ASSERT_EQ(back.samples.size(), snap.samples.size());
+  EXPECT_EQ(back.samples[0].name, snap.samples[0].name);
+  EXPECT_EQ(back.samples[0].value, 9);
+  EXPECT_EQ(back.samples[2].count, 2);
+  EXPECT_EQ(back.samples[2].sum, 1234 + 987654);
+
+  // Like every other payload: a cut at any byte is a clean decode error,
+  // never a crash or a bogus success.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    MetricsSnapshot out;
+    EXPECT_NE(deserialize_metrics_snapshot(payload.substr(0, cut), &out), "")
+        << "cut " << cut;
+  }
+  // Trailing garbage is a framing bug too.
+  MetricsSnapshot out;
+  EXPECT_NE(deserialize_metrics_snapshot(payload + "zz", &out), "");
+}
+
 // ---- live loopback server --------------------------------------------------
 
 TEST(Server, EndToEndBitIdenticalToOneShotCli) {
@@ -360,6 +420,10 @@ TEST(Server, RepeatedJobsHitTheSharedCache) {
 
 TEST(Server, BusyWhenQueueFullAndDeadlineWhileQueued) {
   TestDesign sky("SkyNet");
+  const int64_t ok0 = status_metric("ok");
+  const int64_t busy0 = status_metric("busy");
+  const int64_t deadline0 = status_metric("deadline_exceeded");
+  const int64_t submitted0 = metric_value(metric::kJobsSubmitted);
 
   // One worker, queue depth one, and the worker parked on the test hook:
   // job1 occupies the worker, job2 occupies the queue, job3 must get BUSY.
@@ -416,6 +480,16 @@ TEST(Server, BusyWhenQueueFullAndDeadlineWhileQueued) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.busy_rejections, 1);
   server.stop();
+
+  // Each outcome incremented exactly its own jobs_completed label, and
+  // only the two accepted jobs counted as submitted.
+  EXPECT_EQ(status_metric("ok") - ok0, 1);
+  EXPECT_EQ(status_metric("busy") - busy0, 1);
+  EXPECT_EQ(status_metric("deadline_exceeded") - deadline0, 1);
+  EXPECT_EQ(metric_value(metric::kJobsSubmitted) - submitted0, 2);
+  // Nothing queued or running once drained: the gauges settled.
+  EXPECT_EQ(metric_value(metric::kQueueDepth), 0);
+  EXPECT_EQ(metric_value(metric::kJobsInflight), 0);
 }
 
 TEST(Server, DeadlineCancelsMidFlow) {
@@ -462,6 +536,7 @@ TEST(Server, ExtractKernelsPollCancelBetweenChunks) {
 
 TEST(Server, GracefulDrainDeliversEveryReply) {
   TestDesign sky("SkyNet");
+  const int64_t cancelled0 = status_metric("cancelled");
 
   std::mutex mu;
   std::condition_variable cv;
@@ -510,6 +585,7 @@ TEST(Server, GracefulDrainDeliversEveryReply) {
     EXPECT_EQ(replies[i].status, JobStatus::kCancelled) << "client " << i;
   }
   EXPECT_EQ(server.stats().jobs_cancelled, 4);
+  EXPECT_EQ(status_metric("cancelled") - cancelled0, 4);
   EXPECT_FALSE(server.running());
 
   // And the listener really is gone.
@@ -539,6 +615,13 @@ TEST(Server, TcpLoopbackServesJobsAndPings) {
 }
 
 TEST(Server, HostileBytesGetErrorReplyThenDisconnect) {
+  const int64_t bad_magic0 = cause_metric("bad_magic");
+  const int64_t skew0 = cause_metric("version_skew");
+  const int64_t oversized0 = cause_metric("oversized");
+  const int64_t unexpected0 = cause_metric("unexpected_type");
+  const int64_t truncated0 = cause_metric("truncated");
+  const int64_t bad_request0 = status_metric("bad_request");
+
   ServerOptions sopts;
   sopts.unix_path = socket_path("hostile");
   DsplacerServer server(sopts);
@@ -607,6 +690,15 @@ TEST(Server, HostileBytesGetErrorReplyThenDisconnect) {
   EXPECT_EQ(probe.ping(&version), "");
   EXPECT_GE(server.stats().protocol_errors, 4);
   server.stop();
+
+  // Every hostile case incremented its own cause label (stop() joined the
+  // connection threads, so the mid-frame hangup has been counted too).
+  EXPECT_EQ(cause_metric("bad_magic") - bad_magic0, 1);
+  EXPECT_EQ(cause_metric("version_skew") - skew0, 1);
+  EXPECT_EQ(cause_metric("oversized") - oversized0, 1);
+  EXPECT_EQ(cause_metric("unexpected_type") - unexpected0, 1);
+  EXPECT_EQ(cause_metric("truncated") - truncated0, 1);
+  EXPECT_EQ(status_metric("bad_request") - bad_request0, 1);
 }
 
 TEST(Server, MalformedNetlistTextIsBadRequest) {
@@ -625,6 +717,125 @@ TEST(Server, MalformedNetlistTextIsBadRequest) {
   EXPECT_EQ(reply.status, JobStatus::kBadRequest);
   EXPECT_FALSE(reply.error.empty());
   server.stop();
+}
+
+TEST(Server, MetricsHttpEndpointsAndStatsFrame) {
+  TestDesign sky("SkyNet");
+  const int64_t ok0 = status_metric("ok");
+  const int64_t scrapes0 = metric_value(metric::kScrapes);
+  const int64_t stats_req0 = metric_value(metric::kStatsRequests);
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("metrics");
+  sopts.metrics_port = 0;  // ephemeral
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+  const int mport = server.metrics_http_port();
+  ASSERT_GT(mport, 0);
+
+  // Liveness and readiness while serving.
+  std::string body;
+  int status = 0;
+  ASSERT_EQ(http_get(mport, "/healthz", &body, &status), "");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  ASSERT_EQ(http_get(mport, "/readyz", &body, &status), "");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ready\n");
+  ASSERT_EQ(http_get(mport, "/nope", &body, &status), "");
+  EXPECT_EQ(status, 404);
+
+  std::string err;
+  DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(c.connected()) << err;
+  JobReply reply;
+  ASSERT_EQ(c.submit(fast_request(sky), &reply), "");
+  ASSERT_EQ(reply.status, JobStatus::kOk) << reply.error;
+
+  // The Prometheus exposition shows the job that just ran.
+  ASSERT_EQ(http_get(mport, "/metrics", &body, &status), "");
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("# TYPE dsplacer_jobs_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("dsplacer_jobs_completed_total{status=\"ok\"} " +
+                      std::to_string(ok0 + 1)),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("dsplacer_job_e2e_us_bucket"), std::string::npos);
+  EXPECT_NE(body.find("dsplacer_stage_us_bucket{stage=\"Prototype\""),
+            std::string::npos);
+
+  // The STATS frame reports the same registry over the job socket.
+  MetricsSnapshot snap;
+  ASSERT_EQ(c.stats(&snap), "");
+  bool saw_ok = false;
+  for (const MetricSample& s : snap.samples)
+    if (s.name == std::string(metric::kJobsCompleted) + "{status=\"ok\"}") {
+      saw_ok = true;
+      EXPECT_EQ(s.value, ok0 + 1);
+    }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_EQ(metric_value(metric::kScrapes) - scrapes0, 1);
+  EXPECT_EQ(metric_value(metric::kStatsRequests) - stats_req0, 1);
+
+  // Once stopped, the metrics listener is gone too.
+  server.stop();
+  EXPECT_NE(http_get(mport, "/healthz", &body, &status), "");
+}
+
+TEST(Server, ReadyzReports503WhileDraining) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> parked{0};
+  TestDesign sky("SkyNet");
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("readyz");
+  sopts.metrics_port = 0;
+  sopts.workers = 1;
+  sopts.drain_grace_seconds = 10.0;
+  sopts.test_hook_job_start = [&](uint64_t) {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+  const int mport = server.metrics_http_port();
+
+  JobReply reply;
+  std::thread submitter([&] {
+    std::string err;
+    DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+    if (c.connected()) c.submit(fast_request(sky), &reply);
+  });
+  while (parked.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  // stop() blocks on the parked job; /readyz must flip to 503 while
+  // /metrics stays scrapeable through the drain.
+  std::thread stopper([&] { server.stop(); });
+  std::string body;
+  int status = 0;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(http_get(mport, "/readyz", &body, &status), "");
+    if (status == 503) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(body, "draining\n");
+  ASSERT_EQ(http_get(mport, "/metrics", &body, &status), "");
+  EXPECT_EQ(status, 200);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  stopper.join();
+  submitter.join();
+  EXPECT_EQ(reply.status, JobStatus::kOk) << reply.error;
 }
 
 // The acceptance soak: >=4 concurrent clients, >=20 jobs total, mixed
@@ -654,19 +865,60 @@ TEST(Server, LoopbackSoakFourClientsTwentyJobs) {
   const std::string ismart_expected =
       write_placement(ismart_wire, ismart_direct.placement);
 
+  const int64_t submitted0 = metric_value(metric::kJobsSubmitted);
+  const int64_t ok0 = status_metric("ok");
+
   ServerOptions sopts;
   sopts.unix_path = socket_path("soak");
   sopts.workers = 4;
   sopts.queue_depth = 32;
   sopts.cache_dir = dir + "/cache";
+  sopts.metrics_port = 0;
   DsplacerServer server(sopts);
   ASSERT_EQ(server.start(), "");
+  const int mport = server.metrics_http_port();
+  ASSERT_GT(mport, 0);
 
   constexpr int kClients = 4;
   constexpr int kJobsPerClient = 5;  // 20 total
   std::atomic<int> ok{0};
   std::atomic<int64_t> total_hits{0};
   std::atomic<int> mismatches{0};
+
+  // A live scraper rides along: both read paths (HTTP exposition and the
+  // STATS frame) must answer mid-run, and the submitted counter must be
+  // monotone across consecutive snapshots.
+  std::atomic<bool> done{false};
+  std::atomic<int> monotonic_violations{0};
+  std::atomic<int> scrape_failures{0};
+  std::thread scraper([&] {
+    std::string err;
+    DsplacerClient sc = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+    if (!sc.connected()) {
+      scrape_failures.fetch_add(1);
+      return;
+    }
+    int64_t last_submitted = -1;
+    while (!done.load()) {
+      MetricsSnapshot snap;
+      if (sc.stats(&snap) != "") {
+        scrape_failures.fetch_add(1);
+        return;
+      }
+      for (const MetricSample& s : snap.samples)
+        if (s.name == metric::kJobsSubmitted) {
+          if (s.value < last_submitted) monotonic_violations.fetch_add(1);
+          last_submitted = s.value;
+        }
+      std::string body;
+      int status = 0;
+      if (http_get(mport, "/metrics", &body, &status) != "" || status != 200 ||
+          body.find(metric::kJobsSubmitted) == std::string::npos)
+        scrape_failures.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
   std::vector<std::thread> threads;
   for (int ci = 0; ci < kClients; ++ci)
     threads.emplace_back([&, ci] {
@@ -688,6 +940,8 @@ TEST(Server, LoopbackSoakFourClientsTwentyJobs) {
       }
     });
   for (std::thread& t : threads) t.join();
+  done.store(true);
+  scraper.join();
   server.stop();
 
   EXPECT_EQ(ok.load(), kClients * kJobsPerClient);
@@ -695,6 +949,16 @@ TEST(Server, LoopbackSoakFourClientsTwentyJobs) {
   // Repeats of an identical job must come from the shared stage cache.
   EXPECT_GT(total_hits.load(), 0);
   EXPECT_EQ(server.stats().jobs_ok, kClients * kJobsPerClient);
+
+  // Live scraping never failed, counters only climbed, and the gauges
+  // settled back to empty once everything drained.
+  EXPECT_EQ(scrape_failures.load(), 0);
+  EXPECT_EQ(monotonic_violations.load(), 0);
+  EXPECT_EQ(metric_value(metric::kJobsSubmitted) - submitted0,
+            kClients * kJobsPerClient);
+  EXPECT_EQ(status_metric("ok") - ok0, kClients * kJobsPerClient);
+  EXPECT_EQ(metric_value(metric::kQueueDepth), 0);
+  EXPECT_EQ(metric_value(metric::kJobsInflight), 0);
 }
 
 }  // namespace

@@ -13,6 +13,11 @@
 //   3. docs/ARCHITECTURE.md and docs/TRACE_FORMAT.md each mention every
 //      canonical stage name at least once (the inverse drift: a new stage
 //      must be documented).
+//   4. Every backticked `dsplacer_*` token that looks like a metric series
+//      resolves to a name in the src/metrics/names.hpp catalog (label sets
+//      and the _bucket/_sum/_count exposition suffixes are allowed), and
+//      docs/METRICS.md mentions every catalog name at least once — so the
+//      metrics table cannot drift from what the code registers.
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +57,64 @@ std::vector<std::string> canonical_stages(const std::string& flow_hpp) {
   return stages;
 }
 
+// Pulls the canonical metric names out of the `namespace metric { ... }`
+// block of src/metrics/names.hpp. Anchored on a newline (the header's
+// leading comment mentions the block by name) and filtered to the
+// `dsplacer_` prefix so quoted fragments in comments don't leak in.
+std::vector<std::string> canonical_metrics(const std::string& names_hpp) {
+  std::vector<std::string> metrics;
+  const size_t ns = names_hpp.find("\nnamespace metric {");
+  if (ns == std::string::npos) return metrics;
+  const size_t end = names_hpp.find("}  // namespace metric", ns);
+  size_t pos = ns;
+  while (true) {
+    const size_t q1 = names_hpp.find('"', pos);
+    if (q1 == std::string::npos || q1 >= end) break;
+    const size_t q2 = names_hpp.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 >= end) break;
+    std::string name = names_hpp.substr(q1 + 1, q2 - q1 - 1);
+    if (name.rfind("dsplacer_", 0) == 0) metrics.push_back(std::move(name));
+    pos = q2 + 1;
+  }
+  return metrics;
+}
+
+// A backticked token "looks like a metric series" when it starts with the
+// registry prefix and either carries a label set or ends in one of the
+// catalog's type suffixes. Tool names (`dsplacer_stats`, `dsplacerd`)
+// never match; series names and their exposition forms always do.
+bool metric_like(const std::string& token) {
+  if (token.rfind("dsplacer_", 0) != 0) return false;
+  if (token.find('{') != std::string::npos) return true;
+  for (const char* suffix :
+       {"_total", "_us", "_depth", "_inflight", "_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (token.size() > s.size() &&
+        token.compare(token.size() - s.size(), s.size(), s) == 0)
+      return true;
+  }
+  return false;
+}
+
+// True when a metric-like token resolves to a catalog name: the token with
+// any `{labels}` stripped must equal a catalog name, optionally via one of
+// the Prometheus histogram exposition suffixes.
+bool metric_resolves(const std::string& token, const std::vector<std::string>& metrics) {
+  std::string base = token.substr(0, token.find('{'));
+  for (const std::string& m : metrics)
+    if (base == m) return true;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (base.size() > s.size() &&
+        base.compare(base.size() - s.size(), s.size(), s) == 0) {
+      const std::string stripped = base.substr(0, base.size() - s.size());
+      for (const std::string& m : metrics)
+        if (stripped == m) return true;
+    }
+  }
+  return false;
+}
+
 bool stage_like(const std::string& token, const std::vector<std::string>& stages) {
   // A token is "stage-like" when some canonical name is a case-insensitive
   // prefix of it (or vice versa) and it contains only name characters.
@@ -76,7 +139,8 @@ bool stage_like(const std::string& token, const std::vector<std::string>& stages
 }
 
 int lint_file(const fs::path& repo, const fs::path& md,
-              const std::vector<std::string>& stages) {
+              const std::vector<std::string>& stages,
+              const std::vector<std::string>& metrics) {
   const std::string text = read_file(md);
   const std::string rel = fs::relative(md, repo).string();
   int errors = 0;
@@ -121,6 +185,11 @@ int lint_file(const fs::path& repo, const fs::path& md,
         ++errors;
       }
     }
+    if (metric_like(token) && !metric_resolves(token, metrics)) {
+      std::cerr << rel << ": `" << token
+                << "` is not a registered metric name (see src/metrics/names.hpp)\n";
+      ++errors;
+    }
     pos = close + 1;
   }
   return errors;
@@ -140,6 +209,12 @@ int main(int argc, char** argv) {
     std::cerr << "docs_lint: cannot parse stage names from src/core/flow.hpp\n";
     return 2;
   }
+  const std::string names_hpp = read_file(repo / "src/metrics/names.hpp");
+  const std::vector<std::string> metrics = canonical_metrics(names_hpp);
+  if (metrics.size() < 5) {
+    std::cerr << "docs_lint: cannot parse metric names from src/metrics/names.hpp\n";
+    return 2;
+  }
 
   std::vector<fs::path> files;
   for (const char* name : {"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"})
@@ -149,7 +224,7 @@ int main(int argc, char** argv) {
       if (entry.path().extension() == ".md") files.push_back(entry.path());
 
   int errors = 0;
-  for (const fs::path& md : files) errors += lint_file(repo, md, stages);
+  for (const fs::path& md : files) errors += lint_file(repo, md, stages, metrics);
 
   // ---- 3. the architecture/trace docs cover every stage ----------------
   for (const char* doc : {"docs/ARCHITECTURE.md", "docs/TRACE_FORMAT.md"}) {
@@ -167,12 +242,29 @@ int main(int argc, char** argv) {
       }
   }
 
+  // ---- 4. docs/METRICS.md covers every registered metric ---------------
+  {
+    const fs::path p = repo / "docs/METRICS.md";
+    if (!fs::exists(p)) {
+      std::cerr << "docs/METRICS.md: missing\n";
+      ++errors;
+    } else {
+      const std::string text = read_file(p);
+      for (const std::string& m : metrics)
+        if (text.find(m) == std::string::npos) {
+          std::cerr << "docs/METRICS.md: metric `" << m << "` is undocumented\n";
+          ++errors;
+        }
+    }
+  }
+
   if (errors != 0) {
     std::cerr << "docs_lint: " << errors << " problem(s) in " << files.size()
               << " file(s)\n";
     return 1;
   }
   std::cout << "docs_lint: " << files.size() << " files clean ("
-            << stages.size() << " stage names)\n";
+            << stages.size() << " stage names, " << metrics.size()
+            << " metric names)\n";
   return 0;
 }

@@ -1,0 +1,110 @@
+// dsplacer_stats — live metrics probe for dsplacerd (docs/METRICS.md).
+//
+// Fetches a metrics snapshot from a running daemon over the STATS frame
+// (no HTTP needed) and prints it as a human table or, with --json, as a
+// machine-readable document. The same numbers are available to Prometheus
+// via --metrics-port; this tool exists for operators on the box.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "server/client.hpp"
+#include "server/socket.hpp"
+#include "util/version.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int rc) {
+  os << "dsplacer_stats (--socket <path> | --port <n>) [--json] [--version]\n"
+        "Fetches the live metrics snapshot from a running dsplacerd over a\n"
+        "STATS frame and prints it (docs/METRICS.md). --json emits the same\n"
+        "document the registry renders for machine consumers.\n";
+  return rc;
+}
+
+void print_table(const dsp::MetricsSnapshot& snap) {
+  size_t widest = 6;
+  for (const dsp::MetricSample& s : snap.samples)
+    widest = std::max(widest, s.name.size());
+  std::printf("%-*s  %-9s  %s\n", static_cast<int>(widest), "metric", "type",
+              "value");
+  for (const dsp::MetricSample& s : snap.samples) {
+    switch (s.type) {
+      case dsp::MetricType::kCounter:
+        std::printf("%-*s  %-9s  %lld\n", static_cast<int>(widest),
+                    s.name.c_str(), "counter", static_cast<long long>(s.value));
+        break;
+      case dsp::MetricType::kGauge:
+        std::printf("%-*s  %-9s  %lld\n", static_cast<int>(widest),
+                    s.name.c_str(), "gauge", static_cast<long long>(s.value));
+        break;
+      case dsp::MetricType::kHistogram:
+        std::printf("%-*s  %-9s  count %lld  sum %lld\n",
+                    static_cast<int>(widest), s.name.c_str(), "histogram",
+                    static_cast<long long>(s.count),
+                    static_cast<long long>(s.sum));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::map<std::string, std::string> flags;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--version") {
+      std::cout << dsp::version_line("dsplacer_stats") << " (protocol "
+                << dsp::kProtocolVersion << ")\n";
+      return 0;
+    }
+    if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
+    if (args[i] == "--json") {
+      flags.emplace("json", "1");
+      continue;
+    }
+    if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
+      std::cerr << "malformed flag: " << args[i] << '\n';
+      return usage(std::cerr, 2);
+    }
+    flags[args[i].substr(2)] = args[i + 1];
+    ++i;
+  }
+
+  std::string err;
+  dsp::DsplacerClient client;
+  if (flags.count("socket")) {
+    client = dsp::DsplacerClient::connect_to_unix(flags["socket"], &err);
+  } else if (flags.count("port")) {
+    // Strict: a mistyped port should fail loudly, not atoi to port 0.
+    const int port = dsp::parse_port_number(flags["port"], &err);
+    if (port < 0) {
+      std::cerr << "dsplacer_stats: --port: " << err << '\n';
+      return 2;
+    }
+    client = dsp::DsplacerClient::connect_to_tcp(port, &err);
+  }
+  if (!client.connected()) {
+    std::cerr << "dsplacer_stats: "
+              << (err.empty() ? "need --socket <path> or --port <n>" : err)
+              << '\n';
+    return 2;
+  }
+
+  dsp::MetricsSnapshot snap;
+  err = client.stats(&snap);
+  if (!err.empty()) {
+    std::cerr << "dsplacer_stats: " << err << '\n';
+    return 1;
+  }
+  if (flags.count("json"))
+    std::cout << dsp::render_json(snap);
+  else
+    print_table(snap);
+  return 0;
+}

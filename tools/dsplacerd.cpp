@@ -33,10 +33,12 @@ void on_signal(int) {
 int usage(std::ostream& os, int rc) {
   os << "dsplacerd [--socket <path>] [--tcp-port <n>] [--workers <n>]\n"
         "          [--queue-depth <n>] [--cache-dir <dir>] [--threads <n>]\n"
-        "          [--drain-grace <seconds>] [--version]\n"
+        "          [--drain-grace <seconds>] [--metrics-port <n>] [--version]\n"
         "Defaults: --socket /tmp/dsplacerd.sock, no TCP listener, 2 workers,\n"
-        "queue depth 8, caching off. --tcp-port 0 binds an ephemeral port\n"
-        "(printed on startup). See docs/SERVER.md for the wire protocol.\n";
+        "queue depth 8, caching off, no metrics listener. --tcp-port 0 and\n"
+        "--metrics-port 0 bind ephemeral ports (printed on startup). See\n"
+        "docs/SERVER.md for the wire protocol and docs/METRICS.md for the\n"
+        "metrics endpoints.\n";
   return rc;
 }
 
@@ -80,17 +82,41 @@ int main(int argc, char** argv) {
 
   dsp::ServerOptions opts;
   opts.unix_path = flags.count("socket") ? flags["socket"] : "/tmp/dsplacerd.sock";
-  if (flags.count("tcp-port")) opts.tcp_port = std::atoi(flags["tcp-port"].c_str());
-  if (flags.count("workers")) opts.workers = std::atoi(flags["workers"].c_str());
-  if (flags.count("queue-depth"))
-    opts.queue_depth = std::atoi(flags["queue-depth"].c_str());
+  // Every numeric flag is validated strictly: garbage refuses to start
+  // (exit 2) instead of atoi-clamping to something the operator never asked
+  // for — same policy as --threads / DSPLACER_THREADS.
+  std::string flag_error;
+  if (flags.count("tcp-port")) {
+    opts.tcp_port = dsp::parse_port_number(flags["tcp-port"], &flag_error);
+    if (opts.tcp_port < 0) {
+      std::cerr << "dsplacerd: --tcp-port: " << flag_error << '\n';
+      return 2;
+    }
+  }
+  if (flags.count("metrics-port")) {
+    opts.metrics_port = dsp::parse_port_number(flags["metrics-port"], &flag_error);
+    if (opts.metrics_port < 0) {
+      std::cerr << "dsplacerd: --metrics-port: " << flag_error << '\n';
+      return 2;
+    }
+  }
+  if (flags.count("workers")) {
+    opts.workers = dsp::parse_thread_count(flags["workers"], &flag_error);
+    if (opts.workers < 0) {
+      std::cerr << "dsplacerd: --workers: " << flag_error << '\n';
+      return 2;
+    }
+  }
+  if (flags.count("queue-depth")) {
+    opts.queue_depth = dsp::parse_thread_count(flags["queue-depth"], &flag_error);
+    if (opts.queue_depth < 0) {
+      std::cerr << "dsplacerd: --queue-depth: " << flag_error << '\n';
+      return 2;
+    }
+  }
   if (flags.count("cache-dir")) opts.cache_dir = flags["cache-dir"];
   if (flags.count("drain-grace"))
     opts.drain_grace_seconds = std::atof(flags["drain-grace"].c_str());
-  if (opts.workers <= 0 || opts.queue_depth <= 0) {
-    std::cerr << "dsplacerd: --workers and --queue-depth must be positive\n";
-    return 2;
-  }
 
   if (pipe(g_signal_pipe) != 0) {
     std::cerr << "dsplacerd: pipe: " << std::strerror(errno) << '\n';
@@ -110,6 +136,9 @@ int main(int argc, char** argv) {
   std::cout << dsp::version_line("dsplacerd") << " listening on " << opts.unix_path;
   if (server.port() >= 0) std::cout << " and 127.0.0.1:" << server.port();
   std::cout << std::endl;
+  // Stable machine-parseable line: the CI smoke script scrapes this port.
+  if (server.metrics_http_port() >= 0)
+    std::cout << "metrics-port " << server.metrics_http_port() << std::endl;
 
   // Park until SIGINT/SIGTERM, then drain.
   char byte = 0;
