@@ -5,11 +5,22 @@
 //   cold   - empty stage cache, every stage computed
 //   warm   - identical resubmissions served from the shared cache
 //   mixed  - four concurrent clients alternating two benchmarks
+//   fleet  - same-netlist 8-job fleets at growing in-flight depth,
+//            job-per-worker vs the pipelined stage scheduler at equal
+//            worker count (each cell starts from a fresh cache)
 // The cold/warm gap is the checkpoint cache's value to a long-lived
-// service; the mixed row shows worker-pool scaling across clients.
+// service; the mixed row shows worker-pool scaling across clients; the
+// fleet axis shows what pipelining adds on top — concurrent same-key
+// jobs serialize per stage instead of stampeding the cold cache.
+//
+// --json <path> additionally writes the fleet axis as JSON
+// (BENCH_server.json at the repo root is the committed baseline; CI
+// regenerates it as a build artifact).
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,9 +46,86 @@ JobRequest request_for(const std::string& netlist_text, double scale) {
   return req;
 }
 
+struct FleetCell {
+  std::string mode;   // "job-per-worker" or "pipelined"
+  int inflight = 0;
+  int jobs = 0;
+  double seconds = 0.0;
+  int64_t cache_hits = 0;
+  bool ok = true;
+};
+
+/// One fleet cell: its own server (fresh cache, `pipeline` per mode),
+/// `jobs` same-netlist submissions from `inflight` concurrent clients.
+FleetCell run_fleet_cell(const std::string& netlist, double scale, bool pipeline,
+                         int inflight, int jobs) {
+  FleetCell cell;
+  cell.mode = pipeline ? "pipelined" : "job-per-worker";
+  cell.inflight = inflight;
+  cell.jobs = jobs;
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "dsplacer_bench_fleet_cache";
+  std::filesystem::remove_all(cache_dir);  // every cell starts cold
+
+  ServerOptions sopts;
+  sopts.unix_path =
+      (std::filesystem::temp_directory_path() / "dsplacer_bench_fleet.sock").string();
+  sopts.workers = 4;  // equal worker count in both modes
+  sopts.queue_depth = 32;
+  sopts.cache_dir = cache_dir.string();
+  sopts.pipeline = pipeline;
+  DsplacerServer server(sopts);
+  const std::string start_err = server.start();
+  if (!start_err.empty()) {
+    std::fprintf(stderr, "bench_server: fleet: %s\n", start_err.c_str());
+    cell.ok = false;
+    return cell;
+  }
+
+  std::atomic<int64_t> hits{0};
+  std::atomic<int> failed{0};
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < inflight; ++ci)
+    threads.emplace_back([&, ci] {
+      std::string err;
+      DsplacerClient client = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+      const int share = jobs / inflight + (ci < jobs % inflight ? 1 : 0);
+      if (!client.connected()) {
+        failed.fetch_add(share);
+        return;
+      }
+      for (int j = 0; j < share; ++j) {
+        JobReply reply;
+        if (!client.submit(request_for(netlist, scale), &reply).empty() ||
+            reply.status != JobStatus::kOk)
+          failed.fetch_add(1);
+        else
+          hits.fetch_add(reply.cache_hits);
+      }
+    });
+  for (std::thread& th : threads) th.join();
+  cell.seconds = t.seconds();
+  cell.cache_hits = hits.load();
+  cell.ok = failed.load() == 0;
+  server.stop();
+  std::filesystem::remove_all(cache_dir);
+  return cell;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_server [--json <path>]\n");
+      return 2;
+    }
+  }
   const double scale = bench_scale_from_env(0.1);
   const Device dev = make_zcu104(scale);
   const std::string sky = write_netlist(make_benchmark(benchmark_by_name("SkyNet"), dev, scale));
@@ -157,6 +245,45 @@ int main() {
   }
 
   std::printf("%s\n", table.to_string().c_str());
+
+  // Fleet scaling axis: 8 jobs on one netlist, job-per-worker vs the
+  // pipelined stage scheduler at 1/2/4/8 jobs in flight.
+  constexpr int kFleetJobs = 8;
+  Table fleet_table({"mode", "inflight", "jobs", "total s", "jobs/s", "cache hits"});
+  std::vector<FleetCell> cells;
+  bool fleet_ok = true;
+  for (const bool pipeline : {false, true}) {
+    for (const int inflight : {1, 2, 4, 8}) {
+      const FleetCell cell = run_fleet_cell(sky, scale, pipeline, inflight, kFleetJobs);
+      fleet_ok = fleet_ok && cell.ok;
+      fleet_table.add_row({cell.mode, std::to_string(cell.inflight),
+                           std::to_string(cell.jobs), Table::fmt(cell.seconds, 3),
+                           Table::fmt(cell.jobs / cell.seconds, 2),
+                           std::to_string(cell.cache_hits)});
+      cells.push_back(cell);
+    }
+  }
+  std::printf("%s\n", fleet_table.to_string().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    jf << "{\n  \"bench\": \"server_fleet\",\n  \"scale\": " << scale
+       << ",\n  \"workers\": 4,\n  \"netlist\": \"SkyNet\",\n  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const FleetCell& c = cells[i];
+      jf << "    {\"mode\": \"" << c.mode << "\", \"inflight\": " << c.inflight
+         << ", \"jobs\": " << c.jobs << ", \"seconds\": " << c.seconds
+         << ", \"jobs_per_s\": " << (c.jobs / c.seconds)
+         << ", \"cache_hits\": " << c.cache_hits << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    jf << "  ]\n}\n";
+    if (!jf)
+      std::fprintf(stderr, "bench_server: cannot write %s\n", json_path.c_str());
+    else
+      std::printf("wrote %s\n", json_path.c_str());
+  }
+
   server.stop();
   const ServerStats stats = server.stats();
   std::printf("server stats: %lld ok, %lld failed, %lld busy\n",
@@ -164,5 +291,5 @@ int main() {
               static_cast<long long>(stats.jobs_failed),
               static_cast<long long>(stats.busy_rejections));
   std::filesystem::remove_all(cache_dir);
-  return stats.jobs_failed == 0 ? 0 : 1;
+  return stats.jobs_failed == 0 && fleet_ok ? 0 : 1;
 }

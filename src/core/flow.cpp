@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/legalize_intracol.hpp"
+#include "core/stage_scheduler.hpp"
+#include "graph/graph_pool.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/names.hpp"
 #include "netlist/netlist_io.hpp"
@@ -30,15 +32,47 @@ FlowContext::FlowContext(const Netlist& netlist, const Device& device,
 }
 
 const CsrGraph& FlowContext::frozen_graph() {
-  if (!csr_) {
+  if (csr_) return *csr_;
+  if (shared_csr_) return *shared_csr_;
+  if (share_frozen_graph) {
     Timer t;
-    csr_.emplace(CsrGraph::freeze(nl->to_digraph()));
-    // Root counter: stage snapshots capture only stage-node counters, so
-    // wall time here can never leak into a checkpoint.
-    trace.root().add_counter("graph_freeze_ms",
-                             static_cast<int64_t>(std::llround(t.seconds() * 1e3)));
+    bool was_shared = false;
+    shared_csr_ = global_graph_pool().acquire(
+        netlist_content_hash(*nl), [this] { return nl->to_digraph(); }, &was_shared);
+    // Root counters: stage snapshots capture only stage-node counters, so
+    // none of this can leak into a checkpoint. A pool hit reports
+    // graph_shared (the freeze was paid by an earlier job); a miss paid
+    // the freeze and reports its wall time like the private path.
+    if (was_shared)
+      trace.root().add_counter("graph_shared", 1);
+    else
+      trace.root().add_counter("graph_freeze_ms",
+                               static_cast<int64_t>(std::llround(t.seconds() * 1e3)));
+    ws_acquired_base_ = shared_csr_->workspaces().acquired();
+    ws_created_base_ = shared_csr_->workspaces().created();
+    return *shared_csr_;
   }
+  Timer t;
+  csr_.emplace(CsrGraph::freeze(nl->to_digraph()));
+  // Root counter: stage snapshots capture only stage-node counters, so
+  // wall time here can never leak into a checkpoint.
+  trace.root().add_counter("graph_freeze_ms",
+                           static_cast<int64_t>(std::llround(t.seconds() * 1e3)));
   return *csr_;
+}
+
+void FlowContext::record_workspace_counters() {
+  const CsrGraph* csr = frozen_graph_if_built();
+  if (csr == nullptr) return;
+  // Workspace-reuse instrumentation: `created` is thread-count dependent
+  // (one workspace per concurrent lane), so it lives at the root — like
+  // peak_threads — and never enters a stage checkpoint. Deltas against the
+  // acquisition baseline keep the numbers per-job when the graph is shared
+  // (concurrent sharers may interleave, so treat them as approximate then).
+  trace.root().add_counter("workspace_acquired",
+                           csr->workspaces().acquired() - ws_acquired_base_);
+  trace.root().add_counter("workspace_created",
+                           csr->workspaces().created() - ws_created_base_);
 }
 
 namespace {
@@ -283,27 +317,39 @@ void stage_prototype(FlowContext& ctx) {
   ctx.placement = ctx.host->place_full();
 }
 
-void stage_extract(FlowContext& ctx) {
+ExtractPrep extract_prepare(FlowContext& ctx) {
   const Netlist& nl = *ctx.nl;
+  ExtractPrep prep;
   ctx.is_datapath.assign(static_cast<size_t>(nl.num_cells()), 0);
   if (ctx.opts.use_ground_truth_roles || ctx.training->empty()) {
     for (CellId c = 0; c < nl.num_cells(); ++c)
       ctx.is_datapath[static_cast<size_t>(c)] =
           nl.cell(c).type == CellType::kDsp && nl.cell(c).role == DspRole::kDatapath;
-  } else {
-    FeatureOptions fopts = ctx.opts.features;
-    fopts.seed = ctx.seed;
-    const DesignGraphData target =
-        build_design_data(nl, fopts, ctx.pool, &ctx.frozen_graph(), ctx.cancel);
-    // Mid-stage cancellation: a cancelled extraction holds meaningless
-    // partial features — bail before spending the GCN training budget.
-    if (ctx.cancel && ctx.cancel()) {
-      ctx.error = "cancelled";
-      ctx.trace.root().add_counter("cancelled", 1);
-      return;
-    }
-    ctx.is_datapath = predict_datapath_dsps(*ctx.training, target, ctx.opts.gcn);
+    return prep;
   }
+  FeatureOptions fopts = ctx.opts.features;
+  fopts.seed = ctx.seed;
+  prep.target = build_design_data(nl, fopts, ctx.pool, &ctx.frozen_graph(), ctx.cancel);
+  // Mid-stage cancellation: a cancelled extraction holds meaningless
+  // partial features — bail before spending the GCN training budget.
+  if (ctx.cancel && ctx.cancel()) {
+    ctx.error = "cancelled";
+    ctx.trace.root().add_counter("cancelled", 1);
+    return prep;
+  }
+  prep.need_gcn = true;
+  return prep;
+}
+
+void extract_classify(FlowContext& ctx, const ExtractPrep& prep) {
+  if (!prep.need_gcn) return;
+  const std::shared_ptr<TrainedDatapathGcn> model =
+      global_gcn_weights().get_or_train(*ctx.training, prep.target, ctx.opts.gcn);
+  ctx.is_datapath = predict_datapath(*model);
+}
+
+void extract_finish(FlowContext& ctx) {
+  const Netlist& nl = *ctx.nl;
   // A DSP sharing a cascade chain with datapath DSPs must travel with the
   // chain regardless of the classifier's call on it.
   for (int ci = 0; ci < nl.num_chains(); ++ci) {
@@ -338,6 +384,14 @@ void stage_extract(FlowContext& ctx) {
   ctx.trace.add_counter("dsp_graph_edges", ctx.dsp_graph_edges);
   ctx.trace.add_counter("datapath_dsps", ctx.num_datapath_dsps);
   ctx.trace.add_counter("control_dsps", ctx.num_control_dsps);
+}
+
+void stage_extract(FlowContext& ctx) {
+  const ExtractPrep prep = extract_prepare(ctx);
+  if (!ctx.error.empty()) return;
+  extract_classify(ctx, prep);
+  if (!ctx.error.empty()) return;
+  extract_finish(ctx);
 }
 
 void stage_dsp_place(FlowContext& ctx) {
@@ -377,7 +431,9 @@ void stage_route_report(FlowContext& ctx) {
 std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts) {
   std::vector<FlowStage> stages;
   stages.push_back({stage::kPrototype, phase::kPrototype, stage_prototype});
-  stages.push_back({stage::kExtract, phase::kExtraction, stage_extract});
+  // Extract is batchable: the scheduler may claim every job parked there at
+  // once and serve them with one pooled-GCN forward (core/stage_scheduler.cpp).
+  stages.push_back({stage::kExtract, phase::kExtraction, stage_extract, /*batchable=*/true});
   // Fig. 6 alternation: re-entering the same stage names accumulates their
   // trace nodes (entered counts the rounds).
   for (int outer = 0; outer < opts.outer_iterations; ++outer) {
@@ -388,20 +444,19 @@ std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts) {
   return stages;
 }
 
-DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) {
-  Timer total;
+FlowProgress flow_begin(FlowContext& ctx, const std::vector<FlowStage>& stages) {
+  FlowProgress prog;
   ctx.pool->reset_peak();
   ctx.trace.root().add_counter("threads", ctx.pool->num_threads());
 
-  const bool caching = ctx.cache.enabled();
-  uint64_t key = caching ? flow_base_key(ctx) : 0;
+  prog.caching = ctx.cache.enabled();
+  prog.key = prog.caching ? flow_base_key(ctx) : 0;
 
   // --resume-from barrier: stages before the first occurrence of the named
   // stage must load from cache; the named stage onward recompute even when
   // a checkpoint exists.
-  const bool resuming = !ctx.opts.resume_from.empty();
-  size_t resume_at = 0;
-  if (resuming) {
+  prog.resuming = !ctx.opts.resume_from.empty();
+  if (prog.resuming) {
     size_t found = stages.size();
     for (size_t i = 0; i < stages.size(); ++i)
       if (ctx.opts.resume_from == stages[i].name) {
@@ -410,77 +465,91 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
       }
     if (found == stages.size())
       ctx.error = "resume-from: unknown stage '" + ctx.opts.resume_from + "'";
-    else if (!caching)
+    else if (!prog.caching)
       ctx.error = "resume-from requires a cache directory";
     else
-      resume_at = found;
+      prog.resume_at = found;
   }
+  return prog;
+}
 
+bool flow_gate(FlowContext& ctx) {
+  if (!ctx.error.empty()) return false;  // fail-fast: later stages are skipped
+  if (ctx.cancel && ctx.cancel()) {
+    ctx.error = "cancelled";
+    ctx.trace.root().add_counter("cancelled", 1);
+    return false;
+  }
+  return true;
+}
+
+bool flow_try_restore(FlowContext& ctx, const FlowStage& s, size_t index,
+                      FlowProgress& prog) {
+  if (!prog.caching) return false;
+  prog.key = chain_stage_key(prog.key, s.name, ctx);
+  if (prog.resuming && index >= prog.resume_at) return false;  // always recompute
+
+  StageSnapshot snap;
+  Timer load_timer;
+  const std::string verdict = ctx.cache.load(s.name, prog.key, *ctx.nl, *ctx.dev, &snap);
+  if (verdict.empty()) {
+    restore_snapshot(ctx, std::move(snap));
+    ctx.trace.add_counter("cache_hit", 1);
+    ctx.trace.add_counter("cache_load_us", micros(load_timer));
+    cache_metrics().hit.inc();
+    return true;
+  }
+  if (verdict != "absent") {
+    // A corrupt/version-skewed checkpoint degrades to a miss.
+    LOG_WARN("flow", "discarding bad checkpoint for %s: %s", s.name, verdict.c_str());
+    ctx.trace.add_counter("cache_bad", 1);
+    cache_metrics().bad.inc();
+  }
+  if (index < prog.resume_at) {
+    ctx.error = "resume-from " + ctx.opts.resume_from +
+                ": no usable checkpoint for upstream stage " + s.name;
+    return true;  // barrier failure: the stage body must not run
+  }
+  ctx.trace.add_counter("cache_miss", 1);
+  cache_metrics().miss.inc();
+  return false;
+}
+
+void flow_store(FlowContext& ctx, const FlowStage& s, const FlowProgress& prog,
+                const std::vector<std::pair<std::string, int64_t>>& counters_before) {
+  Timer store_timer;
+  const std::string store_err = ctx.cache.store(
+      s.name, prog.key,
+      capture_snapshot(ctx, s.name, prog.key,
+                       counter_delta(counters_before, ctx.trace.current().counters)));
+  if (!store_err.empty())
+    LOG_WARN("flow", "cannot store checkpoint for %s: %s", s.name, store_err.c_str());
+  else
+    ctx.trace.add_counter("cache_store_us", micros(store_timer));
+}
+
+void flow_drive_sequential(FlowContext& ctx, const std::vector<FlowStage>& stages,
+                           FlowProgress& prog) {
   for (size_t i = 0; i < stages.size(); ++i) {
-    if (!ctx.error.empty()) break;  // fail-fast: later stages are skipped
-    if (ctx.cancel && ctx.cancel()) {
-      ctx.error = "cancelled";
-      ctx.trace.root().add_counter("cancelled", 1);
-      break;
-    }
+    if (!flow_gate(ctx)) break;
     const FlowStage& s = stages[i];
     ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
-    if (!caching) {
+    if (!prog.caching) {
       s.run(ctx);
       continue;
     }
-
-    key = chain_stage_key(key, s.name, ctx);
-    if (!resuming || i < resume_at) {
-      StageSnapshot snap;
-      Timer load_timer;
-      const std::string verdict = ctx.cache.load(s.name, key, *ctx.nl, *ctx.dev, &snap);
-      if (verdict.empty()) {
-        restore_snapshot(ctx, std::move(snap));
-        ctx.trace.add_counter("cache_hit", 1);
-        ctx.trace.add_counter("cache_load_us", micros(load_timer));
-        cache_metrics().hit.inc();
-        continue;
-      }
-      if (verdict != "absent") {
-        // A corrupt/version-skewed checkpoint degrades to a miss.
-        LOG_WARN("flow", "discarding bad checkpoint for %s: %s", s.name, verdict.c_str());
-        ctx.trace.add_counter("cache_bad", 1);
-        cache_metrics().bad.inc();
-      }
-      if (i < resume_at) {
-        ctx.error = "resume-from " + ctx.opts.resume_from +
-                    ": no usable checkpoint for upstream stage " + s.name;
-        continue;
-      }
-      ctx.trace.add_counter("cache_miss", 1);
-      cache_metrics().miss.inc();
-    }
-
+    if (flow_try_restore(ctx, s, i, prog)) continue;
     const auto counters_before = ctx.trace.current().counters;
     s.run(ctx);
     if (!ctx.error.empty()) continue;  // failed stages are never checkpointed
-
-    Timer store_timer;
-    const std::string store_err = ctx.cache.store(
-        s.name, key,
-        capture_snapshot(ctx, s.name, key,
-                         counter_delta(counters_before, ctx.trace.current().counters)));
-    if (!store_err.empty())
-      LOG_WARN("flow", "cannot store checkpoint for %s: %s", s.name, store_err.c_str());
-    else
-      ctx.trace.add_counter("cache_store_us", micros(store_timer));
+    flow_store(ctx, s, prog, counters_before);
   }
+}
 
-  ctx.trace.root().seconds = total.seconds();
+DsplacerResult flow_finish(FlowContext& ctx, FlowProgress& prog) {
+  ctx.trace.root().seconds = prog.total.seconds();
   ctx.trace.root().max_counter("peak_threads", ctx.pool->peak_active());
-  if (const CsrGraph* csr = ctx.frozen_graph_if_built()) {
-    // Workspace-reuse instrumentation: `created` is thread-count dependent
-    // (one workspace per concurrent lane), so it lives at the root — like
-    // peak_threads — and never enters a stage checkpoint.
-    ctx.trace.root().add_counter("workspace_acquired", csr->workspaces().acquired());
-    ctx.trace.root().add_counter("workspace_created", csr->workspaces().created());
-  }
+  ctx.record_workspace_counters();
 
   DsplacerResult result;
   result.num_datapath_dsps = ctx.num_datapath_dsps;
@@ -501,6 +570,16 @@ DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) 
   if (!result.legality_error.empty())
     LOG_ERROR("dsplacer", "illegal result: %s", result.legality_error.c_str());
   return result;
+}
+
+DsplacerResult run_flow_sequential(FlowContext& ctx, const std::vector<FlowStage>& stages) {
+  FlowProgress prog = flow_begin(ctx, stages);
+  flow_drive_sequential(ctx, stages, prog);
+  return flow_finish(ctx, prog);
+}
+
+DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages) {
+  return global_stage_scheduler().run(ctx, stages);
 }
 
 }  // namespace dsp

@@ -13,9 +13,18 @@
 //
 // Every stage is timed into a nested RunTrace (exported as JSON by the CLI)
 // and mirrored into the flat Fig. 8 PhaseProfile.
+//
+// Two drivers execute a stage list: run_flow_sequential walks it on the
+// calling thread (the original model), and the StageScheduler
+// (core/stage_scheduler.hpp) streams jobs through per-stage elements so
+// concurrent jobs occupy different stages. Both are built from the same
+// flow_begin / flow_gate / flow_try_restore / flow_store / flow_finish
+// helpers below, so caching, tracing, and cancellation semantics cannot
+// diverge — a pipelined job is bit-identical to a sequential one.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -63,14 +72,29 @@ struct FlowContext {
   /// Unset = never cancelled.
   std::function<bool()> cancel;
 
+  /// When set (the stage scheduler's default), frozen_graph() resolves
+  /// through the process-wide SharedGraphPool keyed by netlist content, so
+  /// co-resident jobs on the same netlist freeze once. A pool hit is
+  /// reported in the trace root as a `graph_shared` counter instead of
+  /// `graph_freeze_ms`.
+  bool share_frozen_graph = false;
+
   /// Frozen CSR view of nl->to_digraph(), built lazily on first use and
   /// shared by every kernel for the rest of the run (graph/csr_graph.hpp).
   /// The freeze wall time lands in the trace root as `graph_freeze_ms`.
   const CsrGraph& frozen_graph();
 
-  /// The frozen graph if a stage already built it, else nullptr. run_flow
-  /// uses this to report workspace counters without forcing a freeze.
-  const CsrGraph* frozen_graph_if_built() const { return csr_ ? &*csr_ : nullptr; }
+  /// The frozen graph if a stage already built it, else nullptr. The flow
+  /// epilogue uses this to report workspace counters without forcing a
+  /// freeze.
+  const CsrGraph* frozen_graph_if_built() const {
+    return csr_ ? &*csr_ : shared_csr_.get();
+  }
+
+  /// Adds this run's workspace-reuse counters to the trace root, relative
+  /// to the baseline captured when the graph was acquired (a pool-shared
+  /// graph's absolute counters span every job that used it).
+  void record_workspace_counters();
 
   // ---- instrumentation ----
   RunTrace trace{"dsplacer"};
@@ -88,15 +112,21 @@ struct FlowContext {
   bool intercol_used_ilp = false;
 
  private:
-  std::optional<CsrGraph> csr_;  // backs frozen_graph()
+  std::optional<CsrGraph> csr_;                // backs frozen_graph() (private)
+  std::shared_ptr<const CsrGraph> shared_csr_; // backs frozen_graph() (pooled)
+  int64_t ws_acquired_base_ = 0;  // workspace counters at graph acquisition
+  int64_t ws_created_base_ = 0;
 };
 
 /// One named pipeline stage. `phase` is the flat Fig. 8 bucket its wall
 /// time accumulates into (stage names can repeat; times accumulate).
+/// `batchable` marks stages the scheduler may claim several parked jobs
+/// for at once (Extract: one GCN forward over the whole batch).
 struct FlowStage {
   const char* name;
   const char* phase;
   std::function<void(FlowContext&)> run;
+  bool batchable = false;
 };
 
 /// Canonical stage names (trace-tree node names).
@@ -116,6 +146,31 @@ void stage_dsp_place(FlowContext& ctx);
 void stage_replace(FlowContext& ctx);
 void stage_route_report(FlowContext& ctx);
 
+// ---- Extract, split for the scheduler's batched element -------------------
+// stage_extract == prepare; classify; finish. The scheduler interleaves the
+// three steps across the jobs it claimed together so one pooled model and
+// one batched forward serve every job whose GCN problem key matches.
+
+/// Output of extract_prepare: `need_gcn` is false on the ground-truth-roles
+/// path (ctx.is_datapath is already final and classify must be skipped);
+/// otherwise `target` holds the features the classifier consumes.
+struct ExtractPrep {
+  bool need_gcn = false;
+  DesignGraphData target;
+};
+
+/// Roles-or-features: everything stage_extract does before the GCN call.
+/// Polls ctx.cancel after feature extraction (sets error "cancelled").
+ExtractPrep extract_prepare(FlowContext& ctx);
+
+/// Resolves datapath roles through the process-wide GCN weights pool
+/// (training on a pool miss). No-op when !prep.need_gcn.
+void extract_classify(FlowContext& ctx, const ExtractPrep& prep);
+
+/// Chain closure + DSP-graph construction and pruning: everything
+/// stage_extract does after classification.
+void extract_finish(FlowContext& ctx);
+
 /// The standard DSPlacer pipeline for `opts`: Prototype, Extract,
 /// outer_iterations x (DspPlace, Replace), Route/Report.
 std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts);
@@ -132,6 +187,52 @@ uint64_t flow_base_key(const FlowContext& ctx);
 /// the Fig. 6 alternation get distinct keys without positional bookkeeping.
 uint64_t chain_stage_key(uint64_t prev, const char* stage_name, const FlowContext& ctx);
 
+// ---- flow driver building blocks ------------------------------------------
+// Both drivers (sequential loop and stage scheduler) are composed from
+// these five helpers; the per-stage body between them is always
+//   gate -> [try_restore ->] run -> [store]
+// under one ScopedStage per visit.
+
+/// Driver-side bookkeeping for one traversal of a stage list.
+struct FlowProgress {
+  Timer total;           // wall clock of the whole flow
+  bool caching = false;
+  uint64_t key = 0;      // chained checkpoint key through the stages visited
+  bool resuming = false;
+  size_t resume_at = 0;  // index of opts.resume_from's first occurrence
+};
+
+/// Flow prologue: peak-thread reset, `threads` root counter, base key, and
+/// --resume-from validation (which may set ctx.error).
+FlowProgress flow_begin(FlowContext& ctx, const std::vector<FlowStage>& stages);
+
+/// Pre-stage gate: false when the flow must stop (a prior stage errored,
+/// or ctx.cancel fired — recorded as error "cancelled" + root counter).
+/// The drivers poll cancellation exactly once per stage boundary here.
+bool flow_gate(FlowContext& ctx);
+
+/// Advances prog.key across `s` and, when a usable checkpoint exists,
+/// restores it (cache_hit). Returns true when the stage body must NOT run:
+/// a restore happened, or the --resume-from barrier failed (ctx.error
+/// set). Call inside the stage's ScopedStage; `index` is the stage's
+/// position for the resume barrier. No-op returning false when !caching.
+bool flow_try_restore(FlowContext& ctx, const FlowStage& s, size_t index,
+                      FlowProgress& prog);
+
+/// Stores the just-run stage's snapshot under prog.key with the counters
+/// it added beyond `counters_before` (captured from the open stage node
+/// before the body ran). Call only after a successful run with caching on.
+void flow_store(FlowContext& ctx, const FlowStage& s, const FlowProgress& prog,
+                const std::vector<std::pair<std::string, int64_t>>& counters_before);
+
+/// The classic in-order loop over `stages` on the calling thread.
+void flow_drive_sequential(FlowContext& ctx, const std::vector<FlowStage>& stages,
+                           FlowProgress& prog);
+
+/// Flow epilogue: total wall time, peak_threads/workspace root counters,
+/// result assembly, and DSP legality validation.
+DsplacerResult flow_finish(FlowContext& ctx, FlowProgress& prog);
+
 /// Runs `stages` over `ctx`: times each stage into ctx.trace/ctx.profile,
 /// stops at the first stage error, validates DSP legality, and assembles
 /// the DsplacerResult (placement, profile, trace, counters).
@@ -143,6 +244,12 @@ uint64_t chain_stage_key(uint64_t prev, const char* stage_name, const FlowContex
 /// discarded with a warning (`cache_bad`) and recomputed. With
 /// ctx.opts.resume_from set, stages before the named one must hit (error
 /// otherwise) and the named stage onward always recompute.
+DsplacerResult run_flow_sequential(FlowContext& ctx, const std::vector<FlowStage>& stages);
+
+/// Same contract and bit-identical results, but executed as a single job
+/// through the process-wide StageScheduler (core/stage_scheduler.hpp), so
+/// every run_flow caller — CLI, tests, tools — shares warm state with any
+/// other job in flight.
 DsplacerResult run_flow(FlowContext& ctx, const std::vector<FlowStage>& stages);
 
 }  // namespace dsp

@@ -1,0 +1,356 @@
+#include "core/stage_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <string_view>
+#include <utility>
+
+#include "extract/classifier.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "util/log.hpp"
+
+namespace dsp {
+
+namespace {
+
+int64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Counter& sched_jobs_counter() {
+  static Counter& c = global_metrics().counter(
+      metric::kSchedJobs, "Jobs admitted to the stage scheduler");
+  return c;
+}
+
+Histogram& batch_size_histogram() {
+  static Histogram& h = global_metrics().histogram(
+      metric::kExtractBatchSize,
+      "Jobs claimed together per batchable-stage visit",
+      {1, 2, 4, 8, 16, 32});
+  return h;
+}
+
+}  // namespace
+
+/// One in-flight flow. `next` is the index of the stage the job is parked
+/// for; prog carries the chained checkpoint key across elements. All
+/// fields are handed between element threads under StageScheduler::mu_
+/// (the queues), which establishes the necessary happens-before edges; the
+/// promise hands the finished job back to its run() caller.
+struct StageScheduler::Job {
+  uint64_t id = 0;
+  FlowContext* ctx = nullptr;
+  std::vector<FlowStage> stages;
+  size_t next = 0;
+  FlowProgress prog;
+  std::promise<void> done;
+  std::chrono::steady_clock::time_point parked_at;
+};
+
+/// One per-stage-name pipeline element: a FIFO of parked jobs drained by a
+/// dedicated thread. Single-threaded by design — that is what serializes
+/// same-key jobs so checkpoint dedup works.
+struct StageScheduler::Element {
+  std::string name;
+  std::deque<std::shared_ptr<Job>> queue;
+  std::condition_variable cv;
+  std::thread thread;
+  Gauge* occupancy = nullptr;      // kStageJobs{stage=...}
+  Histogram* queue_wait = nullptr; // kStageQueueWaitUs{stage=...}
+};
+
+StageScheduler::StageScheduler(SchedulerOptions opts) : opts_(std::move(opts)) {}
+
+StageScheduler::~StageScheduler() { stop(); }
+
+StageScheduler::Element& StageScheduler::element_locked(const std::string& name) {
+  auto it = elements_.find(name);
+  if (it != elements_.end()) return *it->second;
+  auto e = std::make_unique<Element>();
+  e->name = name;
+  e->occupancy = &global_metrics().gauge(
+      std::string(metric::kStageJobs) + "{stage=\"" + name + "\"}",
+      "Jobs parked or running at this pipeline stage");
+  e->queue_wait = &global_metrics().histogram(
+      std::string(metric::kStageQueueWaitUs) + "{stage=\"" + name + "\"}",
+      "Microseconds a job waited in this stage's queue before its visit ran",
+      default_latency_buckets_us());
+  Element* raw = e.get();
+  e->thread = std::thread([this, raw] { element_loop(raw); });
+  Element& ref = *e;
+  elements_.emplace(name, std::move(e));
+  return ref;
+}
+
+void StageScheduler::enqueue_locked(Element& e, const std::shared_ptr<Job>& job) {
+  job->parked_at = std::chrono::steady_clock::now();
+  e.occupancy->add();
+  e.queue.push_back(job);
+  e.cv.notify_one();
+}
+
+DsplacerResult StageScheduler::run(FlowContext& ctx, const std::vector<FlowStage>& stages) {
+  if (opts_.share_graphs) ctx.share_frozen_graph = true;
+  auto job = std::make_shared<Job>();
+  job->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  job->ctx = &ctx;
+  job->stages = stages;
+  job->prog = flow_begin(ctx, stages);  // may set ctx.error (resume-from)
+
+  std::future<void> parked;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stopping_ && !stages.empty()) {
+      parked = job->done.get_future();
+      sched_jobs_counter().inc();
+      ++inflight_;
+      enqueue_locked(element_locked(stages[0].name), job);
+    }
+  }
+  if (!parked.valid()) {
+    // Stopped (or an empty stage list): degrade to the sequential driver.
+    flow_drive_sequential(ctx, stages, job->prog);
+    return flow_finish(ctx, job->prog);
+  }
+  parked.wait();
+  return flow_finish(ctx, job->prog);
+}
+
+void StageScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    for (auto& [name, e] : elements_) e->cv.notify_all();
+  }
+  // Draining jobs can still create elements (a job advancing into a stage
+  // none visited before), so join in passes until no joinable thread is
+  // left.
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& [name, e] : elements_) {
+        if (e->thread.joinable()) {
+          t = std::move(e->thread);
+          e->cv.notify_all();
+          break;
+        }
+      }
+    }
+    if (!t.joinable()) break;
+    t.join();
+  }
+}
+
+void StageScheduler::element_loop(Element* e) {
+  set_log_thread_tag("stage:" + e->name);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // A stopping element with an empty queue must keep waiting while any
+    // job is still in flight elsewhere — it may yet advance into this
+    // stage. finish() wakes every element when the last job completes.
+    e->cv.wait(lk, [&] {
+      return !e->queue.empty() || (stopping_ && inflight_ == 0);
+    });
+    if (e->queue.empty()) return;  // stopping_ and nothing left to drain
+
+    std::vector<std::shared_ptr<Job>> claimed;
+    claimed.push_back(e->queue.front());
+    e->queue.pop_front();
+    const FlowStage& s0 = claimed[0]->stages[claimed[0]->next];
+    // Batch claim: only Extract's decomposition (prepare/classify/finish)
+    // is known to the scheduler, so `batchable` is honored there only.
+    const bool can_batch =
+        s0.batchable && std::string_view(s0.name) == stage::kExtract;
+    if (can_batch) {
+      while (static_cast<int>(claimed.size()) < opts_.max_batch &&
+             !e->queue.empty() &&
+             e->queue.front()->stages[e->queue.front()->next].batchable) {
+        claimed.push_back(e->queue.front());
+        e->queue.pop_front();
+      }
+    }
+    for (const auto& j : claimed) e->queue_wait->observe(us_since(j->parked_at));
+    lk.unlock();
+    if (can_batch) {
+      batch_size_histogram().observe(static_cast<int64_t>(claimed.size()));
+      process_batch(*e, std::move(claimed));
+    } else {
+      process_single(*e, claimed[0]);
+    }
+    lk.lock();
+  }
+}
+
+void StageScheduler::process_single(Element& e, const std::shared_ptr<Job>& job) {
+  FlowContext& ctx = *job->ctx;
+  if (!flow_gate(ctx)) {
+    finish(e, job);
+    return;
+  }
+  const FlowStage& s = job->stages[job->next];
+  if (opts_.test_hook_stage_start) opts_.test_hook_stage_start(job->id, s.name);
+  {
+    ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
+    if (!job->prog.caching) {
+      s.run(ctx);
+    } else if (!flow_try_restore(ctx, s, job->next, job->prog)) {
+      const auto counters_before = ctx.trace.current().counters;
+      s.run(ctx);
+      if (ctx.error.empty()) flow_store(ctx, s, job->prog, counters_before);
+    }
+  }
+  advance(e, job);
+}
+
+void StageScheduler::process_batch(Element& e, std::vector<std::shared_ptr<Job>> claimed) {
+  // A member whose stage visit is actually running this round. Its
+  // ScopedStage spans every sub-phase — exactly one trace-node entry per
+  // visit, same as the sequential driver.
+  struct Member {
+    std::shared_ptr<Job> job;
+    std::unique_ptr<ScopedStage> scope;
+    std::vector<std::pair<std::string, int64_t>> before;
+    ExtractPrep prep;
+    bool store = false;
+  };
+  std::vector<Member> live;
+  std::vector<std::shared_ptr<Job>> deferred;
+  std::vector<uint64_t> running_keys;
+
+  // Gate + restore. A claimed job whose prospective checkpoint key is
+  // already being computed by an earlier member defers: it retries the
+  // restore after that member stores, reproducing what element FIFO order
+  // gives same-key jobs arriving one visit apart.
+  for (const auto& job : claimed) {
+    FlowContext& ctx = *job->ctx;
+    if (!flow_gate(ctx)) {
+      finish(e, job);
+      continue;
+    }
+    const FlowStage& s = job->stages[job->next];
+    if (opts_.test_hook_stage_start) opts_.test_hook_stage_start(job->id, s.name);
+    if (job->prog.caching) {
+      const uint64_t prospective = chain_stage_key(job->prog.key, s.name, ctx);
+      if (std::find(running_keys.begin(), running_keys.end(), prospective) !=
+          running_keys.end()) {
+        deferred.push_back(job);
+        continue;
+      }
+    }
+    Member m;
+    m.job = job;
+    m.scope = std::make_unique<ScopedStage>(ctx.trace, s.name, &ctx.profile, s.phase);
+    if (job->prog.caching) {
+      if (flow_try_restore(ctx, s, job->next, job->prog)) {
+        m.scope.reset();
+        advance(e, job);
+        continue;
+      }
+      running_keys.push_back(job->prog.key);
+      m.before = ctx.trace.current().counters;
+      m.store = true;
+    }
+    live.push_back(std::move(m));
+  }
+
+  // Prepare: roles or features, per member.
+  for (Member& m : live) m.prep = extract_prepare(*m.job->ctx);
+
+  // Classify: group members by transductive GCN problem and run one
+  // batched eval forward per group (bit-identical per copy).
+  struct Group {
+    uint64_t key;
+    std::vector<Member*> members;
+  };
+  std::vector<Group> groups;
+  for (Member& m : live) {
+    FlowContext& ctx = *m.job->ctx;
+    if (!ctx.error.empty() || !m.prep.need_gcn) continue;
+    const uint64_t key = gcn_problem_key(*ctx.training, m.prep.target, ctx.opts.gcn);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const Group& g) { return g.key == key; });
+    if (it == groups.end()) {
+      groups.push_back({key, {&m}});
+    } else {
+      it->members.push_back(&m);
+    }
+  }
+  for (Group& g : groups) {
+    FlowContext& lead = *g.members[0]->job->ctx;
+    const std::shared_ptr<TrainedDatapathGcn> model = global_gcn_weights().get_or_train(
+        *lead.training, g.members[0]->prep.target, lead.opts.gcn);
+    std::vector<std::vector<char>> outs =
+        predict_datapath_batched(*model, static_cast<int>(g.members.size()));
+    for (size_t i = 0; i < g.members.size(); ++i)
+      g.members[i]->job->ctx->is_datapath = std::move(outs[i]);
+  }
+
+  // Finish + store + route, per member.
+  for (Member& m : live) {
+    FlowContext& ctx = *m.job->ctx;
+    if (ctx.error.empty()) {
+      extract_finish(ctx);
+      if (ctx.error.empty() && m.store)
+        flow_store(ctx, m.job->stages[m.job->next], m.job->prog, m.before);
+    }
+    m.scope.reset();
+    advance(e, m.job);
+  }
+
+  // Deferred retries: the runner of this key has stored by now, so this is
+  // normally a cache hit; if the store failed, fall back to the full body.
+  for (const auto& job : deferred) {
+    FlowContext& ctx = *job->ctx;
+    if (!flow_gate(ctx)) {
+      finish(e, job);
+      continue;
+    }
+    const FlowStage& s = job->stages[job->next];
+    {
+      ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
+      if (!flow_try_restore(ctx, s, job->next, job->prog)) {
+        const auto counters_before = ctx.trace.current().counters;
+        s.run(ctx);
+        if (ctx.error.empty()) flow_store(ctx, s, job->prog, counters_before);
+      }
+    }
+    advance(e, job);
+  }
+}
+
+void StageScheduler::advance(Element& e, const std::shared_ptr<Job>& job) {
+  ++job->next;
+  if (!job->ctx->error.empty() || job->next >= job->stages.size()) {
+    finish(e, job);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  e.occupancy->sub();
+  enqueue_locked(element_locked(job->stages[job->next].name), job);
+}
+
+void StageScheduler::finish(Element& e, const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    e.occupancy->sub();
+    --inflight_;
+    if (stopping_ && inflight_ == 0)
+      for (auto& [name, el] : elements_) el->cv.notify_all();
+  }
+  job->done.set_value();
+}
+
+StageScheduler& global_stage_scheduler() {
+  // Leaked like global_metrics(): element threads may outlive static
+  // destruction order otherwise.
+  static StageScheduler* s = new StageScheduler();
+  return *s;
+}
+
+}  // namespace dsp

@@ -1,0 +1,104 @@
+// Pipelined flow execution: one element (queue + thread) per canonical
+// stage, jobs streaming through them.
+//
+// The job-per-worker model runs each job's five stages on one thread, so a
+// fleet of N jobs keeps N copies of every stage's working set hot and
+// re-freezes the same netlist N times. The scheduler instead gives each
+// stage name its own single-threaded element; a job visits the elements in
+// its stage order, parking in the next element's queue between visits.
+// Concurrent jobs therefore occupy *different* stages of the pipe, and
+// same-keyed jobs serialize at each element — the first one's checkpoint is
+// stored before the second one looks, so a same-netlist fleet collapses to
+// one computation per stage plus cache restores.
+//
+// Each stage visit is driven by the same flow_begin / flow_gate /
+// flow_try_restore / flow_store / flow_finish helpers as the sequential
+// loop (core/flow.hpp), so a pipelined job is bit-identical to a
+// sequential one: same checkpoint keys, same counters, same placement.
+//
+// Shared warm state. Jobs admitted through run() freeze their netlist
+// graph through the process-wide SharedGraphPool (graph/graph_pool.hpp) —
+// co-resident jobs on the same netlist share one frozen CsrGraph — and the
+// Extract element resolves GCN weights through the global GcnWeightsPool.
+// Extract is additionally *batchable* (FlowStage::batchable): the element
+// claims up to max_batch parked jobs at once and serves every job whose
+// transductive GCN problem matches with a single batched eval forward
+// (extract/classifier.hpp: predict_datapath_batched).
+//
+// Cancellation needs no scheduler support: flow_gate polls ctx.cancel when
+// an element claims the job, so a deadline or drain cancels a job wherever
+// it is parked.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace dsp {
+
+struct SchedulerOptions {
+  /// Upper bound on jobs a batchable element claims per visit.
+  int max_batch = 8;
+  /// Route FlowContext::frozen_graph through the global SharedGraphPool.
+  bool share_graphs = true;
+  /// Test-only: invoked as (job id, stage name) before each stage visit,
+  /// on the element thread. Blocking it parks the pipe at that element.
+  std::function<void(uint64_t, const char*)> test_hook_stage_start;
+};
+
+/// Streams jobs through per-stage elements. run() blocks the calling
+/// thread until its job drains from the pipe, so the caller-facing
+/// contract is exactly run_flow_sequential's; any number of threads may
+/// call run() concurrently. Elements are created on demand from the stage
+/// names jobs actually use, so custom pipelines get their own elements.
+class StageScheduler {
+ public:
+  explicit StageScheduler(SchedulerOptions opts = {});
+  ~StageScheduler();
+  StageScheduler(const StageScheduler&) = delete;
+  StageScheduler& operator=(const StageScheduler&) = delete;
+
+  /// Executes `stages` over `ctx` as one pipelined job. Blocks until done;
+  /// returns the same DsplacerResult the sequential driver would.
+  DsplacerResult run(FlowContext& ctx, const std::vector<FlowStage>& stages);
+
+  /// Drains every parked job (their run() callers unblock normally) and
+  /// joins the element threads. Jobs submitted after stop() fall back to
+  /// the sequential driver inline. Idempotent.
+  void stop();
+
+ private:
+  struct Job;
+  struct Element;
+
+  Element& element_locked(const std::string& name);
+  void enqueue_locked(Element& e, const std::shared_ptr<Job>& job);
+  void element_loop(Element* e);
+  void process_single(Element& e, const std::shared_ptr<Job>& job);
+  void process_batch(Element& e, std::vector<std::shared_ptr<Job>> claimed);
+  /// Moves the job to the next element, or completes it on error/last stage.
+  void advance(Element& e, const std::shared_ptr<Job>& job);
+  void finish(Element& e, const std::shared_ptr<Job>& job);
+
+  SchedulerOptions opts_;
+  std::mutex mu_;  // guards elements_, every queue, stopping_, inflight_
+  std::map<std::string, std::unique_ptr<Element>> elements_;
+  bool stopping_ = false;
+  size_t inflight_ = 0;  // jobs admitted and not yet finished
+  std::atomic<uint64_t> next_id_{1};
+};
+
+/// The process-wide scheduler run_flow submits through (default options).
+StageScheduler& global_stage_scheduler();
+
+}  // namespace dsp

@@ -1,8 +1,12 @@
 #include "extract/classifier.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <optional>
 
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace dsp {
@@ -175,36 +179,159 @@ std::vector<LeaveOneOutResult> leave_one_out(const std::vector<DesignGraphData>&
   return results;
 }
 
-std::vector<char> predict_datapath_dsps(const std::vector<DesignGraphData>& train,
-                                        const DesignGraphData& target,
-                                        const GcnConfig& gcn_cfg) {
+std::shared_ptr<TrainedDatapathGcn> train_datapath_gcn(
+    const std::vector<DesignGraphData>& train, const DesignGraphData& target,
+    const GcnConfig& gcn_cfg) {
+  auto model = std::make_shared<TrainedDatapathGcn>();
   std::vector<const DesignGraphData*> all;
   for (const auto& d : train) all.push_back(&d);
-  all.push_back(&target);
+  all.push_back(&target);  // target appended LAST, as in leave_one_out
   const DesignGraphData merged = merge_designs(all);
 
   const int total = merged.graph.num_nodes();
-  const int target_begin = total - target.graph.num_nodes();
+  model->target_nodes = target.graph.num_nodes();
+  model->target_begin = total - model->target_nodes;
 
-  std::vector<int> orig;
-  const DesignGraphData sub = restrict_to_dsp_neighborhood(merged, 2, &orig);
-  std::vector<char> sub_train(orig.size(), 0);
-  for (size_t i = 0; i < orig.size(); ++i)
-    sub_train[i] = orig[i] < target_begin && merged.dsp_mask[static_cast<size_t>(orig[i])];
-  const std::vector<char> no_test(orig.size(), 0);
+  const DesignGraphData sub = restrict_to_dsp_neighborhood(merged, 2, &model->orig);
+  std::vector<char> sub_train(model->orig.size(), 0);
+  for (size_t i = 0; i < model->orig.size(); ++i)
+    sub_train[i] = model->orig[i] < model->target_begin &&
+                   merged.dsp_mask[static_cast<size_t>(model->orig[i])];
+  const std::vector<char> no_test(model->orig.size(), 0);
 
-  const CsrMatrix adj = CsrMatrix::normalized_adjacency(sub.graph);
-  GcnClassifier gcn(kNumNodeFeatures, gcn_cfg);
-  gcn.fit(adj, sub.gcn_features, sub.labels, sub_train, no_test);
-  const std::vector<int> pred = gcn.predict(adj, sub.gcn_features);
+  model->adj = CsrMatrix::normalized_adjacency(sub.graph);
+  model->features = sub.gcn_features;
+  model->merged_dsp_mask = merged.dsp_mask;
+  model->gcn = std::make_unique<GcnClassifier>(kNumNodeFeatures, gcn_cfg);
+  model->gcn->fit(model->adj, model->features, sub.labels, sub_train, no_test);
+  return model;
+}
 
-  std::vector<char> is_datapath(static_cast<size_t>(target.graph.num_nodes()), 0);
-  for (size_t i = 0; i < orig.size(); ++i) {
-    const int v = orig[i];
-    if (v >= target_begin && merged.dsp_mask[static_cast<size_t>(v)])
-      is_datapath[static_cast<size_t>(v - target_begin)] = pred[i] == 1;
+std::vector<std::vector<char>> predict_datapath_batched(TrainedDatapathGcn& model,
+                                                        int copies) {
+  assert(copies >= 1);
+  const std::vector<const CsrMatrix*> adjs(static_cast<size_t>(copies), &model.adj);
+  const std::vector<const Matrix*> feats(static_cast<size_t>(copies), &model.features);
+  const CsrMatrix batched_adj = CsrMatrix::block_diagonal(adjs);
+  const Matrix batched_features = Matrix::vstack(feats);
+  Matrix logits;
+  {
+    std::lock_guard<std::mutex> lock(model.forward_mu);
+    logits = model.gcn->forward(batched_adj, batched_features, /*training=*/false);
   }
-  return is_datapath;
+
+  const int n = model.adj.rows();
+  std::vector<std::vector<char>> out;
+  out.reserve(static_cast<size_t>(copies));
+  for (int c = 0; c < copies; ++c) {
+    std::vector<char> is_datapath(static_cast<size_t>(model.target_nodes), 0);
+    for (size_t i = 0; i < model.orig.size(); ++i) {
+      const int v = model.orig[i];
+      if (v < model.target_begin || !model.merged_dsp_mask[static_cast<size_t>(v)])
+        continue;
+      // Argmax with GcnClassifier::predict's tie rule (lowest class wins).
+      const int r = c * n + static_cast<int>(i);
+      int best = 0;
+      for (int j = 1; j < logits.cols(); ++j)
+        if (logits.at(r, j) > logits.at(r, best)) best = j;
+      is_datapath[static_cast<size_t>(v - model.target_begin)] = best == 1;
+    }
+    out.push_back(std::move(is_datapath));
+  }
+  return out;
+}
+
+std::vector<char> predict_datapath(TrainedDatapathGcn& model) {
+  return predict_datapath_batched(model, 1).front();
+}
+
+std::vector<char> predict_datapath_dsps(const std::vector<DesignGraphData>& train,
+                                        const DesignGraphData& target,
+                                        const GcnConfig& gcn_cfg) {
+  const std::shared_ptr<TrainedDatapathGcn> model =
+      train_datapath_gcn(train, target, gcn_cfg);
+  return predict_datapath(*model);
+}
+
+uint64_t design_content_hash(const DesignGraphData& d) {
+  Fnv1a h;
+  h.str(d.name);
+  h.i32(d.graph.num_nodes());
+  h.i32(d.graph.num_edges());
+  for (int u = 0; u < d.graph.num_nodes(); ++u)
+    for (int v : d.graph.out(u)) h.i32(v);
+  for (const Matrix* m : {&d.gcn_features, &d.local_features}) {
+    h.i32(m->rows());
+    h.i32(m->cols());
+    for (size_t i = 0; i < m->size(); ++i) h.f64(m->data()[i]);
+  }
+  h.u64(d.labels.size());
+  for (int l : d.labels) h.i32(l);
+  h.u64(d.dsp_mask.size());
+  for (char m : d.dsp_mask) h.u8(static_cast<uint8_t>(m));
+  return h.digest();
+}
+
+uint64_t gcn_problem_key(const std::vector<DesignGraphData>& train,
+                         const DesignGraphData& target, const GcnConfig& gcn_cfg) {
+  Fnv1a h;
+  h.str("datapath-gcn");
+  h.u64(train.size());
+  for (const DesignGraphData& d : train) h.u64(design_content_hash(d));
+  h.u64(design_content_hash(target));
+  h.i32(gcn_cfg.hidden);
+  h.i32(gcn_cfg.fc_hidden);
+  h.i32(gcn_cfg.num_classes);
+  h.f64(gcn_cfg.dropout);
+  h.f64(gcn_cfg.lr);
+  h.f64(gcn_cfg.weight_decay);
+  h.i32(gcn_cfg.epochs);
+  h.u64(gcn_cfg.seed);
+  return h.digest();
+}
+
+namespace {
+
+struct WeightsMetrics {
+  Counter& hit;
+  Counter& miss;
+};
+
+WeightsMetrics& weights_metrics() {
+  static WeightsMetrics m{
+      global_metrics().counter(metric::kGcnWeightsHit,
+                               "Datapath-GCN lookups served by pooled weights"),
+      global_metrics().counter(metric::kGcnWeightsMiss,
+                               "Datapath-GCN lookups that had to train")};
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<TrainedDatapathGcn> GcnWeightsPool::get_or_train(
+    const std::vector<DesignGraphData>& train, const DesignGraphData& target,
+    const GcnConfig& gcn_cfg) {
+  const uint64_t key = gcn_problem_key(train, target, gcn_cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < lru_.size(); ++i) {
+    if (lru_[i].first != key) continue;
+    weights_metrics().hit.inc();
+    std::rotate(lru_.begin(), lru_.begin() + static_cast<long>(i),
+                lru_.begin() + static_cast<long>(i) + 1);
+    return lru_.front().second;
+  }
+  weights_metrics().miss.inc();
+  // Train under the lock: a second job racing on this key blocks here and
+  // then hits, instead of training the same weights twice.
+  std::shared_ptr<TrainedDatapathGcn> model = train_datapath_gcn(train, target, gcn_cfg);
+  lru_.insert(lru_.begin(), {key, model});
+  if (lru_.size() > capacity_) lru_.pop_back();
+  return model;
+}
+
+GcnWeightsPool& global_gcn_weights() {
+  static GcnWeightsPool* pool = new GcnWeightsPool();
+  return *pool;
 }
 
 }  // namespace dsp

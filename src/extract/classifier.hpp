@@ -4,6 +4,8 @@
 // Fig. 7(a)/(b).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,5 +69,72 @@ std::vector<LeaveOneOutResult> leave_one_out(const std::vector<DesignGraphData>&
 std::vector<char> predict_datapath_dsps(const std::vector<DesignGraphData>& train,
                                         const DesignGraphData& target,
                                         const GcnConfig& gcn_cfg = {});
+
+/// Content hash of one design (graph, features, labels, masks).
+uint64_t design_content_hash(const DesignGraphData& d);
+
+/// Content key of the full transductive sub-problem predict_datapath_dsps
+/// solves. Training is transductive — the target's edges and features are
+/// part of the merged training graph — so trained weights can only be
+/// shared between jobs whose (training set, target, config) all match.
+uint64_t gcn_problem_key(const std::vector<DesignGraphData>& train,
+                         const DesignGraphData& target, const GcnConfig& gcn_cfg);
+
+/// A trained transductive datapath classifier plus everything needed to
+/// run inference again: the reduced 2-hop sub-problem (adjacency,
+/// features, row mapping) and the fitted weights. Training is
+/// deterministic for a given gcn_problem_key, so a pooled model predicts
+/// bit-identically to training from scratch.
+struct TrainedDatapathGcn {
+  CsrMatrix adj;                 // normalized adjacency of the reduced problem
+  Matrix features;               // reduced node features
+  std::vector<int> orig;         // reduced row -> merged-graph row
+  std::vector<char> merged_dsp_mask;
+  int target_begin = 0;          // first merged row of the target block
+  int target_nodes = 0;
+  std::unique_ptr<GcnClassifier> gcn;
+  std::mutex forward_mu;         // forward() caches activations; serialize callers
+};
+
+/// The training half of predict_datapath_dsps (same construction, bit for
+/// bit), reusable across jobs that share the problem key.
+std::shared_ptr<TrainedDatapathGcn> train_datapath_gcn(
+    const std::vector<DesignGraphData>& train, const DesignGraphData& target,
+    const GcnConfig& gcn_cfg = {});
+
+/// The inference half: eval-mode forward + per-DSP argmax of the target
+/// block. Identical to what predict_datapath_dsps returns for the model's
+/// sub-problem.
+std::vector<char> predict_datapath(TrainedDatapathGcn& model);
+
+/// One eval-mode forward over `copies` co-resident jobs sharing this model:
+/// block-diagonal adjacency + row-stacked features through a single
+/// GcnClassifier::forward. Per-copy outputs are bit-identical to `copies`
+/// independent predict_datapath calls (spmm and the dense layers are
+/// row-independent, and eval mode has no dropout).
+std::vector<std::vector<char>> predict_datapath_batched(TrainedDatapathGcn& model,
+                                                        int copies);
+
+/// Small process-wide LRU of trained datapath GCNs keyed by
+/// gcn_problem_key. get_or_train holds the pool lock through a miss's
+/// training so concurrent jobs with the same key train once and share
+/// (the hit/miss counters in docs/METRICS.md count both outcomes).
+class GcnWeightsPool {
+ public:
+  explicit GcnWeightsPool(size_t capacity = 4) : capacity_(capacity) {}
+
+  std::shared_ptr<TrainedDatapathGcn> get_or_train(
+      const std::vector<DesignGraphData>& train, const DesignGraphData& target,
+      const GcnConfig& gcn_cfg);
+
+ private:
+  std::mutex mu_;
+  size_t capacity_;
+  // Most-recently-used first; tiny, so a vector beats a map + list.
+  std::vector<std::pair<uint64_t, std::shared_ptr<TrainedDatapathGcn>>> lru_;
+};
+
+/// The process-wide pool the flow's Extract stage resolves through.
+GcnWeightsPool& global_gcn_weights();
 
 }  // namespace dsp

@@ -1,0 +1,61 @@
+#include "graph/graph_pool.hpp"
+
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+
+namespace dsp {
+
+namespace {
+
+struct PoolMetrics {
+  Counter& hit;
+  Counter& miss;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      global_metrics().counter(metric::kGraphPoolHit,
+                               "Frozen-graph acquires served by a resident graph"),
+      global_metrics().counter(metric::kGraphPoolMiss,
+                               "Frozen-graph acquires that had to freeze")};
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<const CsrGraph> SharedGraphPool::acquire(
+    uint64_t content_key, const std::function<Digraph()>& build, bool* was_shared) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();)
+    it = it->second.expired() ? entries_.erase(it) : std::next(it);
+
+  if (auto it = entries_.find(content_key); it != entries_.end()) {
+    if (std::shared_ptr<const CsrGraph> live = it->second.lock()) {
+      pool_metrics().hit.inc();
+      if (was_shared != nullptr) *was_shared = true;
+      return live;
+    }
+  }
+  pool_metrics().miss.inc();
+  if (was_shared != nullptr) *was_shared = false;
+  auto graph = std::make_shared<const CsrGraph>(CsrGraph::freeze(build()));
+  entries_[content_key] = graph;
+  return graph;
+}
+
+int SharedGraphPool::resident() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  for (const auto& [key, weak] : entries_)
+    if (!weak.expired()) ++live;
+  return live;
+}
+
+SharedGraphPool& global_graph_pool() {
+  // Leaked like global_metrics(): jobs may still hold graphs during static
+  // destruction of other translation units.
+  static SharedGraphPool* pool = new SharedGraphPool();
+  return *pool;
+}
+
+}  // namespace dsp

@@ -1,0 +1,50 @@
+// Process-wide pool of frozen CsrGraphs, keyed by content hash.
+//
+// Co-resident placement jobs on the same netlist pay the O(V + E) freeze
+// exactly once: the first acquire builds the graph, later acquires share
+// it (and its WorkspacePool of kernel buffers) for as long as any job
+// holds a reference. The pool keeps only weak references — when the last
+// job drops its shared_ptr the graph is freed, and a later acquire on the
+// same key re-freezes. Nothing is pinned beyond the jobs that use it.
+//
+// The key is whatever content hash the caller derives from the graph's
+// source (the flow uses netlist_content_hash); the builder callback keeps
+// this layer independent of the netlist representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/csr_graph.hpp"
+#include "graph/digraph.hpp"
+
+namespace dsp {
+
+class SharedGraphPool {
+ public:
+  /// The frozen graph for `content_key`, built via `build` + freeze on
+  /// first use. `*was_shared` (optional) reports whether an already
+  /// resident graph was returned. The build runs under the pool lock, so
+  /// two jobs racing on the same key freeze once — the loser blocks and
+  /// then shares (the hit/miss counters in docs/METRICS.md count both).
+  std::shared_ptr<const CsrGraph> acquire(uint64_t content_key,
+                                          const std::function<Digraph()>& build,
+                                          bool* was_shared = nullptr);
+
+  /// Number of still-referenced entries (expired ones are pruned on every
+  /// acquire). Tests use this to prove release-after-last-job.
+  int resident();
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::weak_ptr<const CsrGraph>> entries_;
+};
+
+/// The process-wide pool the flow uses when FlowContext::share_frozen_graph
+/// is set (the stage scheduler's default).
+SharedGraphPool& global_graph_pool();
+
+}  // namespace dsp

@@ -36,6 +36,18 @@ inline constexpr const char* kCacheBad = "dsplacer_cache_bad_total";
 inline constexpr const char* kCacheLoad = "dsplacer_cache_load_total";
 inline constexpr const char* kCacheStore = "dsplacer_cache_store_total";
 
+// ---- stage scheduler (src/core/stage_scheduler.cpp) ----
+inline constexpr const char* kSchedJobs = "dsplacer_sched_jobs_total";
+inline constexpr const char* kStageJobs = "dsplacer_stage_jobs";
+inline constexpr const char* kStageQueueWaitUs = "dsplacer_stage_queue_wait_us";
+inline constexpr const char* kExtractBatchSize = "dsplacer_extract_batch_jobs";
+
+// ---- shared warm state (src/graph/graph_pool.cpp, src/extract/classifier.cpp) ----
+inline constexpr const char* kGraphPoolHit = "dsplacer_graph_pool_hit_total";
+inline constexpr const char* kGraphPoolMiss = "dsplacer_graph_pool_miss_total";
+inline constexpr const char* kGcnWeightsHit = "dsplacer_gcn_weights_hit_total";
+inline constexpr const char* kGcnWeightsMiss = "dsplacer_gcn_weights_miss_total";
+
 // ---- thread pool (src/util/thread_pool.cpp) ----
 inline constexpr const char* kPoolTasks = "dsplacer_pool_tasks_total";
 inline constexpr const char* kPoolParallelFors = "dsplacer_pool_parallel_fors_total";

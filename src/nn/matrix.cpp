@@ -11,6 +11,27 @@ Matrix Matrix::glorot(int rows, int cols, Rng& rng) {
   return m;
 }
 
+Matrix Matrix::vstack(const std::vector<const Matrix*>& parts) {
+  int rows = 0;
+  int cols = 0;
+  for (const Matrix* p : parts) {
+    assert(cols == 0 || p->cols() == cols);
+    cols = p->cols();
+    rows += p->rows();
+  }
+  Matrix out(rows, cols);
+  int at = 0;
+  for (const Matrix* p : parts) {
+    for (int r = 0; r < p->rows(); ++r) {
+      const double* src = p->row(r);
+      double* dst = out.row(at + r);
+      for (int j = 0; j < cols; ++j) dst[j] = src[j];
+    }
+    at += p->rows();
+  }
+  return out;
+}
+
 Matrix Matrix::matmul(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);

@@ -24,6 +24,11 @@ class Matrix {
   /// for GCN weights, which the paper's model uses).
   static Matrix glorot(int rows, int cols, Rng& rng);
 
+  /// Row-stack of equal-width matrices (the dense half of a block-diagonal
+  /// batch: CsrMatrix::block_diagonal on the adjacencies, vstack on the
+  /// feature matrices).
+  static Matrix vstack(const std::vector<const Matrix*>& parts);
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   size_t size() const { return data_.size(); }

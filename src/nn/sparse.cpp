@@ -57,6 +57,26 @@ CsrMatrix CsrMatrix::normalized_adjacency(const CsrGraph& g) {
   return from_triplets(n, n, std::move(trips));
 }
 
+CsrMatrix CsrMatrix::block_diagonal(const std::vector<const CsrMatrix*>& blocks) {
+  CsrMatrix out;
+  out.row_ptr_.push_back(0);
+  int col_offset = 0;
+  for (const CsrMatrix* b : blocks) {
+    for (int r = 0; r < b->rows_; ++r) {
+      for (int k = b->row_ptr_[static_cast<size_t>(r)];
+           k < b->row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+        out.col_idx_.push_back(col_offset + b->col_idx_[static_cast<size_t>(k)]);
+        out.values_.push_back(b->values_[static_cast<size_t>(k)]);
+      }
+      out.row_ptr_.push_back(static_cast<int>(out.col_idx_.size()));
+    }
+    out.rows_ += b->rows_;
+    out.cols_ += b->cols_;
+    col_offset += b->cols_;
+  }
+  return out;
+}
+
 Matrix CsrMatrix::spmm(const Matrix& dense) const {
   assert(cols_ == dense.rows());
   Matrix out(rows_, dense.cols());

@@ -30,6 +30,14 @@ class CsrMatrix {
   static CsrMatrix normalized_adjacency(const Digraph& g);
   static CsrMatrix normalized_adjacency(const CsrGraph& g);
 
+  /// Block-diagonal union of several matrices: rows/cols concatenate, every
+  /// block keeps its exact values. Because spmm computes each output row
+  /// from that row's nonzeros alone, one forward pass over a block-diagonal
+  /// batch is bit-identical per block to separate forwards — the basis of
+  /// the scheduler's batched GCN inference (Matrix::vstack stacks the
+  /// matching dense operands).
+  static CsrMatrix block_diagonal(const std::vector<const CsrMatrix*>& blocks);
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   size_t nnz() const { return values_.size(); }

@@ -123,6 +123,12 @@ std::string DsplacerServer::start() {
     if (!error.empty()) return error;
   }
 
+  if (opts_.pipeline) {
+    SchedulerOptions sched;
+    sched.max_batch = std::max(1, opts_.extract_batch);
+    scheduler_ = std::make_unique<StageScheduler>(std::move(sched));
+  }
+
   running_.store(true);
   for (int i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -131,9 +137,11 @@ std::string DsplacerServer::start() {
   if (tcp_listener_.valid())
     accept_threads_.emplace_back([this, fd = tcp_listener_.fd()] { accept_loop(fd); });
 
-  LOG_INFO("server", "dsplacerd up: %d worker(s), queue depth %d, cache '%s'",
+  LOG_INFO("server",
+           "dsplacerd up: %d worker(s), queue depth %d, cache '%s', %s",
            opts_.workers, opts_.queue_depth,
-           opts_.cache_dir.empty() ? "(off)" : opts_.cache_dir.c_str());
+           opts_.cache_dir.empty() ? "(off)" : opts_.cache_dir.c_str(),
+           scheduler_ ? "pipelined stage scheduler" : "job-per-worker");
   if (metrics_http_.running())
     LOG_INFO("server", "metrics on http://127.0.0.1:%d/metrics", metrics_http_.port());
   return "";
@@ -175,6 +183,8 @@ void DsplacerServer::stop() {
   queue_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
+  // Workers are gone, so no job can re-enter the pipe; join its elements.
+  if (scheduler_) scheduler_->stop();
 
   // Every reply has been delivered; unblock connection readers and join.
   {
@@ -409,7 +419,7 @@ void DsplacerServer::worker_loop(int worker_index) {
   }
 }
 
-JobReply DsplacerServer::execute_job(const PendingJob& job) const {
+JobReply DsplacerServer::execute_job(const PendingJob& job) {
   JobReply reply;
   if (cancel_all_.load()) {
     reply.status = JobStatus::kCancelled;
@@ -459,7 +469,9 @@ JobReply DsplacerServer::execute_job(const PendingJob& job) const {
       }
       return false;
     };
-    DsplacerResult res = run_flow(ctx, dsplacer_pipeline(opts));
+    const std::vector<FlowStage> stages = dsplacer_pipeline(opts);
+    DsplacerResult res = scheduler_ ? scheduler_->run(ctx, stages)
+                                    : run_flow_sequential(ctx, stages);
 
     if (job.req.want_trace) reply.trace_json = res.trace.to_json();
     for (const auto& stage : res.trace.root().children) {

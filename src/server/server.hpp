@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/stage_scheduler.hpp"
 #include "metrics/metrics_http.hpp"
 #include "server/protocol.hpp"
 #include "server/socket.hpp"
@@ -56,6 +57,14 @@ struct ServerOptions {
   /// 0 = ephemeral (see metrics_http_port()). Serves /metrics, /healthz
   /// and /readyz (docs/METRICS.md).
   int metrics_port = -1;
+  /// Execute jobs through a StageScheduler (core/stage_scheduler.hpp):
+  /// workers submit into per-stage pipeline elements and concurrent jobs
+  /// share frozen graphs, GCN weights, and per-stage checkpoint dedup.
+  /// false = classic job-per-worker (each worker runs the whole flow
+  /// sequentially on its own thread).
+  bool pipeline = true;
+  /// Max jobs the scheduler's batchable Extract element claims at once.
+  int extract_batch = 8;
   /// Test instrumentation only: invoked on the worker thread right after a
   /// job is popped, before it executes. Tests block here to make queue-full
   /// (BUSY), deadline, and drain scenarios deterministic. May block; must
@@ -104,7 +113,7 @@ class DsplacerServer {
   void accept_loop(int listen_fd);
   void connection_loop(std::shared_ptr<SocketFd> conn);
   void worker_loop(int worker_index);
-  JobReply execute_job(const PendingJob& job) const;
+  JobReply execute_job(const PendingJob& job);
   void reap_finished_connections();
 
   ServerOptions opts_;
@@ -112,6 +121,10 @@ class DsplacerServer {
   SocketFd tcp_listener_;
   MetricsHttpServer metrics_http_;
   int bound_port_ = -1;
+  /// The server's own pipeline (nullptr in job-per-worker mode), so
+  /// opts_.extract_batch applies and stop() can drain it independently of
+  /// any other scheduler in the process.
+  std::unique_ptr<StageScheduler> scheduler_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};

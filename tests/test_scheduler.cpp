@@ -1,0 +1,460 @@
+// Stage-scheduler tests: pipelined execution is bit-identical to the
+// sequential driver (single jobs and concurrent fleets), the shared warm
+// state behaves (graph pool refcounts, GCN weights pool, batched forward),
+// and cancellation reaches jobs parked between stages.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stage_scheduler.hpp"
+#include "designs/benchmarks.hpp"
+#include "extract/classifier.hpp"
+#include "graph/graph_pool.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "placer/placement_io.hpp"
+#include "timing/wirelength.hpp"
+
+namespace dsp {
+namespace {
+
+DsplacerOptions fast_options() {
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;  // no GCN unless a test opts in
+  opts.assign.iterations = 8;
+  opts.outer_iterations = 1;
+  return opts;
+}
+
+Netlist small_netlist(const char* name, double scale = 0.1) {
+  const Device dev = make_zcu104(scale);
+  return make_benchmark(benchmark_by_name(name), dev, scale);
+}
+
+/// Placement text + the semantic counters a result carries — the equality
+/// basis for "bit-identical".
+struct ResultFingerprint {
+  std::string placement;
+  double hpwl = 0.0;
+  int datapath = 0, control = 0, edges = 0;
+  std::string error;
+
+  static ResultFingerprint of(const Netlist& nl, const DsplacerResult& res) {
+    ResultFingerprint fp;
+    fp.error = res.legality_error;
+    if (!res.legality_error.empty()) return fp;
+    fp.placement = write_placement(nl, res.placement);
+    fp.hpwl = total_hpwl(nl, res.placement);
+    fp.datapath = res.num_datapath_dsps;
+    fp.control = res.num_control_dsps;
+    fp.edges = res.dsp_graph_edges;
+    return fp;
+  }
+
+  bool operator==(const ResultFingerprint& o) const {
+    return placement == o.placement && hpwl == o.hpwl && datapath == o.datapath &&
+           control == o.control && edges == o.edges && error == o.error;
+  }
+};
+
+TEST(StageScheduler, SingleJobBitIdenticalToSequential) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  FlowContext seq_ctx(nl, dev, no_training, opts);
+  const ResultFingerprint seq = ResultFingerprint::of(
+      nl, run_flow_sequential(seq_ctx, dsplacer_pipeline(opts)));
+  ASSERT_EQ(seq.error, "");
+
+  StageScheduler sched;
+  FlowContext pipe_ctx(nl, dev, no_training, opts);
+  const ResultFingerprint pipe =
+      ResultFingerprint::of(nl, sched.run(pipe_ctx, dsplacer_pipeline(opts)));
+  sched.stop();
+  EXPECT_TRUE(seq == pipe);
+}
+
+TEST(StageScheduler, MixedFleetMatchesSequentialAtManyWidths) {
+  const double scale = 0.08;
+  const Device dev = make_zcu104(scale);
+  const Netlist sky = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const Netlist ismart = make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  const auto sequential = [&](const Netlist& nl) {
+    FlowContext ctx(nl, dev, no_training, opts);
+    return ResultFingerprint::of(nl, run_flow_sequential(ctx, dsplacer_pipeline(opts)));
+  };
+  const ResultFingerprint sky_ref = sequential(sky);
+  const ResultFingerprint ismart_ref = sequential(ismart);
+  ASSERT_EQ(sky_ref.error, "");
+  ASSERT_EQ(ismart_ref.error, "");
+
+  for (const int fleet : {1, 2, 8}) {
+    StageScheduler sched;
+    std::vector<ResultFingerprint> got(static_cast<size_t>(fleet));
+    std::vector<std::thread> threads;
+    for (int i = 0; i < fleet; ++i)
+      threads.emplace_back([&, i] {
+        const Netlist& nl = i % 2 == 0 ? sky : ismart;
+        FlowContext ctx(nl, dev, no_training, opts);
+        got[static_cast<size_t>(i)] =
+            ResultFingerprint::of(nl, sched.run(ctx, dsplacer_pipeline(opts)));
+      });
+    for (std::thread& t : threads) t.join();
+    sched.stop();
+    for (int i = 0; i < fleet; ++i)
+      EXPECT_TRUE(got[static_cast<size_t>(i)] == (i % 2 == 0 ? sky_ref : ismart_ref))
+          << "fleet " << fleet << " job " << i;
+  }
+}
+
+TEST(StageScheduler, SameKeyFleetDedupsThroughCheckpointCache) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkrSkr-1"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  DsplacerOptions opts = fast_options();
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "dsplacer_test_sched_cache";
+  std::filesystem::remove_all(cache_dir);
+  opts.cache_dir = cache_dir.string();
+
+  StageScheduler sched;
+  std::vector<DsplacerResult> res(2);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i)
+    threads.emplace_back([&, i] {
+      FlowContext ctx(nl, dev, no_training, opts);
+      res[static_cast<size_t>(i)] = sched.run(ctx, dsplacer_pipeline(opts));
+    });
+  for (std::thread& t : threads) t.join();
+  sched.stop();
+
+  int64_t hits = 0;
+  for (const DsplacerResult& r : res) {
+    ASSERT_EQ(r.legality_error, "");
+    for (const auto& stage : r.trace.root().children) hits += stage->counter("cache_hit");
+  }
+  // Single-threaded elements serialize the same-key jobs: one computes and
+  // stores each of the 5 stages, the other restores all 5 bit-identically.
+  EXPECT_EQ(hits, 5);
+  EXPECT_EQ(write_placement(nl, res[0].placement), write_placement(nl, res[1].placement));
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST(SharedGraphPool, RefcountReleasesAfterLastHolder) {
+  const Netlist nl = small_netlist("SkyNet", 0.05);
+  SharedGraphPool pool;
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return nl.to_digraph();
+  };
+
+  bool shared = false;
+  auto a = pool.acquire(1234, build, &shared);
+  EXPECT_FALSE(shared);
+  auto b = pool.acquire(1234, build, &shared);
+  EXPECT_TRUE(shared);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(pool.resident(), 1);
+
+  a.reset();
+  EXPECT_EQ(pool.resident(), 1);  // b still holds it
+  b.reset();
+  EXPECT_EQ(pool.resident(), 0);  // weak entry expired with the last job
+
+  auto c = pool.acquire(1234, build, &shared);
+  EXPECT_FALSE(shared);  // released graphs are rebuilt, not resurrected
+  EXPECT_EQ(builds, 2);
+}
+
+// Job A is held at its DspPlace visit (by then it acquired the frozen
+// graph); job B on the same netlist runs Prototype/Extract meanwhile, so
+// its freeze resolves through the pool and its trace must say so.
+TEST(StageScheduler, CoResidentJobsShareFrozenGraphAndReportIt) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_a = false;
+  uint64_t blocked_job = 0;
+  SchedulerOptions sopts;
+  sopts.test_hook_stage_start = [&](uint64_t job, const char* stage_name) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (std::string_view(stage_name) != stage::kDspPlace) return;
+    if (blocked_job == 0) {  // first to reach DspPlace parks
+      blocked_job = job;
+      cv.notify_all();
+    }
+    if (blocked_job == job) cv.wait(lk, [&] { return release_a; });
+  };
+  StageScheduler sched(sopts);
+
+  Gauge& dsp_place_depth = global_metrics().gauge(
+      std::string(metric::kStageJobs) + "{stage=\"DspPlace\"}", "");
+  const int64_t depth_before = dsp_place_depth.value();
+
+  DsplacerResult res_a, res_b;
+  std::thread ta([&] {
+    FlowContext ctx(nl, dev, no_training, opts);
+    res_a = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  // B starts only after A is wedged at DspPlace so the arrival order — and
+  // therefore who freezes vs who shares — is deterministic.
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, std::chrono::seconds(30), [&] { return blocked_job != 0; });
+    ASSERT_NE(blocked_job, 0u);
+  }
+  std::thread tb([&] {
+    FlowContext ctx(nl, dev, no_training, opts);
+    res_b = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  // B finished Extract (sharing the graph A froze) once it parks at
+  // DspPlace behind the wedged A.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (dsp_place_depth.value() < depth_before + 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(dsp_place_depth.value(), depth_before + 2);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release_a = true;
+  }
+  cv.notify_all();
+  ta.join();
+  tb.join();
+  sched.stop();
+
+  ASSERT_EQ(res_a.legality_error, "");
+  ASSERT_EQ(res_b.legality_error, "");
+  // A froze (and timed it); B hit the pool and reports graph_shared instead.
+  EXPECT_EQ(res_a.trace.root().counter("graph_shared"), 0);
+  EXPECT_EQ(res_b.trace.root().counter("graph_shared"), 1);
+  EXPECT_EQ(write_placement(nl, res_a.placement), write_placement(nl, res_b.placement));
+}
+
+TEST(StageScheduler, CancelReachesJobParkedBetweenStages) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  uint64_t first_job = 0;
+  SchedulerOptions sopts;
+  sopts.test_hook_stage_start = [&](uint64_t job, const char* stage_name) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (std::string_view(stage_name) != stage::kPrototype) return;
+    if (first_job == 0) {
+      first_job = job;
+      cv.notify_all();
+    }
+    if (first_job == job) cv.wait(lk, [&] { return release; });
+  };
+  StageScheduler sched(sopts);
+
+  Gauge& proto_depth = global_metrics().gauge(
+      std::string(metric::kStageJobs) + "{stage=\"Prototype\"}", "");
+  const int64_t depth_before = proto_depth.value();
+
+  std::atomic<bool> cancel_b{false};
+  DsplacerResult res_a, res_b;
+  std::thread ta([&] {
+    FlowContext ctx(nl, dev, no_training, opts);
+    res_a = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, std::chrono::seconds(30), [&] { return first_job != 0; });
+    ASSERT_NE(first_job, 0u);
+  }
+  std::thread tb([&] {
+    FlowContext ctx(nl, dev, no_training, opts);
+    ctx.cancel = [&] { return cancel_b.load(); };
+    res_b = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  // Wait until B is parked in the Prototype queue behind the wedged A,
+  // then cancel it while it sits between stages.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (proto_depth.value() < depth_before + 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_GE(proto_depth.value(), depth_before + 2);
+  cancel_b.store(true);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ta.join();
+  tb.join();
+  sched.stop();
+
+  EXPECT_EQ(res_a.legality_error, "");
+  EXPECT_EQ(res_b.legality_error, "cancelled");
+  EXPECT_EQ(res_b.trace.root().counter("cancelled"), 1);
+  // The cancelled job never entered a stage: the gate fired at the parked
+  // boundary, so its trace has no stage children.
+  EXPECT_TRUE(res_b.trace.root().children.empty());
+}
+
+std::vector<DesignGraphData> tiny_training_suite(double scale) {
+  const Device dev = make_zcu104(scale);
+  std::vector<DesignGraphData> designs;
+  for (const auto& spec : benchmark_suite()) {
+    const Netlist nl = make_benchmark(spec, dev, scale);
+    FeatureOptions fopts;
+    fopts.exact_threshold = 0;
+    fopts.centrality_pivots = 48;
+    fopts.dsp_distance_sources = 48;
+    designs.push_back(build_design_data(nl, fopts));
+  }
+  return designs;
+}
+
+TEST(GcnBatching, BlockDiagonalForwardMatchesPerBlockForward) {
+  const auto designs = tiny_training_suite(0.05);
+  std::vector<DesignGraphData> train(designs.begin(), designs.end() - 2);
+  GcnConfig cfg;
+  cfg.epochs = 20;
+
+  const auto model_x = train_datapath_gcn(train, designs[designs.size() - 2], cfg);
+  // One batched eval forward over 3 copies of the same problem must give
+  // 3 identical per-copy masks, each equal to the single-copy prediction.
+  const std::vector<char> single = predict_datapath(*model_x);
+  const auto batched = predict_datapath_batched(*model_x, 3);
+  ASSERT_EQ(batched.size(), 3u);
+  for (const auto& mask : batched) EXPECT_EQ(mask, single);
+
+  // The primitive underneath: a block-diagonal spmm + row-stacked dense
+  // pass is row-independent, so heterogeneous blocks also hold bit-for-bit.
+  const auto model_y = train_datapath_gcn(train, designs.back(), cfg);
+  const Matrix lx = model_x->gcn->forward(model_x->adj, model_x->features, false);
+  const Matrix ly = model_x->gcn->forward(model_y->adj, model_y->features, false);
+  const CsrMatrix both_adj = CsrMatrix::block_diagonal({&model_x->adj, &model_y->adj});
+  const Matrix both_feat = Matrix::vstack({&model_x->features, &model_y->features});
+  const Matrix joint = model_x->gcn->forward(both_adj, both_feat, false);
+  ASSERT_EQ(joint.rows(), lx.rows() + ly.rows());
+  for (int i = 0; i < lx.rows(); ++i)
+    for (int j = 0; j < lx.cols(); ++j) EXPECT_EQ(joint.at(i, j), lx.at(i, j));
+  for (int i = 0; i < ly.rows(); ++i)
+    for (int j = 0; j < ly.cols(); ++j)
+      EXPECT_EQ(joint.at(lx.rows() + i, j), ly.at(i, j));
+}
+
+TEST(GcnBatching, WeightsPoolSharesIdenticalProblemsOnly) {
+  const auto designs = tiny_training_suite(0.05);
+  std::vector<DesignGraphData> train(designs.begin(), designs.end() - 2);
+  GcnConfig cfg;
+  cfg.epochs = 10;
+
+  GcnWeightsPool pool(2);
+  const auto a = pool.get_or_train(train, designs[designs.size() - 2], cfg);
+  const auto b = pool.get_or_train(train, designs[designs.size() - 2], cfg);
+  EXPECT_EQ(a.get(), b.get());  // same problem key -> shared weights
+  const auto c = pool.get_or_train(train, designs.back(), cfg);
+  EXPECT_NE(a.get(), c.get());  // different target -> own weights
+  GcnConfig other = cfg;
+  other.epochs = 11;
+  const auto d = pool.get_or_train(train, designs[designs.size() - 2], other);
+  EXPECT_NE(a.get(), d.get());  // any config field is part of the key
+}
+
+// A fleet whose Extract really trains a GCN: the scheduler batches the
+// jobs parked at Extract and serves them from one pooled model, and the
+// results still match the sequential driver exactly.
+TEST(StageScheduler, GcnFleetBatchesExtractAndMatchesSequential) {
+  const double scale = 0.05;
+  const Device dev = make_zcu104(scale);
+  const auto designs = tiny_training_suite(scale);
+  const std::vector<DesignGraphData> training(designs.begin(), designs.end() - 1);
+  const Netlist nl = make_benchmark(benchmark_suite().back(), dev, scale);
+
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = false;
+  opts.gcn.epochs = 20;
+  opts.assign.iterations = 8;
+  opts.outer_iterations = 1;
+  opts.features.exact_threshold = 0;
+  opts.features.centrality_pivots = 48;
+  opts.features.dsp_distance_sources = 48;
+
+  FlowContext seq_ctx(nl, dev, training, opts);
+  const ResultFingerprint seq = ResultFingerprint::of(
+      nl, run_flow_sequential(seq_ctx, dsplacer_pipeline(opts)));
+  ASSERT_EQ(seq.error, "");
+
+  // Wedge the Extract element on the first arrival until the rest of the
+  // fleet is parked behind it: the stragglers are then claimed as one
+  // deterministic batch (one pooled model, one batched forward).
+  constexpr int kFleet = 3;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  uint64_t first_job = 0;
+  SchedulerOptions sopts;
+  sopts.max_batch = kFleet;
+  sopts.test_hook_stage_start = [&](uint64_t job, const char* stage_name) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (std::string_view(stage_name) != stage::kExtract) return;
+    if (first_job == 0) {
+      first_job = job;
+      cv.notify_all();
+    }
+    if (first_job == job) cv.wait(lk, [&] { return release; });
+  };
+  StageScheduler sched(sopts);
+
+  Gauge& extract_depth = global_metrics().gauge(
+      std::string(metric::kStageJobs) + "{stage=\"Extract\"}", "");
+  const int64_t depth_before = extract_depth.value();
+
+  std::vector<ResultFingerprint> got(kFleet);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kFleet; ++i)
+    threads.emplace_back([&, i] {
+      FlowContext ctx(nl, dev, training, opts);
+      got[static_cast<size_t>(i)] =
+          ResultFingerprint::of(nl, sched.run(ctx, dsplacer_pipeline(opts)));
+    });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (extract_depth.value() < depth_before + kFleet &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(extract_depth.value(), depth_before + kFleet);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+  sched.stop();
+
+  for (int i = 0; i < kFleet; ++i)
+    EXPECT_TRUE(got[static_cast<size_t>(i)] == seq) << "job " << i;
+}
+
+}  // namespace
+}  // namespace dsp

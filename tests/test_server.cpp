@@ -961,5 +961,96 @@ TEST(Server, LoopbackSoakFourClientsTwentyJobs) {
   EXPECT_EQ(metric_value(metric::kJobsInflight), 0);
 }
 
+// Execution mode must not leak into results: the same job through a
+// pipelined server and a job-per-worker server lands on the same placement
+// as a direct sequential run.
+TEST(Server, PipelinedAndJobPerWorkerPlacementsMatchDirectRun) {
+  TestDesign sky("SkyNet");
+  const JobRequest req = fast_request(sky);
+  const Device dev = make_zcu104(0.08);
+  const Netlist wire = read_netlist(sky.text);
+  FlowContext direct_ctx(wire, dev, {}, options_for(req));
+  const DsplacerResult direct =
+      run_flow_sequential(direct_ctx, dsplacer_pipeline(options_for(req)));
+  ASSERT_EQ(direct.legality_error, "");
+  const std::string expected = write_placement(wire, direct.placement);
+
+  for (const bool pipeline : {true, false}) {
+    ServerOptions sopts;
+    sopts.unix_path = socket_path(pipeline ? "mode_pipe" : "mode_jpw");
+    sopts.workers = 2;
+    sopts.pipeline = pipeline;
+    DsplacerServer server(sopts);
+    ASSERT_EQ(server.start(), "");
+    std::string err;
+    DsplacerClient client = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+    ASSERT_TRUE(client.connected()) << err;
+    JobReply reply;
+    ASSERT_EQ(client.submit(req, &reply), "");
+    ASSERT_EQ(reply.status, JobStatus::kOk);
+    EXPECT_EQ(reply.placement_text, expected) << "pipeline=" << pipeline;
+    server.stop();
+  }
+}
+
+// A concurrent fleet through a pipelined server must register and move the
+// stage-scheduler series: per-stage occupancy/queue-wait families, the
+// Extract batch-size histogram, and the scheduler admission counter.
+TEST(Server, PipelinedFleetExportsStageSchedulerMetrics) {
+  TestDesign sky("SkyNet");
+  const JobRequest req = fast_request(sky);
+  const int64_t sched0 = metric_value(metric::kSchedJobs);
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("schedmx");
+  sopts.workers = 4;
+  sopts.queue_depth = 16;
+  sopts.metrics_port = 0;
+  DsplacerServer server(sopts);  // pipeline defaults to true
+  ASSERT_EQ(server.start(), "");
+  const int mport = server.metrics_http_port();
+  ASSERT_GT(mport, 0);
+
+  constexpr int kJobs = 4;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kJobs; ++i)
+    threads.emplace_back([&] {
+      std::string err;
+      DsplacerClient client = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+      if (!client.connected()) return;
+      JobReply reply;
+      if (client.submit(req, &reply).empty() && reply.status == JobStatus::kOk)
+        ok.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+
+  std::string body;
+  int status = 0;
+  ASSERT_EQ(http_get(mport, "/metrics", &body, &status), "");
+  ASSERT_EQ(status, 200);
+  server.stop();
+
+  EXPECT_EQ(ok.load(), kJobs);
+  EXPECT_EQ(metric_value(metric::kSchedJobs) - sched0, kJobs);
+  // Every canonical stage element registered its occupancy gauge, and the
+  // batchable Extract element observed its claim sizes.
+  for (const char* stage_name :
+       {stage::kPrototype, stage::kExtract, stage::kDspPlace, stage::kReplace,
+        stage::kRouteReport}) {
+    const std::string series =
+        std::string(metric::kStageJobs) + "{stage=\"" + stage_name + "\"}";
+    EXPECT_NE(body.find(series), std::string::npos) << series;
+    // Drained server: nothing parked or running anywhere.
+    EXPECT_EQ(metric_value(series), 0) << series;
+  }
+  EXPECT_NE(body.find(metric::kExtractBatchSize), std::string::npos);
+  EXPECT_NE(body.find(metric::kStageQueueWaitUs), std::string::npos);
+  int64_t batch_observations = 0;
+  for (const MetricSample& s : global_metrics().snapshot().samples)
+    if (s.name == metric::kExtractBatchSize) batch_observations = s.count;
+  EXPECT_GT(batch_observations, 0);
+}
+
 }  // namespace
 }  // namespace dsp

@@ -3,15 +3,23 @@
 // Submits placement jobs to a running daemon over its Unix-domain socket
 // or TCP loopback port and prints one status line per job; BUSY and
 // deadline replies exit nonzero so scripts can see backpressure.
+//
+// --batch <manifest> submits every job in the manifest CONCURRENTLY (one
+// connection + thread per job) — the client-side view of the server's
+// pipelined stage scheduler — and prints a per-job and aggregate
+// latency/HPWL table.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/client.hpp"
+#include "util/table.hpp"
 #include "util/version.hpp"
 
 namespace {
@@ -22,10 +30,160 @@ int usage(std::ostream& os, int rc) {
         "                [--no-cache] [--outer-iterations <n>]\n"
         "                [--assign-iterations <n>] [--repeat <n>]\n"
         "                [--out <placement>] [--trace <json>] [--ping]\n"
-        "                [--version]\n"
+        "                [--batch <manifest>] [--version]\n"
         "Submits jobs to a running dsplacerd (see docs/SERVER.md). --repeat\n"
-        "sends the same job N times (warm repeats show cache hits).\n";
+        "sends the same job N times (warm repeats show cache hits).\n"
+        "--batch submits every manifest line as its own concurrent\n"
+        "connection; each line is `<netlist-file> [key=value ...]` with keys\n"
+        "scale, seed, deadline-ms, outer-iterations, assign-iterations,\n"
+        "no-cache (docs/SERVER.md#batch-manifests). Lines starting with #\n"
+        "and blank lines are skipped. Exit is nonzero if any job failed.\n";
   return rc;
+}
+
+struct BatchJob {
+  std::string label;       // netlist file as written in the manifest
+  dsp::JobRequest req;
+  std::string error;       // transport or manifest error
+  dsp::JobReply reply;
+  double latency_ms = 0.0;
+};
+
+/// Parses one manifest line into `job`. Returns false on a malformed line
+/// (job.error says why).
+bool parse_manifest_line(const std::string& line, BatchJob* job) {
+  std::istringstream in(line);
+  std::string netlist_file;
+  in >> netlist_file;
+  job->label = netlist_file;
+  std::ifstream nf(netlist_file);
+  if (!nf) {
+    job->error = "cannot read " + netlist_file;
+    return false;
+  }
+  std::ostringstream text;
+  text << nf.rdbuf();
+  job->req.netlist_text = text.str();
+  std::string kv;
+  while (in >> kv) {
+    if (kv == "no-cache") {
+      job->req.use_cache = false;
+      continue;
+    }
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      job->error = "malformed key=value: " + kv;
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "scale") {
+      job->req.scale = std::atof(value.c_str());
+    } else if (key == "seed") {
+      job->req.seed = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "deadline-ms") {
+      job->req.deadline_ms = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (key == "outer-iterations") {
+      job->req.outer_iterations = std::atoi(value.c_str());
+    } else if (key == "assign-iterations") {
+      job->req.assign_iterations = std::atoi(value.c_str());
+    } else {
+      job->error = "unknown manifest key: " + key;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The --batch mode: one connection + thread per manifest job, all in
+/// flight at once, then a per-job table plus aggregate line.
+int run_batch(const std::string& manifest_path,
+              const std::map<std::string, std::string>& flags) {
+  std::ifstream mf(manifest_path);
+  if (!mf) {
+    std::cerr << "dsplacer_submit: cannot read manifest " << manifest_path << '\n';
+    return 2;
+  }
+  std::vector<BatchJob> jobs;
+  std::string line;
+  while (std::getline(mf, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    BatchJob job;
+    if (!parse_manifest_line(line, &job)) {
+      std::cerr << "dsplacer_submit: manifest: " << job.error << '\n';
+      return 2;
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    std::cerr << "dsplacer_submit: manifest " << manifest_path << " has no jobs\n";
+    return 2;
+  }
+
+  const bool use_unix = flags.count("socket") != 0;
+  const std::string socket_path = use_unix ? flags.at("socket") : "";
+  const int port = flags.count("port") ? std::atoi(flags.at("port").c_str()) : -1;
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs.size());
+  for (BatchJob& job : jobs) {
+    threads.emplace_back([&job, use_unix, socket_path, port] {
+      std::string err;
+      dsp::DsplacerClient client =
+          use_unix ? dsp::DsplacerClient::connect_to_unix(socket_path, &err)
+                   : dsp::DsplacerClient::connect_to_tcp(port, &err);
+      if (!client.connected()) {
+        job.error = err;
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      err = client.submit(job.req, &job.reply);
+      job.latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (!err.empty()) job.error = err;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  dsp::Table table({"job", "netlist", "status", "latency_ms", "hpwl", "dsps",
+                    "cache_hit", "cache_miss"});
+  int ok = 0;
+  double latency_sum = 0.0, latency_max = 0.0, hpwl_sum = 0.0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJob& job = jobs[i];
+    const bool job_ok =
+        job.error.empty() && job.reply.status == dsp::JobStatus::kOk;
+    const std::string status =
+        job.error.empty() ? dsp::job_status_name(job.reply.status) : "TRANSPORT";
+    table.add_row(
+        {dsp::Table::fmt_int(static_cast<long long>(i + 1)), job.label, status,
+         dsp::Table::fmt(job.latency_ms, 1),
+         job_ok ? dsp::Table::fmt(job.reply.hpwl, 1) : "-",
+         job_ok ? dsp::Table::fmt_int(job.reply.num_datapath_dsps +
+                                      job.reply.num_control_dsps)
+                : "-",
+         job_ok ? dsp::Table::fmt_int(job.reply.cache_hits) : "-",
+         job_ok ? dsp::Table::fmt_int(job.reply.cache_misses) : "-"});
+    if (job_ok) {
+      ++ok;
+      hpwl_sum += job.reply.hpwl;
+    } else if (!job.error.empty()) {
+      std::cerr << "dsplacer_submit: job " << (i + 1) << " (" << job.label
+                << "): " << job.error << '\n';
+    }
+    latency_sum += job.latency_ms;
+    latency_max = std::max(latency_max, job.latency_ms);
+  }
+  std::cout << table.to_string();
+  std::cout << "batch: " << ok << "/" << jobs.size() << " ok, latency mean "
+            << dsp::Table::fmt(latency_sum / static_cast<double>(jobs.size()), 1)
+            << " ms / max " << dsp::Table::fmt(latency_max, 1) << " ms";
+  if (ok > 0)
+    std::cout << ", mean HPWL " << dsp::Table::fmt(hpwl_sum / ok, 1);
+  std::cout << '\n';
+  return ok == static_cast<int>(jobs.size()) ? 0 : 1;
 }
 
 }  // namespace
@@ -50,6 +208,14 @@ int main(int argc, char** argv) {
     }
     flags[args[i].substr(2)] = args[i + 1];
     ++i;
+  }
+
+  if (flags.count("batch")) {
+    if (flags.count("socket") == 0 && flags.count("port") == 0) {
+      std::cerr << "dsplacer_submit: --batch needs --socket <path> or --port <n>\n";
+      return 2;
+    }
+    return run_batch(flags["batch"], flags);
   }
 
   std::string err;

@@ -33,10 +33,14 @@ void on_signal(int) {
 int usage(std::ostream& os, int rc) {
   os << "dsplacerd [--socket <path>] [--tcp-port <n>] [--workers <n>]\n"
         "          [--queue-depth <n>] [--cache-dir <dir>] [--threads <n>]\n"
-        "          [--drain-grace <seconds>] [--metrics-port <n>] [--version]\n"
+        "          [--drain-grace <seconds>] [--metrics-port <n>]\n"
+        "          [--no-pipeline] [--extract-batch <n>] [--version]\n"
         "Defaults: --socket /tmp/dsplacerd.sock, no TCP listener, 2 workers,\n"
         "queue depth 8, caching off, no metrics listener. --tcp-port 0 and\n"
-        "--metrics-port 0 bind ephemeral ports (printed on startup). See\n"
+        "--metrics-port 0 bind ephemeral ports (printed on startup).\n"
+        "Jobs run through the pipelined stage scheduler (shared frozen\n"
+        "graphs and batched Extract, up to --extract-batch jobs per batch);\n"
+        "--no-pipeline reverts to classic job-per-worker execution. See\n"
         "docs/SERVER.md for the wire protocol and docs/METRICS.md for the\n"
         "metrics endpoints.\n";
   return rc;
@@ -54,6 +58,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
+    if (args[i] == "--no-pipeline") {  // the only valueless flag
+      flags["no-pipeline"] = "1";
+      continue;
+    }
     if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
       std::cerr << "malformed flag: " << args[i] << '\n';
       return usage(std::cerr, 2);
@@ -114,6 +122,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (flags.count("extract-batch")) {
+    opts.extract_batch = dsp::parse_thread_count(flags["extract-batch"], &flag_error);
+    if (opts.extract_batch < 0) {
+      std::cerr << "dsplacerd: --extract-batch: " << flag_error << '\n';
+      return 2;
+    }
+  }
+  if (flags.count("no-pipeline")) opts.pipeline = false;
   if (flags.count("cache-dir")) opts.cache_dir = flags["cache-dir"];
   if (flags.count("drain-grace"))
     opts.drain_grace_seconds = std::atof(flags["drain-grace"].c_str());
