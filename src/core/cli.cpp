@@ -22,7 +22,9 @@ namespace dsp {
 namespace {
 
 // Flags that take no value (stored as "1" when present).
-bool is_bool_flag(const std::string& name) { return name == "no-cache"; }
+bool is_bool_flag(const std::string& name) {
+  return name == "no-cache" || name == "mcf-cold" || name == "mcf-no-pricing";
+}
 
 // --flag value pairs (or bare boolean flags) after the subcommand.
 std::map<std::string, std::string> parse_flags(const std::vector<std::string>& args,
@@ -140,6 +142,16 @@ int cmd_place(const std::map<std::string, std::string>& flags, std::ostream& out
       err << "place: --resume-from requires --cache-dir (or DSPLACER_CACHE_DIR)\n";
       return 2;
     }
+    // MCF solver escape hatches (docs/SOLVER.md): both are output-invariant,
+    // so they are safe to flip on a cached run — the checkpoint keys do not
+    // change. --mcf-cold disables warm starts AND pricing (the reference
+    // solver); --mcf-no-pricing keeps warm starts but materializes the full
+    // candidate arc set per solve.
+    if (flags.count("mcf-cold") != 0) {
+      opts.assign.warm_start = false;
+      opts.assign.pricing = false;
+    }
+    if (flags.count("mcf-no-pricing") != 0) opts.assign.pricing = false;
     const DsplacerResult res = run_dsplacer(nl, dev, {}, opts);
     if (!res.legality_error.empty()) {
       err << "place: illegal result: " << res.legality_error;
@@ -239,6 +251,7 @@ std::string cli_usage() {
       "         [--out <placement>] [--constraints <xdc>] [--svg <file>]\n"
       "         [--threads <n>] [--trace <json>]\n"
       "         [--cache-dir <dir>] [--no-cache] [--resume-from <stage>]\n"
+      "         [--mcf-cold] [--mcf-no-pricing]\n"
       "  report --netlist <file> --placement <file> --scale <s> [--freq <MHz>]\n"
       "  --version\n";
 }

@@ -27,7 +27,7 @@
 namespace dsp {
 
 struct DsplacerOptions {
-  AssignOptions assign;
+  AssignOptions assign;  // incl. output-invariant solver mode knobs (SOLVER.md)
   InterColumnOptions inter_column;
   int outer_iterations = 2;  // alternation rounds between DSPs and the rest
   FeatureOptions features;

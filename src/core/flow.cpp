@@ -209,6 +209,10 @@ uint64_t stage_options_hash(const char* stage_name, const FlowContext& ctx) {
     h.f64(o.assign.eta);
     h.i32(o.assign.candidate_sites);
     h.f64(o.assign.cost_scale);
+    // assign.{warm_start,pricing,pricing_seed_arcs} are deliberately NOT
+    // hashed: they select a solver execution strategy that is proven
+    // output-invariant (docs/SOLVER.md), so flipping --mcf-cold or
+    // --mcf-no-pricing must keep every checkpoint key — and hit — intact.
     h.i64(o.inter_column.ilp.max_nodes);
     h.i64(o.inter_column.ilp.lp_max_iters);
     h.f64(o.inter_column.ilp.int_tol);
@@ -399,11 +403,23 @@ void stage_dsp_place(FlowContext& ctx) {
   for (CellId c : ctx.datapath) ctx.placement.clear_dsp_site(c);
   const AssignResult assign =
       mcf_assign_dsps(*ctx.nl, *ctx.dev, ctx.placement, ctx.dsp_graph, ctx.datapath,
-                      ctx.opts.assign, ctx.pool);
+                      ctx.opts.assign, ctx.pool, &ctx.mcf_warm);
   ctx.mcf_iterations = assign.iterations_run;
   ctx.mcf_converged = assign.converged;
   ctx.trace.add_counter("mcf_arcs", assign.arcs_built);
   ctx.trace.add_counter("mcf_iterations", assign.iterations_run);
+  // Solver execution stats (docs/TRACE_FORMAT.md). These depend on the
+  // solver mode, wall clock, and warm history — none of which may influence
+  // the stage's snapshot — so they live on the trace root, which checkpoint
+  // restore never replays (stage-node counters must replay bit-identically
+  // from the snapshot; see flow_store).
+  ctx.trace.root().add_counter("mcf_solves", assign.solves);
+  ctx.trace.root().add_counter("mcf_warm_starts", assign.warm_starts);
+  ctx.trace.root().add_counter("mcf_priced_arcs", assign.priced_arcs);
+  ctx.trace.root().add_counter("mcf_universe_arcs", assign.universe_arcs);
+  ctx.trace.root().add_counter("mcf_pricing_rounds", assign.pricing_rounds);
+  ctx.trace.root().add_counter("mcf_first_iter_solve_us", assign.first_iter_us);
+  ctx.trace.root().add_counter("mcf_later_iters_solve_us", assign.later_iters_us);
   legalize_and_commit(ctx, assign.site);
 }
 

@@ -64,6 +64,15 @@ struct FlowContext {
   std::vector<CellId> datapath;    // the MCF targets
   std::string error;               // first stage failure; empty when healthy
 
+  /// Per-job MCF warm state: the Fig. 6 DspPlace/Replace alternation calls
+  /// mcf_assign_dsps repeatedly on the same targets with moved attractors,
+  /// so each DspPlace visit warm-starts from the previous visit's dual
+  /// potentials (docs/SOLVER.md). Owned by the context — one per job — so
+  /// concurrent fleets under the stage scheduler never share solver state;
+  /// it never influences the returned assignment, only solve speed, so it
+  /// is invisible to checkpoint keys and snapshots.
+  AssignWarmState mcf_warm;
+
   /// Optional cooperative cancellation (service deadlines, graceful
   /// drain): run_flow polls it before each stage, and the Extract kernels
   /// additionally poll it between source chunks, so a long extraction

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
 #include "solver/mcf.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace dsp {
 namespace {
@@ -49,6 +53,72 @@ std::vector<std::vector<Neighbor>> collect_neighbors(const Netlist& nl,
   return out;
 }
 
+// Deterministic per-arc tie-break (FNV-1a over the target/site pair). The
+// optimum of the transportation problem is generally not unique — cascade
+// bonuses and the symmetric site grid produce exactly-tied assignments —
+// and an exact solver may return any of the tied optima depending on arc
+// order and warm potentials. Folding this hash into the low bits of every
+// arc cost makes the optimum unique (up to an astronomically unlikely hash
+// collision among tied optima), which is what lets cold, warm and priced
+// solves return bit-identical assignments (docs/SOLVER.md).
+uint64_t arc_tiebreak(int target, int site) {
+  uint64_t h = 1469598103934665603ull;
+  h ^= static_cast<uint32_t>(target);
+  h *= 1099511628211ull;
+  h ^= static_cast<uint32_t>(site);
+  h *= 1099511628211ull;
+  // Avalanche finalizer (the 64-bit mix Murmur3 uses). The raw FNV value is
+  // NOT enough: its low k bits depend only on the low k bits of the input,
+  // so when the fold below masks low bits, swap families of assignments
+  // whose sites differ in a couple of low bits would collide in the SUM of
+  // their tie-breaks with probability ~2^-2 instead of ~2^-k — observed in
+  // practice as equal-cost distinct optima. Mixing the high bits down makes
+  // hash-sum collisions genuinely ~2^-k.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+int64_t micros(const Timer& t) {
+  return static_cast<int64_t>(std::llround(t.seconds() * 1e6));
+}
+
+const std::vector<int64_t>& mcf_latency_buckets() {
+  // MCF solves on real designs run tens of microseconds (warm) to tens of
+  // milliseconds (cold on the largest benchmark) — finer-grained than the
+  // default 1ms..10s service buckets.
+  static const std::vector<int64_t> b = {50,    100,   250,    500,    1000,   2500,  5000,
+                                         10000, 25000, 100000, 250000, 1000000};
+  return b;
+}
+
+/// Process-wide solver series (docs/METRICS.md). The per-run trace carries
+/// the same stats per job; these aggregate across every solve in the
+/// process so a loaded dsplacerd shows its live warm-start and pricing
+/// ratios.
+struct McfMetrics {
+  Counter& solves;
+  Counter& warm_starts;
+  Counter& priced_arcs;
+  Counter& total_arcs;
+  Histogram& solve_us;
+};
+
+McfMetrics& mcf_metrics() {
+  static McfMetrics m{
+      global_metrics().counter(metric::kMcfSolves, "MCF transportation solves"),
+      global_metrics().counter(metric::kMcfWarmStarts,
+                               "MCF solves seeded from the prior solution"),
+      global_metrics().counter(metric::kMcfPricedArcs,
+                               "Candidate arcs materialized in the MCF solver"),
+      global_metrics().counter(metric::kMcfTotalArcs,
+                               "Full candidate arc universe across solves"),
+      global_metrics().histogram(metric::kMcfSolveUs, "Per-solve MCF wall time, microseconds",
+                                 mcf_latency_buckets())};
+  return m;
+}
+
 }  // namespace
 
 double site_cos_angle(const Device& dev, int site) {
@@ -59,8 +129,10 @@ double site_cos_angle(const Device& dev, int site) {
 
 AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placement& pl,
                              const DspGraph& graph, const std::vector<CellId>& targets,
-                             const AssignOptions& opts, ThreadPool* pool_arg) {
+                             const AssignOptions& opts, ThreadPool* pool_arg,
+                             AssignWarmState* warm_arg) {
   ThreadPool& pool = pool_arg != nullptr ? *pool_arg : global_pool();
+  McfMetrics& mm = mcf_metrics();
   AssignResult result;
   const int n = static_cast<int>(targets.size());
   result.site.assign(static_cast<size_t>(n), -1);
@@ -106,6 +178,12 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
     ty[static_cast<size_t>(i)] = pl.y(targets[static_cast<size_t>(i)]);
   }
   std::vector<int> prev_site(static_cast<size_t>(n), -1);
+  // Sites whose arcs the previous iteration's pricing loop ended up
+  // materializing, per target. Linearized costs drift slowly between
+  // iterations, so this set is a near-perfect predictor of the columns
+  // pricing would pull in again — seeding it turns several expensive
+  // widening rounds per iteration into zero or one small one.
+  std::vector<std::vector<int>> carry_sites(static_cast<size_t>(n));
 
   const auto& columns = dev.dsp_columns();
   auto candidate_sites_near = [&](double x, double y, int k) {
@@ -131,6 +209,33 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
     return cands;
   };
 
+  // ---- canonical solver node numbering -------------------------------------
+  // Shared by every mode and stable across iterations and calls so the warm
+  // state's dual potentials keep their identity: source, sink, one node per
+  // target, then one node per device site (isolated site nodes are free).
+  const int capacity = dev.dsp_capacity();
+  const int num_nodes = 2 + n + capacity;
+  const int src = 0;
+  const int snk = 1;
+  auto site_nd = [&](int site) { return 2 + n + site; };
+
+  // Warm state: caller-owned (per job) or call-local; either way the
+  // linearization iterations warm-start each other when opts.warm_start.
+  AssignWarmState local_state;
+  AssignWarmState* wstate = warm_arg != nullptr ? warm_arg : &local_state;
+  if (wstate->nodes != num_nodes) {
+    wstate->solver.reset();
+    wstate->hint.clear();
+    wstate->nodes = num_nodes;
+  }
+  // Primal warm-start hint carried in from the previous call (docs/SOLVER.md):
+  // re-installed as the starting flow before reoptimize(), never consulted
+  // while building candidates or costs, so the tie-broken optimum — and hence
+  // the returned assignment — is independent of it.
+  std::vector<int> carried_hint;
+  if (opts.warm_start && wstate->hint.size() == static_cast<size_t>(n))
+    carried_hint = wstate->hint;
+
   int k = opts.candidate_sites;
   double prev_objective = std::numeric_limits<double>::infinity();
   int stall = 0;
@@ -151,8 +256,10 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
     // Each target's candidate set and arc costs depend only on the previous
     // iterate (tx/ty/prev_site are read, never written here), so targets
     // build in parallel; edges[i] is written by exactly one lane and the
-    // rounding per arc is deterministic.
+    // rounding per arc is deterministic. edges[i] is the full candidate
+    // "universe" of the iteration — identical in every solver mode.
     std::vector<std::vector<std::pair<int, int64_t>>> edges(static_cast<size_t>(n));
+    std::vector<std::vector<double>> resid(static_cast<size_t>(n));
     pool.parallel_for_each(n, [&](int64_t ti) {
       const int i = static_cast<int>(ti);
       // Ideal point: weighted centroid of the neighbours' current positions.
@@ -177,6 +284,7 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
       cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
 
       edges[static_cast<size_t>(i)].reserve(cands.size());
+      resid[static_cast<size_t>(i)].reserve(cands.size());
       for (int site : cands) {
         const DspSite& s = dev.dsp_site(site);
         double cost = 0.0;
@@ -187,11 +295,19 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
           cost += nb.weight * ((s.x - px) * (s.x - px) + (s.y - py) * (s.y - py));
         }
         cost += angle_coeff[static_cast<size_t>(i)] * site_cos_angle(dev, site);
-        edges[static_cast<size_t>(i)].push_back(
-            {site, static_cast<int64_t>(std::llround(cost * opts.cost_scale))});
+        const double scaled = cost * opts.cost_scale;
+        const int64_t coarse = static_cast<int64_t>(std::llround(scaled));
+        edges[static_cast<size_t>(i)].push_back({site, coarse});
+        // Fixed-point rounding residual in [-0.5, 0.5]: the true-cost
+        // information the coarse quantization discards, kept as the
+        // primary tie-break among coarse-tied arcs below.
+        resid[static_cast<size_t>(i)].push_back(scaled - static_cast<double>(coarse));
       }
     });
-    for (const auto& e : edges) result.arcs_built += static_cast<long long>(e.size());
+    long long universe = 0;
+    for (const auto& e : edges) universe += static_cast<long long>(e.size());
+    result.arcs_built += universe;
+    result.universe_arcs += universe;
     // Cascade penalty eta * (x_cp,j - x_cs,j+1)^2 linearized around the
     // previous iterate: reward the site that continues the partner's run.
     if (iter > 0) {
@@ -210,25 +326,356 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
       }
     }
 
-    // --- min-cost-flow transportation solve ---------------------------------
-    std::unordered_map<int, int> site_node;
-    MinCostFlow flow(2 + n);
-    const int src = 0;
-    const int snk = 1;
-    std::vector<std::vector<std::pair<int, int>>> arc_of(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) flow.add_edge(src, 2 + i, 1, 0);
+    // --- deterministic tie-break --------------------------------------------
+    // Scale every arc cost by 2^shift and fold two tie-break terms into the
+    // freed low bits: the quantized rounding residual (so among coarse-tied
+    // assignments the solver picks the one that is genuinely cheapest under
+    // the unrounded costs), then a per-arc hash (so even exact double ties
+    // become strictly ordered). Distinct coarse costs keep their order, the
+    // optimum becomes unique, and every exact mode returns the same one.
+    // The shift adapts to the cost magnitude so SSP path sums and the n
+    // accumulated potential updates stay far below the solver's int64
+    // infinity sentinel.
+    int64_t max_abs = 1;
+    for (const auto& e : edges)
+      for (const auto& [site, cost] : e) max_abs = std::max(max_abs, std::abs(cost));
+    const int64_t limit = std::numeric_limits<int64_t>::max() / (64LL * (n + 4));
+    int shift = 0;
+    while (shift < 40 && max_abs <= (limit >> (shift + 1))) ++shift;
+    const int64_t scale = int64_t{1} << shift;
+    // Low-bit layout (high to low): quantized residual, then hash. The
+    // residual gets the first 12 bits past a 10-bit hash floor — more is
+    // noise (it is a double rounding error) — and every further bit the
+    // magnitude headroom allows goes to the hash: near-duplicate cost rows
+    // (small max_abs => large shift) are exactly where assignment-sum hash
+    // ties would otherwise go from unlikely to expected.
+    const int resid_bits = std::clamp(shift - 10, 0, 12);
+    const int hash_bits = shift - resid_bits;
+    const uint64_t hash_mask = (uint64_t{1} << hash_bits) - 1;
+    const double resid_scale = static_cast<double>((int64_t{1} << resid_bits) - 1);
     for (int i = 0; i < n; ++i) {
-      for (const auto& [site, cost] : edges[static_cast<size_t>(i)]) {
-        auto [it, inserted] = site_node.emplace(site, 0);
-        if (inserted) {
-          it->second = flow.add_node();
-          flow.add_edge(it->second, snk, 1, 0);
-        }
-        const int arc = flow.add_edge(2 + i, it->second, 1, cost);
-        arc_of[static_cast<size_t>(i)].push_back({arc, site});
+      auto& e = edges[static_cast<size_t>(i)];
+      for (size_t idx = 0; idx < e.size(); ++idx) {
+        auto& [site, cost] = e[idx];
+        // Residual mapped monotonically to [0, 2^resid_bits): every
+        // assignment ships exactly n unit arcs, so the +0.5 offset adds the
+        // same constant to every candidate assignment and distorts nothing.
+        const int64_t rq = static_cast<int64_t>(
+            std::llround((resid[static_cast<size_t>(i)][idx] + 0.5) * resid_scale));
+        cost = cost * scale + (rq << hash_bits) +
+               static_cast<int64_t>(arc_tiebreak(i, site) & hash_mask);
       }
     }
-    const MinCostFlow::Result mcf = flow.solve(src, snk, n);
+
+    // Primal hint for this iteration's solve: the previous iterate, or on
+    // the first iteration the assignment carried in from the previous call.
+    const std::vector<int>* hint = nullptr;
+    if (opts.warm_start) {
+      if (iter > 0)
+        hint = &prev_site;
+      else if (!carried_hint.empty())
+        hint = &carried_hint;
+    }
+
+    // --- min-cost-flow transportation solve ---------------------------------
+    MinCostFlow::WarmState iter_warm;  // intra-iteration reuse for pricing re-solves
+    MinCostFlow::WarmState* ws = nullptr;
+    if (opts.warm_start)
+      ws = &wstate->solver;
+    else if (opts.pricing)
+      ws = &iter_warm;
+    MinCostFlow flow(num_nodes);
+    std::vector<int> src_arc(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) src_arc[static_cast<size_t>(i)] = flow.add_edge(src, 2 + i, 1, 0);
+    std::vector<char> site_active(static_cast<size_t>(capacity), 0);
+    std::vector<int> site_arc(static_cast<size_t>(capacity), -1);
+    std::vector<std::vector<int>> arc_id(static_cast<size_t>(n));  // -1 = not materialized
+    std::vector<std::vector<std::pair<int, int>>> arc_of(static_cast<size_t>(n));
+    long long enabled = 0;
+    auto materialize = [&](int i, size_t idx) {
+      const auto& [site, cost] = edges[static_cast<size_t>(i)][idx];
+      if (!site_active[static_cast<size_t>(site)]) {
+        site_active[static_cast<size_t>(site)] = 1;
+        site_arc[static_cast<size_t>(site)] = flow.add_edge(site_nd(site), snk, 1, 0);
+      }
+      const int arc = flow.add_edge(2 + i, site_nd(site), 1, cost);
+      arc_id[static_cast<size_t>(i)][idx] = arc;
+      arc_of[static_cast<size_t>(i)].push_back({arc, site});
+      ++enabled;
+    };
+    for (int i = 0; i < n; ++i)
+      arc_id[static_cast<size_t>(i)].assign(edges[static_cast<size_t>(i)].size(), -1);
+    if (!opts.pricing) {
+      for (int i = 0; i < n; ++i)
+        for (size_t idx = 0; idx < edges[static_cast<size_t>(i)].size(); ++idx)
+          materialize(i, idx);
+    } else {
+      // Sparse seed: the pricing_seed_arcs most promising candidates per
+      // DSP plus the previous site's arc. "Promising" is measured in stale
+      // REDUCED cost (cost minus the carried site dual) when warm
+      // potentials exist: that is the ordering the pricing sweep itself
+      // will apply, so the seed pre-loads the arcs pricing would otherwise
+      // pull in over several expensive rounds. Cold falls back to raw cost
+      // (nearest columns dominate). The choice only shapes the seed — the
+      // pricing certificate still proves optimality over the full
+      // universe — so it cannot change the returned assignment.
+      const std::vector<int64_t>* stale_pi =
+          ws != nullptr && ws->potentials.size() == static_cast<size_t>(num_nodes)
+              ? &ws->potentials
+              : nullptr;
+      constexpr int64_t pi_lim = std::numeric_limits<int64_t>::max() / 32;
+      auto seed_key = [&](const std::pair<int, int64_t>& ec) {
+        int64_t p = 0;
+        if (stale_pi != nullptr) {
+          p = (*stale_pi)[static_cast<size_t>(site_nd(ec.first))];
+          if (p >= pi_lim || p <= -pi_lim) p = 0;
+        }
+        return ec.second - p;
+      };
+      std::vector<size_t> order;
+      for (int i = 0; i < n; ++i) {
+        const auto& e = edges[static_cast<size_t>(i)];
+        order.resize(e.size());
+        for (size_t idx = 0; idx < e.size(); ++idx) order[idx] = idx;
+        const size_t seed =
+            std::min(e.size(), static_cast<size_t>(std::max(1, opts.pricing_seed_arcs)));
+        std::partial_sort(order.begin(), order.begin() + static_cast<long>(seed), order.end(),
+                          [&](size_t a, size_t b) {
+                            const int64_t ka = seed_key(e[a]);
+                            const int64_t kb = seed_key(e[b]);
+                            return ka != kb ? ka < kb : e[a].first < e[b].first;
+                          });
+        for (size_t s = 0; s < seed; ++s) materialize(i, order[s]);
+        // Previous-site and primal-hint arcs join the seed (at iter > 0 the
+        // hint IS prev_site, so at most two lookups ever run). Extra seed
+        // arcs cannot change the result: pricing certifies optimality over
+        // the full universe whatever the seed was.
+        for (const int ps : {prev_site[static_cast<size_t>(i)],
+                             hint != nullptr ? (*hint)[static_cast<size_t>(i)] : -1}) {
+          if (ps < 0) continue;
+          const auto it = std::lower_bound(
+              e.begin(), e.end(), ps,
+              [](const std::pair<int, int64_t>& arc, int s) { return arc.first < s; });
+          if (it != e.end() && it->first == ps) {
+            const size_t idx = static_cast<size_t>(it - e.begin());
+            if (arc_id[static_cast<size_t>(i)][idx] == -1) materialize(i, idx);
+          }
+        }
+        // The previous iteration's materialized set joins the seed too:
+        // carried sites no longer in this iteration's candidate list just
+        // miss the lookup and drop out.
+        for (const int cs : carry_sites[static_cast<size_t>(i)]) {
+          const auto it = std::lower_bound(
+              e.begin(), e.end(), cs,
+              [](const std::pair<int, int64_t>& arc, int s) { return arc.first < s; });
+          if (it != e.end() && it->first == cs) {
+            const size_t idx = static_cast<size_t>(it - e.begin());
+            if (arc_id[static_cast<size_t>(i)][idx] == -1) materialize(i, idx);
+          }
+        }
+      }
+    }
+
+    // Primal warm start (docs/SOLVER.md): re-install the previous
+    // assignment as the starting flow and hand reoptimize() duals that
+    // price every installed arc at exactly zero reduced cost — the dynamic-
+    // Hungarian construction. Site and sink potentials carry over from the
+    // previous solve (unchanged occupancy keeps their arcs feasible); each
+    // row potential is recomputed so its installed arc is tight under the
+    // NEW costs (rows without an installable unit get their cheapest
+    // materialized arc tight instead); the source closes the chain at the
+    // row minimum. The only dual violations left are arcs that genuinely
+    // beat an installed assignment under the new costs, so the correction
+    // sweep's work — and every cycle it cancels — corresponds to a real
+    // assignment change, not to re-shipping all n units.
+    auto install_hint = [&](const std::vector<int>& sites) {
+      if (ws == nullptr) return false;
+      std::vector<int64_t> pi(static_cast<size_t>(num_nodes), 0);
+      constexpr int64_t lim = std::numeric_limits<int64_t>::max() / 32;
+      if (ws->potentials.size() == static_cast<size_t>(num_nodes))
+        for (int s = 0; s < capacity; ++s) {
+          const int64_t p = ws->potentials[static_cast<size_t>(site_nd(s))];
+          if (p < lim && p > -lim) pi[static_cast<size_t>(site_nd(s))] = p;
+        }
+      if (ws->potentials.size() == static_cast<size_t>(num_nodes)) {
+        const int64_t p = ws->potentials[static_cast<size_t>(snk)];
+        if (p < lim && p > -lim) pi[static_cast<size_t>(snk)] = p;
+      }
+      bool any = false;
+      int64_t min_installed = std::numeric_limits<int64_t>::max();
+      int64_t max_row = std::numeric_limits<int64_t>::min();
+      for (int i = 0; i < n; ++i) {
+        const int hs = sites[static_cast<size_t>(i)];
+        const auto& e = edges[static_cast<size_t>(i)];
+        int arc = -1;
+        int64_t arc_cost = 0;
+        if (hs >= 0) {
+          const auto it = std::lower_bound(
+              e.begin(), e.end(), hs,
+              [](const std::pair<int, int64_t>& ec, int s) { return ec.first < s; });
+          if (it != e.end() && it->first == hs) {
+            const int a = arc_id[static_cast<size_t>(i)][static_cast<size_t>(it - e.begin())];
+            if (a != -1 && site_arc[static_cast<size_t>(hs)] != -1 &&
+                flow.flow_on(site_arc[static_cast<size_t>(hs)]) == 0) {
+              arc = a;
+              arc_cost = it->second;
+            }
+          }
+        }
+        if (arc != -1) {
+          flow.force_flow(src_arc[static_cast<size_t>(i)], 1);
+          flow.force_flow(arc, 1);
+          flow.force_flow(site_arc[static_cast<size_t>(hs)], 1);
+          pi[static_cast<size_t>(2 + i)] = pi[static_cast<size_t>(site_nd(hs))] - arc_cost;
+          min_installed = std::min(min_installed, pi[static_cast<size_t>(2 + i)]);
+          any = true;
+        } else {
+          // Unshipped row: the highest feasible row potential, which leaves
+          // the row's best-reduced-cost arc tight so the later Dijkstra
+          // round settles it almost immediately.
+          int64_t best = 0;
+          bool first = true;
+          for (size_t idx = 0; idx < e.size(); ++idx) {
+            if (arc_id[static_cast<size_t>(i)][idx] == -1) continue;
+            const auto& [site, cost] = e[idx];
+            const int64_t v = pi[static_cast<size_t>(site_nd(site))] - cost;
+            if (first || v > best) best = v;
+            first = false;
+          }
+          pi[static_cast<size_t>(2 + i)] = best;
+        }
+        max_row = std::max(max_row, pi[static_cast<size_t>(2 + i)]);
+      }
+      // Installed rows' source twins need pi_src <= pi_row; with nothing
+      // installed the forward arcs want it as high as any row instead.
+      pi[static_cast<size_t>(src)] =
+          min_installed != std::numeric_limits<int64_t>::max() ? min_installed : max_row;
+      ws->potentials = std::move(pi);
+      return any;
+    };
+    bool have_flow = hint != nullptr ? install_hint(*hint) : false;
+
+    // Solve, then price in every negative-reduced-cost arc of the universe
+    // and re-solve until one full sweep certifies none remain — the exact-
+    // optimality invariant: the sparse solution is then optimal over the
+    // complete candidate set, not just the materialized one.
+    const Timer iter_timer;
+    MinCostFlow::Result mcf;
+    bool full_set = !opts.pricing;
+    struct PriceCand {
+      int target;
+      size_t idx;
+      int64_t reduced;
+    };
+    std::vector<PriceCand> to_add;
+    for (;;) {
+      const int64_t warm_before = ws != nullptr ? ws->warm_starts : 0;
+      const Timer solve_timer;
+      // With flow installed (a hint, or the previous pricing round's full
+      // solution) reoptimize repairs it in place; otherwise the classic
+      // cold/dual-warm SSP solve. Both are exact, and the tie-break makes
+      // the optimum unique, so the path taken never changes the result.
+      mcf = have_flow ? flow.reoptimize(src, snk, n, ws) : flow.solve(src, snk, n, ws);
+      mm.solve_us.observe(micros(solve_timer));
+      mm.solves.inc();
+      ++result.solves;
+      if (ws != nullptr && ws->warm_starts > warm_before) {
+        ++result.warm_starts;
+        mm.warm_starts.inc();
+      }
+      if (full_set) break;
+      if (!mcf.reached_desired) {
+        // The sparse set cannot ship n units; materialize the whole
+        // universe so feasibility (and the widening decision below) is
+        // judged on exactly the graph --mcf-cold solves.
+        for (int i = 0; i < n; ++i)
+          for (size_t idx = 0; idx < edges[static_cast<size_t>(i)].size(); ++idx)
+            if (arc_id[static_cast<size_t>(i)][idx] == -1) materialize(i, idx);
+        full_set = true;
+        flow.reset_flow();
+        have_flow = false;
+        continue;
+      }
+      // Pricing sweep. Sites with no materialized arc during the solve get
+      // the sink's potential — the dual completion that keeps their (slack)
+      // constraints feasible; their stored potential value is meaningless.
+      to_add.clear();
+      const int64_t pi_snk = mcf.potentials[static_cast<size_t>(snk)];
+      for (int i = 0; i < n; ++i) {
+        const int64_t pi_i = mcf.potentials[static_cast<size_t>(2 + i)];
+        const auto& e = edges[static_cast<size_t>(i)];
+        for (size_t idx = 0; idx < e.size(); ++idx) {
+          if (arc_id[static_cast<size_t>(i)][idx] != -1) continue;
+          const auto& [site, cost] = e[idx];
+          int64_t pi_s = pi_snk;
+          if (site_active[static_cast<size_t>(site)]) {
+            pi_s = mcf.potentials[static_cast<size_t>(site_nd(site))];
+            if (pi_s > std::numeric_limits<int64_t>::max() / 8) pi_s = pi_snk;
+          }
+          if (cost + pi_i - pi_s < 0) to_add.push_back({i, idx, cost + pi_i - pi_s});
+        }
+      }
+      if (to_add.empty()) break;  // certificate: optimal over the universe
+      // Small pricing rounds keep the n shipped units: each negative
+      // residual cycle the new arcs open passes through one of them and
+      // corresponds to a unit that actually moves, so the next reoptimize
+      // cancels a handful of cycles instead of re-shipping everything. A
+      // LARGE batch (the first round after a too-sparse seed) would open
+      // more cycles than canceling is worth — re-solving from the carried
+      // duals is cheaper, and both paths are exact, so the cutoff cannot
+      // change the result.
+      for (const auto& [i, idx, r] : to_add) materialize(i, idx);
+      ++result.pricing_rounds;
+      if (static_cast<int>(to_add.size()) > 4 * n + 32) {
+        flow.reset_flow();
+        have_flow = false;
+      } else {
+        have_flow = true;
+      }
+    }
+    const int64_t iter_us = micros(iter_timer);
+    if (iter == 0)
+      result.first_iter_us += iter_us;
+    else
+      result.later_iters_us += iter_us;
+    result.priced_arcs += enabled;
+    mm.priced_arcs.inc(enabled);
+    mm.total_arcs.inc(universe);
+    if (opts.pricing && !full_set) {
+      // Remember what pricing materialized for the next iteration's seed —
+      // but only each row's best arcs by final reduced cost. Carrying the
+      // whole set ratchets the graph toward the dense universe (every arc
+      // ever priced in stays forever) and the sweeps and Dijkstras pay for
+      // arcs that stopped mattering iterations ago; the near-tight ones are
+      // the only plausible re-entrants under the next iteration's drifted
+      // costs, and anything pruned too eagerly costs one cheap small
+      // pricing round to win back. A full-universe fallback is deliberately
+      // NOT carried — it would pin every later iteration at the dense
+      // graph.
+      constexpr size_t kCarryPerRow = 16;
+      std::vector<std::pair<int64_t, int>> by_r;
+      for (int i = 0; i < n; ++i) {
+        auto& cs = carry_sites[static_cast<size_t>(i)];
+        cs.clear();
+        by_r.clear();
+        const int64_t pi_i = mcf.potentials[static_cast<size_t>(2 + i)];
+        const auto& e = edges[static_cast<size_t>(i)];
+        for (const auto& [arc, site] : arc_of[static_cast<size_t>(i)]) {
+          const auto it = std::lower_bound(
+              e.begin(), e.end(), site,
+              [](const std::pair<int, int64_t>& ec, int s) { return ec.first < s; });
+          const int64_t pi_s = mcf.potentials[static_cast<size_t>(site_nd(site))];
+          by_r.push_back({it->second + pi_i - pi_s, site});
+        }
+        if (by_r.size() > kCarryPerRow) {
+          std::partial_sort(by_r.begin(), by_r.begin() + kCarryPerRow, by_r.end());
+          by_r.resize(kCarryPerRow);
+        }
+        for (const auto& [r, site] : by_r) cs.push_back(site);
+        std::sort(cs.begin(), cs.end());
+      }
+    }
+
     if (!mcf.reached_desired) {
       // Candidate sets too tight (Hall violation): widen and redo this
       // iteration.
@@ -255,7 +702,8 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
       ty[static_cast<size_t>(i)] = s.y;
     }
     result.iterations_run = iter + 1;
-    result.final_objective = static_cast<double>(mcf.cost) / opts.cost_scale;
+    result.final_objective =
+        static_cast<double>(mcf.cost) / static_cast<double>(scale) / opts.cost_scale;
     if (!changed) {
       result.converged = true;
       break;
@@ -277,6 +725,11 @@ AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placeme
   }
 
   result.site = prev_site;
+  if (opts.warm_start) {
+    wstate->hint.clear();
+    if (std::all_of(prev_site.begin(), prev_site.end(), [](int s) { return s >= 0; }))
+      wstate->hint = prev_site;
+  }
   return result;
 }
 

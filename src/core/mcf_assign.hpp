@@ -7,6 +7,17 @@
 // solved exactly as a min-cost flow whose total unimodularity guarantees an
 // integral assignment. The paper runs 50 iterations; we also early-stop
 // when the assignment reaches a fixed point.
+//
+// Solver execution modes (docs/SOLVER.md): consecutive iterations differ
+// only in arc costs, so by default the solve is warm-started from the
+// previous iteration's dual potentials and column-generation priced — only
+// the nearest candidate arcs per DSP are materialized and negative-reduced-
+// cost arcs are priced in on demand, with a full pricing sweep certifying
+// exact optimality over the complete candidate universe before an iterate
+// is accepted. All modes fold a deterministic tie-break into the arc costs
+// so the optimum is unique and cold/warm/priced return bit-identical
+// assignments; the mode knobs are deliberately excluded from the stage
+// checkpoint keys (core/flow.cpp) because they cannot change the output.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,7 @@
 #include "fpga/device.hpp"
 #include "netlist/netlist.hpp"
 #include "placer/placement.hpp"
+#include "solver/mcf.hpp"
 
 namespace dsp {
 
@@ -27,6 +39,14 @@ struct AssignOptions {
   double eta = 8.0;          // cascade-adjacency penalty weight
   int candidate_sites = 48;  // nearest candidate sites per DSP per iteration
   double cost_scale = 64.0;  // double->int64 fixed-point scale
+
+  // ---- solver execution mode (output-invariant; see docs/SOLVER.md) ----
+  // These knobs only change how fast the per-iteration transportation
+  // problem is solved, never which assignment it returns, so core/flow
+  // deliberately leaves them out of the stage checkpoint keys.
+  bool warm_start = true;     // carry dual potentials across iterations/calls
+  bool pricing = true;        // column generation over a sparse seed arc set
+  int pricing_seed_arcs = 8;  // cheapest arcs per DSP materialized up front
 };
 
 struct AssignResult {
@@ -35,6 +55,32 @@ struct AssignResult {
   bool converged = false;       // assignment reached a fixed point early
   double final_objective = 0.0; // linearized objective of the last iterate
   long long arcs_built = 0;     // candidate arcs costed across all iterations
+
+  // ---- solver execution stats (mode-dependent; trace/bench only) ----
+  long long solves = 0;          // MinCostFlow::solve invocations
+  long long warm_starts = 0;     // solves seeded from carried potentials
+  long long priced_arcs = 0;     // target->site arcs materialized in the solver
+  long long universe_arcs = 0;   // full candidate arc universe (== arcs_built)
+  long long pricing_rounds = 0;  // sweeps that materialized new arcs
+  int64_t first_iter_us = 0;     // solve wall time of linearization iter 0
+  int64_t later_iters_us = 0;    // solve wall time of iterations >= 1
+};
+
+/// Per-job warm-start state for mcf_assign_dsps, persisting across the
+/// linearization iterations of one call and across calls (the Fig. 6
+/// DspPlace/Replace alternation re-solves the same targets with moved
+/// attractors). Owned by FlowContext — one per job — so concurrent fleets
+/// under the stage scheduler never share or race on it. Safe to reuse only
+/// while the target set and device stay fixed; a node-count mismatch
+/// resets it automatically.
+struct AssignWarmState {
+  MinCostFlow::WarmState solver;  // dual potentials + primal support
+  /// Last completed call's accepted assignment (site per target index).
+  /// The next call re-installs it as the starting flow and reoptimizes
+  /// instead of solving from scratch. Never consulted when building
+  /// candidates or costs, so it cannot change the returned assignment.
+  std::vector<int> hint;
+  int nodes = 0;  // node numbering the potentials/hint refer to
 };
 
 /// Assigns a site to every cell of `targets` (the datapath DSPs). Other
@@ -42,9 +88,12 @@ struct AssignResult {
 /// datapath edges for the angle penalty. `pl` is not modified. Per-target
 /// arc-cost construction runs on `pool` (nullptr: the global pool) and is
 /// bit-identical for any thread count; the MCF solve itself stays serial.
+/// `warm` (optional) carries solver state across calls; nullptr solves
+/// with call-local warm state (iterations still warm-start each other).
 AssignResult mcf_assign_dsps(const Netlist& nl, const Device& dev, const Placement& pl,
                              const DspGraph& graph, const std::vector<CellId>& targets,
-                             const AssignOptions& opts = {}, ThreadPool* pool = nullptr);
+                             const AssignOptions& opts = {}, ThreadPool* pool = nullptr,
+                             AssignWarmState* warm = nullptr);
 
 /// The angle term of constraint (6): cos of the site's bearing measured at
 /// the PS corner (origin). Exposed for tests and the legalizer tie-breaks.

@@ -48,6 +48,17 @@ inline constexpr const char* kGraphPoolMiss = "dsplacer_graph_pool_miss_total";
 inline constexpr const char* kGcnWeightsHit = "dsplacer_gcn_weights_hit_total";
 inline constexpr const char* kGcnWeightsMiss = "dsplacer_gcn_weights_miss_total";
 
+// ---- MCF assignment solver (src/core/mcf_assign.cpp) ----
+// Counters: solves and how many of them were warm-started; priced vs total
+// arcs measure column-generation sparsity (priced/total = fraction of the
+// candidate universe ever materialized — the two series deliberately share
+// a unit so the ratio is meaningful, hence no `_total` suffix on either).
+inline constexpr const char* kMcfSolves = "dsplacer_mcf_solves_total";
+inline constexpr const char* kMcfWarmStarts = "dsplacer_mcf_warm_starts_total";
+inline constexpr const char* kMcfPricedArcs = "dsplacer_mcf_priced_arcs";
+inline constexpr const char* kMcfTotalArcs = "dsplacer_mcf_total_arcs";
+inline constexpr const char* kMcfSolveUs = "dsplacer_mcf_solve_us";
+
 // ---- thread pool (src/util/thread_pool.cpp) ----
 inline constexpr const char* kPoolTasks = "dsplacer_pool_tasks_total";
 inline constexpr const char* kPoolParallelFors = "dsplacer_pool_parallel_fors_total";

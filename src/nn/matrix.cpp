@@ -1,8 +1,15 @@
 #include "nn/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dsp {
+namespace {
+// Output columns processed per pass: the active slices of `out` and up to
+// four rows of the RHS (5 * 512 doubles = 20 KiB) stay resident in L1/L2
+// while the unrolled k-loop streams over them.
+constexpr int kJTile = 512;
+}  // namespace
 
 Matrix Matrix::glorot(int rows, int cols, Rng& rng) {
   Matrix m(rows, cols);
@@ -32,17 +39,50 @@ Matrix Matrix::vstack(const std::vector<const Matrix*>& parts) {
   return out;
 }
 
+// All three kernels accumulate each output element strictly in ascending-k
+// order (the nested (((o + a0*b0) + a1*b1) + ...) chains are the same
+// add/mul sequence the rolled loop emits), and the sparsity skips fire for
+// exactly the same operands, so blocking/unrolling never changes a bit of
+// the result — the GCN weight pool and checkpoint keys rely on that.
+
 Matrix Matrix::matmul(const Matrix& other) const {
   assert(cols_ == other.rows_);
-  Matrix out(rows_, other.cols_);
+  const int n = other.cols_;
+  Matrix out(rows_, n);
   for (int i = 0; i < rows_; ++i) {
     const double* a = row(i);
     double* o = out.row(i);
-    for (int k = 0; k < cols_; ++k) {
-      const double aik = a[k];
-      if (aik == 0.0) continue;
-      const double* b = other.row(k);
-      for (int j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    for (int j0 = 0; j0 < n; j0 += kJTile) {
+      const int j1 = std::min(n, j0 + kJTile);
+      int k = 0;
+      for (; k + 4 <= cols_; k += 4) {
+        const double a0 = a[k], a1 = a[k + 1], a2 = a[k + 2], a3 = a[k + 3];
+        const double* b0 = other.row(k);
+        const double* b1 = other.row(k + 1);
+        const double* b2 = other.row(k + 2);
+        const double* b3 = other.row(k + 3);
+        if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+          for (int j = j0; j < j1; ++j)
+            o[j] = (((o[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        } else {
+          // ReLU activations and one-hot features make zero a-operands
+          // common; keep the rolled loop's per-k skip for them.
+          if (a0 != 0.0)
+            for (int j = j0; j < j1; ++j) o[j] += a0 * b0[j];
+          if (a1 != 0.0)
+            for (int j = j0; j < j1; ++j) o[j] += a1 * b1[j];
+          if (a2 != 0.0)
+            for (int j = j0; j < j1; ++j) o[j] += a2 * b2[j];
+          if (a3 != 0.0)
+            for (int j = j0; j < j1; ++j) o[j] += a3 * b3[j];
+        }
+      }
+      for (; k < cols_; ++k) {
+        const double aik = a[k];
+        if (aik == 0.0) continue;
+        const double* b = other.row(k);
+        for (int j = j0; j < j1; ++j) o[j] += aik * b[j];
+      }
     }
   }
   return out;
@@ -50,15 +90,46 @@ Matrix Matrix::matmul(const Matrix& other) const {
 
 Matrix Matrix::matmul_transposed_lhs(const Matrix& other) const {
   assert(rows_ == other.rows_);
-  Matrix out(cols_, other.cols_);
-  for (int k = 0; k < rows_; ++k) {
+  const int n = other.cols_;
+  Matrix out(cols_, n);
+  // Register-block four LHS rows per pass: their RHS rows b0..b3 are reused
+  // across every output row i of the pass instead of being re-streamed.
+  int k = 0;
+  for (; k + 4 <= rows_; k += 4) {
+    const double* a0 = row(k);
+    const double* a1 = row(k + 1);
+    const double* a2 = row(k + 2);
+    const double* a3 = row(k + 3);
+    const double* b0 = other.row(k);
+    const double* b1 = other.row(k + 1);
+    const double* b2 = other.row(k + 2);
+    const double* b3 = other.row(k + 3);
+    for (int i = 0; i < cols_; ++i) {
+      const double c0 = a0[i], c1 = a1[i], c2 = a2[i], c3 = a3[i];
+      double* o = out.row(i);
+      if (c0 != 0.0 && c1 != 0.0 && c2 != 0.0 && c3 != 0.0) {
+        for (int j = 0; j < n; ++j)
+          o[j] = (((o[j] + c0 * b0[j]) + c1 * b1[j]) + c2 * b2[j]) + c3 * b3[j];
+      } else {
+        if (c0 != 0.0)
+          for (int j = 0; j < n; ++j) o[j] += c0 * b0[j];
+        if (c1 != 0.0)
+          for (int j = 0; j < n; ++j) o[j] += c1 * b1[j];
+        if (c2 != 0.0)
+          for (int j = 0; j < n; ++j) o[j] += c2 * b2[j];
+        if (c3 != 0.0)
+          for (int j = 0; j < n; ++j) o[j] += c3 * b3[j];
+      }
+    }
+  }
+  for (; k < rows_; ++k) {
     const double* a = row(k);
     const double* b = other.row(k);
     for (int i = 0; i < cols_; ++i) {
       const double aki = a[i];
       if (aki == 0.0) continue;
       double* o = out.row(i);
-      for (int j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+      for (int j = 0; j < n; ++j) o[j] += aki * b[j];
     }
   }
   return out;
@@ -72,8 +143,14 @@ Matrix Matrix::matmul_transposed_rhs(const Matrix& other) const {
     double* o = out.row(i);
     for (int j = 0; j < other.rows_; ++j) {
       const double* b = other.row(j);
+      // Single sequential accumulator: splitting into partial sums would
+      // reassociate the adds and break bit-exactness with the rolled loop.
       double s = 0.0;
-      for (int k = 0; k < cols_; ++k) s += a[k] * b[k];
+      int k = 0;
+      for (; k + 4 <= cols_; k += 4)
+        s = (((s + a[k] * b[k]) + a[k + 1] * b[k + 1]) + a[k + 2] * b[k + 2]) +
+            a[k + 3] * b[k + 3];
+      for (; k < cols_; ++k) s += a[k] * b[k];
       o[j] = s;
     }
   }

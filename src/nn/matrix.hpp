@@ -1,7 +1,12 @@
 // Dense row-major matrix of doubles with the handful of BLAS-like kernels
-// the GCN training loop needs. Deliberately simple: netlist feature
-// matrices are (num_nodes x 7) and hidden layers are 32-wide, so cache
-// blocking and vectorization heroics are unnecessary.
+// the GCN training loop needs. The matmuls are cache-tiled and 4-way
+// unrolled: solo Extract works on (num_nodes x 7) features where this
+// barely matters, but batched Extract vstacks every claimed job's feature
+// matrix into one tall operand, and the training loop's gradient products
+// (matmul_transposed_lhs) touch the full stack each epoch. The blocked
+// kernels keep each output element's accumulation order (ascending k) and
+// the zero-operand skips identical to the naive triple loop, so results
+// stay bit-exact with the pre-blocking implementation.
 #pragma once
 
 #include <cassert>

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <limits>
 #include <queue>
 
 namespace dsp {
 namespace {
 constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
-}
+// Seed potentials beyond this magnitude are treated as garbage (a node the
+// previous solve never reached): reduced-cost arithmetic stays far from
+// overflow and the repair pass rebuilds anything meaningful.
+constexpr int64_t kSeedLimit = kInf / 8;
+}  // namespace
 
 MinCostFlow::MinCostFlow(int num_nodes) { first_out_.assign(static_cast<size_t>(num_nodes), -1); }
 
@@ -62,6 +67,55 @@ bool MinCostFlow::bellman_ford_potentials(int s) {
   return true;
 }
 
+bool MinCostFlow::repair_potentials() {
+  // potential_ holds a stale dual; find the least correction d <= 0 with
+  //   cost(u,v) + (pi[u]+d[u]) - (pi[v]+d[v]) >= 0   for every cap>0 arc,
+  // i.e. shortest distances from a virtual source connected to every node
+  // at 0 under the (possibly negative) stale reduced costs. When the seed
+  // is close to feasible only a few nodes ever enter the queue.
+  const size_t n = static_cast<size_t>(num_nodes());
+  std::vector<int64_t> d(n, 0);
+  std::vector<char> in_queue(n, 0);
+  std::queue<int> q;
+  for (int u = 0; u < static_cast<int>(n); ++u) {
+    for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      if (arc.cost + potential_[static_cast<size_t>(u)] - potential_[static_cast<size_t>(arc.to)] < 0) {
+        if (!in_queue[static_cast<size_t>(u)]) {
+          in_queue[static_cast<size_t>(u)] = 1;
+          q.push(u);
+        }
+        break;
+      }
+    }
+  }
+  size_t relaxations = 0;
+  const size_t budget = n * arcs_.size() + 16;
+  while (!q.empty()) {
+    if (++relaxations > budget) return false;  // negative cycle guard
+    const int u = q.front();
+    q.pop();
+    in_queue[static_cast<size_t>(u)] = 0;
+    for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      const int64_t reduced =
+          arc.cost + potential_[static_cast<size_t>(u)] - potential_[static_cast<size_t>(arc.to)];
+      const int64_t nd = d[static_cast<size_t>(u)] + reduced;
+      if (nd < d[static_cast<size_t>(arc.to)]) {
+        d[static_cast<size_t>(arc.to)] = nd;
+        if (!in_queue[static_cast<size_t>(arc.to)]) {
+          in_queue[static_cast<size_t>(arc.to)] = 1;
+          q.push(arc.to);
+        }
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) potential_[v] += d[v];
+  return true;
+}
+
 bool MinCostFlow::dijkstra(int s, int t) {
   const size_t n = static_cast<size_t>(num_nodes());
   dist_.assign(n, kInf);
@@ -74,6 +128,11 @@ bool MinCostFlow::dijkstra(int s, int t) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > dist_[static_cast<size_t>(u)]) continue;
+    // Early exit once t is settled: the capped potential update below only
+    // ever sees min(dist, dist[t]), so abandoning the tail of the search
+    // leaves the solve bit-identical and skips most of the graph when the
+    // potentials are warm (dist[t] is then ~0).
+    if (u == t) return true;
     for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
       const Arc& arc = arcs_[static_cast<size_t>(a)];
       if (arc.cap <= 0) continue;
@@ -96,17 +155,31 @@ bool MinCostFlow::dijkstra(int s, int t) {
   return dist_[static_cast<size_t>(t)] < kInf;
 }
 
-MinCostFlow::Result MinCostFlow::solve(int s, int t, int desired_flow) {
+MinCostFlow::Result MinCostFlow::solve(int s, int t, int desired_flow, WarmState* warm) {
   Result res;
   if (s == t || desired_flow <= 0) {
     res.reached_desired = true;
     return res;
   }
   const size_t n = static_cast<size_t>(num_nodes());
-  if (has_negative_) {
-    if (!bellman_ford_potentials(s)) return res;  // negative cycle: give up
-  } else {
-    potential_.assign(n, 0);
+
+  bool seeded = false;
+  if (warm != nullptr && warm->valid() &&
+      warm->potentials.size() == n) {
+    // Warm path: load the previous dual and repair it instead of running
+    // the full Bellman-Ford pass. Out-of-range values (nodes the previous
+    // solve never reached) are clamped so reduced-cost sums stay finite.
+    potential_ = warm->potentials;
+    for (int64_t& p : potential_)
+      if (p > kSeedLimit || p < -kSeedLimit) p = 0;
+    seeded = repair_potentials();
+  }
+  if (!seeded) {
+    if (has_negative_) {
+      if (!bellman_ford_potentials(s)) return res;  // negative cycle: give up
+    } else {
+      potential_.assign(n, 0);
+    }
   }
 
   while (res.flow < desired_flow) {
@@ -136,7 +209,282 @@ MinCostFlow::Result MinCostFlow::solve(int s, int t, int desired_flow) {
     res.flow += bottleneck;
   }
   res.reached_desired = (res.flow == desired_flow);
+  res.potentials = potential_;
+
+  if (warm != nullptr) {
+    warm->potentials = res.potentials;
+    warm->support.clear();
+    for (size_t id = 0; id + 1 < arcs_.size(); id += 2)
+      if (arcs_[id + 1].cap > 0) warm->support.push_back(static_cast<int>(id));
+    ++warm->solves;
+    if (seeded) ++warm->warm_starts;
+  }
   return res;
+}
+
+void MinCostFlow::force_flow(int id, int units) {
+  assert(id >= 0 && static_cast<size_t>(id + 1) < arcs_.size() && (id & 1) == 0);
+  assert(units >= 0 && units <= arcs_[static_cast<size_t>(id)].cap);
+  arcs_[static_cast<size_t>(id)].cap -= units;
+  arcs_[static_cast<size_t>(id ^ 1)].cap += units;
+}
+
+int MinCostFlow::correction_sweep() {
+  const int nn = num_nodes();
+  const size_t n = static_cast<size_t>(nn);
+  dist_.assign(n, 0);
+  prev_arc_.assign(n, -1);
+  std::vector<int> dequeues(n, 0);
+  std::vector<char> in_queue(n, 0);
+  std::queue<int> q;
+  // Seed from tails of dual-infeasible residual arcs only; with a
+  // near-optimal starting flow this is a handful of nodes.
+  for (int u = 0; u < nn; ++u) {
+    for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      if (arc.cost + potential_[static_cast<size_t>(u)] - potential_[static_cast<size_t>(arc.to)] < 0) {
+        in_queue[static_cast<size_t>(u)] = 1;
+        q.push(u);
+        break;
+      }
+    }
+  }
+  size_t relaxations = 0;
+  const size_t budget = n * arcs_.size() + 16;
+  // Parent-graph probe: once a negative residual cycle exists, the
+  // prev_arc_ chains wrap around it within a few passes, while the dequeue
+  // bound below needs |V| full laps — each of which re-relaxes the cycle's
+  // whole reachable cone. A cycle among the parent pointers always has
+  // negative reduced length (each pointer was set by a strict improvement),
+  // so probing the parent graph every ~|V| dequeues finds it in O(V) and
+  // caps the cost of one cancel at roughly one probe interval.
+  const size_t probe_interval = n + 16;
+  size_t next_probe = probe_interval;
+  std::vector<int> probe_mark(n, 0);
+  auto parent_cycle = [&]() -> int {
+    std::fill(probe_mark.begin(), probe_mark.end(), 0);
+    int walk = 0;
+    for (int start = 0; start < nn; ++start) {
+      if (probe_mark[static_cast<size_t>(start)] != 0) continue;
+      ++walk;
+      int v = start;
+      while (v != -1 && probe_mark[static_cast<size_t>(v)] == 0) {
+        probe_mark[static_cast<size_t>(v)] = walk;
+        const int pa = prev_arc_[static_cast<size_t>(v)];
+        v = pa == -1 ? -1 : arcs_[static_cast<size_t>(pa ^ 1)].to;
+      }
+      if (v != -1 && probe_mark[static_cast<size_t>(v)] == walk) return v;
+    }
+    return -1;
+  };
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    in_queue[static_cast<size_t>(u)] = 0;
+    if (++dequeues[static_cast<size_t>(u)] > nn) {
+      // Without a negative cycle a node's label improves at most |V|-1
+      // times (shortest walks are simple), so this node was fed by a
+      // negative residual cycle: walking the predecessor chain |V| steps
+      // lands inside it. Guard against a chain that dead-ends on a seed
+      // node (prev_arc_ == -1) — then keep sweeping and let the global
+      // budget below decide.
+      int v = u;
+      bool ok = true;
+      for (int step = 0; step < nn && ok; ++step) {
+        const int pa = prev_arc_[static_cast<size_t>(v)];
+        if (pa == -1) ok = false;
+        else v = arcs_[static_cast<size_t>(pa ^ 1)].to;
+      }
+      if (ok) return v;
+    }
+    if (++relaxations > budget) return -2;  // give up; caller goes cold
+    if (relaxations >= next_probe) {
+      next_probe += probe_interval;
+      const int c = parent_cycle();
+      if (c != -1) return c;
+    }
+    for (int a = first_out_[static_cast<size_t>(u)]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      const int64_t reduced =
+          arc.cost + potential_[static_cast<size_t>(u)] - potential_[static_cast<size_t>(arc.to)];
+      const int64_t nd = dist_[static_cast<size_t>(u)] + reduced;
+      if (nd < dist_[static_cast<size_t>(arc.to)]) {
+        dist_[static_cast<size_t>(arc.to)] = nd;
+        prev_arc_[static_cast<size_t>(arc.to)] = a;
+        if (!in_queue[static_cast<size_t>(arc.to)]) {
+          in_queue[static_cast<size_t>(arc.to)] = 1;
+          q.push(arc.to);
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+MinCostFlow::Result MinCostFlow::reoptimize(int s, int t, int desired_flow, WarmState* warm) {
+  Result res;
+  const size_t n = static_cast<size_t>(num_nodes());
+  if (s == t || desired_flow <= 0) {
+    res.reached_desired = true;
+    return res;
+  }
+
+  bool had_flow = false;
+  for (size_t id = 1; id < arcs_.size() && !had_flow; id += 2) had_flow = arcs_[id].cap > 0;
+
+  bool seeded = false;
+  if (warm != nullptr && warm->valid() && warm->potentials.size() == n) {
+    potential_ = warm->potentials;
+    for (int64_t& p : potential_)
+      if (p > kSeedLimit || p < -kSeedLimit) p = 0;
+    seeded = true;
+  } else {
+    potential_.assign(n, 0);
+  }
+
+  // Turbulence bail-out: when the costs moved so much that a large slice
+  // of the residual arcs violates the carried dual, repairing the old
+  // solution would cost more than discarding it (each cycle cancel pays a
+  // full label-correcting sweep). A cold solve is then the cheaper exact
+  // path. Early linearization iterations hit this; settled ones never do.
+  size_t violated = 0;
+  for (size_t u = 0; u < n; ++u) {
+    for (int a = first_out_[u]; a != -1; a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      if (arc.cost + potential_[u] - potential_[static_cast<size_t>(arc.to)] < 0) ++violated;
+    }
+  }
+  if (violated > arcs_.size() / 16 + 64) {
+    reset_flow();
+    return solve(s, t, desired_flow, warm);
+  }
+
+  // Phase 1: make the installed flow min-cost for its own value by
+  // canceling negative residual cycles. Tie-broken integer costs drop by
+  // at least 1 per cancel, so this terminates; the cap covers turbulent
+  // (or adversarial) inputs, where we reset and solve cold instead. The
+  // parent-graph probe makes each cancel's sweep restart cost roughly one
+  // probe interval, so the budget is a healthy multiple of the flow value
+  // (every cancel re-routes a unit that genuinely moves).
+  int cancels = 0;
+  const int max_cancels = desired_flow + 32;
+  std::vector<int> cycle_mark(n, 0);
+  std::vector<int> loop;
+  for (;;) {
+    const int hit = correction_sweep();
+    if (hit == -1) break;  // dual-feasible: current flow is optimal for its value
+    if (hit < 0 || cancels > max_cancels) {
+      // Budget blowout: the exact fallback. solve() does its own warm
+      // accounting.
+      reset_flow();
+      return solve(s, t, desired_flow, warm);
+    }
+    // Harvest EVERY node-disjoint cycle in the parent graph, not just the
+    // one through `hit`: each unit the cost drift moves contributes its own
+    // cycle, they are pairwise node- (hence arc-) disjoint, so all their
+    // bottleneck pushes are valid against the same residual snapshot and
+    // one sweep restart is amortized across the whole batch. Cancels move
+    // flow between arcs without touching node balances, so the shipped
+    // amount is unchanged.
+    std::fill(cycle_mark.begin(), cycle_mark.end(), 0);
+    int walk = 0;
+    int canceled_this_sweep = 0;
+    for (int root = 0; root < num_nodes() && cancels <= max_cancels; ++root) {
+      if (cycle_mark[static_cast<size_t>(root)] != 0) continue;
+      ++walk;
+      int v = root;
+      while (v != -1 && cycle_mark[static_cast<size_t>(v)] == 0) {
+        cycle_mark[static_cast<size_t>(v)] = walk;
+        const int pa = prev_arc_[static_cast<size_t>(v)];
+        v = pa == -1 ? -1 : arcs_[static_cast<size_t>(pa ^ 1)].to;
+      }
+      // A cycle only if this walk re-entered itself (hitting an older walk
+      // means the chain merged into territory already scanned).
+      if (v == -1 || cycle_mark[static_cast<size_t>(v)] != walk) continue;
+      loop.clear();
+      int u = v;
+      do {  // v is ON the cycle, so the parent chain from it stays on it
+        const int pa = prev_arc_[static_cast<size_t>(u)];
+        loop.push_back(pa);
+        u = arcs_[static_cast<size_t>(pa ^ 1)].to;
+      } while (u != v);
+      int amount = std::numeric_limits<int>::max();
+      int64_t loop_cost = 0;
+      for (const int a : loop) {
+        amount = std::min(amount, arcs_[static_cast<size_t>(a)].cap);
+        loop_cost += arcs_[static_cast<size_t>(a)].cost;
+      }
+      if (loop.empty() || amount <= 0 || loop_cost >= 0) continue;  // stale chain: skip
+      for (const int a : loop) {
+        arcs_[static_cast<size_t>(a)].cap -= amount;
+        arcs_[static_cast<size_t>(a ^ 1)].cap += amount;
+      }
+      ++cancels;
+      ++canceled_this_sweep;
+    }
+    if (canceled_this_sweep == 0) {
+      // The sweep claimed a cycle but none survived extraction: go cold
+      // rather than spin.
+      reset_flow();
+      return solve(s, t, desired_flow, warm);
+    }
+    // Re-sweep from the updated residual graph.
+  }
+  for (size_t v = 0; v < n; ++v) potential_[v] += dist_[v];
+
+  // Phase 2: ship the remaining units with the standard SSP rounds — the
+  // repaired duals satisfy r >= 0, so Dijkstra on reduced costs is valid
+  // and each augmentation keeps the flow min-cost for its value.
+  int shipped = 0;
+  for (int a = first_out_[static_cast<size_t>(s)]; a != -1; a = arcs_[static_cast<size_t>(a)].next)
+    shipped += (a & 1) ? -arcs_[static_cast<size_t>(a)].cap
+                       : arcs_[static_cast<size_t>(a ^ 1)].cap;
+  while (shipped < desired_flow) {
+    if (!dijkstra(s, t)) break;
+    const int64_t dt = dist_[static_cast<size_t>(t)];
+    for (size_t v = 0; v < n; ++v)
+      if (potential_[v] < kInf) potential_[v] += std::min(dist_[v], dt);
+    int bottleneck = desired_flow - shipped;
+    for (int v = t; v != s;) {
+      const int a = prev_arc_[static_cast<size_t>(v)];
+      bottleneck = std::min(bottleneck, arcs_[static_cast<size_t>(a)].cap);
+      v = arcs_[static_cast<size_t>(a ^ 1)].to;
+    }
+    for (int v = t; v != s;) {
+      const int a = prev_arc_[static_cast<size_t>(v)];
+      arcs_[static_cast<size_t>(a)].cap -= bottleneck;
+      arcs_[static_cast<size_t>(a ^ 1)].cap += bottleneck;
+      v = arcs_[static_cast<size_t>(a ^ 1)].to;
+    }
+    shipped += bottleneck;
+  }
+
+  res.flow = shipped;
+  for (size_t id = 0; id + 1 < arcs_.size(); id += 2)
+    res.cost += static_cast<int64_t>(arcs_[id + 1].cap) * arcs_[id].cost;
+  res.reached_desired = (res.flow == desired_flow);
+  res.potentials = potential_;
+
+  if (warm != nullptr) {
+    warm->potentials = res.potentials;
+    warm->support.clear();
+    for (size_t id = 0; id + 1 < arcs_.size(); id += 2)
+      if (arcs_[id + 1].cap > 0) warm->support.push_back(static_cast<int>(id));
+    ++warm->solves;
+    if (seeded || had_flow) ++warm->warm_starts;
+  }
+  return res;
+}
+
+void MinCostFlow::reset_flow() {
+  // Forward arc 2k regains whatever its residual twin accumulated.
+  for (size_t id = 0; id + 1 < arcs_.size(); id += 2) {
+    arcs_[id].cap += arcs_[id + 1].cap;
+    arcs_[id + 1].cap = 0;
+  }
 }
 
 int MinCostFlow::flow_on(int id) const {

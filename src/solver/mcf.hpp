@@ -8,6 +8,16 @@
 //
 // Costs are int64 (callers scale doubles); capacities are int. Negative
 // edge costs are supported (one Bellman-Ford pass seeds the potentials).
+//
+// Warm starts (docs/SOLVER.md): consecutive linearization iterations solve
+// the same bipartite shape with slightly different costs. Two mechanisms
+// reuse the previous solution, both exact:
+//  - dual: solve() can seed its potentials from a WarmState and repair
+//    them with a cheap label-correcting pass instead of Bellman-Ford;
+//  - primal: the caller re-installs the previous solution's flow with
+//    force_flow() and calls reoptimize(), which cancels the (few) negative
+//    residual cycles the cost deltas opened and ships any remaining units
+//    with normal SSP rounds — no per-unit Dijkstra over the whole graph.
 #pragma once
 
 #include <cstdint>
@@ -31,12 +41,77 @@ class MinCostFlow {
     int flow = 0;          // units actually shipped
     int64_t cost = 0;      // total cost of the shipped flow
     bool reached_desired = false;
+    /// Dual node potentials pi at termination, indexed by node id.
+    ///
+    /// Sign convention: the reduced cost of a residual arc u->v is
+    ///   r(u, v) = cost(u, v) + pi[u] - pi[v]
+    /// and the SSP invariant guarantees r >= 0 for every arc with residual
+    /// capacity when the solve terminates. A forward arc carrying flow
+    /// therefore has r <= 0 (its residual twin v->u, with cost -c, must
+    /// satisfy -c + pi[v] - pi[u] >= 0). Complementary-slackness tests and
+    /// the column-generation pricing sweep in core/mcf_assign both consume
+    /// exactly this convention; WarmState recycles the vector as the seed
+    /// of the next solve.
+    std::vector<int64_t> potentials;
+  };
+
+  /// Reusable warm-start state for a family of solves over graphs that
+  /// share one node numbering. SSP has no simplex basis; its analogue here
+  /// is the dual potentials plus the primal support (the forward edges
+  /// that carried flow when the last solve terminated). Seeding from a
+  /// stale-but-close dual makes the repair pass and every Dijkstra round
+  /// near-trivial; it never changes which flow value/cost is returned
+  /// (the solve stays exact), only how fast it is found.
+  struct WarmState {
+    std::vector<int64_t> potentials;  // last solve's Result::potentials
+    std::vector<int> support;         // forward edge ids that carried flow
+    int64_t solves = 0;               // solves routed through this state
+    int64_t warm_starts = 0;          // solves actually seeded from it
+
+    bool valid() const { return !potentials.empty(); }
+    void reset() {
+      potentials.clear();
+      support.clear();
+    }
   };
 
   /// Ships up to `desired_flow` units from s to t at minimum cost.
   /// Augments along exact shortest paths, so every prefix of the shipped
   /// flow is itself min-cost (standard SSP invariant).
-  Result solve(int s, int t, int desired_flow);
+  ///
+  /// With `warm` non-null: when the carried potentials match this graph's
+  /// node count they seed the solve (skipping the Bellman-Ford pass) and
+  /// `warm_starts` ticks; either way the state is refreshed with this
+  /// solve's potentials/support on return. Potentials sized for a
+  /// different node numbering are ignored (cold solve) and replaced.
+  Result solve(int s, int t, int desired_flow, WarmState* warm = nullptr);
+
+  /// Installs `units` of flow on edge `id` with no path search and no cost
+  /// accounting — the caller asserts the forward arc has that much spare
+  /// capacity. Used to re-install a known feasible solution (the previous
+  /// linearization iterate) before reoptimize(); the installed flow need
+  /// not be optimal, or even good.
+  void force_flow(int id, int units);
+
+  /// Like solve(), but starts from whatever flow is already installed
+  /// (force_flow and/or an earlier solve on this graph) instead of from
+  /// zero. First restores optimality of the current flow *for its own
+  /// value* by canceling negative residual cycles — found by a
+  /// label-correcting sweep seeded from the warm potentials — then ships
+  /// any remaining units with the normal SSP augmentation rounds. Exact:
+  /// a feasible flow is min-cost for its value iff no negative residual
+  /// cycle exists, and each shortest-path augmentation preserves that. If
+  /// cycle canceling blows its budget (pathological inputs) the flow is
+  /// reset and the call falls back to a cold solve(), so the result is
+  /// optimal either way. With no installed flow this degenerates to a
+  /// cold solve.
+  Result reoptimize(int s, int t, int desired_flow, WarmState* warm = nullptr);
+
+  /// Returns every unit of shipped flow to the forward arcs, restoring the
+  /// graph add_edge built (capacities and costs untouched). After adding
+  /// arcs mid-sequence — column generation — callers reset and re-solve so
+  /// the SSP prefix-optimality invariant holds on the enlarged graph.
+  void reset_flow();
 
   /// Flow currently on edge `id` (after solve()).
   int flow_on(int id) const;
@@ -50,7 +125,21 @@ class MinCostFlow {
   };
 
   bool bellman_ford_potentials(int s);
+  /// Label-correcting pass that restores `r >= 0` for every
+  /// residual-capacity arc starting from the (possibly stale) potentials
+  /// already loaded in potential_. Returns false on a relaxation-budget
+  /// blowout (a negative cycle — cannot happen for the DAG-shaped graphs
+  /// the assignment builder produces, but guarded like Bellman-Ford).
+  bool repair_potentials();
   bool dijkstra(int s, int t);
+  /// Label-correcting sweep over the residual graph in reduced-cost space
+  /// (relative to the current potential_). On success writes the
+  /// correction d — potential_ + d is dual-feasible — into dist_ and
+  /// returns -1. If it detects a negative residual cycle it returns a node
+  /// on that cycle (prev_arc_ then traces it); returns -2 on a relaxation
+  /// budget blowout where no cycle could be extracted (caller falls back
+  /// to a cold solve).
+  int correction_sweep();
 
   std::vector<int> first_out_;
   std::vector<Arc> arcs_;  // arc 2k is forward, 2k+1 its residual twin

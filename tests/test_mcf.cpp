@@ -133,5 +133,233 @@ TEST_P(McfAssignmentProperty, MatchesHungarianOptimum) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, McfAssignmentProperty,
                          ::testing::Range(0, 25));
 
+// ---- warm starts, duals, and pricing primitives (docs/SOLVER.md) ----
+
+/// Transportation builder that remembers (u, v, cap, cost, id) per arc so
+/// tests can check dual feasibility and compare per-arc flows across solves.
+struct Transportation {
+  MinCostFlow f;
+  struct TrackedArc {
+    int u, v, cap;
+    int64_t cost;
+    int id;
+  };
+  std::vector<TrackedArc> arcs;
+  int n, m;
+  static constexpr int kSrc = 0, kSnk = 1;
+
+  explicit Transportation(const std::vector<std::vector<int64_t>>& cost)
+      : f(2 + static_cast<int>(cost.size()) + static_cast<int>(cost[0].size())),
+        n(static_cast<int>(cost.size())),
+        m(static_cast<int>(cost[0].size())) {
+    for (int i = 0; i < n; ++i) add(kSrc, 2 + i, 1, 0);
+    for (int j = 0; j < m; ++j) add(2 + n + j, kSnk, 1, 0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < m; ++j)
+        add(2 + i, 2 + n + j, 1, cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+  }
+  void add(int u, int v, int cap, int64_t c) {
+    arcs.push_back({u, v, cap, c, f.add_edge(u, v, cap, c)});
+  }
+  std::vector<int> flows() const {
+    std::vector<int> out;
+    out.reserve(arcs.size());
+    for (const TrackedArc& a : arcs) out.push_back(f.flow_on(a.id));
+    return out;
+  }
+};
+
+std::vector<std::vector<int64_t>> random_costs(int n, int m, Rng& rng, int64_t lo,
+                                               int64_t hi) {
+  std::vector<std::vector<int64_t>> cost(static_cast<size_t>(n),
+                                         std::vector<int64_t>(static_cast<size_t>(m)));
+  for (auto& row : cost)
+    for (int64_t& c : row) c = rng.uniform_int(lo, hi);
+  return cost;
+}
+
+TEST(Mcf, PotentialsCertifyOptimality) {
+  // Result::potentials must satisfy, with r(u,v) = cost + pi[u] - pi[v]:
+  // dual feasibility r >= 0 on every arc with residual capacity, and
+  // complementary slackness r <= 0 on every arc carrying flow. Together
+  // these certify the returned flow optimal — the same certificate the
+  // column-generation pricing sweep relies on.
+  Rng rng(11);
+  Transportation t(random_costs(5, 7, rng, 0, 1000));
+  const auto r = t.f.solve(Transportation::kSrc, Transportation::kSnk, 5);
+  ASSERT_TRUE(r.reached_desired);
+  ASSERT_EQ(static_cast<int>(r.potentials.size()), t.f.num_nodes());
+  for (const auto& a : t.arcs) {
+    const int64_t red = a.cost + r.potentials[static_cast<size_t>(a.u)] -
+                        r.potentials[static_cast<size_t>(a.v)];
+    const int units = t.f.flow_on(a.id);
+    if (units < a.cap) EXPECT_GE(red, 0) << a.u << "->" << a.v;
+    if (units > 0) EXPECT_LE(red, 0) << a.u << "->" << a.v;
+  }
+}
+
+TEST(Mcf, WarmMatchesColdAcrossCostPerturbations) {
+  // One WarmState threaded through a family of perturbed instances (the
+  // linearization-iteration pattern): every warm solve must return the
+  // same cost, flow value, AND per-arc flows as a cold solve of the same
+  // instance. Wide random costs make the optimum unique, so per-arc
+  // equality is well-defined.
+  Rng rng(29);
+  const int n = 6, m = 9;
+  const auto base = random_costs(n, m, rng, 0, 1000000);
+  MinCostFlow::WarmState warm;
+  for (int round = 0; round < 6; ++round) {
+    auto cost = base;
+    if (round > 0)
+      for (auto& row : cost)
+        for (int64_t& c : row) c += rng.uniform_int(-40, 40);  // may go negative
+    Transportation cold(cost), hot(cost);
+    const auto rc = cold.f.solve(Transportation::kSrc, Transportation::kSnk, n);
+    const auto rh = hot.f.solve(Transportation::kSrc, Transportation::kSnk, n, &warm);
+    ASSERT_TRUE(rc.reached_desired);
+    EXPECT_TRUE(rh.reached_desired) << "round " << round;
+    EXPECT_EQ(rh.cost, rc.cost) << "round " << round;
+    EXPECT_EQ(rh.flow, rc.flow) << "round " << round;
+    EXPECT_EQ(hot.flows(), cold.flows()) << "round " << round;
+  }
+  EXPECT_EQ(warm.solves, 6);
+  EXPECT_EQ(warm.warm_starts, 5);  // the first solve had nothing to seed from
+}
+
+TEST(Mcf, ReoptimizeFromForcedMatchingMatchesCold) {
+  // A deliberately bad perfect matching is force-installed, then
+  // reoptimize() must land on exactly the cold optimum: cost, flow value,
+  // and per-arc flows (wide random costs make the optimum unique).
+  Rng rng(31);
+  const int n = 7, m = 9;
+  for (int round = 0; round < 8; ++round) {
+    const auto cost = random_costs(n, m, rng, 0, 1000000);
+    Transportation cold(cost), hot(cost);
+    const auto rc = cold.f.solve(Transportation::kSrc, Transportation::kSnk, n);
+    ASSERT_TRUE(rc.reached_desired);
+    for (int i = 0; i < n; ++i) {
+      const int j = (i + round) % m;  // injective, rarely optimal
+      hot.f.force_flow(hot.arcs[static_cast<size_t>(i)].id, 1);
+      hot.f.force_flow(hot.arcs[static_cast<size_t>(n + j)].id, 1);
+      hot.f.force_flow(hot.arcs[static_cast<size_t>(n + m + i * m + j)].id, 1);
+    }
+    const auto rh = hot.f.reoptimize(Transportation::kSrc, Transportation::kSnk, n);
+    EXPECT_TRUE(rh.reached_desired) << "round " << round;
+    EXPECT_EQ(rh.cost, rc.cost) << "round " << round;
+    EXPECT_EQ(rh.flow, rc.flow) << "round " << round;
+    EXPECT_EQ(hot.flows(), cold.flows()) << "round " << round;
+  }
+}
+
+TEST(Mcf, ReoptimizeFromPartialOrOptimalInstallMatchesCold) {
+  // Half-installed matchings (phase 2 must ship the remainder) and the
+  // exact cold optimum (reoptimize should find nothing to do) both return
+  // the cold answer; a threaded WarmState counts every call as warm.
+  Rng rng(37);
+  const int n = 6, m = 8;
+  MinCostFlow::WarmState warm;
+  for (int round = 0; round < 6; ++round) {
+    const auto cost = random_costs(n, m, rng, 0, 1000000);
+    Transportation cold(cost), hot(cost);
+    const auto rc = cold.f.solve(Transportation::kSrc, Transportation::kSnk, n);
+    ASSERT_TRUE(rc.reached_desired);
+    for (int i = 0; i < n; i += 2) {
+      const int j = (i + 2 * round) % m;
+      hot.f.force_flow(hot.arcs[static_cast<size_t>(i)].id, 1);
+      hot.f.force_flow(hot.arcs[static_cast<size_t>(n + j)].id, 1);
+      hot.f.force_flow(hot.arcs[static_cast<size_t>(n + m + i * m + j)].id, 1);
+    }
+    const auto rh = hot.f.reoptimize(Transportation::kSrc, Transportation::kSnk, n, &warm);
+    EXPECT_TRUE(rh.reached_desired) << "round " << round;
+    EXPECT_EQ(rh.cost, rc.cost) << "round " << round;
+    EXPECT_EQ(hot.flows(), cold.flows()) << "round " << round;
+
+    Transportation opt(cost);
+    for (size_t a = 0; a < cold.arcs.size(); ++a)
+      if (cold.f.flow_on(cold.arcs[a].id) > 0) opt.f.force_flow(opt.arcs[a].id, 1);
+    const auto ro = opt.f.reoptimize(Transportation::kSrc, Transportation::kSnk, n);
+    EXPECT_EQ(ro.cost, rc.cost) << "round " << round;
+    EXPECT_EQ(opt.flows(), cold.flows()) << "round " << round;
+  }
+  EXPECT_EQ(warm.solves, 6);
+  EXPECT_GT(warm.warm_starts, 0);
+}
+
+TEST(Mcf, WarmStateAcrossInfeasibleDesiredFlow) {
+  // 4 rows into 2 columns: at most 2 units ship. The shortfall must be
+  // reported identically on the cold first solve and the warm re-solve,
+  // and the state stays usable after an infeasible round.
+  const std::vector<std::vector<int64_t>> cost = {{3, 7}, {4, 1}, {9, 2}, {5, 5}};
+  MinCostFlow::WarmState warm;
+  Transportation a(cost);
+  const auto r1 = a.f.solve(Transportation::kSrc, Transportation::kSnk, 4, &warm);
+  EXPECT_EQ(r1.flow, 2);
+  EXPECT_FALSE(r1.reached_desired);
+  EXPECT_TRUE(warm.valid());
+  Transportation b(cost);
+  const auto r2 = b.f.solve(Transportation::kSrc, Transportation::kSnk, 4, &warm);
+  EXPECT_EQ(r2.flow, r1.flow);
+  EXPECT_EQ(r2.cost, r1.cost);
+  EXPECT_FALSE(r2.reached_desired);
+  EXPECT_EQ(warm.solves, 2);
+  EXPECT_EQ(warm.warm_starts, 1);
+}
+
+TEST(Mcf, ZeroCostDegenerateTiesAgreeOnCost) {
+  // All-zero costs: exponentially many tied optima, so cross-mode identity
+  // is guaranteed for cost and feasibility only (docs/SOLVER.md, "Known
+  // limitation") — exactly what this asserts, and no more.
+  const std::vector<std::vector<int64_t>> cost(6, std::vector<int64_t>(6, 0));
+  Transportation cold(cost), hot1(cost), hot2(cost);
+  MinCostFlow::WarmState warm;
+  const auto rc = cold.f.solve(Transportation::kSrc, Transportation::kSnk, 6);
+  const auto r1 = hot1.f.solve(Transportation::kSrc, Transportation::kSnk, 6, &warm);
+  const auto r2 = hot2.f.solve(Transportation::kSrc, Transportation::kSnk, 6, &warm);
+  for (const auto& r : {rc, r1, r2}) {
+    EXPECT_TRUE(r.reached_desired);
+    EXPECT_EQ(r.flow, 6);
+    EXPECT_EQ(r.cost, 0);
+  }
+  EXPECT_EQ(warm.warm_starts, 1);
+}
+
+TEST(Mcf, ResetFlowRoundTrip) {
+  // solve -> reset_flow -> solve must reproduce the first result exactly:
+  // the reset restores the graph add_edge built, which is what the pricing
+  // loop leans on after materializing new arcs mid-sequence.
+  Rng rng(47);
+  Transportation t(random_costs(5, 6, rng, 0, 100000));
+  const auto r1 = t.f.solve(Transportation::kSrc, Transportation::kSnk, 5);
+  ASSERT_TRUE(r1.reached_desired);
+  const auto flows1 = t.flows();
+  t.f.reset_flow();
+  for (const auto& a : t.arcs) EXPECT_EQ(t.f.flow_on(a.id), 0);
+  const auto r2 = t.f.solve(Transportation::kSrc, Transportation::kSnk, 5);
+  EXPECT_EQ(r2.cost, r1.cost);
+  EXPECT_EQ(r2.flow, r1.flow);
+  EXPECT_EQ(t.flows(), flows1);
+}
+
+TEST(Mcf, WarmPotentialsForOtherGraphAreIgnored) {
+  // A potential vector sized for a different node numbering must not seed
+  // (the AssignWarmState node-count reset depends on this being safe) but
+  // the solve still runs cold-correct and refreshes the state.
+  Rng rng(53);
+  MinCostFlow::WarmState warm;
+  {
+    Transportation a(random_costs(4, 5, rng, 0, 1000));
+    a.f.solve(Transportation::kSrc, Transportation::kSnk, 4, &warm);
+  }
+  const auto cost = random_costs(7, 8, rng, 0, 1000);
+  Transportation b(cost), c(cost);
+  const auto rb = b.f.solve(Transportation::kSrc, Transportation::kSnk, 7, &warm);
+  const auto rc = c.f.solve(Transportation::kSrc, Transportation::kSnk, 7);
+  EXPECT_EQ(rb.cost, rc.cost);
+  EXPECT_EQ(rb.flow, rc.flow);
+  EXPECT_EQ(warm.solves, 2);
+  EXPECT_EQ(warm.warm_starts, 0);  // size mismatch never seeds
+  EXPECT_EQ(static_cast<int>(warm.potentials.size()), b.f.num_nodes());  // refreshed
+}
+
 }  // namespace
 }  // namespace dsp

@@ -18,6 +18,20 @@ struct AssignFixture {
   std::vector<CellId> dsps;
   DspGraph graph;
 
+  // Distinct start positions for every DSP. A default Placement puts every
+  // movable cell at the origin, which makes all cost rows near-identical —
+  // a fully tie-degenerate instance where the folded optimum is genuinely
+  // non-unique (docs/SOLVER.md). The identity tests model the real flow,
+  // where DSPs enter with spread prototype positions and the tie-broken
+  // optimum is unique.
+  void spread(Placement& pl) const {
+    for (size_t i = 0; i < dsps.size(); ++i) {
+      const double fi = static_cast<double>(i);
+      pl.set(dsps[i], 1.0 + 3.7 * std::fmod(fi * 0.61803, 3.0),
+             0.5 + std::fmod(fi * 5.19, 15.0));
+    }
+  }
+
   // num_dsps DSPs in one dataflow line: anchor -> d0 -> d1 -> ... -> out.
   explicit AssignFixture(int num_dsps, double anchor_x = 1.0, double anchor_y = 14.0) {
     const CellId a = nl.add_cell("anchor", CellType::kPsPort);
@@ -149,6 +163,142 @@ TEST(McfAssign, RejectsOverCapacity) {
   Placement pl(f.nl, f.dev);
   const AssignResult r = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps);
   for (int s : r.site) EXPECT_EQ(s, -1);
+}
+
+// ---- solver execution modes (docs/SOLVER.md): output invariance ----
+
+AssignOptions mode_options(bool warm, bool pricing) {
+  AssignOptions opts;
+  opts.iterations = 12;
+  opts.warm_start = warm;
+  opts.pricing = pricing;
+  return opts;
+}
+
+TEST(McfAssign, AllSolverModesReturnBitIdenticalAssignments) {
+  // The tentpole invariant: warm starts and column-generation pricing are
+  // pure accelerations. Every mode combination must return the exact same
+  // sites and objective as the cold reference solve.
+  AssignFixture f(10, 3.0, 11.0);
+  Placement pl(f.nl, f.dev);
+  f.spread(pl);
+  const AssignResult cold = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                            mode_options(false, false));
+  for (const bool warm : {false, true})
+    for (const bool pricing : {false, true}) {
+      const AssignResult r = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                             mode_options(warm, pricing));
+      EXPECT_EQ(r.site, cold.site) << "warm=" << warm << " pricing=" << pricing;
+      EXPECT_EQ(r.final_objective, cold.final_objective)
+          << "warm=" << warm << " pricing=" << pricing;
+      EXPECT_EQ(r.iterations_run, cold.iterations_run)
+          << "warm=" << warm << " pricing=" << pricing;
+    }
+}
+
+TEST(McfAssign, WarmStateCarriesAcrossCallsWithoutChangingSites) {
+  // The DspPlace/Replace alternation re-calls the assignment with the same
+  // targets. A caller-owned AssignWarmState must seed the later calls
+  // (warm_starts grows) and never change what they return.
+  AssignFixture f(8);
+  Placement pl(f.nl, f.dev);
+  f.spread(pl);
+  const AssignOptions opts = mode_options(true, true);
+  const AssignResult cold = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                            mode_options(false, false));
+  AssignWarmState ws;
+  const AssignResult first =
+      mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps, opts, nullptr, &ws);
+  const int64_t warm_after_first = ws.solver.warm_starts;
+  const AssignResult second =
+      mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps, opts, nullptr, &ws);
+  EXPECT_EQ(first.site, cold.site);
+  EXPECT_EQ(second.site, cold.site);
+  // Iterations 2..k of the first call already warm-start off iteration 1;
+  // the second call additionally seeds its very first solve from the state
+  // the first call left behind.
+  EXPECT_GT(warm_after_first, 0);
+  EXPECT_GT(ws.solver.warm_starts, warm_after_first);
+  EXPECT_GT(second.warm_starts, 0);
+}
+
+TEST(McfAssign, PricingMatchesColdThroughCandidateWidening) {
+  // Near capacity with a deliberately tight candidate list the sparse
+  // pricing seed goes infeasible and the harness must fall back to the
+  // full universe — and take the widening retry on exactly the same
+  // decision the cold mode takes.
+  AssignFixture f(30);
+  Placement pl(f.nl, f.dev);
+  f.spread(pl);
+  AssignOptions cold_opts = mode_options(false, false);
+  cold_opts.iterations = 4;
+  cold_opts.candidate_sites = 4;
+  AssignOptions priced_opts = mode_options(true, true);
+  priced_opts.iterations = 4;
+  priced_opts.candidate_sites = 4;
+  const AssignResult cold = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps, cold_opts);
+  const AssignResult priced =
+      mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps, priced_opts);
+  EXPECT_EQ(priced.site, cold.site);
+  EXPECT_EQ(priced.final_objective, cold.final_objective);
+}
+
+TEST(McfAssign, DegenerateTiesKeepObjectiveAcrossModes) {
+  // Boundary of the bit-identity guarantee (docs/SOLVER.md): with every DSP
+  // at the origin all cost rows are near-identical, and the number of
+  // exactly-tied alternating reassignment cycles grows combinatorially —
+  // past what any fixed-width per-arc hash can break. Every mode still
+  // proves optimality, so the OBJECTIVE must match exactly; the argmin
+  // itself may legitimately differ between algorithms.
+  AssignFixture f(30);
+  Placement pl(f.nl, f.dev);  // deliberately degenerate: no spread()
+  AssignOptions cold_opts = mode_options(false, false);
+  cold_opts.iterations = 1;
+  cold_opts.candidate_sites = 4;
+  AssignOptions priced_opts = mode_options(true, true);
+  priced_opts.iterations = 1;
+  priced_opts.candidate_sites = 4;
+  const AssignResult cold = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps, cold_opts);
+  const AssignResult priced =
+      mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps, priced_opts);
+  EXPECT_EQ(priced.final_objective, cold.final_objective);
+  std::set<int> sites(priced.site.begin(), priced.site.end());
+  EXPECT_EQ(sites.size(), 30u);
+  EXPECT_EQ(sites.count(-1), 0u);
+}
+
+TEST(McfAssign, OverCapacityRejectedInEveryMode) {
+  AssignFixture f(33);  // 33 > 32 sites, infeasible regardless of solver mode
+  Placement pl(f.nl, f.dev);
+  for (const bool warm : {false, true})
+    for (const bool pricing : {false, true}) {
+      const AssignResult r = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                             mode_options(warm, pricing));
+      for (int s : r.site) EXPECT_EQ(s, -1) << "warm=" << warm << " pricing=" << pricing;
+    }
+}
+
+TEST(McfAssign, SolverStatsAreConsistent) {
+  AssignFixture f(10);
+  Placement pl(f.nl, f.dev);
+  const AssignResult priced = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                              mode_options(true, true));
+  EXPECT_GT(priced.solves, 0);
+  EXPECT_EQ(priced.universe_arcs, priced.arcs_built);
+  EXPECT_GT(priced.priced_arcs, 0);
+  EXPECT_LE(priced.priced_arcs, priced.universe_arcs);
+  EXPECT_GE(priced.first_iter_us, 0);
+  EXPECT_GE(priced.later_iters_us, 0);
+
+  const AssignResult full = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                            mode_options(true, false));
+  // Without pricing every universe arc is materialized.
+  EXPECT_EQ(full.priced_arcs, full.universe_arcs);
+  EXPECT_EQ(full.pricing_rounds, 0);
+
+  const AssignResult cold = mcf_assign_dsps(f.nl, f.dev, pl, f.graph, f.dsps,
+                                            mode_options(false, false));
+  EXPECT_EQ(cold.warm_starts, 0);
 }
 
 TEST(McfAssign, SiteCosAngleGeometry) {

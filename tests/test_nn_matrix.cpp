@@ -60,6 +60,111 @@ TEST(Matrix, TransposedRhsMatmul) {
     for (int j = 0; j < 6; ++j) EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-12);
 }
 
+// ---- blocked-kernel bit-exactness ----
+// The tiled/unrolled kernels in nn/matrix.cpp promise the exact add/mul
+// sequence of the original rolled loops (ascending-k accumulation, same
+// zero-operand skips). These references ARE those rolled loops; equality
+// is EXPECT_EQ on doubles, not a tolerance.
+
+Matrix rolled_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aik * b.at(k, j);
+    }
+  return out;
+}
+
+Matrix rolled_matmul_transposed_lhs(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k)
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aki * b.at(k, j);
+    }
+  return out;
+}
+
+Matrix rolled_matmul_transposed_rhs(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a.at(i, k) * b.at(j, k);
+      out.at(i, j) = s;
+    }
+  return out;
+}
+
+// ReLU-like sparsity plus sign traps: zeros, a negative zero, negatives.
+Matrix sparse_signed_matrix(int r, int c, Rng& rng) {
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i)
+    for (int j = 0; j < c; ++j) {
+      if (rng.flip(0.35)) continue;  // stays 0.0
+      if (rng.flip(0.05)) {
+        m.at(i, j) = -0.0;
+        continue;
+      }
+      m.at(i, j) = rng.uniform(-3, 3);
+    }
+  return m;
+}
+
+TEST(Matrix, BlockedKernelsBitExactAcrossUnrollBoundaries) {
+  // Inner dimensions 1..9 cross every k%4 remainder; 33/65 exercise long
+  // unrolled runs plus a remainder. (kJTile = 512 is compile-time constant
+  // folding of the same order, so small j is representative.)
+  Rng rng(101);
+  for (const int k : {1, 2, 3, 4, 5, 6, 7, 8, 9, 33, 65}) {
+    const Matrix a = sparse_signed_matrix(7, k, rng);
+    const Matrix b = sparse_signed_matrix(k, 11, rng);
+    const Matrix got = a.matmul(b);
+    const Matrix want = rolled_matmul(a, b);
+    for (int i = 0; i < got.rows(); ++i)
+      for (int j = 0; j < got.cols(); ++j)
+        EXPECT_EQ(got.at(i, j), want.at(i, j)) << "k=" << k << " (" << i << "," << j << ")";
+
+    const Matrix at = sparse_signed_matrix(k, 7, rng);
+    const Matrix bt = sparse_signed_matrix(k, 11, rng);
+    const Matrix got_l = at.matmul_transposed_lhs(bt);
+    const Matrix want_l = rolled_matmul_transposed_lhs(at, bt);
+    for (int i = 0; i < got_l.rows(); ++i)
+      for (int j = 0; j < got_l.cols(); ++j)
+        EXPECT_EQ(got_l.at(i, j), want_l.at(i, j)) << "k=" << k;
+
+    const Matrix ar = sparse_signed_matrix(7, k, rng);
+    const Matrix br = sparse_signed_matrix(11, k, rng);
+    const Matrix got_r = ar.matmul_transposed_rhs(br);
+    const Matrix want_r = rolled_matmul_transposed_rhs(ar, br);
+    for (int i = 0; i < got_r.rows(); ++i)
+      for (int j = 0; j < got_r.cols(); ++j)
+        EXPECT_EQ(got_r.at(i, j), want_r.at(i, j)) << "k=" << k;
+  }
+}
+
+TEST(Matrix, BlockedKernelsBitExactOnDenseSquare) {
+  // A dense 128x128 (no zeros) takes the all-nonzero fast path everywhere.
+  Rng rng(202);
+  const Matrix a = random_matrix(128, 128, rng);
+  const Matrix b = random_matrix(128, 128, rng);
+  const Matrix want = rolled_matmul(a, b);
+  const Matrix got = a.matmul(b);
+  const Matrix got_l = a.matmul_transposed_lhs(b);
+  const Matrix want_l = rolled_matmul_transposed_lhs(a, b);
+  const Matrix got_r = a.matmul_transposed_rhs(b);
+  const Matrix want_r = rolled_matmul_transposed_rhs(a, b);
+  for (int i = 0; i < 128; ++i)
+    for (int j = 0; j < 128; ++j) {
+      EXPECT_EQ(got.at(i, j), want.at(i, j));
+      EXPECT_EQ(got_l.at(i, j), want_l.at(i, j));
+      EXPECT_EQ(got_r.at(i, j), want_r.at(i, j));
+    }
+}
+
 TEST(Matrix, AddScaleBroadcastNorm) {
   Matrix m(2, 2);
   m.at(0, 0) = 3;

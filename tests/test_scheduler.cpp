@@ -120,6 +120,57 @@ TEST(StageScheduler, MixedFleetMatchesSequentialAtManyWidths) {
   }
 }
 
+// Each job owns its MCF warm state (FlowContext::mcf_warm): a mixed fleet
+// interleaves DspPlace visits whose designs have different solver node
+// counts, so any sharing would reset or corrupt a neighbor's potentials
+// and break bit-identity with the sequential driver. The root counters
+// prove the warm path actually ran rather than silently falling cold.
+TEST(StageScheduler, FleetJobsOwnPrivateMcfWarmState) {
+  const double scale = 0.08;
+  const Device dev = make_zcu104(scale);
+  const Netlist sky = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const Netlist ismart = make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  const auto sequential = [&](const Netlist& nl) {
+    FlowContext ctx(nl, dev, no_training, opts);
+    return ResultFingerprint::of(nl, run_flow_sequential(ctx, dsplacer_pipeline(opts)));
+  };
+  const ResultFingerprint sky_ref = sequential(sky);
+  const ResultFingerprint ismart_ref = sequential(ismart);
+  ASSERT_EQ(sky_ref.error, "");
+  ASSERT_EQ(ismart_ref.error, "");
+
+  constexpr int kFleet = 6;
+  StageScheduler sched;
+  std::vector<DsplacerResult> res(kFleet);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kFleet; ++i)
+    threads.emplace_back([&, i] {
+      const Netlist& nl = i % 2 == 0 ? sky : ismart;
+      FlowContext ctx(nl, dev, no_training, opts);
+      res[static_cast<size_t>(i)] = sched.run(ctx, dsplacer_pipeline(opts));
+    });
+  for (std::thread& t : threads) t.join();
+  sched.stop();
+
+  for (int i = 0; i < kFleet; ++i) {
+    const Netlist& nl = i % 2 == 0 ? sky : ismart;
+    const ResultFingerprint& ref = i % 2 == 0 ? sky_ref : ismart_ref;
+    EXPECT_TRUE(ResultFingerprint::of(nl, res[static_cast<size_t>(i)]) == ref)
+        << "job " << i;
+    // Every job solved through its own warm state: solves and warm seeds
+    // both land on that job's trace root (docs/TRACE_FORMAT.md).
+    const auto& root = res[static_cast<size_t>(i)].trace.root();
+    EXPECT_GT(root.counter("mcf_solves"), 0) << "job " << i;
+    EXPECT_GT(root.counter("mcf_warm_starts"), 0) << "job " << i;
+    EXPECT_GT(root.counter("mcf_universe_arcs"), 0) << "job " << i;
+    EXPECT_LE(root.counter("mcf_priced_arcs"), root.counter("mcf_universe_arcs"))
+        << "job " << i;
+  }
+}
+
 TEST(StageScheduler, SameKeyFleetDedupsThroughCheckpointCache) {
   const double scale = 0.1;
   const Device dev = make_zcu104(scale);

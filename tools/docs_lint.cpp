@@ -18,6 +18,9 @@
 //      and the _bucket/_sum/_count exposition suffixes are allowed), and
 //      docs/METRICS.md mentions every catalog name at least once — so the
 //      metrics table cannot drift from what the code registers.
+//   5. docs/SOLVER.md exists, mentions every `dsplacer_mcf_*` series and
+//      both solver-mode knobs (--mcf-cold, --mcf-no-pricing), and
+//      docs/ARCHITECTURE.md links to it.
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -87,7 +90,7 @@ bool metric_like(const std::string& token) {
   if (token.rfind("dsplacer_", 0) != 0) return false;
   if (token.find('{') != std::string::npos) return true;
   for (const char* suffix :
-       {"_total", "_us", "_depth", "_inflight", "_bucket", "_sum", "_count"}) {
+       {"_total", "_us", "_depth", "_inflight", "_bucket", "_sum", "_count", "_arcs"}) {
     const std::string s = suffix;
     if (token.size() > s.size() &&
         token.compare(token.size() - s.size(), s.size(), s) == 0)
@@ -255,6 +258,35 @@ int main(int argc, char** argv) {
           std::cerr << "docs/METRICS.md: metric `" << m << "` is undocumented\n";
           ++errors;
         }
+    }
+  }
+
+  // ---- 5. docs/SOLVER.md covers the MCF solver surface ------------------
+  // The solver internals doc must exist, mention every dsplacer_mcf_*
+  // series, and document both execution-mode escape hatches; and the
+  // architecture doc must point readers at it.
+  {
+    const fs::path p = repo / "docs/SOLVER.md";
+    if (!fs::exists(p)) {
+      std::cerr << "docs/SOLVER.md: missing\n";
+      ++errors;
+    } else {
+      const std::string text = read_file(p);
+      for (const std::string& m : metrics)
+        if (m.rfind("dsplacer_mcf_", 0) == 0 && text.find(m) == std::string::npos) {
+          std::cerr << "docs/SOLVER.md: solver metric `" << m << "` is undocumented\n";
+          ++errors;
+        }
+      for (const char* knob : {"--mcf-cold", "--mcf-no-pricing"})
+        if (text.find(knob) == std::string::npos) {
+          std::cerr << "docs/SOLVER.md: solver knob `" << knob << "` is undocumented\n";
+          ++errors;
+        }
+    }
+    const fs::path arch = repo / "docs/ARCHITECTURE.md";
+    if (fs::exists(arch) && read_file(arch).find("SOLVER.md") == std::string::npos) {
+      std::cerr << "docs/ARCHITECTURE.md: does not link docs/SOLVER.md\n";
+      ++errors;
     }
   }
 
