@@ -8,19 +8,27 @@
 //   fleet  - same-netlist 8-job fleets at growing in-flight depth,
 //            job-per-worker vs the pipelined stage scheduler at equal
 //            worker count (each cell starts from a fresh cache)
+//   net    - connection-count scaling (64/256/1024 live clients, ping
+//            round-trip workload), the epoll event loop vs the
+//            thread-per-connection fallback, with process thread count
+//            and VmRSS per cell — the flat-threads/flat-memory claim of
+//            docs/SERVER.md "Front ends" as numbers
 // The cold/warm gap is the checkpoint cache's value to a long-lived
 // service; the mixed row shows worker-pool scaling across clients; the
 // fleet axis shows what pipelining adds on top — concurrent same-key
 // jobs serialize per stage instead of stampeding the cold cache.
 //
-// --json <path> additionally writes the fleet axis as JSON
-// (BENCH_server.json at the repo root is the committed baseline; CI
-// regenerates it as a build artifact).
+// --json <path> writes the fleet axis as JSON (BENCH_server.json at the
+// repo root is the committed baseline); --net-json <path> writes the
+// connection-scaling axis (BENCH_net.json). CI regenerates both as build
+// artifacts.
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <sys/resource.h>
 #include <thread>
 #include <vector>
 
@@ -30,7 +38,9 @@
 #include "metrics/names.hpp"
 #include "netlist/netlist_io.hpp"
 #include "server/client.hpp"
+#include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "server/socket.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -114,18 +124,128 @@ FleetCell run_fleet_cell(const std::string& netlist, double scale, bool pipeline
   return cell;
 }
 
+// ---- connection-count scaling axis -----------------------------------------
+
+/// /proc/self/status scrape: live thread count and resident set. The
+/// bench process hosts the server (the clients are threadless raw
+/// sockets), so the deltas below are the server front end's own cost.
+void read_proc_status(int64_t* threads, int64_t* vm_rss_kb) {
+  *threads = 0;
+  *vm_rss_kb = 0;
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0)
+      *threads = std::atoll(line.c_str() + 8);
+    else if (line.rfind("VmRSS:", 0) == 0)
+      *vm_rss_kb = std::atoll(line.c_str() + 6);
+  }
+}
+
+/// 1024 clients at 4 fds short of nothing: lift RLIMIT_NOFILE to its hard
+/// cap so the bench never dies on EMFILE instead of measuring.
+void raise_fd_limit() {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+struct NetCell {
+  std::string frontend;  // "event-loop" or "thread-per-conn"
+  int clients = 0;
+  int pings = 0;
+  double seconds = 0.0;      // the timed ping rounds only
+  int64_t threads_peak = 0;  // process threads while every client is live
+  int64_t rss_kb = 0;        // VmRSS while every client is live
+  bool ok = true;
+};
+
+/// One net cell: its own server on the chosen front end, `clients` raw
+/// connections held open at once, `kRounds` fleet-wide ping sweeps (send
+/// to all, then drain all — the pipelined shape a load balancer's health
+/// plane produces). Thread count and RSS are sampled at full fleet.
+NetCell run_net_cell(bool event_loop, int clients) {
+  constexpr int kRounds = 4;
+  NetCell cell;
+  cell.frontend = event_loop ? "event-loop" : "thread-per-conn";
+  cell.clients = clients;
+
+  ServerOptions sopts;
+  sopts.unix_path =
+      (std::filesystem::temp_directory_path() / "dsplacer_bench_net.sock").string();
+  sopts.workers = 2;
+  sopts.event_loop = event_loop;
+  DsplacerServer server(sopts);
+  const std::string start_err = server.start();
+  if (!start_err.empty()) {
+    std::fprintf(stderr, "bench_server: net: %s\n", start_err.c_str());
+    cell.ok = false;
+    return cell;
+  }
+
+  std::vector<SocketFd> fds;
+  std::vector<FrameDecoder> decoders(static_cast<size_t>(clients));
+  fds.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    std::string err;
+    SocketFd fd = connect_unix(sopts.unix_path, &err);
+    if (!fd.valid()) {
+      std::fprintf(stderr, "bench_server: net connect %d: %s\n", i, err.c_str());
+      cell.ok = false;
+      server.stop();
+      return cell;
+    }
+    fds.push_back(std::move(fd));
+  }
+
+  const std::string ping = encode_frame(MsgType::kPing, "");
+  const auto sweep = [&]() -> bool {
+    for (SocketFd& fd : fds)
+      if (!send_all(fd.fd(), ping.data(), ping.size())) return false;
+    for (int i = 0; i < clients; ++i) {
+      Frame f;
+      while (!decoders[static_cast<size_t>(i)].next(&f)) {
+        char buf[4096];
+        const long n = recv_some(fds[static_cast<size_t>(i)].fd(), buf, sizeof buf);
+        if (n <= 0) return false;
+        decoders[static_cast<size_t>(i)].feed(buf, static_cast<size_t>(n));
+      }
+      if (f.type != MsgType::kPong) return false;
+    }
+    return true;
+  };
+
+  cell.ok = sweep();  // warm-up: full fleet accepted and answering
+  read_proc_status(&cell.threads_peak, &cell.rss_kb);
+  Timer t;
+  for (int r = 0; cell.ok && r < kRounds; ++r) cell.ok = sweep();
+  cell.seconds = t.seconds();
+  cell.pings = kRounds * clients;
+  fds.clear();  // hang up the fleet before the drain
+  server.stop();
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string net_json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--net-json" && i + 1 < argc) {
+      net_json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_server [--json <path>]\n");
+      std::fprintf(stderr,
+                   "usage: bench_server [--json <path>] [--net-json <path>]\n");
       return 2;
     }
   }
+  raise_fd_limit();
   const double scale = bench_scale_from_env(0.1);
   const Device dev = make_zcu104(scale);
   const std::string sky = write_netlist(make_benchmark(benchmark_by_name("SkyNet"), dev, scale));
@@ -284,6 +404,48 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", json_path.c_str());
   }
 
+  // Connection-count scaling axis: the same ping workload over growing
+  // live-client fleets, event loop vs thread-per-connection. The thread
+  // column is the story: flat for the event loop, ~one per client for
+  // the fallback (RSS follows the stacks).
+  Table net_table(
+      {"frontend", "clients", "pings", "total s", "pings/s", "threads", "rss MB"});
+  std::vector<NetCell> net_cells;
+  bool net_ok = true;
+  for (const bool event_loop : {true, false}) {
+    for (const int clients : {64, 256, 1024}) {
+      const NetCell cell = run_net_cell(event_loop, clients);
+      net_ok = net_ok && cell.ok;
+      net_table.add_row({cell.frontend, std::to_string(cell.clients),
+                         std::to_string(cell.pings), Table::fmt(cell.seconds, 3),
+                         Table::fmt(cell.pings / cell.seconds, 0),
+                         std::to_string(cell.threads_peak),
+                         Table::fmt(cell.rss_kb / 1024.0, 1)});
+      net_cells.push_back(cell);
+    }
+  }
+  std::printf("%s\n", net_table.to_string().c_str());
+
+  if (!net_json_path.empty()) {
+    std::ofstream jf(net_json_path);
+    jf << "{\n  \"bench\": \"server_net\",\n  \"workload\": \"ping\",\n"
+       << "  \"cells\": [\n";
+    for (size_t i = 0; i < net_cells.size(); ++i) {
+      const NetCell& c = net_cells[i];
+      jf << "    {\"frontend\": \"" << c.frontend
+         << "\", \"clients\": " << c.clients << ", \"pings\": " << c.pings
+         << ", \"seconds\": " << c.seconds
+         << ", \"pings_per_s\": " << (c.pings / c.seconds)
+         << ", \"threads\": " << c.threads_peak << ", \"rss_kb\": " << c.rss_kb
+         << "}" << (i + 1 < net_cells.size() ? "," : "") << "\n";
+    }
+    jf << "  ]\n}\n";
+    if (!jf)
+      std::fprintf(stderr, "bench_server: cannot write %s\n", net_json_path.c_str());
+    else
+      std::printf("wrote %s\n", net_json_path.c_str());
+  }
+
   server.stop();
   const ServerStats stats = server.stats();
   std::printf("server stats: %lld ok, %lld failed, %lld busy\n",
@@ -291,5 +453,5 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.jobs_failed),
               static_cast<long long>(stats.busy_rejections));
   std::filesystem::remove_all(cache_dir);
-  return stats.jobs_failed == 0 && fleet_ok ? 0 : 1;
+  return stats.jobs_failed == 0 && fleet_ok && net_ok ? 0 : 1;
 }

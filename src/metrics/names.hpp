@@ -68,6 +68,19 @@ inline constexpr const char* kPoolQueueDepth = "dsplacer_pool_queue_depth";
 inline constexpr const char* kWorkspaceAcquired = "dsplacer_workspace_acquired_total";
 inline constexpr const char* kWorkspaceCreated = "dsplacer_workspace_created_total";
 
+// ---- async network front end (src/net/) ----
+// Fed by the epoll event loop dsplacerd runs by default (docs/SERVER.md).
+// `epoll_wakeups_total` counts epoll_wait returns — wakeups per reply is
+// the loop's batching efficiency. The buffer-pool pair mirrors the
+// workspace-pool pair: `created` plateauing at the high-watermark while
+// `acquired` climbs is the flat-memory signal the 1k-client soak asserts.
+inline constexpr const char* kNetConnectionsOpen = "dsplacer_net_connections_open";
+inline constexpr const char* kNetAccepts = "dsplacer_net_accepts_total";
+inline constexpr const char* kNetEpollWakeups = "dsplacer_net_epoll_wakeups_total";
+inline constexpr const char* kNetBufferPoolAcquired = "dsplacer_net_buffer_pool_acquired_total";
+inline constexpr const char* kNetBufferPoolCreated = "dsplacer_net_buffer_pool_created_total";
+inline constexpr const char* kNetWriteStallUs = "dsplacer_net_write_stall_us";
+
 // ---- logging (src/util/log.cpp) ----
 inline constexpr const char* kLogLines = "dsplacer_log_lines_total";
 

@@ -1,0 +1,64 @@
+#include "net/buffer_pool.hpp"
+
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsp {
+namespace {
+
+Counter& acquired_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kNetBufferPoolAcquired,
+      "net frame buffers handed out (free-list reuses included)");
+  return c;
+}
+
+Counter& created_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kNetBufferPoolCreated,
+      "net frame buffers heap-constructed (free-list misses)");
+  return c;
+}
+
+}  // namespace
+
+std::string BufferPool::acquire() {
+  std::string buf;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquired;
+    ++stats_.outstanding;
+    stats_.high_watermark = std::max(stats_.high_watermark, stats_.outstanding);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++stats_.created;
+      fresh = true;
+    }
+  }
+  if (fresh) {
+    buf.reserve(reserve_bytes_);
+    created_metric().inc();
+  }
+  acquired_metric().inc();
+  return buf;
+}
+
+void BufferPool::release(std::string buf) {
+  buf.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.outstanding;
+  free_.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dsp

@@ -1,0 +1,60 @@
+// Reusable frame-buffer pool for the async network front end
+// (docs/SERVER.md, "Front ends"). The event loop churns through two kinds
+// of byte buffers at high rate — read scratch space and queued reply
+// frames — and a naive implementation would heap-allocate one per read
+// and per reply. BufferPool instead recycles `std::string` buffers whose
+// capacity survives the release/acquire cycle: after warm-up every
+// acquire is a free-list pop and the steady state allocates nothing, no
+// matter how many connections are live.
+//
+// The pool is deliberately tiny API-wise (acquire/release + stats). It is
+// thread-safe, but in practice almost every call comes from the event
+// loop thread; the mutex is uncontended and exists so tests and the
+// occasional cross-thread release stay correct.
+//
+// `created` vs `acquired` is the health signal: `acquired` climbs with
+// traffic forever, `created` must plateau at the high-watermark of
+// simultaneously-outstanding buffers — a `created` series that keeps
+// climbing means buffers are leaking or the watermark keeps growing
+// (docs/METRICS.md, `dsplacer_net_buffer_pool_created_total`).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+class BufferPool {
+ public:
+  /// `reserve_bytes` is the capacity given to freshly created buffers so
+  /// the common small frame never reallocates; recycled buffers keep
+  /// whatever larger capacity their past lives grew.
+  explicit BufferPool(size_t reserve_bytes = 16 * 1024)
+      : reserve_bytes_(reserve_bytes) {}
+
+  /// An empty buffer with retained capacity. Moves out of the free list
+  /// when possible; creates (and counts) a new one otherwise.
+  std::string acquire();
+
+  /// Returns a buffer to the free list. The buffer is cleared but its
+  /// capacity is kept — that retained capacity is the whole point.
+  void release(std::string buf);
+
+  struct Stats {
+    int64_t acquired = 0;        // total acquires (reuses included)
+    int64_t created = 0;         // heap-constructed buffers (free-list misses)
+    int64_t outstanding = 0;     // acquired but not yet released
+    int64_t high_watermark = 0;  // max simultaneous outstanding ever
+  };
+  Stats stats() const;
+
+ private:
+  const size_t reserve_bytes_;
+  mutable std::mutex mu_;
+  std::vector<std::string> free_;
+  Stats stats_;
+};
+
+}  // namespace dsp

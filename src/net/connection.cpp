@@ -1,0 +1,149 @@
+#include "net/connection.hpp"
+
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace dsp {
+namespace {
+
+Histogram& write_stall_metric() {
+  static Histogram& h = global_metrics().histogram(
+      metric::kNetWriteStallUs,
+      "time a connection's reply queue waited on EPOLLOUT, microseconds",
+      default_latency_buckets_us());
+  return h;
+}
+
+}  // namespace
+
+Connection::Connection(EventLoop* loop, SocketFd socket, uint64_t id)
+    : loop_(loop), sock_(std::move(socket)), id_(id) {
+  // Register the stall histogram up front: a zero-count series on a
+  // stall-free server is a healthy signal, an absent one is ambiguous.
+  write_stall_metric();
+}
+
+void Connection::handle_readable() {
+  if (reads_stopped_ || close_after_flush_) {
+    // Drain-and-discard so a talkative peer cannot keep the fd readable
+    // forever; peer hangup still surfaces through the recv below.
+    char sink[4096];
+    const long got = recv_some(sock_.fd(), sink, sizeof sink);
+    if (got > 0) return;
+    if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      if (on_close_) on_close_(*this, false);
+      close();
+    }
+    return;
+  }
+
+  std::string scratch = loop_->buffer_pool().acquire();
+  scratch.resize(16 * 1024);
+  const long got = recv_some(sock_.fd(), scratch.data(), scratch.size());
+  if (got > 0) decoder_.feed(scratch.data(), static_cast<size_t>(got));
+  loop_->buffer_pool().release(std::move(scratch));
+
+  if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+  if (got <= 0) {
+    if (on_close_) on_close_(*this, decoder_.pending_bytes() > 0);
+    close();
+    return;
+  }
+
+  Frame frame;
+  while (decoder_.next(&frame)) {
+    if (on_frame_) on_frame_(*this, frame.type, std::move(frame.payload));
+    // A handler may have closed-after-flush (e.g. replied with an error);
+    // stop dispatching the rest of the batch if so.
+    if (close_after_flush_ || reads_stopped_) break;
+  }
+  if (!decoder_.error().empty() && !reads_stopped_) {
+    reads_stopped_ = true;
+    if (on_protocol_error_) on_protocol_error_(*this, decoder_.error());
+  }
+}
+
+void Connection::handle_writable() { try_flush(); }
+
+void Connection::queue_frame(MsgType type, std::string_view payload) {
+  std::string buf = loop_->buffer_pool().acquire();
+  encode_frame_append(type, payload, &buf);
+  out_bytes_ += buf.size();
+  out_.push_back(std::move(buf));
+  try_flush();
+}
+
+void Connection::try_flush() {
+  while (!out_.empty()) {
+    const std::string& head = out_.front();
+    const long sent = send_some(sock_.fd(), head.data() + out_front_off_,
+                                head.size() - out_front_off_);
+    if (sent < 0) {
+      // Broken pipe: the peer is gone, queued replies are undeliverable.
+      if (on_close_) on_close_(*this, false);
+      close();
+      return;
+    }
+    out_bytes_ -= static_cast<size_t>(sent);
+    out_front_off_ += static_cast<size_t>(sent);
+    if (out_front_off_ < out_.front().size()) {
+      // Kernel buffer full mid-buffer: wait for EPOLLOUT.
+      if (!stalled_) {
+        stalled_ = true;
+        stall_start_ = std::chrono::steady_clock::now();
+      }
+      update_write_interest(true);
+      return;
+    }
+    loop_->buffer_pool().release(std::move(out_.front()));
+    out_.pop_front();
+    out_front_off_ = 0;
+  }
+  finish_stall_clock();
+  update_write_interest(false);
+  if (close_after_flush_) close();
+}
+
+void Connection::finish_stall_clock() {
+  if (!stalled_) return;
+  stalled_ = false;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - stall_start_)
+                      .count();
+  write_stall_metric().observe(us);
+}
+
+void Connection::update_write_interest(bool want) {
+  if (want == write_armed_) return;
+  write_armed_ = want;
+  loop_->update_epoll(sock_.fd(), EPOLLIN | (want ? EPOLLOUT : 0u),
+                      EPOLL_CTL_MOD);
+}
+
+void Connection::close_after_flush() {
+  if (out_.empty()) {
+    close();
+    return;
+  }
+  close_after_flush_ = true;
+}
+
+void Connection::close() {
+  // Recycle queued buffers before the object dies so the pool's
+  // outstanding count reflects reality even on abrupt closes.
+  while (!out_.empty()) {
+    loop_->buffer_pool().release(std::move(out_.front()));
+    out_.pop_front();
+  }
+  out_bytes_ = 0;
+  stalled_ = false;
+  loop_->destroy_connection(this);  // `this` is gone after the call
+}
+
+}  // namespace dsp

@@ -1,0 +1,115 @@
+// Per-connection state machine for the epoll front end.
+//
+// A Connection owns one non-blocking client socket registered with its
+// EventLoop. All of its state — decoder, output queue, callbacks — is
+// touched only from the loop thread; other threads reach a connection by
+// posting closures through the loop (the server's reply path does exactly
+// that). Lifetime contract: the loop owns the object, and it dies in
+// exactly three ways, all on the loop thread — `close()`, the peer
+// hanging up (after `on_close` returns), or loop teardown. A raw
+// `Connection*` captured into a posted closure is therefore only safe to
+// touch if the caller re-validates it still exists (the server keys
+// connections by id for this reason).
+//
+// Read path: EPOLLIN → recv into a pooled scratch buffer → feed the
+// incremental FrameDecoder → one `on_frame` per complete frame. Decoder
+// errors are sticky: reads stop and `on_protocol_error` fires once —
+// the server replies with a kError frame and closes after flush.
+//
+// Write path: `queue_frame` encodes into a pooled buffer, appends it to
+// the output deque, and flushes as far as the kernel allows. A short
+// write leaves the remainder queued, arms EPOLLOUT, and stamps the stall
+// start; when the queue drains the loop disarms EPOLLOUT and observes the
+// stall in `dsplacer_net_write_stall_us` — the histogram that shows
+// slow-reader backpressure. `buffered_out_bytes()` is the hook for the
+// server's per-connection output bound (BUSY above the limit).
+#pragma once
+
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace dsp {
+
+class EventLoop;
+
+class Connection {
+ public:
+  /// Payload is moved in; handler may keep it.
+  using FrameHandler = std::function<void(Connection&, MsgType, std::string&&)>;
+  /// Fired once, with the sticky decoder diagnostic. Reads have stopped;
+  /// the connection stays writable so an error frame can be flushed.
+  using ProtocolErrorHandler =
+      std::function<void(Connection&, const std::string&)>;
+  /// Peer closed or the socket failed. `partial_frame` = bytes of an
+  /// incomplete frame were pending (the mid-frame-hangup "truncated"
+  /// case). The connection is destroyed right after this returns.
+  using CloseHandler = std::function<void(Connection&, bool partial_frame)>;
+
+  Connection(EventLoop* loop, SocketFd socket, uint64_t id);
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_on_frame(FrameHandler h) { on_frame_ = std::move(h); }
+  void set_on_protocol_error(ProtocolErrorHandler h) {
+    on_protocol_error_ = std::move(h);
+  }
+  void set_on_close(CloseHandler h) { on_close_ = std::move(h); }
+
+  /// Monotone per-loop id — the stable key for server-side maps.
+  uint64_t id() const { return id_; }
+  int fd() const { return sock_.fd(); }
+
+  /// Encodes a frame into a pooled buffer, queues it, and flushes what
+  /// the kernel will take now. Loop thread only.
+  void queue_frame(MsgType type, std::string_view payload);
+
+  /// Reply bytes queued but not yet accepted by the kernel.
+  size_t buffered_out_bytes() const { return out_bytes_; }
+
+  /// Destroys the connection once the output queue drains (immediately
+  /// if it is already empty). Further reads are ignored.
+  void close_after_flush();
+
+  /// Destroys the connection now; queued output is dropped. `this` is
+  /// invalid after the call. Loop thread only.
+  void close();
+
+ private:
+  friend class EventLoop;
+
+  // EventLoop dispatch entry points (loop thread).
+  void handle_readable();
+  void handle_writable();
+
+  void try_flush();
+  void update_write_interest(bool want);
+  void finish_stall_clock();
+
+  EventLoop* loop_;
+  SocketFd sock_;
+  const uint64_t id_;
+
+  FrameHandler on_frame_;
+  ProtocolErrorHandler on_protocol_error_;
+  CloseHandler on_close_;
+
+  FrameDecoder decoder_;
+  bool reads_stopped_ = false;   // sticky decoder error reported
+  bool close_after_flush_ = false;
+  bool write_armed_ = false;     // EPOLLOUT currently registered
+
+  std::deque<std::string> out_;  // pooled buffers; front partially sent
+  size_t out_front_off_ = 0;     // bytes of out_.front() already written
+  size_t out_bytes_ = 0;
+  std::chrono::steady_clock::time_point stall_start_{};
+  bool stalled_ = false;
+};
+
+}  // namespace dsp

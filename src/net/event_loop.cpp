@@ -1,0 +1,293 @@
+#include "net/event_loop.hpp"
+
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "net/connection.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <utility>
+
+namespace dsp {
+namespace {
+
+Counter& accepts_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kNetAccepts, "connections accepted by the event loop");
+  return c;
+}
+
+Counter& wakeups_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kNetEpollWakeups,
+      "epoll_wait returns (events dispatched per wakeup = batching)");
+  return c;
+}
+
+Gauge& open_gauge() {
+  static Gauge& g = global_metrics().gauge(
+      metric::kNetConnectionsOpen,
+      "connections currently registered with the event loop");
+  return g;
+}
+
+timespec to_timespec(std::chrono::steady_clock::time_point tp) {
+  // steady_clock is CLOCK_MONOTONIC on Linux, which is what the timerfd
+  // was created against — the epochs match.
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      tp.time_since_epoch())
+                      .count();
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(ns / 1000000000);
+  ts.tv_nsec = static_cast<long>(ns % 1000000000);
+  return ts;
+}
+
+}  // namespace
+
+EventLoop::EventLoop()
+    : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)),
+      timer_fd_(::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK)) {
+  if (epoll_fd_.valid()) {
+    if (wake_fd_.valid()) update_epoll(wake_fd_.fd(), EPOLLIN, EPOLL_CTL_ADD);
+    if (timer_fd_.valid()) update_epoll(timer_fd_.fd(), EPOLLIN, EPOLL_CTL_ADD);
+  }
+}
+
+EventLoop::~EventLoop() { stop(); }
+
+bool EventLoop::start(std::string* error) {
+  if (!epoll_fd_.valid() || !wake_fd_.valid() || !timer_fd_.valid()) {
+    if (error != nullptr) *error = "event loop descriptors unavailable";
+    return false;
+  }
+  loop_thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void EventLoop::stop() {
+  if (stopped_.exchange(true)) return;
+  if (loop_thread_.joinable()) {
+    stopping_.store(true);
+    const uint64_t one = 1;
+    [[maybe_unused]] const long n = ::write(wake_fd_.fd(), &one, sizeof one);
+    loop_thread_.join();
+  } else {
+    close_all_connections();
+    remove_listeners();
+  }
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.clear();
+  }
+}
+
+void EventLoop::add_listener(SocketFd listener,
+                             std::function<void(SocketFd)> on_accept) {
+  std::string ignored;
+  set_nonblocking(listener.fd(), &ignored);
+  auto entry = std::make_unique<Listener>();
+  entry->fd = std::move(listener);
+  entry->on_accept = std::move(on_accept);
+  update_epoll(entry->fd.fd(), EPOLLIN, EPOLL_CTL_ADD);
+  listeners_.push_back(std::move(entry));
+}
+
+void EventLoop::remove_listeners() {
+  for (auto& l : listeners_) {
+    update_epoll(l->fd.fd(), 0, EPOLL_CTL_DEL);
+    l->fd.close_fd();
+  }
+  listeners_.clear();
+}
+
+Connection* EventLoop::adopt(SocketFd socket) {
+  std::string ignored;
+  set_nonblocking(socket.fd(), &ignored);
+  const int fd = socket.fd();
+  static std::atomic<uint64_t> next_conn_id{1};
+  auto conn = std::make_unique<Connection>(
+      this, std::move(socket), next_conn_id.fetch_add(1));
+  Connection* raw = conn.get();
+  connections_.emplace(fd, std::move(conn));
+  update_epoll(fd, EPOLLIN, EPOLL_CTL_ADD);
+  open_connections_.fetch_add(1, std::memory_order_relaxed);
+  open_gauge().add();
+  return raw;
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    if (stopped_.load()) return;  // late replies after teardown: dropped
+    posted_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const long n = ::write(wake_fd_.fd(), &one, sizeof one);
+}
+
+void EventLoop::run_sync(const std::function<void()>& fn) {
+  if (on_loop_thread()) {
+    fn();
+    return;
+  }
+  std::promise<void> done;
+  std::future<void> fut = done.get_future();
+  post([&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  fut.wait();
+}
+
+TimerId EventLoop::add_timer(std::chrono::steady_clock::time_point deadline,
+                             std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  timer_fns_.emplace(id, std::move(fn));
+  timers_.push(Timer{deadline, id});
+  if (timers_.top().id == id) rearm_timerfd();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) { timer_fns_.erase(id); }
+
+void EventLoop::run() {
+  loop_thread_id_.store(std::this_thread::get_id());
+  epoll_event events[64];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_.fd(), events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself failed: unrecoverable
+    }
+    wakeups_metric().inc();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_.fd()) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const long r =
+            ::read(wake_fd_.fd(), &drained, sizeof drained);
+        drain_posted();
+        continue;
+      }
+      if (fd == timer_fd_.fd()) {
+        uint64_t expirations = 0;
+        [[maybe_unused]] const long r =
+            ::read(timer_fd_.fd(), &expirations, sizeof expirations);
+        fire_due_timers();
+        continue;
+      }
+      bool was_listener = false;
+      for (auto& l : listeners_) {
+        if (l->fd.fd() == fd) {
+          handle_accept(*l);
+          was_listener = true;
+          break;
+        }
+      }
+      if (was_listener) continue;
+      // Per-event re-lookup: an earlier event in this batch may have
+      // destroyed the connection (or a new one reused the fd — the map
+      // then holds the *new* connection, whose events these now are).
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) it->second->handle_readable();
+      it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      if (ev & EPOLLOUT) it->second->handle_writable();
+    }
+    graveyard_.clear();
+    if (stopping_.load()) {
+      drain_posted();  // replies posted before stop() still deliver
+      break;
+    }
+  }
+  remove_listeners();
+  close_all_connections();
+  graveyard_.clear();
+}
+
+void EventLoop::handle_accept(Listener& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending
+    }
+    accepts_metric().inc();
+    listener.on_accept(SocketFd(fd));
+  }
+}
+
+void EventLoop::drain_posted() {
+  // Closures may post more work; loop until the queue is observed empty
+  // so a post-from-post still runs before epoll_wait sleeps.
+  for (;;) {
+    std::deque<std::function<void()>> batch;
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      if (posted_.empty()) return;
+      batch.swap(posted_);
+    }
+    for (auto& fn : batch) fn();
+    graveyard_.clear();
+  }
+}
+
+void EventLoop::fire_due_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.top().when <= now) {
+    const TimerId id = timers_.top().id;
+    timers_.pop();
+    auto it = timer_fns_.find(id);
+    if (it == timer_fns_.end()) continue;  // lazily cancelled
+    std::function<void()> fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+  }
+  graveyard_.clear();
+  rearm_timerfd();
+}
+
+void EventLoop::rearm_timerfd() {
+  itimerspec spec{};  // all-zero disarms
+  if (!timers_.empty()) {
+    spec.it_value = to_timespec(timers_.top().when);
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0)
+      spec.it_value.tv_nsec = 1;  // "now" must not read as "disarm"
+  }
+  ::timerfd_settime(timer_fd_.fd(), TFD_TIMER_ABSTIME, &spec, nullptr);
+}
+
+void EventLoop::update_epoll(int fd, uint32_t events, int op) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_.fd(), op, fd, op == EPOLL_CTL_DEL ? nullptr : &ev);
+}
+
+void EventLoop::destroy_connection(Connection* conn) {
+  auto it = connections_.find(conn->fd());
+  if (it == connections_.end() || it->second.get() != conn) return;
+  update_epoll(conn->fd(), 0, EPOLL_CTL_DEL);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  open_gauge().sub();
+  graveyard_.push_back(std::move(it->second));
+  connections_.erase(it);
+}
+
+void EventLoop::close_all_connections() {
+  while (!connections_.empty()) connections_.begin()->second->close();
+  graveyard_.clear();
+}
+
+}  // namespace dsp

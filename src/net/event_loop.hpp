@@ -1,0 +1,152 @@
+// Single-threaded epoll event loop — the async front end's reactor
+// (docs/SERVER.md, "Front ends"; docs/ARCHITECTURE.md, `src/net`).
+//
+// One loop thread owns accept, read, and write for every connection:
+// listeners and connections register level-triggered interest with one
+// epoll instance, and all connection state is touched only from the loop
+// thread, so the per-connection code needs no locks at all. Two auxiliary
+// descriptors multiplex everything else into the same epoll_wait:
+//
+//  - an eventfd wakes the loop when another thread posts a closure
+//    (`post()` / `run_sync()`), which is how worker threads deliver job
+//    replies back onto connections they must not touch directly;
+//  - a timerfd (CLOCK_MONOTONIC, absolute) tracks the earliest entry of
+//    a min-heap of armed timers — the deadline wheel that expires
+//    still-queued jobs without a watcher thread.
+//
+// The loop never blocks on a socket: listeners and connections are
+// non-blocking, reads and writes retry on the next readiness event, and
+// the only blocking call is epoll_wait itself. `stop()` tears down from
+// the loop thread (posted internally), closing every connection and then
+// joining the thread.
+#pragma once
+
+#include "net/buffer_pool.hpp"
+#include "server/socket.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace dsp {
+
+class Connection;
+
+/// Cancellable handle for an armed timer. Zero = never armed.
+using TimerId = uint64_t;
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread. Call after registering initial listeners.
+  /// False + *error if the epoll/eventfd/timerfd plumbing failed.
+  bool start(std::string* error);
+
+  /// Closes every connection and listener and joins the loop thread.
+  /// Idempotent. Safe from any thread except the loop thread itself.
+  void stop();
+
+  /// Registers a listening socket; `on_accept` runs on the loop thread
+  /// once per accepted connection. Call before start() or on the loop
+  /// thread. The listener fd is made non-blocking and owned by the loop.
+  void add_listener(SocketFd listener, std::function<void(SocketFd)> on_accept);
+
+  /// Unregisters and closes every listener (drain entry: no new accepts,
+  /// existing connections live on). Loop thread only — run_sync() it.
+  void remove_listeners();
+
+  /// Adopts a connected socket into the loop: makes it non-blocking,
+  /// registers EPOLLIN, and returns the connection handle. Loop thread
+  /// only. The returned pointer stays valid until `Connection::close()`
+  /// or loop teardown destroys it — see connection.hpp for the contract.
+  Connection* adopt(SocketFd socket);
+
+  /// Enqueues `fn` to run on the loop thread (FIFO order; wakes the loop
+  /// via eventfd). Safe from any thread, including the loop thread.
+  /// After stop() completes, posted closures are discarded.
+  void post(std::function<void()> fn);
+
+  /// post() + wait for `fn` to finish. Runs inline when already on the
+  /// loop thread, so loop-thread callers cannot self-deadlock.
+  void run_sync(const std::function<void()>& fn);
+
+  /// Arms a one-shot timer firing at `deadline`; `fn` runs on the loop
+  /// thread. Loop thread only. Returns a handle for cancel_timer().
+  TimerId add_timer(std::chrono::steady_clock::time_point deadline,
+                    std::function<void()> fn);
+
+  /// Lazy cancel: the heap entry stays but its closure is dropped.
+  /// Loop thread only. Cancelling a fired/unknown id is a no-op.
+  void cancel_timer(TimerId id);
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_id_.load();
+  }
+
+  /// Connections currently registered (accepted and not yet destroyed).
+  int64_t open_connections() const { return open_connections_.load(); }
+
+  BufferPool& buffer_pool() { return pool_; }
+
+ private:
+  friend class Connection;
+
+  struct Listener {
+    SocketFd fd;
+    std::function<void(SocketFd)> on_accept;
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    TimerId id;
+    bool operator>(const Timer& other) const {
+      return when != other.when ? when > other.when : id > other.id;
+    }
+  };
+
+  void run();
+  void handle_accept(Listener& listener);
+  void drain_posted();
+  void fire_due_timers();
+  void rearm_timerfd();
+  void update_epoll(int fd, uint32_t events, int op);
+  void destroy_connection(Connection* conn);
+  void close_all_connections();
+
+  SocketFd epoll_fd_;
+  SocketFd wake_fd_;   // eventfd
+  SocketFd timer_fd_;  // timerfd
+  BufferPool pool_;
+
+  std::thread loop_thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex post_mu_;
+  std::deque<std::function<void()>> posted_;
+
+  // Everything below is loop-thread-only after start().
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  // close() runs while the closing connection's own handler is still on
+  // the stack; the corpse parks here until the dispatch batch ends.
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<TimerId, std::function<void()>> timer_fns_;
+  TimerId next_timer_id_ = 1;
+  std::atomic<int64_t> open_connections_{0};
+};
+
+}  // namespace dsp

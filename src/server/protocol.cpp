@@ -26,14 +26,27 @@ const char* frame_error_cause(const std::string& decoder_error) {
   return "other";
 }
 
+void encode_frame_append(MsgType type, std::string_view payload,
+                         std::string* out) {
+  const auto put_u32 = [out](uint32_t v) {
+    const char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                       static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    out->append(b, 4);
+  };
+  put_u32(kFrameMagic);
+  put_u32(kProtocolVersion);
+  put_u32(static_cast<uint32_t>(type));
+  const uint64_t length = payload.size();
+  put_u32(static_cast<uint32_t>(length));
+  put_u32(static_cast<uint32_t>(length >> 32));
+  out->append(payload.data(), payload.size());
+}
+
 std::string encode_frame(MsgType type, std::string_view payload) {
-  ByteWriter w;
-  w.u32(kFrameMagic);
-  w.u32(kProtocolVersion);
-  w.u32(static_cast<uint32_t>(type));
-  w.u64(payload.size());
-  w.bytes(payload.data(), payload.size());
-  return w.take();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  encode_frame_append(type, payload, &out);
+  return out;
 }
 
 bool FrameDecoder::next(Frame* out) {

@@ -70,6 +70,12 @@ struct Frame {
 /// Encodes one complete frame (header + payload), ready to send.
 std::string encode_frame(MsgType type, std::string_view payload);
 
+/// Appends one complete frame to *out. The event-loop front end encodes
+/// replies into recycled BufferPool strings; appending in place keeps the
+/// pooled capacity instead of allocating a fresh buffer per reply.
+void encode_frame_append(MsgType type, std::string_view payload,
+                         std::string* out);
+
 /// Incremental frame parser for a byte stream. feed() bytes as they
 /// arrive, then drain frames with next(). Errors are sticky.
 class FrameDecoder {

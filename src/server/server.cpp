@@ -9,6 +9,8 @@
 #include "fpga/device.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/names.hpp"
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
 #include "netlist/netlist_io.hpp"
 #include "placer/placement_io.hpp"
 #include "timing/wirelength.hpp"
@@ -93,7 +95,39 @@ struct DsplacerServer::PendingJob {
   Clock::time_point deadline;   // valid only when has_deadline
   Clock::time_point submitted;  // enqueue time, feeds the e2e histogram
   bool has_deadline = false;
-  std::promise<JobReply> promise;
+  /// Reply race: 0 = queued, 1 = claimed by a worker, 2 = answered by the
+  /// event loop's deadline timer while still queued. Exactly one CAS away
+  /// from 0 wins, so every job is replied to exactly once; a worker that
+  /// pops a state-2 job discards it without executing.
+  std::atomic<int> state{0};
+  /// Hands the reply to whichever front end submitted the job: fulfils a
+  /// promise (thread-per-connection) or posts into the event loop. Called
+  /// once, by the winner of the state race, after stats/metrics.
+  std::function<void(JobReply&&)> deliver;
+};
+
+/// Event-loop front end: per-connection state. The wire protocol carries
+/// no job id in replies, so replies must go out in request order — every
+/// reply (pong, stats, job outcome, error) flows through an ordered slot
+/// deque. A slot is `ready` once its payload exists; the head of the
+/// deque drains into the connection as soon as it becomes ready, so a
+/// slow job holds later (already-finished) replies in line behind it.
+struct DsplacerServer::NetConn {
+  struct ReplySlot {
+    bool ready = false;
+    MsgType type = MsgType::kJobReply;
+    std::string payload;
+    TimerId timer = 0;  // armed deadline timer for an in-queue job, if any
+  };
+
+  Connection* conn = nullptr;
+  uint64_t cid = 0;
+  std::deque<std::unique_ptr<ReplySlot>> slots;
+  /// Payload bytes parked in ready slots (blocked behind an unready
+  /// head). Together with Connection::buffered_out_bytes() this is the
+  /// quantity `conn_output_limit` bounds.
+  size_t ready_bytes = 0;
+  bool close_after_slots = false;  // close once every slot has drained
 };
 
 DsplacerServer::DsplacerServer(ServerOptions options) : opts_(std::move(options)) {
@@ -130,18 +164,39 @@ std::string DsplacerServer::start() {
   }
 
   running_.store(true);
+  if (opts_.event_loop) {
+    // Epoll front end: the loop thread owns both listeners and every
+    // connection; accept/read/write never spawn a thread. Starts before
+    // the workers so a failed start has nothing to unwind — early jobs
+    // just park in the queue until the workers come up a moment later.
+    loop_ = std::make_unique<EventLoop>();
+    if (unix_listener_.valid())
+      loop_->add_listener(std::move(unix_listener_),
+                          [this](SocketFd s) { el_on_accept(std::move(s)); });
+    if (tcp_listener_.valid())
+      loop_->add_listener(std::move(tcp_listener_),
+                          [this](SocketFd s) { el_on_accept(std::move(s)); });
+    if (!loop_->start(&error)) {
+      running_.store(false);
+      loop_.reset();
+      metrics_http_.stop();
+      return error;
+    }
+  } else {
+    if (unix_listener_.valid())
+      accept_threads_.emplace_back([this, fd = unix_listener_.fd()] { accept_loop(fd); });
+    if (tcp_listener_.valid())
+      accept_threads_.emplace_back([this, fd = tcp_listener_.fd()] { accept_loop(fd); });
+  }
   for (int i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
-  if (unix_listener_.valid())
-    accept_threads_.emplace_back([this, fd = unix_listener_.fd()] { accept_loop(fd); });
-  if (tcp_listener_.valid())
-    accept_threads_.emplace_back([this, fd = tcp_listener_.fd()] { accept_loop(fd); });
 
   LOG_INFO("server",
-           "dsplacerd up: %d worker(s), queue depth %d, cache '%s', %s",
+           "dsplacerd up: %d worker(s), queue depth %d, cache '%s', %s, %s front end",
            opts_.workers, opts_.queue_depth,
            opts_.cache_dir.empty() ? "(off)" : opts_.cache_dir.c_str(),
-           scheduler_ ? "pipelined stage scheduler" : "job-per-worker");
+           scheduler_ ? "pipelined stage scheduler" : "job-per-worker",
+           opts_.event_loop ? "event-loop" : "thread-per-connection");
   if (metrics_http_.running())
     LOG_INFO("server", "metrics on http://127.0.0.1:%d/metrics", metrics_http_.port());
   return "";
@@ -154,14 +209,21 @@ void DsplacerServer::stop() {
   draining_.store(true);
   LOG_INFO("server", "draining: closing listeners, finishing in-flight jobs");
 
-  // Wake the accept threads: shutdown unblocks a blocking accept(), then
-  // the listeners close for good.
-  unix_listener_.shutdown_read();
-  tcp_listener_.shutdown_read();
-  for (std::thread& t : accept_threads_) t.join();
-  accept_threads_.clear();
-  unix_listener_.close_fd();
-  tcp_listener_.close_fd();
+  if (loop_) {
+    // The loop owns the listeners; unregistering them on the loop thread
+    // means no accept can race the teardown — once run_sync returns, any
+    // connection that got in was adopted and will be drained below.
+    loop_->run_sync([this] { loop_->remove_listeners(); });
+  } else {
+    // Wake the accept threads: shutdown unblocks a blocking accept(), then
+    // the listeners close for good.
+    unix_listener_.shutdown_read();
+    tcp_listener_.shutdown_read();
+    for (std::thread& t : accept_threads_) t.join();
+    accept_threads_.clear();
+    unix_listener_.close_fd();
+    tcp_listener_.close_fd();
+  }
 
   // Let queued + in-flight jobs finish within the grace period; past it,
   // cancel cooperatively — flows stop at the next stage boundary and the
@@ -186,21 +248,52 @@ void DsplacerServer::stop() {
   // Workers are gone, so no job can re-enter the pipe; join its elements.
   if (scheduler_) scheduler_->stop();
 
-  // Every reply has been delivered; unblock connection readers and join.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (ConnSlot& c : conns_)
-      if (c.socket) c.socket->shutdown_read();
-  }
-  for (;;) {
-    ConnSlot slot;
+  if (loop_) {
+    // Every reply post was enqueued before the workers were joined, and
+    // the loop's post queue is FIFO, so by the time this closure runs each
+    // pending reply sits in its slot. Mark every connection
+    // close-after-flush; the loop keeps running so the kernel writes
+    // finish, then connections destroy themselves.
+    loop_->run_sync([this] {
+      std::vector<uint64_t> cids;
+      cids.reserve(net_conns_.size());
+      for (const auto& entry : net_conns_) cids.push_back(entry.first);
+      for (uint64_t cid : cids) {
+        auto it = net_conns_.find(cid);
+        if (it == net_conns_.end()) continue;
+        it->second->close_after_slots = true;
+        el_pump(cid);
+      }
+    });
+    // Bounded flush: a peer that never reads its replies cannot hold the
+    // drain hostage past this window.
+    const auto flush_deadline = Clock::now() + std::chrono::seconds(5);
+    while (loop_->open_connections() > 0 && Clock::now() < flush_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    loop_->stop();  // force-closes whatever is left
+    loop_.reset();
+    net_conns_.clear();
+  } else {
+    // Every reply has been delivered; unblock connection readers and join.
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      if (conns_.empty()) break;
-      slot = std::move(conns_.back());
-      conns_.pop_back();
+      for (ConnSlot& c : conns_)
+        if (c.socket) c.socket->shutdown_read();
     }
-    if (slot.thread.joinable()) slot.thread.join();
+    for (;;) {
+      ConnSlot slot;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        if (conns_.empty()) break;
+        slot = std::move(conns_.back());
+        conns_.pop_back();
+      }
+      // The slot may have been added after the broadcast above (accept
+      // raced the drain): shut its reader down here too, or the join
+      // below would wait forever on a thread parked in recv.
+      if (slot.socket) slot.socket->shutdown_read();
+      if (slot.thread.joinable()) slot.thread.join();
+    }
   }
 
   if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
@@ -228,7 +321,15 @@ void DsplacerServer::accept_loop(int listen_fd) {
   for (;;) {
     SocketFd conn = accept_connection(listen_fd);
     if (!conn.valid()) return;  // listener shut down: drain in progress
-    if (draining_.load()) continue;  // close immediately; no new sessions
+    if (draining_.load()) {
+      // Mid-drain accept: tell the client why instead of a silent close,
+      // so it sees "draining" rather than an unexplained reset.
+      ByteWriter w;
+      w.str("server is draining");
+      const std::string bytes = encode_frame(MsgType::kError, w.take());
+      send_all(conn.fd(), bytes.data(), bytes.size());
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.connections;
@@ -327,7 +428,11 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
                             " queued); resubmit later";
           rejected = true;
         } else {
-          result = job->promise.get_future();
+          auto reply_promise = std::make_shared<std::promise<JobReply>>();
+          result = reply_promise->get_future();
+          job->deliver = [reply_promise](JobReply&& r) {
+            reply_promise->set_value(std::move(r));
+          };
           job->submitted = Clock::now();
           queue_.push_back(job);
           server_metrics().jobs_submitted.inc();
@@ -377,6 +482,7 @@ void DsplacerServer::worker_loop(int worker_index) {
   set_log_thread_tag(idle_tag);
   for (;;) {
     std::shared_ptr<PendingJob> job;
+    bool claimed = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stop_workers_ || !queue_.empty(); });
@@ -386,9 +492,18 @@ void DsplacerServer::worker_loop(int worker_index) {
       }
       job = queue_.front();
       queue_.pop_front();
-      ++active_jobs_;
+      int expected = 0;
+      claimed = job->state.compare_exchange_strong(expected, 1);
+      if (claimed) {
+        ++active_jobs_;
+      } else if (queue_.empty() && active_jobs_ == 0) {
+        idle_cv_.notify_all();
+      }
     }
     server_metrics().queue_depth.sub(1);
+    // Answered by the event loop's deadline timer while queued: the
+    // reply is already on its way, nothing left to execute.
+    if (!claimed) continue;
     server_metrics().jobs_inflight.add(1);
 
     set_log_thread_tag("job" + std::to_string(job->id));
@@ -410,12 +525,269 @@ void DsplacerServer::worker_loop(int worker_index) {
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               job->submitted)
             .count());
-    job->promise.set_value(std::move(reply));
+    job->deliver(std::move(reply));
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       --active_jobs_;
       if (queue_.empty() && active_jobs_ == 0) idle_cv_.notify_all();
     }
+  }
+}
+
+// ---- event-loop front end (every method below runs on the loop thread,
+// so NetConn state needs no locks; worker replies arrive via post()) ----
+
+void DsplacerServer::count_protocol_error(const char* cause) {
+  protocol_error_metric(cause).inc();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.protocol_errors;
+}
+
+void DsplacerServer::el_on_accept(SocketFd socket) {
+  Connection* conn = loop_->adopt(std::move(socket));
+  auto nc = std::make_unique<NetConn>();
+  nc->conn = conn;
+  nc->cid = conn->id();
+  const uint64_t cid = nc->cid;
+  net_conns_.emplace(cid, std::move(nc));
+  conn->set_on_frame([this](Connection& c, MsgType t, std::string&& p) {
+    el_on_frame(c, t, std::move(p));
+  });
+  conn->set_on_protocol_error([this](Connection& c, const std::string& e) {
+    el_on_protocol_error(c, e);
+  });
+  conn->set_on_close([this](Connection& c, bool partial) {
+    el_on_close(c, partial);
+  });
+  if (draining_.load()) {
+    // Accept raced the drain (the listener was still registered when the
+    // client connected): explicit error frame, close once it flushes —
+    // the same contract as the thread-per-connection front end.
+    NetConn& ref = *net_conns_[cid];
+    ByteWriter w;
+    w.str("server is draining");
+    el_enqueue_ready(ref, MsgType::kError, w.take());
+    ref.close_after_slots = true;
+    el_pump(cid);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections;
+  }
+  server_metrics().connections.inc();
+}
+
+void DsplacerServer::el_on_close(Connection& conn, bool partial_frame) {
+  if (partial_frame) {
+    // Peer hung up mid-frame: nothing to answer, just count it.
+    count_protocol_error("truncated");
+  }
+  net_conns_.erase(conn.id());
+}
+
+void DsplacerServer::el_on_protocol_error(Connection& conn,
+                                          const std::string& error) {
+  LOG_WARN("server", "protocol error: %s", error.c_str());
+  count_protocol_error(frame_error_cause(error));
+  auto it = net_conns_.find(conn.id());
+  if (it == net_conns_.end()) return;
+  NetConn& nc = *it->second;
+  ByteWriter w;
+  w.str(error);
+  el_enqueue_ready(nc, MsgType::kError, w.take());  // best effort, in order
+  nc.close_after_slots = true;
+  el_pump(nc.cid);
+}
+
+void DsplacerServer::el_on_frame(Connection& conn, MsgType type,
+                                 std::string&& payload) {
+  auto it = net_conns_.find(conn.id());
+  if (it == net_conns_.end()) return;
+  NetConn& nc = *it->second;
+  if (nc.close_after_slots) return;  // already hanging up on this client
+
+  if (type == MsgType::kPing) {
+    ByteWriter w;
+    w.str("dsplacerd");
+    el_enqueue_ready(nc, MsgType::kPong, w.take());
+    el_pump(nc.cid);
+    return;
+  }
+  if (type == MsgType::kStatsRequest) {
+    server_metrics().stats_requests.inc();
+    el_enqueue_ready(nc, MsgType::kStatsReply,
+                     serialize_metrics_snapshot(global_metrics().snapshot()));
+    el_pump(nc.cid);
+    return;
+  }
+  if (type != MsgType::kJobRequest) {
+    // A client must only send requests, pings and stats probes; anything
+    // else is a protocol error: answer and hang up.
+    count_protocol_error("unexpected_type");
+    ByteWriter w;
+    w.str("unexpected message type");
+    el_enqueue_ready(nc, MsgType::kError, w.take());
+    nc.close_after_slots = true;
+    el_pump(nc.cid);
+    return;
+  }
+  el_handle_job(nc, std::move(payload));
+}
+
+void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
+  const uint64_t cid = nc.cid;
+  auto job = std::make_shared<PendingJob>();
+  const auto reject = [this, &nc](JobStatus status, const std::string& err) {
+    JobReply r;
+    r.status = status;
+    r.error = err;
+    jobs_completed_metric(status).inc();
+    el_enqueue_ready(nc, MsgType::kJobReply, encode_job_reply(r));
+  };
+
+  const std::string bad = decode_job_request(payload, &job->req);
+  if (!bad.empty()) {
+    reject(JobStatus::kBadRequest, bad);
+    el_pump(cid);
+    return;
+  }
+
+  // Per-connection output bound: replies this client has not read yet
+  // (kernel-unaccepted writes + replies parked behind an unready head
+  // slot). Past the limit a pipelining-but-not-reading client gets BUSY
+  // instead of growing the server's memory.
+  if (nc.conn->buffered_out_bytes() + nc.ready_bytes > opts_.conn_output_limit) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.busy_rejections;
+    }
+    reject(JobStatus::kBusy,
+           "reply backlog over " + std::to_string(opts_.conn_output_limit) +
+               " bytes; read pending replies before submitting more");
+    el_pump(cid);
+    return;
+  }
+
+  job->id = next_job_id_.fetch_add(1);
+  if (job->req.deadline_ms > 0) {
+    job->has_deadline = true;
+    job->deadline = Clock::now() + std::chrono::milliseconds(job->req.deadline_ms);
+  }
+
+  // Bounded enqueue with explicit backpressure — same policy as the
+  // thread-per-connection front end.
+  bool enqueued = false;
+  JobStatus reject_status = JobStatus::kBusy;
+  std::string reject_error;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_.load()) {
+      reject_status = JobStatus::kShuttingDown;
+      reject_error = "server is draining";
+    } else if (queue_.size() >= static_cast<size_t>(opts_.queue_depth)) {
+      reject_status = JobStatus::kBusy;
+      reject_error = "job queue full (" + std::to_string(queue_.size()) +
+                     " queued); resubmit later";
+    } else {
+      job->submitted = Clock::now();
+      queue_.push_back(job);
+      server_metrics().jobs_submitted.inc();
+      server_metrics().queue_depth.add(1);
+      enqueued = true;
+    }
+  }
+  if (!enqueued) {
+    if (reject_status == JobStatus::kBusy) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.busy_rejections;
+    }
+    reject(reject_status, reject_error);
+    el_pump(cid);
+    return;
+  }
+
+  // Reserve this job's reply position now — replies go out in request
+  // order because the wire protocol has no job id to match on.
+  auto slot = std::make_unique<NetConn::ReplySlot>();
+  NetConn::ReplySlot* slot_ptr = slot.get();
+  nc.slots.push_back(std::move(slot));
+
+  // Worker thread → loop thread. The raw slot pointer is owned by the
+  // connection's deque: an unready slot is never popped, so it is valid
+  // exactly as long as the cid still resolves.
+  job->deliver = [this, cid, slot_ptr](JobReply&& reply) {
+    std::string encoded = encode_job_reply(reply);
+    loop_->post([this, cid, slot_ptr, encoded = std::move(encoded)]() mutable {
+      auto it = net_conns_.find(cid);
+      if (it == net_conns_.end()) return;  // client left; drop the reply
+      if (slot_ptr->timer != 0) loop_->cancel_timer(slot_ptr->timer);
+      slot_ptr->ready = true;
+      slot_ptr->payload = std::move(encoded);
+      it->second->ready_bytes += slot_ptr->payload.size();
+      el_pump(cid);
+    });
+  };
+
+  if (job->has_deadline) {
+    // Deadline wheel: if the job is still queued when its deadline hits,
+    // answer DEADLINE_EXCEEDED immediately instead of making the client
+    // wait for a worker to pop and notice (the thread-per-connection
+    // front end can only do the latter).
+    slot_ptr->timer = loop_->add_timer(job->deadline, [this, cid, slot_ptr, job] {
+      int expected = 0;
+      if (!job->state.compare_exchange_strong(expected, 2)) return;  // claimed
+      JobReply r;
+      r.status = JobStatus::kDeadlineExceeded;
+      r.error = "deadline expired while queued";
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.jobs_failed;
+      }
+      jobs_completed_metric(r.status).inc();
+      server_metrics().job_e2e_us.observe(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - job->submitted)
+              .count());
+      auto it = net_conns_.find(cid);
+      if (it == net_conns_.end()) return;  // counted, but nobody to tell
+      slot_ptr->ready = true;
+      slot_ptr->payload = encode_job_reply(r);
+      it->second->ready_bytes += slot_ptr->payload.size();
+      el_pump(cid);
+    });
+  }
+  queue_cv_.notify_one();
+  // Nothing to pump: the new slot is unready until its reply arrives.
+}
+
+void DsplacerServer::el_enqueue_ready(NetConn& nc, MsgType type,
+                                      std::string&& payload) {
+  auto slot = std::make_unique<NetConn::ReplySlot>();
+  slot->ready = true;
+  slot->type = type;
+  slot->payload = std::move(payload);
+  nc.ready_bytes += slot->payload.size();
+  nc.slots.push_back(std::move(slot));
+}
+
+void DsplacerServer::el_pump(uint64_t cid) {
+  auto it = net_conns_.find(cid);
+  if (it == net_conns_.end()) return;
+  while (!it->second->slots.empty() && it->second->slots.front()->ready) {
+    auto slot = std::move(it->second->slots.front());
+    it->second->slots.pop_front();
+    it->second->ready_bytes -= slot->payload.size();
+    it->second->conn->queue_frame(slot->type, slot->payload);
+    // queue_frame can hit a broken pipe, closing the connection and
+    // erasing the map entry from under us — re-resolve before looping.
+    it = net_conns_.find(cid);
+    if (it == net_conns_.end()) return;
+  }
+  if (it->second->slots.empty() && it->second->close_after_slots) {
+    Connection* conn = it->second->conn;
+    net_conns_.erase(it);  // the NetConn dies here; `conn` outlives it
+    conn->close_after_flush();
   }
 }
 

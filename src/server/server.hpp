@@ -2,11 +2,17 @@
 //
 // A DsplacerServer owns:
 //   - one or two listeners (Unix-domain socket and/or TCP loopback),
-//     each drained by an accept thread that spawns one thread per
-//     connection (connections are long-lived and submit jobs serially);
+//     served by one of two front ends: the default epoll event loop
+//     (src/net/ — one loop thread owns accept/read/write for every
+//     connection, so client count never adds threads) or the classic
+//     thread-per-connection fallback (`event_loop = false`), kept for
+//     A/B comparison; replies are bit-identical between the two;
 //   - a bounded job queue with explicit backpressure: when the queue is
 //     full a job is answered BUSY immediately instead of buffering
 //     unboundedly, so clients see overload as a reply, not a stall;
+//     the event loop adds a second bound per connection — buffered
+//     reply bytes beyond `conn_output_limit` answer BUSY too, so a
+//     slow reader pipelining jobs cannot balloon server memory;
 //   - a worker pool: each worker pops a job, rebuilds the netlist/device,
 //     and runs the standard DSPlacer pipeline through run_flow on the
 //     process-global ThreadPool, with the server's shared stage cache
@@ -29,6 +35,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/stage_scheduler.hpp"
@@ -37,6 +44,9 @@
 #include "server/socket.hpp"
 
 namespace dsp {
+
+class EventLoop;
+class Connection;
 
 struct ServerOptions {
   /// Unix-domain socket path ("" = no unix listener).
@@ -65,6 +75,14 @@ struct ServerOptions {
   bool pipeline = true;
   /// Max jobs the scheduler's batchable Extract element claims at once.
   int extract_batch = 8;
+  /// Front end: true = the epoll event loop (default — client count never
+  /// adds threads), false = thread-per-connection (A/B fallback; see
+  /// docs/SERVER.md "Front ends").
+  bool event_loop = true;
+  /// Event loop only: per-connection bound on buffered reply bytes
+  /// (kernel-unaccepted writes + replies parked behind an unfinished
+  /// earlier job). A job request past the bound is answered BUSY.
+  size_t conn_output_limit = 4u << 20;
   /// Test instrumentation only: invoked on the worker thread right after a
   /// job is popped, before it executes. Tests block here to make queue-full
   /// (BUSY), deadline, and drain scenarios deterministic. May block; must
@@ -109,6 +127,7 @@ class DsplacerServer {
 
  private:
   struct PendingJob;
+  struct NetConn;  // event-loop front end: per-connection reply ordering
 
   void accept_loop(int listen_fd);
   void connection_loop(std::shared_ptr<SocketFd> conn);
@@ -116,11 +135,25 @@ class DsplacerServer {
   JobReply execute_job(const PendingJob& job);
   void reap_finished_connections();
 
+  // Event-loop front end (all run on the loop thread).
+  void el_on_accept(SocketFd socket);
+  void el_on_frame(Connection& conn, MsgType type, std::string&& payload);
+  void el_on_protocol_error(Connection& conn, const std::string& error);
+  void el_on_close(Connection& conn, bool partial_frame);
+  void el_handle_job(NetConn& nc, std::string&& payload);
+  void el_enqueue_ready(NetConn& nc, MsgType type, std::string&& payload);
+  void el_pump(uint64_t cid);
+  void count_protocol_error(const char* cause);
+
   ServerOptions opts_;
   SocketFd unix_listener_;
   SocketFd tcp_listener_;
   MetricsHttpServer metrics_http_;
   int bound_port_ = -1;
+  std::unique_ptr<EventLoop> loop_;
+  /// Keyed by Connection::id(). Loop thread only. unique_ptr values so
+  /// worker-posted closures can hold a NetConn* that stays put.
+  std::unordered_map<uint64_t, std::unique_ptr<NetConn>> net_conns_;
   /// The server's own pipeline (nullptr in job-per-worker mode), so
   /// opts_.extract_batch applies and stop() can drain it independently of
   /// any other scheduler in the process.

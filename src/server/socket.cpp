@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -144,6 +145,25 @@ bool send_all(int fd, const void* data, size_t n) {
     n -= static_cast<size_t>(sent);
   }
   return true;
+}
+
+bool set_nonblocking(int fd, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    if (error != nullptr) *error = errno_text("fcntl O_NONBLOCK");
+    return false;
+  }
+  return true;
+}
+
+long send_some(int fd, const void* data, size_t n) {
+  for (;;) {
+    const long sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent >= 0) return sent;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
 }
 
 long recv_some(int fd, void* out, size_t n) {

@@ -69,6 +69,15 @@ bool send_all(int fd, const void* data, size_t n);
 /// close or shutdown, -1 on error.
 long recv_some(int fd, void* out, size_t n);
 
+/// O_NONBLOCK on `fd`; the event loop requires it on every descriptor it
+/// owns. False + *error on failure.
+bool set_nonblocking(int fd, std::string* error);
+
+/// One non-blocking send attempt (EINTR-retried, SIGPIPE suppressed).
+/// Returns bytes written (possibly short), 0 when the socket buffer is
+/// full (EAGAIN — retry on the next EPOLLOUT), -1 on a broken connection.
+long send_some(int fd, const void* data, size_t n);
+
 /// Strict port-number parse for CLI flags, mirroring parse_thread_count:
 /// accepts only a plain decimal in [0, 65535] (0 = ephemeral bind) with
 /// optional surrounding whitespace. Returns -1 and fills *error on

@@ -1,0 +1,768 @@
+// Async front-end tests (label: server): the src/net/ event loop under
+// load and abuse. The 1k-connection soak proves thread count and the
+// buffer pool stay flat no matter how many clients are live; slow-loris
+// and hostile-bytes fleets prove one bad client cannot starve or crash
+// the rest; the socketpair echo forces partial writes through a
+// deliberately tiny SO_SNDBUF; drain tests pin the accepted-mid-shutdown
+// contract on both front ends; and the A/B tests prove the event loop
+// and the thread-per-connection fallback answer bit-identically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cerrno>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "designs/benchmarks.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/metrics_http.hpp"
+#include "metrics/names.hpp"
+#include "net/buffer_pool.hpp"
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "netlist/netlist_io.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+// TSan multiplies the cost of every synchronised operation; the soak and
+// fleet tests scale their client counts down so `ctest -L server` stays
+// fast under -DDSPLACER_TSAN=ON while exercising the same code paths.
+#if defined(__SANITIZE_THREAD__)
+#define DSP_NET_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DSP_NET_TSAN 1
+#endif
+#endif
+
+namespace dsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+int64_t metric_value(const std::string& name) {
+  for (const MetricSample& s : global_metrics().snapshot().samples)
+    if (s.name == name) return s.value;
+  return 0;
+}
+
+/// Observation count of a histogram series (0 when unregistered).
+int64_t metric_count(const std::string& name) {
+  for (const MetricSample& s : global_metrics().snapshot().samples)
+    if (s.name == name) return s.count;
+  return 0;
+}
+
+int64_t cause_metric(const char* cause) {
+  return metric_value(std::string(metric::kProtocolErrors) + "{cause=\"" +
+                      cause + "\"}");
+}
+
+/// Live thread count of this process — the soak's "client count never adds
+/// threads" assertion reads the ground truth, not a bookkeeping counter.
+int process_thread_count() {
+  int n = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator("/proc/self/task"))
+    ++n;
+  return n;
+}
+
+std::string socket_path(const std::string& name) {
+  return "/tmp/dsp_n_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+/// A raw frame-speaking client: no DsplacerClient conveniences, so tests
+/// can pipeline requests, dribble partial frames, and send hostile bytes.
+struct RawConn {
+  SocketFd fd;
+  FrameDecoder dec;
+
+  bool open(const std::string& path, std::string* error) {
+    fd = connect_unix(path, error);
+    return fd.valid();
+  }
+  bool send(MsgType type, const std::string& payload) {
+    const std::string bytes = encode_frame(type, payload);
+    return send_all(fd.fd(), bytes.data(), bytes.size());
+  }
+  bool send_raw(const std::string& bytes) {
+    return send_all(fd.fd(), bytes.data(), bytes.size());
+  }
+  /// Blocks until one complete frame, EOF, or a socket error.
+  bool recv_frame(Frame* out) {
+    while (!dec.next(out)) {
+      char buf[8192];
+      const long n = recv_some(fd.fd(), buf, sizeof buf);
+      if (n <= 0) return false;
+      dec.feed(buf, static_cast<size_t>(n));
+    }
+    return true;
+  }
+};
+
+struct TestDesign {
+  Netlist nl;
+  std::string text;
+  explicit TestDesign(const char* benchmark, double scale = 0.08)
+      : nl(make_benchmark(benchmark_by_name(benchmark), make_zcu104(scale), scale)),
+        text(write_netlist(nl)) {}
+};
+
+JobRequest fast_request(const TestDesign& d) {
+  JobRequest req;
+  req.netlist_text = d.text;
+  req.scale = 0.08;
+  req.outer_iterations = 1;
+  req.assign_iterations = 6;
+  req.want_trace = false;
+  return req;
+}
+
+// ---- buffer pool -----------------------------------------------------------
+
+TEST(NetBufferPool, RecyclesCapacityAndTracksHighWatermark) {
+  BufferPool pool(/*reserve_bytes=*/4096);
+  std::string a = pool.acquire();
+  std::string b = pool.acquire();
+  std::string c = pool.acquire();
+  EXPECT_GE(a.capacity(), 4096u);
+  a.assign(100000, 'x');  // grow one buffer past the reserve
+  const char* grown_data = a.data();
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  pool.release(std::move(c));
+
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.acquired, 3);
+  EXPECT_EQ(s.created, 3);
+  EXPECT_EQ(s.outstanding, 0);
+  EXPECT_EQ(s.high_watermark, 3);
+
+  // Reacquire: free-list pops, zero new creations, capacity retained.
+  std::string d = pool.acquire();
+  std::string e = pool.acquire();
+  std::string f = pool.acquire();
+  EXPECT_TRUE(d.empty() && e.empty() && f.empty());
+  const bool reused_grown = d.data() == grown_data || e.data() == grown_data ||
+                            f.data() == grown_data;
+  EXPECT_TRUE(reused_grown);
+  s = pool.stats();
+  EXPECT_EQ(s.acquired, 6);
+  EXPECT_EQ(s.created, 3);  // the plateau: traffic without creations
+  EXPECT_EQ(s.outstanding, 3);
+  EXPECT_EQ(s.high_watermark, 3);
+}
+
+// ---- event loop ------------------------------------------------------------
+
+TEST(NetEventLoop, PostRunSyncAndTimerOrderingWithCancel) {
+  EventLoop loop;
+  std::string err;
+  ASSERT_TRUE(loop.start(&err)) << err;
+
+  // post() runs on the loop thread; run_sync() waits for it.
+  std::atomic<int> posted{0};
+  loop.post([&] { posted.fetch_add(1); });
+  loop.run_sync([&] {
+    EXPECT_TRUE(loop.on_loop_thread());
+    posted.fetch_add(10);
+  });
+  EXPECT_EQ(posted.load(), 11);  // FIFO: the post landed before run_sync
+
+  // Three timers out of submission order; the middle one cancelled.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> fired;
+  const auto now = std::chrono::steady_clock::now();
+  loop.run_sync([&] {
+    const TimerId late = loop.add_timer(now + std::chrono::milliseconds(60), [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired.push_back(3);
+      cv.notify_all();
+    });
+    (void)late;
+    const TimerId cancelled =
+        loop.add_timer(now + std::chrono::milliseconds(30), [&] {
+          std::lock_guard<std::mutex> lock(mu);
+          fired.push_back(2);
+        });
+    loop.add_timer(now + std::chrono::milliseconds(5), [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired.push_back(1);
+    });
+    loop.cancel_timer(cancelled);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return fired.size() == 2; }));
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  }
+  loop.stop();
+}
+
+// The partial-write continuation test: an echo connection whose socket has
+// a deliberately tiny SO_SNDBUF, fed 4MB of pipelined random frames with
+// nothing reading the other end until the sending is done. Every byte must
+// come back identical, and the write-stall histogram must have observed
+// the (forced) short-write episodes.
+TEST(NetEventLoop, EchoSurvivesTinySndbufPartialWrites) {
+  const int64_t stalls0 = metric_count(metric::kNetWriteStallUs);
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  SocketFd server_side(sv[0]);
+  SocketFd client_side(sv[1]);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(server_side.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+
+  EventLoop loop;
+  std::string err;
+  ASSERT_TRUE(loop.start(&err)) << err;
+  std::atomic<bool> closed{false};
+  loop.run_sync([&] {
+    Connection* conn = loop.adopt(std::move(server_side));
+    conn->set_on_frame([](Connection& c, MsgType type, std::string&& payload) {
+      c.queue_frame(type, payload);  // echo
+    });
+    conn->set_on_protocol_error([](Connection& c, const std::string&) { c.close(); });
+    conn->set_on_close([&](Connection&, bool) { closed.store(true); });
+  });
+
+  constexpr int kFrames = 32;
+  constexpr size_t kPayload = 128 * 1024;  // 4MB total >> SO_SNDBUF
+  Rng rng(0xec40);
+  std::vector<std::string> payloads(kFrames);
+  for (std::string& p : payloads) {
+    p.resize(kPayload);
+    for (char& ch : p) ch = static_cast<char>(rng.uniform_int(0, 255));
+  }
+  // Send everything before reading anything: the echo replies must park in
+  // the connection's output queue and drain via EPOLLOUT continuations.
+  for (int i = 0; i < kFrames; ++i) {
+    const std::string bytes = encode_frame(MsgType::kStatsReply, payloads[i]);
+    ASSERT_TRUE(send_all(client_side.fd(), bytes.data(), bytes.size())) << i;
+  }
+  FrameDecoder dec;
+  for (int i = 0; i < kFrames; ++i) {
+    Frame f;
+    while (!dec.next(&f)) {
+      char buf[16384];
+      const long n = recv_some(client_side.fd(), buf, sizeof buf);
+      ASSERT_GT(n, 0) << "echo stream ended early at frame " << i;
+      dec.feed(buf, static_cast<size_t>(n));
+    }
+    ASSERT_EQ(f.type, MsgType::kStatsReply) << i;
+    ASSERT_EQ(f.payload, payloads[i]) << "echo corrupted frame " << i;
+  }
+  // Barrier: the loop callback that wrote the final bytes also records the
+  // stall duration right after the write; a posted task can only run once
+  // that callback has returned, so the observation is visible past here.
+  loop.run_sync([] {});
+  EXPECT_GT(metric_count(metric::kNetWriteStallUs), stalls0);
+  EXPECT_FALSE(closed.load());
+  loop.stop();
+}
+
+// ---- live server: scale ----------------------------------------------------
+
+// The acceptance soak: ~1k live connections served by a handful of
+// threads. Thread count while all clients are connected must equal thread
+// count before the first client, the open-connections gauge must track the
+// fleet exactly, and a second full round of traffic must create zero new
+// pool buffers (the created-total plateau).
+TEST(NetServer, ThousandConnectionSoakFlatThreadsAndFlatBuffers) {
+#ifdef DSP_NET_TSAN
+  constexpr int kConns = 200;
+#else
+  constexpr int kConns = 1000;
+#endif
+  const int64_t open0 = metric_value(metric::kNetConnectionsOpen);
+  const int64_t accepts0 = metric_value(metric::kNetAccepts);
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("soak");
+  sopts.workers = 1;
+  sopts.metrics_port = 0;
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+  const int threads_before = process_thread_count();
+
+  std::vector<RawConn> conns(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    std::string err;
+    ASSERT_TRUE(conns[i].open(sopts.unix_path, &err)) << "conn " << i << ": " << err;
+  }
+  // Round 1: a ping round trip on every connection.
+  for (int i = 0; i < kConns; ++i) {
+    ASSERT_TRUE(conns[i].send(MsgType::kPing, ""));
+    Frame f;
+    ASSERT_TRUE(conns[i].recv_frame(&f)) << "conn " << i;
+    EXPECT_EQ(f.type, MsgType::kPong);
+  }
+  const int threads_during = process_thread_count();
+  EXPECT_EQ(threads_during, threads_before)
+      << kConns << " connections must not add a single thread";
+  EXPECT_EQ(metric_value(metric::kNetConnectionsOpen) - open0, kConns);
+  EXPECT_GE(metric_value(metric::kNetAccepts) - accepts0, kConns);
+
+  // Round 2: same traffic again — the pool must serve it entirely from
+  // recycled buffers. (Round 1 is the warm-up that sets the watermark.)
+  const int64_t created_after_round1 = metric_value(metric::kNetBufferPoolCreated);
+  for (int i = 0; i < kConns; ++i) {
+    ASSERT_TRUE(conns[i].send(MsgType::kPing, ""));
+    Frame f;
+    ASSERT_TRUE(conns[i].recv_frame(&f)) << "conn " << i;
+    EXPECT_EQ(f.type, MsgType::kPong);
+  }
+  EXPECT_EQ(metric_value(metric::kNetBufferPoolCreated), created_after_round1)
+      << "steady-state traffic must not create new pool buffers";
+  EXPECT_GT(metric_value(metric::kNetBufferPoolAcquired), created_after_round1);
+
+  // The metrics plane exposes the whole dsplacer_net_* family mid-soak.
+  std::string body;
+  int status = 0;
+  ASSERT_EQ(http_get(server.metrics_http_port(), "/metrics", &body, &status), "");
+  ASSERT_EQ(status, 200);
+  for (const char* name :
+       {metric::kNetConnectionsOpen, metric::kNetAccepts, metric::kNetEpollWakeups,
+        metric::kNetBufferPoolAcquired, metric::kNetBufferPoolCreated,
+        metric::kNetWriteStallUs}) {
+    EXPECT_NE(body.find(name), std::string::npos) << name;
+  }
+
+  // Hang up the whole fleet; the gauge must settle back to where it was.
+  for (RawConn& c : conns) c.fd.close_fd();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (metric_value(metric::kNetConnectionsOpen) != open0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(metric_value(metric::kNetConnectionsOpen), open0);
+  server.stop();
+}
+
+// Slow-loris clients park mid-frame while full-speed clients ride along
+// unimpeded on the same loop; when the loris fleet hangs up mid-frame,
+// each hangup is counted as a truncated protocol error.
+TEST(NetServer, SlowLorisPartialFramesDoNotStarveOthers) {
+  constexpr int kLoris = 20;
+  const int64_t truncated0 = cause_metric("truncated");
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("loris");
+  sopts.workers = 1;
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  const std::string ping = encode_frame(MsgType::kPing, "");
+  std::vector<RawConn> loris(kLoris);
+  for (int i = 0; i < kLoris; ++i) {
+    std::string err;
+    ASSERT_TRUE(loris[i].open(sopts.unix_path, &err)) << err;
+    // Half a header each: the decoder must simply wait, holding state.
+    ASSERT_TRUE(loris[i].send_raw(ping.substr(0, 10)));
+  }
+
+  // A well-behaved client gets instant service despite 20 parked readers.
+  std::string err;
+  DsplacerClient healthy = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(healthy.connected()) << err;
+  std::string version;
+  EXPECT_EQ(healthy.ping(&version), "");
+  EXPECT_EQ(version, "dsplacerd");
+
+  // The loris connections finish their frames byte by byte — each still
+  // gets its pong (slow is not an error).
+  for (int i = 0; i < kLoris; ++i) {
+    for (size_t b = 10; b < ping.size(); ++b)
+      ASSERT_TRUE(loris[i].send_raw(ping.substr(b, 1)));
+    Frame f;
+    ASSERT_TRUE(loris[i].recv_frame(&f)) << "loris " << i;
+    EXPECT_EQ(f.type, MsgType::kPong);
+  }
+
+  // Now park them mid-frame again and hang up: every one counts as a
+  // truncated stream.
+  for (int i = 0; i < kLoris; ++i) {
+    ASSERT_TRUE(loris[i].send_raw(ping.substr(0, 7)));
+    loris[i].fd.close_fd();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (cause_metric("truncated") - truncated0 < kLoris &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(cause_metric("truncated") - truncated0, kLoris);
+  server.stop();
+}
+
+// A hundred sockets all sending hostile bytes at once: every one gets a
+// well-formed kError frame then a hangup, the per-cause counters add up,
+// and the server stays fully healthy for the next real client.
+TEST(NetServer, HostileBytesOnHundredSocketsAtOnce) {
+#ifdef DSP_NET_TSAN
+  constexpr int kHostile = 40;
+#else
+  constexpr int kHostile = 100;
+#endif
+  const int64_t bad_magic0 = cause_metric("bad_magic");
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("hostile");
+  sopts.workers = 1;
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  // Phase 1: blast garbage on every socket before reading any reply, so
+  // the loop is handling all the poisoned streams concurrently.
+  std::vector<RawConn> conns(kHostile);
+  for (int i = 0; i < kHostile; ++i) {
+    std::string err;
+    ASSERT_TRUE(conns[i].open(sopts.unix_path, &err)) << err;
+    ASSERT_TRUE(conns[i].send_raw("hostile bytes, definitely not a frame"));
+  }
+  // Phase 2: each must observe exactly [kError frame, EOF].
+  for (int i = 0; i < kHostile; ++i) {
+    Frame f;
+    ASSERT_TRUE(conns[i].recv_frame(&f)) << "conn " << i;
+    EXPECT_EQ(f.type, MsgType::kError) << "conn " << i;
+    EXPECT_FALSE(conns[i].recv_frame(&f)) << "conn " << i << " not disconnected";
+  }
+  EXPECT_EQ(cause_metric("bad_magic") - bad_magic0, kHostile);
+  EXPECT_GE(server.stats().protocol_errors, kHostile);
+
+  std::string err;
+  DsplacerClient probe = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(probe.connected()) << err;
+  std::string version;
+  EXPECT_EQ(probe.ping(&version), "");
+  server.stop();
+}
+
+// ---- live server: ordering and backpressure --------------------------------
+
+// Replies carry no job id, so the protocol's whole correctness story on a
+// pipelined connection is strict request-order replies — even when later
+// jobs finish first inside the scheduler.
+TEST(NetServer, PipelinedJobsOnOneConnectionReplyInRequestOrder) {
+  TestDesign sky("SkyNet");
+  TestDesign ismart("iSmartDNN");
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("inorder");
+  sopts.workers = 4;
+  sopts.queue_depth = 16;
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  // Reference replies, one at a time through a plain client.
+  std::string err;
+  DsplacerClient ref = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+  ASSERT_TRUE(ref.connected()) << err;
+  JobReply sky_ref, ismart_ref;
+  ASSERT_EQ(ref.submit(fast_request(sky), &sky_ref), "");
+  ASSERT_EQ(ref.submit(fast_request(ismart), &ismart_ref), "");
+  ASSERT_EQ(sky_ref.status, JobStatus::kOk) << sky_ref.error;
+  ASSERT_EQ(ismart_ref.status, JobStatus::kOk) << ismart_ref.error;
+  ASSERT_NE(sky_ref.placement_text, ismart_ref.placement_text);
+
+  // Pipeline an interleaved batch on one raw connection, all at once.
+  const bool is_sky[] = {true, false, false, true, true, false};
+  RawConn raw;
+  ASSERT_TRUE(raw.open(sopts.unix_path, &err)) << err;
+  for (const bool s : is_sky) {
+    const JobRequest req = fast_request(s ? sky : ismart);
+    ASSERT_TRUE(raw.send(MsgType::kJobRequest, encode_job_request(req)));
+  }
+  for (size_t i = 0; i < std::size(is_sky); ++i) {
+    Frame f;
+    ASSERT_TRUE(raw.recv_frame(&f)) << "reply " << i;
+    ASSERT_EQ(f.type, MsgType::kJobReply) << "reply " << i;
+    JobReply reply;
+    ASSERT_EQ(decode_job_reply(f.payload, &reply), "") << "reply " << i;
+    ASSERT_EQ(reply.status, JobStatus::kOk) << "reply " << i << ": " << reply.error;
+    EXPECT_EQ(reply.placement_text,
+              is_sky[i] ? sky_ref.placement_text : ismart_ref.placement_text)
+        << "reply " << i << " out of order";
+  }
+  server.stop();
+}
+
+// The per-connection output bound: a client that pipelines jobs without
+// reading its replies gets BUSY once the parked reply bytes pass the
+// limit — delivered in order behind the replies it refuses to read.
+TEST(NetServer, SlowReaderPipeliningJobsGetsOutputBoundBusy) {
+  TestDesign sky("SkyNet");
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> parked{0};
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("outbound");
+  sopts.workers = 1;
+  sopts.conn_output_limit = 1024;  // one stats reply blows straight past it
+  sopts.test_hook_job_start = [&](uint64_t) {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  RawConn raw;
+  std::string err;
+  ASSERT_TRUE(raw.open(sopts.unix_path, &err)) << err;
+  // Job 1 parks in the worker; its unready slot blocks the reply queue.
+  ASSERT_TRUE(raw.send(MsgType::kJobRequest, encode_job_request(fast_request(sky))));
+  while (parked.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // The stats reply parks behind it (well over 1024 bytes of backlog)...
+  ASSERT_TRUE(raw.send(MsgType::kStatsRequest, ""));
+  // ...so job 2 must be rejected with the backlog diagnostic.
+  ASSERT_TRUE(raw.send(MsgType::kJobRequest, encode_job_request(fast_request(sky))));
+
+  const auto busy_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().busy_rejections < 1 &&
+         std::chrono::steady_clock::now() < busy_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(server.stats().busy_rejections, 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  // In-order drain: job 1's OK, the stats reply, then job 2's BUSY.
+  Frame f;
+  ASSERT_TRUE(raw.recv_frame(&f));
+  ASSERT_EQ(f.type, MsgType::kJobReply);
+  JobReply r1;
+  ASSERT_EQ(decode_job_reply(f.payload, &r1), "");
+  EXPECT_EQ(r1.status, JobStatus::kOk) << r1.error;
+
+  ASSERT_TRUE(raw.recv_frame(&f));
+  EXPECT_EQ(f.type, MsgType::kStatsReply);
+
+  ASSERT_TRUE(raw.recv_frame(&f));
+  ASSERT_EQ(f.type, MsgType::kJobReply);
+  JobReply r2;
+  ASSERT_EQ(decode_job_reply(f.payload, &r2), "");
+  EXPECT_EQ(r2.status, JobStatus::kBusy);
+  EXPECT_NE(r2.error.find("reply backlog"), std::string::npos) << r2.error;
+  server.stop();
+}
+
+// ---- front-end A/B ---------------------------------------------------------
+
+// The fallback exists for A/B comparison, which is only meaningful if the
+// two front ends are observably interchangeable: same placement bytes,
+// same ping, same stats plumbing.
+TEST(NetServer, FrontEndsAnswerBitIdentically) {
+  TestDesign sky("SkyNet");
+  std::string placements[2];
+  for (const bool event_loop : {true, false}) {
+    ServerOptions sopts;
+    sopts.unix_path = socket_path(event_loop ? "ab_el" : "ab_tpc");
+    sopts.workers = 2;
+    sopts.event_loop = event_loop;
+    DsplacerServer server(sopts);
+    ASSERT_EQ(server.start(), "");
+
+    std::string err;
+    DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+    ASSERT_TRUE(c.connected()) << err;
+    std::string version;
+    ASSERT_EQ(c.ping(&version), "");
+    EXPECT_EQ(version, "dsplacerd");
+    MetricsSnapshot snap;
+    ASSERT_EQ(c.stats(&snap), "");
+    EXPECT_FALSE(snap.samples.empty());
+    JobReply reply;
+    ASSERT_EQ(c.submit(fast_request(sky), &reply), "");
+    ASSERT_EQ(reply.status, JobStatus::kOk) << reply.error;
+    placements[event_loop ? 0 : 1] = reply.placement_text;
+    server.stop();
+    EXPECT_EQ(server.stats().jobs_ok, 1);
+  }
+  EXPECT_FALSE(placements[0].empty());
+  EXPECT_EQ(placements[0], placements[1])
+      << "front ends must produce bit-identical placements";
+}
+
+// The mid-shutdown accept contract, on both front ends: while a drain is
+// in progress, a connect attempt either fails outright (listener already
+// gone) or gets a prompt, well-formed answer — never a silent hang. This
+// is the regression test for the orphaned-connection race in stop().
+TEST(NetServer, MidDrainConnectGetsAnAnswerOrRefusalNeverHangs) {
+  TestDesign sky("SkyNet");
+  for (const bool event_loop : {true, false}) {
+    SCOPED_TRACE(event_loop ? "event-loop" : "thread-per-conn");
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> parked{0};
+
+    ServerOptions sopts;
+    sopts.unix_path = socket_path(event_loop ? "drain_el" : "drain_tpc");
+    sopts.workers = 1;
+    sopts.event_loop = event_loop;
+    sopts.drain_grace_seconds = 20.0;
+    sopts.test_hook_job_start = [&](uint64_t) {
+      parked.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    };
+    DsplacerServer server(sopts);
+    ASSERT_EQ(server.start(), "");
+
+    // Park one job so stop() blocks mid-drain with the flag raised.
+    JobReply parked_reply;
+    std::thread submitter([&] {
+      std::string err;
+      DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &err);
+      if (c.connected()) c.submit(fast_request(sky), &parked_reply);
+    });
+    while (parked.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+    std::thread stopper([&] { server.stop(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Hammer the drain window. Each attempt must resolve promptly.
+    int answered = 0, refused = 0;
+    for (int attempt = 0; attempt < 25; ++attempt) {
+      std::string err;
+      SocketFd fd = connect_unix(sopts.unix_path, &err);
+      if (!fd.valid()) {
+        ++refused;  // listener already down: a clean refusal
+        continue;
+      }
+      const timeval timeout{5, 0};
+      ASSERT_EQ(::setsockopt(fd.fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                             sizeof timeout),
+                0);
+      const std::string ping = encode_frame(MsgType::kPing, "");
+      if (!send_all(fd.fd(), ping.data(), ping.size())) {
+        ++refused;  // reset under us: also a clean, prompt resolution
+        continue;
+      }
+      FrameDecoder dec;
+      Frame f;
+      bool got_frame = false, hung = false;
+      for (;;) {
+        char buf[4096];
+        const long n = recv_some(fd.fd(), buf, sizeof buf);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          hung = true;  // the orphan symptom: no reply, no hangup
+          break;
+        }
+        if (n <= 0) break;  // EOF/reset: resolved
+        dec.feed(buf, static_cast<size_t>(n));
+        if (dec.next(&f)) {
+          got_frame = true;
+          break;
+        }
+      }
+      ASSERT_FALSE(hung) << "attempt " << attempt
+                         << " orphaned: connected mid-drain, then silence";
+      if (got_frame) {
+        ++answered;
+        // kError("server is draining") or a live pong — both well-formed.
+        EXPECT_TRUE(f.type == MsgType::kError || f.type == MsgType::kPong);
+      } else {
+        ++refused;
+      }
+    }
+    EXPECT_EQ(answered + refused, 25);
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    stopper.join();
+    submitter.join();
+    // The parked job itself drained with a real reply.
+    EXPECT_EQ(parked_reply.status, JobStatus::kOk) << parked_reply.error;
+  }
+}
+
+// The thread-per-connection fallback keeps its full behavioral contract
+// (the default-on event loop means the rest of the suite no longer crosses
+// these code paths): queue-full BUSY, deadline-while-queued, and hostile
+// bytes answered with kError.
+TEST(NetServer, ThreadPerConnFallbackKeepsBusyDeadlineAndErrorContract) {
+  TestDesign sky("SkyNet");
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> parked{0};
+
+  ServerOptions sopts;
+  sopts.unix_path = socket_path("tpc");
+  sopts.event_loop = false;
+  sopts.workers = 1;
+  sopts.queue_depth = 1;
+  sopts.test_hook_job_start = [&](uint64_t) {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  DsplacerServer server(sopts);
+  ASSERT_EQ(server.start(), "");
+
+  JobReply r1, r2, r3;
+  std::thread t1([&] {
+    std::string e;
+    DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &e);
+    ASSERT_EQ(c.submit(fast_request(sky), &r1), "");
+  });
+  while (parked.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  std::thread t2([&] {
+    std::string e;
+    DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &e);
+    JobRequest queued = fast_request(sky);
+    queued.deadline_ms = 50;
+    ASSERT_EQ(c.submit(queued, &r2), "");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::string e3;
+  DsplacerClient c3 = DsplacerClient::connect_to_unix(sopts.unix_path, &e3);
+  ASSERT_TRUE(c3.connected()) << e3;
+  ASSERT_EQ(c3.submit(fast_request(sky), &r3), "");
+  EXPECT_EQ(r3.status, JobStatus::kBusy) << r3.error;
+
+  RawConn hostile;
+  std::string err;
+  ASSERT_TRUE(hostile.open(sopts.unix_path, &err)) << err;
+  ASSERT_TRUE(hostile.send_raw("garbage for the fallback front end"));
+  Frame f;
+  ASSERT_TRUE(hostile.recv_frame(&f));
+  EXPECT_EQ(f.type, MsgType::kError);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(r1.status, JobStatus::kOk) << r1.error;
+  EXPECT_EQ(r2.status, JobStatus::kDeadlineExceeded) << r2.error;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace dsp

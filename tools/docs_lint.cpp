@@ -90,7 +90,8 @@ bool metric_like(const std::string& token) {
   if (token.rfind("dsplacer_", 0) != 0) return false;
   if (token.find('{') != std::string::npos) return true;
   for (const char* suffix :
-       {"_total", "_us", "_depth", "_inflight", "_bucket", "_sum", "_count", "_arcs"}) {
+       {"_total", "_us", "_depth", "_inflight", "_bucket", "_sum", "_count", "_arcs",
+        "_open"}) {
     const std::string s = suffix;
     if (token.size() > s.size() &&
         token.compare(token.size() - s.size(), s.size(), s) == 0)

@@ -4,10 +4,13 @@
 // or TCP loopback port and prints one status line per job; BUSY and
 // deadline replies exit nonzero so scripts can see backpressure.
 //
-// --batch <manifest> submits every job in the manifest CONCURRENTLY (one
-// connection + thread per job) — the client-side view of the server's
-// pipelined stage scheduler — and prints a per-job and aggregate
-// latency/HPWL table.
+// --batch <manifest> submits every job in the manifest CONCURRENTLY —
+// the client-side view of the server's pipelined stage scheduler — and
+// prints a per-job and aggregate latency/HPWL table. By default each job
+// gets its own connection; --connections N multiplexes the fleet over N
+// long-lived connections (each submits its share of jobs serially), the
+// shape that exercises many frames per connection against the server's
+// event-loop front end.
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -30,14 +33,17 @@ int usage(std::ostream& os, int rc) {
         "                [--no-cache] [--outer-iterations <n>]\n"
         "                [--assign-iterations <n>] [--repeat <n>]\n"
         "                [--out <placement>] [--trace <json>] [--ping]\n"
-        "                [--batch <manifest>] [--version]\n"
+        "                [--batch <manifest>] [--connections <n>] [--version]\n"
         "Submits jobs to a running dsplacerd (see docs/SERVER.md). --repeat\n"
         "sends the same job N times (warm repeats show cache hits).\n"
-        "--batch submits every manifest line as its own concurrent\n"
-        "connection; each line is `<netlist-file> [key=value ...]` with keys\n"
-        "scale, seed, deadline-ms, outer-iterations, assign-iterations,\n"
-        "no-cache (docs/SERVER.md#batch-manifests). Lines starting with #\n"
-        "and blank lines are skipped. Exit is nonzero if any job failed.\n";
+        "--batch submits every manifest line concurrently; each line is\n"
+        "`<netlist-file> [key=value ...]` with keys scale, seed, deadline-ms,\n"
+        "outer-iterations, assign-iterations, no-cache\n"
+        "(docs/SERVER.md#batch-manifests). Lines starting with # and blank\n"
+        "lines are skipped. Default is one connection per job;\n"
+        "--connections N multiplexes the batch over N long-lived\n"
+        "connections, each submitting its share of jobs back to back.\n"
+        "Exit is nonzero if any job failed.\n";
   return rc;
 }
 
@@ -125,24 +131,41 @@ int run_batch(const std::string& manifest_path,
   const std::string socket_path = use_unix ? flags.at("socket") : "";
   const int port = flags.count("port") ? std::atoi(flags.at("port").c_str()) : -1;
 
+  // Default: one connection per job (maximum server-side concurrency).
+  // --connections N multiplexes the fleet over N long-lived connections
+  // instead: connection c submits jobs c, c+N, c+2N, ... back to back, so
+  // the server sees many frames per connection.
+  size_t connections = jobs.size();
+  if (flags.count("connections")) {
+    const int n = std::atoi(flags.at("connections").c_str());
+    if (n <= 0) {
+      std::cerr << "dsplacer_submit: --connections must be a positive integer\n";
+      return 2;
+    }
+    connections = std::min(static_cast<size_t>(n), jobs.size());
+  }
+
   std::vector<std::thread> threads;
-  threads.reserve(jobs.size());
-  for (BatchJob& job : jobs) {
-    threads.emplace_back([&job, use_unix, socket_path, port] {
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&jobs, c, connections, use_unix, socket_path, port] {
       std::string err;
       dsp::DsplacerClient client =
           use_unix ? dsp::DsplacerClient::connect_to_unix(socket_path, &err)
                    : dsp::DsplacerClient::connect_to_tcp(port, &err);
-      if (!client.connected()) {
-        job.error = err;
-        return;
+      for (size_t i = c; i < jobs.size(); i += connections) {
+        BatchJob& job = jobs[i];
+        if (!client.connected()) {
+          job.error = err.empty() ? "not connected" : err;
+          continue;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string submit_err = client.submit(job.req, &job.reply);
+        job.latency_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        if (!submit_err.empty()) job.error = submit_err;
       }
-      const auto t0 = std::chrono::steady_clock::now();
-      err = client.submit(job.req, &job.reply);
-      job.latency_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
-      if (!err.empty()) job.error = err;
     });
   }
   for (std::thread& t : threads) t.join();

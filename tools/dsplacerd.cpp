@@ -34,15 +34,18 @@ int usage(std::ostream& os, int rc) {
   os << "dsplacerd [--socket <path>] [--tcp-port <n>] [--workers <n>]\n"
         "          [--queue-depth <n>] [--cache-dir <dir>] [--threads <n>]\n"
         "          [--drain-grace <seconds>] [--metrics-port <n>]\n"
-        "          [--no-pipeline] [--extract-batch <n>] [--version]\n"
+        "          [--no-pipeline] [--extract-batch <n>]\n"
+        "          [--thread-per-conn] [--version]\n"
         "Defaults: --socket /tmp/dsplacerd.sock, no TCP listener, 2 workers,\n"
         "queue depth 8, caching off, no metrics listener. --tcp-port 0 and\n"
         "--metrics-port 0 bind ephemeral ports (printed on startup).\n"
         "Jobs run through the pipelined stage scheduler (shared frozen\n"
         "graphs and batched Extract, up to --extract-batch jobs per batch);\n"
-        "--no-pipeline reverts to classic job-per-worker execution. See\n"
-        "docs/SERVER.md for the wire protocol and docs/METRICS.md for the\n"
-        "metrics endpoints.\n";
+        "--no-pipeline reverts to classic job-per-worker execution.\n"
+        "Connections are served by an epoll event loop (client count never\n"
+        "adds threads); --thread-per-conn reverts to the one-thread-per-\n"
+        "connection front end for A/B comparison. See docs/SERVER.md for\n"
+        "the wire protocol and docs/METRICS.md for the metrics endpoints.\n";
   return rc;
 }
 
@@ -58,8 +61,9 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
-    if (args[i] == "--no-pipeline") {  // the only valueless flag
-      flags["no-pipeline"] = "1";
+    if (args[i] == "--no-pipeline" || args[i] == "--thread-per-conn" ||
+        args[i] == "--event-loop") {  // the valueless flags
+      flags[args[i].substr(2)] = "1";
       continue;
     }
     if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
@@ -130,6 +134,10 @@ int main(int argc, char** argv) {
     }
   }
   if (flags.count("no-pipeline")) opts.pipeline = false;
+  // --event-loop is the default; the flag exists so scripts can say it
+  // explicitly. --thread-per-conn selects the A/B fallback front end.
+  if (flags.count("thread-per-conn")) opts.event_loop = false;
+  if (flags.count("event-loop")) opts.event_loop = true;
   if (flags.count("cache-dir")) opts.cache_dir = flags["cache-dir"];
   if (flags.count("drain-grace"))
     opts.drain_grace_seconds = std::atof(flags["drain-grace"].c_str());
