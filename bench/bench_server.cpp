@@ -5,9 +5,12 @@
 //   cold   - empty stage cache, every stage computed
 //   warm   - identical resubmissions served from the shared cache
 //   mixed  - four concurrent clients alternating two benchmarks
-//   fleet  - same-netlist 8-job fleets at growing in-flight depth,
-//            job-per-worker vs the pipelined stage scheduler at equal
-//            worker count (each cell starts from a fresh cache)
+//   fleet  - mixed-netlist 8-job fleets (four designs, two jobs each) at
+//            growing in-flight depth, three execution modes at equal
+//            worker count (each cell starts from a fresh cache):
+//            job-per-worker, "pipelined" (one element per stage, width 1
+//            — the pre-DAG scheduler topology), and "element-dag" (split
+//            stages, one instance per worker)
 //   net    - connection-count scaling (64/256/1024 live clients, ping
 //            round-trip workload), the epoll event loop vs the
 //            thread-per-connection fallback, with process thread count
@@ -56,8 +59,23 @@ JobRequest request_for(const std::string& netlist_text, double scale) {
   return req;
 }
 
+/// A fleet execution mode; jobs_per_s ratios between modes at the same
+/// inflight are what the CI perf gate (tools/bench_gate.cpp) tracks.
+struct FleetMode {
+  const char* name;
+  bool pipeline;
+  bool split_stages;
+  int element_width;  // 0 = auto (one instance per worker)
+};
+
+constexpr FleetMode kFleetModes[] = {
+    {"job-per-worker", false, false, 0},
+    {"pipelined", true, false, 1},  // the pre-DAG one-element-per-stage pipe
+    {"element-dag", true, true, 0},
+};
+
 struct FleetCell {
-  std::string mode;   // "job-per-worker" or "pipelined"
+  std::string mode;   // one of kFleetModes[].name
   int inflight = 0;
   int jobs = 0;
   double seconds = 0.0;
@@ -65,12 +83,14 @@ struct FleetCell {
   bool ok = true;
 };
 
-/// One fleet cell: its own server (fresh cache, `pipeline` per mode),
-/// `jobs` same-netlist submissions from `inflight` concurrent clients.
-FleetCell run_fleet_cell(const std::string& netlist, double scale, bool pipeline,
-                         int inflight, int jobs) {
+/// One fleet cell: its own server (fresh cache, scheduler per `mode`),
+/// `jobs` submissions from `inflight` concurrent clients, alternating
+/// over `netlists` so every design appears jobs/netlists times at every
+/// inflight depth (client ci's j-th job uses netlist (ci + j) % n).
+FleetCell run_fleet_cell(const std::vector<std::string>& netlists, double scale,
+                         const FleetMode& mode, int inflight, int jobs) {
   FleetCell cell;
-  cell.mode = pipeline ? "pipelined" : "job-per-worker";
+  cell.mode = mode.name;
   cell.inflight = inflight;
   cell.jobs = jobs;
 
@@ -81,10 +101,12 @@ FleetCell run_fleet_cell(const std::string& netlist, double scale, bool pipeline
   ServerOptions sopts;
   sopts.unix_path =
       (std::filesystem::temp_directory_path() / "dsplacer_bench_fleet.sock").string();
-  sopts.workers = 4;  // equal worker count in both modes
+  sopts.workers = 4;  // equal worker count in every mode
   sopts.queue_depth = 32;
   sopts.cache_dir = cache_dir.string();
-  sopts.pipeline = pipeline;
+  sopts.pipeline = mode.pipeline;
+  sopts.split_stages = mode.split_stages;
+  sopts.element_width = mode.element_width;
   DsplacerServer server(sopts);
   const std::string start_err = server.start();
   if (!start_err.empty()) {
@@ -108,6 +130,8 @@ FleetCell run_fleet_cell(const std::string& netlist, double scale, bool pipeline
       }
       for (int j = 0; j < share; ++j) {
         JobReply reply;
+        const std::string& netlist =
+            netlists[static_cast<size_t>(ci + j) % netlists.size()];
         if (!client.submit(request_for(netlist, scale), &reply).empty() ||
             reply.status != JobStatus::kOk)
           failed.fetch_add(1);
@@ -366,15 +390,25 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", table.to_string().c_str());
 
-  // Fleet scaling axis: 8 jobs on one netlist, job-per-worker vs the
-  // pipelined stage scheduler at 1/2/4/8 jobs in flight.
+  // Fleet scaling axis: 8 jobs over four distinct netlists (two jobs
+  // each), three execution modes at 1/2/4/8 jobs in flight. The
+  // pipelined-vs-element-dag gap at equal workers is the element DAG's
+  // contribution: sub-element overlap inside heavy stages plus N-wide
+  // elements for the distinct-key jobs of a mixed fleet.
   constexpr int kFleetJobs = 8;
+  const std::vector<std::string> fleet_names = {"SkyNet", "iSmartDNN", "SkrSkr-1",
+                                                "SkrSkr-2"};
+  std::vector<std::string> fleet_netlists;
+  for (const std::string& name : fleet_names)
+    fleet_netlists.push_back(
+        write_netlist(make_benchmark(benchmark_by_name(name.c_str()), dev, scale)));
   Table fleet_table({"mode", "inflight", "jobs", "total s", "jobs/s", "cache hits"});
   std::vector<FleetCell> cells;
   bool fleet_ok = true;
-  for (const bool pipeline : {false, true}) {
+  for (const FleetMode& mode : kFleetModes) {
     for (const int inflight : {1, 2, 4, 8}) {
-      const FleetCell cell = run_fleet_cell(sky, scale, pipeline, inflight, kFleetJobs);
+      const FleetCell cell =
+          run_fleet_cell(fleet_netlists, scale, mode, inflight, kFleetJobs);
       fleet_ok = fleet_ok && cell.ok;
       fleet_table.add_row({cell.mode, std::to_string(cell.inflight),
                            std::to_string(cell.jobs), Table::fmt(cell.seconds, 3),
@@ -388,7 +422,10 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ofstream jf(json_path);
     jf << "{\n  \"bench\": \"server_fleet\",\n  \"scale\": " << scale
-       << ",\n  \"workers\": 4,\n  \"netlist\": \"SkyNet\",\n  \"cells\": [\n";
+       << ",\n  \"workers\": 4,\n  \"netlists\": [";
+    for (size_t i = 0; i < fleet_names.size(); ++i)
+      jf << "\"" << fleet_names[i] << "\"" << (i + 1 < fleet_names.size() ? ", " : "");
+    jf << "],\n  \"cells\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
       const FleetCell& c = cells[i];
       jf << "    {\"mode\": \"" << c.mode << "\", \"inflight\": " << c.inflight

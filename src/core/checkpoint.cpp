@@ -212,6 +212,12 @@ std::string StageCache::path_for(const std::string& stage, uint64_t key) const {
   return dir_ + "/" + name + "-" + hex16(key) + ".ckpt";
 }
 
+bool StageCache::contains(const std::string& stage, uint64_t key) const {
+  if (!enabled()) return false;
+  std::error_code ec;
+  return std::filesystem::exists(path_for(stage, key), ec);
+}
+
 std::string StageCache::load(const std::string& stage, uint64_t key, const Netlist& nl,
                              const Device& dev, StageSnapshot* out) const {
   if (!enabled()) return "absent";

@@ -87,6 +87,12 @@ class StageCache {
   /// ("Route/Report" -> "Route_Report-<key>.ckpt").
   std::string path_for(const std::string& stage, uint64_t key) const;
 
+  /// Cheap existence probe: a checkpoint file is present for (stage, key).
+  /// No validation — a corrupt file still reports true — so this is a
+  /// warmth *hint* (the stage scheduler's warm-aware admission), never a
+  /// correctness signal; load() remains the arbiter.
+  bool contains(const std::string& stage, uint64_t key) const;
+
   /// "" and *out on a hit. "absent" when no checkpoint exists for the key.
   /// Any other return is a validation failure (corrupt, truncated, or
   /// version-skewed file) — callers treat it as a miss and may log it.

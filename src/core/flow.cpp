@@ -398,10 +398,21 @@ void stage_extract(FlowContext& ctx) {
   extract_finish(ctx);
 }
 
-void stage_dsp_place(FlowContext& ctx) {
+void stage_extract_prepare(FlowContext& ctx) { ctx.extract_prep = extract_prepare(ctx); }
+
+void stage_extract_classify(FlowContext& ctx) { extract_classify(ctx, ctx.extract_prep); }
+
+void stage_extract_finish(FlowContext& ctx) {
+  extract_finish(ctx);
+  // The features are consumed; drop them so a job parked downstream does
+  // not pin a full feature matrix per in-flight job.
+  ctx.extract_prep = ExtractPrep{};
+}
+
+void stage_dsp_place_assign(FlowContext& ctx) {
   // Release previous datapath assignment (keep others as attractors).
   for (CellId c : ctx.datapath) ctx.placement.clear_dsp_site(c);
-  const AssignResult assign =
+  AssignResult assign =
       mcf_assign_dsps(*ctx.nl, *ctx.dev, ctx.placement, ctx.dsp_graph, ctx.datapath,
                       ctx.opts.assign, ctx.pool, &ctx.mcf_warm);
   ctx.mcf_iterations = assign.iterations_run;
@@ -420,10 +431,20 @@ void stage_dsp_place(FlowContext& ctx) {
   ctx.trace.root().add_counter("mcf_pricing_rounds", assign.pricing_rounds);
   ctx.trace.root().add_counter("mcf_first_iter_solve_us", assign.first_iter_us);
   ctx.trace.root().add_counter("mcf_later_iters_solve_us", assign.later_iters_us);
-  legalize_and_commit(ctx, assign.site);
+  ctx.pending_sites = std::move(assign.site);
 }
 
-void stage_replace(FlowContext& ctx) {
+void stage_dsp_place_legalize(FlowContext& ctx) {
+  legalize_and_commit(ctx, ctx.pending_sites);
+  ctx.pending_sites.clear();
+}
+
+void stage_dsp_place(FlowContext& ctx) {
+  stage_dsp_place_assign(ctx);
+  stage_dsp_place_legalize(ctx);
+}
+
+void stage_replace_control(FlowContext& ctx) {
   const Netlist& nl = *ctx.nl;
   // Control DSPs go back to the host flow, then all non-DSP logic is
   // re-placed around the frozen DSPs (Fig. 6 alternation).
@@ -435,7 +456,13 @@ void stage_replace(FlowContext& ctx) {
         std::find(ctx.datapath.begin(), ctx.datapath.end(), c) == ctx.datapath.end())
       ctx.placement.clear_dsp_site(c);
   legalize_dsps_baseline(nl, *ctx.dev, ctx.placement, ctrl);
-  ctx.host->replace_others(ctx.placement);
+}
+
+void stage_replace_refine(FlowContext& ctx) { ctx.host->replace_others(ctx.placement); }
+
+void stage_replace(FlowContext& ctx) {
+  stage_replace_control(ctx);
+  stage_replace_refine(ctx);
 }
 
 void stage_route_report(FlowContext& ctx) {
@@ -446,17 +473,29 @@ void stage_route_report(FlowContext& ctx) {
 
 std::vector<FlowStage> dsplacer_pipeline(const DsplacerOptions& opts) {
   std::vector<FlowStage> stages;
-  stages.push_back({stage::kPrototype, phase::kPrototype, stage_prototype});
-  // Extract is batchable: the scheduler may claim every job parked there at
-  // once and serve them with one pooled-GCN forward (core/stage_scheduler.cpp).
-  stages.push_back({stage::kExtract, phase::kExtraction, stage_extract, /*batchable=*/true});
+  stages.push_back({stage::kPrototype, phase::kPrototype, stage_prototype, {}});
+  // Extract decomposes into prepare/classify/finish elements; classify is
+  // batchable: the scheduler may claim every job parked there at once and
+  // serve them with one pooled-GCN forward (core/stage_scheduler.cpp).
+  FlowStage extract{stage::kExtract, phase::kExtraction, stage_extract, {}};
+  extract.steps = {{"prepare", stage_extract_prepare},
+                   {"classify", stage_extract_classify, /*batchable=*/true},
+                   {"finish", stage_extract_finish}};
+  stages.push_back(std::move(extract));
   // Fig. 6 alternation: re-entering the same stage names accumulates their
-  // trace nodes (entered counts the rounds).
+  // trace nodes (entered counts the rounds). The heavy halves decompose so
+  // one fleet's MCF solves overlap another's legalization / host refine.
   for (int outer = 0; outer < opts.outer_iterations; ++outer) {
-    stages.push_back({stage::kDspPlace, phase::kDspPlacement, stage_dsp_place});
-    stages.push_back({stage::kReplace, phase::kOtherPlacement, stage_replace});
+    FlowStage place{stage::kDspPlace, phase::kDspPlacement, stage_dsp_place, {}};
+    place.steps = {{"assign", stage_dsp_place_assign},
+                   {"legalize", stage_dsp_place_legalize}};
+    stages.push_back(std::move(place));
+    FlowStage replace{stage::kReplace, phase::kOtherPlacement, stage_replace, {}};
+    replace.steps = {{"control", stage_replace_control},
+                     {"refine", stage_replace_refine}};
+    stages.push_back(std::move(replace));
   }
-  stages.push_back({stage::kRouteReport, phase::kRouting, stage_route_report});
+  stages.push_back({stage::kRouteReport, phase::kRouting, stage_route_report, {}});
   return stages;
 }
 

@@ -38,6 +38,14 @@
 
 namespace dsp {
 
+/// Output of extract_prepare: `need_gcn` is false on the ground-truth-roles
+/// path (ctx.is_datapath is already final and classify must be skipped);
+/// otherwise `target` holds the features the classifier consumes.
+struct ExtractPrep {
+  bool need_gcn = false;
+  DesignGraphData target;
+};
+
 /// All state the pipeline stages share. Stages mutate the context in place;
 /// the driver (run_flow) owns timing, error short-circuiting, and the final
 /// assembly into a DsplacerResult.
@@ -72,6 +80,15 @@ struct FlowContext {
   /// it never influences the returned assignment, only solve speed, so it
   /// is invisible to checkpoint keys and snapshots.
   AssignWarmState mcf_warm;
+
+  // ---- transient intra-stage state for decomposed stages --------------------
+  // A stage split into FlowSubSteps hands work between its steps here. Both
+  // fields are produced and consumed within one stage visit, so they never
+  // enter a StageSnapshot and cannot affect checkpoint keys. The monolithic
+  // stage bodies (stage_extract, stage_dsp_place) use locals instead; the
+  // composed-step path writes the identical values through the context.
+  ExtractPrep extract_prep;        // Extract.prepare -> Extract.classify/finish
+  std::vector<int> pending_sites;  // DspPlace.assign -> DspPlace.legalize
 
   /// Optional cooperative cancellation (service deadlines, graceful
   /// drain): run_flow polls it before each stage, and the Extract kernels
@@ -127,15 +144,30 @@ struct FlowContext {
   int64_t ws_created_base_ = 0;
 };
 
+/// One sub-step of a decomposed stage (see FlowStage::steps). `batchable`
+/// marks steps the scheduler may claim several parked jobs for at once
+/// (Extract.classify: one GCN forward over the whole batch).
+struct FlowSubStep {
+  const char* name;  // suffix: the scheduler's element is "<stage>.<name>"
+  std::function<void(FlowContext&)> run;
+  bool batchable = false;
+};
+
 /// One named pipeline stage. `phase` is the flat Fig. 8 bucket its wall
 /// time accumulates into (stage names can repeat; times accumulate).
-/// `batchable` marks stages the scheduler may claim several parked jobs
-/// for at once (Extract: one GCN forward over the whole batch).
+///
+/// A stage may additionally declare `steps`, a decomposition contract:
+/// running the steps in order over the same context is identical to one
+/// `run(ctx)` call. The sequential driver always calls `run` (the
+/// bit-identity anchor); the stage scheduler executes the steps as separate
+/// pipeline elements so independent jobs overlap inside one stage.
+/// Checkpointing stays at stage granularity — one key, one snapshot — so
+/// decomposing a stage changes no cache key and no stored artifact.
 struct FlowStage {
   const char* name;
   const char* phase;
   std::function<void(FlowContext&)> run;
-  bool batchable = false;
+  std::vector<FlowSubStep> steps;  // empty = monolithic
 };
 
 /// Canonical stage names (trace-tree node names).
@@ -156,17 +188,9 @@ void stage_replace(FlowContext& ctx);
 void stage_route_report(FlowContext& ctx);
 
 // ---- Extract, split for the scheduler's batched element -------------------
-// stage_extract == prepare; classify; finish. The scheduler interleaves the
-// three steps across the jobs it claimed together so one pooled model and
-// one batched forward serve every job whose GCN problem key matches.
-
-/// Output of extract_prepare: `need_gcn` is false on the ground-truth-roles
-/// path (ctx.is_datapath is already final and classify must be skipped);
-/// otherwise `target` holds the features the classifier consumes.
-struct ExtractPrep {
-  bool need_gcn = false;
-  DesignGraphData target;
-};
+// stage_extract == prepare; classify; finish. The scheduler runs the three
+// steps as separate elements and batch-claims classify, so one pooled model
+// and one batched forward serve every job whose GCN problem key matches.
 
 /// Roles-or-features: everything stage_extract does before the GCN call.
 /// Polls ctx.cancel after feature extraction (sets error "cancelled").
@@ -179,6 +203,27 @@ void extract_classify(FlowContext& ctx, const ExtractPrep& prep);
 /// Chain closure + DSP-graph construction and pruning: everything
 /// stage_extract does after classification.
 void extract_finish(FlowContext& ctx);
+
+// ---- sub-step bodies (FlowStage::steps) -----------------------------------
+// Wrappers over the functions above that thread intra-stage state through
+// FlowContext (extract_prep / pending_sites) instead of locals, so the
+// scheduler can park a job between them. Composition invariants:
+//   stage_extract   == extract.prepare; extract.classify; extract.finish
+//   stage_dsp_place == dsp_place.assign; dsp_place.legalize
+//   stage_replace   == replace.control; replace.refine
+void stage_extract_prepare(FlowContext& ctx);
+void stage_extract_classify(FlowContext& ctx);
+void stage_extract_finish(FlowContext& ctx);
+/// Clears the previous datapath assignment and runs the linearized-MCF
+/// solve (warm-started from ctx.mcf_warm); leaves the chosen candidate
+/// sites in ctx.pending_sites.
+void stage_dsp_place_assign(FlowContext& ctx);
+/// Two-step legalization of ctx.pending_sites committed into ctx.placement.
+void stage_dsp_place_legalize(FlowContext& ctx);
+/// Control DSPs back to the Vivado-like baseline (eq. 12 prelude).
+void stage_replace_control(FlowContext& ctx);
+/// Host placer re-places all non-DSP logic around the frozen DSPs.
+void stage_replace_refine(FlowContext& ctx);
 
 /// The standard DSPlacer pipeline for `opts`: Prototype, Extract,
 /// outer_iterations x (DspPlace, Replace), Route/Report.

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <string_view>
 #include <utility>
 
 #include "extract/classifier.hpp"
+#include "graph/graph_pool.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/names.hpp"
+#include "netlist/netlist_io.hpp"
 #include "util/log.hpp"
 
 namespace dsp {
@@ -21,77 +24,188 @@ int64_t us_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+int64_t us_of(const Timer& t) {
+  return static_cast<int64_t>(std::llround(t.seconds() * 1e6));
+}
+
 Counter& sched_jobs_counter() {
   static Counter& c = global_metrics().counter(
       metric::kSchedJobs, "Jobs admitted to the stage scheduler");
   return c;
 }
 
+Counter& warm_admissions_counter() {
+  static Counter& c = global_metrics().counter(
+      metric::kSchedWarmAdmissions,
+      "Element claims that jumped a warm job ahead of colder queue-mates");
+  return c;
+}
+
 Histogram& batch_size_histogram() {
   static Histogram& h = global_metrics().histogram(
       metric::kExtractBatchSize,
-      "Jobs claimed together per batchable-stage visit",
+      "Jobs claimed together per batchable-element visit",
       {1, 2, 4, 8, 16, 32});
   return h;
 }
 
+std::string label(const char* family, const char* key, const std::string& value) {
+  return std::string(family) + "{" + key + "=\"" + value + "\"}";
+}
+
 }  // namespace
 
-/// One in-flight flow. `next` is the index of the stage the job is parked
-/// for; prog carries the chained checkpoint key across elements. All
-/// fields are handed between element threads under StageScheduler::mu_
+/// One in-flight flow. (stage_idx, step_idx) is the element the job is
+/// parked for; prog carries the chained checkpoint key across elements. All
+/// fields are handed between instance threads under StageScheduler::mu_
 /// (the queues), which establishes the necessary happens-before edges; the
 /// promise hands the finished job back to its run() caller.
 struct StageScheduler::Job {
   uint64_t id = 0;
   FlowContext* ctx = nullptr;
   std::vector<FlowStage> stages;
-  size_t next = 0;
+  size_t stage_idx = 0;
+  size_t step_idx = 0;  // sub-step within stage_idx (0 = stage entry)
   FlowProgress prog;
   std::promise<void> done;
   std::chrono::steady_clock::time_point parked_at;
+
+  // ---- one open stage visit (entry element to exit element) ----
+  // The ScopedStage is heap-held so the visit's trace node spans every
+  // sub-element; only the thread currently owning the job touches it.
+  std::unique_ptr<ScopedStage> scope;
+  std::vector<std::pair<std::string, int64_t>> counters_before;
+  bool store_pending = false;
+
+  // ---- admission state, computed by prepare_park, read at claim ----
+  uint64_t prospective_key = 0;  // chain_stage_key of the next stage
+  bool have_prospective = false;
+  bool warm = false;       // next visit hits warm state (see header)
+  uint64_t nl_hash = 0;    // lazily cached netlist content hash
+  bool have_nl_hash = false;
+
+  // ---- running-key registration (guarded by mu_) ----
+  bool key_registered = false;
+  std::string running_stage;  // running_keys_ bucket holding prospective_key
+  std::string entry_element;  // element to wake when the key releases
 };
 
-/// One per-stage-name pipeline element: a FIFO of parked jobs drained by a
-/// dedicated thread. Single-threaded by design — that is what serializes
-/// same-key jobs so checkpoint dedup works.
+/// One pipeline element: a FIFO of parked jobs drained by `width` instance
+/// threads. Batchable elements run one instance — the batch is their
+/// concurrency. occupancy/stage_wait aggregate at stage granularity (every
+/// element of a stage shares the handles); the rest are per element.
 struct StageScheduler::Element {
-  std::string name;
+  std::string name;   // "Stage" or "Stage.step"
+  std::string stage;  // canonical stage part
+  bool batchable = false;
+  int width = 1;
   std::deque<std::shared_ptr<Job>> queue;
   std::condition_variable cv;
-  std::thread thread;
-  Gauge* occupancy = nullptr;      // kStageJobs{stage=...}
-  Histogram* queue_wait = nullptr; // kStageQueueWaitUs{stage=...}
+  std::vector<std::thread> threads;
+  Gauge* occupancy = nullptr;       // kStageJobs{stage=...}
+  Histogram* stage_wait = nullptr;  // kStageQueueWaitUs{stage=...}
+  Gauge* queue_depth = nullptr;     // kElementQueueDepth{element=...}
+  Counter* jobs_total = nullptr;    // kElementJobs{element=...}
+  Counter* busy_us = nullptr;       // kElementBusyUs{element=...}
+  Histogram* queue_wait = nullptr;  // kElementQueueWaitUs{element=...}
 };
 
 StageScheduler::StageScheduler(SchedulerOptions opts) : opts_(std::move(opts)) {}
 
 StageScheduler::~StageScheduler() { stop(); }
 
-StageScheduler::Element& StageScheduler::element_locked(const std::string& name) {
+StageScheduler::Element& StageScheduler::element_locked(const std::string& name,
+                                                        const std::string& stage,
+                                                        bool batchable) {
   auto it = elements_.find(name);
   if (it != elements_.end()) return *it->second;
   auto e = std::make_unique<Element>();
   e->name = name;
+  e->stage = stage;
+  e->batchable = batchable;
+  e->width = batchable ? 1 : std::max(1, opts_.element_width);
   e->occupancy = &global_metrics().gauge(
-      std::string(metric::kStageJobs) + "{stage=\"" + name + "\"}",
+      label(metric::kStageJobs, "stage", stage),
       "Jobs parked or running at this pipeline stage");
-  e->queue_wait = &global_metrics().histogram(
-      std::string(metric::kStageQueueWaitUs) + "{stage=\"" + name + "\"}",
-      "Microseconds a job waited in this stage's queue before its visit ran",
+  e->stage_wait = &global_metrics().histogram(
+      label(metric::kStageQueueWaitUs, "stage", stage),
+      "Microseconds a job waited in this stage's queues before a visit ran",
       default_latency_buckets_us());
+  e->queue_depth = &global_metrics().gauge(
+      label(metric::kElementQueueDepth, "element", name),
+      "Jobs parked in this element's queue");
+  e->jobs_total = &global_metrics().counter(
+      label(metric::kElementJobs, "element", name),
+      "Visits this element has claimed");
+  e->busy_us = &global_metrics().counter(
+      label(metric::kElementBusyUs, "element", name),
+      "Microseconds this element's instances spent running visit bodies");
+  e->queue_wait = &global_metrics().histogram(
+      label(metric::kElementQueueWaitUs, "element", name),
+      "Microseconds a job waited in this element's queue before its visit ran",
+      default_latency_buckets_us());
+  // `add(width - value)` acts as a set: a fresh scheduler in the same
+  // process (tests, embedders) re-creates the element without compounding
+  // the old instance's width into the gauge.
+  Gauge& width_gauge = global_metrics().gauge(
+      label(metric::kElementWidth, "element", name),
+      "Instance threads serving this element");
+  width_gauge.add(e->width - width_gauge.value());
   Element* raw = e.get();
-  e->thread = std::thread([this, raw] { element_loop(raw); });
+  e->threads.reserve(static_cast<size_t>(e->width));
+  for (int i = 0; i < e->width; ++i)
+    e->threads.emplace_back([this, raw] { element_loop(raw); });
   Element& ref = *e;
   elements_.emplace(name, std::move(e));
   return ref;
 }
 
+StageScheduler::Element& StageScheduler::element_for_locked(const Job& job) {
+  const FlowStage& s = job.stages[job.stage_idx];
+  if (!opts_.split_stages || s.steps.empty())
+    return element_locked(s.name, s.name, false);
+  const FlowSubStep& st = s.steps[job.step_idx];
+  return element_locked(std::string(s.name) + "." + st.name, s.name, st.batchable);
+}
+
 void StageScheduler::enqueue_locked(Element& e, const std::shared_ptr<Job>& job) {
   job->parked_at = std::chrono::steady_clock::now();
-  e.occupancy->add();
+  if (job->step_idx == 0) e.occupancy->add();  // entering the stage
+  e.queue_depth->add();
   e.queue.push_back(job);
   e.cv.notify_one();
+}
+
+void StageScheduler::prepare_park(Job& job) {
+  job.have_prospective = false;
+  job.warm = false;
+  if (job.step_idx != 0) return;  // mid-stage parks are plain FIFO
+  FlowContext& ctx = *job.ctx;
+  if (!ctx.error.empty()) return;  // gate will finish the job anyway
+  const FlowStage& s = job.stages[job.stage_idx];
+  if (job.prog.caching) {
+    // Cached once per park: Extract's stage_options_hash covers the whole
+    // training set, far too expensive to recompute per queue scan.
+    job.prospective_key = chain_stage_key(job.prog.key, s.name, ctx);
+    job.have_prospective = true;
+    if (opts_.warm_admission && ctx.cache.contains(s.name, job.prospective_key)) {
+      job.warm = true;
+      return;
+    }
+  }
+  if (!opts_.warm_admission) return;
+  const std::string_view name(s.name);
+  if (name == stage::kDspPlace) {
+    // A later Fig. 6 round: the previous round's dual potentials make this
+    // visit's MCF solve cheap (docs/SOLVER.md).
+    job.warm = ctx.mcf_warm.nodes > 0;
+  } else if (name == stage::kExtract && ctx.share_frozen_graph) {
+    if (!job.have_nl_hash) {
+      job.nl_hash = netlist_content_hash(*ctx.nl);
+      job.have_nl_hash = true;
+    }
+    job.warm = global_graph_pool().resident_contains(job.nl_hash);
+  }
 }
 
 DsplacerResult StageScheduler::run(FlowContext& ctx, const std::vector<FlowStage>& stages) {
@@ -101,6 +215,7 @@ DsplacerResult StageScheduler::run(FlowContext& ctx, const std::vector<FlowStage
   job->ctx = &ctx;
   job->stages = stages;
   job->prog = flow_begin(ctx, stages);  // may set ctx.error (resume-from)
+  if (!stages.empty()) prepare_park(*job);
 
   std::future<void> parked;
   {
@@ -109,7 +224,7 @@ DsplacerResult StageScheduler::run(FlowContext& ctx, const std::vector<FlowStage
       parked = job->done.get_future();
       sched_jobs_counter().inc();
       ++inflight_;
-      enqueue_locked(element_locked(stages[0].name), job);
+      enqueue_locked(element_for_locked(*job), job);
     }
   }
   if (!parked.valid()) {
@@ -119,6 +234,40 @@ DsplacerResult StageScheduler::run(FlowContext& ctx, const std::vector<FlowStage
   }
   parked.wait();
   return flow_finish(ctx, job->prog);
+}
+
+void StageScheduler::cancel_parked() {
+  std::vector<std::pair<Element*, std::shared_ptr<Job>>> cancelled;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [name, e] : elements_) {
+      for (auto it = e->queue.begin(); it != e->queue.end();) {
+        FlowContext& ctx = *(*it)->ctx;
+        const bool doomed =
+            !ctx.error.empty() || (ctx.cancel && ctx.cancel());
+        if (!doomed) {
+          ++it;
+          continue;
+        }
+        cancelled.emplace_back(e.get(), *it);
+        it = e->queue.erase(it);
+        e->queue_depth->sub();
+      }
+    }
+  }
+  // Outside mu_: finishing takes the lock again, and closing a scope edits
+  // the job's trace — safe because a parked job is owned by no thread and
+  // the queue removal above was the exclusive claim.
+  for (auto& [e, job] : cancelled) {
+    FlowContext& ctx = *job->ctx;
+    if (ctx.error.empty()) {
+      ctx.error = "cancelled";
+      ctx.trace.root().add_counter("cancelled", 1);
+    }
+    job->scope.reset();  // a mid-stage park holds its stage visit open
+    unregister_key(job);
+    finish(*e, job);
+  }
 }
 
 void StageScheduler::stop() {
@@ -135,8 +284,13 @@ void StageScheduler::stop() {
     {
       std::lock_guard<std::mutex> lk(mu_);
       for (auto& [name, e] : elements_) {
-        if (e->thread.joinable()) {
-          t = std::move(e->thread);
+        for (auto& th : e->threads) {
+          if (th.joinable()) {
+            t = std::move(th);
+            break;
+          }
+        }
+        if (t.joinable()) {
           e->cv.notify_all();
           break;
         }
@@ -147,192 +301,244 @@ void StageScheduler::stop() {
   }
 }
 
+int StageScheduler::pick_locked(Element& e, int* fifo) {
+  int first = -1;
+  for (int i = 0; i < static_cast<int>(e.queue.size()); ++i) {
+    const Job& j = *e.queue[static_cast<size_t>(i)];
+    if (j.step_idx == 0 && j.have_prospective) {
+      const auto it = running_keys_.find(j.stages[j.stage_idx].name);
+      if (it != running_keys_.end() &&
+          std::find(it->second.begin(), it->second.end(), j.prospective_key) !=
+              it->second.end())
+        continue;  // the same-key leader is still running this stage
+    }
+    if (first < 0) first = i;
+    if (!opts_.warm_admission) break;
+    if (j.warm) {
+      *fifo = first;
+      return i;
+    }
+  }
+  *fifo = first;
+  return first;
+}
+
 void StageScheduler::element_loop(Element* e) {
-  set_log_thread_tag("stage:" + e->name);
+  set_log_thread_tag("elem:" + e->name);
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    // A stopping element with an empty queue must keep waiting while any
-    // job is still in flight elsewhere — it may yet advance into this
-    // stage. finish() wakes every element when the last job completes.
+    // An instance with no claimable job must keep waiting while any job is
+    // still in flight elsewhere — one may yet advance into this element, or
+    // a running same-key leader may release its key. finish() wakes every
+    // element when the last job completes; unregister_key wakes the entry
+    // element of the released stage.
+    int fifo = -1;
+    int pick = -1;
     e->cv.wait(lk, [&] {
-      return !e->queue.empty() || (stopping_ && inflight_ == 0);
+      pick = pick_locked(*e, &fifo);
+      return pick >= 0 || (stopping_ && inflight_ == 0);
     });
-    if (e->queue.empty()) return;  // stopping_ and nothing left to drain
+    if (pick < 0) return;  // stopping_ and nothing left to drain
 
     std::vector<std::shared_ptr<Job>> claimed;
-    claimed.push_back(e->queue.front());
-    e->queue.pop_front();
-    const FlowStage& s0 = claimed[0]->stages[claimed[0]->next];
-    // Batch claim: only Extract's decomposition (prepare/classify/finish)
-    // is known to the scheduler, so `batchable` is honored there only.
-    const bool can_batch =
-        s0.batchable && std::string_view(s0.name) == stage::kExtract;
-    if (can_batch) {
-      while (static_cast<int>(claimed.size()) < opts_.max_batch &&
-             !e->queue.empty() &&
-             e->queue.front()->stages[e->queue.front()->next].batchable) {
-        claimed.push_back(e->queue.front());
-        e->queue.pop_front();
+    const auto claim_at = [&](size_t idx) {
+      std::shared_ptr<Job> job = e->queue[idx];
+      e->queue.erase(e->queue.begin() + static_cast<long>(idx));
+      e->queue_depth->sub();
+      e->jobs_total->inc();
+      const int64_t waited = us_since(job->parked_at);
+      e->queue_wait->observe(waited);
+      e->stage_wait->observe(waited);
+      if (job->step_idx == 0 && job->have_prospective && !job->key_registered) {
+        // Claim-to-exit exclusivity on the prospective key: same-key
+        // followers stay unclaimable until this visit stores (or dies).
+        const char* stage = job->stages[job->stage_idx].name;
+        running_keys_[stage].push_back(job->prospective_key);
+        job->key_registered = true;
+        job->running_stage = stage;
+        job->entry_element = e->name;
       }
+      claimed.push_back(std::move(job));
+    };
+    claim_at(static_cast<size_t>(pick));
+    if (pick != fifo) {
+      // Warm-aware admission reordered the queue. The trace counter is the
+      // per-job evidence (tests assert on it); the metric is the fleet view.
+      warm_admissions_counter().inc();
+      claimed[0]->ctx->trace.root().add_counter("warm_admitted", 1);
     }
-    for (const auto& j : claimed) e->queue_wait->observe(us_since(j->parked_at));
+    if (e->batchable) {
+      while (static_cast<int>(claimed.size()) < opts_.max_batch && !e->queue.empty())
+        claim_at(0);
+    }
     lk.unlock();
-    if (can_batch) {
+    if (e->batchable) {
       batch_size_histogram().observe(static_cast<int64_t>(claimed.size()));
-      process_batch(*e, std::move(claimed));
+      process_batch(*e, claimed);
     } else {
-      process_single(*e, claimed[0]);
+      process_visit(*e, claimed[0]);
     }
     lk.lock();
   }
 }
 
-void StageScheduler::process_single(Element& e, const std::shared_ptr<Job>& job) {
+bool StageScheduler::enter_stage(Element& e, const std::shared_ptr<Job>& job) {
   FlowContext& ctx = *job->ctx;
   if (!flow_gate(ctx)) {
+    unregister_key(job);
     finish(e, job);
+    return false;
+  }
+  const FlowStage& s = job->stages[job->stage_idx];
+  if (opts_.test_hook_stage_start) opts_.test_hook_stage_start(job->id, s.name);
+  job->scope = std::make_unique<ScopedStage>(ctx.trace, s.name, &ctx.profile, s.phase);
+  job->store_pending = false;
+  if (job->prog.caching) {
+    if (flow_try_restore(ctx, s, job->stage_idx, job->prog)) {
+      // Restore hit (or resume-barrier failure, with ctx.error set): the
+      // whole stage — every sub-element — is skipped.
+      job->scope.reset();
+      unregister_key(job);
+      advance(e, job);
+      return false;
+    }
+    job->counters_before = ctx.trace.current().counters;
+    job->store_pending = true;
+  }
+  return true;
+}
+
+bool StageScheduler::gate_mid_stage(Element& e, const std::shared_ptr<Job>& job) {
+  // Same poll as flow_gate, applied between sub-elements so a cancellation
+  // reaches a job parked mid-stage; an error cannot arise here (an erroring
+  // step exits the stage immediately in after_body).
+  if (flow_gate(*job->ctx)) return true;
+  job->scope.reset();
+  unregister_key(job);
+  finish(e, job);
+  return false;
+}
+
+void StageScheduler::exit_stage(const std::shared_ptr<Job>& job) {
+  FlowContext& ctx = *job->ctx;
+  if (ctx.error.empty() && job->store_pending)
+    flow_store(ctx, job->stages[job->stage_idx], job->prog, job->counters_before);
+  job->scope.reset();
+  unregister_key(job);
+}
+
+void StageScheduler::unregister_key(const std::shared_ptr<Job>& job) {
+  if (!job->key_registered) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = running_keys_.find(job->running_stage);
+  if (it != running_keys_.end()) {
+    auto& keys = it->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), job->prospective_key), keys.end());
+    if (keys.empty()) running_keys_.erase(it);
+  }
+  job->key_registered = false;
+  // A same-key follower parked at the stage's entry element is claimable
+  // now; its instances must re-run pick_locked.
+  const auto entry = elements_.find(job->entry_element);
+  if (entry != elements_.end()) entry->second->cv.notify_all();
+}
+
+void StageScheduler::process_visit(Element& e, const std::shared_ptr<Job>& job) {
+  FlowContext& ctx = *job->ctx;
+  const FlowStage& s = job->stages[job->stage_idx];
+  const bool stepped = opts_.split_stages && !s.steps.empty();
+  if (job->step_idx == 0) {
+    if (!enter_stage(e, job)) return;
+  } else if (!gate_mid_stage(e, job)) {
     return;
   }
-  const FlowStage& s = job->stages[job->next];
-  if (opts_.test_hook_stage_start) opts_.test_hook_stage_start(job->id, s.name);
-  {
-    ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
-    if (!job->prog.caching) {
-      s.run(ctx);
-    } else if (!flow_try_restore(ctx, s, job->next, job->prog)) {
-      const auto counters_before = ctx.trace.current().counters;
-      s.run(ctx);
-      if (ctx.error.empty()) flow_store(ctx, s, job->prog, counters_before);
-    }
+  if (opts_.test_hook_element_start) opts_.test_hook_element_start(job->id, e.name.c_str());
+  Timer body;
+  if (stepped)
+    s.steps[job->step_idx].run(ctx);
+  else
+    s.run(ctx);
+  e.busy_us->inc(us_of(body));
+  after_body(e, job);
+}
+
+void StageScheduler::after_body(Element& e, const std::shared_ptr<Job>& job) {
+  const FlowStage& s = job->stages[job->stage_idx];
+  const bool stepped = opts_.split_stages && !s.steps.empty();
+  const bool last = !stepped || job->step_idx + 1 >= s.steps.size();
+  if (!last && job->ctx->error.empty()) {
+    ++job->step_idx;
+    prepare_park(*job);
+    std::lock_guard<std::mutex> lk(mu_);
+    enqueue_locked(element_for_locked(*job), job);
+    return;
   }
+  // Last step, or the body errored (the remaining steps are skipped, like
+  // the early-returns inside the monolithic bodies).
+  exit_stage(job);
   advance(e, job);
 }
 
-void StageScheduler::process_batch(Element& e, std::vector<std::shared_ptr<Job>> claimed) {
-  // A member whose stage visit is actually running this round. Its
-  // ScopedStage spans every sub-phase — exactly one trace-node entry per
-  // visit, same as the sequential driver.
-  struct Member {
-    std::shared_ptr<Job> job;
-    std::unique_ptr<ScopedStage> scope;
-    std::vector<std::pair<std::string, int64_t>> before;
-    ExtractPrep prep;
-    bool store = false;
-  };
-  std::vector<Member> live;
-  std::vector<std::shared_ptr<Job>> deferred;
-  std::vector<uint64_t> running_keys;
-
-  // Gate + restore. A claimed job whose prospective checkpoint key is
-  // already being computed by an earlier member defers: it retries the
-  // restore after that member stores, reproducing what element FIFO order
-  // gives same-key jobs arriving one visit apart.
+void StageScheduler::process_batch(Element& e,
+                                   const std::vector<std::shared_ptr<Job>>& claimed) {
+  // Batchable elements are always mid-stage sub-steps (Extract.classify),
+  // so members carry an open stage visit and need only the mid-stage gate.
+  // Same-key jobs can never co-occupy the batch: the running-key registry
+  // admits one per key into the stage at a time.
+  std::vector<std::shared_ptr<Job>> live;
   for (const auto& job : claimed) {
-    FlowContext& ctx = *job->ctx;
-    if (!flow_gate(ctx)) {
-      finish(e, job);
-      continue;
-    }
-    const FlowStage& s = job->stages[job->next];
-    if (opts_.test_hook_stage_start) opts_.test_hook_stage_start(job->id, s.name);
-    if (job->prog.caching) {
-      const uint64_t prospective = chain_stage_key(job->prog.key, s.name, ctx);
-      if (std::find(running_keys.begin(), running_keys.end(), prospective) !=
-          running_keys.end()) {
-        deferred.push_back(job);
-        continue;
-      }
-    }
-    Member m;
-    m.job = job;
-    m.scope = std::make_unique<ScopedStage>(ctx.trace, s.name, &ctx.profile, s.phase);
-    if (job->prog.caching) {
-      if (flow_try_restore(ctx, s, job->next, job->prog)) {
-        m.scope.reset();
-        advance(e, job);
-        continue;
-      }
-      running_keys.push_back(job->prog.key);
-      m.before = ctx.trace.current().counters;
-      m.store = true;
-    }
-    live.push_back(std::move(m));
+    if (!gate_mid_stage(e, job)) continue;
+    if (opts_.test_hook_element_start)
+      opts_.test_hook_element_start(job->id, e.name.c_str());
+    live.push_back(job);
   }
 
-  // Prepare: roles or features, per member.
-  for (Member& m : live) m.prep = extract_prepare(*m.job->ctx);
-
-  // Classify: group members by transductive GCN problem and run one
-  // batched eval forward per group (bit-identical per copy).
+  // Group members by transductive GCN problem and run one batched eval
+  // forward per group (bit-identical per copy; extract/classifier.hpp).
+  // Ground-truth-roles members (!need_gcn) pass through unchanged — the
+  // same no-op extract_classify performs for them.
+  Timer body;
   struct Group {
     uint64_t key;
-    std::vector<Member*> members;
+    std::vector<Job*> members;
   };
   std::vector<Group> groups;
-  for (Member& m : live) {
-    FlowContext& ctx = *m.job->ctx;
-    if (!ctx.error.empty() || !m.prep.need_gcn) continue;
-    const uint64_t key = gcn_problem_key(*ctx.training, m.prep.target, ctx.opts.gcn);
+  for (const auto& job : live) {
+    FlowContext& ctx = *job->ctx;
+    if (!ctx.extract_prep.need_gcn) continue;
+    const uint64_t key = gcn_problem_key(*ctx.training, ctx.extract_prep.target, ctx.opts.gcn);
     auto it = std::find_if(groups.begin(), groups.end(),
                            [&](const Group& g) { return g.key == key; });
-    if (it == groups.end()) {
-      groups.push_back({key, {&m}});
-    } else {
-      it->members.push_back(&m);
-    }
+    if (it == groups.end())
+      groups.push_back({key, {job.get()}});
+    else
+      it->members.push_back(job.get());
   }
   for (Group& g : groups) {
-    FlowContext& lead = *g.members[0]->job->ctx;
+    FlowContext& lead = *g.members[0]->ctx;
     const std::shared_ptr<TrainedDatapathGcn> model = global_gcn_weights().get_or_train(
-        *lead.training, g.members[0]->prep.target, lead.opts.gcn);
+        *lead.training, g.members[0]->ctx->extract_prep.target, lead.opts.gcn);
     std::vector<std::vector<char>> outs =
         predict_datapath_batched(*model, static_cast<int>(g.members.size()));
     for (size_t i = 0; i < g.members.size(); ++i)
-      g.members[i]->job->ctx->is_datapath = std::move(outs[i]);
+      g.members[i]->ctx->is_datapath = std::move(outs[i]);
   }
+  e.busy_us->inc(us_of(body));
 
-  // Finish + store + route, per member.
-  for (Member& m : live) {
-    FlowContext& ctx = *m.job->ctx;
-    if (ctx.error.empty()) {
-      extract_finish(ctx);
-      if (ctx.error.empty() && m.store)
-        flow_store(ctx, m.job->stages[m.job->next], m.job->prog, m.before);
-    }
-    m.scope.reset();
-    advance(e, m.job);
-  }
-
-  // Deferred retries: the runner of this key has stored by now, so this is
-  // normally a cache hit; if the store failed, fall back to the full body.
-  for (const auto& job : deferred) {
-    FlowContext& ctx = *job->ctx;
-    if (!flow_gate(ctx)) {
-      finish(e, job);
-      continue;
-    }
-    const FlowStage& s = job->stages[job->next];
-    {
-      ScopedStage scope(ctx.trace, s.name, &ctx.profile, s.phase);
-      if (!flow_try_restore(ctx, s, job->next, job->prog)) {
-        const auto counters_before = ctx.trace.current().counters;
-        s.run(ctx);
-        if (ctx.error.empty()) flow_store(ctx, s, job->prog, counters_before);
-      }
-    }
-    advance(e, job);
-  }
+  for (const auto& job : live) after_body(e, job);
 }
 
 void StageScheduler::advance(Element& e, const std::shared_ptr<Job>& job) {
-  ++job->next;
-  if (!job->ctx->error.empty() || job->next >= job->stages.size()) {
+  ++job->stage_idx;
+  job->step_idx = 0;
+  if (!job->ctx->error.empty() || job->stage_idx >= job->stages.size()) {
     finish(e, job);
     return;
   }
+  prepare_park(*job);
   std::lock_guard<std::mutex> lk(mu_);
-  e.occupancy->sub();
-  enqueue_locked(element_locked(job->stages[job->next].name), job);
+  e.occupancy->sub();  // left e's stage...
+  enqueue_locked(element_for_locked(*job), job);  // ...entered the next
 }
 
 void StageScheduler::finish(Element& e, const std::shared_ptr<Job>& job) {

@@ -1,33 +1,46 @@
-// Pipelined flow execution: one element (queue + thread) per canonical
-// stage, jobs streaming through them.
+// Pipelined flow execution as an element DAG: jobs stream through fine-
+// grained pipeline elements, several instances wide where keys allow.
 //
 // The job-per-worker model runs each job's five stages on one thread, so a
 // fleet of N jobs keeps N copies of every stage's working set hot and
-// re-freezes the same netlist N times. The scheduler instead gives each
-// stage name its own single-threaded element; a job visits the elements in
-// its stage order, parking in the next element's queue between visits.
-// Concurrent jobs therefore occupy *different* stages of the pipe, and
-// same-keyed jobs serialize at each element — the first one's checkpoint is
-// stored before the second one looks, so a same-netlist fleet collapses to
-// one computation per stage plus cache restores.
+// re-freezes the same netlist N times. The scheduler instead executes the
+// stage list as a DAG of *elements*. An element is a stage, or — when the
+// stage declares FlowSubSteps (core/flow.hpp) — one sub-step of it
+// ("DspPlace.assign", "DspPlace.legalize", ...). A job visits its elements
+// in order, parking in the next element's queue between visits, so
+// concurrent jobs overlap both across stages and *inside* the heavy ones:
+// one job's MCF solve runs while another legalizes.
 //
-// Each stage visit is driven by the same flow_begin / flow_gate /
-// flow_try_restore / flow_store / flow_finish helpers as the sequential
-// loop (core/flow.hpp), so a pipelined job is bit-identical to a
-// sequential one: same checkpoint keys, same counters, same placement.
+// Width. Each non-batchable element runs `element_width` instance threads
+// over one queue. Jobs whose prospective checkpoint keys differ are
+// independent and may occupy instances of the same element concurrently;
+// same-key jobs still serialize — a per-stage running-key registry parks a
+// follower until the leader's snapshot is stored, so a same-netlist fleet
+// still collapses to one computation per stage plus cache restores.
 //
-// Shared warm state. Jobs admitted through run() freeze their netlist
-// graph through the process-wide SharedGraphPool (graph/graph_pool.hpp) —
-// co-resident jobs on the same netlist share one frozen CsrGraph — and the
-// Extract element resolves GCN weights through the global GcnWeightsPool.
-// Extract is additionally *batchable* (FlowStage::batchable): the element
+// Warm-aware admission. When an instance picks from its queue it prefers
+// the first job whose next visit is already warm — its stage checkpoint
+// exists (StageCache::contains), its frozen netlist graph is resident in
+// the SharedGraphPool (Extract), or its per-job MCF AssignWarmState carries
+// dual potentials from a previous DspPlace round. Warm jobs drain fast and
+// release shared state early; a cold job is never starved, it just yields
+// to warm queue-mates (out-of-FIFO picks are counted in
+// dsplacer_sched_warm_admissions_total and on the job's trace root).
+//
+// Checkpointing stays at stage granularity: the entry element of a stage
+// gates/restores, the exit element stores, and one ScopedStage spans the
+// whole visit, so keys, counters, and placements are bit-identical to the
+// sequential driver (the decomposition contract of FlowStage::steps).
+//
+// Extract.classify is *batchable* (FlowSubStep::batchable): its element
 // claims up to max_batch parked jobs at once and serves every job whose
 // transductive GCN problem matches with a single batched eval forward
 // (extract/classifier.hpp: predict_datapath_batched).
 //
-// Cancellation needs no scheduler support: flow_gate polls ctx.cancel when
-// an element claims the job, so a deadline or drain cancels a job wherever
-// it is parked.
+// Cancellation: flow_gate polls ctx.cancel at every element claim, so a
+// deadline or drain cancels a job wherever it is parked; cancel_parked()
+// additionally sweeps every queue so a drain never waits on a wedged
+// element to deliver CANCELLED replies (docs/SERVER.md).
 #pragma once
 
 #include <atomic>
@@ -49,18 +62,31 @@ namespace dsp {
 struct SchedulerOptions {
   /// Upper bound on jobs a batchable element claims per visit.
   int max_batch = 8;
+  /// Instance threads per non-batchable element. Same-key jobs serialize
+  /// through the running-key registry regardless of width; batchable
+  /// elements always run one instance (the batch IS their concurrency).
+  int element_width = 1;
+  /// Execute FlowStage::steps as separate elements. Off = one element per
+  /// stage name (the pre-DAG topology, kept for A/B benchmarking).
+  bool split_stages = true;
+  /// Prefer queue-mates whose next visit is already warm (see file header).
+  bool warm_admission = true;
   /// Route FlowContext::frozen_graph through the global SharedGraphPool.
   bool share_graphs = true;
-  /// Test-only: invoked as (job id, stage name) before each stage visit,
-  /// on the element thread. Blocking it parks the pipe at that element.
+  /// Test-only: invoked as (job id, stage name) when an element claims the
+  /// job for the stage's *entry* visit, on the instance thread. Blocking it
+  /// parks that instance.
   std::function<void(uint64_t, const char*)> test_hook_stage_start;
+  /// Test-only: invoked as (job id, element name) on every element visit,
+  /// after the gate, before the body ("DspPlace.legalize", ...).
+  std::function<void(uint64_t, const char*)> test_hook_element_start;
 };
 
-/// Streams jobs through per-stage elements. run() blocks the calling
-/// thread until its job drains from the pipe, so the caller-facing
-/// contract is exactly run_flow_sequential's; any number of threads may
-/// call run() concurrently. Elements are created on demand from the stage
-/// names jobs actually use, so custom pipelines get their own elements.
+/// Streams jobs through the element DAG. run() blocks the calling thread
+/// until its job drains from the pipe, so the caller-facing contract is
+/// exactly run_flow_sequential's; any number of threads may call run()
+/// concurrently. Elements are created on demand from the stage lists jobs
+/// actually use, so custom pipelines get their own elements.
 class StageScheduler {
  public:
   explicit StageScheduler(SchedulerOptions opts = {});
@@ -72,6 +98,14 @@ class StageScheduler {
   /// returns the same DsplacerResult the sequential driver would.
   DsplacerResult run(FlowContext& ctx, const std::vector<FlowStage>& stages);
 
+  /// Sweeps every element queue and completes each parked job whose
+  /// ctx.cancel fires, with error "cancelled" — without waiting for the
+  /// element to dequeue it. Jobs currently *running* a visit are untouched
+  /// (they cancel at their next gate). The fix for drains stalling behind a
+  /// wedged element: a server sets its cancel flag, calls this, and every
+  /// parked job's run() caller unblocks immediately.
+  void cancel_parked();
+
   /// Drains every parked job (their run() callers unblock normally) and
   /// joins the element threads. Jobs submitted after stop() fall back to
   /// the sequential driver inline. Idempotent.
@@ -81,18 +115,43 @@ class StageScheduler {
   struct Job;
   struct Element;
 
-  Element& element_locked(const std::string& name);
+  Element& element_locked(const std::string& name, const std::string& stage,
+                          bool batchable);
+  Element& element_for_locked(const Job& job);
   void enqueue_locked(Element& e, const std::shared_ptr<Job>& job);
+  /// Computes the job's prospective key + warmth for its parked position.
+  void prepare_park(Job& job);
   void element_loop(Element* e);
-  void process_single(Element& e, const std::shared_ptr<Job>& job);
-  void process_batch(Element& e, std::vector<std::shared_ptr<Job>> claimed);
-  /// Moves the job to the next element, or completes it on error/last stage.
+  /// Queue index an instance should claim (warm-aware, key-blocked jobs
+  /// skipped), or -1 when nothing is claimable. `*fifo` gets the index the
+  /// plain FIFO policy would have picked.
+  int pick_locked(Element& e, int* fifo);
+  /// One element visit for one job (entry / middle / exit logic).
+  void process_visit(Element& e, const std::shared_ptr<Job>& job);
+  void process_batch(Element& e, const std::vector<std::shared_ptr<Job>>& claimed);
+  /// Runs the stage-entry protocol: gate, scope, restore attempt, key
+  /// registration. False when the visit is over (finished or restored).
+  bool enter_stage(Element& e, const std::shared_ptr<Job>& job);
+  /// Mid-stage gate: false when the job just got cancelled/errored out.
+  bool gate_mid_stage(Element& e, const std::shared_ptr<Job>& job);
+  /// Post-body tail shared by single and batch visits: park at the next
+  /// step, or exit the stage and advance.
+  void after_body(Element& e, const std::shared_ptr<Job>& job);
+  /// Store-if-due + scope close + key release at the stage's exit element.
+  void exit_stage(const std::shared_ptr<Job>& job);
+  void unregister_key(const std::shared_ptr<Job>& job);
+  /// Moves the job to its next element, or completes it on error/last stage.
   void advance(Element& e, const std::shared_ptr<Job>& job);
   void finish(Element& e, const std::shared_ptr<Job>& job);
 
   SchedulerOptions opts_;
-  std::mutex mu_;  // guards elements_, every queue, stopping_, inflight_
+  std::mutex mu_;  // guards elements_, every queue, running_keys_, stopping_, inflight_
   std::map<std::string, std::unique_ptr<Element>> elements_;
+  /// Prospective checkpoint keys whose stage visit is running right now,
+  /// per stage name. A queued same-key job is unclaimable until the runner
+  /// exits the stage (storing its snapshot on success), which reproduces
+  /// the width-1 FIFO dedup order at any element width.
+  std::map<std::string, std::vector<uint64_t>> running_keys_;
   bool stopping_ = false;
   size_t inflight_ = 0;  // jobs admitted and not yet finished
   std::atomic<uint64_t> next_id_{1};

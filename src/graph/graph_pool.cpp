@@ -51,6 +51,12 @@ int SharedGraphPool::resident() {
   return live;
 }
 
+bool SharedGraphPool::resident_contains(uint64_t content_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(content_key);
+  return it != entries_.end() && !it->second.expired();
+}
+
 SharedGraphPool& global_graph_pool() {
   // Leaked like global_metrics(): jobs may still hold graphs during static
   // destruction of other translation units.

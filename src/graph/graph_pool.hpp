@@ -38,6 +38,12 @@ class SharedGraphPool {
   /// acquire). Tests use this to prove release-after-last-job.
   int resident();
 
+  /// A live (still-referenced) graph is resident for `content_key`. A
+  /// warmth hint for the stage scheduler's admission policy: acquiring the
+  /// key now would share instead of freeze. Racy by nature — the holder may
+  /// drop it before the acquire — so callers must treat it as advisory.
+  bool resident_contains(uint64_t content_key);
+
  private:
   std::mutex mu_;
   std::unordered_map<uint64_t, std::weak_ptr<const CsrGraph>> entries_;

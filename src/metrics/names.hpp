@@ -41,6 +41,14 @@ inline constexpr const char* kSchedJobs = "dsplacer_sched_jobs_total";
 inline constexpr const char* kStageJobs = "dsplacer_stage_jobs";
 inline constexpr const char* kStageQueueWaitUs = "dsplacer_stage_queue_wait_us";
 inline constexpr const char* kExtractBatchSize = "dsplacer_extract_batch_jobs";
+// Element-DAG series: one family member per pipeline element (an element is
+// a stage, or one sub-step of a decomposed stage, e.g. "DspPlace.assign").
+inline constexpr const char* kElementJobs = "dsplacer_element_jobs_total";
+inline constexpr const char* kElementQueueDepth = "dsplacer_element_queue_depth";
+inline constexpr const char* kElementBusyUs = "dsplacer_element_busy_us";
+inline constexpr const char* kElementQueueWaitUs = "dsplacer_element_queue_wait_us";
+inline constexpr const char* kElementWidth = "dsplacer_element_width";
+inline constexpr const char* kSchedWarmAdmissions = "dsplacer_sched_warm_admissions_total";
 
 // ---- shared warm state (src/graph/graph_pool.cpp, src/extract/classifier.cpp) ----
 inline constexpr const char* kGraphPoolHit = "dsplacer_graph_pool_hit_total";

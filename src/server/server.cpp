@@ -160,6 +160,10 @@ std::string DsplacerServer::start() {
   if (opts_.pipeline) {
     SchedulerOptions sched;
     sched.max_batch = std::max(1, opts_.extract_batch);
+    sched.element_width = opts_.element_width > 0 ? opts_.element_width
+                                                  : std::max(1, opts_.workers);
+    sched.split_stages = opts_.split_stages;
+    sched.test_hook_stage_start = opts_.test_hook_stage_start;
     scheduler_ = std::make_unique<StageScheduler>(std::move(sched));
   }
 
@@ -238,7 +242,20 @@ void DsplacerServer::stop() {
       LOG_WARN("server", "drain grace expired: cancelling %zu queued + %d active job(s)",
                queue_.size(), active_jobs_);
       cancel_all_.store(true);
-      idle_cv_.wait(lock, [this] { return queue_.empty() && active_jobs_ == 0; });
+      // A cancelled job parked in an element queue is only gated when some
+      // instance dequeues it — and the instance ahead of it may be stuck in
+      // a long stage body. Sweep the queues so every parked job's worker
+      // unblocks and posts its CANCELLED reply now, re-sweeping in case a
+      // job exits a running visit and re-parks behind a busy element.
+      while (!queue_.empty() || active_jobs_ != 0) {
+        if (scheduler_) {
+          lock.unlock();
+          scheduler_->cancel_parked();
+          lock.lock();
+        }
+        idle_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                          [this] { return queue_.empty() && active_jobs_ == 0; });
+      }
     }
     stop_workers_ = true;
   }
@@ -675,6 +692,30 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
     job->deadline = Clock::now() + std::chrono::milliseconds(job->req.deadline_ms);
   }
 
+  // Reserve this job's reply position now — replies go out in request
+  // order because the wire protocol has no job id to match on.
+  auto slot = std::make_unique<NetConn::ReplySlot>();
+  NetConn::ReplySlot* slot_ptr = slot.get();
+  nc.slots.push_back(std::move(slot));
+
+  // Worker thread → loop thread. The raw slot pointer is owned by the
+  // connection's deque: an unready slot is never popped, so it is valid
+  // exactly as long as the cid still resolves. deliver must be installed
+  // before the job is visible in queue_ — a worker can pop and invoke it
+  // the instant push_back's lock is released.
+  job->deliver = [this, cid, slot_ptr](JobReply&& reply) {
+    std::string encoded = encode_job_reply(reply);
+    loop_->post([this, cid, slot_ptr, encoded = std::move(encoded)]() mutable {
+      auto it = net_conns_.find(cid);
+      if (it == net_conns_.end()) return;  // client left; drop the reply
+      if (slot_ptr->timer != 0) loop_->cancel_timer(slot_ptr->timer);
+      slot_ptr->ready = true;
+      slot_ptr->payload = std::move(encoded);
+      it->second->ready_bytes += slot_ptr->payload.size();
+      el_pump(cid);
+    });
+  };
+
   // Bounded enqueue with explicit backpressure — same policy as the
   // thread-per-connection front end.
   bool enqueued = false;
@@ -698,6 +739,9 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
     }
   }
   if (!enqueued) {
+    // Un-reserve the slot (still ours: this whole function runs on the
+    // loop thread) so the inline reject reply is not parked behind it.
+    nc.slots.pop_back();
     if (reject_status == JobStatus::kBusy) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.busy_rejections;
@@ -706,28 +750,6 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
     el_pump(cid);
     return;
   }
-
-  // Reserve this job's reply position now — replies go out in request
-  // order because the wire protocol has no job id to match on.
-  auto slot = std::make_unique<NetConn::ReplySlot>();
-  NetConn::ReplySlot* slot_ptr = slot.get();
-  nc.slots.push_back(std::move(slot));
-
-  // Worker thread → loop thread. The raw slot pointer is owned by the
-  // connection's deque: an unready slot is never popped, so it is valid
-  // exactly as long as the cid still resolves.
-  job->deliver = [this, cid, slot_ptr](JobReply&& reply) {
-    std::string encoded = encode_job_reply(reply);
-    loop_->post([this, cid, slot_ptr, encoded = std::move(encoded)]() mutable {
-      auto it = net_conns_.find(cid);
-      if (it == net_conns_.end()) return;  // client left; drop the reply
-      if (slot_ptr->timer != 0) loop_->cancel_timer(slot_ptr->timer);
-      slot_ptr->ready = true;
-      slot_ptr->payload = std::move(encoded);
-      it->second->ready_bytes += slot_ptr->payload.size();
-      el_pump(cid);
-    });
-  };
 
   if (job->has_deadline) {
     // Deadline wheel: if the job is still queued when its deadline hits,

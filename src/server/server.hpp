@@ -75,6 +75,14 @@ struct ServerOptions {
   bool pipeline = true;
   /// Max jobs the scheduler's batchable Extract element claims at once.
   int extract_batch = 8;
+  /// Instance threads per pipeline element (pipeline mode). 0 = auto: one
+  /// instance per worker, so distinct-key jobs never queue behind each
+  /// other inside an element. Same-key jobs serialize regardless of width.
+  int element_width = 0;
+  /// Decompose heavy stages into sub-elements (DspPlace.assign/.legalize,
+  /// Extract.prepare/.classify/.finish, ...). false = one element per
+  /// stage, the pre-DAG topology, kept for A/B benchmarking.
+  bool split_stages = true;
   /// Front end: true = the epoll event loop (default — client count never
   /// adds threads), false = thread-per-connection (A/B fallback; see
   /// docs/SERVER.md "Front ends").
@@ -88,6 +96,10 @@ struct ServerOptions {
   /// (BUSY), deadline, and drain scenarios deterministic. May block; must
   /// eventually return.
   std::function<void(uint64_t job_id)> test_hook_job_start;
+  /// Test instrumentation only: forwarded to the scheduler's
+  /// test_hook_stage_start (pipeline mode). Blocking it wedges one element
+  /// instance mid-visit — how the drain tests pin a job inside a stage.
+  std::function<void(uint64_t, const char*)> test_hook_stage_start;
 };
 
 struct ServerStats {

@@ -371,6 +371,302 @@ TEST(StageScheduler, CancelReachesJobParkedBetweenStages) {
   EXPECT_TRUE(res_b.trace.root().children.empty());
 }
 
+// Mixed same-key/distinct-key fleet across element widths: with caching on,
+// each same-key trio must dedup through the checkpoint cache (the running-
+// key registry serializes them even at width 4), and every result must stay
+// bit-identical to the sequential driver.
+TEST(StageScheduler, ElementWidthFleetsBitIdenticalToSequential) {
+  const double scale = 0.08;
+  const Device dev = make_zcu104(scale);
+  const Netlist sky = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const Netlist ismart = make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  DsplacerOptions opts = fast_options();
+
+  const auto sequential = [&](const Netlist& nl) {
+    FlowContext ctx(nl, dev, no_training, opts);
+    return ResultFingerprint::of(nl, run_flow_sequential(ctx, dsplacer_pipeline(opts)));
+  };
+  const ResultFingerprint sky_ref = sequential(sky);
+  const ResultFingerprint ismart_ref = sequential(ismart);
+  ASSERT_EQ(sky_ref.error, "");
+  ASSERT_EQ(ismart_ref.error, "");
+
+  for (const int width : {1, 2, 4}) {
+    const auto cache_dir = std::filesystem::temp_directory_path() /
+                           ("dsplacer_test_width_cache_" + std::to_string(width));
+    std::filesystem::remove_all(cache_dir);
+    opts.cache_dir = cache_dir.string();
+    SchedulerOptions sopts;
+    sopts.element_width = width;
+    StageScheduler sched(sopts);
+    constexpr int kFleet = 6;  // two same-key trios on distinct netlists
+    std::vector<ResultFingerprint> got(kFleet);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kFleet; ++i)
+      threads.emplace_back([&, i] {
+        const Netlist& nl = i % 2 == 0 ? sky : ismart;
+        FlowContext ctx(nl, dev, no_training, opts);
+        got[static_cast<size_t>(i)] =
+            ResultFingerprint::of(nl, sched.run(ctx, dsplacer_pipeline(opts)));
+      });
+    for (std::thread& t : threads) t.join();
+    sched.stop();
+    for (int i = 0; i < kFleet; ++i)
+      EXPECT_TRUE(got[static_cast<size_t>(i)] == (i % 2 == 0 ? sky_ref : ismart_ref))
+          << "width " << width << " job " << i;
+    std::filesystem::remove_all(cache_dir);
+  }
+}
+
+// Warm-aware admission must reorder: a job whose next stage checkpoint is
+// already on disk jumps ahead of a colder job queued before it, and the
+// reorder is recorded on the warm job's trace root (warm_admitted).
+TEST(StageScheduler, WarmAdmissionReordersQueueAndRecordsIt) {
+  const double scale = 0.08;
+  const Device dev = make_zcu104(scale);
+  const Netlist sky = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const Netlist ismart = make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  DsplacerOptions opts = fast_options();
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "dsplacer_test_warm_cache";
+  std::filesystem::remove_all(cache_dir);
+  opts.cache_dir = cache_dir.string();
+
+  // Pre-warm every SkyNet stage checkpoint with one sequential run.
+  {
+    FlowContext ctx(sky, dev, no_training, opts);
+    ASSERT_EQ(run_flow_sequential(ctx, dsplacer_pipeline(opts)).legality_error, "");
+  }
+  const ResultFingerprint sky_ref = [&] {
+    FlowContext ctx(sky, dev, no_training, opts);
+    return ResultFingerprint::of(sky, run_flow_sequential(ctx, dsplacer_pipeline(opts)));
+  }();
+
+  // Wedge the first arrival (an iSmartDNN job) at its Prototype visit so
+  // the queue order behind it is under test control.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  uint64_t wedged_job = 0;
+  SchedulerOptions sopts;
+  sopts.test_hook_stage_start = [&](uint64_t job, const char* stage_name) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (std::string_view(stage_name) != stage::kPrototype) return;
+    if (wedged_job == 0) {
+      wedged_job = job;
+      cv.notify_all();
+    }
+    if (wedged_job == job) cv.wait(lk, [&] { return release; });
+  };
+  StageScheduler sched(sopts);
+
+  Gauge& proto_queue = global_metrics().gauge(
+      std::string(metric::kElementQueueDepth) + "{element=\"Prototype\"}", "");
+  const int64_t queue_before = proto_queue.value();
+
+  DsplacerResult res_x, res_cold, res_warm;
+  std::thread tx([&] {
+    FlowContext ctx(ismart, dev, no_training, opts);
+    res_x = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, std::chrono::seconds(30), [&] { return wedged_job != 0; });
+    ASSERT_NE(wedged_job, 0u);
+  }
+  // Cold job first in the queue: distinct seed, so its chain has no
+  // checkpoints and it conflicts with no running key.
+  DsplacerOptions cold_opts = opts;
+  cold_opts.features.seed = 12345;
+  std::thread tc([&] {
+    FlowContext ctx(ismart, dev, no_training, cold_opts);
+    res_cold = sched.run(ctx, dsplacer_pipeline(cold_opts));
+  });
+  const auto wait_queue = [&](int64_t depth) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (proto_queue.value() < queue_before + depth &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_GE(proto_queue.value(), queue_before + depth);
+  };
+  wait_queue(1);
+  // Warm job parked behind it: its Prototype checkpoint already exists.
+  std::thread tw([&] {
+    FlowContext ctx(sky, dev, no_training, opts);
+    res_warm = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  wait_queue(2);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  tx.join();
+  tc.join();
+  tw.join();
+  sched.stop();
+
+  ASSERT_EQ(res_x.legality_error, "");
+  ASSERT_EQ(res_cold.legality_error, "");
+  ASSERT_EQ(res_warm.legality_error, "");
+  // The warm job was claimed ahead of the cold one queued before it.
+  EXPECT_GE(res_warm.trace.root().counter("warm_admitted"), 1);
+  EXPECT_EQ(res_cold.trace.root().counter("warm_admitted"), 0);
+  EXPECT_TRUE(ResultFingerprint::of(sky, res_warm) == sky_ref);
+  std::filesystem::remove_all(cache_dir);
+}
+
+// A job parked *between sub-elements* of a decomposed stage (after
+// DspPlace.assign, before DspPlace.legalize) must still be cancellable:
+// the mid-stage gate fires at claim, closes the open stage visit, and the
+// job completes with error "cancelled".
+TEST(StageScheduler, CancelReachesJobParkedBetweenSubElements) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const Netlist sky = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const Netlist ismart = make_benchmark(benchmark_by_name("iSmartDNN"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  uint64_t wedged_job = 0;
+  SchedulerOptions sopts;
+  sopts.test_hook_element_start = [&](uint64_t job, const char* element) {
+    if (std::string_view(element) != "DspPlace.legalize") return;
+    std::unique_lock<std::mutex> lk(mu);
+    if (wedged_job == 0) {
+      wedged_job = job;
+      cv.notify_all();
+    }
+    if (wedged_job == job) cv.wait(lk, [&] { return release; });
+  };
+  StageScheduler sched(sopts);
+
+  Gauge& legalize_queue = global_metrics().gauge(
+      std::string(metric::kElementQueueDepth) + "{element=\"DspPlace.legalize\"}", "");
+  const int64_t queue_before = legalize_queue.value();
+
+  std::atomic<bool> cancel_b{false};
+  DsplacerResult res_a, res_b;
+  std::thread ta([&] {
+    FlowContext ctx(sky, dev, no_training, opts);
+    res_a = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, std::chrono::seconds(30), [&] { return wedged_job != 0; });
+    ASSERT_NE(wedged_job, 0u);
+  }
+  std::thread tb([&] {
+    FlowContext ctx(ismart, dev, no_training, opts);
+    ctx.cancel = [&] { return cancel_b.load(); };
+    res_b = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  // B ran DspPlace.assign and parked at the legalize queue behind the
+  // wedged A; cancel it while it sits mid-stage.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (legalize_queue.value() < queue_before + 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_GE(legalize_queue.value(), queue_before + 1);
+  cancel_b.store(true);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ta.join();
+  tb.join();
+  sched.stop();
+
+  EXPECT_EQ(res_a.legality_error, "");
+  EXPECT_EQ(res_b.legality_error, "cancelled");
+  EXPECT_EQ(res_b.trace.root().counter("cancelled"), 1);
+  // Unlike a between-stages cancel, this job *did* enter DspPlace: its
+  // visit was closed by the mid-stage gate, so the stage node exists.
+  bool has_dsp_place = false;
+  for (const auto& child : res_b.trace.root().children)
+    if (child->name == stage::kDspPlace) has_dsp_place = true;
+  EXPECT_TRUE(has_dsp_place);
+}
+
+// cancel_parked must complete parked-and-cancelled jobs without waiting
+// for any element to dequeue them — even while an element is wedged
+// mid-visit (the drain-stall fix; the server calls this from stop()).
+TEST(StageScheduler, CancelParkedCompletesJobsBehindWedgedElement) {
+  const double scale = 0.1;
+  const Device dev = make_zcu104(scale);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  const std::vector<DesignGraphData> no_training;
+  const DsplacerOptions opts = fast_options();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  uint64_t wedged_job = 0;
+  SchedulerOptions sopts;
+  sopts.test_hook_stage_start = [&](uint64_t job, const char* stage_name) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (std::string_view(stage_name) != stage::kPrototype) return;
+    if (wedged_job == 0) {
+      wedged_job = job;
+      cv.notify_all();
+    }
+    if (wedged_job == job) cv.wait(lk, [&] { return release; });
+  };
+  StageScheduler sched(sopts);
+
+  Gauge& proto_queue = global_metrics().gauge(
+      std::string(metric::kElementQueueDepth) + "{element=\"Prototype\"}", "");
+  const int64_t queue_before = proto_queue.value();
+
+  std::atomic<bool> drain{false};
+  DsplacerResult res_a, res_b, res_c;
+  std::thread ta([&] {
+    FlowContext ctx(nl, dev, no_training, opts);
+    res_a = sched.run(ctx, dsplacer_pipeline(opts));
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, std::chrono::seconds(30), [&] { return wedged_job != 0; });
+    ASSERT_NE(wedged_job, 0u);
+  }
+  const auto parked_run = [&](DsplacerResult* out) {
+    FlowContext ctx(nl, dev, no_training, opts);
+    ctx.cancel = [&] { return drain.load(); };
+    *out = sched.run(ctx, dsplacer_pipeline(opts));
+  };
+  std::thread tb([&] { parked_run(&res_b); });
+  std::thread tc([&] { parked_run(&res_c); });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (proto_queue.value() < queue_before + 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_GE(proto_queue.value(), queue_before + 2);
+
+  // Drain while the only Prototype instance is still wedged: the parked
+  // jobs must complete through cancel_parked, not through that instance.
+  drain.store(true);
+  sched.cancel_parked();
+  tb.join();
+  tc.join();
+  EXPECT_EQ(res_b.legality_error, "cancelled");
+  EXPECT_EQ(res_c.legality_error, "cancelled");
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ta.join();
+  sched.stop();
+  EXPECT_EQ(res_a.legality_error, "");
+}
+
 std::vector<DesignGraphData> tiny_training_suite(double scale) {
   const Device dev = make_zcu104(scale);
   std::vector<DesignGraphData> designs;

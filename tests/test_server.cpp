@@ -594,6 +594,85 @@ TEST(Server, GracefulDrainDeliversEveryReply) {
   EXPECT_FALSE(late.connected());
 }
 
+// The drain-stall fix: jobs parked in an element queue behind a wedged
+// element instance must still receive CANCELLED replies while the wedge
+// holds — stop() sweeps the scheduler queues (cancel_parked) instead of
+// waiting for the wedged instance to dequeue them. Exercised on both
+// front ends.
+TEST(Server, DrainCancelsJobsParkedBehindWedgedElementBothFrontEnds) {
+  TestDesign sky("SkyNet");
+  for (const bool event_loop : {true, false}) {
+    SCOPED_TRACE(event_loop ? "event-loop" : "thread-per-conn");
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    uint64_t wedged = 0;
+    ServerOptions sopts;
+    sopts.unix_path = socket_path(event_loop ? "wedge_el" : "wedge_tpc");
+    sopts.workers = 3;
+    sopts.element_width = 1;  // one DspPlace.assign instance to wedge
+    sopts.event_loop = event_loop;
+    sopts.drain_grace_seconds = 0.05;
+    sopts.test_hook_stage_start = [&](uint64_t job, const char* stage_name) {
+      if (std::string(stage_name) != "DspPlace") return;
+      std::unique_lock<std::mutex> lock(mu);
+      if (wedged == 0) {
+        wedged = job;
+        cv.notify_all();
+      }
+      if (wedged == job) cv.wait(lock, [&] { return release; });
+    };
+    DsplacerServer server(sopts);
+    ASSERT_EQ(server.start(), "");
+
+    const int64_t parked0 = metric_value(
+        std::string(metric::kElementQueueDepth) + "{element=\"DspPlace.assign\"}");
+    std::vector<std::thread> clients;
+    std::vector<JobReply> replies(3);
+    std::vector<std::string> errors(3);
+    for (int i = 0; i < 3; ++i)
+      clients.emplace_back([&, i] {
+        DsplacerClient c = DsplacerClient::connect_to_unix(sopts.unix_path, &errors[i]);
+        if (!c.connected()) return;
+        errors[i] = c.submit(fast_request(sky), &replies[i]);
+      });
+
+    // One job wedges inside its DspPlace entry; wait until the other two
+    // are parked in that element's queue, mid-flow on their workers.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    const auto parked_depth = [&] {
+      return metric_value(std::string(metric::kElementQueueDepth) +
+                          "{element=\"DspPlace.assign\"}") - parked0;
+    };
+    while (parked_depth() < 2 && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_GE(parked_depth(), 2);
+
+    // Drain with the wedge still held: the two parked jobs' CANCELLED
+    // replies must arrive while the wedged job is still outstanding.
+    std::thread stopper([&] { server.stop(); });
+    while (server.stats().jobs_cancelled < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(server.stats().jobs_cancelled, 2);
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    stopper.join();
+    for (std::thread& t : clients) t.join();
+
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(errors[i], "") << "client " << i;
+      EXPECT_EQ(replies[i].status, JobStatus::kCancelled) << "client " << i;
+    }
+    EXPECT_EQ(server.stats().jobs_cancelled, 3);
+    EXPECT_FALSE(server.running());
+  }
+}
+
 TEST(Server, TcpLoopbackServesJobsAndPings) {
   TestDesign sky("SkyNet");
   ServerOptions sopts;

@@ -1,0 +1,187 @@
+// bench_gate — CI perf-regression gate for the bench_server fleet axis.
+//
+// Compares a freshly measured fleet JSON (the CI artifact) against the
+// committed baseline (BENCH_server.json) and fails when a scheduler mode
+// lost throughput beyond a noise threshold. Raw jobs/s is machine-speed
+// dependent, so the gate compares *normalized* numbers: each pipelined
+// mode's jobs_per_s divided by the job-per-worker jobs_per_s at the same
+// inflight depth, measured on the same box in the same run. That ratio is
+// the scheduler's contribution and is stable across runner hardware; the
+// gate fails when the candidate ratio drops more than --threshold (default
+// 0.2 = 20%) below the baseline ratio for any (mode, inflight) cell, or
+// when a baseline cell is missing from the candidate entirely.
+//
+//   bench_gate --baseline BENCH_server.json --candidate fleet.json
+//
+// Exit 0 = no regression, 1 = regression or malformed input, 2 = usage.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Cell {
+  std::string mode;
+  int inflight = 0;
+  double jobs_per_s = 0.0;
+};
+
+/// Pulls the quoted string right after `key` at/after `from`; "" + npos on
+/// parse failure.
+std::string quoted_after(const std::string& text, const std::string& key,
+                         size_t from, size_t* at) {
+  *at = std::string::npos;
+  const size_t k = text.find(key, from);
+  if (k == std::string::npos) return "";
+  const size_t open = text.find('"', k + key.size());
+  if (open == std::string::npos) return "";
+  const size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  *at = k;
+  return text.substr(open + 1, close - open - 1);
+}
+
+double number_after(const std::string& text, const std::string& key, size_t from,
+                    size_t until, bool* ok) {
+  const size_t k = text.find(key, from);
+  if (k == std::string::npos || k >= until) {
+    *ok = false;
+    return 0.0;
+  }
+  return std::strtod(text.c_str() + k + key.size(), nullptr);
+}
+
+/// Parses the bench_server fleet JSON (the exact shape bench_server.cpp
+/// emits — this is a purpose-built reader, not a general JSON parser).
+bool parse_cells(const std::string& path, std::vector<Cell>* out,
+                 std::string* err) {
+  std::ifstream f(path);
+  if (!f) {
+    *err = "cannot read " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  if (text.find("\"server_fleet\"") == std::string::npos) {
+    *err = path + ": not a bench_server fleet document";
+    return false;
+  }
+  size_t pos = 0;
+  for (;;) {
+    size_t at = 0;
+    Cell cell;
+    cell.mode = quoted_after(text, "\"mode\":", pos, &at);
+    if (at == std::string::npos) break;
+    const size_t end = text.find('}', at);
+    if (end == std::string::npos) {
+      *err = path + ": unterminated cell object";
+      return false;
+    }
+    bool ok = true;
+    cell.inflight =
+        static_cast<int>(number_after(text, "\"inflight\":", at, end, &ok));
+    cell.jobs_per_s = number_after(text, "\"jobs_per_s\":", at, end, &ok);
+    if (!ok || cell.mode.empty() || cell.inflight <= 0 || cell.jobs_per_s <= 0) {
+      *err = path + ": malformed cell near offset " + std::to_string(at);
+      return false;
+    }
+    out->push_back(cell);
+    pos = end;
+  }
+  if (out->empty()) {
+    *err = path + ": no fleet cells";
+    return false;
+  }
+  return true;
+}
+
+int usage(int rc) {
+  std::cerr << "bench_gate --baseline <BENCH_server.json> --candidate <fleet.json>\n"
+               "           [--threshold <fraction, default 0.2>]\n"
+               "Fails (exit 1) when any scheduler mode's normalized fleet\n"
+               "throughput regressed beyond the threshold vs the baseline.\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path;
+  double threshold = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (i + 1 >= argc) return usage(2);
+    if (arg == "--baseline") {
+      baseline_path = argv[++i];
+    } else if (arg == "--candidate") {
+      candidate_path = argv[++i];
+    } else if (arg == "--threshold") {
+      char* endp = nullptr;
+      threshold = std::strtod(argv[++i], &endp);
+      if (endp == argv[i] || *endp != '\0' || threshold < 0 || threshold >= 1) {
+        std::cerr << "bench_gate: --threshold must be a fraction in [0, 1)\n";
+        return 2;
+      }
+    } else {
+      return usage(2);
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return usage(2);
+
+  std::string err;
+  std::vector<Cell> baseline, candidate;
+  if (!parse_cells(baseline_path, &baseline, &err) ||
+      !parse_cells(candidate_path, &candidate, &err)) {
+    std::cerr << "bench_gate: " << err << '\n';
+    return 1;
+  }
+
+  const auto index = [](const std::vector<Cell>& cells) {
+    std::map<std::pair<std::string, int>, double> m;
+    for (const Cell& c : cells) m[{c.mode, c.inflight}] = c.jobs_per_s;
+    return m;
+  };
+  const auto base = index(baseline);
+  const auto cand = index(candidate);
+
+  // Normalize every non-reference mode by job-per-worker at the same
+  // inflight, within each document, then compare ratios across documents.
+  const std::string ref_mode = "job-per-worker";
+  bool failed = false;
+  std::printf("%-16s  %-8s  %-14s  %-14s  %s\n", "mode", "inflight",
+              "baseline ratio", "candidate", "verdict");
+  for (const Cell& c : baseline) {
+    if (c.mode == ref_mode) continue;
+    const auto base_ref = base.find({ref_mode, c.inflight});
+    const auto cand_ref = cand.find({ref_mode, c.inflight});
+    const auto cand_cell = cand.find({c.mode, c.inflight});
+    if (base_ref == base.end() || cand_ref == cand.end() ||
+        cand_cell == cand.end()) {
+      std::printf("%-16s  %-8d  %-14s  %-14s  MISSING\n", c.mode.c_str(),
+                  c.inflight, "-", "-");
+      failed = true;
+      continue;
+    }
+    const double base_ratio = c.jobs_per_s / base_ref->second;
+    const double cand_ratio = cand_cell->second / cand_ref->second;
+    const bool regressed = cand_ratio < base_ratio * (1.0 - threshold);
+    std::printf("%-16s  %-8d  %-14.3f  %-14.3f  %s\n", c.mode.c_str(), c.inflight,
+                base_ratio, cand_ratio, regressed ? "REGRESSED" : "ok");
+    failed = failed || regressed;
+  }
+  if (failed) {
+    std::printf("bench_gate: FAIL — normalized fleet throughput regressed more "
+                "than %.0f%% vs %s\n",
+                threshold * 100.0, baseline_path.c_str());
+    return 1;
+  }
+  std::printf("bench_gate: ok (threshold %.0f%%)\n", threshold * 100.0);
+  return 0;
+}

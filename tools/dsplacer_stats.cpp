@@ -4,25 +4,39 @@
 // (no HTTP needed) and prints it as a human table or, with --json, as a
 // machine-readable document. The same numbers are available to Prometheus
 // via --metrics-port; this tool exists for operators on the box.
+//
+// --elements renders the element-DAG pipeline view instead: two snapshots
+// --interval-ms apart, one row per pipeline element with occupancy (busy
+// time over the interval, normalized by instance width), current queue
+// depth, lifetime jobs, and mean queue wait. The quick answer to "which
+// element is the bottleneck right now".
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
 #include "server/client.hpp"
 #include "server/socket.hpp"
+#include "util/thread_pool.hpp"
 #include "util/version.hpp"
 
 namespace {
 
 int usage(std::ostream& os, int rc) {
-  os << "dsplacer_stats (--socket <path> | --port <n>) [--json] [--version]\n"
+  os << "dsplacer_stats (--socket <path> | --port <n>) [--json]\n"
+        "               [--elements] [--interval-ms <n>] [--version]\n"
         "Fetches the live metrics snapshot from a running dsplacerd over a\n"
         "STATS frame and prints it (docs/METRICS.md). --json emits the same\n"
-        "document the registry renders for machine consumers.\n";
+        "document the registry renders for machine consumers.\n"
+        "--elements prints the pipeline-element table instead: occupancy %\n"
+        "over an --interval-ms window (default 1000), queue depth, jobs and\n"
+        "mean queue wait per element; with --json the same rows as JSON.\n";
   return rc;
 }
 
@@ -52,6 +66,112 @@ void print_table(const dsp::MetricsSnapshot& snap) {
   }
 }
 
+// ---- per-element pipeline view --------------------------------------------
+
+/// Everything the element table needs about one pipeline element, merged
+/// from the `dsplacer_element_*{element="..."}` family members.
+struct ElementRow {
+  int64_t busy_us = 0;       // cumulative at this snapshot
+  int64_t queue_depth = 0;
+  int64_t jobs = 0;
+  int64_t width = 1;
+  int64_t wait_count = 0;    // queue-wait histogram
+  int64_t wait_sum_us = 0;
+};
+
+/// The `X` out of `family{element="X"}`; "" when the sample is not a
+/// member of that family.
+std::string element_label(const std::string& name, const char* family) {
+  const std::string prefix = std::string(family) + "{element=\"";
+  if (name.rfind(prefix, 0) != 0) return "";
+  if (name.size() < prefix.size() + 2 || name.compare(name.size() - 2, 2, "\"}") != 0)
+    return "";
+  return name.substr(prefix.size(), name.size() - prefix.size() - 2);
+}
+
+std::map<std::string, ElementRow> element_rows(const dsp::MetricsSnapshot& snap) {
+  namespace metric = dsp::metric;
+  std::map<std::string, ElementRow> rows;
+  for (const dsp::MetricSample& s : snap.samples) {
+    std::string el;
+    if (!(el = element_label(s.name, metric::kElementBusyUs)).empty())
+      rows[el].busy_us = s.value;
+    else if (!(el = element_label(s.name, metric::kElementQueueDepth)).empty())
+      rows[el].queue_depth = s.value;
+    else if (!(el = element_label(s.name, metric::kElementJobs)).empty())
+      rows[el].jobs = s.value;
+    else if (!(el = element_label(s.name, metric::kElementWidth)).empty())
+      rows[el].width = std::max<int64_t>(1, s.value);
+    else if (!(el = element_label(s.name, metric::kElementQueueWaitUs)).empty()) {
+      rows[el].wait_count = s.count;
+      rows[el].wait_sum_us = s.sum;
+    }
+  }
+  return rows;
+}
+
+int print_elements(dsp::DsplacerClient& client, int interval_ms, bool json) {
+  dsp::MetricsSnapshot before, after;
+  std::string err = client.stats(&before);
+  if (err.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    err = client.stats(&after);
+    if (err.empty()) {
+      // Occupancy normalizes by the wall time that actually elapsed, not
+      // the nominal interval, so a loaded box doesn't overreport.
+      const auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+      const std::map<std::string, ElementRow> rows0 = element_rows(before);
+      const std::map<std::string, ElementRow> rows = element_rows(after);
+      if (json) std::printf("{\"interval_us\": %lld, \"elements\": [",
+                            static_cast<long long>(elapsed_us));
+      else
+        std::printf("%-20s  %-6s  %-11s  %-11s  %-8s  %s\n", "element", "width",
+                    "occupancy%", "queue depth", "jobs", "mean wait (us)");
+      bool first = true;
+      for (const auto& entry : rows) {
+        const ElementRow& row = entry.second;
+        const auto it0 = rows0.find(entry.first);
+        const int64_t busy_delta =
+            row.busy_us - (it0 != rows0.end() ? it0->second.busy_us : 0);
+        const double occupancy =
+            elapsed_us > 0
+                ? 100.0 * static_cast<double>(busy_delta) /
+                      (static_cast<double>(elapsed_us) * static_cast<double>(row.width))
+                : 0.0;
+        const double mean_wait =
+            row.wait_count > 0 ? static_cast<double>(row.wait_sum_us) /
+                                     static_cast<double>(row.wait_count)
+                               : 0.0;
+        if (json) {
+          std::printf("%s\n  {\"element\": \"%s\", \"width\": %lld, "
+                      "\"occupancy_pct\": %.2f, \"queue_depth\": %lld, "
+                      "\"jobs\": %lld, \"mean_queue_wait_us\": %.1f}",
+                      first ? "" : ",", entry.first.c_str(),
+                      static_cast<long long>(row.width), occupancy,
+                      static_cast<long long>(row.queue_depth),
+                      static_cast<long long>(row.jobs), mean_wait);
+        } else {
+          std::printf("%-20s  %-6lld  %-11.2f  %-11lld  %-8lld  %.1f\n",
+                      entry.first.c_str(), static_cast<long long>(row.width),
+                      occupancy, static_cast<long long>(row.queue_depth),
+                      static_cast<long long>(row.jobs), mean_wait);
+        }
+        first = false;
+      }
+      if (json) std::printf("%s]}\n", first ? "" : "\n");
+      else if (first)
+        std::printf("(no pipeline elements: daemon running --no-pipeline,"
+                    " or no job has arrived yet)\n");
+      return 0;
+    }
+  }
+  std::cerr << "dsplacer_stats: " << err << '\n';
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,8 +184,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
-    if (args[i] == "--json") {
-      flags.emplace("json", "1");
+    if (args[i] == "--json" || args[i] == "--elements") {
+      flags.emplace(args[i].substr(2), "1");
       continue;
     }
     if (args[i].rfind("--", 0) != 0 || i + 1 >= args.size()) {
@@ -74,6 +194,17 @@ int main(int argc, char** argv) {
     }
     flags[args[i].substr(2)] = args[i + 1];
     ++i;
+  }
+
+  int interval_ms = 1000;
+  if (flags.count("interval-ms")) {
+    // Strict like every numeric flag: garbage fails, it doesn't atoi to 0.
+    std::string interval_err;
+    interval_ms = dsp::parse_thread_count(flags["interval-ms"], &interval_err);
+    if (interval_ms < 0) {
+      std::cerr << "dsplacer_stats: --interval-ms: " << interval_err << '\n';
+      return 2;
+    }
   }
 
   std::string err;
@@ -95,6 +226,9 @@ int main(int argc, char** argv) {
               << '\n';
     return 2;
   }
+
+  if (flags.count("elements"))
+    return print_elements(client, interval_ms, flags.count("json") != 0);
 
   dsp::MetricsSnapshot snap;
   err = client.stats(&snap);

@@ -35,13 +35,16 @@ int usage(std::ostream& os, int rc) {
         "          [--queue-depth <n>] [--cache-dir <dir>] [--threads <n>]\n"
         "          [--drain-grace <seconds>] [--metrics-port <n>]\n"
         "          [--no-pipeline] [--extract-batch <n>]\n"
+        "          [--element-width <n>] [--no-split-stages]\n"
         "          [--thread-per-conn] [--version]\n"
         "Defaults: --socket /tmp/dsplacerd.sock, no TCP listener, 2 workers,\n"
         "queue depth 8, caching off, no metrics listener. --tcp-port 0 and\n"
         "--metrics-port 0 bind ephemeral ports (printed on startup).\n"
-        "Jobs run through the pipelined stage scheduler (shared frozen\n"
-        "graphs and batched Extract, up to --extract-batch jobs per batch);\n"
-        "--no-pipeline reverts to classic job-per-worker execution.\n"
+        "Jobs run through the element-DAG stage scheduler (shared frozen\n"
+        "graphs, batched Extract up to --extract-batch jobs per batch, heavy\n"
+        "stages split into sub-elements, --element-width instances per\n"
+        "element — default one per worker); --no-split-stages keeps one\n"
+        "element per stage; --no-pipeline reverts to job-per-worker.\n"
         "Connections are served by an epoll event loop (client count never\n"
         "adds threads); --thread-per-conn reverts to the one-thread-per-\n"
         "connection front end for A/B comparison. See docs/SERVER.md for\n"
@@ -61,7 +64,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
-    if (args[i] == "--no-pipeline" || args[i] == "--thread-per-conn" ||
+    if (args[i] == "--no-pipeline" || args[i] == "--no-split-stages" ||
+        args[i] == "--thread-per-conn" ||
         args[i] == "--event-loop") {  // the valueless flags
       flags[args[i].substr(2)] = "1";
       continue;
@@ -133,7 +137,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (flags.count("element-width")) {
+    opts.element_width = dsp::parse_thread_count(flags["element-width"], &flag_error);
+    if (opts.element_width < 0) {
+      std::cerr << "dsplacerd: --element-width: " << flag_error << '\n';
+      return 2;
+    }
+  }
   if (flags.count("no-pipeline")) opts.pipeline = false;
+  if (flags.count("no-split-stages")) opts.split_stages = false;
   // --event-loop is the default; the flag exists so scripts can say it
   // explicitly. --thread-per-conn selects the A/B fallback front end.
   if (flags.count("thread-per-conn")) opts.event_loop = false;
