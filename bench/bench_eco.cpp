@@ -1,0 +1,220 @@
+// ECO incremental re-placement benchmark (docs/ECO.md).
+//
+// Measures what the EcoEngine saves over a cold re-place when a design
+// comes back with a small edit. One base design (SkyNet) runs cold once
+// to populate the stage checkpoint cache; then for edits of 1, 4 and 16
+// added cells the suite times
+//   cold - a full cacheless run of the *edited* netlist (what a client
+//          without ECO pays), and
+//   eco  - run_eco against the base run's checkpoints: restore the
+//          prefix, patch the blast radius, pin everything else.
+// Per cell it reports the speedup (cold s / eco s) and two quality
+// numbers:
+//   hpwl_vs_base_pct - ECO HPWL vs the base run's HPWL. Both runs are
+//          deterministic (hash-seeded flow, pinned patch), so this is
+//          the noise-free quality bar the CI gate bounds at +1%: the
+//          patched placement must not drift from the solution it
+//          restores.
+//   hpwl_delta_pct   - ECO HPWL vs the cold placement of the same
+//          edited netlist, informational only. A cold run of a
+//          perturbed netlist re-rolls every hash-seeded tie-break, so
+//          its HPWL is a ~+-5% draw per edit; the mean over reps still
+//          carries that noise and is not gated.
+//
+// --json <path> writes the suite as JSON (BENCH_eco.json at the repo
+// root is the committed baseline; tools/bench_gate checks speedup >= 3x
+// and hpwl_vs_base_pct <= +1% per cell).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/dsplacer.hpp"
+#include "designs/benchmarks.hpp"
+#include "eco/eco_engine.hpp"
+#include "eco/netlist_diff.hpp"
+#include "fpga/device.hpp"
+#include "timing/wirelength.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace dsp;
+
+namespace {
+
+/// An edit adding `n` LUT cells, each driving a 2-sink net into existing
+/// cells — the "small logic fixup" ECO shape. Deterministic per (n, rep).
+NetlistEdit make_edit(const Netlist& base, int n, int rep) {
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull + static_cast<uint64_t>(n) * 31 +
+                      static_cast<uint64_t>(rep));
+  NetlistEdit edit;
+  for (int i = 0; i < n; ++i) {
+    CellEdit c;
+    c.name = "eco_fix_" + std::to_string(rep) + "_" + std::to_string(i);
+    c.type = CellType::kLut;
+    edit.add_cells.push_back(c);
+    NetEdit net;
+    net.name = "eco_fix_net_" + std::to_string(rep) + "_" + std::to_string(i);
+    net.driver = c.name;
+    // Local connectivity (id-adjacent cells sit in the same generated
+    // layer): a real fixup wires into one neighborhood, not across the die.
+    const CellId anchor =
+        static_cast<CellId>(rng() % static_cast<uint64_t>(base.num_cells() - 1));
+    net.sinks = {base.cell(anchor).name, base.cell(anchor + 1).name};
+    edit.add_nets.push_back(net);
+  }
+  canonicalize_edit(&edit);
+  return edit;
+}
+
+struct EcoCell {
+  int edit_cells = 0;
+  double cold_s = 0.0;
+  double eco_s = 0.0;
+  double speedup = 0.0;
+  double hpwl_delta_pct = 0.0;    // eco vs cold-of-edited, informational
+  double hpwl_vs_base_pct = 0.0;  // eco vs base run, deterministic, gated
+  int stages_restored = 0;
+  int stages_patched = 0;
+  int stages_rerun = 0;
+  int sites_pinned = 0;
+  bool fell_back = false;
+  bool ok = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_eco [--json <path>]\n");
+      return 2;
+    }
+  }
+
+  const double scale = bench_scale_from_env(0.25);
+  const Device dev = make_zcu104(scale);
+  const Netlist base = make_benchmark(benchmark_by_name("SkyNet"), dev, scale);
+  std::printf("ECO benchmark scale: %.2f (%d cells, %d DSP)\n\n", scale,
+              base.num_cells(), base.count_type(CellType::kDsp));
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "dsplacer_bench_eco_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;
+  opts.cache_dir = cache_dir.string();
+
+  // Base run: populates the checkpoint chain every ECO job patches against.
+  Timer base_timer;
+  const DsplacerResult base_run = run_dsplacer(base, dev, {}, opts);
+  const double base_s = base_timer.seconds();
+  if (!base_run.legality_error.empty()) {
+    std::fprintf(stderr, "bench_eco: base run failed: %s\n",
+                 base_run.legality_error.c_str());
+    return 1;
+  }
+  const double base_hpwl = total_hpwl(base, base_run.placement);
+  std::printf("base cold run: %.3f s, HPWL %.1f\n\n", base_s, base_hpwl);
+
+  DsplacerOptions cold_opts = opts;
+  cold_opts.cache_dir.clear();  // the no-ECO comparison pays full price
+
+  Table table({"edit cells", "cold s", "eco s", "speedup", "hpwl vs base %",
+               "hpwl vs cold %", "restored/patched/rerun", "pinned",
+               "fell back"});
+  std::vector<EcoCell> cells;
+  bool all_ok = true;
+  // Three distinct edits per size: timing and the informational cold
+  // comparison average over edits; the gated vs-base delta is
+  // deterministic per edit and averaging just widens its coverage.
+  constexpr int kReps = 3;
+  for (const int n : {1, 4, 16}) {
+    EcoCell cell;
+    cell.edit_cells = n;
+    double cold_hpwl_sum = 0.0, eco_hpwl_sum = 0.0;
+    for (int rep = 0; cell.ok && rep < kReps; ++rep) {
+      const NetlistEdit edit = make_edit(base, n, rep);
+      const Netlist edited = apply_edit(base, edit);
+
+      Timer cold_timer;
+      const DsplacerResult cold = run_dsplacer(edited, dev, {}, cold_opts);
+      cell.cold_s += cold_timer.seconds();
+
+      Timer eco_timer;
+      const EcoResult eco = run_eco(base, edited, edit, dev, opts);
+      cell.eco_s += eco_timer.seconds();
+
+      cell.ok = cold.legality_error.empty() && eco.result.legality_error.empty();
+      if (!cell.ok) {
+        std::fprintf(stderr, "bench_eco: edit %d rep %d failed: cold '%s' eco '%s'\n",
+                     n, rep, cold.legality_error.c_str(),
+                     eco.result.legality_error.c_str());
+        all_ok = false;
+        break;
+      }
+      const double cold_hpwl = total_hpwl(edited, cold.placement);
+      const double eco_hpwl = total_hpwl(edited, eco.result.placement);
+      std::printf("  edit %2d rep %d: cold HPWL %.1f, eco HPWL %.1f (%+.3f%%)\n", n,
+                  rep, cold_hpwl, eco_hpwl, (eco_hpwl - cold_hpwl) / cold_hpwl * 100.0);
+      cold_hpwl_sum += cold_hpwl;
+      eco_hpwl_sum += eco_hpwl;
+      cell.stages_restored += eco.stages_restored;
+      cell.stages_patched += eco.stages_patched;
+      cell.stages_rerun += eco.stages_rerun;
+      cell.sites_pinned += eco.sites_pinned;
+      cell.fell_back = cell.fell_back || eco.fell_back;
+    }
+    if (cell.ok) {
+      cell.speedup = cell.cold_s / cell.eco_s;
+      cell.hpwl_delta_pct = (eco_hpwl_sum - cold_hpwl_sum) / cold_hpwl_sum * 100.0;
+      cell.hpwl_vs_base_pct =
+          (eco_hpwl_sum / kReps - base_hpwl) / base_hpwl * 100.0;
+    }
+    table.add_row({std::to_string(n), Table::fmt(cell.cold_s, 3),
+                   Table::fmt(cell.eco_s, 3), Table::fmt(cell.speedup, 2),
+                   Table::fmt(cell.hpwl_vs_base_pct, 3),
+                   Table::fmt(cell.hpwl_delta_pct, 3),
+                   std::to_string(cell.stages_restored) + "/" +
+                       std::to_string(cell.stages_patched) + "/" +
+                       std::to_string(cell.stages_rerun),
+                   std::to_string(cell.sites_pinned),
+                   cell.fell_back ? "yes" : "no"});
+    cells.push_back(cell);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    jf << "{\n  \"bench\": \"eco_suite\",\n  \"design\": \"SkyNet\",\n"
+       << "  \"scale\": " << scale << ",\n  \"base_cold_s\": " << base_s
+       << ",\n  \"base_hpwl\": " << base_hpwl << ",\n  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const EcoCell& c = cells[i];
+      jf << "    {\"edit_cells\": " << c.edit_cells << ", \"cold_s\": " << c.cold_s
+         << ", \"eco_s\": " << c.eco_s << ", \"speedup\": " << c.speedup
+         << ", \"hpwl_vs_base_pct\": " << c.hpwl_vs_base_pct
+         << ", \"hpwl_delta_pct\": " << c.hpwl_delta_pct
+         << ", \"stages_restored\": " << c.stages_restored
+         << ", \"stages_patched\": " << c.stages_patched
+         << ", \"stages_rerun\": " << c.stages_rerun
+         << ", \"sites_pinned\": " << c.sites_pinned << ", \"fell_back\": "
+         << (c.fell_back ? "true" : "false") << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    jf << "  ]\n}\n";
+    if (!jf)
+      std::fprintf(stderr, "bench_eco: cannot write %s\n", json_path.c_str());
+    else
+      std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  std::filesystem::remove_all(cache_dir);
+  return all_ok ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -27,6 +28,13 @@ Counter& cache_load_metric() {
 Counter& cache_store_metric() {
   static Counter& c = global_metrics().counter(
       metric::kCacheStore, "Checkpoint files written to the cache directory");
+  return c;
+}
+
+Counter& cache_eviction_metric() {
+  static Counter& c = global_metrics().counter(
+      metric::kCacheEvictions,
+      "Checkpoint files removed by the --cache-max-bytes LRU sweep");
   return c;
 }
 
@@ -194,7 +202,8 @@ uint64_t device_content_hash(const Device& dev) {
   return h.digest();
 }
 
-StageCache::StageCache(const std::string& dir) : dir_(dir) {
+StageCache::StageCache(const std::string& dir, int64_t max_bytes)
+    : dir_(dir), max_bytes_(max_bytes) {
   if (dir_.empty()) return;
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -262,7 +271,47 @@ std::string StageCache::store(const std::string& stage, uint64_t key,
     return "cannot rename into " + path;
   }
   cache_store_metric().inc();
+  if (max_bytes_ > 0) sweep(path);
   return "";
+}
+
+void StageCache::sweep(const std::string& just_written) const {
+  // Oldest-mtime-first eviction until the directory fits the bound again.
+  // Every filesystem error is swallowed: concurrent jobs sharing the cache
+  // (the placement service) race each other's sweeps, so a file vanishing
+  // between the scan and the remove is normal, and a failed sweep only
+  // means a temporarily oversized cache — never a failed store.
+  struct Entry {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    int64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  int64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    if (ec) return;
+    if (de.path().extension() != ".ckpt") continue;  // skip in-flight .tmp files
+    Entry e;
+    e.path = de.path();
+    e.mtime = de.last_write_time(ec);
+    if (ec) continue;
+    e.size = static_cast<int64_t>(de.file_size(ec));
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_bytes_) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    if (e.path == just_written) continue;  // never evict the store we serve
+    if (std::filesystem::remove(e.path, ec) && !ec) {
+      total -= e.size;
+      cache_eviction_metric().inc();
+    }
+  }
 }
 
 }  // namespace dsp

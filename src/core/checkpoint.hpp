@@ -78,7 +78,12 @@ class StageCache {
   StageCache() = default;
   /// Creates `dir` (and parents) if needed. Creation failure disables the
   /// cache with a logged warning rather than failing the flow.
-  explicit StageCache(const std::string& dir);
+  /// `max_bytes` > 0 bounds the directory: after each store the oldest
+  /// checkpoints (by mtime — LRU, since loads don't touch files) are
+  /// evicted until the total is back under the bound (never the file just
+  /// written, so the current job always keeps its own snapshot). Evictions
+  /// are counted in `dsplacer_cache_evictions_total`. 0 = unbounded.
+  explicit StageCache(const std::string& dir, int64_t max_bytes = 0);
 
   bool enabled() const { return !dir_.empty(); }
   const std::string& dir() const { return dir_; }
@@ -105,7 +110,10 @@ class StageCache {
                     const StageSnapshot& snap) const;
 
  private:
+  void sweep(const std::string& just_written) const;
+
   std::string dir_;
+  int64_t max_bytes_ = 0;
 };
 
 }  // namespace dsp

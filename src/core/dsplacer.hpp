@@ -49,6 +49,11 @@ struct DsplacerOptions {
   /// this stage name must load from cache (error if absent) and this stage
   /// onward recompute even when checkpointed.
   std::string resume_from;
+  /// Cache directory size bound in bytes (0 = unbounded). After each store
+  /// the oldest checkpoints are LRU-evicted until the directory fits
+  /// (core/checkpoint.hpp), so a long-lived daemon's cache cannot grow
+  /// without bound.
+  int64_t cache_max_bytes = 0;
 };
 
 struct DsplacerResult {

@@ -26,7 +26,7 @@ FlowContext::FlowContext(const Netlist& netlist, const Device& device,
       opts(options),
       pool(thread_pool ? thread_pool : &global_pool()),
       seed(options.features.seed),
-      cache(options.cache_dir) {
+      cache(options.cache_dir, options.cache_max_bytes) {
   host.emplace(netlist, device, options.host);
   host->set_trace(&trace);
 }
@@ -306,6 +306,9 @@ uint64_t flow_base_key(const FlowContext& ctx) {
   h.u64(netlist_content_hash(*ctx.nl));
   h.u64(device_content_hash(*ctx.dev));
   h.u64(ctx.seed);
+  // Namespace salt (ECO flows): folded only when set so every unsalted
+  // run — including ECO with an empty edit — keeps its historical keys.
+  if (ctx.cache_salt != 0) h.u64(ctx.cache_salt);
   return h.digest();
 }
 

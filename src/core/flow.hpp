@@ -129,6 +129,15 @@ struct FlowContext {
   // ---- stage checkpoint cache (disabled when opts.cache_dir is empty) ----
   StageCache cache;
 
+  /// Checkpoint-namespace salt, folded into flow_base_key when non-zero.
+  /// The default 0 keeps every pre-existing key intact. The ECO engine
+  /// (src/eco) salts its flows with H(base root key, edit hash): patched
+  /// stage outputs are deterministic for that pair but differ from a cold
+  /// run's, so they must never share the unsalted namespace — a salted key
+  /// space gives repeated identical ECO jobs their own restore hits without
+  /// poisoning the base cache.
+  uint64_t cache_salt = 0;
+
   // ---- summary stats mirrored into DsplacerResult ----
   int num_datapath_dsps = 0;
   int num_control_dsps = 0;

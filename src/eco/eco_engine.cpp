@@ -1,0 +1,526 @@
+#include "eco/eco_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+
+#include "core/flow.hpp"
+#include "core/legalize_intercol.hpp"
+#include "core/stage_scheduler.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "placer/dsp_baseline.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace dsp {
+namespace {
+
+const std::vector<DesignGraphData>& no_training() {
+  static const std::vector<DesignGraphData> empty;
+  return empty;
+}
+
+std::string label(const char* family, const char* key, const std::string& value) {
+  return std::string(family) + "{" + key + "=\"" + value + "\"}";
+}
+
+struct EcoMetrics {
+  Counter& jobs;
+  Counter& patched_stages;
+  Counter& fallbacks;
+  Counter& pinned;
+};
+
+EcoMetrics& eco_metrics() {
+  static EcoMetrics m{
+      global_metrics().counter(metric::kEcoJobs, "ECO re-placement jobs run"),
+      global_metrics().counter(metric::kEcoPatchedStages,
+                               "Stages an ECO job patched instead of rerunning"),
+      global_metrics().counter(metric::kEcoRerunFallbacks,
+                               "ECO jobs or stages that fell back to a full rerun"),
+      global_metrics().counter(metric::kEcoSitesPinned,
+                               "Datapath DSPs ECO jobs kept pinned at their base site")};
+  return m;
+}
+
+void count_element_action(const char* stage, bool patched) {
+  global_metrics()
+      .counter(label(patched ? metric::kElementEcoPatched : metric::kElementEcoRerun,
+                     "element", stage),
+               patched ? "ECO visits that patched this element's stage"
+                       : "ECO visits that fully reran this element's stage")
+      .inc();
+}
+
+/// Everything the ECO stage bodies share, precomputed in the prologue.
+/// One plan per job; the scheduler's stage handoff orders every access.
+struct EcoPlan {
+  StageSnapshot snap;              // deepest usable base snapshot
+  std::vector<CellId> base_id_of;  // per edited cell: base id or -1 (new cell)
+  std::vector<char> is_datapath;   // edited netlist, chain closure applied
+  DspGraph graph;                  // base graph remapped (valid when !rebuild_graph)
+  bool rebuild_graph = false;      // edit touches DSP connectivity: rebuild via IDDFS
+  std::vector<CellId> moving;      // edited datapath ids the MCF re-assigns
+  std::vector<char> is_moving;     // per edited cell
+  int pinned = 0;                  // datapath DSPs held at their base site
+  bool dsp_place_fellback = false; // anchored legalization ran out of rows
+};
+
+/// The sum of a named counter over the stage-level children of the trace.
+int trace_stage_counter(const RunTrace& trace, const char* stage, const char* counter) {
+  int total = 0;
+  for (const auto& child : trace.root().children) {
+    if (child->name != stage) continue;
+    for (const auto& [name, value] : child->counters)
+      if (name == counter) total += static_cast<int>(value);
+  }
+  return total;
+}
+
+// ---- anchored legalization --------------------------------------------------
+// Commits the moving groups' MCF sites while every already-assigned DSP
+// (pinned datapath, mapped control) keeps its site. Greedy and
+// deterministic: groups in (cy, first-cell) order each take the free
+// contiguous run minimizing horizontal + vertical displacement from their
+// MCF centroid. Returns false when some group fits in no column — the
+// caller falls back to the full two-step legalization over all datapath
+// DSPs.
+bool anchored_legalize(FlowContext& ctx, const std::vector<CellId>& moving,
+                       const std::vector<int>& mcf_sites) {
+  const Netlist& nl = *ctx.nl;
+  const Device& dev = *ctx.dev;
+
+  // Occupancy from every DSP site currently held in the placement.
+  const int num_cols = static_cast<int>(dev.dsp_columns().size());
+  std::vector<std::vector<char>> occupied(static_cast<size_t>(num_cols));
+  for (int j = 0; j < num_cols; ++j)
+    occupied[static_cast<size_t>(j)].assign(
+        static_cast<size_t>(dev.dsp_columns()[static_cast<size_t>(j)].num_sites), 0);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(c).type != CellType::kDsp) continue;
+    const int site = ctx.placement.dsp_site(c);
+    if (site < 0) continue;
+    const DspSite& s = dev.dsp_site(site);
+    occupied[static_cast<size_t>(s.column)][static_cast<size_t>(s.row)] = 1;
+  }
+
+  std::vector<DspGroup> groups = build_dsp_groups(nl, dev, moving, mcf_sites);
+  std::vector<size_t> order(groups.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (groups[a].cy != groups[b].cy) return groups[a].cy < groups[b].cy;
+    return groups[a].cells.front() < groups[b].cells.front();
+  });
+
+  for (size_t gi : order) {
+    const DspGroup& g = groups[gi];
+    const int len = g.size();
+    int best_col = -1, best_start = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < num_cols; ++j) {
+      const auto& col = dev.dsp_columns()[static_cast<size_t>(j)];
+      if (col.num_sites < len) continue;
+      const auto& occ = occupied[static_cast<size_t>(j)];
+      const double desired = g.cy - col.y0 - (len - 1) / 2.0;
+      int free_run = 0;
+      for (int row = 0; row < col.num_sites; ++row) {
+        free_run = occ[static_cast<size_t>(row)] ? 0 : free_run + 1;
+        if (free_run < len) continue;
+        const int start = row - len + 1;
+        const double cost =
+            std::abs(col.x - g.cx) + std::abs(static_cast<double>(start) - desired);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_col = j;
+          best_start = start;
+        }
+      }
+    }
+    if (best_col < 0) return false;
+    for (int k = 0; k < len; ++k) {
+      ctx.placement.assign_dsp_site(dev, g.cells[static_cast<size_t>(k)],
+                                    dev.dsp_site_index(best_col, best_start + k));
+      occupied[static_cast<size_t>(best_col)][static_cast<size_t>(best_start + k)] = 1;
+    }
+  }
+  return true;
+}
+
+// ---- ECO stage bodies -------------------------------------------------------
+
+/// Prototype (patch): the base placement mapped by name; new cells seeded
+/// at the centroid of their placed net neighbors (device center if fully
+/// disconnected from mapped logic).
+void eco_prototype(FlowContext& ctx, const std::shared_ptr<EcoPlan>& plan) {
+  const Netlist& nl = *ctx.nl;
+  const Device& dev = *ctx.dev;
+  ctx.placement = Placement(nl, dev);
+  std::vector<char> known(static_cast<size_t>(nl.num_cells()), 0);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    const CellId bid = plan->base_id_of[static_cast<size_t>(c)];
+    if (cell.fixed) {
+      ctx.placement.set(c, cell.fixed_x, cell.fixed_y);
+      known[static_cast<size_t>(c)] = 1;
+      continue;
+    }
+    if (bid < 0) continue;
+    const int site =
+        cell.type == CellType::kDsp ? plan->snap.placement.dsp_site(bid) : -1;
+    if (site >= 0)
+      ctx.placement.assign_dsp_site(dev, c, site);
+    else
+      ctx.placement.set(c, plan->snap.placement.x(bid), plan->snap.placement.y(bid));
+    known[static_cast<size_t>(c)] = 1;
+  }
+
+  // New cells: centroid of known neighbors, two passes so new->new
+  // connections resolve through cells seeded in the first pass.
+  int seeded = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      if (known[static_cast<size_t>(c)]) continue;
+      double sx = 0, sy = 0;
+      int n = 0;
+      auto absorb = [&](CellId other) {
+        if (other == c || !known[static_cast<size_t>(other)]) return;
+        sx += ctx.placement.x(other);
+        sy += ctx.placement.y(other);
+        ++n;
+      };
+      for (NetId net : nl.nets_driven_by(c))
+        for (CellId s : nl.net(net).sinks) absorb(s);
+      for (NetId net : nl.nets_sinking(c)) {
+        absorb(nl.net(net).driver);
+        for (CellId s : nl.net(net).sinks) absorb(s);
+      }
+      if (n == 0) continue;
+      ctx.placement.set(c, dev.clamp_x(sx / n), dev.clamp_y(sy / n));
+      known[static_cast<size_t>(c)] = 1;
+      ++seeded;
+    }
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c)
+    if (!known[static_cast<size_t>(c)]) {
+      ctx.placement.set(c, dev.clamp_x(dev.width() / 2.0), dev.clamp_y(dev.height() / 2.0));
+      ++seeded;
+    }
+  ctx.trace.add_counter("eco_seeded_cells", seeded);
+}
+
+/// Extract (patch/rerun): roles are final in the plan; the DSP graph is the
+/// base graph remapped by name, or rebuilt via the full IDDFS when the edit
+/// touched DSP connectivity.
+void eco_extract(FlowContext& ctx, const std::shared_ptr<EcoPlan>& plan) {
+  const Netlist& nl = *ctx.nl;
+  ctx.is_datapath = plan->is_datapath;
+  if (plan->rebuild_graph) {
+    DspGraph full =
+        build_dsp_graph(nl, ctx.frozen_graph(), ctx.opts.dsp_graph, ctx.pool, ctx.cancel);
+    if (ctx.cancel && ctx.cancel()) {
+      ctx.error = "cancelled";
+      ctx.trace.root().add_counter("cancelled", 1);
+      return;
+    }
+    if (ctx.opts.prune_control) {
+      ctx.dsp_graph = prune_dsp_graph(full, ctx.is_datapath);
+    } else {
+      ctx.dsp_graph = std::move(full);
+      for (CellId c = 0; c < nl.num_cells(); ++c)
+        if (nl.cell(c).type == CellType::kDsp) ctx.is_datapath[static_cast<size_t>(c)] = 1;
+    }
+    ctx.trace.add_counter("eco_graph_rebuilt", 1);
+  } else {
+    ctx.dsp_graph = plan->graph;
+    ctx.trace.add_counter("eco_graph_remapped", 1);
+  }
+  ctx.datapath = ctx.dsp_graph.dsps;
+  ctx.num_datapath_dsps = static_cast<int>(ctx.datapath.size());
+  ctx.num_control_dsps = nl.count_type(CellType::kDsp) - ctx.num_datapath_dsps;
+  ctx.dsp_graph_edges = ctx.dsp_graph.num_edges();
+  ctx.trace.add_counter("nodes_visited", ctx.dsp_graph.nodes_visited);
+  ctx.trace.add_counter("dsp_graph_edges", ctx.dsp_graph_edges);
+  ctx.trace.add_counter("datapath_dsps", ctx.num_datapath_dsps);
+  ctx.trace.add_counter("control_dsps", ctx.num_control_dsps);
+}
+
+/// DspPlace (patch): MCF over the moving set only — every pinned DSP in the
+/// placement is a fixed attractor — then anchored legalization among the
+/// free rows. Falls back to the full stage body when anchoring fails.
+void eco_dsp_place(FlowContext& ctx, const std::shared_ptr<EcoPlan>& plan) {
+  for (CellId c : ctx.datapath)
+    if (plan->is_moving[static_cast<size_t>(c)]) ctx.placement.clear_dsp_site(c);
+  ctx.trace.add_counter("eco_pinned", plan->pinned);
+  ctx.trace.add_counter("eco_moving", static_cast<int64_t>(plan->moving.size()));
+  if (plan->moving.empty()) return;
+
+  AssignResult assign =
+      mcf_assign_dsps(*ctx.nl, *ctx.dev, ctx.placement, ctx.dsp_graph, plan->moving,
+                      ctx.opts.assign, ctx.pool, &ctx.mcf_warm);
+  ctx.mcf_iterations = assign.iterations_run;
+  ctx.mcf_converged = assign.converged;
+  ctx.trace.add_counter("mcf_arcs", assign.arcs_built);
+  ctx.trace.add_counter("mcf_iterations", assign.iterations_run);
+  ctx.trace.root().add_counter("mcf_solves", assign.solves);
+  ctx.trace.root().add_counter("mcf_warm_starts", assign.warm_starts);
+  ctx.trace.root().add_counter("mcf_priced_arcs", assign.priced_arcs);
+
+  if (!anchored_legalize(ctx, plan->moving, assign.site)) {
+    // Out of contiguous rows near the targets: give the whole datapath to
+    // the standard two-step legalization (moves pinned DSPs too — honest
+    // rerun, tallied as such).
+    plan->dsp_place_fellback = true;
+    ctx.trace.add_counter("eco_anchor_fallback", 1);
+    stage_dsp_place(ctx);
+  }
+}
+
+/// Replace (patch): mapped control DSPs keep their base sites; only new or
+/// displaced ones go through the baseline. The host's full non-DSP re-place
+/// is skipped — non-DSP logic keeps its mapped base coordinates.
+void eco_replace(FlowContext& ctx) {
+  DspBaselineOptions ctrl;
+  ctrl.mode = DspBaselineMode::kVivadoLike;
+  ctrl.only_unassigned = true;
+  if (!legalize_dsps_baseline(*ctx.nl, *ctx.dev, ctx.placement, ctrl))
+    ctx.error = "legalization infeasible";
+}
+
+// ---- fallback ---------------------------------------------------------------
+
+DsplacerResult run_standard(const Netlist& edited, const Device& dev,
+                            const DsplacerOptions& opts, const EcoOptions& eco,
+                            StageScheduler* scheduler, ThreadPool* pool,
+                            int* restored) {
+  FlowContext ctx(edited, dev, no_training(), opts, pool);
+  ctx.cancel = eco.cancel;
+  const std::vector<FlowStage> stages = dsplacer_pipeline(opts);
+  DsplacerResult res =
+      scheduler ? scheduler->run(ctx, stages) : run_flow_sequential(ctx, stages);
+  if (restored) {
+    *restored = 0;
+    for (const auto& child : res.trace.root().children)
+      for (const auto& [name, value] : child->counters)
+        if (name == "cache_hit") *restored += static_cast<int>(value);
+  }
+  return res;
+}
+
+}  // namespace
+
+EcoResult run_eco(const Netlist& base, const Netlist& edited, const NetlistEdit& edit,
+                  const Device& dev, const DsplacerOptions& opts, const EcoOptions& eco,
+                  StageScheduler* scheduler, ThreadPool* pool) {
+  EcoResult out;
+  eco_metrics().jobs.inc();
+
+  // Empty edit: the edited netlist IS the base netlist, so the standard
+  // pipeline on the unsalted namespace is the answer — bit-identical to a
+  // warm full run, same placement, same checkpoint keys.
+  if (edit.empty()) {
+    out.result = run_standard(edited, dev, opts, eco, scheduler, pool, &out.stages_restored);
+    out.stages_rerun =
+        static_cast<int>(dsplacer_pipeline(opts).size()) - out.stages_restored;
+    return out;
+  }
+
+  auto fall_back = [&](const std::string& reason) {
+    LOG_WARN("eco", "falling back to full rerun: %s", reason.c_str());
+    eco_metrics().fallbacks.inc();
+    out.fell_back = true;
+    out.fallback_reason = reason;
+    out.result = run_standard(edited, dev, opts, eco, scheduler, pool, &out.stages_restored);
+    out.stages_rerun =
+        static_cast<int>(dsplacer_pipeline(opts).size()) - out.stages_restored;
+    return out;
+  };
+
+  // ---- locate the deepest usable base snapshot ------------------------------
+  FlowContext base_ctx(base, dev, no_training(), opts, pool);
+  if (!base_ctx.cache.enabled()) return fall_back("no cache directory");
+  const uint64_t base_root = flow_base_key(base_ctx);
+  uint64_t key = base_root;
+  struct KeyedStage {
+    const char* name;
+    uint64_t key;
+  };
+  std::vector<KeyedStage> base_chain;
+  for (const FlowStage& s : dsplacer_pipeline(opts)) {
+    key = chain_stage_key(key, s.name, base_ctx);
+    base_chain.push_back({s.name, key});
+  }
+  auto plan = std::make_shared<EcoPlan>();
+  bool have_base = false;
+  uint64_t base_snap_key = 0;
+  for (auto it = base_chain.rbegin(); it != base_chain.rend(); ++it) {
+    if (!base_ctx.cache.load(it->name, it->key, base, dev, &plan->snap).empty()) continue;
+    if (plan->snap.is_datapath.empty()) break;  // pre-Extract snapshot: unusable
+    have_base = true;
+    base_snap_key = it->key;
+    break;
+  }
+  if (!have_base) return fall_back("no usable base checkpoint (run the base job with caching)");
+
+  // ---- name mapping and blast radius ----------------------------------------
+  plan->base_id_of.assign(static_cast<size_t>(edited.num_cells()), kInvalidCell);
+  for (CellId c = 0; c < edited.num_cells(); ++c)
+    if (const auto bid = base.find_cell(edited.cell(c).name))
+      plan->base_id_of[static_cast<size_t>(c)] = *bid;
+
+  // Roles on the edited netlist: mapped cells inherit the base
+  // classification; new DSPs use their declared role; then the cascade
+  // chain closure of extract_finish.
+  plan->is_datapath.assign(static_cast<size_t>(edited.num_cells()), 0);
+  for (CellId c = 0; c < edited.num_cells(); ++c) {
+    const CellId bid = plan->base_id_of[static_cast<size_t>(c)];
+    if (bid >= 0)
+      plan->is_datapath[static_cast<size_t>(c)] =
+          plan->snap.is_datapath[static_cast<size_t>(bid)];
+    else
+      plan->is_datapath[static_cast<size_t>(c)] =
+          edited.cell(c).type == CellType::kDsp &&
+          edited.cell(c).role == DspRole::kDatapath;
+  }
+  for (int ci = 0; ci < edited.num_chains(); ++ci) {
+    const auto& chain = edited.chain(ci).cells;
+    const bool any = std::any_of(chain.begin(), chain.end(), [&](CellId c) {
+      return plan->is_datapath[static_cast<size_t>(c)];
+    });
+    if (any)
+      for (CellId c : chain) plan->is_datapath[static_cast<size_t>(c)] = 1;
+  }
+
+  const std::vector<std::string> touched_names = edit_touched_cells(base, edit);
+  std::vector<char> touched(static_cast<size_t>(edited.num_cells()), 0);
+  bool touches_dsp = false;
+  for (const std::string& name : touched_names) {
+    if (const auto id = edited.find_cell(name)) {
+      touched[static_cast<size_t>(*id)] = 1;
+      touches_dsp |= edited.cell(*id).type == CellType::kDsp;
+    }
+    if (const auto bid = base.find_cell(name))
+      touches_dsp |= base.cell(*bid).type == CellType::kDsp;
+  }
+  plan->rebuild_graph =
+      touches_dsp || !edit.add_chains.empty() || !edit.remove_chains.empty();
+
+  // Remap the base DSP graph by name when the edit stays clear of DSP
+  // connectivity (edge metrics through edited non-DSP logic may then be
+  // stale by design — they only weight MCF attraction; docs/ECO.md).
+  if (!plan->rebuild_graph) {
+    plan->graph = plan->snap.dsp_graph;
+    for (CellId& c : plan->graph.dsps) {
+      const auto id = edited.find_cell(base.cell(c).name);
+      if (!id) {
+        plan->rebuild_graph = true;  // datapath DSP vanished without being "touched"
+        break;
+      }
+      c = *id;
+    }
+  }
+
+  // Moving set: touched datapath DSPs, new datapath DSPs, DSPs whose base
+  // site is missing, expanded blast_hops over the DSP graph and closed over
+  // cascade chains. Everything else stays pinned.
+  std::vector<CellId> edited_datapath;
+  for (CellId c = 0; c < edited.num_cells(); ++c)
+    if (edited.cell(c).type == CellType::kDsp && plan->is_datapath[static_cast<size_t>(c)])
+      edited_datapath.push_back(c);
+  plan->is_moving.assign(static_cast<size_t>(edited.num_cells()), 0);
+  for (CellId c : edited_datapath) {
+    const CellId bid = plan->base_id_of[static_cast<size_t>(c)];
+    if (touched[static_cast<size_t>(c)] || bid < 0 ||
+        plan->snap.placement.dsp_site(bid) < 0)
+      plan->is_moving[static_cast<size_t>(c)] = 1;
+  }
+  if (!plan->rebuild_graph && eco.blast_hops > 0) {
+    // Hop expansion over the remapped graph's adjacency.
+    for (int hop = 0; hop < eco.blast_hops; ++hop) {
+      std::vector<CellId> frontier;
+      for (const DspGraphEdge& e : plan->graph.edges) {
+        const CellId from = plan->graph.dsps[static_cast<size_t>(e.from)];
+        const CellId to = plan->graph.dsps[static_cast<size_t>(e.to)];
+        if (plan->is_moving[static_cast<size_t>(from)] &&
+            !plan->is_moving[static_cast<size_t>(to)])
+          frontier.push_back(to);
+        if (plan->is_moving[static_cast<size_t>(to)] &&
+            !plan->is_moving[static_cast<size_t>(from)])
+          frontier.push_back(from);
+      }
+      for (CellId c : frontier) plan->is_moving[static_cast<size_t>(c)] = 1;
+    }
+  }
+  for (int ci = 0; ci < edited.num_chains(); ++ci) {
+    const auto& chain = edited.chain(ci).cells;
+    const bool any = std::any_of(chain.begin(), chain.end(), [&](CellId c) {
+      return plan->is_moving[static_cast<size_t>(c)] != 0;
+    });
+    if (any)
+      for (CellId c : chain) plan->is_moving[static_cast<size_t>(c)] = 1;
+  }
+  for (CellId c : edited_datapath)
+    if (plan->is_moving[static_cast<size_t>(c)])
+      plan->moving.push_back(c);
+  plan->pinned = static_cast<int>(edited_datapath.size() - plan->moving.size());
+
+  const double blast =
+      edited_datapath.empty()
+          ? 0.0
+          : static_cast<double>(plan->moving.size()) / edited_datapath.size();
+  if (blast > eco.max_blast_fraction)
+    return fall_back("blast radius " + std::to_string(blast) + " exceeds limit");
+
+  out.sites_pinned = plan->pinned;
+  out.moving_dsps = static_cast<int>(plan->moving.size());
+
+  // ---- compose and run the ECO flow ------------------------------------------
+  FlowContext ctx(edited, dev, no_training(), opts, pool);
+  ctx.cancel = eco.cancel;
+  {
+    Fnv1a salt;
+    salt.str("eco-v1");
+    salt.u64(base_root);
+    salt.u64(base_snap_key);
+    salt.u64(edit_content_hash(edit));
+    ctx.cache_salt = salt.digest();
+  }
+
+  std::vector<FlowStage> stages;
+  stages.push_back({stage::kPrototype, phase::kPrototype,
+                    [plan](FlowContext& c) { eco_prototype(c, plan); }, {}});
+  stages.push_back({stage::kExtract, phase::kExtraction,
+                    [plan](FlowContext& c) { eco_extract(c, plan); }, {}});
+  stages.push_back({stage::kDspPlace, phase::kDspPlacement,
+                    [plan](FlowContext& c) { eco_dsp_place(c, plan); }, {}});
+  stages.push_back({stage::kReplace, phase::kOtherPlacement, eco_replace, {}});
+  stages.push_back({stage::kRouteReport, phase::kRouting, stage_route_report, {}});
+
+  out.result = scheduler ? scheduler->run(ctx, stages) : run_flow_sequential(ctx, stages);
+
+  // ---- per-stage action tally -----------------------------------------------
+  auto action = [&](const char* stage, bool patched) {
+    if (trace_stage_counter(out.result.trace, stage, "cache_hit") > 0) {
+      ++out.stages_restored;
+      return;
+    }
+    count_element_action(stage, patched);
+    if (patched)
+      ++out.stages_patched;
+    else
+      ++out.stages_rerun;
+  };
+  action(stage::kPrototype, true);
+  action(stage::kExtract, !plan->rebuild_graph);
+  action(stage::kDspPlace, !plan->dsp_place_fellback);
+  action(stage::kReplace, true);
+  action(stage::kRouteReport, false);
+  if (plan->dsp_place_fellback) eco_metrics().fallbacks.inc();
+  eco_metrics().patched_stages.inc(out.stages_patched);
+  eco_metrics().pinned.inc(out.sites_pinned);
+  return out;
+}
+
+}  // namespace dsp

@@ -1,0 +1,75 @@
+// ECO incremental re-placement (docs/ECO.md).
+//
+// Given a base netlist whose flow has already run (and, with caching on,
+// left stage checkpoints behind), plus a NetlistEdit, the engine re-places
+// the *edited* netlist without paying for a cold run. Per stage it decides
+// between three actions:
+//   restore — the ECO flow caches its own stages under a salted checkpoint
+//             namespace (base root key + edit hash), so a repeated identical
+//             ECO job restores instead of recomputing;
+//   patch   — recompute only the blast radius: the prototype is the base
+//             placement mapped by cell name (new cells seeded at the
+//             centroid of their placed neighbors), the DSP graph is remapped
+//             rather than rebuilt when the edit stays clear of DSP
+//             connectivity, and the MCF re-assigns only the moving set while
+//             every unaffected datapath DSP stays pinned at its base site
+//             (pinned cells are fixed attractors to mcf_assign_dsps);
+//   rerun   — the stage's full body, taken when the patch preconditions
+//             fail (edit touches DSP connectivity, anchored legalization
+//             runs out of free rows) or, for the whole flow, when the blast
+//             radius exceeds max_blast_fraction or no base snapshot exists.
+//
+// An empty edit delegates to the standard pipeline on the unsalted
+// namespace, so it is bit-identical to a warm full run — same placement,
+// same checkpoint keys.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/dsplacer.hpp"
+#include "eco/netlist_diff.hpp"
+
+namespace dsp {
+
+class StageScheduler;
+class ThreadPool;
+
+struct EcoOptions {
+  /// Moving-datapath-DSP share above which the whole flow falls back to a
+  /// full rerun of the edited netlist (the patch bookkeeping would cost
+  /// more than it saves, and HPWL fidelity degrades with very large moving
+  /// sets).
+  double max_blast_fraction = 0.5;
+  /// DSP-graph hops around the edit seed pulled into the moving set (1 =
+  /// direct DSP-graph neighbors of touched DSPs move too).
+  int blast_hops = 1;
+  /// Cooperative cancellation, polled at stage boundaries (threaded into
+  /// FlowContext::cancel). Unset = never cancelled.
+  std::function<bool()> cancel;
+};
+
+/// Per-stage action tally plus the flow result. `result.trace` and
+/// `result.placement` describe the edited netlist.
+struct EcoResult {
+  DsplacerResult result;
+  bool fell_back = false;   // whole flow ran cold (blast too large / no base)
+  std::string fallback_reason;  // empty unless fell_back
+  int stages_restored = 0;  // salted-namespace checkpoint hits
+  int stages_patched = 0;
+  int stages_rerun = 0;
+  int sites_pinned = 0;     // datapath DSPs held at their base site
+  int moving_dsps = 0;      // datapath DSPs the MCF re-assigned
+};
+
+/// Re-places `edited` (the caller's `apply_edit(base, edit)`) on `dev`.
+/// `opts` must match the base run's options — the checkpoint chain
+/// recomputes the base keys from them — and `edited` must stay alive for
+/// the duration of the call. When `scheduler` is non-null the ECO stage
+/// list runs through it (the element-DAG pipeline, warm-aware admission);
+/// otherwise sequentially.
+EcoResult run_eco(const Netlist& base, const Netlist& edited, const NetlistEdit& edit,
+                  const Device& dev, const DsplacerOptions& opts, const EcoOptions& eco = {},
+                  StageScheduler* scheduler = nullptr, ThreadPool* pool = nullptr);
+
+}  // namespace dsp

@@ -1,0 +1,450 @@
+#include "eco/netlist_diff.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+
+namespace dsp {
+namespace {
+
+CellType parse_type(const std::string& s, int line_no) {
+  if (s == "LUT") return CellType::kLut;
+  if (s == "LUTRAM") return CellType::kLutRam;
+  if (s == "FF") return CellType::kFlipFlop;
+  if (s == "CARRY") return CellType::kCarry;
+  if (s == "DSP") return CellType::kDsp;
+  if (s == "BRAM") return CellType::kBram;
+  if (s == "IO") return CellType::kIo;
+  if (s == "PSPORT") return CellType::kPsPort;
+  throw std::runtime_error("edit parse error line " + std::to_string(line_no) +
+                           ": unknown cell type '" + s + "'");
+}
+
+CellEdit cell_state(const Cell& c) {
+  CellEdit e;
+  e.name = c.name;
+  e.type = c.type;
+  e.role = c.role;
+  e.fixed = c.fixed;
+  e.fixed_x = c.fixed ? c.fixed_x : 0.0;
+  e.fixed_y = c.fixed ? c.fixed_y : 0.0;
+  return e;
+}
+
+NetEdit net_state(const Netlist& nl, const Net& n) {
+  NetEdit e;
+  e.name = n.name;
+  e.driver = nl.cell(n.driver).name;
+  e.sinks.reserve(n.sinks.size());
+  for (CellId s : n.sinks) e.sinks.push_back(nl.cell(s).name);
+  e.weight = n.weight;
+  return e;
+}
+
+void emit_cell(std::ostringstream& os, const char* kw, const CellEdit& c) {
+  os << kw << ' ' << c.name << ' ' << cell_type_name(c.type);
+  if (c.role == DspRole::kDatapath) os << " role=datapath";
+  if (c.role == DspRole::kControl) os << " role=control";
+  if (c.fixed) os << " fixed=" << c.fixed_x << ',' << c.fixed_y;
+  os << '\n';
+}
+
+void emit_net(std::ostringstream& os, const char* kw, const NetEdit& n) {
+  os << kw << ' ' << n.name << ' ' << n.driver;
+  for (const std::string& s : n.sinks) os << ' ' << s;
+  if (n.weight != 1.0) os << " w=" << n.weight;
+  os << '\n';
+}
+
+}  // namespace
+
+bool NetlistEdit::empty() const { return num_edits() == 0; }
+
+int NetlistEdit::num_edits() const {
+  return static_cast<int>(add_cells.size() + remove_cells.size() + change_cells.size() +
+                          add_nets.size() + remove_nets.size() + rewire_nets.size() +
+                          weight_changes.size() + add_chains.size() + remove_chains.size());
+}
+
+void canonicalize_edit(NetlistEdit* edit) {
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(edit->add_cells.begin(), edit->add_cells.end(), by_name);
+  std::sort(edit->remove_cells.begin(), edit->remove_cells.end());
+  std::sort(edit->change_cells.begin(), edit->change_cells.end(), by_name);
+  std::sort(edit->add_nets.begin(), edit->add_nets.end(), by_name);
+  std::sort(edit->remove_nets.begin(), edit->remove_nets.end());
+  std::sort(edit->rewire_nets.begin(), edit->rewire_nets.end(), by_name);
+  std::sort(edit->weight_changes.begin(), edit->weight_changes.end(), by_name);
+  std::sort(edit->add_chains.begin(), edit->add_chains.end(),
+            [](const ChainEdit& a, const ChainEdit& b) { return a.cells < b.cells; });
+  std::sort(edit->remove_chains.begin(), edit->remove_chains.end());
+}
+
+NetlistEdit diff_netlists(const Netlist& base, const Netlist& revised) {
+  NetlistEdit edit;
+
+  // ---- cells, matched by name ----------------------------------------------
+  std::unordered_map<std::string, CellId> base_cells, rev_cells;
+  base_cells.reserve(static_cast<size_t>(base.num_cells()));
+  for (CellId i = 0; i < base.num_cells(); ++i) base_cells.emplace(base.cell(i).name, i);
+  rev_cells.reserve(static_cast<size_t>(revised.num_cells()));
+  for (CellId i = 0; i < revised.num_cells(); ++i)
+    rev_cells.emplace(revised.cell(i).name, i);
+
+  for (CellId i = 0; i < base.num_cells(); ++i)
+    if (!rev_cells.count(base.cell(i).name)) edit.remove_cells.push_back(base.cell(i).name);
+  for (CellId i = 0; i < revised.num_cells(); ++i) {
+    const Cell& rc = revised.cell(i);
+    const auto it = base_cells.find(rc.name);
+    if (it == base_cells.end()) {
+      edit.add_cells.push_back(cell_state(rc));
+      continue;
+    }
+    // Chain membership is diffed through the chain records, not per cell.
+    const CellEdit before = cell_state(base.cell(it->second));
+    const CellEdit after = cell_state(rc);
+    if (!(before == after)) edit.change_cells.push_back(after);
+  }
+
+  // ---- nets, matched by name ------------------------------------------------
+  std::unordered_map<std::string, NetId> base_nets;
+  base_nets.reserve(static_cast<size_t>(base.num_nets()));
+  for (NetId i = 0; i < base.num_nets(); ++i) base_nets.emplace(base.net(i).name, i);
+  std::unordered_set<std::string> rev_net_names;
+  rev_net_names.reserve(static_cast<size_t>(revised.num_nets()));
+  for (NetId i = 0; i < revised.num_nets(); ++i)
+    rev_net_names.insert(revised.net(i).name);
+
+  for (NetId i = 0; i < base.num_nets(); ++i)
+    if (!rev_net_names.count(base.net(i).name)) edit.remove_nets.push_back(base.net(i).name);
+  for (NetId i = 0; i < revised.num_nets(); ++i) {
+    const NetEdit after = net_state(revised, revised.net(i));
+    const auto it = base_nets.find(after.name);
+    if (it == base_nets.end()) {
+      edit.add_nets.push_back(after);
+      continue;
+    }
+    const NetEdit before = net_state(base, base.net(it->second));
+    if (before == after) continue;
+    if (before.driver == after.driver && before.sinks == after.sinks)
+      edit.weight_changes.push_back({after.name, after.weight});
+    else
+      edit.rewire_nets.push_back(after);
+  }
+
+  // ---- cascade chains, keyed by head cell -----------------------------------
+  auto chain_names = [](const Netlist& nl, int ci) {
+    std::vector<std::string> names;
+    names.reserve(nl.chain(ci).cells.size());
+    for (CellId c : nl.chain(ci).cells) names.push_back(nl.cell(c).name);
+    return names;
+  };
+  std::unordered_map<std::string, std::vector<std::string>> base_chains;
+  for (int ci = 0; ci < base.num_chains(); ++ci) {
+    auto names = chain_names(base, ci);
+    base_chains.emplace(names.front(), std::move(names));
+  }
+  std::unordered_set<std::string> matched_heads;
+  for (int ci = 0; ci < revised.num_chains(); ++ci) {
+    auto names = chain_names(revised, ci);
+    const auto it = base_chains.find(names.front());
+    if (it != base_chains.end() && it->second == names) {
+      matched_heads.insert(names.front());
+      continue;
+    }
+    if (it != base_chains.end()) {
+      // Same head, different members: replace the chain.
+      matched_heads.insert(names.front());
+      edit.remove_chains.push_back(names.front());
+    }
+    edit.add_chains.push_back({std::move(names)});
+  }
+  for (const auto& [head, names] : base_chains)
+    if (!matched_heads.count(head)) edit.remove_chains.push_back(head);
+
+  canonicalize_edit(&edit);
+  return edit;
+}
+
+Netlist apply_edit(const Netlist& base, const NetlistEdit& edit) {
+  auto fail = [](const std::string& msg) -> void {
+    throw std::runtime_error("apply_edit: " + msg);
+  };
+
+  std::unordered_set<std::string> removed_cells(edit.remove_cells.begin(),
+                                                edit.remove_cells.end());
+  std::unordered_map<std::string, const CellEdit*> changed;
+  for (const CellEdit& c : edit.change_cells) changed.emplace(c.name, &c);
+  std::unordered_set<std::string> removed_nets(edit.remove_nets.begin(),
+                                               edit.remove_nets.end());
+  std::unordered_map<std::string, const NetEdit*> rewired;
+  for (const NetEdit& n : edit.rewire_nets) rewired.emplace(n.name, &n);
+  std::unordered_map<std::string, double> reweighted;
+  for (const WeightEdit& w : edit.weight_changes) reweighted.emplace(w.name, w.weight);
+  std::unordered_set<std::string> removed_chains(edit.remove_chains.begin(),
+                                                 edit.remove_chains.end());
+
+  for (const std::string& name : edit.remove_cells)
+    if (!base.find_cell(name)) fail("rmcell '" + name + "': no such cell in base");
+  for (const CellEdit& c : edit.change_cells) {
+    if (!base.find_cell(c.name)) fail("setcell '" + c.name + "': no such cell in base");
+    if (removed_cells.count(c.name)) fail("setcell '" + c.name + "' also removed");
+  }
+
+  Netlist out(base.name());
+
+  // ---- cells: survivors in base order, then additions -----------------------
+  auto stamp = [&](CellId id, const CellEdit& e) {
+    Cell& c = out.cell(id);
+    c.role = e.role;
+    c.fixed = e.fixed;
+    c.fixed_x = e.fixed ? e.fixed_x : 0.0;
+    c.fixed_y = e.fixed ? e.fixed_y : 0.0;
+  };
+  for (CellId i = 0; i < base.num_cells(); ++i) {
+    const Cell& c = base.cell(i);
+    if (removed_cells.count(c.name)) continue;
+    const auto it = changed.find(c.name);
+    const CellEdit state = it != changed.end() ? *it->second : cell_state(c);
+    stamp(out.add_cell(c.name, state.type), state);
+  }
+  for (const CellEdit& c : edit.add_cells) {
+    if (out.find_cell(c.name)) fail("addcell '" + c.name + "': name already exists");
+    stamp(out.add_cell(c.name, c.type), c);
+  }
+
+  auto resolve = [&](const std::string& name, const std::string& what) -> CellId {
+    const auto id = out.find_cell(name);
+    if (!id) fail(what + " references cell '" + name + "' absent from the edited netlist");
+    return *id;
+  };
+
+  // ---- nets: survivors in base order (rewired/reweighted in place), then
+  // additions ------------------------------------------------------------------
+  std::unordered_set<std::string> base_net_names;
+  base_net_names.reserve(static_cast<size_t>(base.num_nets()));
+  for (NetId i = 0; i < base.num_nets(); ++i) base_net_names.insert(base.net(i).name);
+  for (const NetEdit& n : edit.rewire_nets) {
+    if (!base_net_names.count(n.name)) fail("rewire '" + n.name + "': no such net in base");
+    if (removed_nets.count(n.name)) fail("rewire '" + n.name + "' also removed");
+  }
+  for (const WeightEdit& w : edit.weight_changes)
+    if (!base_net_names.count(w.name)) fail("weight '" + w.name + "': no such net in base");
+  for (const std::string& n : edit.remove_nets)
+    if (!base_net_names.count(n)) fail("rmnet '" + n + "': no such net in base");
+  auto emit_net_record = [&](const NetEdit& n) {
+    std::vector<CellId> sinks;
+    sinks.reserve(n.sinks.size());
+    for (const std::string& s : n.sinks) sinks.push_back(resolve(s, "net '" + n.name + "'"));
+    const NetId id = out.add_net(n.name, resolve(n.driver, "net '" + n.name + "'"),
+                                 std::move(sinks));
+    out.net(id).weight = n.weight;
+  };
+  std::unordered_set<std::string> seen_nets;
+  for (NetId i = 0; i < base.num_nets(); ++i) {
+    const Net& n = base.net(i);
+    if (removed_nets.count(n.name)) continue;
+    NetEdit state;
+    const auto it = rewired.find(n.name);
+    if (it != rewired.end()) {
+      state = *it->second;
+    } else {
+      state = net_state(base, n);
+      const auto wit = reweighted.find(n.name);
+      if (wit != reweighted.end()) state.weight = wit->second;
+    }
+    emit_net_record(state);
+    seen_nets.insert(n.name);
+  }
+  for (const NetEdit& n : edit.add_nets) {
+    if (seen_nets.count(n.name)) fail("addnet '" + n.name + "': name already exists");
+    emit_net_record(n);
+    seen_nets.insert(n.name);
+  }
+
+  // ---- chains: survivors in base order, then additions -----------------------
+  for (int ci = 0; ci < base.num_chains(); ++ci) {
+    const auto& cells = base.chain(ci).cells;
+    const std::string head = base.cell(cells.front()).name;
+    if (removed_chains.count(head)) continue;
+    std::vector<CellId> members;
+    members.reserve(cells.size());
+    for (CellId c : cells)
+      members.push_back(resolve(base.cell(c).name, "chain '" + head + "'"));
+    out.add_cascade_chain(members);
+  }
+  for (const ChainEdit& ch : edit.add_chains) {
+    std::vector<CellId> members;
+    members.reserve(ch.cells.size());
+    for (const std::string& name : ch.cells)
+      members.push_back(resolve(name, "addchain '" + ch.cells.front() + "'"));
+    out.add_cascade_chain(members);
+  }
+
+  const std::string err = out.validate();
+  if (!err.empty()) fail("edited netlist invalid: " + err);
+  return out;
+}
+
+std::string write_edit(const NetlistEdit& edit) {
+  NetlistEdit e = edit;
+  canonicalize_edit(&e);
+  std::ostringstream os;
+  for (const std::string& n : e.remove_nets) os << "rmnet " << n << '\n';
+  for (const std::string& n : e.remove_chains) os << "rmchain " << n << '\n';
+  for (const std::string& n : e.remove_cells) os << "rmcell " << n << '\n';
+  for (const CellEdit& c : e.add_cells) emit_cell(os, "addcell", c);
+  for (const CellEdit& c : e.change_cells) emit_cell(os, "setcell", c);
+  for (const NetEdit& n : e.add_nets) emit_net(os, "addnet", n);
+  for (const NetEdit& n : e.rewire_nets) emit_net(os, "rewire", n);
+  for (const WeightEdit& w : e.weight_changes)
+    os << "weight " << w.name << ' ' << w.weight << '\n';
+  for (const ChainEdit& ch : e.add_chains) {
+    os << "addchain";
+    for (const std::string& c : ch.cells) os << ' ' << c;
+    os << '\n';
+  }
+  return os.str();
+}
+
+NetlistEdit read_edit(const std::string& text) {
+  NetlistEdit edit;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  auto bad = [&](const std::string& msg) -> void {
+    throw std::runtime_error("edit parse error line " + std::to_string(line_no) + ": " + msg);
+  };
+  auto parse_cell = [&](std::istringstream& ls) {
+    CellEdit c;
+    std::string type;
+    if (!(ls >> c.name >> type)) bad("cell record needs <name> <type>");
+    c.type = parse_type(type, line_no);
+    std::string attr;
+    while (ls >> attr) {
+      if (attr == "role=datapath") {
+        c.role = DspRole::kDatapath;
+      } else if (attr == "role=control") {
+        c.role = DspRole::kControl;
+      } else if (attr.rfind("fixed=", 0) == 0) {
+        const auto comma = attr.find(',');
+        if (comma == std::string::npos) bad("fixed=<x>,<y> expected");
+        c.fixed = true;
+        c.fixed_x = std::stod(attr.substr(6, comma - 6));
+        c.fixed_y = std::stod(attr.substr(comma + 1));
+      } else {
+        bad("unknown attribute '" + attr + "'");
+      }
+    }
+    return c;
+  };
+  auto parse_net = [&](std::istringstream& ls) {
+    NetEdit n;
+    if (!(ls >> n.name >> n.driver)) bad("net record needs <name> <driver>");
+    std::string tok;
+    while (ls >> tok) {
+      if (tok.rfind("w=", 0) == 0)
+        n.weight = std::stod(tok.substr(2));
+      else
+        n.sinks.push_back(tok);
+    }
+    if (n.sinks.empty()) bad("net record needs at least one sink");
+    return n;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "addcell") {
+      edit.add_cells.push_back(parse_cell(ls));
+    } else if (kw == "setcell") {
+      edit.change_cells.push_back(parse_cell(ls));
+    } else if (kw == "rmcell") {
+      std::string name;
+      if (!(ls >> name)) bad("rmcell needs <name>");
+      edit.remove_cells.push_back(name);
+    } else if (kw == "addnet") {
+      edit.add_nets.push_back(parse_net(ls));
+    } else if (kw == "rewire") {
+      edit.rewire_nets.push_back(parse_net(ls));
+    } else if (kw == "rmnet") {
+      std::string name;
+      if (!(ls >> name)) bad("rmnet needs <name>");
+      edit.remove_nets.push_back(name);
+    } else if (kw == "weight") {
+      WeightEdit w;
+      if (!(ls >> w.name >> w.weight)) bad("weight needs <name> <weight>");
+      edit.weight_changes.push_back(w);
+    } else if (kw == "addchain") {
+      ChainEdit ch;
+      std::string name;
+      while (ls >> name) ch.cells.push_back(name);
+      if (ch.cells.empty()) bad("empty addchain");
+      edit.add_chains.push_back(std::move(ch));
+    } else if (kw == "rmchain") {
+      std::string name;
+      if (!(ls >> name)) bad("rmchain needs <head-cell>");
+      edit.remove_chains.push_back(name);
+    } else {
+      bad("unknown keyword '" + kw + "'");
+    }
+  }
+  canonicalize_edit(&edit);
+  return edit;
+}
+
+uint64_t edit_content_hash(const NetlistEdit& edit) {
+  // The text form is already canonical (write_edit canonicalizes), so
+  // hashing it gives a representation-independent identity.
+  Fnv1a h;
+  h.str("eco-edit-v1");
+  h.str(write_edit(edit));
+  return h.digest();
+}
+
+std::vector<std::string> edit_touched_cells(const Netlist& base, const NetlistEdit& edit) {
+  std::set<std::string> touched;
+  for (const CellEdit& c : edit.add_cells) touched.insert(c.name);
+  for (const std::string& c : edit.remove_cells) touched.insert(c);
+  for (const CellEdit& c : edit.change_cells) touched.insert(c.name);
+
+  auto touch_base_net = [&](const std::string& name) {
+    for (NetId i = 0; i < base.num_nets(); ++i) {
+      const Net& n = base.net(i);
+      if (n.name != name) continue;
+      touched.insert(base.cell(n.driver).name);
+      for (CellId s : n.sinks) touched.insert(base.cell(s).name);
+      return;
+    }
+  };
+  auto touch_net_edit = [&](const NetEdit& n) {
+    touched.insert(n.driver);
+    for (const std::string& s : n.sinks) touched.insert(s);
+    touch_base_net(n.name);  // old endpoints move out of the cone too
+  };
+  for (const NetEdit& n : edit.add_nets) touch_net_edit(n);
+  for (const NetEdit& n : edit.rewire_nets) touch_net_edit(n);
+  for (const std::string& n : edit.remove_nets) touch_base_net(n);
+  for (const WeightEdit& w : edit.weight_changes) touch_base_net(w.name);
+
+  for (const ChainEdit& ch : edit.add_chains)
+    for (const std::string& c : ch.cells) touched.insert(c);
+  for (const std::string& head : edit.remove_chains) {
+    const auto id = base.find_cell(head);
+    if (!id) continue;
+    const int chain = base.cell(*id).cascade_chain;
+    if (chain < 0) continue;
+    for (CellId c : base.chain(chain).cells) touched.insert(base.cell(c).name);
+  }
+  return {touched.begin(), touched.end()};
+}
+
+}  // namespace dsp

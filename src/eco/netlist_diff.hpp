@@ -1,0 +1,128 @@
+// Structural netlist diffing for the ECO re-placement engine (docs/ECO.md).
+//
+// An edit is expressed against cell/net *names* — the stable identity across
+// two netlist revisions — never raw ids, which shift when cells are inserted
+// or deleted. `diff_netlists` produces the canonical edit between two
+// netlists; `apply_edit` replays an edit onto a base netlist (id order of
+// surviving objects is preserved, so an empty edit reproduces the base
+// bit-identically, content hash included). The two are inverses:
+//   canonical(diff(a, apply(a, e))) == canonical(e).
+//
+// Edits round-trip through a line-based text format (one record per line,
+// '#' comments) mirroring the netlist format of netlist/netlist_io.hpp:
+//   addcell <name> <TYPE> [role=datapath|control] [fixed=<x>,<y>]
+//   setcell <name> <TYPE> [role=datapath|control] [fixed=<x>,<y>]
+//   rmcell  <name>
+//   addnet  <name> <driver> <sink> [<sink> ...] [w=<weight>]
+//   rewire  <name> <driver> <sink> [<sink> ...] [w=<weight>]
+//   rmnet   <name>
+//   weight  <name> <weight>
+//   addchain <cell> <cell> ...
+//   rmchain  <head-cell>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dsp {
+
+/// Full post-edit state of one cell (used by both addcell and setcell; a
+/// setcell replaces every mutable attribute, so diffs never need per-field
+/// deltas).
+struct CellEdit {
+  std::string name;
+  CellType type = CellType::kLut;
+  DspRole role = DspRole::kNotDsp;
+  bool fixed = false;
+  double fixed_x = 0.0;
+  double fixed_y = 0.0;
+
+  bool operator==(const CellEdit&) const = default;
+};
+
+/// Full post-edit connectivity of one net (addnet / rewire).
+struct NetEdit {
+  std::string name;
+  std::string driver;
+  std::vector<std::string> sinks;
+  double weight = 1.0;
+
+  bool operator==(const NetEdit&) const = default;
+};
+
+/// Criticality-weight-only change: connectivity untouched.
+struct WeightEdit {
+  std::string name;
+  double weight = 1.0;
+
+  bool operator==(const WeightEdit&) const = default;
+};
+
+/// One cascade macro, keyed by its head cell (chains have no names of their
+/// own; the head is unique because a cell belongs to at most one chain).
+struct ChainEdit {
+  std::vector<std::string> cells;  // dataflow order, [0] is the head/key
+
+  bool operator==(const ChainEdit&) const = default;
+};
+
+struct NetlistEdit {
+  std::vector<CellEdit> add_cells;
+  std::vector<std::string> remove_cells;
+  std::vector<CellEdit> change_cells;
+
+  std::vector<NetEdit> add_nets;
+  std::vector<std::string> remove_nets;
+  std::vector<NetEdit> rewire_nets;
+  std::vector<WeightEdit> weight_changes;
+
+  std::vector<ChainEdit> add_chains;
+  std::vector<std::string> remove_chains;  // head-cell names
+
+  bool empty() const;
+  /// Total number of records (the "edit size" used by blast-radius gating).
+  int num_edits() const;
+
+  bool operator==(const NetlistEdit&) const = default;
+};
+
+/// Sorts every record list by its key (cell/net/head name) so two edits
+/// describing the same change compare equal.
+void canonicalize_edit(NetlistEdit* edit);
+
+/// Canonical structural difference `base -> revised`, matching objects by
+/// name. Nets whose connectivity is unchanged but whose weight differs land
+/// in weight_changes; any connectivity change is a rewire.
+NetlistEdit diff_netlists(const Netlist& base, const Netlist& revised);
+
+/// Replays `edit` onto `base`. Surviving cells/nets/chains keep their
+/// relative order (ids are re-densified); added objects append in edit
+/// order. Throws std::runtime_error on an inconsistent edit: unknown names,
+/// duplicate additions, or a removal that leaves a dangling reference (a
+/// net or chain that still uses a removed cell must itself be removed or
+/// rewired by the same edit).
+Netlist apply_edit(const Netlist& base, const NetlistEdit& edit);
+
+/// Serializes into the text format above (canonical record order).
+std::string write_edit(const NetlistEdit& edit);
+
+/// Parses the text format. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+NetlistEdit read_edit(const std::string& text);
+
+/// Content hash of the canonical edit — folded into the ECO cache-namespace
+/// salt so two jobs with the same base netlist and the same edit share
+/// checkpoints.
+uint64_t edit_content_hash(const NetlistEdit& edit);
+
+/// Names of every cell in `base` the edit touches directly: added, removed,
+/// or changed cells; endpoints (old and new) of every added, removed,
+/// rewired, or re-weighted net; members of added or removed chains. The
+/// EcoEngine expands this seed through cascade chains into the per-stage
+/// blast radius (docs/ECO.md, "Blast radius").
+std::vector<std::string> edit_touched_cells(const Netlist& base, const NetlistEdit& edit);
+
+}  // namespace dsp

@@ -1,0 +1,110 @@
+#include "fpga/device_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsp {
+
+Device make_device(const DeviceSpec& spec, double scale) {
+  scale = std::clamp(scale, spec.min_scale, spec.max_scale);
+  const int width = spec.width;
+  const int height = std::max(
+      spec.min_height, static_cast<int>(std::lround(spec.base_height * scale)));
+
+  Device dev(spec.name + std::string(scale < 1.0 ? spec.scaled_suffix : ""),
+             width, height);
+
+  PsRegion ps;
+  ps.width = spec.ps_width;
+  ps.height = std::max(spec.ps_min_height, std::floor(spec.ps_base_height * scale));
+  const int denom = std::max(1, spec.ps_ports - 1);
+  for (int i = 0; i < spec.ps_ports; ++i) {
+    // PS->PL data buses exit across the top edge of the PS...
+    ps.top_ports.emplace_back(1.0 + (ps.width - 2.0) * i / denom, ps.height);
+    // ...and PL->PS buses re-enter along the right edge.
+    ps.right_ports.emplace_back(ps.width, 1.0 + (ps.height - 2.0) * i / denom);
+  }
+  dev.set_ps_region(std::move(ps));
+
+  for (double x : spec.dsp_xs) {
+    if (spec.dsp_segments <= 1) {
+      dev.add_dsp_column(x, 0.0, height);
+      continue;
+    }
+    // Region-split column: `dsp_segments` runs with `dsp_gap_rows` site-less
+    // rows between them. Runs at the same x are added bottom-up so the
+    // device-wide site list stays coordinate-sorted.
+    const int gaps = (spec.dsp_segments - 1) * spec.dsp_gap_rows;
+    const int run = std::max(1, (height - gaps) / spec.dsp_segments);
+    double y0 = 0.0;
+    for (int s = 0; s < spec.dsp_segments; ++s) {
+      dev.add_dsp_column(x, y0, run);
+      y0 += run + spec.dsp_gap_rows;
+    }
+  }
+
+  const int bram_per_col =
+      std::max(spec.bram_min_per_col,
+               static_cast<int>(std::lround(spec.bram_base_per_col * scale)));
+  for (double x : spec.bram_xs) dev.add_bram_column(x, 0.0, bram_per_col);
+
+  for (int x : spec.io_xs) dev.set_column_type(x, ColumnType::kIo);
+
+  for (int x = 0; x < width; ++x) {
+    if (dev.column_type(x) == ColumnType::kClb &&
+        x % spec.slicem_stride == spec.slicem_phase)
+      dev.set_column_type(x, ColumnType::kClbM);
+  }
+
+  dev.set_clb_capacity(spec.clb);
+  return dev;
+}
+
+DeviceSpec zcu104_spec() {
+  DeviceSpec s;
+  s.name = "zcu104";
+  s.width = 96;
+  s.base_height = 144;  // 12 columns x 144 sites = 1728 DSP48E2 at scale 1
+  s.ps_width = 12;
+  s.ps_base_height = 36;
+  s.ps_ports = 8;
+  s.dsp_xs = {16, 24, 30, 38, 44, 52, 58, 66, 72, 80, 86, 94};
+  s.bram_xs = {14, 22, 36, 50, 64, 70, 78, 92};
+  s.bram_base_per_col = 39;  // 8 x 39 = 312 BRAM36 at scale 1
+  s.io_xs = {s.width - 1, 48};
+  // One model tile aggregates ~3 CLB slices so the 96x144 fabric reaches
+  // the XCZU7EV's ~230k LUTs / 460k FFs.
+  s.clb.luts_per_tile = 24;
+  s.clb.ffs_per_tile = 48;
+  s.clb.carries_per_tile = 3;
+  return s;
+}
+
+DeviceSpec vu3p_spec() {
+  DeviceSpec s;
+  s.name = "vu3p";
+  s.width = 120;
+  s.base_height = 150;
+  // Clock-region break mid-column: cascades cannot span the 2-row gap, so
+  // per column two 74-site runs at scale 1 — the legalizer has to keep
+  // every chain inside one run.
+  s.dsp_segments = 2;
+  s.dsp_gap_rows = 2;
+  s.dsp_xs = {14, 20, 26, 34, 40, 46, 54, 60, 68, 76, 82, 90, 96, 104, 110, 118};
+  s.bram_xs = {12, 24, 38, 52, 58, 72, 86, 100, 108, 116};
+  s.bram_base_per_col = 42;
+  s.io_xs = {s.width - 1, 62};
+  // No hard PS on Virtex parts; a small corner port block stands in for
+  // the host interface so datapath extraction still has I/O anchors.
+  s.ps_width = 10;
+  s.ps_base_height = 24;
+  s.ps_ports = 8;
+  s.clb.luts_per_tile = 24;
+  s.clb.ffs_per_tile = 48;
+  s.clb.carries_per_tile = 3;
+  return s;
+}
+
+Device make_vu3p(double scale) { return make_device(vu3p_spec(), scale); }
+
+}  // namespace dsp

@@ -1,0 +1,77 @@
+// Parametric device construction (paper Fig. 1(a) generalized).
+//
+// Every device the placer targets shares one shape: a W x H column-
+// organized fabric, vertical DSP cascade columns, BRAM columns, IO
+// columns, SLICEM striping, and a fixed PS block with PS->PL / PL->PS
+// ports. A DeviceSpec captures that shape as data; make_device turns a
+// spec plus a scale factor into a Device. make_zcu104 is now just one
+// spec (zcu104_spec) — bit-identical to the historical hand-rolled
+// factory, so checkpoint keys and golden placements are unchanged — and
+// additional parts are one spec each (vu3p_spec models a Virtex
+// UltraScale+ VU3P-class part whose DSP columns are split by clock-
+// region breaks, so cascade chains cannot cross the gap).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+
+namespace dsp {
+
+struct DeviceSpec {
+  std::string name;                  // "zcu104"; scale<1 appends suffix
+  std::string scaled_suffix = "-scaled";
+  int width = 0;                     // fabric width (not scaled)
+  int base_height = 0;               // rows at scale = 1
+  int min_height = 16;
+  double min_scale = 0.05;
+  double max_scale = 1.0;
+
+  // PS block (bottom-left). ps_ports evenly spaced along top/right edges.
+  double ps_width = 0;
+  double ps_base_height = 0;         // at scale = 1 (floors with scale)
+  double ps_min_height = 4.0;
+  int ps_ports = 8;
+
+  // DSP cascade columns at these fabric x coordinates. dsp_segments > 1
+  // splits every column into that many vertical runs separated by
+  // dsp_gap_rows site-less rows (clock-region / SLR breaks): site j and
+  // j+1 are cascade-adjacent only within a run.
+  std::vector<double> dsp_xs;
+  int dsp_segments = 1;
+  int dsp_gap_rows = 0;
+
+  std::vector<double> bram_xs;
+  int bram_base_per_col = 0;         // sites per column at scale = 1
+  int bram_min_per_col = 2;
+
+  std::vector<int> io_xs;            // columns forced to ColumnType::kIo
+
+  // Every logic column with x % slicem_stride == slicem_phase is SLICEM.
+  int slicem_stride = 4;
+  int slicem_phase = 1;
+
+  ClbCapacity clb;
+};
+
+/// Builds a Device from a spec. `scale` in [min_scale, max_scale] shrinks
+/// rows/BRAM/PS height while preserving the column structure, exactly as
+/// the historical make_zcu104 did.
+Device make_device(const DeviceSpec& spec, double scale = 1.0);
+
+/// The ZCU104 board part (XCZU7EV): 12 DSP columns x 144 sites = 1728
+/// DSP48E2 at scale 1. make_device(zcu104_spec(), s) == make_zcu104(s),
+/// including the device content hash.
+DeviceSpec zcu104_spec();
+
+/// A Virtex UltraScale+ VU3P-class part: wider fabric, 16 DSP columns
+/// split in two runs per column by a clock-region break (cascades cannot
+/// cross it), and a small PS-like port block standing in for the SLR IO
+/// interface so datapath extraction has anchors.
+DeviceSpec vu3p_spec();
+
+/// make_device(vu3p_spec(), scale) convenience.
+Device make_vu3p(double scale = 1.0);
+
+}  // namespace dsp

@@ -4,63 +4,16 @@
 // at the level of detail DSPlacer consumes: 1728 DSP sites in 12 vertical
 // cascade columns, BRAM columns, SLICEL/SLICEM logic columns, and the fixed
 // PS block in the bottom-left corner with PS->PL ports on top and PL->PS
-// ports on the right (paper Fig. 5(a)).
-#include <algorithm>
-#include <cmath>
-
+// ports on the right (paper Fig. 5(a)). The geometry itself lives in
+// zcu104_spec() (fpga/device_spec.hpp); this delegation is bit-identical to
+// the historical hand-rolled factory, so device content hashes — and with
+// them every checkpoint key — are unchanged.
 #include "fpga/device.hpp"
+#include "fpga/device_spec.hpp"
 
 namespace dsp {
 
-Device make_zcu104(double scale) {
-  scale = std::clamp(scale, 0.05, 1.0);
-  const int width = 96;
-  const int height = std::max(16, static_cast<int>(std::lround(144 * scale)));
-
-  Device dev("zcu104" + std::string(scale < 1.0 ? "-scaled" : ""), width, height);
-
-  // PS block: fixed bottom-left region (~12x36 tiles at full scale).
-  PsRegion ps;
-  ps.width = 12;
-  ps.height = std::max(4.0, std::floor(36 * scale));
-  const int n_ports = 8;
-  for (int i = 0; i < n_ports; ++i) {
-    // PS->PL data buses exit across the top edge of the PS...
-    ps.top_ports.emplace_back(1.0 + (ps.width - 2.0) * i / (n_ports - 1), ps.height);
-    // ...and PL->PS buses re-enter along the right edge.
-    ps.right_ports.emplace_back(ps.width, 1.0 + (ps.height - 2.0) * i / (n_ports - 1));
-  }
-  dev.set_ps_region(std::move(ps));
-
-  // 12 DSP columns x `height` sites. At scale=1 that is 12*144 = 1728 DSP48E2,
-  // the XCZU7EV capacity. Columns sit clear of the PS block.
-  const double dsp_xs[] = {16, 24, 30, 38, 44, 52, 58, 66, 72, 80, 86, 94};
-  for (double x : dsp_xs) dev.add_dsp_column(x, 0.0, height);
-
-  // 8 BRAM columns; 312 BRAM36 at full scale.
-  const double bram_xs[] = {14, 22, 36, 50, 64, 70, 78, 92};
-  const int bram_per_col = std::max(2, static_cast<int>(std::lround(39 * scale)));
-  for (double x : bram_xs) dev.add_bram_column(x, 0.0, bram_per_col);
-
-  // IO columns at the right edge and one mid-die.
-  dev.set_column_type(width - 1, ColumnType::kIo);
-  dev.set_column_type(48, ColumnType::kIo);
-
-  // Every 4th remaining logic column is SLICEM (LUTRAM-capable).
-  for (int x = 0; x < width; ++x) {
-    if (dev.column_type(x) == ColumnType::kClb && x % 4 == 1)
-      dev.set_column_type(x, ColumnType::kClbM);
-  }
-
-  // One model tile aggregates ~3 CLB slices so the 96x144 fabric reaches
-  // the XCZU7EV's ~230k LUTs / 460k FFs.
-  ClbCapacity cap;
-  cap.luts_per_tile = 24;
-  cap.ffs_per_tile = 48;
-  cap.carries_per_tile = 3;
-  dev.set_clb_capacity(cap);
-  return dev;
-}
+Device make_zcu104(double scale) { return make_device(zcu104_spec(), scale); }
 
 Device make_test_device() {
   Device dev("testdev", 12, 16);

@@ -35,6 +35,17 @@ inline constexpr const char* kCacheMiss = "dsplacer_cache_miss_total";
 inline constexpr const char* kCacheBad = "dsplacer_cache_bad_total";
 inline constexpr const char* kCacheLoad = "dsplacer_cache_load_total";
 inline constexpr const char* kCacheStore = "dsplacer_cache_store_total";
+inline constexpr const char* kCacheEvictions = "dsplacer_cache_evictions_total";
+
+// ---- ECO incremental re-placement (src/eco/eco_engine.cpp) ----
+// Per-job tallies plus per-element patched/rerun families so dsplacer_stats
+// --elements can show where ECO jobs fall back (docs/ECO.md).
+inline constexpr const char* kEcoJobs = "dsplacer_eco_jobs_total";
+inline constexpr const char* kEcoPatchedStages = "dsplacer_eco_patched_stages_total";
+inline constexpr const char* kEcoRerunFallbacks = "dsplacer_eco_rerun_fallbacks_total";
+inline constexpr const char* kEcoSitesPinned = "dsplacer_eco_sites_pinned_total";
+inline constexpr const char* kElementEcoPatched = "dsplacer_element_eco_patched_total";
+inline constexpr const char* kElementEcoRerun = "dsplacer_element_eco_rerun_total";
 
 // ---- stage scheduler (src/core/stage_scheduler.cpp) ----
 inline constexpr const char* kSchedJobs = "dsplacer_sched_jobs_total";

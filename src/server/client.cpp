@@ -50,6 +50,23 @@ std::string DsplacerClient::submit(const JobRequest& request, JobReply* reply) {
   return err;
 }
 
+std::string DsplacerClient::submit_eco(const EcoRequest& request, EcoReply* reply) {
+  if (!connected()) return "not connected";
+  const std::string frame =
+      encode_frame(MsgType::kEcoRequest, encode_eco_request(request));
+  if (!send_all(socket_.fd(), frame.data(), frame.size())) {
+    close();
+    return "send failed";
+  }
+  Frame in;
+  std::string err = read_frame(&in);
+  if (err.empty() && in.type != MsgType::kEcoReply)
+    err = "unexpected reply type " + std::to_string(static_cast<uint32_t>(in.type));
+  if (err.empty()) err = decode_eco_reply(in.payload, reply);
+  if (!err.empty()) close();
+  return err;
+}
+
 std::string DsplacerClient::ping(std::string* server_version) {
   if (!connected()) return "not connected";
   const std::string frame = encode_frame(MsgType::kPing, "");

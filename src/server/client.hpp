@@ -27,6 +27,10 @@ class DsplacerClient {
   /// connection is dead.
   std::string submit(const JobRequest& request, JobReply* reply);
 
+  /// Submits one ECO incremental re-placement job (base netlist + edit)
+  /// and blocks for its reply; same contract as submit (docs/ECO.md).
+  std::string submit_eco(const EcoRequest& request, EcoReply* reply);
+
   /// Liveness probe; fills *server_version from the pong. "" on success.
   std::string ping(std::string* server_version);
 

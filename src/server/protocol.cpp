@@ -65,7 +65,7 @@ bool FrameDecoder::next(Frame* out) {
     return false;
   }
   if (type < static_cast<uint32_t>(MsgType::kJobRequest) ||
-      type > static_cast<uint32_t>(MsgType::kStatsReply)) {
+      type > static_cast<uint32_t>(MsgType::kEcoReply)) {
     error_ = "unknown message type " + std::to_string(type);
     return false;
   }
@@ -140,6 +140,78 @@ std::string decode_job_reply(std::string_view payload, JobReply* out) {
   out->num_datapath_dsps = r.i32();
   out->num_control_dsps = r.i32();
   if (!r.done()) return "truncated job reply";
+  if (status > static_cast<uint32_t>(JobStatus::kBadRequest))
+    return "unknown job status " + std::to_string(status);
+  out->status = static_cast<JobStatus>(status);
+  return "";
+}
+
+std::string encode_eco_request(const EcoRequest& req) {
+  ByteWriter w;
+  w.str(req.base_netlist_text);
+  w.str(req.edit_text);
+  w.f64(req.scale);
+  w.u64(req.seed);
+  w.u32(req.deadline_ms);
+  w.boolean(req.use_cache);
+  w.boolean(req.want_trace);
+  return w.take();
+}
+
+std::string decode_eco_request(std::string_view payload, EcoRequest* out) {
+  ByteReader r(payload);
+  out->base_netlist_text = r.str();
+  out->edit_text = r.str();
+  out->scale = r.f64();
+  out->seed = r.u64();
+  out->deadline_ms = r.u32();
+  out->use_cache = r.boolean();
+  out->want_trace = r.boolean();
+  if (!r.done()) return "truncated eco request";
+  if (out->base_netlist_text.empty()) return "empty netlist";
+  if (!std::isfinite(out->scale) || out->scale <= 0.0 || out->scale > 4.0)
+    return "scale out of range";
+  return "";
+}
+
+std::string encode_eco_reply(const EcoReply& reply) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(reply.status));
+  w.str(reply.error);
+  w.str(reply.placement_text);
+  w.str(reply.trace_json);
+  w.i64(reply.cache_hits);
+  w.i64(reply.cache_misses);
+  w.f64(reply.hpwl);
+  w.i32(reply.num_datapath_dsps);
+  w.i32(reply.num_control_dsps);
+  w.boolean(reply.fell_back);
+  w.str(reply.fallback_reason);
+  w.i32(reply.stages_restored);
+  w.i32(reply.stages_patched);
+  w.i32(reply.stages_rerun);
+  w.i32(reply.sites_pinned);
+  return w.take();
+}
+
+std::string decode_eco_reply(std::string_view payload, EcoReply* out) {
+  ByteReader r(payload);
+  const uint32_t status = r.u32();
+  out->error = r.str();
+  out->placement_text = r.str();
+  out->trace_json = r.str();
+  out->cache_hits = r.i64();
+  out->cache_misses = r.i64();
+  out->hpwl = r.f64();
+  out->num_datapath_dsps = r.i32();
+  out->num_control_dsps = r.i32();
+  out->fell_back = r.boolean();
+  out->fallback_reason = r.str();
+  out->stages_restored = r.i32();
+  out->stages_patched = r.i32();
+  out->stages_rerun = r.i32();
+  out->sites_pinned = r.i32();
+  if (!r.done()) return "truncated eco reply";
   if (status > static_cast<uint32_t>(JobStatus::kBadRequest))
     return "unknown job status " + std::to_string(status);
   out->status = static_cast<JobStatus>(status);

@@ -42,6 +42,8 @@ enum class MsgType : uint32_t {
   kError = 5,         // server -> client: protocol-level failure, then close
   kStatsRequest = 6,  // client -> server: live metrics snapshot (empty payload)
   kStatsReply = 7,    // server -> client: serialized MetricsSnapshot
+  kEcoRequest = 8,    // client -> server: incremental re-place (base + edit)
+  kEcoReply = 9,      // server -> client: ECO job outcome
 };
 
 /// Job outcome codes carried in JobReply (stable wire values).
@@ -135,5 +137,47 @@ struct JobReply {
 
 std::string encode_job_reply(const JobReply& reply);
 std::string decode_job_reply(std::string_view payload, JobReply* out);
+
+/// One ECO job: re-place `base_netlist_text` after applying `edit_text`
+/// (the eco/netlist_diff text format). The server recomputes the base run's
+/// checkpoint chain from (netlist, scale, seed), so an ECO job referencing
+/// a prior job's cache namespace must repeat that job's fields verbatim —
+/// the same rule the flat cache itself enforces (docs/ECO.md).
+struct EcoRequest {
+  std::string base_netlist_text;  // netlist_io text format
+  std::string edit_text;          // netlist_diff record format
+  double scale = 0.25;            // device scale for make_zcu104
+  uint64_t seed = 0;              // 0 = library default seeds
+  uint32_t deadline_ms = 0;       // 0 = no deadline
+  bool use_cache = true;          // must be true to patch (else always cold)
+  bool want_trace = true;
+};
+
+std::string encode_eco_request(const EcoRequest& req);
+/// "" on success, else a diagnostic. Never throws on hostile input.
+std::string decode_eco_request(std::string_view payload, EcoRequest* out);
+
+/// Outcome of one ECO job: the JobReply fields (for the *edited* netlist)
+/// plus the engine's per-stage action tally (docs/ECO.md).
+struct EcoReply {
+  JobStatus status = JobStatus::kError;
+  std::string error;
+  std::string placement_text;  // edited-netlist placement (kOk only)
+  std::string trace_json;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double hpwl = 0.0;
+  int32_t num_datapath_dsps = 0;
+  int32_t num_control_dsps = 0;
+  bool fell_back = false;        // engine ran the whole flow cold
+  std::string fallback_reason;   // empty unless fell_back
+  int32_t stages_restored = 0;
+  int32_t stages_patched = 0;
+  int32_t stages_rerun = 0;
+  int32_t sites_pinned = 0;
+};
+
+std::string encode_eco_reply(const EcoReply& reply);
+std::string decode_eco_reply(std::string_view payload, EcoReply* out);
 
 }  // namespace dsp

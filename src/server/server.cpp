@@ -6,6 +6,8 @@
 
 #include "core/dsplacer.hpp"
 #include "core/flow.hpp"
+#include "eco/eco_engine.hpp"
+#include "eco/netlist_diff.hpp"
 #include "fpga/device.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/names.hpp"
@@ -91,7 +93,13 @@ ServerMetrics& server_metrics() {
 
 struct DsplacerServer::PendingJob {
   uint64_t id = 0;
+  /// Exactly one of the two requests is meaningful, selected by is_eco:
+  /// a plain placement job (kJobRequest) or an incremental ECO job
+  /// (kEcoRequest). Both flow through the same queue, workers, deadline
+  /// and drain machinery; only decode and execution differ.
+  bool is_eco = false;
   JobRequest req;
+  EcoRequest eco;
   Clock::time_point deadline;   // valid only when has_deadline
   Clock::time_point submitted;  // enqueue time, feeds the e2e histogram
   bool has_deadline = false;
@@ -100,10 +108,27 @@ struct DsplacerServer::PendingJob {
   /// from 0 wins, so every job is replied to exactly once; a worker that
   /// pops a state-2 job discards it without executing.
   std::atomic<int> state{0};
-  /// Hands the reply to whichever front end submitted the job: fulfils a
-  /// promise (thread-per-connection) or posts into the event loop. Called
-  /// once, by the winner of the state race, after stats/metrics.
-  std::function<void(JobReply&&)> deliver;
+  /// Hands the already-encoded reply payload (kJobReply or kEcoReply, per
+  /// is_eco) to whichever front end submitted the job: fulfils a promise
+  /// (thread-per-connection) or posts into the event loop. Called once, by
+  /// the winner of the state race, after stats/metrics.
+  std::function<void(MsgType, std::string&&)> deliver;
+
+  MsgType reply_type() const { return is_eco ? MsgType::kEcoReply : MsgType::kJobReply; }
+  /// An inline reject (busy, draining, bad request, queued-deadline) in the
+  /// shape the client expects for this job kind.
+  std::string encode_reject(JobStatus status, const std::string& err) const {
+    if (is_eco) {
+      EcoReply r;
+      r.status = status;
+      r.error = err;
+      return encode_eco_reply(r);
+    }
+    JobReply r;
+    r.status = status;
+    r.error = err;
+    return encode_job_reply(r);
+  }
 };
 
 /// Event-loop front end: per-connection state. The wire protocol carries
@@ -401,7 +426,7 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
         if (!send_frame(MsgType::kStatsReply, payload)) return;
         continue;
       }
-      if (frame.type != MsgType::kJobRequest) {
+      if (frame.type != MsgType::kJobRequest && frame.type != MsgType::kEcoRequest) {
         // A client must only send requests, pings and stats probes;
         // anything else is a protocol error: answer and hang up.
         ByteWriter w;
@@ -414,41 +439,46 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
       }
 
       auto job = std::make_shared<PendingJob>();
-      const std::string bad = decode_job_request(frame.payload, &job->req);
+      job->is_eco = frame.type == MsgType::kEcoRequest;
+      const std::string bad = job->is_eco
+                                  ? decode_eco_request(frame.payload, &job->eco)
+                                  : decode_job_request(frame.payload, &job->req);
       if (!bad.empty()) {
-        JobReply reply;
-        reply.status = JobStatus::kBadRequest;
-        reply.error = bad;
-        jobs_completed_metric(reply.status).inc();
-        if (!send_frame(MsgType::kJobReply, encode_job_reply(reply))) return;
+        jobs_completed_metric(JobStatus::kBadRequest).inc();
+        if (!send_frame(job->reply_type(),
+                        job->encode_reject(JobStatus::kBadRequest, bad)))
+          return;
         continue;
       }
       job->id = next_job_id_.fetch_add(1);
-      if (job->req.deadline_ms > 0) {
+      const uint32_t deadline_ms = job->is_eco ? job->eco.deadline_ms
+                                               : job->req.deadline_ms;
+      if (deadline_ms > 0) {
         job->has_deadline = true;
-        job->deadline = Clock::now() + std::chrono::milliseconds(job->req.deadline_ms);
+        job->deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
       }
 
       // Bounded enqueue with explicit backpressure.
-      std::future<JobReply> result;
-      JobReply immediate;
+      std::future<std::string> result;
+      JobStatus reject_status = JobStatus::kBusy;
+      std::string reject_error;
       bool rejected = false;
       {
         std::lock_guard<std::mutex> lock(queue_mu_);
         if (draining_.load()) {
-          immediate.status = JobStatus::kShuttingDown;
-          immediate.error = "server is draining";
+          reject_status = JobStatus::kShuttingDown;
+          reject_error = "server is draining";
           rejected = true;
         } else if (queue_.size() >= static_cast<size_t>(opts_.queue_depth)) {
-          immediate.status = JobStatus::kBusy;
-          immediate.error = "job queue full (" + std::to_string(queue_.size()) +
-                            " queued); resubmit later";
+          reject_status = JobStatus::kBusy;
+          reject_error = "job queue full (" + std::to_string(queue_.size()) +
+                         " queued); resubmit later";
           rejected = true;
         } else {
-          auto reply_promise = std::make_shared<std::promise<JobReply>>();
+          auto reply_promise = std::make_shared<std::promise<std::string>>();
           result = reply_promise->get_future();
-          job->deliver = [reply_promise](JobReply&& r) {
-            reply_promise->set_value(std::move(r));
+          job->deliver = [reply_promise](MsgType, std::string&& payload) {
+            reply_promise->set_value(std::move(payload));
           };
           job->submitted = Clock::now();
           queue_.push_back(job);
@@ -457,17 +487,18 @@ void DsplacerServer::connection_loop(std::shared_ptr<SocketFd> conn) {
         }
       }
       if (rejected) {
-        jobs_completed_metric(immediate.status).inc();
-        if (immediate.status == JobStatus::kBusy) {
+        jobs_completed_metric(reject_status).inc();
+        if (reject_status == JobStatus::kBusy) {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.busy_rejections;
         }
-        if (!send_frame(MsgType::kJobReply, encode_job_reply(immediate))) return;
+        if (!send_frame(job->reply_type(),
+                        job->encode_reject(reject_status, reject_error)))
+          return;
         continue;
       }
       queue_cv_.notify_one();
-      const JobReply reply = result.get();
-      if (!send_frame(MsgType::kJobReply, encode_job_reply(reply))) return;
+      if (!send_frame(job->reply_type(), result.get())) return;
     }
     if (!decoder.error().empty()) {
       LOG_WARN("server", "protocol error: %s", decoder.error().c_str());
@@ -525,24 +556,34 @@ void DsplacerServer::worker_loop(int worker_index) {
 
     set_log_thread_tag("job" + std::to_string(job->id));
     if (opts_.test_hook_job_start) opts_.test_hook_job_start(job->id);
-    JobReply reply = execute_job(*job);
+    JobStatus status;
+    std::string payload;
+    if (job->is_eco) {
+      EcoReply reply = execute_eco_job(*job);
+      status = reply.status;
+      payload = encode_eco_reply(reply);
+    } else {
+      JobReply reply = execute_job(*job);
+      status = reply.status;
+      payload = encode_job_reply(reply);
+    }
     set_log_thread_tag(idle_tag);
 
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      switch (reply.status) {
+      switch (status) {
         case JobStatus::kOk: ++stats_.jobs_ok; break;
         case JobStatus::kCancelled: ++stats_.jobs_cancelled; break;
         default: ++stats_.jobs_failed; break;
       }
     }
-    jobs_completed_metric(reply.status).inc();
+    jobs_completed_metric(status).inc();
     server_metrics().jobs_inflight.sub(1);
     server_metrics().job_e2e_us.observe(
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               job->submitted)
             .count());
-    job->deliver(std::move(reply));
+    job->deliver(job->reply_type(), std::move(payload));
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       --active_jobs_;
@@ -638,7 +679,7 @@ void DsplacerServer::el_on_frame(Connection& conn, MsgType type,
     el_pump(nc.cid);
     return;
   }
-  if (type != MsgType::kJobRequest) {
+  if (type != MsgType::kJobRequest && type != MsgType::kEcoRequest) {
     // A client must only send requests, pings and stats probes; anything
     // else is a protocol error: answer and hang up.
     count_protocol_error("unexpected_type");
@@ -649,21 +690,20 @@ void DsplacerServer::el_on_frame(Connection& conn, MsgType type,
     el_pump(nc.cid);
     return;
   }
-  el_handle_job(nc, std::move(payload));
+  el_handle_job(nc, type, std::move(payload));
 }
 
-void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
+void DsplacerServer::el_handle_job(NetConn& nc, MsgType type, std::string&& payload) {
   const uint64_t cid = nc.cid;
   auto job = std::make_shared<PendingJob>();
-  const auto reject = [this, &nc](JobStatus status, const std::string& err) {
-    JobReply r;
-    r.status = status;
-    r.error = err;
+  job->is_eco = type == MsgType::kEcoRequest;
+  const auto reject = [this, &nc, &job](JobStatus status, const std::string& err) {
     jobs_completed_metric(status).inc();
-    el_enqueue_ready(nc, MsgType::kJobReply, encode_job_reply(r));
+    el_enqueue_ready(nc, job->reply_type(), job->encode_reject(status, err));
   };
 
-  const std::string bad = decode_job_request(payload, &job->req);
+  const std::string bad = job->is_eco ? decode_eco_request(payload, &job->eco)
+                                      : decode_job_request(payload, &job->req);
   if (!bad.empty()) {
     reject(JobStatus::kBadRequest, bad);
     el_pump(cid);
@@ -687,15 +727,18 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
   }
 
   job->id = next_job_id_.fetch_add(1);
-  if (job->req.deadline_ms > 0) {
+  const uint32_t deadline_ms = job->is_eco ? job->eco.deadline_ms
+                                           : job->req.deadline_ms;
+  if (deadline_ms > 0) {
     job->has_deadline = true;
-    job->deadline = Clock::now() + std::chrono::milliseconds(job->req.deadline_ms);
+    job->deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
   }
 
   // Reserve this job's reply position now — replies go out in request
   // order because the wire protocol has no job id to match on.
   auto slot = std::make_unique<NetConn::ReplySlot>();
   NetConn::ReplySlot* slot_ptr = slot.get();
+  slot_ptr->type = job->reply_type();
   nc.slots.push_back(std::move(slot));
 
   // Worker thread → loop thread. The raw slot pointer is owned by the
@@ -703,13 +746,14 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
   // exactly as long as the cid still resolves. deliver must be installed
   // before the job is visible in queue_ — a worker can pop and invoke it
   // the instant push_back's lock is released.
-  job->deliver = [this, cid, slot_ptr](JobReply&& reply) {
-    std::string encoded = encode_job_reply(reply);
-    loop_->post([this, cid, slot_ptr, encoded = std::move(encoded)]() mutable {
+  job->deliver = [this, cid, slot_ptr](MsgType reply_type, std::string&& encoded) {
+    loop_->post([this, cid, slot_ptr, reply_type,
+                 encoded = std::move(encoded)]() mutable {
       auto it = net_conns_.find(cid);
       if (it == net_conns_.end()) return;  // client left; drop the reply
       if (slot_ptr->timer != 0) loop_->cancel_timer(slot_ptr->timer);
       slot_ptr->ready = true;
+      slot_ptr->type = reply_type;
       slot_ptr->payload = std::move(encoded);
       it->second->ready_bytes += slot_ptr->payload.size();
       el_pump(cid);
@@ -759,14 +803,11 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
     slot_ptr->timer = loop_->add_timer(job->deadline, [this, cid, slot_ptr, job] {
       int expected = 0;
       if (!job->state.compare_exchange_strong(expected, 2)) return;  // claimed
-      JobReply r;
-      r.status = JobStatus::kDeadlineExceeded;
-      r.error = "deadline expired while queued";
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.jobs_failed;
       }
-      jobs_completed_metric(r.status).inc();
+      jobs_completed_metric(JobStatus::kDeadlineExceeded).inc();
       server_metrics().job_e2e_us.observe(
           std::chrono::duration_cast<std::chrono::microseconds>(
               Clock::now() - job->submitted)
@@ -774,7 +815,8 @@ void DsplacerServer::el_handle_job(NetConn& nc, std::string&& payload) {
       auto it = net_conns_.find(cid);
       if (it == net_conns_.end()) return;  // counted, but nobody to tell
       slot_ptr->ready = true;
-      slot_ptr->payload = encode_job_reply(r);
+      slot_ptr->payload = job->encode_reject(JobStatus::kDeadlineExceeded,
+                                             "deadline expired while queued");
       it->second->ready_bytes += slot_ptr->payload.size();
       el_pump(cid);
     });
@@ -848,7 +890,10 @@ JobReply DsplacerServer::execute_job(const PendingJob& job) {
     }
     if (job.req.outer_iterations > 0) opts.outer_iterations = job.req.outer_iterations;
     if (job.req.assign_iterations > 0) opts.assign.iterations = job.req.assign_iterations;
-    if (job.req.use_cache) opts.cache_dir = opts_.cache_dir;
+    if (job.req.use_cache) {
+      opts.cache_dir = opts_.cache_dir;
+      opts.cache_max_bytes = opts_.cache_max_bytes;
+    }
 
     const std::vector<DesignGraphData> no_training;
     FlowContext ctx(nl, dev, no_training, opts);
@@ -893,6 +938,98 @@ JobReply DsplacerServer::execute_job(const PendingJob& job) {
     reply.hpwl = total_hpwl(nl, res.placement);
     reply.num_datapath_dsps = res.num_datapath_dsps;
     reply.num_control_dsps = res.num_control_dsps;
+  } catch (const std::exception& e) {
+    reply.status = JobStatus::kError;
+    reply.error = e.what();
+  }
+  return reply;
+}
+
+EcoReply DsplacerServer::execute_eco_job(const PendingJob& job) {
+  EcoReply reply;
+  if (cancel_all_.load()) {
+    reply.status = JobStatus::kCancelled;
+    reply.error = "cancelled: server drain grace expired";
+    return reply;
+  }
+  if (job.has_deadline && Clock::now() >= job.deadline) {
+    reply.status = JobStatus::kDeadlineExceeded;
+    reply.error = "deadline expired while queued";
+    return reply;
+  }
+
+  // Malformed netlist/edit text — or an edit inconsistent with the base
+  // netlist (unknown names, dangling references) — is the client's fault.
+  Netlist base;
+  NetlistEdit edit;
+  Netlist edited;
+  try {
+    base = read_netlist(job.eco.base_netlist_text);
+    edit = read_edit(job.eco.edit_text);
+    edited = apply_edit(base, edit);
+  } catch (const std::exception& e) {
+    reply.status = JobStatus::kBadRequest;
+    reply.error = e.what();
+    return reply;
+  }
+
+  try {
+    const Device dev = make_zcu104(job.eco.scale);
+    // Same option contract as execute_job: the ECO engine recomputes the
+    // base run's checkpoint chain from these options, so an ECO job finds
+    // the base job's snapshots exactly when scale/seed match.
+    DsplacerOptions opts;
+    opts.use_ground_truth_roles = true;
+    if (job.eco.seed != 0) {
+      opts.features.seed = job.eco.seed;
+      opts.host.seed = job.eco.seed;
+    }
+    if (job.eco.use_cache) {
+      opts.cache_dir = opts_.cache_dir;
+      opts.cache_max_bytes = opts_.cache_max_bytes;
+    }
+
+    EcoOptions eco;
+    std::atomic<bool> past_deadline{false};
+    eco.cancel = [this, &job, &past_deadline] {
+      if (cancel_all_.load(std::memory_order_relaxed)) return true;
+      if (job.has_deadline && Clock::now() >= job.deadline) {
+        past_deadline.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+    EcoResult res = run_eco(base, edited, edit, dev, opts, eco, scheduler_.get());
+
+    if (job.eco.want_trace) reply.trace_json = res.result.trace.to_json();
+    for (const auto& stage : res.result.trace.root().children) {
+      reply.cache_hits += stage->counter("cache_hit");
+      reply.cache_misses += stage->counter("cache_miss");
+      stage_us_metric(stage->name)
+          .observe(static_cast<int64_t>(stage->seconds * 1e6));
+    }
+    reply.fell_back = res.fell_back;
+    reply.fallback_reason = res.fallback_reason;
+    reply.stages_restored = res.stages_restored;
+    reply.stages_patched = res.stages_patched;
+    reply.stages_rerun = res.stages_rerun;
+    reply.sites_pinned = res.sites_pinned;
+    if (res.result.legality_error == "cancelled") {
+      const bool deadline = past_deadline.load(std::memory_order_relaxed);
+      reply.status = deadline ? JobStatus::kDeadlineExceeded : JobStatus::kCancelled;
+      reply.error = deadline ? "deadline exceeded" : "cancelled by server drain";
+      return reply;
+    }
+    if (!res.result.legality_error.empty()) {
+      reply.status = JobStatus::kError;
+      reply.error = res.result.legality_error;
+      return reply;
+    }
+    reply.status = JobStatus::kOk;
+    reply.placement_text = write_placement(edited, res.result.placement);
+    reply.hpwl = total_hpwl(edited, res.result.placement);
+    reply.num_datapath_dsps = res.result.num_datapath_dsps;
+    reply.num_control_dsps = res.result.num_control_dsps;
   } catch (const std::exception& e) {
     reply.status = JobStatus::kError;
     reply.error = e.what();

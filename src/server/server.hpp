@@ -60,6 +60,10 @@ struct ServerOptions {
   /// Shared stage checkpoint cache directory ("" = caching off; jobs may
   /// still opt out individually with use_cache = false).
   std::string cache_dir;
+  /// Cache directory size bound in bytes (0 = unbounded): after each
+  /// checkpoint store the oldest files are LRU-evicted until the directory
+  /// fits, so a long-lived daemon cannot fill the disk (--cache-max-bytes).
+  int64_t cache_max_bytes = 0;
   /// Drain grace: how long stop() lets queued/in-flight jobs keep running
   /// before cancelling them (they still get CANCELLED replies).
   double drain_grace_seconds = 30.0;
@@ -145,6 +149,7 @@ class DsplacerServer {
   void connection_loop(std::shared_ptr<SocketFd> conn);
   void worker_loop(int worker_index);
   JobReply execute_job(const PendingJob& job);
+  EcoReply execute_eco_job(const PendingJob& job);
   void reap_finished_connections();
 
   // Event-loop front end (all run on the loop thread).
@@ -152,7 +157,7 @@ class DsplacerServer {
   void el_on_frame(Connection& conn, MsgType type, std::string&& payload);
   void el_on_protocol_error(Connection& conn, const std::string& error);
   void el_on_close(Connection& conn, bool partial_frame);
-  void el_handle_job(NetConn& nc, std::string&& payload);
+  void el_handle_job(NetConn& nc, MsgType type, std::string&& payload);
   void el_enqueue_ready(NetConn& nc, MsgType type, std::string&& payload);
   void el_pump(uint64_t cid);
   void count_protocol_error(const char* cause);

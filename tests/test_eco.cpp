@@ -1,0 +1,354 @@
+// ECO engine tests (docs/ECO.md): diff/apply round trips (randomized),
+// empty-edit bit-identity against a warm full run, small-edit patching
+// with pinned attractors, full-rerun fallback without a base snapshot,
+// checkpoint-cache LRU eviction, and DeviceSpec hash-identity with the
+// historical hand-rolled ZCU104 factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/flow.hpp"
+#include "designs/benchmarks.hpp"
+#include "eco/eco_engine.hpp"
+#include "eco/netlist_diff.hpp"
+#include "fpga/device_spec.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/names.hpp"
+#include "netlist/netlist_io.hpp"
+#include "timing/wirelength.hpp"
+
+namespace dsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_cache_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dsplacer_eco_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+DsplacerOptions fast_options() {
+  DsplacerOptions opts;
+  opts.use_ground_truth_roles = true;
+  opts.assign.iterations = 6;
+  opts.outer_iterations = 1;
+  return opts;
+}
+
+struct SmallDesign {
+  Device dev;
+  Netlist nl;
+  SmallDesign()
+      : dev(make_zcu104(0.1)),
+        nl(make_benchmark(benchmark_by_name("SkyNet"), dev, 0.1)) {}
+};
+
+void expect_bit_identical(const Placement& a, const Placement& b) {
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (CellId c = 0; c < a.num_cells(); ++c) {
+    double ax = a.x(c), bx = b.x(c), ay = a.y(c), by = b.y(c);
+    EXPECT_EQ(std::memcmp(&ax, &bx, sizeof ax), 0) << "x differs at cell " << c;
+    EXPECT_EQ(std::memcmp(&ay, &by, sizeof ay), 0) << "y differs at cell " << c;
+    EXPECT_EQ(a.dsp_site(c), b.dsp_site(c)) << "site differs at cell " << c;
+  }
+}
+
+/// A random but always-consistent edit against `base`: added LUT cells
+/// wired to existing cells, rewires of existing nets (names only, so no
+/// dangling references), and weight changes.
+NetlistEdit random_edit(const Netlist& base, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick_cell = [&] {
+    return base.cell(static_cast<CellId>(rng() % static_cast<uint64_t>(base.num_cells()))).name;
+  };
+  NetlistEdit edit;
+  const int n_add = 1 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < n_add; ++i) {
+    CellEdit c;
+    c.name = "eco_add_" + std::to_string(seed) + "_" + std::to_string(i);
+    c.type = CellType::kLut;
+    edit.add_cells.push_back(c);
+    NetEdit n;
+    n.name = "eco_net_" + std::to_string(seed) + "_" + std::to_string(i);
+    n.driver = c.name;
+    n.sinks = {pick_cell(), pick_cell()};
+    n.weight = 1.0;
+    edit.add_nets.push_back(n);
+  }
+  const int n_rewire = static_cast<int>(rng() % 3);
+  for (int i = 0; i < n_rewire; ++i) {
+    const NetId id = static_cast<NetId>(rng() % static_cast<uint64_t>(base.num_nets()));
+    NetEdit n;
+    n.name = base.net(id).name;
+    n.driver = base.cell(base.net(id).driver).name;
+    n.sinks = {pick_cell()};
+    n.weight = base.net(id).weight;
+    edit.rewire_nets.push_back(n);
+  }
+  const int n_weight = static_cast<int>(rng() % 3);
+  for (int i = 0; i < n_weight; ++i) {
+    const NetId id = static_cast<NetId>(rng() % static_cast<uint64_t>(base.num_nets()));
+    edit.weight_changes.push_back({base.net(id).name, 2.0 + static_cast<double>(i)});
+  }
+  canonicalize_edit(&edit);
+  // Rewires and weight changes picked the same net twice collapse to the
+  // last record when applied; drop duplicates so the edit stays canonical.
+  auto drop_dup_nets = [](std::vector<NetEdit>* v) {
+    v->erase(std::unique(v->begin(), v->end(),
+                         [](const NetEdit& a, const NetEdit& b) { return a.name == b.name; }),
+             v->end());
+  };
+  drop_dup_nets(&edit.rewire_nets);
+  edit.weight_changes.erase(
+      std::unique(edit.weight_changes.begin(), edit.weight_changes.end(),
+                  [](const WeightEdit& a, const WeightEdit& b) { return a.name == b.name; }),
+      edit.weight_changes.end());
+  return edit;
+}
+
+TEST(EcoDiff, EmptyEditIsIdentity) {
+  SmallDesign d;
+  const NetlistEdit none = diff_netlists(d.nl, d.nl);
+  EXPECT_TRUE(none.empty());
+  const Netlist replay = apply_edit(d.nl, NetlistEdit{});
+  EXPECT_EQ(netlist_content_hash(replay), netlist_content_hash(d.nl));
+}
+
+TEST(EcoDiff, RandomizedEditApplyDiffRoundTrip) {
+  SmallDesign d;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const NetlistEdit edit = random_edit(d.nl, seed);
+    const Netlist edited = apply_edit(d.nl, edit);
+    EXPECT_EQ(edited.validate(), "") << "seed " << seed;
+
+    // diff(base, apply(base, e)) replays to the same netlist...
+    const NetlistEdit recovered = diff_netlists(d.nl, edited);
+    const Netlist replayed = apply_edit(d.nl, recovered);
+    EXPECT_EQ(netlist_content_hash(replayed), netlist_content_hash(edited))
+        << "seed " << seed;
+
+    // ...and the edit text format round-trips the diff exactly.
+    const NetlistEdit reread = read_edit(write_edit(recovered));
+    EXPECT_EQ(reread, recovered) << "seed " << seed;
+    EXPECT_EQ(edit_content_hash(reread), edit_content_hash(recovered)) << "seed " << seed;
+  }
+}
+
+TEST(Eco, EmptyEditIsBitIdenticalToWarmRun) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("empty_edit");
+
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+  size_t files_after_cold = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(opts.cache_dir))
+    ++files_after_cold;
+
+  const NetlistEdit empty;
+  const Netlist edited = apply_edit(d.nl, empty);
+  const EcoResult eco = run_eco(d.nl, edited, empty, d.dev, opts);
+  ASSERT_EQ(eco.result.legality_error, "");
+  EXPECT_FALSE(eco.fell_back);
+  // Every stage restores from the *unsalted* namespace: same placement,
+  // same checkpoint keys, zero new cache files.
+  expect_bit_identical(cold.placement, eco.result.placement);
+  EXPECT_EQ(eco.stages_restored, 5);
+  EXPECT_EQ(eco.stages_patched + eco.stages_rerun, 0);
+  size_t files_after_eco = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(opts.cache_dir))
+    ++files_after_eco;
+  EXPECT_EQ(files_after_cold, files_after_eco);
+}
+
+TEST(Eco, SmallEditPatchesPinsAndStaysLegal) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("small_edit");
+  const DsplacerResult cold = run_dsplacer(d.nl, d.dev, {}, opts);
+  ASSERT_EQ(cold.legality_error, "");
+
+  const NetlistEdit edit = random_edit(d.nl, 0xec01);
+  const Netlist edited = apply_edit(d.nl, edit);
+  const EcoResult eco = run_eco(d.nl, edited, edit, d.dev, opts);
+  ASSERT_EQ(eco.result.legality_error, "");
+  EXPECT_FALSE(eco.fell_back) << eco.fallback_reason;
+  EXPECT_GE(eco.stages_patched, 1);
+  EXPECT_GT(eco.sites_pinned, 0);
+  EXPECT_EQ(eco.result.placement.validate_dsp(edited, d.dev), "");
+
+  // Patching must not cost placement quality: HPWL within 10% of a cold
+  // full run of the edited netlist (the bench gate enforces 1% on the
+  // committed suite; the unit test allows slack for the tiny design).
+  DsplacerOptions cold_opts = fast_options();
+  const DsplacerResult edited_cold = run_dsplacer(edited, d.dev, {}, cold_opts);
+  ASSERT_EQ(edited_cold.legality_error, "");
+  const double eco_hpwl = total_hpwl(edited, eco.result.placement);
+  const double cold_hpwl = total_hpwl(edited, edited_cold.placement);
+  EXPECT_LE(eco_hpwl, cold_hpwl * 1.10)
+      << "eco " << eco_hpwl << " vs cold " << cold_hpwl;
+
+  // A repeated identical ECO job restores from its salted namespace.
+  const EcoResult again = run_eco(d.nl, edited, edit, d.dev, opts);
+  ASSERT_EQ(again.result.legality_error, "");
+  EXPECT_GE(again.stages_restored, 1);
+  expect_bit_identical(eco.result.placement, again.result.placement);
+}
+
+TEST(Eco, NoBaseSnapshotFallsBackToFullRerun) {
+  SmallDesign d;
+  DsplacerOptions opts = fast_options();
+  opts.cache_dir = fresh_cache_dir("no_base");  // never primed
+
+  const NetlistEdit edit = random_edit(d.nl, 0xec02);
+  const Netlist edited = apply_edit(d.nl, edit);
+  const EcoResult eco = run_eco(d.nl, edited, edit, d.dev, opts);
+  ASSERT_EQ(eco.result.legality_error, "");
+  EXPECT_TRUE(eco.fell_back);
+  EXPECT_FALSE(eco.fallback_reason.empty());
+  // The fallback is a plain full run of the edited netlist.
+  DsplacerOptions cold_opts = fast_options();
+  const DsplacerResult cold = run_dsplacer(edited, d.dev, {}, cold_opts);
+  ASSERT_EQ(cold.legality_error, "");
+  expect_bit_identical(cold.placement, eco.result.placement);
+}
+
+TEST(CacheGc, EvictsOldestCheckpointsOverBudget) {
+  SmallDesign d;
+  const std::string dir = fresh_cache_dir("gc");
+
+  // Size one checkpoint, then bound the directory to ~2.5 of them.
+  StageSnapshot snap;
+  snap.stage = "Prototype";
+  snap.placement = Placement(d.nl, d.dev);
+  const int64_t one = static_cast<int64_t>(serialize_checkpoint(snap).size());
+  const int64_t before = global_metrics()
+                             .counter(metric::kCacheEvictions, "")
+                             .value();
+
+  const StageCache cache(dir, one * 5 / 2);
+  for (uint64_t key = 1; key <= 5; ++key) {
+    snap.key = key;
+    ASSERT_EQ(cache.store("Prototype", key, snap), "");
+    // mtime is the LRU clock; space the stores so ordering is unambiguous.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  int64_t total = 0;
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    total += static_cast<int64_t>(fs::file_size(entry.path()));
+    ++files;
+  }
+  EXPECT_LE(total, one * 5 / 2);
+  EXPECT_EQ(files, 2);
+  // Newest survives, oldest are gone, evictions were counted.
+  EXPECT_TRUE(cache.contains("Prototype", 5));
+  EXPECT_FALSE(cache.contains("Prototype", 1));
+  EXPECT_FALSE(cache.contains("Prototype", 2));
+  EXPECT_EQ(global_metrics().counter(metric::kCacheEvictions, "").value(),
+            before + 3);
+
+  // Unbounded cache never sweeps.
+  const std::string dir2 = fresh_cache_dir("gc_unbounded");
+  const StageCache unbounded(dir2, 0);
+  for (uint64_t key = 1; key <= 5; ++key) {
+    snap.key = key;
+    ASSERT_EQ(unbounded.store("Prototype", key, snap), "");
+  }
+  files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir2)) ++files;
+  EXPECT_EQ(files, 5);
+}
+
+// The hand-rolled make_zcu104 body as it existed before DeviceSpec, kept
+// here as the golden reference: make_device(zcu104_spec()) must reproduce
+// it exactly or every historical checkpoint key silently changes.
+Device reference_zcu104(double scale) {
+  scale = std::clamp(scale, 0.05, 1.0);
+  const int width = 96;
+  const int height = std::max(16, static_cast<int>(std::lround(144 * scale)));
+  Device dev("zcu104" + std::string(scale < 1.0 ? "-scaled" : ""), width, height);
+  PsRegion ps;
+  ps.width = 12;
+  ps.height = std::max(4.0, std::floor(36 * scale));
+  const int n_ports = 8;
+  for (int i = 0; i < n_ports; ++i) {
+    ps.top_ports.emplace_back(1.0 + (ps.width - 2.0) * i / (n_ports - 1), ps.height);
+    ps.right_ports.emplace_back(ps.width, 1.0 + (ps.height - 2.0) * i / (n_ports - 1));
+  }
+  dev.set_ps_region(std::move(ps));
+  const double dsp_xs[] = {16, 24, 30, 38, 44, 52, 58, 66, 72, 80, 86, 94};
+  for (double x : dsp_xs) dev.add_dsp_column(x, 0.0, height);
+  const double bram_xs[] = {14, 22, 36, 50, 64, 70, 78, 92};
+  const int bram_per_col = std::max(2, static_cast<int>(std::lround(39 * scale)));
+  for (double x : bram_xs) dev.add_bram_column(x, 0.0, bram_per_col);
+  dev.set_column_type(width - 1, ColumnType::kIo);
+  dev.set_column_type(48, ColumnType::kIo);
+  for (int x = 0; x < width; ++x) {
+    if (dev.column_type(x) == ColumnType::kClb && x % 4 == 1)
+      dev.set_column_type(x, ColumnType::kClbM);
+  }
+  ClbCapacity cap;
+  cap.luts_per_tile = 24;
+  cap.ffs_per_tile = 48;
+  cap.carries_per_tile = 3;
+  dev.set_clb_capacity(cap);
+  return dev;
+}
+
+TEST(DeviceSpec, Zcu104SpecIsHashIdenticalToHistoricalFactory) {
+  for (double scale : {1.0, 0.25, 0.1}) {
+    const Device spec_dev = make_device(zcu104_spec(), scale);
+    const Device ref = reference_zcu104(scale);
+    EXPECT_EQ(spec_dev.name(), ref.name()) << scale;
+    EXPECT_EQ(device_content_hash(spec_dev), device_content_hash(ref)) << scale;
+    // And make_zcu104 itself now delegates to the spec.
+    EXPECT_EQ(device_content_hash(make_zcu104(scale)), device_content_hash(ref))
+        << scale;
+  }
+}
+
+TEST(DeviceSpec, Vu3pSplitsEveryDspColumnAtTheRegionBreak) {
+  const DeviceSpec spec = vu3p_spec();
+  const Device dev = make_vu3p(0.5);
+  ASSERT_EQ(dev.dsp_columns().size(), spec.dsp_xs.size() * 2);
+  for (size_t i = 0; i < dev.dsp_columns().size(); i += 2) {
+    const DspColumn& lo = dev.dsp_columns()[i];
+    const DspColumn& hi = dev.dsp_columns()[i + 1];
+    EXPECT_EQ(lo.x, hi.x);
+    EXPECT_EQ(lo.num_sites, hi.num_sites);
+    // The gap: the upper run starts dsp_gap_rows above the lower run's end.
+    EXPECT_EQ(hi.y0, lo.y0 + lo.num_sites + spec.dsp_gap_rows);
+  }
+  // The device-wide site list stays coordinate-sorted across the split.
+  for (int s = 1; s < dev.dsp_capacity(); ++s) {
+    const DspSite& a = dev.dsp_site(s - 1);
+    const DspSite& b = dev.dsp_site(s);
+    EXPECT_TRUE(a.x < b.x || (a.x == b.x && a.y < b.y)) << "site " << s;
+  }
+}
+
+TEST(DeviceSpec, Vu3pRunsTheFullFlow) {
+  // 0.3 keeps each split cascade run long enough (21 sites) for the
+  // benchmark's chains — at tiny scales the region break dominates.
+  const Device dev = make_vu3p(0.3);
+  const Netlist nl = make_benchmark(benchmark_by_name("SkyNet"), dev, 0.08);
+  DsplacerOptions opts = fast_options();
+  const DsplacerResult res = run_dsplacer(nl, dev, {}, opts);
+  EXPECT_EQ(res.legality_error, "");
+  EXPECT_EQ(res.placement.validate_dsp(nl, dev), "");
+}
+
+}  // namespace
+}  // namespace dsp

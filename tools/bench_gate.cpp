@@ -1,19 +1,33 @@
-// bench_gate — CI perf-regression gate for the bench_server fleet axis.
+// bench_gate — CI perf-regression gate for committed bench baselines.
 //
-// Compares a freshly measured fleet JSON (the CI artifact) against the
-// committed baseline (BENCH_server.json) and fails when a scheduler mode
-// lost throughput beyond a noise threshold. Raw jobs/s is machine-speed
-// dependent, so the gate compares *normalized* numbers: each pipelined
-// mode's jobs_per_s divided by the job-per-worker jobs_per_s at the same
-// inflight depth, measured on the same box in the same run. That ratio is
-// the scheduler's contribution and is stable across runner hardware; the
-// gate fails when the candidate ratio drops more than --threshold (default
-// 0.2 = 20%) below the baseline ratio for any (mode, inflight) cell, or
-// when a baseline cell is missing from the candidate entirely.
+// Two document kinds, auto-detected from the "bench" marker:
+//
+// server_fleet (BENCH_server.json): compares a freshly measured fleet
+// JSON (the CI artifact) against the committed baseline and fails when a
+// scheduler mode lost throughput beyond a noise threshold. Raw jobs/s is
+// machine-speed dependent, so the gate compares *normalized* numbers:
+// each pipelined mode's jobs_per_s divided by the job-per-worker
+// jobs_per_s at the same inflight depth, measured on the same box in the
+// same run. That ratio is the scheduler's contribution and is stable
+// across runner hardware; the gate fails when the candidate ratio drops
+// more than --threshold (default 0.2 = 20%) below the baseline ratio for
+// any (mode, inflight) cell, or when a baseline cell is missing.
+//
+// eco_suite (BENCH_eco.json, bench/bench_eco.cpp): the ECO acceptance
+// bars are absolute — speedup is already cold/eco on the same box, and
+// the quality bar (hpwl_vs_base_pct, the ECO placement vs the base
+// placement it patches) is fully deterministic because both runs are
+// hash-seeded. Every candidate cell must show speedup >= 3x,
+// hpwl_vs_base_pct <= +1%, no fallback, and every baseline edit size
+// must be present. hpwl_delta_pct (eco vs a cold re-place of the edited
+// netlist) is printed but not gated: a cold run of a perturbed netlist
+// re-rolls every tie-break, so that delta is a ~+-5% draw per edit.
 //
 //   bench_gate --baseline BENCH_server.json --candidate fleet.json
+//   bench_gate --baseline BENCH_eco.json --candidate eco.json
 //
 // Exit 0 = no regression, 1 = regression or malformed input, 2 = usage.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -101,11 +115,126 @@ bool parse_cells(const std::string& path, std::vector<Cell>* out,
   return true;
 }
 
+// ---- eco_suite documents ----------------------------------------------------
+
+struct EcoCell {
+  int edit_cells = 0;
+  double speedup = 0.0;
+  double hpwl_vs_base_pct = 0.0;  // gated: deterministic quality drift
+  double hpwl_delta_pct = 0.0;    // informational: vs a noisy cold draw
+  bool fell_back = false;
+};
+
+/// Parses the bench_eco suite JSON (the exact shape bench_eco.cpp emits).
+bool parse_eco_cells(const std::string& path, std::vector<EcoCell>* out,
+                     std::string* err) {
+  std::ifstream f(path);
+  if (!f) {
+    *err = "cannot read " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  size_t pos = 0;
+  for (;;) {
+    const size_t at = text.find("\"edit_cells\":", pos);
+    if (at == std::string::npos) break;
+    const size_t end = text.find('}', at);
+    if (end == std::string::npos) {
+      *err = path + ": unterminated cell object";
+      return false;
+    }
+    bool ok = true;
+    EcoCell cell;
+    cell.edit_cells =
+        static_cast<int>(number_after(text, "\"edit_cells\":", at, end, &ok));
+    cell.speedup = number_after(text, "\"speedup\":", at, end, &ok);
+    cell.hpwl_vs_base_pct =
+        number_after(text, "\"hpwl_vs_base_pct\":", at, end, &ok);
+    cell.hpwl_delta_pct = number_after(text, "\"hpwl_delta_pct\":", at, end, &ok);
+    const size_t fb = text.find("\"fell_back\":", at);
+    cell.fell_back = fb != std::string::npos && fb < end &&
+                     text.compare(fb + 13, 4, "true") == 0;
+    if (!ok || cell.edit_cells <= 0) {
+      *err = path + ": malformed cell near offset " + std::to_string(at);
+      return false;
+    }
+    out->push_back(cell);
+    pos = end;
+  }
+  if (out->empty()) {
+    *err = path + ": no eco cells";
+    return false;
+  }
+  return true;
+}
+
+/// The eco_suite gate: absolute bars per candidate cell (speedup >= 3x,
+/// hpwl_vs_base_pct <= +1%, no fallback), coverage checked against the
+/// baseline.
+int run_eco_gate(const std::string& baseline_path, const std::string& candidate_path) {
+  constexpr double kMinSpeedup = 3.0;
+  constexpr double kMaxHpwlVsBasePct = 1.0;
+  std::string err;
+  std::vector<EcoCell> baseline, candidate;
+  if (!parse_eco_cells(baseline_path, &baseline, &err) ||
+      !parse_eco_cells(candidate_path, &candidate, &err)) {
+    std::cerr << "bench_gate: " << err << '\n';
+    return 1;
+  }
+  std::map<int, EcoCell> cand;
+  for (const EcoCell& c : candidate) cand[c.edit_cells] = c;
+
+  bool failed = false;
+  std::printf("%-10s  %-8s  %-13s  %-13s  %-9s  %s\n", "edit cells", "speedup",
+              "vs base %", "vs cold %", "fell back", "verdict");
+  for (const EcoCell& b : baseline) {
+    const auto it = cand.find(b.edit_cells);
+    if (it == cand.end()) {
+      std::printf("%-10d  %-8s  %-13s  %-13s  %-9s  MISSING\n", b.edit_cells, "-",
+                  "-", "-", "-");
+      failed = true;
+      continue;
+    }
+    const EcoCell& c = it->second;
+    // One-sided: an ECO placement *better* than the base it patches is
+    // not a regression, only one more than 1% worse is. The vs-cold
+    // column is informational (see the header comment).
+    const bool bad = c.speedup < kMinSpeedup ||
+                     c.hpwl_vs_base_pct > kMaxHpwlVsBasePct || c.fell_back;
+    std::printf("%-10d  %-8.2f  %-13.3f  %-13.3f  %-9s  %s\n", c.edit_cells,
+                c.speedup, c.hpwl_vs_base_pct, c.hpwl_delta_pct,
+                c.fell_back ? "yes" : "no", bad ? "REGRESSED" : "ok");
+    failed = failed || bad;
+  }
+  if (failed) {
+    std::printf("bench_gate: FAIL — eco suite below the %.0fx speedup / "
+                "+%.0f%% HPWL-vs-base bars (baseline %s)\n",
+                kMinSpeedup, kMaxHpwlVsBasePct, baseline_path.c_str());
+    return 1;
+  }
+  std::printf("bench_gate: ok (eco suite: speedup >= %.0fx, hpwl vs base <= "
+              "+%.0f%%)\n",
+              kMinSpeedup, kMaxHpwlVsBasePct);
+  return 0;
+}
+
+bool is_eco_document(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str().find("\"eco_suite\"") != std::string::npos;
+}
+
 int usage(int rc) {
-  std::cerr << "bench_gate --baseline <BENCH_server.json> --candidate <fleet.json>\n"
+  std::cerr << "bench_gate --baseline <BENCH_server.json|BENCH_eco.json>\n"
+               "           --candidate <fleet.json|eco.json>\n"
                "           [--threshold <fraction, default 0.2>]\n"
                "Fails (exit 1) when any scheduler mode's normalized fleet\n"
-               "throughput regressed beyond the threshold vs the baseline.\n";
+               "throughput regressed beyond the threshold vs the baseline,\n"
+               "or (eco_suite documents) when any ECO cell misses the\n"
+               "absolute speedup/HPWL bars.\n";
   return rc;
 }
 
@@ -134,6 +263,9 @@ int main(int argc, char** argv) {
     }
   }
   if (baseline_path.empty() || candidate_path.empty()) return usage(2);
+
+  if (is_eco_document(baseline_path))
+    return run_eco_gate(baseline_path, candidate_path);
 
   std::string err;
   std::vector<Cell> baseline, candidate;

@@ -35,8 +35,9 @@ int usage(std::ostream& os, int rc) {
         "STATS frame and prints it (docs/METRICS.md). --json emits the same\n"
         "document the registry renders for machine consumers.\n"
         "--elements prints the pipeline-element table instead: occupancy %\n"
-        "over an --interval-ms window (default 1000), queue depth, jobs and\n"
-        "mean queue wait per element; with --json the same rows as JSON.\n";
+        "over an --interval-ms window (default 1000), queue depth, jobs,\n"
+        "ECO visits (patched + rerun, docs/ECO.md) and mean queue wait per\n"
+        "element; with --json the same rows as JSON.\n";
   return rc;
 }
 
@@ -77,6 +78,7 @@ struct ElementRow {
   int64_t width = 1;
   int64_t wait_count = 0;    // queue-wait histogram
   int64_t wait_sum_us = 0;
+  int64_t eco = 0;           // ECO visits (patched + rerun) on this stage
 };
 
 /// The `X` out of `family{element="X"}`; "" when the sample is not a
@@ -107,6 +109,20 @@ std::map<std::string, ElementRow> element_rows(const dsp::MetricsSnapshot& snap)
       rows[el].wait_sum_us = s.sum;
     }
   }
+  // The ECO patched/rerun families are labeled at stage granularity
+  // ("DspPlace", not "DspPlace.assign"); credit every element of the stage.
+  std::map<std::string, int64_t> eco_by_stage;
+  for (const dsp::MetricSample& s : snap.samples) {
+    std::string el;
+    if (!(el = element_label(s.name, metric::kElementEcoPatched)).empty() ||
+        !(el = element_label(s.name, metric::kElementEcoRerun)).empty())
+      eco_by_stage[el] += s.value;
+  }
+  for (auto& entry : rows) {
+    const std::string stage = entry.first.substr(0, entry.first.find('.'));
+    const auto it = eco_by_stage.find(stage);
+    if (it != eco_by_stage.end()) entry.second.eco = it->second;
+  }
   return rows;
 }
 
@@ -128,8 +144,9 @@ int print_elements(dsp::DsplacerClient& client, int interval_ms, bool json) {
       if (json) std::printf("{\"interval_us\": %lld, \"elements\": [",
                             static_cast<long long>(elapsed_us));
       else
-        std::printf("%-20s  %-6s  %-11s  %-11s  %-8s  %s\n", "element", "width",
-                    "occupancy%", "queue depth", "jobs", "mean wait (us)");
+        std::printf("%-20s  %-6s  %-11s  %-11s  %-8s  %-6s  %s\n", "element",
+                    "width", "occupancy%", "queue depth", "jobs", "eco",
+                    "mean wait (us)");
       bool first = true;
       for (const auto& entry : rows) {
         const ElementRow& row = entry.second;
@@ -148,16 +165,19 @@ int print_elements(dsp::DsplacerClient& client, int interval_ms, bool json) {
         if (json) {
           std::printf("%s\n  {\"element\": \"%s\", \"width\": %lld, "
                       "\"occupancy_pct\": %.2f, \"queue_depth\": %lld, "
-                      "\"jobs\": %lld, \"mean_queue_wait_us\": %.1f}",
+                      "\"jobs\": %lld, \"eco\": %lld, "
+                      "\"mean_queue_wait_us\": %.1f}",
                       first ? "" : ",", entry.first.c_str(),
                       static_cast<long long>(row.width), occupancy,
                       static_cast<long long>(row.queue_depth),
-                      static_cast<long long>(row.jobs), mean_wait);
+                      static_cast<long long>(row.jobs),
+                      static_cast<long long>(row.eco), mean_wait);
         } else {
-          std::printf("%-20s  %-6lld  %-11.2f  %-11lld  %-8lld  %.1f\n",
+          std::printf("%-20s  %-6lld  %-11.2f  %-11lld  %-8lld  %-6lld  %.1f\n",
                       entry.first.c_str(), static_cast<long long>(row.width),
                       occupancy, static_cast<long long>(row.queue_depth),
-                      static_cast<long long>(row.jobs), mean_wait);
+                      static_cast<long long>(row.jobs),
+                      static_cast<long long>(row.eco), mean_wait);
         }
         first = false;
       }

@@ -33,9 +33,15 @@ int usage(std::ostream& os, int rc) {
         "                [--no-cache] [--outer-iterations <n>]\n"
         "                [--assign-iterations <n>] [--repeat <n>]\n"
         "                [--out <placement>] [--trace <json>] [--ping]\n"
+        "                [--eco <edit-file>] [--base-first]\n"
         "                [--batch <manifest>] [--connections <n>] [--version]\n"
         "Submits jobs to a running dsplacerd (see docs/SERVER.md). --repeat\n"
         "sends the same job N times (warm repeats show cache hits).\n"
+        "--eco submits the netlist as the BASE of an incremental ECO job:\n"
+        "the edit file (docs/ECO.md edit format) is applied server-side and\n"
+        "only the blast radius is re-placed against the base job's cached\n"
+        "stage checkpoints. --base-first submits the plain base job on the\n"
+        "same connection first, so the ECO job finds warm checkpoints.\n"
         "--batch submits every manifest line concurrently; each line is\n"
         "`<netlist-file> [key=value ...]` with keys scale, seed, deadline-ms,\n"
         "outer-iterations, assign-iterations, no-cache\n"
@@ -221,7 +227,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args[i] == "--help" || args[i] == "-h") return usage(std::cout, 0);
-    if (args[i] == "--no-cache" || args[i] == "--ping") {
+    if (args[i] == "--no-cache" || args[i] == "--ping" ||
+        args[i] == "--base-first") {
       flags.emplace(args[i].substr(2), "1");
       continue;
     }
@@ -290,6 +297,83 @@ int main(int argc, char** argv) {
     req.outer_iterations = std::atoi(flags["outer-iterations"].c_str());
   if (flags.count("assign-iterations"))
     req.assign_iterations = std::atoi(flags["assign-iterations"].c_str());
+
+  if (flags.count("eco")) {
+    std::ifstream ef(flags["eco"]);
+    if (!ef) {
+      std::cerr << "dsplacer_submit: cannot read " << flags["eco"] << '\n';
+      return 2;
+    }
+    std::ostringstream edit_text;
+    edit_text << ef.rdbuf();
+
+    // --base-first primes the daemon's checkpoint cache with the plain base
+    // job over the same connection, so the ECO job restores instead of
+    // recomputing — the shape the CI smoke test exercises.
+    if (flags.count("base-first")) {
+      dsp::JobReply base_reply;
+      err = client.submit(req, &base_reply);
+      if (!err.empty()) {
+        std::cerr << "dsplacer_submit: base job: " << err << '\n';
+        return 1;
+      }
+      std::cout << "base: " << dsp::job_status_name(base_reply.status);
+      if (base_reply.status == dsp::JobStatus::kOk) {
+        std::cout << "  HPWL " << base_reply.hpwl << "  cache "
+                  << base_reply.cache_hits << " hit / " << base_reply.cache_misses
+                  << " miss\n";
+      } else {
+        std::cout << "  (" << base_reply.error << ")\n";
+        return 1;
+      }
+    }
+
+    dsp::EcoRequest ereq;
+    ereq.base_netlist_text = req.netlist_text;
+    ereq.edit_text = edit_text.str();
+    ereq.scale = req.scale;
+    ereq.seed = req.seed;
+    ereq.deadline_ms = req.deadline_ms;
+    ereq.use_cache = req.use_cache;
+    dsp::EcoReply reply;
+    err = client.submit_eco(ereq, &reply);
+    if (!err.empty()) {
+      std::cerr << "dsplacer_submit: " << err << '\n';
+      return 1;
+    }
+    std::cout << "eco: " << dsp::job_status_name(reply.status);
+    if (reply.status != dsp::JobStatus::kOk) {
+      std::cout << "  (" << reply.error << ")\n";
+      return 1;
+    }
+    std::cout << "  HPWL " << reply.hpwl << "  dsps " << reply.num_datapath_dsps
+              << "+" << reply.num_control_dsps << "  cache " << reply.cache_hits
+              << " hit / " << reply.cache_misses << " miss  stages "
+              << reply.stages_restored << " restored / " << reply.stages_patched
+              << " patched / " << reply.stages_rerun << " rerun  pinned "
+              << reply.sites_pinned;
+    if (reply.fell_back) std::cout << "  FELL BACK (" << reply.fallback_reason << ')';
+    std::cout << '\n';
+    if (flags.count("out") && !reply.placement_text.empty()) {
+      std::ofstream f(flags["out"]);
+      f << reply.placement_text;
+      if (!f) {
+        std::cerr << "dsplacer_submit: cannot write " << flags["out"] << '\n';
+        return 1;
+      }
+      std::cout << "wrote placement " << flags["out"] << '\n';
+    }
+    if (flags.count("trace") && !reply.trace_json.empty()) {
+      std::ofstream f(flags["trace"]);
+      f << reply.trace_json << '\n';
+      if (!f) {
+        std::cerr << "dsplacer_submit: cannot write " << flags["trace"] << '\n';
+        return 1;
+      }
+      std::cout << "wrote trace " << flags["trace"] << '\n';
+    }
+    return 0;
+  }
 
   const int repeat = flags.count("repeat") ? std::atoi(flags["repeat"].c_str()) : 1;
   bool all_ok = true;

@@ -33,6 +33,7 @@ void on_signal(int) {
 int usage(std::ostream& os, int rc) {
   os << "dsplacerd [--socket <path>] [--tcp-port <n>] [--workers <n>]\n"
         "          [--queue-depth <n>] [--cache-dir <dir>] [--threads <n>]\n"
+        "          [--cache-max-bytes <n>]\n"
         "          [--drain-grace <seconds>] [--metrics-port <n>]\n"
         "          [--no-pipeline] [--extract-batch <n>]\n"
         "          [--element-width <n>] [--no-split-stages]\n"
@@ -47,8 +48,10 @@ int usage(std::ostream& os, int rc) {
         "element per stage; --no-pipeline reverts to job-per-worker.\n"
         "Connections are served by an epoll event loop (client count never\n"
         "adds threads); --thread-per-conn reverts to the one-thread-per-\n"
-        "connection front end for A/B comparison. See docs/SERVER.md for\n"
-        "the wire protocol and docs/METRICS.md for the metrics endpoints.\n";
+        "connection front end for A/B comparison. --cache-max-bytes bounds\n"
+        "the checkpoint cache directory (oldest files LRU-evicted after each\n"
+        "store; 0 = unbounded). See docs/SERVER.md for the wire protocol and\n"
+        "docs/METRICS.md for the metrics endpoints.\n";
   return rc;
 }
 
@@ -151,6 +154,18 @@ int main(int argc, char** argv) {
   if (flags.count("thread-per-conn")) opts.event_loop = false;
   if (flags.count("event-loop")) opts.event_loop = true;
   if (flags.count("cache-dir")) opts.cache_dir = flags["cache-dir"];
+  if (flags.count("cache-max-bytes")) {
+    const std::string& v = flags["cache-max-bytes"];
+    char* end = nullptr;
+    errno = 0;
+    const long long bytes = std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0' || errno == ERANGE || bytes < 0) {
+      std::cerr << "dsplacerd: --cache-max-bytes: not a non-negative integer: "
+                << v << '\n';
+      return 2;
+    }
+    opts.cache_max_bytes = bytes;
+  }
   if (flags.count("drain-grace"))
     opts.drain_grace_seconds = std::atof(flags["drain-grace"].c_str());
 
